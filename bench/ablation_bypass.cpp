@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: the non-ML bypass path (Figure 6). With bypass enabled,
+ * non-ML traffic pays only the MAT pipeline; with it disabled, every
+ * packet crosses the MapReduce block and inherits its latency.
+ */
+
+#include <iostream>
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "taurus/experiment.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "Ablation: non-ML traffic bypass (Figure 6)\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, 3000);
+
+    // A mixed trace: half the flows are non-IP/ICMP control traffic
+    // that needs no ML decision.
+    net::KddConfig cfg;
+    cfg.connections = 6000;
+    net::KddGenerator gen(cfg, 17);
+    auto trace = gen.expandToPackets(gen.sampleConnections());
+    for (size_t i = 0; i < trace.size(); i += 2)
+        trace[i].flow.proto = net::kProtoIcmp; // bypass-eligible
+
+    TablePrinter t({"Config", "ML-path ns", "Bypass-path ns",
+                    "Mean non-ML latency ns"});
+    for (bool bypass : {true, false}) {
+        core::SwitchConfig sc;
+        sc.enable_bypass = bypass;
+        core::TaurusSwitch sw(sc);
+        sw.installAnomalyModel(dnn);
+
+        util::RunningStat non_ml;
+        for (const auto &pkt : trace) {
+            const auto d = sw.process(pkt);
+            if (pkt.flow.proto == net::kProtoIcmp)
+                non_ml.add(d.latency_ns);
+        }
+        t.addRow({bypass ? "bypass enabled" : "bypass disabled",
+                  TablePrinter::num(sw.mlPathLatencyNs(), 0),
+                  TablePrinter::num(sw.bypassPathLatencyNs(), 0),
+                  TablePrinter::num(non_ml.mean(), 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n\"Packets that do not need an ML decision can bypass "
+                 "the MapReduce block, incurring no additional "
+                 "latency.\" Disabling the bypass charges every packet "
+                 "the full block latency.\n";
+    return 0;
+}

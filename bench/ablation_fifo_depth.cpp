@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: PHV-interface FIFO depth and interconnect synchronization
+ * cost — the latency model's two knobs (DESIGN.md Section 4). Sweeps
+ * the staging FIFO depth and the per-movement handshake and reports
+ * model latency sensitivity.
+ */
+
+#include <iostream>
+
+#include "compiler/compile.hpp"
+#include "compiler/report.hpp"
+#include "models/zoo.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "Ablation: interface FIFO depth and per-movement "
+                 "synchronization cost\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    const auto km = models::trainIotKmeans(1, 3000);
+
+    TablePrinter t({"FIFO depth", "Route sync", "KMeans ns", "DNN ns"});
+    for (int fifo : {2, 4, 8}) {
+        for (int sync : {2, 4, 6}) {
+            compiler::Options opts;
+            opts.timing.ingress_cycles = fifo;
+            opts.timing.egress_cycles = fifo;
+            opts.timing.route_base = sync;
+            const auto r_km = compiler::analyze(
+                compiler::compile(km.lowered.graph, opts));
+            const auto r_dnn =
+                compiler::analyze(compiler::compile(dnn.graph, opts));
+            t.addRow({std::to_string(fifo), std::to_string(sync),
+                      TablePrinter::num(r_km.latency_ns, 0),
+                      TablePrinter::num(r_dnn.latency_ns, 0)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe deep model amplifies the per-movement cost "
+                 "(more producer->consumer edges on the critical path); "
+                 "the interface FIFOs are a constant.\nThe calibrated "
+                 "defaults (depth 4, sync 4) reproduce Table 6.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 14: online-training convergence by epoch/batch configuration
+ * (1/64, 1/256, 10/64, 10/256) at a fixed 1e-2 sampling rate. The
+ * paper's finding: the smallest batch with the most epochs converges
+ * fastest and highest — fewer, more substantial updates win.
+ */
+
+#include <iostream>
+
+#include "cp/trainer.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "Figure 14: F1 over time by epochs/batch (sampling "
+                 "1e-2)\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, 4000);
+    net::KddConfig cfg;
+    cfg.connections = 40000;
+    cfg.trace_duration_s = 1.5;
+    net::KddGenerator gen(cfg, 33);
+    const auto trace = gen.expandToPackets(gen.sampleConnections());
+
+    struct Config
+    {
+        int epochs;
+        int batch;
+    };
+    const Config configs[] = {{1, 64}, {1, 256}, {10, 64}, {10, 256}};
+    const double checkpoints[] = {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0,
+                                  20.0};
+
+    TablePrinter t({"Epoch/Batch", "t=.1s", ".25s", ".5s", "1s", "2s",
+                    "5s", "10s", "20s", "final F1", "converged @"});
+    for (const auto &c : configs) {
+        cp::OnlineTrainConfig tc;
+        tc.sampling_rate = 1e-2;
+        tc.epochs = c.epochs;
+        tc.batch = c.batch;
+        tc.max_time_s = 25.0;
+        const auto res = cp::runOnlineTraining(trace, dnn.standardizer,
+                                               dnn.test, tc);
+        std::vector<std::string> row = {std::to_string(c.epochs) + "/" +
+                                        std::to_string(c.batch)};
+        for (double ck : checkpoints) {
+            double f1 = res.curve.front().f1;
+            for (const auto &p : res.curve) {
+                if (p.time_s > ck)
+                    break;
+                f1 = p.f1;
+            }
+            row.push_back(TablePrinter::num(f1 * 100.0, 0));
+        }
+        row.push_back(TablePrinter::num(res.final_f1 * 100.0, 0));
+        row.push_back(TablePrinter::num(res.convergence_time_s, 2) +
+                      " s");
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: the 10-epoch configurations dominate the "
+                 "1-epoch ones, and 10/64 reaches the highest final F1 "
+                 "— the added training time per update is offset by "
+                 "faster convergence.\n";
+    return 0;
+}

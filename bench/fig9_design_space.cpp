@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 9: per-FU area and power for CU configurations across lane
+ * counts {4, 8, 16, 32} and stage counts {2, 3, 4, 6} at fix8.
+ *
+ * The paper's reading: per-FU cost falls as lanes grow (per-CU control
+ * amortizes over more FUs), which is what justifies the 16-lane choice
+ * against the anomaly DNN's widest (12-element) dot products.
+ */
+
+#include <iostream>
+
+#include "area/fu_model.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using taurus::area::FuModel;
+    using taurus::util::TablePrinter;
+
+    const int lanes_sweep[] = {4, 8, 16, 32};
+    const int stages_sweep[] = {2, 3, 4, 6};
+
+    std::cout << "Figure 9a: area per FU (um^2), fix8\n\n";
+    {
+        TablePrinter t({"Lanes", "2 stages", "3 stages", "4 stages",
+                        "6 stages"});
+        for (int lanes : lanes_sweep) {
+            std::vector<std::string> row = {std::to_string(lanes)};
+            for (int stages : stages_sweep)
+                row.push_back(TablePrinter::num(
+                    FuModel::fuAreaUm2(lanes, stages, 8), 0));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nFigure 9b: power per FU (uW at 10% switching), "
+                 "fix8\n\n";
+    {
+        TablePrinter t({"Lanes", "2 stages", "3 stages", "4 stages",
+                        "6 stages"});
+        for (int lanes : lanes_sweep) {
+            std::vector<std::string> row = {std::to_string(lanes)};
+            for (int stages : stages_sweep)
+                row.push_back(TablePrinter::num(
+                    FuModel::fuPowerUw(lanes, stages, 8), 0));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nShape check: every column decreases with lane count "
+                 "(control amortization);\nthe (16, 4) anchor is "
+              << TablePrinter::num(FuModel::fuAreaUm2(16, 4, 8), 0)
+              << " um^2 / "
+              << TablePrinter::num(FuModel::fuPowerUw(16, 4, 8), 0)
+              << " uW (paper: 670 / 456).\n";
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table 1: in-network applications and the reaction timescale each
+ * demands (per-packet / per-flowlet / per-flow / per-microburst).
+ */
+
+#include <iostream>
+
+#include "models/apps.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using taurus::util::TablePrinter;
+
+    std::cout << "Table 1: in-network applications demand fast reaction "
+                 "time\n\n";
+    TablePrinter t({"Application", "Category", "Pkt", "Flowlet", "Flow",
+                    "uburst"});
+    for (const auto &app : taurus::models::table1Registry()) {
+        t.addRow({app.name, app.category,
+                  app.reaction.per_packet ? "x" : "",
+                  app.reaction.per_flowlet ? "x" : "",
+                  app.reaction.per_flow ? "x" : "",
+                  app.reaction.per_microburst ? "x" : ""});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 3: float32 vs fix8 accuracy for the TMC-style IoT traffic
+ * classifiers — the quantization-loss justification for the 8-bit data
+ * path (paper: diffs of -0.05 / -0.07 / -0.02 points).
+ */
+
+#include <iostream>
+
+#include "models/zoo.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using taurus::util::TablePrinter;
+
+    std::cout << "Table 3: accuracy of DNNs for IoT traffic classifiers "
+                 "(float32 vs fix8)\n"
+                 "Paper: 67.06/67.01, 67.02/66.95, 67.04/67.02 "
+                 "(diff <= 0.07)\n\n";
+
+    TablePrinter t({"DNN Kernel", "float32 (%)", "fix8 (%)", "Diff"});
+    for (const auto &kernel : taurus::models::table3Kernels()) {
+        const auto row = taurus::models::trainIotDnn(kernel, 1, 12000);
+        t.addRow({row.kernel, TablePrinter::num(row.float_accuracy),
+                  TablePrinter::num(row.fix8_accuracy),
+                  TablePrinter::num(row.diff())});
+    }
+    t.print(std::cout);
+    std::cout << "\n8-bit quantization costs well under a point of "
+                 "accuracy at a 4x resource saving (Table 4).\n";
+    return 0;
+}

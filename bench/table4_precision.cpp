@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 4: per-FU area and power at the target design (16 lanes, 4
+ * stages) across fixed-point precisions.
+ */
+
+#include <iostream>
+
+#include "area/fu_model.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using taurus::area::FuModel;
+    using taurus::util::TablePrinter;
+
+    std::cout << "Table 4: area and power scaling (per-FU) at 16 lanes "
+                 "x 4 stages\n"
+                 "Paper: fix8 670/456, fix16 1338/887, fix32 2949/2341 "
+                 "(um^2 / uW)\n\n";
+
+    TablePrinter t({"Precision", "Area (um^2)", "Power (uW)"});
+    for (int bits : {8, 16, 32}) {
+        t.addRow({"fix" + std::to_string(bits),
+                  TablePrinter::num(FuModel::fuAreaUm2(16, 4, bits), 0),
+                  TablePrinter::num(FuModel::fuPowerUw(16, 4, bits), 0)});
+    }
+    t.print(std::cout);
+    return 0;
+}

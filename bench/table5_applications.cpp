@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 5: performance and resource overheads of the application models
+ * (KMeans IoT, SVM anomaly, DNN anomaly, Indigo LSTM), compiled onto
+ * the MapReduce grid and measured with the cycle simulator, plus the
+ * full 12x10 grid row.
+ */
+
+#include <iostream>
+
+#include "area/chip.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/report.hpp"
+#include "models/zoo.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "Table 5: performance and resource overheads of "
+                 "application models\n"
+                 "Paper: KMeans 1.0/61/0.3/0.2/177/0.3 | SVM "
+                 "1.0/83/0.6/0.5/395/0.6 | DNN 1.0/221/1.0/0.8/647/1.0 "
+                 "| LSTM -/805/3.0/2.4/1897/2.8 | grid 4.8 mm^2, 3.8%\n\n";
+
+    const auto km = models::trainIotKmeans(1, 3000);
+    const auto svm = models::trainAnomalySvm(1, 3000);
+    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    const auto lstm = models::buildIndigoLstm(1);
+
+    struct AppRow
+    {
+        std::string app;
+        std::string model;
+        const dfg::Graph *graph;
+        bool recurrent;
+    };
+    const AppRow apps[] = {
+        {"IoT", "KMeans", &km.lowered.graph, false},
+        {"Anom.", "SVM", &svm.lowered.graph, false},
+        {"Anom.", "DNN", &dnn.graph, false},
+        {"Indigo", "LSTM", &lstm.graph, true},
+    };
+
+    area::ChipModel chip;
+    TablePrinter t({"App", "Model", "GPkt/s", "ns", "mm^2", "+%", "mW",
+                    "+%"});
+    for (const auto &app : apps) {
+        const auto rep =
+            compiler::analyze(compiler::compile(*app.graph), chip);
+        // A recurrent model's next step waits on (h, c): it is not a
+        // line-rate pipeline, matching the paper's "-" entry.
+        const std::string rate =
+            app.recurrent ? "-" : TablePrinter::num(rep.gpktps);
+        t.addRow({app.app, app.model, rate,
+                  TablePrinter::num(rep.latency_ns, 0),
+                  TablePrinter::num(rep.area_mm2, 1),
+                  TablePrinter::num(rep.area_overhead_pct, 1),
+                  TablePrinter::num(rep.power_w * 1e3, 0),
+                  TablePrinter::num(rep.power_overhead_pct, 1)});
+    }
+
+    const auto grid = chip.fullGridCost();
+    t.addRow({"12x10 Grid", "", "", "",
+              TablePrinter::num(grid.area_mm2, 1),
+              TablePrinter::num(chip.areaOverheadPct(grid.area_mm2), 1),
+              TablePrinter::num(grid.power_w * 1e3, 0),
+              TablePrinter::num(chip.powerOverheadPct(grid.power_w), 1)});
+    t.print(std::cout);
+
+    std::cout << "\nOrdering check: KMeans < SVM < DNN << LSTM latency; "
+                 "all feed-forward models hold 1 GPkt/s line rate.\n";
+    return 0;
+}

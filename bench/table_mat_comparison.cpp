@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Section 5.1.4: MAT-only ML implementations (N2Net BNNs, IIsy SVM /
+ * KMeans) versus Taurus's MapReduce block, in iso-area MAT equivalents.
+ */
+
+#include <iostream>
+
+#include "area/chip.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/report.hpp"
+#include "models/apps.hpp"
+#include "models/zoo.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "Section 5.1.4: MAT-only designs vs Taurus (iso-area "
+                 "MAT equivalents)\n"
+                 "Paper: N2Net needs 48 MATs for the anomaly DNN vs "
+                 "Taurus ~3; IIsy SVM 8 / KMeans 2 vs ~1.\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    const auto svm = models::trainAnomalySvm(1, 3000);
+    const auto km = models::trainIotKmeans(1, 3000);
+
+    area::ChipModel chip;
+    auto mats_for = [&](const dfg::Graph &g) {
+        const auto rep = compiler::analyze(compiler::compile(g), chip);
+        return chip.matEquivalents(rep.area_mm2);
+    };
+    const double mats_dnn = mats_for(dnn.graph);
+    const double mats_svm = mats_for(svm.lowered.graph);
+    const double mats_km = mats_for(km.lowered.graph);
+
+    TablePrinter t({"System", "Model", "MATs used",
+                    "Taurus iso-area MATs", "Ratio"});
+    const auto &designs = models::matOnlyDesigns();
+    const double taurus_mats[] = {mats_dnn, mats_svm, mats_km};
+    for (size_t i = 0; i < designs.size(); ++i) {
+        const auto &d = designs[i];
+        t.addRow({d.system, d.model,
+                  TablePrinter::num(int64_t{d.mats_used}),
+                  TablePrinter::num(taurus_mats[i], 1),
+                  TablePrinter::num(double(d.mats_used) / taurus_mats[i],
+                                    0) +
+                      "x"});
+    }
+    t.print(std::cout);
+
+    const auto grid = chip.fullGridCost();
+    std::cout << "\nThe full provisioned MapReduce block is "
+              << TablePrinter::num(grid.area_mm2, 1) << " mm^2 = "
+              << TablePrinter::num(chip.matEquivalents(grid.area_mm2), 1)
+              << " MAT equivalents per pipeline (paper: ~3 MATs / "
+                 "3.8%).\n";
+    return 0;
+}

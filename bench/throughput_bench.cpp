@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: packets/s
+ * through the cycle simulator and the full TaurusSwitch pipeline. These
+ * measure the *reproduction's* speed (how fast we can simulate), not
+ * the modeled hardware (which is fixed at 1 GPkt/s by construction).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compile.hpp"
+#include "hw/cycle_sim.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "taurus/switch.hpp"
+
+namespace {
+
+using namespace taurus;
+
+const models::AnomalyDnn &
+sharedDnn()
+{
+    static const models::AnomalyDnn dnn = models::trainAnomalyDnn(1, 2000);
+    return dnn;
+}
+
+const std::vector<net::TracePacket> &
+sharedTrace()
+{
+    static const std::vector<net::TracePacket> trace = [] {
+        net::KddConfig cfg;
+        cfg.connections = 4000;
+        net::KddGenerator gen(cfg, 9);
+        return gen.expandToPackets(gen.sampleConnections());
+    }();
+    return trace;
+}
+
+void
+BM_CycleSimDnnInference(benchmark::State &state)
+{
+    const auto &dnn = sharedDnn();
+    const auto prog = compiler::compile(dnn.graph);
+    hw::CycleSim sim(prog);
+    std::vector<int8_t> input(6, 42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.run({input}));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CycleSimDnnInference);
+
+void
+BM_SwitchProcessPacket(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(sharedDnn());
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sw.process(trace[i]));
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SwitchProcessPacket);
+
+void
+BM_ParserOnly(benchmark::State &state)
+{
+    const auto parser = pisa::Parser::standard();
+    const auto pkt = pisa::fromTracePacket(sharedTrace().front());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(parser.parse(pkt));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParserOnly);
+
+void
+BM_FlowTrackerObserve(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    net::FlowTracker tracker;
+    size_t i = 0;
+    for (auto _ : state) {
+        tracker.observe(trace[i]);
+        benchmark::DoNotOptimize(tracker.dnnFeatures());
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowTrackerObserve);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Elastic RSS on MapReduce (Section 3.3.2): "map evaluates cores'
+ * suitability, and reduce selects the closest core". Not ML at all —
+ * this example shows the MapReduce abstraction carrying a non-ML
+ * data-plane application, built directly against the dfg API.
+ *
+ * Each core advertises a target load vector (current queue depth,
+ * cache affinity with the flow's hash, NUMA distance); per packet, the
+ * block computes a distance from the packet's preference vector to
+ * every core and picks the argmin — consistent hashing with load
+ * awareness, one decision per packet.
+ */
+
+#include <iostream>
+
+#include "compiler/compile.hpp"
+#include "compiler/report.hpp"
+#include "dfg/eval.hpp"
+#include "dfg/mapreduce.hpp"
+#include "hw/cycle_sim.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "=== Elastic RSS: packet-to-core scheduling on "
+                 "MapReduce ===\n\n";
+
+    constexpr int kCores = 8;
+    constexpr int kDims = 3; // queue depth, affinity, NUMA distance
+
+    // Build the program with the Figure-4 MapReduce front end: one
+    // squaredDist per core ("map evaluates cores' suitability"), then
+    // argMin over the gathered distances ("reduce selects the closest
+    // core").
+    util::Rng rng(11);
+    dfg::mr::Builder mr("erss");
+    const dfg::mr::Value pkt_pref = mr.input(kDims, "preference");
+    std::vector<dfg::mr::Value> suitability;
+    for (int c = 0; c < kCores; ++c) {
+        std::vector<int8_t> state(kDims);
+        for (auto &v : state)
+            v = static_cast<int8_t>(rng.uniformInt(-40, 40));
+        suitability.push_back(mr.squaredDist(pkt_pref, state));
+    }
+    mr.output(mr.argMin(mr.gatherScalars(suitability)), "core");
+    const dfg::Graph g = mr.build();
+
+    const auto prog = compiler::compile(g);
+    const auto rep = compiler::analyze(prog);
+    std::cout << "Compiled: " << rep.cus << " CUs, "
+              << TablePrinter::num(rep.latency_ns, 0) << " ns, "
+              << rep.gpktps << " GPkt/s — a core decision per packet\n\n";
+
+    // Schedule a synthetic packet stream and report the load split.
+    hw::CycleSim sim(prog);
+    std::vector<int> load(kCores, 0);
+    for (int p = 0; p < 20000; ++p) {
+        std::vector<int8_t> pref(kDims);
+        for (auto &v : pref)
+            v = static_cast<int8_t>(rng.uniformInt(-40, 40));
+        const int core =
+            static_cast<int>(sim.run({pref}).outputs.at(0).lanes.at(0));
+        ++load[static_cast<size_t>(core)];
+    }
+
+    TablePrinter t({"Core", "Packets", "Share %"});
+    for (int c = 0; c < kCores; ++c)
+        t.addRow({std::to_string(c), std::to_string(load[c]),
+                  TablePrinter::num(load[c] / 200.0, 1)});
+    t.print(std::cout);
+
+    std::cout << "\nThe same fabric that runs DNN inference runs this "
+                 "consistent-hashing kernel — the point of a "
+                 "parallel-patterns abstraction over a fixed-function "
+                 "block.\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Count-Min Sketch flow-size estimation on the PISA substrate
+ * (Section 3.3.2 lists CMS among the applications MapReduce/MATs can
+ * host). Built from the library's MAT primitives: hash actions and
+ * stateful register arrays, one row per stage.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "net/kdd.hpp"
+#include "pisa/mat.hpp"
+#include "pisa/packet.hpp"
+#include "pisa/parser.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using namespace taurus::pisa;
+    using util::TablePrinter;
+
+    std::cout << "=== Count-Min Sketch on MAT registers ===\n\n";
+
+    constexpr int kRows = 3;
+    constexpr uint32_t kCols = 4096;
+
+    // One MAT stage per CMS row: hash the 5-tuple with a per-row salt
+    // (xor into the hash input via Tmp fields), then RegAdd the packet
+    // into that row's counters.
+    RegisterFile regs;
+    MatPipeline pipe;
+    int row_arrays[kRows];
+    for (int r = 0; r < kRows; ++r) {
+        row_arrays[r] = regs.addArray("cms_row" + std::to_string(r),
+                                      kCols);
+        MatStage st("cms" + std::to_string(r), MatchKind::Exact,
+                    {Field::EthType});
+        Action count;
+        count.name = "count";
+        count.instrs = {
+            // Salt the flow hash by perturbing a scratch copy of the
+            // source port (distinct hash functions per row).
+            {ActionOp::Set, Field::Tmp0, Src::FieldSrc, Field::L4Sport,
+             0, 0, -1, Field::Tmp0},
+            {ActionOp::HashFlow, Field::FlowHash, Src::Imm, Field::Tmp0,
+             kCols, 0, -1, Field::Tmp0},
+            {ActionOp::Xor, Field::FlowHash, Src::Imm, Field::Tmp0,
+             static_cast<uint32_t>(r) * 0x9e37u, 0, -1, Field::Tmp0},
+            {ActionOp::And, Field::FlowHash, Src::Imm, Field::Tmp0,
+             kCols - 1, 0, -1, Field::Tmp0},
+            {ActionOp::RegAdd, Field::Tmp1, Src::Imm, Field::Tmp0, 1, 0,
+             row_arrays[r], Field::FlowHash},
+            // Running min across rows lands in Tmp2.
+            {ActionOp::Min, Field::Tmp2, Src::FieldSrc, Field::Tmp1, 0,
+             0, -1, Field::Tmp0},
+        };
+        const int a = st.addAction(std::move(count));
+        st.addEntry({{kEtherTypeIpv4}, {}, 0, 0, a, {}});
+        pipe.addStage(std::move(st));
+    }
+    if (const auto err = pipe.validate(); !err.empty()) {
+        std::cerr << "pipeline invalid: " << err << "\n";
+        return 1;
+    }
+
+    // Drive a KDD trace through the sketch and track exact counts.
+    net::KddConfig cfg;
+    cfg.connections = 8000;
+    net::KddGenerator gen(cfg, 13);
+    const auto trace = gen.expandToPackets(gen.sampleConnections());
+    const auto parser = Parser::standard();
+
+    std::unordered_map<uint64_t, uint32_t> exact;
+    std::unordered_map<uint64_t, uint32_t> estimate;
+    for (const auto &tp : trace) {
+        Phv phv = parser.parse(fromTracePacket(tp));
+        phv.set(Field::Tmp2, 0xffffffffu); // min identity
+        pipe.apply(phv, regs);
+        const uint64_t key = tp.flow.hash();
+        ++exact[key];
+        estimate[key] = phv.get(Field::Tmp2); // CMS read-after-update
+    }
+
+    // Score estimation error over the heaviest flows.
+    std::vector<std::pair<uint32_t, uint64_t>> heavy;
+    for (const auto &[key, count] : exact)
+        heavy.emplace_back(count, key);
+    std::sort(heavy.rbegin(), heavy.rend());
+
+    TablePrinter t({"Flow rank", "Exact", "CMS estimate", "Error %"});
+    double total_rel_err = 0.0;
+    int scored = 0;
+    for (size_t i = 0; i < heavy.size() && i < 8; ++i) {
+        const auto [count, key] = heavy[i];
+        const uint32_t est = estimate[key];
+        const double err = 100.0 * (double(est) - count) / count;
+        total_rel_err += err;
+        ++scored;
+        t.addRow({std::to_string(i + 1), std::to_string(count),
+                  std::to_string(est), TablePrinter::num(err, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n" << trace.size() << " packets, " << exact.size()
+              << " flows, " << kRows << "x" << kCols
+              << " counters; CMS never underestimates, and heavy flows "
+                 "see mean overestimate "
+              << TablePrinter::num(total_rel_err / scored, 2) << "%.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: train the anomaly-detection DNN, install it into a Taurus
+ * switch, and make per-packet decisions at nanosecond latency.
+ *
+ * This is the 60-second tour of the library: the model zoo trains and
+ * quantizes a model, the compiler places it on the MapReduce grid, and
+ * TaurusSwitch runs the full Figure-6 pipeline per packet.
+ */
+
+#include <iostream>
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "taurus/switch.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+
+    // 1. Train + quantize + lower the anomaly DNN (6-12-6-3-1) on a
+    //    synthetic NSL-KDD-style workload.
+    std::cout << "Training the anomaly-detection DNN...\n";
+    const models::AnomalyDnn dnn = models::trainAnomalyDnn(/*seed=*/1);
+    std::cout << "  offline F1 (quantized, held-out): "
+              << dnn.quant_test.f1 << "\n"
+              << "  weight footprint: " << dnn.quantized.weightBytes()
+              << " bytes\n";
+
+    // 2. Install it into a Taurus switch: the compiler places the
+    //    dataflow graph on the 12x10 CU/MU grid, and the preprocessing
+    //    MATs are programmed from the model's feature transform.
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(dnn);
+    std::cout << "\nInstalled on the MapReduce grid: "
+              << sw.program().cusUsed() << " CUs, "
+              << sw.program().musUsed() << " MUs\n"
+              << "  ML-path latency:     " << sw.mlPathLatencyNs()
+              << " ns\n"
+              << "  bypass-path latency: " << sw.bypassPathLatencyNs()
+              << " ns\n";
+
+    // 3. Push traffic through it.
+    net::KddConfig cfg;
+    cfg.connections = 2000;
+    net::KddGenerator gen(cfg, /*seed=*/7);
+    const auto trace = gen.expandToPackets(gen.sampleConnections());
+
+    uint64_t flagged = 0, anomalous = 0;
+    for (const auto &pkt : trace) {
+        const core::SwitchDecision d = sw.process(pkt);
+        flagged += d.flagged;
+        anomalous += pkt.anomalous;
+    }
+    std::cout << "\nProcessed " << trace.size() << " packets: flagged "
+              << flagged << " (ground truth anomalous: " << anomalous
+              << ")\n";
+    std::cout << "Every decision was made per-packet, in "
+              << sw.mlPathLatencyNs()
+              << " ns — no control-plane round trip.\n";
+    return 0;
+}

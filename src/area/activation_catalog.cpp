@@ -1,0 +1,56 @@
+#include "area/activation_catalog.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "area/cacti_lite.hpp"
+#include "area/fu_model.hpp"
+#include "util/stats.hpp"
+
+namespace taurus::area {
+
+int
+ActivationImpl::cusNeeded(int stages) const
+{
+    return std::max<int>(min_cus,
+                         static_cast<int>(util::ceilDiv(map_ops,
+                                                        stages)));
+}
+
+double
+ActivationImpl::areaMm2(int lanes, int stages, int precision_bits) const
+{
+    return cusNeeded(stages) *
+               FuModel::cuAreaMm2(lanes, stages, precision_bits) +
+           luts * CactiLite::muAreaMm2();
+}
+
+const std::vector<ActivationImpl> &
+activationCatalog()
+{
+    // Map-op counts per implementation; chosen so the 4-stage line-rate
+    // areas reproduce Table 6 (ReLU 0.04, TanhPW 0.13, SigmoidPW 0.17,
+    // TanhExp 0.26, SigmoidExp 0.31, ActLUT 0.12 mm^2).
+    static const std::vector<ActivationImpl> catalog = {
+        {"ReLU", 1, 0, false},
+        {"LeakyReLU", 2, 0, false},
+        {"TanhExp", 22, 0, true},
+        {"SigmoidExp", 26, 0, true},
+        {"TanhPW", 10, 0, false},
+        {"SigmoidPW", 14, 0, false},
+        {"ActLUT", 2, 1, false, 2},
+    };
+    return catalog;
+}
+
+const ActivationImpl &
+activationImpl(const std::string &name)
+{
+    for (const auto &impl : activationCatalog())
+        if (impl.name == name)
+            return impl;
+    throw std::invalid_argument("unknown activation impl: " + name);
+}
+
+} // namespace taurus::area

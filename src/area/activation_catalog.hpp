@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Catalog of activation-function implementations (Figure 10 / Table 6).
+ *
+ * Each activation has one or more hardware realizations with a known map-op
+ * count and optional lookup table:
+ *   - ReLU / Leaky ReLU: one or two map ops, no LUT;
+ *   - *Exp: Taylor-series expansions (longest op chains);
+ *   - *PW: piecewise-linear approximations (shorter chains);
+ *   - ActLUT: a pre/post scale pair around an MU table lookup.
+ *
+ * A chain of k map ops on CUs with s stages occupies ceil(k/s) CUs; the
+ * line-rate area for a given stage count follows directly (Figure 10).
+ * The op counts are the single source of truth shared with the model
+ * builders, so the Table 6 microbenchmarks and this catalog agree.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace taurus::area {
+
+/** One activation implementation variant. */
+struct ActivationImpl
+{
+    std::string name;
+    int map_ops = 1;     ///< elementwise map operations in the chain
+    int luts = 0;        ///< MU-resident lookup tables
+    bool uses_reduce = false; ///< needs a dot (e.g. polynomial eval)
+    /** Minimum CUs regardless of depth: an MU lookup between map ops
+     *  splits the chain across CUs (the ActLUT pre/post scale pair). */
+    int min_cus = 1;
+
+    /** CUs needed at line rate with `stages`-deep CUs. */
+    int cusNeeded(int stages) const;
+    /** Block area in mm^2 at line rate for the given CU geometry. */
+    double areaMm2(int lanes, int stages, int precision_bits) const;
+};
+
+/** All Figure-10 variants, in the paper's order. */
+const std::vector<ActivationImpl> &activationCatalog();
+
+/** Lookup by name ("ReLU", "SigmoidPW", ...); throws if unknown. */
+const ActivationImpl &activationImpl(const std::string &name);
+
+} // namespace taurus::area

@@ -1,0 +1,45 @@
+#include "area/cacti_lite.hpp"
+
+#include <cassert>
+
+namespace taurus::area {
+
+namespace {
+
+// 15 nm-class bitcell footprint (um^2/bit) and per-bank periphery
+// (um^2), calibrated to the paper's MU anchor: 16 banks x 1024 x 8 b =
+// 0.029 mm^2.
+constexpr double kBitcellUm2 = 0.135;
+constexpr double kBankPeripheryUm2 = 706.6;
+
+// Read energy per 8-bit access (pJ) and leakage per KB (mW), small-array
+// 15 nm estimates.
+constexpr double kReadEnergyPj = 0.45;
+constexpr double kLeakageMwPerKb = 0.08;
+
+} // namespace
+
+double
+CactiLite::sramAreaMm2(int banks, int entries, int width_bits)
+{
+    assert(banks > 0 && entries > 0 && width_bits > 0);
+    const double bits_per_bank =
+        static_cast<double>(entries) * width_bits;
+    const double bank_um2 = bits_per_bank * kBitcellUm2 +
+                            kBankPeripheryUm2;
+    return banks * bank_um2 * 1e-6;
+}
+
+double
+CactiLite::sramPowerW(int banks, int entries, int width_bits,
+                      double reads_per_cycle, double clock_ghz)
+{
+    const double kb = static_cast<double>(banks) * entries * width_bits /
+                      8.0 / 1024.0;
+    const double leak_w = kb * kLeakageMwPerKb * 1e-3;
+    const double dyn_w = reads_per_cycle * clock_ghz *
+                         (kReadEnergyPj * width_bits / 8.0) * 1e-3;
+    return leak_w + dyn_w;
+}
+
+} // namespace taurus::area

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CACTI-lite: a small SRAM area/power model standing in for CACTI 7.0
+ * (which the paper uses for MU bank estimation).
+ *
+ * Functional form: per-bank area = bits * bitcell + fixed periphery
+ * (decoder, sense amps, output drivers). Calibrated so the paper's MU —
+ * 16 banks x 1024 entries x 8 bits — lands at 0.029 mm^2 including
+ * routing (Section 5.1.1).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace taurus::area {
+
+/** Banked-SRAM area/power estimates at the 15 nm node. */
+class CactiLite
+{
+  public:
+    /** Area of a banked SRAM in mm^2. */
+    static double sramAreaMm2(int banks, int entries, int width_bits);
+
+    /** Power in W: leakage plus read energy at the given activity. */
+    static double sramPowerW(int banks, int entries, int width_bits,
+                             double reads_per_cycle, double clock_ghz);
+
+    /** The paper's MU configuration. */
+    static double muAreaMm2() { return sramAreaMm2(16, 1024, 8); }
+    /** MU power at a nominal one-read-per-cycle streaming rate. */
+    static double muPowerW() { return sramPowerW(16, 1024, 8, 1.0, 1.0); }
+};
+
+} // namespace taurus::area

@@ -1,0 +1,79 @@
+#include "area/chip.hpp"
+
+#include "area/cacti_lite.hpp"
+#include "area/fu_model.hpp"
+
+namespace taurus::area {
+
+ChipModel::ChipModel(hw::GridSpec spec, BaselineChip base)
+    : spec_(spec), base_(base)
+{
+}
+
+double
+ChipModel::cuAreaMm2() const
+{
+    return FuModel::cuAreaMm2(spec_.lanes, spec_.stages,
+                              spec_.mu_width_bits);
+}
+
+double
+ChipModel::cuPowerW() const
+{
+    return FuModel::cuPowerW(spec_.lanes, spec_.stages,
+                             spec_.mu_width_bits);
+}
+
+double
+ChipModel::muAreaMm2() const
+{
+    return CactiLite::sramAreaMm2(spec_.mu_banks, spec_.mu_entries,
+                                  spec_.mu_width_bits);
+}
+
+double
+ChipModel::muPowerW() const
+{
+    return CactiLite::sramPowerW(spec_.mu_banks, spec_.mu_entries,
+                                 spec_.mu_width_bits, 1.0,
+                                 spec_.clock_ghz);
+}
+
+BlockCost
+ChipModel::unitCost(int cus, int mus) const
+{
+    BlockCost c;
+    c.cus = cus;
+    c.mus = mus;
+    c.area_mm2 = cus * cuAreaMm2() + mus * muAreaMm2();
+    c.power_w = cus * cuPowerW() + mus * muPowerW();
+    return c;
+}
+
+BlockCost
+ChipModel::fullGridCost() const
+{
+    BlockCost c = unitCost(spec_.cuCount(), spec_.muCount());
+    c.power_w *= kGridActivityFactor;
+    return c;
+}
+
+double
+ChipModel::areaOverheadPct(double block_area_mm2) const
+{
+    return 100.0 * base_.pipelines * block_area_mm2 / base_.area_mm2;
+}
+
+double
+ChipModel::powerOverheadPct(double block_power_w) const
+{
+    return 100.0 * base_.pipelines * block_power_w / base_.power_w;
+}
+
+double
+ChipModel::matEquivalents(double block_area_mm2) const
+{
+    return block_area_mm2 / base_.matAreaMm2();
+}
+
+} // namespace taurus::area

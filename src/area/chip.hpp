@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Grid and chip-level area/power roll-ups.
+ *
+ * Baseline switch: a 500 mm^2, 270 W chip with 4 reconfigurable PISA
+ * pipelines of 32 MATs each, with MATs occupying 50% of chip area
+ * (Section 5.1.1 and 5.1.4, refs [65, 86]). Taurus adds one MapReduce
+ * block per pipeline; overheads are reported against this baseline, and
+ * iso-area cost is expressed in MAT equivalents.
+ */
+
+#pragma once
+
+#include "hw/grid.hpp"
+
+namespace taurus::area {
+
+/** The commercial baseline switch the paper normalizes against. */
+struct BaselineChip
+{
+    double area_mm2 = 500.0;
+    double power_w = 270.0;
+    int pipelines = 4;
+    int mats_per_pipeline = 32;
+    double mat_area_fraction = 0.5; ///< MATs take 50% of chip area
+
+    double matAreaMm2() const
+    {
+        return area_mm2 * mat_area_fraction /
+               (static_cast<double>(pipelines) * mats_per_pipeline);
+    }
+};
+
+/** Area/power summary for one MapReduce block or a subset of its units. */
+struct BlockCost
+{
+    int cus = 0;
+    int mus = 0;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+};
+
+/** Roll-up model for MapReduce blocks on the baseline chip. */
+class ChipModel
+{
+  public:
+    explicit ChipModel(hw::GridSpec spec = {}, BaselineChip base = {});
+
+    /** Cost of `cus` CUs + `mus` MUs at full compute activity. */
+    BlockCost unitCost(int cus, int mus) const;
+
+    /**
+     * Cost of the full provisioned grid. Power applies the average
+     * activity/clock-gating factor (unused stages and idle units gate
+     * their clocks), calibrated so the full 12x10 grid matches the
+     * paper's 2.8% chip power overhead.
+     */
+    BlockCost fullGridCost() const;
+
+    /** Chip-relative area overhead (%) of one block per pipeline. */
+    double areaOverheadPct(double block_area_mm2) const;
+    /** Chip-relative power overhead (%) of one block per pipeline. */
+    double powerOverheadPct(double block_power_w) const;
+
+    /** MAT equivalents of a block area (iso-area comparison, 5.1.4). */
+    double matEquivalents(double block_area_mm2) const;
+
+    double cuAreaMm2() const;
+    double cuPowerW() const;
+    double muAreaMm2() const;
+    double muPowerW() const;
+
+    const hw::GridSpec &spec() const { return spec_; }
+    const BaselineChip &baseline() const { return base_; }
+
+  private:
+    hw::GridSpec spec_;
+    BaselineChip base_;
+};
+
+/** Average activity factor of a fully provisioned (partly idle) grid. */
+constexpr double kGridActivityFactor = 0.70;
+
+} // namespace taurus::area

@@ -1,0 +1,81 @@
+#include "area/fu_model.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace taurus::area {
+
+namespace {
+
+// Datapath fraction of the per-FU cost at the (16, 4) anchor; the
+// remaining 32% is per-CU control amortized over the FUs.
+constexpr double kDatapathFraction = 0.68;
+// Control cost model: control(stages) = (c0 + c1 * stages) * anchor.
+// Chosen so the control share at the anchor is exactly 32%:
+// (c0 + 4*c1) / (16*4) = 0.32.
+constexpr double kControlBase = 6.152;
+constexpr double kControlPerStage = 3.582;
+
+} // namespace
+
+double
+FuModel::anchorAreaUm2(int precision_bits)
+{
+    switch (precision_bits) {
+      case 8: return 670.0;
+      case 16: return 1338.0;
+      case 32: return 2949.0;
+      default:
+        throw std::invalid_argument("precision must be 8, 16, or 32");
+    }
+}
+
+double
+FuModel::anchorPowerUw(int precision_bits)
+{
+    switch (precision_bits) {
+      case 8: return 456.0;
+      case 16: return 887.0;
+      case 32: return 2341.0;
+      default:
+        throw std::invalid_argument("precision must be 8, 16, or 32");
+    }
+}
+
+double
+FuModel::scale(int lanes, int stages)
+{
+    assert(lanes > 0 && stages > 0);
+    return kDatapathFraction +
+           (kControlBase + kControlPerStage * stages) /
+               (static_cast<double>(lanes) * stages);
+}
+
+double
+FuModel::fuAreaUm2(int lanes, int stages, int precision_bits)
+{
+    return anchorAreaUm2(precision_bits) * scale(lanes, stages);
+}
+
+double
+FuModel::fuPowerUw(int lanes, int stages, int precision_bits)
+{
+    return anchorPowerUw(precision_bits) * scale(lanes, stages);
+}
+
+double
+FuModel::cuAreaMm2(int lanes, int stages, int precision_bits)
+{
+    const double fus = static_cast<double>(lanes) * stages;
+    return fus * fuAreaUm2(lanes, stages, precision_bits) * 1e-6 *
+           kCuRoutingFactor;
+}
+
+double
+FuModel::cuPowerW(int lanes, int stages, int precision_bits)
+{
+    const double fus = static_cast<double>(lanes) * stages;
+    return fus * fuPowerUw(lanes, stages, precision_bits) * 1e-6;
+}
+
+} // namespace taurus::area

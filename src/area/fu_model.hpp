@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Functional-unit and compute-unit area/power model.
+ *
+ * The paper synthesizes the design with FreePDK15 (a predictive 15 nm
+ * standard-cell library). We replace synthesis with an analytic model
+ * anchored exactly at the paper's published data points:
+ *
+ *  - Table 4: per-FU area/power at the final (16-lane, 4-stage) design:
+ *    fix8 670 um^2 / 456 uW, fix16 1338 / 887, fix32 2949 / 2341.
+ *  - Section 5.1.1: the final CU is 0.044 mm^2 including routing
+ *    ("680 um^2 per FU, on average").
+ *
+ * The lane/stage sweep (Figure 9) follows the paper's stated mechanism:
+ * per-FU cost = datapath + (per-CU control amortized over lanes*stages),
+ * so "raw area efficiency (area per FU) increases with the number of
+ * lanes". The datapath/control split (68% / 32% at the anchor) and the
+ * per-stage control slope are free parameters of the reproduction,
+ * documented in DESIGN.md.
+ */
+
+#pragma once
+
+namespace taurus::area {
+
+/** Per-FU and per-CU area/power as functions of the CU configuration. */
+class FuModel
+{
+  public:
+    /** Area of one FU in um^2 for a CU with `lanes` x `stages`. */
+    static double fuAreaUm2(int lanes, int stages, int precision_bits);
+
+    /** Average power of one FU in uW (10% switching activity). */
+    static double fuPowerUw(int lanes, int stages, int precision_bits);
+
+    /** Whole-CU area in mm^2, including routing resources. */
+    static double cuAreaMm2(int lanes, int stages, int precision_bits);
+
+    /** Whole-CU power in W at full activity. */
+    static double cuPowerW(int lanes, int stages, int precision_bits);
+
+    /** The anchor values from Table 4 (valid precisions: 8, 16, 32). */
+    static double anchorAreaUm2(int precision_bits);
+    static double anchorPowerUw(int precision_bits);
+
+  private:
+    /**
+     * Lane/stage scale factor, exactly 1.0 at the (16, 4) anchor:
+     * datapath fraction + control(stages) / (lanes * stages).
+     */
+    static double scale(int lanes, int stages);
+};
+
+/** Routing overhead multiplier for a placed CU (0.044 / (64 * 670e-6)). */
+constexpr double kCuRoutingFactor = 1.0261;
+
+} // namespace taurus::area

@@ -1,0 +1,356 @@
+#include "compiler/compile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace taurus::compiler {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeKind;
+using hw::Coord;
+using hw::GridSpec;
+using hw::UnitKind;
+
+namespace {
+
+bool
+isDotLike(const Node &n)
+{
+    return n.kind == NodeKind::DotRow || n.kind == NodeKind::PartialDot ||
+           n.kind == NodeKind::SquaredDist;
+}
+
+/** Longest-path depth of every node (topological levels). */
+std::vector<int>
+nodeLevels(const Graph &g)
+{
+    std::vector<int> level(g.nodes().size(), 0);
+    for (int id : g.topoOrder()) {
+        const Node &n = g.node(id);
+        int l = 0;
+        for (int pred : n.inputs)
+            l = std::max(l, level[static_cast<size_t>(pred)] + 1);
+        level[static_cast<size_t>(id)] = l;
+    }
+    return level;
+}
+
+/** A group of nodes sharing one CU slot (lane packing). */
+struct CuSlot
+{
+    std::vector<int> nodes;
+    int lanes_used = 0;
+    int level = 0;
+};
+
+struct CoordLess
+{
+    bool
+    operator()(const Coord &a, const Coord &b) const
+    {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    }
+};
+
+} // namespace
+
+hw::GridProgram
+compile(const dfg::Graph &graph, const Options &opts)
+{
+    const std::string gerr = graph.validate();
+    if (!gerr.empty())
+        throw std::invalid_argument("compile: invalid graph: " + gerr);
+
+    const GridSpec &spec = opts.spec;
+    hw::GridProgram prog;
+    prog.graph = graph;
+    prog.spec = spec;
+    prog.timing = opts.timing;
+    prog.place.assign(graph.nodes().size(), Coord{0, 0});
+
+    const std::vector<int> level = nodeLevels(graph);
+    int max_level = 1;
+    for (int l : level)
+        max_level = std::max(max_level, l);
+
+    // ---- Step 1: build CU slots with optional lane packing. ----
+    // Pack dot-like ops that read the same input signature and belong to
+    // the same layer (label prefix before '/'), greedily filling lanes.
+    std::vector<CuSlot> slots;
+    std::map<std::string, std::vector<int>> pack_bins;
+
+    auto labelPrefix = [](const std::string &s) {
+        const size_t pos = s.find('/');
+        return pos == std::string::npos ? s : s.substr(0, pos);
+    };
+
+    for (const auto &n : graph.nodes()) {
+        if (!dfg::Graph::isCuOp(n))
+            continue;
+        const int in_w =
+            n.inputs.empty() ? n.width : graph.node(n.inputs[0]).width;
+        if (opts.enable_packing && isDotLike(n) &&
+            in_w * 2 <= spec.lanes) {
+            // Signature: same source vector + same layer.
+            std::string sig = labelPrefix(n.label);
+            for (int in : n.inputs)
+                sig += ":" + std::to_string(in);
+            auto &bin = pack_bins[sig];
+            bool packed = false;
+            for (int slot_idx : bin) {
+                if (slots[static_cast<size_t>(slot_idx)].lanes_used + in_w
+                    <= spec.lanes) {
+                    slots[static_cast<size_t>(slot_idx)].nodes.push_back(
+                        n.id);
+                    slots[static_cast<size_t>(slot_idx)].lanes_used += in_w;
+                    packed = true;
+                    break;
+                }
+            }
+            if (!packed) {
+                CuSlot s;
+                s.nodes = {n.id};
+                s.lanes_used = in_w;
+                s.level = level[static_cast<size_t>(n.id)];
+                bin.push_back(static_cast<int>(slots.size()));
+                slots.push_back(std::move(s));
+            }
+        } else {
+            CuSlot s;
+            s.nodes = {n.id};
+            s.lanes_used = in_w;
+            s.level = level[static_cast<size_t>(n.id)];
+            slots.push_back(std::move(s));
+        }
+    }
+
+    // ---- Step 2: folding decision. ----
+    const auto cu_coords = spec.unitsOfKind(UnitKind::Cu);
+    const auto mu_coords = spec.unitsOfKind(UnitKind::Mu);
+    const int n_slots = static_cast<int>(slots.size());
+    int contexts = 1;
+    if (n_slots > static_cast<int>(cu_coords.size())) {
+        // Fold as deep as allowed: time-multiplexed designs trade
+        // throughput for area (the Indigo LSTM case, Table 5).
+        contexts = opts.max_contexts_per_cu;
+        prog.serialize_sharing = true;
+    }
+    const int cus_needed =
+        static_cast<int>(util::ceilDiv(n_slots, contexts));
+    if (cus_needed > static_cast<int>(cu_coords.size()))
+        throw std::invalid_argument(
+            "compile: graph needs " + std::to_string(cus_needed) +
+            " CUs, grid has " + std::to_string(cu_coords.size()));
+
+    // ---- Step 3: placement. ----
+    // Column target proportional to topological level; row target follows
+    // the centroid of already-placed producers.
+    std::set<Coord, CoordLess> free_cus(cu_coords.begin(), cu_coords.end());
+    std::set<Coord, CoordLess> free_mus(mu_coords.begin(), mu_coords.end());
+    std::map<Coord, int, CoordLess> cu_contexts; // used context count
+
+    const Coord ingress = spec.ingress();
+    const Coord egress = spec.egress();
+
+    auto targetFor = [&](int lvl, double row_hint) {
+        Coord t;
+        t.col = max_level <= 1
+                    ? 0
+                    : static_cast<int>((spec.cols - 1) *
+                                       (static_cast<double>(lvl) /
+                                        max_level));
+        t.row = static_cast<int>(row_hint);
+        t.row = std::clamp(t.row, 0, spec.rows - 1);
+        t.col = std::clamp(t.col, 0, spec.cols - 1);
+        return t;
+    };
+
+    auto nearest = [&](std::set<Coord, CoordLess> &pool, Coord target,
+                       bool allow_reuse_cu) -> Coord {
+        // Prefer a fresh unit nearest the target; when folding, allow
+        // reusing a CU that still has context slots.
+        Coord best{-1, -1};
+        int best_d = 1 << 30;
+        for (const auto &c : pool) {
+            const int d = hw::manhattan(c, target);
+            if (d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        if (allow_reuse_cu) {
+            for (auto &[c, used] : cu_contexts) {
+                if (used < contexts && pool.count(c) == 0) {
+                    const int d = hw::manhattan(c, target);
+                    if (d < best_d) {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+            }
+        }
+        return best;
+    };
+
+    auto producersRow = [&](const std::vector<int> &node_ids) {
+        double sum = 0;
+        int count = 0;
+        for (int id : node_ids) {
+            for (int pred : graph.node(id).inputs) {
+                const Coord p = prog.place[static_cast<size_t>(pred)];
+                if (p.col >= 0) {
+                    sum += p.row;
+                    ++count;
+                }
+            }
+        }
+        return count == 0 ? spec.rows / 2.0 : sum / count;
+    };
+
+    // Place in topological order of each slot's first node.
+    std::vector<int> slot_order(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i)
+        slot_order[i] = static_cast<int>(i);
+    std::sort(slot_order.begin(), slot_order.end(), [&](int a, int b) {
+        return slots[static_cast<size_t>(a)].nodes.front() <
+               slots[static_cast<size_t>(b)].nodes.front();
+    });
+
+    // First pass: inputs/outputs/concats per topological order; slots and
+    // lookups interleaved by walking node ids in order.
+    std::map<int, int> node_slot; // node id -> slot index
+    for (size_t si = 0; si < slots.size(); ++si)
+        for (int id : slots[si].nodes)
+            node_slot[id] = static_cast<int>(si);
+    std::vector<bool> slot_placed(slots.size(), false);
+
+    for (int id : graph.topoOrder()) {
+        const Node &n = graph.node(id);
+        switch (n.kind) {
+          case NodeKind::Input:
+            prog.place[static_cast<size_t>(id)] = ingress;
+            break;
+          case NodeKind::Output:
+            prog.place[static_cast<size_t>(id)] = egress;
+            break;
+          case NodeKind::Concat: {
+            // Virtual gather point at the producer centroid.
+            double rsum = 0, csum = 0;
+            for (int pred : n.inputs) {
+                rsum += prog.place[static_cast<size_t>(pred)].row;
+                csum += prog.place[static_cast<size_t>(pred)].col;
+            }
+            Coord c;
+            c.row = static_cast<int>(rsum / n.inputs.size());
+            c.col = static_cast<int>(csum / n.inputs.size());
+            prog.place[static_cast<size_t>(id)] = c;
+            break;
+          }
+          case NodeKind::Lookup: {
+            const Coord t = targetFor(level[static_cast<size_t>(id)],
+                                      producersRow({id}));
+            const Coord c = nearest(free_mus, t, false);
+            if (c.row < 0)
+                throw std::invalid_argument(
+                    "compile: out of MUs for lookups");
+            free_mus.erase(c);
+            prog.place[static_cast<size_t>(id)] = c;
+            break;
+          }
+          default: {
+            // CU op: place its whole slot on first encounter.
+            const int si = node_slot.at(id);
+            if (slot_placed[static_cast<size_t>(si)]) {
+                prog.place[static_cast<size_t>(id)] =
+                    prog.place[static_cast<size_t>(
+                        slots[static_cast<size_t>(si)].nodes.front())];
+                break;
+            }
+            const auto &slot = slots[static_cast<size_t>(si)];
+            const Coord t =
+                targetFor(slot.level, producersRow(slot.nodes));
+            // Once the folded-CU budget is reached, only reuse contexts.
+            const int distinct_used = static_cast<int>(cu_contexts.size());
+            Coord c;
+            if (prog.serialize_sharing && distinct_used >= cus_needed) {
+                std::set<Coord, CoordLess> empty_pool;
+                c = nearest(empty_pool, t, true);
+            } else {
+                c = nearest(free_cus, t, prog.serialize_sharing);
+            }
+            if (c.row < 0)
+                throw std::invalid_argument("compile: out of CUs");
+            if (free_cus.count(c))
+                free_cus.erase(c);
+            ++cu_contexts[c];
+            for (int nid : slot.nodes)
+                prog.place[static_cast<size_t>(nid)] = c;
+            slot_placed[static_cast<size_t>(si)] = true;
+            break;
+          }
+        }
+    }
+
+    // ---- Step 4: weight MUs. ----
+    // Dot-like CUs stream weights from nearby MUs: bounded readers per MU
+    // and bounded bytes per MU.
+    std::set<Coord, CoordLess> weight_readers;
+    size_t weight_bytes = 0;
+    for (const auto &n : graph.nodes()) {
+        if (isDotLike(n) && !n.weights.empty()) {
+            weight_readers.insert(prog.place[static_cast<size_t>(n.id)]);
+            weight_bytes += n.weightBytes();
+        }
+    }
+    int mus_for_weights = 0;
+    // A small constant tensor fits in a CU's configuration registers
+    // (Plasticine-style immediates), so single-dot microbenchmarks take
+    // one CU and no MU (the Table 6 inner-product operating point).
+    constexpr size_t kCuConfigWeightBytes = 32;
+    if (!weight_readers.empty() && weight_bytes > kCuConfigWeightBytes) {
+        const int by_readers = static_cast<int>(
+            util::ceilDiv(static_cast<int64_t>(weight_readers.size()),
+                          opts.readers_per_weight_mu));
+        const int by_capacity = static_cast<int>(util::ceilDiv(
+            static_cast<int64_t>(weight_bytes),
+            static_cast<int64_t>(spec.muCapacityBytes())));
+        mus_for_weights = std::max(by_readers, by_capacity);
+    }
+    // Allocate them nearest the centroid of the readers.
+    if (mus_for_weights > 0) {
+        double rsum = 0, csum = 0;
+        for (const auto &c : weight_readers) {
+            rsum += c.row;
+            csum += c.col;
+        }
+        Coord centroid;
+        centroid.row = static_cast<int>(rsum / weight_readers.size());
+        centroid.col = static_cast<int>(csum / weight_readers.size());
+        for (int i = 0; i < mus_for_weights; ++i) {
+            const Coord c = nearest(free_mus, centroid, false);
+            if (c.row < 0)
+                throw std::invalid_argument(
+                    "compile: out of MUs for weights");
+            free_mus.erase(c);
+            prog.weight_mus.push_back(c);
+        }
+    }
+
+    if (graph.loop)
+        prog.ii_multiplier = graph.loop->iiMultiplier();
+
+    const std::string perr = prog.validate();
+    if (!perr.empty())
+        throw std::logic_error("compile: produced invalid program: " +
+                               perr);
+    return prog;
+}
+
+} // namespace taurus::compiler

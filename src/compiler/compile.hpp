@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Place-and-route: dataflow graphs -> GridPrograms.
+ *
+ * Implements the back half of the Taurus compiler (Section 4):
+ *  - packing: multiple narrow dot-like nodes that read the same source
+ *    vector share one CU's lanes (the stage-3 sparse reduction of
+ *    Figure 8), reducing CU count for narrow layers;
+ *  - folding: when a graph needs more CU slots than the grid provides
+ *    (the Indigo LSTM), slots are time-multiplexed onto physical CUs
+ *    with a bounded number of contexts per CU;
+ *  - placement: topological levels map to grid columns; units within a
+ *    level are placed nearest the row of their producers to keep routes
+ *    short;
+ *  - weight MUs: weight tensors are assigned to MUs near their reader
+ *    CUs, bounded by per-MU reader bandwidth and capacity.
+ */
+
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "hw/program.hpp"
+
+namespace taurus::compiler {
+
+/** Compiler knobs (defaults reproduce the paper's final configuration). */
+struct Options
+{
+    hw::GridSpec spec;
+    hw::TimingSpec timing;
+
+    /** Lane-pack narrow dot ops that share a source vector. */
+    bool enable_packing = true;
+    /** Max time-multiplexed contexts per CU when folding. */
+    int max_contexts_per_cu = 8;
+    /** Max dot-op reader CUs streaming from one weight MU. */
+    int readers_per_weight_mu = 8;
+};
+
+/** Compile a graph to a placed program; throws on infeasible graphs. */
+hw::GridProgram compile(const dfg::Graph &graph, const Options &opts = {});
+
+} // namespace taurus::compiler

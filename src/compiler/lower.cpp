@@ -1,0 +1,522 @@
+#include "compiler/lower.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.hpp"
+
+namespace taurus::compiler {
+
+using dfg::Graph;
+using dfg::MapFn;
+using dfg::Node;
+using dfg::NodeKind;
+
+namespace {
+
+/** Split a width into <=kLanes segments. */
+std::vector<int>
+segmentWidths(int total)
+{
+    std::vector<int> widths;
+    while (total > 0) {
+        const int w = std::min(total, dfg::kLanes);
+        widths.push_back(w);
+        total -= w;
+    }
+    return widths;
+}
+
+/** Add Input nodes for a (possibly wide) vector. */
+SegmentedValue
+addInputs(Graph &g, int total, const std::string &label)
+{
+    SegmentedValue v;
+    for (int w : segmentWidths(total)) {
+        Node n;
+        n.kind = NodeKind::Input;
+        n.width = w;
+        n.label = label;
+        v.nodes.push_back(g.add(std::move(n)));
+        v.widths.push_back(w);
+    }
+    return v;
+}
+
+/**
+ * One neuron over a segmented input: a single DotRow when the input is
+ * one segment, otherwise PartialDots per segment + CombineAdd.
+ */
+int
+addNeuron(Graph &g, const SegmentedValue &in, const int8_t *weights,
+          int32_t bias, const fixed::Requantizer &rq,
+          const std::string &label)
+{
+    if (in.nodes.size() == 1) {
+        Node n;
+        n.kind = NodeKind::DotRow;
+        n.inputs = {in.nodes[0]};
+        n.width = 1;
+        n.weights.assign(weights, weights + in.widths[0]);
+        n.bias = bias;
+        n.requant = rq;
+        n.label = label;
+        return g.add(std::move(n));
+    }
+    std::vector<int> partials;
+    int offset = 0;
+    for (size_t s = 0; s < in.nodes.size(); ++s) {
+        Node p;
+        p.kind = NodeKind::PartialDot;
+        p.inputs = {in.nodes[s]};
+        p.width = 1;
+        p.weights.assign(weights + offset, weights + offset + in.widths[s]);
+        p.label = label + "/part" + std::to_string(s);
+        partials.push_back(g.add(std::move(p)));
+        offset += in.widths[s];
+    }
+    Node c;
+    c.kind = NodeKind::CombineAdd;
+    c.inputs = partials;
+    c.width = 1;
+    c.bias = bias;
+    c.requant = rq;
+    c.label = label + "/combine";
+    return g.add(std::move(c));
+}
+
+/** Gather scalar node ids into <=16-lane Concat segments. */
+SegmentedValue
+gatherScalars(Graph &g, const std::vector<int> &scalars,
+              const std::string &label)
+{
+    SegmentedValue v;
+    size_t i = 0;
+    int seg = 0;
+    while (i < scalars.size()) {
+        const size_t take =
+            std::min<size_t>(dfg::kLanes, scalars.size() - i);
+        Node n;
+        n.kind = NodeKind::Concat;
+        n.inputs.assign(scalars.begin() + static_cast<long>(i),
+                        scalars.begin() + static_cast<long>(i + take));
+        n.width = static_cast<int>(take);
+        n.label = label + "/gather" + std::to_string(seg++);
+        v.nodes.push_back(g.add(std::move(n)));
+        v.widths.push_back(static_cast<int>(take));
+        i += take;
+    }
+    return v;
+}
+
+/** Apply an activation to every segment of a value. */
+SegmentedValue
+applyActivationNodes(Graph &g, const SegmentedValue &in,
+                     nn::Activation act, const std::vector<int8_t> &lut,
+                     const std::string &label)
+{
+    SegmentedValue out;
+    for (size_t s = 0; s < in.nodes.size(); ++s) {
+        Node n;
+        n.width = in.widths[s];
+        n.inputs = {in.nodes[s]};
+        n.label = label + "/act" + std::to_string(s);
+        switch (act) {
+          case nn::Activation::Relu:
+            n.kind = NodeKind::MapChain;
+            n.fns = {MapFn::Relu};
+            break;
+          case nn::Activation::LeakyRelu:
+            n.kind = NodeKind::MapChain;
+            n.fns = {MapFn::LeakyRelu};
+            break;
+          case nn::Activation::Sigmoid:
+          case nn::Activation::Tanh:
+            n.kind = NodeKind::Lookup;
+            n.lut = lut;
+            break;
+          case nn::Activation::None:
+          case nn::Activation::Softmax:
+            // Identity in the integer domain (argmax preserved).
+            out.nodes.push_back(in.nodes[s]);
+            out.widths.push_back(in.widths[s]);
+            continue;
+        }
+        out.nodes.push_back(g.add(std::move(n)));
+        out.widths.push_back(in.widths[s]);
+    }
+    return out;
+}
+
+void
+addOutputs(Graph &g, const SegmentedValue &v, const std::string &label)
+{
+    for (size_t s = 0; s < v.nodes.size(); ++s) {
+        Node n;
+        n.kind = NodeKind::Output;
+        n.inputs = {v.nodes[s]};
+        n.width = v.widths[s];
+        n.label = label + "/out" + std::to_string(s);
+        g.add(std::move(n));
+    }
+}
+
+} // namespace
+
+int
+SegmentedValue::totalWidth() const
+{
+    return std::accumulate(widths.begin(), widths.end(), 0);
+}
+
+Graph
+lowerMlp(const nn::QuantizedMlp &model, const std::string &name)
+{
+    Graph g;
+    g.name = name;
+    SegmentedValue cur = addInputs(
+        g, static_cast<int>(model.layers().front().in), "input");
+
+    for (size_t li = 0; li < model.layers().size(); ++li) {
+        const auto &layer = model.layers()[li];
+        const std::string lbl = "L" + std::to_string(li);
+        assert(cur.totalWidth() == static_cast<int>(layer.in));
+
+        std::vector<int> neurons;
+        for (size_t r = 0; r < layer.out; ++r) {
+            neurons.push_back(addNeuron(
+                g, cur, layer.w.data() + r * layer.in, layer.b[r],
+                layer.requant, lbl + "/n" + std::to_string(r)));
+        }
+
+        // Scalars become vectors only when a vector consumer follows.
+        SegmentedValue pre;
+        if (neurons.size() == 1) {
+            pre.nodes = neurons;
+            pre.widths = {1};
+        } else {
+            pre = gatherScalars(g, neurons, lbl);
+        }
+        cur = applyActivationNodes(g, pre, layer.act, layer.lut, lbl);
+    }
+    addOutputs(g, cur, "result");
+
+    assert(g.validate().empty());
+    return g;
+}
+
+LoweredKmeans
+lowerKmeans(const nn::KMeans &model,
+            const std::vector<nn::Vector> &calibration,
+            const std::string &name)
+{
+    LoweredKmeans out;
+    Graph &g = out.graph;
+    g.name = name;
+
+    float abs_max = 1e-6f;
+    for (const auto &v : calibration)
+        abs_max = std::max(abs_max, nn::absMax(v));
+    for (const auto &c : model.centers())
+        abs_max = std::max(abs_max, nn::absMax(c));
+    out.input_qp = fixed::QuantParams::forAbsMax(abs_max, 8);
+
+    const int dim = static_cast<int>(model.centers().front().size());
+    assert(dim <= dfg::kLanes && "kmeans features must fit one segment");
+    SegmentedValue in = addInputs(g, dim, "features");
+
+    std::vector<int> dists;
+    for (size_t c = 0; c < model.centers().size(); ++c) {
+        Node n;
+        n.kind = NodeKind::SquaredDist;
+        n.inputs = {in.nodes[0]};
+        n.width = 1;
+        for (float v : model.centers()[c])
+            n.weights.push_back(static_cast<int8_t>(
+                fixed::quantize(v, out.input_qp, 8)));
+        n.label = "dist/c" + std::to_string(c);
+        dists.push_back(g.add(std::move(n)));
+    }
+
+    SegmentedValue dv = gatherScalars(g, dists, "dist");
+    Node arg;
+    arg.kind = NodeKind::ArgMin;
+    arg.inputs = {dv.nodes[0]};
+    arg.width = 1;
+    arg.label = "argmin";
+    const int arg_id = g.add(std::move(arg));
+
+    SegmentedValue res;
+    res.nodes = {arg_id};
+    res.widths = {1};
+    addOutputs(g, res, "cluster");
+    assert(g.validate().empty());
+    return out;
+}
+
+LoweredRbf
+lowerRbf(const nn::RbfNet &model,
+         const std::vector<nn::Vector> &calibration,
+         const std::string &name)
+{
+    LoweredRbf out;
+    Graph &g = out.graph;
+    g.name = name;
+
+    float abs_max = 1e-6f;
+    for (const auto &v : calibration)
+        abs_max = std::max(abs_max, nn::absMax(v));
+    for (const auto &c : model.centers())
+        abs_max = std::max(abs_max, nn::absMax(c));
+    out.input_qp = fixed::QuantParams::forAbsMax(abs_max, 8);
+
+    const int dim = static_cast<int>(model.centers().front().size());
+    assert(dim <= dfg::kLanes);
+    SegmentedValue in = addInputs(g, dim, "features");
+
+    std::vector<std::vector<int8_t>> qcenters;
+    for (const auto &c : model.centers()) {
+        std::vector<int8_t> qc;
+        for (float v : c)
+            qc.push_back(
+                static_cast<int8_t>(fixed::quantize(v, out.input_qp, 8)));
+        qcenters.push_back(std::move(qc));
+    }
+    // Distance scale: size the 127-code range to the kernel bandwidth, not
+    // the largest observed distance — beyond d_sat = 8/gamma the kernel
+    // has decayed below one output LSB (exp(-8) < 1/127), so saturating
+    // there preserves all the resolution where the kernel still varies.
+    const double real_d_sat = 8.0 / std::max(1e-6, double(model.gamma()));
+    const double int_d_sat =
+        real_d_sat / (out.input_qp.scale * out.input_qp.scale);
+    const auto dist_rq =
+        fixed::Requantizer::fromRealMultiplier(127.0 / int_d_sat);
+    // Real distance represented by one code unit.
+    const double code_dist = real_d_sat / 127.0;
+
+    std::vector<int> dist_codes;
+    for (size_t c = 0; c < qcenters.size(); ++c) {
+        Node n;
+        n.kind = NodeKind::SquaredDist;
+        n.inputs = {in.nodes[0]};
+        n.width = 1;
+        n.weights = qcenters[c];
+        n.requant = dist_rq;
+        n.label = "dist/c" + std::to_string(c);
+        dist_codes.push_back(g.add(std::move(n)));
+    }
+
+    SegmentedValue dv = gatherScalars(g, dist_codes, "dist");
+
+    // Kernel lookup: phi = exp(-gamma * real_dist), output scale 1/127.
+    std::vector<int8_t> lut(256);
+    for (int code = -128; code <= 127; ++code) {
+        const double d = std::max(0, code) * code_dist;
+        const double phi = std::exp(-model.gamma() * d);
+        lut[static_cast<size_t>(code + 128)] = static_cast<int8_t>(
+            fixed::quantize(phi, fixed::QuantParams{1.0 / 127.0}, 8));
+    }
+    SegmentedValue phi;
+    for (size_t s = 0; s < dv.nodes.size(); ++s) {
+        Node n;
+        n.kind = NodeKind::Lookup;
+        n.inputs = {dv.nodes[s]};
+        n.width = dv.widths[s];
+        n.lut = lut;
+        n.label = "kernel/lut" + std::to_string(s);
+        phi.nodes.push_back(g.add(std::move(n)));
+        phi.widths.push_back(dv.widths[s]);
+    }
+
+    // Output weights: score = w . phi + b.
+    const float w_max = std::max(1e-6f, nn::absMax(model.weights()));
+    const fixed::QuantParams w_qp = fixed::QuantParams::forAbsMax(w_max, 8);
+    double score_max = 1e-6;
+    for (const auto &v : calibration)
+        score_max = std::max(score_max, std::fabs(model.score(v)));
+    out.score_scale = score_max / 127.0;
+    const double acc_scale = (1.0 / 127.0) * w_qp.scale;
+    const auto score_rq = fixed::Requantizer::fromRealMultiplier(
+        acc_scale / out.score_scale);
+
+    std::vector<int8_t> wq;
+    for (float w : model.weights())
+        wq.push_back(static_cast<int8_t>(fixed::quantize(w, w_qp, 8)));
+    const int32_t bias_q = fixed::quantize(
+        model.bias(), fixed::QuantParams{acc_scale}, 32);
+
+    int score_id;
+    if (phi.nodes.size() == 1) {
+        Node n;
+        n.kind = NodeKind::DotRow;
+        n.inputs = {phi.nodes[0]};
+        n.width = 1;
+        n.weights = wq;
+        n.bias = bias_q;
+        n.requant = score_rq;
+        n.label = "score";
+        score_id = g.add(std::move(n));
+    } else {
+        SegmentedValue sv = phi;
+        score_id = addNeuron(g, sv, wq.data(), bias_q, score_rq, "score");
+    }
+
+    SegmentedValue res;
+    res.nodes = {score_id};
+    res.widths = {1};
+    addOutputs(g, res, "score");
+    assert(g.validate().empty());
+    return out;
+}
+
+Graph
+lowerLstm(const nn::Lstm &model, const std::string &name)
+{
+    Graph g;
+    g.name = name;
+
+    const int units = static_cast<int>(model.units());
+    const int in_dim = static_cast<int>(model.inputDim());
+    const int concat_w = in_dim + units;
+
+    SegmentedValue x = addInputs(g, in_dim, "x");
+    SegmentedValue h = addInputs(g, units, "h");
+    SegmentedValue c = addInputs(g, units, "c");
+
+    SegmentedValue xh;
+    xh.nodes = x.nodes;
+    xh.widths = x.widths;
+    for (size_t i = 0; i < h.nodes.size(); ++i) {
+        xh.nodes.push_back(h.nodes[i]);
+        xh.widths.push_back(h.widths[i]);
+    }
+    assert(xh.totalWidth() == concat_w);
+
+    // Quantize gate weights per-tensor; state scales are fixed at 1/127.
+    auto quantizeGate = [&](const nn::Matrix &w, const char *tag,
+                            nn::Activation act) {
+        const fixed::QuantParams qp =
+            fixed::QuantParams::forAbsMax(std::max(1e-6f, w.absMax()), 8);
+        // Pre-activation scale sized for the saturating LUT domain.
+        const double pre_scale = 8.0 / 127.0;
+        const auto rq = fixed::Requantizer::fromRealMultiplier(
+            (1.0 / 127.0) * qp.scale / pre_scale);
+        const auto lut =
+            nn::buildActivationLut(act, pre_scale, 1.0 / 127.0);
+
+        std::vector<int> scalars;
+        for (int u = 0; u < units; ++u) {
+            std::vector<int8_t> row;
+            for (int j = 0; j < concat_w; ++j)
+                row.push_back(static_cast<int8_t>(fixed::quantize(
+                    w.at(static_cast<size_t>(u),
+                         static_cast<size_t>(j)),
+                    qp, 8)));
+            scalars.push_back(addNeuron(
+                g, xh, row.data(), 0, rq,
+                std::string("gate_") + tag + "/u" + std::to_string(u)));
+        }
+        SegmentedValue pre = gatherScalars(g, scalars,
+                                           std::string("gate_") + tag);
+        SegmentedValue out;
+        for (size_t s = 0; s < pre.nodes.size(); ++s) {
+            Node n;
+            n.kind = NodeKind::Lookup;
+            n.inputs = {pre.nodes[s]};
+            n.width = pre.widths[s];
+            n.lut = lut;
+            n.label = std::string("gate_") + tag + "/lut" +
+                      std::to_string(s);
+            out.nodes.push_back(g.add(std::move(n)));
+            out.widths.push_back(pre.widths[s]);
+        }
+        return out;
+    };
+
+    SegmentedValue gi = quantizeGate(model.wi(), "i",
+                                     nn::Activation::Sigmoid);
+    SegmentedValue gf = quantizeGate(model.wf(), "f",
+                                     nn::Activation::Sigmoid);
+    SegmentedValue go = quantizeGate(model.wo(), "o",
+                                     nn::Activation::Sigmoid);
+    SegmentedValue gg = quantizeGate(model.wg(), "g",
+                                     nn::Activation::Tanh);
+
+    // State update: c' = f*c + i*g ; h' = o * tanh(c').
+    const auto unit_rq = fixed::Requantizer::fromRealMultiplier(
+        (1.0 / 127.0)); // products of two 1/127-scaled codes
+    const auto tanh_lut = nn::buildActivationLut(
+        nn::Activation::Tanh, 1.0 / 127.0, 1.0 / 127.0);
+
+    SegmentedValue c_new, h_new;
+    for (size_t s = 0; s < c.nodes.size(); ++s) {
+        Node fc;
+        fc.kind = NodeKind::EltwiseMul;
+        fc.inputs = {gf.nodes[s], c.nodes[s]};
+        fc.width = c.widths[s];
+        fc.requant = unit_rq;
+        fc.label = "state/fc" + std::to_string(s);
+        const int fc_id = g.add(std::move(fc));
+
+        Node ig;
+        ig.kind = NodeKind::EltwiseMul;
+        ig.inputs = {gi.nodes[s], gg.nodes[s]};
+        ig.width = c.widths[s];
+        ig.requant = unit_rq;
+        ig.label = "state/ig" + std::to_string(s);
+        const int ig_id = g.add(std::move(ig));
+
+        Node sum;
+        sum.kind = NodeKind::EltwiseAdd;
+        sum.inputs = {fc_id, ig_id};
+        sum.width = c.widths[s];
+        sum.label = "state/c" + std::to_string(s);
+        const int c_id = g.add(std::move(sum));
+        c_new.nodes.push_back(c_id);
+        c_new.widths.push_back(c.widths[s]);
+
+        Node th;
+        th.kind = NodeKind::Lookup;
+        th.inputs = {c_id};
+        th.width = c.widths[s];
+        th.lut = tanh_lut;
+        th.label = "state/tanh" + std::to_string(s);
+        const int th_id = g.add(std::move(th));
+
+        Node oh;
+        oh.kind = NodeKind::EltwiseMul;
+        oh.inputs = {go.nodes[s], th_id};
+        oh.width = c.widths[s];
+        oh.requant = unit_rq;
+        oh.label = "state/h" + std::to_string(s);
+        h_new.nodes.push_back(g.add(std::move(oh)));
+        h_new.widths.push_back(c.widths[s]);
+    }
+
+    // Softmax head over h' (argmax-preserving integer dot rows).
+    const auto &head = model.head();
+    const fixed::QuantParams head_qp =
+        fixed::QuantParams::forAbsMax(std::max(1e-6f, head.absMax()), 8);
+    const auto head_rq = fixed::Requantizer::fromRealMultiplier(
+        (1.0 / 127.0) * head_qp.scale / (4.0 / 127.0));
+    std::vector<int> logits;
+    for (size_t r = 0; r < head.rows(); ++r) {
+        std::vector<int8_t> row;
+        for (size_t j = 0; j < head.cols(); ++j)
+            row.push_back(static_cast<int8_t>(
+                fixed::quantize(head.at(r, j), head_qp, 8)));
+        logits.push_back(addNeuron(g, h_new, row.data(), 0, head_rq,
+                                   "head/a" + std::to_string(r)));
+    }
+    SegmentedValue action = gatherScalars(g, logits, "head");
+
+    addOutputs(g, action, "action");
+    addOutputs(g, h_new, "h_next");
+    addOutputs(g, c_new, "c_next");
+    assert(g.validate().empty());
+    return g;
+}
+
+} // namespace taurus::compiler

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lowering frontends: trained nn models -> dataflow graphs.
+ *
+ * This is the front half of the Taurus compiler (paper Section 4,
+ * "Target-Dependent Compilation"): models become nested Map/Reduce
+ * patterns, wide patterns are split into partial dots plus combines so
+ * every node fits a 16-lane CU, nonlinearities become map chains or MU
+ * lookup tables, and weights are quantized to the int8 data path.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "nn/kmeans.hpp"
+#include "nn/lstm.hpp"
+#include "nn/matrix.hpp"
+#include "nn/quantized.hpp"
+#include "nn/rbf.hpp"
+
+namespace taurus::compiler {
+
+/** A value flowing between layers: one node id per <=16-lane segment. */
+struct SegmentedValue
+{
+    std::vector<int> nodes;
+    std::vector<int> widths;
+
+    int totalWidth() const;
+};
+
+/**
+ * Lower a quantized MLP. Produces one DotRow per neuron (split into
+ * PartialDot+CombineAdd when the fan-in exceeds 16 lanes), per-segment
+ * activation nodes (MapChain for ReLU-family, MU Lookup for sigmoid/tanh),
+ * and segment Concats between layers.
+ */
+dfg::Graph lowerMlp(const nn::QuantizedMlp &model,
+                    const std::string &name = "mlp");
+
+/** Quantized KMeans front-end state (centers share the input scale). */
+struct LoweredKmeans
+{
+    dfg::Graph graph;
+    fixed::QuantParams input_qp;
+};
+
+/**
+ * Lower KMeans: per-center SquaredDist (int32) -> Concat -> ArgMin.
+ * The argmin is computed on exact int32 distances, so the graph agrees
+ * with float KMeans up to input quantization.
+ */
+LoweredKmeans lowerKmeans(const nn::KMeans &model,
+                          const std::vector<nn::Vector> &calibration,
+                          const std::string &name = "kmeans");
+
+/** Quantized RBF front-end state. */
+struct LoweredRbf
+{
+    dfg::Graph graph;
+    fixed::QuantParams input_qp;
+    double score_scale = 1.0; ///< real score of output code 1
+};
+
+/**
+ * Lower an RBF network (SVM-shaped): per-center SquaredDist with inline
+ * requantization to a distance code, an exp(-gamma d) MU lookup, and a
+ * DotRow over the kernel features.
+ */
+LoweredRbf lowerRbf(const nn::RbfNet &model,
+                    const std::vector<nn::Vector> &calibration,
+                    const std::string &name = "svm_rbf");
+
+/**
+ * Lower one LSTM cell + softmax head, unrolled for a single step: the
+ * recurrent state (h, c) enters as extra inputs and exits as extra
+ * outputs. Used structurally for the Table 5 Indigo row.
+ */
+dfg::Graph lowerLstm(const nn::Lstm &model,
+                     const std::string &name = "indigo_lstm");
+
+} // namespace taurus::compiler

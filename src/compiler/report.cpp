@@ -1,0 +1,36 @@
+#include "compiler/report.hpp"
+
+namespace taurus::compiler {
+
+AppReport
+analyze(const hw::GridProgram &program, const area::ChipModel &chip)
+{
+    AppReport r;
+    r.name = program.graph.name;
+
+    std::vector<std::vector<int8_t>> zeros;
+    for (int id : program.graph.inputIds())
+        zeros.emplace_back(
+            static_cast<size_t>(program.graph.node(id).width), 0);
+
+    const hw::CycleSim sim(program);
+    const hw::SimResult res = sim.run(zeros);
+
+    r.cus = program.cusUsed();
+    r.mus = program.musUsed();
+    const area::BlockCost cost = chip.unitCost(r.cus, r.mus);
+    r.area_mm2 = cost.area_mm2;
+    r.power_w = cost.power_w;
+    r.latency_cycles = res.latency_cycles;
+    r.latency_ns = res.latency_ns;
+    r.ii_cycles = res.ii_cycles;
+    r.gpktps = res.gpktps;
+    r.area_overhead_pct = chip.areaOverheadPct(r.area_mm2);
+    r.power_overhead_pct = chip.powerOverheadPct(r.power_w);
+    r.weight_bytes = program.graph.weightBytes();
+    r.route_hops = res.route_hops;
+    r.folded = program.serialize_sharing;
+    return r;
+}
+
+} // namespace taurus::compiler

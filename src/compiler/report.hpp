@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Design reports: resources, area, power, latency, and throughput of a
+ * compiled program — the quantities Tables 5/6/7 are built from.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "area/chip.hpp"
+#include "hw/cycle_sim.hpp"
+#include "hw/program.hpp"
+
+namespace taurus::compiler {
+
+/** Everything the paper reports per application or microbenchmark. */
+struct AppReport
+{
+    std::string name;
+    int cus = 0;
+    int mus = 0;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+    int latency_cycles = 0;
+    double latency_ns = 0.0;
+    int ii_cycles = 1;
+    double gpktps = 0.0;          ///< sustained line rate (1.0 = full)
+    double area_overhead_pct = 0.0; ///< vs the 500 mm^2 baseline chip
+    double power_overhead_pct = 0.0;
+    size_t weight_bytes = 0;
+    int route_hops = 0;
+    bool folded = false;
+};
+
+/**
+ * Analyze a compiled program: simulate one packet (zero-filled features)
+ * for timing and roll up area/power through the chip model.
+ */
+AppReport analyze(const hw::GridProgram &program,
+                  const area::ChipModel &chip = area::ChipModel{});
+
+} // namespace taurus::compiler

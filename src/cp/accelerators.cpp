@@ -1,0 +1,47 @@
+#include "cp/accelerators.hpp"
+
+#include <stdexcept>
+
+namespace taurus::cp {
+
+double
+AcceleratorModel::inferLatencyMs(size_t batch) const
+{
+    if (batch == 0)
+        return 0.0;
+    const double items = static_cast<double>(batch);
+    return setup_ms + (transfer_us + per_item_us * items) / 1e3;
+}
+
+double
+AcceleratorModel::throughputPerSec(size_t batch) const
+{
+    const double lat_s = inferLatencyMs(batch) / 1e3;
+    return lat_s > 0.0 ? static_cast<double>(batch) / lat_s : 0.0;
+}
+
+const std::vector<AcceleratorModel> &
+accelerators()
+{
+    // Batch-1 latencies land exactly on Table 2: setup dominates, which
+    // is the paper's point ("this latency comes from accelerator setup
+    // overhead ... a CPU is the fastest design, but still takes
+    // 0.67 ms").
+    static const std::vector<AcceleratorModel> devices = {
+        {"Broadwell Xeon", 0.64, 0.0, 30.0, 8.0},
+        {"Tesla T4 GPU", 1.10, 40.0, 10.0, 0.4},
+        {"Cloud TPU v2-8", 3.40, 100.0, 10.0, 0.1},
+    };
+    return devices;
+}
+
+const AcceleratorModel &
+accelerator(const std::string &name)
+{
+    for (const auto &a : accelerators())
+        if (a.name == name)
+            return a;
+    throw std::invalid_argument("unknown accelerator: " + name);
+}
+
+} // namespace taurus::cp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Control-plane inference-accelerator latency models (Table 2).
+ *
+ * The paper benchmarks unbatched anomaly-DNN inference on a Broadwell
+ * Xeon (0.67 ms), a Tesla T4 (1.15 ms), and a Cloud TPU v2-8 (3.51 ms),
+ * attributing the latency to framework/setup overhead rather than
+ * compute. We model each device as setup + transfer + per-item compute;
+ * the batch-1 points are calibrated to the published values, and the
+ * batch scaling follows the stated mechanism (batching amortizes setup
+ * but the first element waits for the whole batch).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace taurus::cp {
+
+/** A bump-in-the-wire or server-side accelerator. */
+struct AcceleratorModel
+{
+    std::string name;
+    double setup_ms = 0.0;        ///< framework invocation overhead
+    double transfer_us = 0.0;     ///< per-batch host<->device transfer
+    double per_item_us = 0.0;     ///< marginal per-input compute
+    double per_item_floor_us = 0.0; ///< compute floor at huge batches
+
+    /** End-to-end latency for one batch (its first element's wait). */
+    double inferLatencyMs(size_t batch) const;
+
+    /** Sustained throughput in items/s at the given batch size. */
+    double throughputPerSec(size_t batch) const;
+};
+
+/** The Table 2 devices: Xeon, T4, TPU (in the paper's order). */
+const std::vector<AcceleratorModel> &accelerators();
+
+/** Lookup by name; throws std::invalid_argument if unknown. */
+const AcceleratorModel &accelerator(const std::string &name);
+
+} // namespace taurus::cp

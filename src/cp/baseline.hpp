@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The control-plane anomaly-detection baseline (Section 5.2.1).
+ *
+ * Pipeline: the switch mirrors sampled telemetry packets over a 10 GbE
+ * link to a server; an XDP program batches them to user space; samples
+ * are ingested into a streaming database; a vectorized model runs
+ * batched inference; detected source IPs become flow rules installed
+ * through ONOS. Any anomalous packet forwarded before its rule lands is
+ * a miss — that timing path, not model quality, is what collapses the
+ * baseline's effective accuracy in Table 8.
+ *
+ * Each stage is a (base + per-item) latency model with back-pressure:
+ * the XDP queue drains only when the DB+ML chain is free, so batch sizes
+ * — and therefore latencies — grow superlinearly with sampling rate,
+ * reproducing the paper's overload behaviour at 10^-2.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cp/accelerators.hpp"
+#include "cp/rules.hpp"
+#include "net/features.hpp"
+#include "nn/quantized.hpp"
+
+namespace taurus::cp {
+
+/** Per-stage cost constants (calibrated once; see DESIGN.md). */
+struct BaselineCosts
+{
+    double xdp_base_ms = 2.0;    ///< poll + context switch
+    double xdp_per_us = 60.0;    ///< per-sample eBPF + copy
+    double db_base_ms = 13.0;    ///< write/commit overhead
+    double db_per_us = 35.0;     ///< per-point ingest
+    AcceleratorModel ml = accelerator("Broadwell Xeon");
+    RuleInstallModel install;
+};
+
+/** Baseline configuration for one Table 8 row. */
+struct BaselineConfig
+{
+    double sampling_rate = 1e-4; ///< fraction of packets mirrored
+    BaselineCosts costs;
+    uint64_t seed = 5;
+};
+
+/** What one run reports (one Table 8 row's baseline half). */
+struct BaselineResult
+{
+    double sampling_rate = 0.0;
+    double mean_xdp_batch = 0.0;
+    double mean_backlog = 0.0;   ///< samples waiting when a drain starts
+    double xdp_ms = 0.0;         ///< mean per-batch stage latencies
+    double db_ms = 0.0;
+    double ml_ms = 0.0;
+    double install_ms = 0.0;
+    double total_ms = 0.0;       ///< mean sample-to-rule latency
+    double detected_pct = 0.0;   ///< anomalous packets caught (of all)
+    double f1_x100 = 0.0;        ///< effective per-packet F1 * 100
+    uint64_t rules_installed = 0;
+};
+
+/**
+ * Run the baseline over a packet trace using the given trained model
+ * (the same model Taurus installs, for a fair comparison). The model
+ * consumes standardized DNN features; `standardize` maps raw binned
+ * features to model inputs.
+ */
+BaselineResult runBaseline(
+    const std::vector<net::TracePacket> &trace,
+    const nn::QuantizedMlp &model,
+    const std::function<nn::Vector(const nn::Vector &)> &standardize,
+    const BaselineConfig &cfg);
+
+} // namespace taurus::cp

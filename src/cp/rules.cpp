@@ -1,0 +1,40 @@
+#include "cp/rules.hpp"
+
+#include <algorithm>
+
+namespace taurus::cp {
+
+double
+RuleInstaller::requestInstall(uint32_t ip, double t_s)
+{
+    const auto it = active_at_.find(ip);
+    if (it != active_at_.end())
+        return it->second;
+
+    const double start = std::max(t_s, busy_until_s_);
+    const double cost_ms = model_.installMs(active_at_.size());
+    const double done = start + cost_ms / 1e3;
+    busy_until_s_ = done;
+    total_install_ms_ += cost_ms;
+    ++installs_;
+    active_at_.emplace(ip, done);
+    return done;
+}
+
+bool
+RuleInstaller::active(uint32_t ip, double t_s) const
+{
+    const auto it = active_at_.find(ip);
+    return it != active_at_.end() && it->second <= t_s;
+}
+
+void
+RuleInstaller::clear()
+{
+    active_at_.clear();
+    busy_until_s_ = 0.0;
+    total_install_ms_ = 0.0;
+    installs_ = 0;
+}
+
+} // namespace taurus::cp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Online training of the data-plane model (Section 5.2.3).
+ *
+ * The control plane replays sampled telemetry into a streaming SGD
+ * trainer; each minibatch update is pushed to the switch after a
+ * rule-installation-time delay (the paper uses flow-rule install time as
+ * the weight-update estimate), and the data plane's accuracy is scored
+ * after every push. Figures 13 and 14 are F1(t) curves produced by this
+ * harness under different sampling rates and epoch/batch configurations.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/features.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+
+namespace taurus::cp {
+
+/** One online-training experiment configuration. */
+struct OnlineTrainConfig
+{
+    double sampling_rate = 1e-2;  ///< telemetry mirror fraction
+    int epochs = 1;               ///< SGD passes per pushed update
+    int batch = 64;               ///< samples per update
+    double install_delay_ms = 3.0; ///< weight-push latency estimate
+    double train_us_per_sample_epoch = 40.0; ///< server SGD compute
+    float learning_rate = 0.05f;
+    double max_time_s = 20.0;     ///< simulated wall-clock budget
+    uint64_t seed = 11;
+};
+
+/** One point of an F1-over-time convergence curve. */
+struct ConvergencePoint
+{
+    double time_s = 0.0;
+    double f1 = 0.0;
+};
+
+/** Result of one online-training run. */
+struct OnlineTrainResult
+{
+    std::vector<ConvergencePoint> curve;
+    double final_f1 = 0.0;
+    /** First time the curve reaches 95% of its final F1. */
+    double convergence_time_s = 0.0;
+    uint64_t updates_pushed = 0;
+};
+
+/**
+ * Run online training: `trace` supplies telemetry (replayed cyclically
+ * until max_time_s), `eval` is the standardized held-out set the pushed
+ * model is scored on after every update. Features are standardized with
+ * the same transform used for `eval`.
+ */
+OnlineTrainResult runOnlineTraining(
+    const std::vector<net::TracePacket> &trace,
+    const nn::Standardizer &standardizer, const nn::Dataset &eval,
+    const OnlineTrainConfig &cfg);
+
+} // namespace taurus::cp

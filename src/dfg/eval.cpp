@@ -1,0 +1,202 @@
+#include "dfg/eval.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "fixed/saturate.hpp"
+
+namespace taurus::dfg {
+
+namespace {
+
+using fixed::saturate;
+
+int8_t
+clamp8(int32_t v)
+{
+    return saturate<int8_t>(v);
+}
+
+} // namespace
+
+int32_t
+applyMapFn(MapFn fn, int32_t x, int32_t imm, const fixed::Requantizer &rq)
+{
+    switch (fn) {
+      case MapFn::Identity:
+        return x;
+      case MapFn::Relu:
+        return x > 0 ? x : 0;
+      case MapFn::LeakyRelu:
+        return x >= 0 ? x : x / 8;
+      case MapFn::Square:
+        return clamp8(x * x);
+      case MapFn::Abs:
+        return x < 0 ? clamp8(-x) : x;
+      case MapFn::Neg:
+        return clamp8(-x);
+      case MapFn::AddConst:
+        return clamp8(x + imm);
+      case MapFn::MulConst:
+        return rq.apply(x * imm);
+      case MapFn::MinConst:
+        return x < imm ? x : imm;
+      case MapFn::MaxConst:
+        return x > imm ? x : imm;
+    }
+    return x;
+}
+
+std::vector<LaneVec>
+evaluate(const Graph &g, const std::vector<std::vector<int8_t>> &inputs)
+{
+    const std::string err = g.validate();
+    if (!err.empty())
+        throw std::invalid_argument("invalid graph: " + err);
+
+    std::vector<LaneVec> values(g.nodes().size());
+    size_t next_input = 0;
+
+    for (int id : g.topoOrder()) {
+        const Node &n = g.node(id);
+        LaneVec out;
+        out.type = Graph::outputType(n);
+
+        auto in = [&](size_t i) -> const LaneVec & {
+            return values[static_cast<size_t>(n.inputs[i])];
+        };
+
+        switch (n.kind) {
+          case NodeKind::Input: {
+            if (next_input >= inputs.size())
+                throw std::invalid_argument("not enough input vectors");
+            const auto &src = inputs[next_input++];
+            if (src.size() != static_cast<size_t>(n.width))
+                throw std::invalid_argument("input width mismatch");
+            for (int8_t v : src)
+                out.lanes.push_back(v);
+            break;
+          }
+          case NodeKind::DotRow: {
+            int64_t acc = n.bias;
+            const auto &x = in(0);
+            for (size_t i = 0; i < n.weights.size(); ++i)
+                acc += static_cast<int32_t>(n.weights[i]) * x.lanes[i];
+            out.lanes.push_back(
+                n.requant.apply(saturate<int32_t>(acc)));
+            break;
+          }
+          case NodeKind::PartialDot: {
+            int64_t acc = 0;
+            const auto &x = in(0);
+            for (size_t i = 0; i < n.weights.size(); ++i)
+                acc += static_cast<int32_t>(n.weights[i]) * x.lanes[i];
+            out.lanes.push_back(saturate<int32_t>(acc));
+            break;
+          }
+          case NodeKind::CombineAdd: {
+            int64_t acc = n.bias;
+            for (size_t i = 0; i < n.inputs.size(); ++i) {
+                assert(in(i).lanes.size() == 1);
+                acc += in(i).lanes[0];
+            }
+            out.lanes.push_back(
+                n.requant.apply(saturate<int32_t>(acc)));
+            break;
+          }
+          case NodeKind::MapChain: {
+            out.lanes = in(0).lanes;
+            for (size_t s = 0; s < n.fns.size(); ++s) {
+                const int32_t imm =
+                    s < n.imms.size() ? n.imms[s] : 0;
+                for (auto &lane : out.lanes)
+                    lane = applyMapFn(n.fns[s], lane, imm, n.requant);
+            }
+            break;
+          }
+          case NodeKind::EltwiseMul: {
+            const auto &a = in(0);
+            const auto &b = in(1);
+            assert(a.lanes.size() == b.lanes.size());
+            for (size_t i = 0; i < a.lanes.size(); ++i)
+                out.lanes.push_back(
+                    n.requant.apply(a.lanes[i] * b.lanes[i]));
+            break;
+          }
+          case NodeKind::EltwiseAdd: {
+            const auto &a = in(0);
+            const auto &b = in(1);
+            assert(a.lanes.size() == b.lanes.size());
+            for (size_t i = 0; i < a.lanes.size(); ++i)
+                out.lanes.push_back(clamp8(a.lanes[i] + b.lanes[i]));
+            break;
+          }
+          case NodeKind::SquaredDist: {
+            int64_t acc = 0;
+            const auto &x = in(0);
+            for (size_t i = 0; i < n.weights.size(); ++i) {
+                const int32_t d =
+                    x.lanes[i] - static_cast<int32_t>(n.weights[i]);
+                acc += d * d;
+            }
+            const int32_t raw = saturate<int32_t>(acc);
+            out.lanes.push_back(n.requantized() ? n.requant.apply(raw)
+                                                : raw);
+            break;
+          }
+          case NodeKind::ArgMin: {
+            const auto &x = in(0);
+            int32_t best = std::numeric_limits<int32_t>::max();
+            int32_t best_idx = 0;
+            for (size_t i = 0; i < x.lanes.size(); ++i)
+                if (x.lanes[i] < best) {
+                    best = x.lanes[i];
+                    best_idx = static_cast<int32_t>(i);
+                }
+            out.lanes.push_back(best_idx);
+            break;
+          }
+          case NodeKind::Lookup: {
+            for (int32_t lane : in(0).lanes) {
+                const int32_t idx = saturate<int8_t>(lane) + 128;
+                out.lanes.push_back(
+                    n.lut[static_cast<size_t>(idx)]);
+            }
+            break;
+          }
+          case NodeKind::Concat: {
+            for (size_t i = 0; i < n.inputs.size(); ++i)
+                for (int32_t lane : in(i).lanes)
+                    out.lanes.push_back(lane);
+            break;
+          }
+          case NodeKind::Output:
+            out = in(0);
+            break;
+        }
+
+        if (n.kind != NodeKind::Output &&
+            out.lanes.size() != static_cast<size_t>(n.width))
+            throw std::logic_error("node " + std::to_string(n.id) +
+                                   " produced wrong width");
+        values[static_cast<size_t>(id)] = std::move(out);
+    }
+
+    std::vector<LaneVec> results;
+    for (int id : g.outputIds())
+        results.push_back(values[static_cast<size_t>(id)]);
+    return results;
+}
+
+std::vector<int8_t>
+evaluateSimple(const Graph &g, const std::vector<int8_t> &input)
+{
+    const auto results = evaluate(g, {input});
+    std::vector<int8_t> out;
+    for (int32_t lane : results.at(0).lanes)
+        out.push_back(saturate<int8_t>(lane));
+    return out;
+}
+
+} // namespace taurus::dfg

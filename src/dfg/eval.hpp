@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reference integer executor for dataflow graphs.
+ *
+ * Defines the value semantics of every NodeKind; the hw cycle simulator is
+ * required (by test) to produce bit-identical results, and model graphs are
+ * required to match the nn::QuantizedMlp reference, giving a two-level
+ * equivalence chain: nn reference == dfg graph == hw simulation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace taurus::dfg {
+
+/** Lane values during evaluation (int8 payloads stored sign-extended). */
+struct LaneVec
+{
+    std::vector<int32_t> lanes;
+    ValueType type = ValueType::Int8Vec;
+};
+
+/**
+ * Evaluate the graph on one input vector per Input node (matched in
+ * insertion order). Returns one LaneVec per Output node.
+ */
+std::vector<LaneVec> evaluate(const Graph &g,
+                              const std::vector<std::vector<int8_t>> &inputs);
+
+/** Convenience for single-input single-output graphs. */
+std::vector<int8_t> evaluateSimple(const Graph &g,
+                                   const std::vector<int8_t> &input);
+
+/** Semantics of a single map function on one int8 lane. */
+int32_t applyMapFn(MapFn fn, int32_t x, int32_t imm,
+                   const fixed::Requantizer &rq);
+
+} // namespace taurus::dfg

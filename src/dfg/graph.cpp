@@ -1,0 +1,213 @@
+#include "dfg/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace taurus::dfg {
+
+size_t
+Node::weightBytes() const
+{
+    return weights.size() + lut.size() +
+           (kind == NodeKind::DotRow || kind == NodeKind::CombineAdd
+                ? sizeof(int32_t)
+                : 0);
+}
+
+int
+Graph::add(Node n)
+{
+    n.id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+std::vector<int>
+Graph::topoOrder() const
+{
+    // Nodes reference only earlier ids by construction; verify and return.
+    std::vector<int> order;
+    order.reserve(nodes_.size());
+    for (const auto &n : nodes_) {
+        for ([[maybe_unused]] int in : n.inputs)
+            assert(in >= 0 && in < n.id && "graph must be built in order");
+        order.push_back(n.id);
+    }
+    return order;
+}
+
+std::vector<int>
+Graph::inputIds() const
+{
+    std::vector<int> ids;
+    for (const auto &n : nodes_)
+        if (n.kind == NodeKind::Input)
+            ids.push_back(n.id);
+    return ids;
+}
+
+std::vector<int>
+Graph::outputIds() const
+{
+    std::vector<int> ids;
+    for (const auto &n : nodes_)
+        if (n.kind == NodeKind::Output)
+            ids.push_back(n.id);
+    return ids;
+}
+
+ValueType
+Graph::outputType(const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::PartialDot:
+        return ValueType::Int32Vec;
+      case NodeKind::SquaredDist:
+        // With a requantizer the distance is rescaled to an int8 code
+        // (the RBF-kernel front end); without one it stays a raw int32
+        // (the KMeans argmin path, which needs exact distances).
+        return n.requantized() ? ValueType::Int8Vec : ValueType::Int32Vec;
+      default:
+        return ValueType::Int8Vec;
+    }
+}
+
+bool
+Graph::isCuOp(const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::DotRow:
+      case NodeKind::PartialDot:
+      case NodeKind::CombineAdd:
+      case NodeKind::MapChain:
+      case NodeKind::EltwiseMul:
+      case NodeKind::EltwiseAdd:
+      case NodeKind::SquaredDist:
+      case NodeKind::ArgMin:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Graph::isMuOp(const Node &n)
+{
+    return n.kind == NodeKind::Lookup;
+}
+
+size_t
+Graph::weightBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &n : nodes_)
+        bytes += n.weightBytes();
+    return bytes;
+}
+
+Graph
+merge(const std::vector<const Graph *> &graphs, const std::string &name)
+{
+    Graph out;
+    out.name = name;
+    for (const Graph *g : graphs) {
+        const int offset = static_cast<int>(out.nodes().size());
+        for (const Node &n : g->nodes()) {
+            Node copy = n;
+            copy.label = g->name + "/" + n.label;
+            for (int &in : copy.inputs)
+                in += offset;
+            out.add(std::move(copy));
+        }
+        if (g->loop) {
+            // The merged program runs at the slowest member's rate.
+            if (!out.loop ||
+                g->loop->iiMultiplier() > out.loop->iiMultiplier())
+                out.loop = g->loop;
+        }
+    }
+    return out;
+}
+
+std::string
+Graph::validate() const
+{
+    std::ostringstream err;
+    for (const auto &n : nodes_) {
+        if (n.width < 1 || n.width > kLanes) {
+            err << "node " << n.id << ": width " << n.width
+                << " outside [1," << kLanes << "]";
+            return err.str();
+        }
+        for (int in : n.inputs) {
+            if (in < 0 || in >= n.id) {
+                err << "node " << n.id << ": bad input " << in;
+                return err.str();
+            }
+        }
+        switch (n.kind) {
+          case NodeKind::Input:
+            if (!n.inputs.empty())
+                return "input node with producers";
+            break;
+          case NodeKind::DotRow:
+          case NodeKind::PartialDot:
+          case NodeKind::SquaredDist: {
+            if (n.inputs.size() != 1)
+                return "dot-like node needs exactly one input vector";
+            const Node &src = nodes_[static_cast<size_t>(n.inputs[0])];
+            if (n.weights.size() != static_cast<size_t>(src.width)) {
+                err << "node " << n.id << ": weight count "
+                    << n.weights.size() << " != input width " << src.width;
+                return err.str();
+            }
+            if (n.width != 1)
+                return "dot-like node must produce a scalar";
+            break;
+          }
+          case NodeKind::CombineAdd:
+            if (n.inputs.empty() ||
+                n.inputs.size() > static_cast<size_t>(kLanes))
+                return "combine fan-in must be 1..kLanes";
+            if (n.width != 1)
+                return "combine must produce a scalar";
+            break;
+          case NodeKind::MapChain:
+            if (n.inputs.size() != 1)
+                return "map chain needs one input";
+            if (n.fns.empty() ||
+                n.fns.size() > static_cast<size_t>(kStages))
+                return "map chain must use 1..kStages stages";
+            break;
+          case NodeKind::EltwiseMul:
+          case NodeKind::EltwiseAdd:
+            if (n.inputs.size() != 2)
+                return "elementwise binary op needs two inputs";
+            break;
+          case NodeKind::ArgMin:
+            if (n.inputs.size() != 1 || n.width != 1)
+                return "argmin takes one vector, yields one scalar";
+            break;
+          case NodeKind::Lookup:
+            if (n.inputs.size() != 1 || n.lut.size() != 256)
+                return "lookup needs one input and a 256-entry table";
+            break;
+          case NodeKind::Concat:
+            if (n.inputs.empty())
+                return "concat needs inputs";
+            break;
+          case NodeKind::Output:
+            if (n.inputs.size() != 1)
+                return "output needs one input";
+            break;
+        }
+    }
+    if (outputIds().empty())
+        return "graph has no output";
+    if (inputIds().empty())
+        return "graph has no input";
+    return "";
+}
+
+} // namespace taurus::dfg

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The parallel-pattern dataflow IR for the Taurus MapReduce block.
+ *
+ * Programs for the MapReduce block are expressed as DAGs of pattern
+ * operations at compute-unit granularity (paper Section 3.3.1 / Figure 4:
+ * nested Map/Reduce loops; Section 4: innermost loops become SIMD ops
+ * within a CU, outer loops map over multiple CUs). Every node obeys the
+ * CU/MU resource shape:
+ *
+ *  - vector widths are at most kLanes (16);
+ *  - a node's compute fits one CU pass (at most kStages map ops, or a fused
+ *    map+reduce), or one MU lookup;
+ *  - wider patterns must be legalized into partial ops plus combines
+ *    (the compiler's splitting step, Section 4 "Target-Dependent
+ *    Compilation").
+ *
+ * The IR is executable: dfg::evaluate() runs a graph in the integer domain
+ * and is the oracle the hw cycle simulator is tested against.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fixed/quant.hpp"
+
+namespace taurus::dfg {
+
+/** Hardware shape constants of the final Taurus ASIC configuration. */
+constexpr int kLanes = 16;  ///< SIMD lanes per CU
+constexpr int kStages = 4;  ///< pipelined compute stages per CU
+
+/** Elementwise map functions available inside a CU stage. */
+enum class MapFn
+{
+    Identity,
+    Relu,       ///< max(x, 0)
+    LeakyRelu,  ///< x >= 0 ? x : x/8
+    Square,     ///< saturating x*x (int8 domain)
+    Abs,
+    Neg,
+    AddConst,   ///< x + imm (saturating int8)
+    MulConst,   ///< requantized x * imm
+    MinConst,   ///< min(x, imm)
+    MaxConst,   ///< max(x, imm)
+};
+
+/** Node kinds; each maps to one CU pass, one MU lookup, or pure routing. */
+enum class NodeKind
+{
+    Input,       ///< int8 feature vector from the PHV interface
+    DotRow,      ///< requant(sum_i w_i*x_i + b): one neuron, one CU
+    PartialDot,  ///< sum_i w_i*x_i -> int32 scalar (no requant)
+    CombineAdd,  ///< requant(sum of int32 partials + b) -> int8
+    MapChain,    ///< <= kStages elementwise map fns over one vector
+    EltwiseMul,  ///< lane-wise product of two vectors (requantized)
+    EltwiseAdd,  ///< lane-wise saturating sum of two vectors
+    SquaredDist, ///< sum_i (x_i - c_i)^2 -> int32 scalar
+    ArgMin,      ///< index of the minimum lane -> int8 scalar
+    Lookup,      ///< elementwise 256-entry int8 LUT (runs on an MU)
+    Concat,      ///< gather scalars into a vector (pure routing)
+    Output,      ///< graph result
+};
+
+/** Value category carried on an edge. */
+enum class ValueType
+{
+    Int8Vec,  ///< width <= kLanes lanes of int8
+    Int32Vec, ///< width <= kLanes lanes of int32 (partial sums)
+};
+
+/** One pattern operation. */
+struct Node
+{
+    int id = -1;
+    NodeKind kind = NodeKind::Input;
+    std::vector<int> inputs; ///< producer node ids (order significant)
+    int width = 1;           ///< output lane count
+
+    // Payload (which fields apply depends on kind):
+    std::vector<int8_t> weights;   ///< DotRow/PartialDot/SquaredDist consts
+    int32_t bias = 0;              ///< DotRow/CombineAdd bias (int32 scale)
+    fixed::Requantizer requant;    ///< DotRow/CombineAdd/EltwiseMul/MulConst
+    std::vector<MapFn> fns;        ///< MapChain stage functions
+    std::vector<int32_t> imms;     ///< immediates for *Const fns
+    std::vector<int8_t> lut;       ///< Lookup table (256 entries)
+    std::string label;             ///< for reports/debugging
+
+    /** Lanes of int8 weight storage this node needs in an MU. */
+    size_t weightBytes() const;
+
+    /** True when a requantizer has been installed on this node. */
+    bool requantized() const { return requant.mantissa() != 0; }
+};
+
+/**
+ * Loop metadata: the graph body executes `trip` iterations per packet,
+ * parallelized by `unroll` replicas (Section 4, target-independent
+ * optimization). Initiation interval multiplier = ceil(trip / unroll).
+ */
+struct LoopInfo
+{
+    int trip = 1;
+    int unroll = 1;
+
+    int iiMultiplier() const { return (trip + unroll - 1) / unroll; }
+};
+
+/** A dataflow program for the MapReduce block. */
+class Graph
+{
+  public:
+    /** Add a node, assigning its id; returns the id. */
+    int add(Node n);
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const Node &node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+    Node &node(int id) { return nodes_[static_cast<size_t>(id)]; }
+
+    /** Ids in a valid topological order (inputs first). */
+    std::vector<int> topoOrder() const;
+
+    /** Ids of Input nodes in insertion order. */
+    std::vector<int> inputIds() const;
+    /** Ids of Output nodes in insertion order. */
+    std::vector<int> outputIds() const;
+
+    /** Structural validation; returns an error string or empty. */
+    std::string validate() const;
+
+    /** Output value type of a node. */
+    static ValueType outputType(const Node &n);
+
+    /** True if the node consumes a CU (vs MU or routing-only). */
+    static bool isCuOp(const Node &n);
+    /** True if the node consumes an MU (lookup tables). */
+    static bool isMuOp(const Node &n);
+
+    /** Total weight bytes that must live in MUs. */
+    size_t weightBytes() const;
+
+    std::optional<LoopInfo> loop;
+    std::string name;
+
+  private:
+    std::vector<Node> nodes_;
+};
+
+/**
+ * Merge independent programs into one graph (disjoint union with
+ * re-numbered ids). This is how several models share one MapReduce
+ * block concurrently (Section 6: "Taurus can run multiple models
+ * simultaneously") — the compiler places the union, and each model
+ * keeps its own inputs and outputs in declaration order.
+ */
+Graph merge(const std::vector<const Graph *> &graphs,
+            const std::string &name);
+
+} // namespace taurus::dfg

@@ -1,0 +1,296 @@
+#include "dfg/mapreduce.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace taurus::dfg::mr {
+
+int
+Value::totalWidth() const
+{
+    return std::accumulate(widths.begin(), widths.end(), 0);
+}
+
+Builder::Builder(std::string name)
+{
+    graph_.name = std::move(name);
+}
+
+Value
+Builder::input(int width, const std::string &label)
+{
+    Value v;
+    int remaining = width;
+    while (remaining > 0) {
+        const int w = std::min(remaining, kLanes);
+        Node n;
+        n.kind = NodeKind::Input;
+        n.width = w;
+        n.label = label;
+        v.nodes.push_back(graph_.add(std::move(n)));
+        v.widths.push_back(w);
+        remaining -= w;
+    }
+    return v;
+}
+
+Value
+Builder::gather(const std::vector<int> &scalars, const std::string &label)
+{
+    Value v;
+    size_t i = 0;
+    while (i < scalars.size()) {
+        const size_t take =
+            std::min<size_t>(kLanes, scalars.size() - i);
+        if (take == 1) {
+            v.nodes.push_back(scalars[i]);
+            v.widths.push_back(1);
+        } else {
+            Node n;
+            n.kind = NodeKind::Concat;
+            n.inputs.assign(scalars.begin() + static_cast<long>(i),
+                            scalars.begin() +
+                                static_cast<long>(i + take));
+            n.width = static_cast<int>(take);
+            n.label = label;
+            v.nodes.push_back(graph_.add(std::move(n)));
+            v.widths.push_back(static_cast<int>(take));
+        }
+        i += take;
+    }
+    return v;
+}
+
+Value
+Builder::map(const Value &x, MapFn fn, int32_t imm,
+             const fixed::Requantizer &rq)
+{
+    return mapChain(x, {fn}, {imm}, rq);
+}
+
+Value
+Builder::mapChain(const Value &x, const std::vector<MapFn> &fns,
+                  const std::vector<int32_t> &imms,
+                  const fixed::Requantizer &rq)
+{
+    if (fns.empty() || fns.size() > static_cast<size_t>(kStages))
+        throw std::invalid_argument("map chain must use 1..kStages fns");
+    Value out;
+    for (size_t s = 0; s < x.nodes.size(); ++s) {
+        Node n;
+        n.kind = NodeKind::MapChain;
+        n.inputs = {x.nodes[s]};
+        n.width = x.widths[s];
+        n.fns = fns;
+        n.imms = imms;
+        n.requant = rq;
+        out.nodes.push_back(graph_.add(std::move(n)));
+        out.widths.push_back(x.widths[s]);
+    }
+    return out;
+}
+
+Value
+Builder::mapReduce(const Value &x,
+                   const std::vector<std::vector<int8_t>> &weights,
+                   const std::vector<int32_t> &biases,
+                   const fixed::Requantizer &rq, const std::string &label)
+{
+    if (weights.empty() || biases.size() != weights.size())
+        throw std::invalid_argument("mapReduce: bad weights/biases");
+
+    std::vector<int> rows;
+    for (size_t r = 0; r < weights.size(); ++r) {
+        const auto &w = weights[r];
+        if (static_cast<int>(w.size()) != x.totalWidth())
+            throw std::invalid_argument(
+                "mapReduce: row width != input width");
+        if (x.nodes.size() == 1) {
+            Node n;
+            n.kind = NodeKind::DotRow;
+            n.inputs = {x.nodes[0]};
+            n.width = 1;
+            n.weights = w;
+            n.bias = biases[r];
+            n.requant = rq;
+            n.label = label + "/r" + std::to_string(r);
+            rows.push_back(graph_.add(std::move(n)));
+        } else {
+            // Legalize: one PartialDot per segment + CombineAdd.
+            std::vector<int> partials;
+            int offset = 0;
+            for (size_t s = 0; s < x.nodes.size(); ++s) {
+                Node p;
+                p.kind = NodeKind::PartialDot;
+                p.inputs = {x.nodes[s]};
+                p.width = 1;
+                p.weights.assign(w.begin() + offset,
+                                 w.begin() + offset + x.widths[s]);
+                p.label = label + "/r" + std::to_string(r) + "p" +
+                          std::to_string(s);
+                partials.push_back(graph_.add(std::move(p)));
+                offset += x.widths[s];
+            }
+            Node c;
+            c.kind = NodeKind::CombineAdd;
+            c.inputs = partials;
+            c.width = 1;
+            c.bias = biases[r];
+            c.requant = rq;
+            c.label = label + "/r" + std::to_string(r) + "c";
+            rows.push_back(graph_.add(std::move(c)));
+        }
+    }
+    return gather(rows, label + "/gather");
+}
+
+Value
+Builder::reduceAdd(const Value &partials, int32_t bias,
+                   const fixed::Requantizer &rq)
+{
+    if (partials.nodes.size() != 1)
+        throw std::invalid_argument("reduceAdd takes one segment");
+    Node n;
+    n.kind = NodeKind::CombineAdd;
+    n.inputs = partials.nodes;
+    n.width = 1;
+    n.bias = bias;
+    n.requant = rq;
+    Value v;
+    v.nodes = {graph_.add(std::move(n))};
+    v.widths = {1};
+    return v;
+}
+
+Value
+Builder::lookup(const Value &x, const std::vector<int8_t> &lut)
+{
+    Value out;
+    for (size_t s = 0; s < x.nodes.size(); ++s) {
+        Node n;
+        n.kind = NodeKind::Lookup;
+        n.inputs = {x.nodes[s]};
+        n.width = x.widths[s];
+        n.lut = lut;
+        out.nodes.push_back(graph_.add(std::move(n)));
+        out.widths.push_back(x.widths[s]);
+    }
+    return out;
+}
+
+Value
+Builder::mul(const Value &a, const Value &b, const fixed::Requantizer &rq)
+{
+    if (a.widths != b.widths)
+        throw std::invalid_argument("mul: shape mismatch");
+    Value out;
+    for (size_t s = 0; s < a.nodes.size(); ++s) {
+        Node n;
+        n.kind = NodeKind::EltwiseMul;
+        n.inputs = {a.nodes[s], b.nodes[s]};
+        n.width = a.widths[s];
+        n.requant = rq;
+        out.nodes.push_back(graph_.add(std::move(n)));
+        out.widths.push_back(a.widths[s]);
+    }
+    return out;
+}
+
+Value
+Builder::add(const Value &a, const Value &b)
+{
+    if (a.widths != b.widths)
+        throw std::invalid_argument("add: shape mismatch");
+    Value out;
+    for (size_t s = 0; s < a.nodes.size(); ++s) {
+        Node n;
+        n.kind = NodeKind::EltwiseAdd;
+        n.inputs = {a.nodes[s], b.nodes[s]};
+        n.width = a.widths[s];
+        out.nodes.push_back(graph_.add(std::move(n)));
+        out.widths.push_back(a.widths[s]);
+    }
+    return out;
+}
+
+Value
+Builder::squaredDist(const Value &x, const std::vector<int8_t> &point,
+                     const fixed::Requantizer &rq)
+{
+    if (x.nodes.size() != 1 ||
+        static_cast<int>(point.size()) != x.widths[0])
+        throw std::invalid_argument("squaredDist: one-segment input");
+    Node n;
+    n.kind = NodeKind::SquaredDist;
+    n.inputs = {x.nodes[0]};
+    n.width = 1;
+    n.weights = point;
+    n.requant = rq;
+    Value v;
+    v.nodes = {graph_.add(std::move(n))};
+    v.widths = {1};
+    return v;
+}
+
+Value
+Builder::argMin(const Value &x)
+{
+    if (x.nodes.size() != 1)
+        throw std::invalid_argument("argMin: one-segment input");
+    Node n;
+    n.kind = NodeKind::ArgMin;
+    n.inputs = {x.nodes[0]};
+    n.width = 1;
+    Value v;
+    v.nodes = {graph_.add(std::move(n))};
+    v.widths = {1};
+    return v;
+}
+
+Value
+Builder::gatherScalars(const std::vector<Value> &scalars)
+{
+    std::vector<int> ids;
+    for (const Value &s : scalars) {
+        if (s.nodes.size() != 1 || s.widths[0] != 1)
+            throw std::invalid_argument(
+                "gatherScalars takes scalar values");
+        ids.push_back(s.nodes[0]);
+    }
+    if (ids.empty() || ids.size() > static_cast<size_t>(kLanes))
+        throw std::invalid_argument("gatherScalars: 1..kLanes values");
+    return gather(ids, "gather");
+}
+
+void
+Builder::output(const Value &v, const std::string &label)
+{
+    for (size_t s = 0; s < v.nodes.size(); ++s) {
+        Node n;
+        n.kind = NodeKind::Output;
+        n.inputs = {v.nodes[s]};
+        n.width = v.widths[s];
+        n.label = label + std::to_string(s);
+        graph_.add(std::move(n));
+    }
+}
+
+void
+Builder::setLoop(int trip, int unroll)
+{
+    graph_.loop = LoopInfo{trip, unroll};
+}
+
+Graph
+Builder::build()
+{
+    if (built_)
+        throw std::logic_error("build() called twice");
+    built_ = true;
+    const std::string err = graph_.validate();
+    if (!err.empty())
+        throw std::invalid_argument("mapreduce program invalid: " + err);
+    return std::move(graph_);
+}
+
+} // namespace taurus::dfg::mr

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The MapReduce control-block front end (Section 3.3.1 / Figure 4).
+ *
+ * The paper proposes a dedicated P4 control-block type programmed with
+ * Map and Reduce constructs:
+ *
+ *     Control MapReduce(inout metadata FeatureSet,
+ *                       inout metadata Output) {
+ *       Weights = loadModelFromFile(Anomaly.model)
+ *       LinearResults = Map(sizeOf(Weights[0])) { i =>
+ *         Mult_Results = Map(sizeOf(Weights[1])) { j =>
+ *           Weights[i,j] * FeatureSet[j] }
+ *         Reduce(Mult_Results) { (x,y) => x + y } }
+ *       Output = Map(sizeOf(LinearResults)) { k =>
+ *         ReLU(LinearResults[k]) }
+ *     }
+ *
+ * Builder is that syntax as a C++ API: values are handles, map() is the
+ * elementwise construct, mapReduce() is the fused inner Map/Reduce pair
+ * (one dot product per weight row), and the builder legalizes widths to
+ * the CU shape (splitting wide rows into PartialDot + CombineAdd)
+ * exactly as the compiler front end does. build() returns the same
+ * dfg::Graph the rest of the stack consumes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace taurus::dfg::mr {
+
+/** A (possibly segmented) value flowing through the program. */
+struct Value
+{
+    std::vector<int> nodes;  ///< one node id per <= kLanes segment
+    std::vector<int> widths; ///< per-segment widths
+
+    int totalWidth() const;
+};
+
+/** Figure-4 style program builder. */
+class Builder
+{
+  public:
+    explicit Builder(std::string name);
+
+    /** Declare an input vector (the FeatureSet metadata). */
+    Value input(int width, const std::string &label = "in");
+
+    /** Map { x => fn(x) } elementwise, optionally with an immediate. */
+    Value map(const Value &x, MapFn fn, int32_t imm = 0,
+              const fixed::Requantizer &rq = {});
+
+    /** Map a chain of elementwise functions (<= kStages per CU pass). */
+    Value mapChain(const Value &x, const std::vector<MapFn> &fns,
+                   const std::vector<int32_t> &imms = {},
+                   const fixed::Requantizer &rq = {});
+
+    /**
+     * The nested Map/Reduce pair of Figure 4: for each weight row,
+     * Map { j => w[i,j] * x[j] } then Reduce { (a,b) => a + b }, plus
+     * bias and requantization. Rows wider than kLanes are legalized
+     * into partial dots and a combine.
+     */
+    Value mapReduce(const Value &x,
+                    const std::vector<std::vector<int8_t>> &weights,
+                    const std::vector<int32_t> &biases,
+                    const fixed::Requantizer &rq,
+                    const std::string &label = "dot");
+
+    /** Reduce a vector of int32 partials into one int8 scalar. */
+    Value reduceAdd(const Value &partials, int32_t bias,
+                    const fixed::Requantizer &rq);
+
+    /** Elementwise 256-entry table lookup (runs on an MU). */
+    Value lookup(const Value &x, const std::vector<int8_t> &lut);
+
+    /** Lane-wise product / sum of two equally-shaped values. */
+    Value mul(const Value &a, const Value &b,
+              const fixed::Requantizer &rq);
+    Value add(const Value &a, const Value &b);
+
+    /** Squared distance to a point; raw int32 unless requantized. */
+    Value squaredDist(const Value &x, const std::vector<int8_t> &point,
+                      const fixed::Requantizer &rq = {});
+
+    /** Index of the minimum lane. */
+    Value argMin(const Value &x);
+
+    /** Gather scalar values into one vector (<= kLanes of them). */
+    Value gatherScalars(const std::vector<Value> &scalars);
+
+    /** Declare a program output. */
+    void output(const Value &v, const std::string &label = "out");
+
+    /** Loop metadata (target-independent unrolling, Section 4). */
+    void setLoop(int trip, int unroll);
+
+    /** Finish; validates and returns the graph. */
+    Graph build();
+
+  private:
+    Value gather(const std::vector<int> &scalars,
+                 const std::string &label);
+
+    Graph graph_;
+    bool built_ = false;
+};
+
+} // namespace taurus::dfg::mr

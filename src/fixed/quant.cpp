@@ -1,0 +1,72 @@
+#include "fixed/quant.hpp"
+
+#include <cmath>
+
+namespace taurus::fixed {
+
+QuantParams
+QuantParams::forAbsMax(double abs_max, int bits)
+{
+    QuantParams qp;
+    const double max_code = static_cast<double>((1 << (bits - 1)) - 1);
+    qp.scale = abs_max <= 0.0 ? 1.0 : abs_max / max_code;
+    return qp;
+}
+
+int32_t
+quantize(double real, const QuantParams &qp, int bits)
+{
+    const double code = std::nearbyint(real / qp.scale);
+    const int64_t lo = -(int64_t{1} << (bits - 1));
+    const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+    const int64_t q = static_cast<int64_t>(code);
+    return static_cast<int32_t>(q < lo ? lo : (q > hi ? hi : q));
+}
+
+double
+dequantize(int32_t q, const QuantParams &qp)
+{
+    return static_cast<double>(q) * qp.scale;
+}
+
+std::vector<int8_t>
+quantizeVec(const std::vector<float> &v, const QuantParams &qp)
+{
+    std::vector<int8_t> out;
+    out.reserve(v.size());
+    for (float x : v)
+        out.push_back(static_cast<int8_t>(quantize(x, qp, 8)));
+    return out;
+}
+
+Requantizer
+Requantizer::fromRealMultiplier(double multiplier)
+{
+    Requantizer r;
+    if (multiplier <= 0.0) {
+        r.mantissa_ = 0;
+        r.exponent_ = 0;
+        return r;
+    }
+    int exp = 0;
+    // Normalize multiplier into [0.5, 1).
+    const double mant = std::frexp(multiplier, &exp);
+    // mantissa in Q31: mant * 2^31.
+    int64_t m = static_cast<int64_t>(std::nearbyint(mant * (1ll << 31)));
+    if (m == (1ll << 31)) {
+        m /= 2;
+        ++exp;
+    }
+    r.mantissa_ = static_cast<int32_t>(m);
+    r.exponent_ = -exp;
+    return r;
+}
+
+double
+Requantizer::realMultiplier() const
+{
+    return static_cast<double>(mantissa_) / (1ll << 31) *
+           std::pow(2.0, -exponent_);
+}
+
+} // namespace taurus::fixed

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Symmetric per-tensor quantization (float32 -> int8/16/32) and integer
+ * requantization, gemmlowp-style.
+ *
+ * The Taurus data path is integer-only: weights and activations are int8,
+ * dot-product accumulation is int32, and the accumulator is scaled back to
+ * int8 with a fixed-point multiplier (int32 mantissa + right shift). This
+ * module defines that arithmetic once; both the nn reference inference and
+ * the hw cycle simulator use it, which is what makes the "full model
+ * accuracy" claim (paper Section 5.2.2) checkable: the hardware result is
+ * bit-exact with the quantized reference model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/saturate.hpp"
+
+namespace taurus::fixed {
+
+/** Symmetric quantization parameters: real = scale * quantized. */
+struct QuantParams
+{
+    double scale = 1.0;
+
+    /** Scale chosen so absMax maps to the extreme code of `bits`. */
+    static QuantParams forAbsMax(double abs_max, int bits = 8);
+};
+
+/** Quantize one real value to a saturating signed integer of `bits`. */
+int32_t quantize(double real, const QuantParams &qp, int bits = 8);
+
+/** Dequantize back to real. */
+double dequantize(int32_t q, const QuantParams &qp);
+
+/** Quantize a vector to int8. */
+std::vector<int8_t> quantizeVec(const std::vector<float> &v,
+                                const QuantParams &qp);
+
+/**
+ * Integer requantizer: approximates multiplication by a real factor in
+ * [0, 1) (or slightly above) as (x * mantissa) >> (31 + exponent), with
+ * round-half-away-from-zero. Used to rescale int32 accumulators to int8
+ * activations between layers.
+ */
+class Requantizer
+{
+  public:
+    Requantizer() = default;
+
+    /** Build from the real multiplier outScale = inScale / outScale etc. */
+    static Requantizer fromRealMultiplier(double multiplier);
+
+    /** Apply to an int32 accumulator, returning a saturated int8. */
+    int8_t
+    apply(int32_t acc) const
+    {
+        const int64_t prod = static_cast<int64_t>(acc) * mantissa_;
+        const int64_t scaled = roundingShiftRight(prod, 31 + exponent_);
+        return saturate<int8_t>(scaled);
+    }
+
+    /** Apply returning full precision (for wider intermediate paths). */
+    int32_t
+    applyWide(int32_t acc) const
+    {
+        const int64_t prod = static_cast<int64_t>(acc) * mantissa_;
+        return saturate<int32_t>(roundingShiftRight(prod, 31 + exponent_));
+    }
+
+    int32_t mantissa() const { return mantissa_; }
+    int exponent() const { return exponent_; }
+    double realMultiplier() const;
+
+  private:
+    int32_t mantissa_ = 0; // Q31 mantissa in [2^30, 2^31).
+    int exponent_ = 0;     // extra right shift (may be negative).
+};
+
+} // namespace taurus::fixed

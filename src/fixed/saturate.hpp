@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Saturating fixed-point primitives matching the Taurus CU datapath.
+ *
+ * The MapReduce block's functional units operate on 8-bit fixed-point lanes
+ * (Section 4: "each performing an 8-bit fixed-point operation"), with wider
+ * accumulators inside reductions. These helpers define the exact arithmetic
+ * the cycle simulator and the reference int8 inference both use, so the two
+ * can be checked for bit-exactness.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace taurus::fixed {
+
+/** Clamp a wide value into the representable range of NarrowT. */
+template <typename NarrowT, typename WideT>
+constexpr NarrowT
+saturate(WideT v)
+{
+    static_assert(std::is_integral_v<NarrowT> && std::is_integral_v<WideT>);
+    constexpr WideT lo = std::numeric_limits<NarrowT>::min();
+    constexpr WideT hi = std::numeric_limits<NarrowT>::max();
+    return static_cast<NarrowT>(std::clamp<WideT>(v, lo, hi));
+}
+
+/** Saturating addition in the width of T (computed in 64-bit). */
+template <typename T>
+constexpr T
+satAdd(T a, T b)
+{
+    return saturate<T>(static_cast<int64_t>(a) + static_cast<int64_t>(b));
+}
+
+/** Saturating subtraction in the width of T. */
+template <typename T>
+constexpr T
+satSub(T a, T b)
+{
+    return saturate<T>(static_cast<int64_t>(a) - static_cast<int64_t>(b));
+}
+
+/** Saturating multiplication in the width of T. */
+template <typename T>
+constexpr T
+satMul(T a, T b)
+{
+    return saturate<T>(static_cast<int64_t>(a) * static_cast<int64_t>(b));
+}
+
+/**
+ * Rounding arithmetic right shift (round-half-away-from-zero), the
+ * rounding mode of the requantization stage.
+ */
+constexpr int64_t
+roundingShiftRight(int64_t v, int shift)
+{
+    if (shift <= 0)
+        return v << (-shift);
+    const int64_t offset = int64_t{1} << (shift - 1);
+    if (v >= 0)
+        return (v + offset) >> shift;
+    return -((-v + offset) >> shift);
+}
+
+} // namespace taurus::fixed

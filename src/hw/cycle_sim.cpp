@@ -1,0 +1,150 @@
+#include "hw/cycle_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace taurus::hw {
+
+CycleSim::CycleSim(const GridProgram &program) : program_(program)
+{
+    const std::string err = program.validate();
+    if (!err.empty())
+        throw std::invalid_argument("invalid program: " + err);
+}
+
+int
+CycleSim::nodeLatency(const dfg::Node &n, const dfg::Graph &g,
+                      const GridSpec &spec, const TimingSpec &timing)
+{
+    using dfg::NodeKind;
+    auto inputWidth = [&]() {
+        return n.inputs.empty() ? n.width : g.node(n.inputs[0]).width;
+    };
+    switch (n.kind) {
+      case NodeKind::DotRow:
+      case NodeKind::PartialDot:
+      case NodeKind::SquaredDist:
+        // One map cycle plus a log2-depth tree reduction.
+        return 1 + std::max(1, util::log2Ceil(
+                                   static_cast<uint64_t>(inputWidth())));
+      case NodeKind::CombineAdd:
+        return 1 + std::max(1, util::log2Ceil(n.inputs.size()));
+      case NodeKind::ArgMin:
+        return 1 + std::max(1, util::log2Ceil(
+                                   static_cast<uint64_t>(inputWidth())));
+      case NodeKind::MapChain:
+      case NodeKind::EltwiseMul:
+      case NodeKind::EltwiseAdd:
+        // Pure map ops traverse the full CU pipeline.
+        return spec.stages;
+      case NodeKind::Lookup:
+        return timing.mu_lookup_cycles;
+      case NodeKind::Concat:
+        // Gathering n scalars produced on n different units is a
+        // log-depth merge through the interconnect: each tree level is
+        // one synchronized hop (the "roughly five cycles per data
+        // movement" of Section 5.1.3), not a free register write.
+        return n.inputs.size() <= 1
+                   ? timing.concat_cycles
+                   : (timing.route_base + 1) *
+                         util::log2Ceil(n.inputs.size());
+      case NodeKind::Input:
+      case NodeKind::Output:
+        return 0;
+    }
+    return 0;
+}
+
+SimResult
+CycleSim::run(const std::vector<std::vector<int8_t>> &inputs) const
+{
+    const auto &prog = program_;
+    const auto &g = prog.graph;
+    SimResult res;
+
+    // Functional evaluation (bit-exact dfg semantics).
+    const auto all_values = dfg::evaluate(g, inputs);
+    res.outputs = all_values;
+
+    // Timing: longest-path schedule with optional unit serialization.
+    std::vector<int> finish(g.nodes().size(), 0);
+    std::map<std::pair<int, int>, int> unit_free;
+
+    for (int id : g.topoOrder()) {
+        const auto &n = g.node(id);
+        const Coord here = prog.place[static_cast<size_t>(id)];
+
+        if (n.kind == dfg::NodeKind::Input) {
+            finish[static_cast<size_t>(id)] = prog.timing.ingress_cycles;
+            continue;
+        }
+
+        int ready = 0;
+        for (int pred : n.inputs) {
+            const Coord from = prog.place[static_cast<size_t>(pred)];
+            // The PHV interface is a bus along the grid edge (Figure 7):
+            // ingress/egress taps are adjacent to their units rather
+            // than routed across the fabric.
+            const bool io_edge =
+                g.node(pred).kind == dfg::NodeKind::Input ||
+                n.kind == dfg::NodeKind::Output;
+            const int hops = io_edge ? 1 : manhattan(from, here);
+            res.route_hops += hops;
+            const int arrive = finish[static_cast<size_t>(pred)] +
+                               prog.timing.route_base + hops;
+            ready = std::max(ready, arrive);
+        }
+
+        if (n.kind == dfg::NodeKind::Output) {
+            finish[static_cast<size_t>(id)] =
+                ready + prog.timing.egress_cycles;
+            continue;
+        }
+
+        const int lat =
+            nodeLatency(n, g, prog.spec, prog.timing);
+        int start = ready;
+        if (prog.serialize_sharing && dfg::Graph::isCuOp(n)) {
+            auto &free_at = unit_free[{here.row, here.col}];
+            start = std::max(start, free_at);
+            free_at = start + lat;
+        }
+        finish[static_cast<size_t>(id)] = start + lat;
+    }
+
+    int latency = 0;
+    for (int id : g.outputIds())
+        latency = std::max(latency, finish[static_cast<size_t>(id)]);
+
+    // Initiation interval.
+    int ii = prog.ii_multiplier;
+    if (g.loop)
+        ii = std::max(ii, g.loop->iiMultiplier());
+    if (prog.serialize_sharing) {
+        std::map<std::pair<int, int>, int> demand;
+        for (const auto &n : g.nodes())
+            if (dfg::Graph::isCuOp(n)) {
+                const Coord c = prog.place[static_cast<size_t>(n.id)];
+                demand[{c.row, c.col}] +=
+                    nodeLatency(n, g, prog.spec, prog.timing);
+            }
+        for (const auto &[coord, d] : demand)
+            ii = std::max(ii, d);
+    }
+
+    // Pipelined iterations: the last of II iterations starts II-1 cycles
+    // after the first.
+    if (ii > 1)
+        latency += ii - 1;
+
+    res.latency_cycles = latency;
+    res.latency_ns = latency / prog.spec.clock_ghz;
+    res.ii_cycles = ii;
+    res.gpktps = prog.spec.clock_ghz / ii;
+    return res;
+}
+
+} // namespace taurus::hw

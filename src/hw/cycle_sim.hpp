@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cycle-level simulator for placed MapReduce programs.
+ *
+ * Models the block as a statically-routed, pipelined dataflow machine:
+ * every producer->consumer transfer pays a FIFO synchronization cost plus
+ * one cycle per interconnect hop; every CU pass takes one cycle per
+ * occupied stage (a fused 16-wide map+reduce takes 1 + log2(16) = 5
+ * cycles, Section 5.1.3); the PHV interface adds fixed staging FIFOs
+ * (Figure 7). Functional results use the dfg reference semantics, so the
+ * simulator is bit-exact with dfg::evaluate by construction of values and
+ * is *tested* to match nn::QuantizedMlp end to end.
+ *
+ * For line-rate (fully unrolled) programs each unit hosts one op (or
+ * lane-packed ops) and the block is fully pipelined: II = 1. Loop metadata
+ * multiplies II by ceil(trip/unroll); folded programs (serialize_sharing)
+ * derive II from per-unit service demand.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "dfg/eval.hpp"
+#include "hw/program.hpp"
+
+namespace taurus::hw {
+
+/** Result of simulating one packet through the block. */
+struct SimResult
+{
+    std::vector<dfg::LaneVec> outputs; ///< one per Output node
+    int latency_cycles = 0;
+    double latency_ns = 0.0;
+    int ii_cycles = 1;       ///< initiation interval
+    double gpktps = 0.0;     ///< sustained packets/ns = clock/II
+    int route_hops = 0;      ///< total routed hops (for reports)
+};
+
+/** Simulates a GridProgram. */
+class CycleSim
+{
+  public:
+    explicit CycleSim(const GridProgram &program);
+
+    /** Run one packet's feature vector(s) through the block. */
+    SimResult run(const std::vector<std::vector<int8_t>> &inputs) const;
+
+    /** Latency of a single node's compute, in cycles. */
+    static int nodeLatency(const dfg::Node &n, const dfg::Graph &g,
+                           const GridSpec &spec, const TimingSpec &timing);
+
+  private:
+    const GridProgram &program_;
+};
+
+} // namespace taurus::hw

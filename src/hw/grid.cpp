@@ -1,0 +1,54 @@
+#include "hw/grid.hpp"
+
+#include <cmath>
+
+namespace taurus::hw {
+
+int
+manhattan(const Coord &a, const Coord &b)
+{
+    return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+UnitKind
+GridSpec::kindAt(const Coord &c) const
+{
+    // Every (cu_per_mu + 1)-th unit in row-major order is an MU, offset by
+    // row so MUs form a checkerboard-like diagonal pattern for locality
+    // (paper: "banked SRAMs ... interspersed with CUs in a checkerboard
+    // pattern").
+    const int idx = c.row * cols + c.col;
+    const int period = cu_per_mu + 1;
+    return ((idx + c.row) % period) == period - 1 ? UnitKind::Mu
+                                                  : UnitKind::Cu;
+}
+
+int
+GridSpec::cuCount() const
+{
+    int n = 0;
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            if (kindAt({r, c}) == UnitKind::Cu)
+                ++n;
+    return n;
+}
+
+int
+GridSpec::muCount() const
+{
+    return unitCount() - cuCount();
+}
+
+std::vector<Coord>
+GridSpec::unitsOfKind(UnitKind kind) const
+{
+    std::vector<Coord> out;
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            if (kindAt({r, c}) == kind)
+                out.push_back({r, c});
+    return out;
+}
+
+} // namespace taurus::hw

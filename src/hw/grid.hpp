@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The MapReduce block's physical grid: compute units (CUs) and memory
+ * units (MUs) interleaved in a checkerboard pattern and joined by a static,
+ * pipelined interconnect (paper Section 4, Figure 7).
+ *
+ * The final Taurus ASIC configuration is a 12x10 grid with a 3:1 CU:MU
+ * ratio (Section 5.1.1), 16 lanes x 4 stages per CU, and 16 banks x 1024
+ * 8-bit entries per MU.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taurus::hw {
+
+/** Kind of unit at a grid position. */
+enum class UnitKind
+{
+    Cu,
+    Mu,
+};
+
+/** Grid coordinates; ingress/egress ports sit just outside the grid. */
+struct Coord
+{
+    int row = 0;
+    int col = 0;
+
+    bool operator==(const Coord &o) const
+    {
+        return row == o.row && col == o.col;
+    }
+};
+
+/** Manhattan distance between two coordinates. */
+int manhattan(const Coord &a, const Coord &b);
+
+/** Static parameters of the MapReduce block. */
+struct GridSpec
+{
+    int rows = 12;
+    int cols = 10;
+    int cu_per_mu = 3;        ///< 3:1 CU:MU interleave
+    int lanes = 16;           ///< SIMD lanes per CU
+    int stages = 4;           ///< compute stages per CU
+    int mu_banks = 16;        ///< SRAM banks per MU
+    int mu_entries = 1024;    ///< entries per bank
+    int mu_width_bits = 8;    ///< entry width
+    double clock_ghz = 1.0;   ///< line-rate clock (1 GPkt/s)
+
+    int unitCount() const { return rows * cols; }
+    int cuCount() const;
+    int muCount() const;
+    size_t muCapacityBytes() const
+    {
+        return static_cast<size_t>(mu_banks) * mu_entries * mu_width_bits /
+               8;
+    }
+
+    /** Unit kind at a coordinate (checkerboard with 3:1 interleave). */
+    UnitKind kindAt(const Coord &c) const;
+
+    /** All coordinates of the given kind, in row-major order. */
+    std::vector<Coord> unitsOfKind(UnitKind kind) const;
+
+    /** PHV ingress port position (left edge, middle row). */
+    Coord ingress() const { return {rows / 2, -1}; }
+    /** PHV egress port position (right edge, middle row). */
+    Coord egress() const { return {rows / 2, cols}; }
+};
+
+/** Interconnect and interface timing constants (see DESIGN.md Section 4). */
+struct TimingSpec
+{
+    /**
+     * Per-movement synchronization cost (FIFO handshake) added to the
+     * hop count of every producer->consumer transfer; an adjacent-unit
+     * move costs route_base + 1 = 5 cycles, the paper's "roughly five
+     * cycles for each data movement".
+     */
+    int route_base = 4;
+    /** PHV-to-grid staging FIFO (Figure 7), each direction. */
+    int ingress_cycles = 4;
+    int egress_cycles = 4;
+    /** MU SRAM lookup latency. */
+    int mu_lookup_cycles = 2;
+    /** Gather synchronization at a concat point. */
+    int concat_cycles = 1;
+};
+
+} // namespace taurus::hw

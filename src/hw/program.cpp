@@ -1,0 +1,137 @@
+#include "hw/program.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace taurus::hw {
+
+namespace {
+
+struct CoordLess
+{
+    bool
+    operator()(const Coord &a, const Coord &b) const
+    {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    }
+};
+
+} // namespace
+
+int
+GridProgram::cusUsed() const
+{
+    std::set<Coord, CoordLess> used;
+    for (const auto &n : graph.nodes())
+        if (dfg::Graph::isCuOp(n))
+            used.insert(place[static_cast<size_t>(n.id)]);
+    return static_cast<int>(used.size());
+}
+
+int
+GridProgram::musUsed() const
+{
+    std::set<Coord, CoordLess> used;
+    for (const auto &n : graph.nodes())
+        if (dfg::Graph::isMuOp(n))
+            used.insert(place[static_cast<size_t>(n.id)]);
+    for (const auto &c : weight_mus)
+        used.insert(c);
+    return static_cast<int>(used.size());
+}
+
+std::string
+GridProgram::validate() const
+{
+    std::ostringstream err;
+    if (place.size() != graph.nodes().size())
+        return "placement size mismatch";
+
+    std::map<Coord, int, CoordLess> lanes_used;
+    std::map<Coord, size_t, CoordLess> mu_bytes;
+
+    for (const auto &n : graph.nodes()) {
+        const Coord c = place[static_cast<size_t>(n.id)];
+        const bool onGrid = c.row >= 0 && c.row < spec.rows && c.col >= 0 &&
+                            c.col < spec.cols;
+        if (n.kind == dfg::NodeKind::Input ||
+            n.kind == dfg::NodeKind::Output) {
+            continue; // PHV ports live off-grid by design.
+        }
+        if (n.kind == dfg::NodeKind::Concat)
+            continue; // routing-only; may sit at a virtual point.
+        if (!onGrid) {
+            err << "node " << n.id << " placed off-grid";
+            return err.str();
+        }
+        if (dfg::Graph::isCuOp(n)) {
+            if (spec.kindAt(c) != UnitKind::Cu) {
+                err << "node " << n.id << " (CU op) placed on a non-CU";
+                return err.str();
+            }
+            // Lane capacity: dot-like packed nodes share lanes.
+            const int w =
+                n.inputs.empty()
+                    ? n.width
+                    : graph.node(n.inputs[0]).width;
+            if (!serialize_sharing)
+                lanes_used[c] += w;
+        } else if (dfg::Graph::isMuOp(n)) {
+            if (spec.kindAt(c) != UnitKind::Mu) {
+                err << "node " << n.id << " (MU op) placed on a non-MU";
+                return err.str();
+            }
+            mu_bytes[c] += n.lut.size();
+        }
+    }
+
+    if (!serialize_sharing) {
+        for (const auto &[c, lanes] : lanes_used) {
+            if (lanes > spec.lanes) {
+                err << "CU at (" << c.row << "," << c.col << ") packs "
+                    << lanes << " lanes > " << spec.lanes;
+                return err.str();
+            }
+        }
+    }
+    for (const auto &[c, bytes] : mu_bytes) {
+        if (bytes > spec.muCapacityBytes()) {
+            err << "MU at (" << c.row << "," << c.col << ") holds " << bytes
+                << " bytes > capacity";
+            return err.str();
+        }
+    }
+    for (const auto &c : weight_mus) {
+        if (spec.kindAt(c) != UnitKind::Mu)
+            return "weight MU allocated on a non-MU unit";
+    }
+    return "";
+}
+
+void
+GridProgram::updateWeights(const dfg::Graph &fresh)
+{
+    if (fresh.nodes().size() != graph.nodes().size())
+        throw std::invalid_argument("weight update: node count differs");
+    for (size_t i = 0; i < fresh.nodes().size(); ++i) {
+        const auto &src = fresh.nodes()[i];
+        auto &dst = graph.node(static_cast<int>(i));
+        if (src.kind != dst.kind || src.width != dst.width ||
+            src.inputs != dst.inputs ||
+            src.weights.size() != dst.weights.size() ||
+            src.lut.size() != dst.lut.size() ||
+            src.fns.size() != dst.fns.size()) {
+            throw std::invalid_argument(
+                "weight update: structure mismatch at node " +
+                std::to_string(i));
+        }
+        dst.weights = src.weights;
+        dst.bias = src.bias;
+        dst.requant = src.requant;
+        dst.lut = src.lut;
+        dst.imms = src.imms;
+    }
+}
+
+} // namespace taurus::hw

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A placed-and-routed dataflow program for the MapReduce block.
+ *
+ * The compiler produces a GridProgram: every dfg node is assigned to a CU,
+ * an MU (lookups), or the PHV interface (inputs/outputs); weight tensors
+ * are assigned to weight-holding MUs near their readers. Multiple narrow
+ * dot-product nodes may be packed onto one CU (sparse stage-3 reductions,
+ * Figure 8); folded programs additionally time-multiplex units.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "hw/grid.hpp"
+
+namespace taurus::hw {
+
+/** A compiled, placed program. */
+class GridProgram
+{
+  public:
+    dfg::Graph graph;
+    GridSpec spec;
+    TimingSpec timing;
+
+    /** Placement per node id; Input/Output nodes sit at the PHV ports. */
+    std::vector<Coord> place;
+
+    /** Coordinates of MUs allocated to hold weights (not lookup nodes). */
+    std::vector<Coord> weight_mus;
+
+    /**
+     * When true, nodes sharing a unit execute serially (folded / time
+     * multiplexed); when false, sharing is lane-packing and concurrent.
+     */
+    bool serialize_sharing = false;
+
+    /** Extra initiation-interval multiplier from loop metadata. */
+    int ii_multiplier = 1;
+
+    /** Distinct CUs used by compute nodes. */
+    int cusUsed() const;
+    /** Distinct MUs used (lookup nodes + weight MUs). */
+    int musUsed() const;
+
+    /**
+     * Placement legality check: kinds match, coordinates in range, packed
+     * CUs respect lane capacity, MUs respect table capacity. Returns an
+     * error string or empty.
+     */
+    std::string validate() const;
+
+    /**
+     * Install new constants (weights/biases/requant/LUTs) from a graph
+     * with identical structure — the data plane's weight-update path
+     * (paper Figure 1: the control plane pushes weight updates without
+     * touching placement). Throws std::invalid_argument on shape mismatch.
+     */
+    void updateWeights(const dfg::Graph &fresh);
+};
+
+} // namespace taurus::hw

@@ -1,0 +1,44 @@
+#include "models/apps.hpp"
+
+namespace taurus::models {
+
+const std::vector<AppInfo> &
+table1Registry()
+{
+    static const std::vector<AppInfo> registry = {
+        // Security
+        {"Heavy Hitters", "Security", {false, false, true, false}},
+        {"DoS (e.g., SYN Flood)", "Security", {true, true, true, false}},
+        {"Probes (e.g., Port Scan)", "Security",
+         {false, false, true, false}},
+        {"U2R: Unauth. Access to Root", "Security",
+         {false, false, true, false}},
+        {"R2L: Unauth. Remote Access", "Security",
+         {false, false, true, false}},
+        // Performance
+        {"Congestion Control", "Performance", {true, false, false, false}},
+        {"Active Queue Mgmt (AQM)", "Performance",
+         {true, false, false, false}},
+        {"Traffic Classification", "Performance",
+         {false, true, true, false}},
+        {"Load Balancing", "Performance", {false, true, true, false}},
+        {"Switching and Routing", "Performance",
+         {false, true, true, false}},
+    };
+    return registry;
+}
+
+const std::vector<MatOnlyDesign> &
+matOnlyDesigns()
+{
+    // N2Net needs >= 12 MATs per BNN layer (48 for the 4-layer anomaly
+    // DNN); IIsy maps an SVM to 8 MATs and KMeans to 2 MATs.
+    static const std::vector<MatOnlyDesign> designs = {
+        {"N2Net", "BNN (4-layer anomaly DNN)", 48, "anomaly_dnn"},
+        {"IIsy", "SVM", 8, "svm_rbf"},
+        {"IIsy", "KMeans", 2, "iot_kmeans"},
+    };
+    return designs;
+}
+
+} // namespace taurus::models

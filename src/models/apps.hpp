@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The Table 1 application registry: in-network applications and the
+ * reaction timescale each demands (per-packet, per-flowlet, per-flow,
+ * per-microburst), plus the MAT-cost comparison data of Section 5.1.4.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace taurus::models {
+
+/** Reaction granularity flags (Table 1 columns). */
+struct ReactionTime
+{
+    bool per_packet = false;
+    bool per_flowlet = false;
+    bool per_flow = false;
+    bool per_microburst = false;
+};
+
+/** One Table 1 row. */
+struct AppInfo
+{
+    std::string name;
+    std::string category; ///< "Security" or "Performance"
+    ReactionTime reaction;
+};
+
+/** All Table 1 rows, in the paper's order. */
+const std::vector<AppInfo> &table1Registry();
+
+/** MAT-only ML implementation costs (Section 5.1.4). */
+struct MatOnlyDesign
+{
+    std::string system;   ///< N2Net / IIsy
+    std::string model;    ///< BNN / SVM / KMeans
+    int mats_used = 0;    ///< MATs consumed on a PISA pipeline
+    std::string taurus_model; ///< the comparable Taurus model
+};
+
+/** The published MAT-only data points used for the comparison table. */
+const std::vector<MatOnlyDesign> &matOnlyDesigns();
+
+} // namespace taurus::models

@@ -1,0 +1,267 @@
+#include "models/microbench.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "area/activation_catalog.hpp"
+#include "fixed/saturate.hpp"
+#include "nn/quantized.hpp"
+#include "util/stats.hpp"
+
+namespace taurus::models {
+
+using dfg::Graph;
+using dfg::MapFn;
+using dfg::Node;
+using dfg::NodeKind;
+
+namespace {
+
+constexpr int kConvOutputs = 8;
+constexpr int kConvKernel = 2;
+constexpr int8_t kConvW0 = 3;
+constexpr int8_t kConvW1 = -2;
+constexpr double kConvRequant = 0.25;
+
+int
+addInput(Graph &g, int width, const std::string &label)
+{
+    Node n;
+    n.kind = NodeKind::Input;
+    n.width = width;
+    n.label = label;
+    return g.add(std::move(n));
+}
+
+void
+addOutput(Graph &g, int src, int width)
+{
+    Node n;
+    n.kind = NodeKind::Output;
+    n.inputs = {src};
+    n.width = width;
+    n.label = "out";
+    g.add(std::move(n));
+}
+
+/** A plausible bounded int8 map function for structural benches. */
+MapFn
+fnForIndex(int i)
+{
+    switch (i % 4) {
+      case 0: return MapFn::AddConst;
+      case 1: return MapFn::MaxConst;
+      case 2: return MapFn::MinConst;
+      default: return MapFn::Abs;
+    }
+}
+
+} // namespace
+
+dfg::Graph
+buildInnerProduct(util::Rng &rng)
+{
+    Graph g;
+    g.name = "InnerProduct";
+    const int in = addInput(g, dfg::kLanes, "x");
+    Node dot;
+    dot.kind = NodeKind::DotRow;
+    dot.inputs = {in};
+    dot.width = 1;
+    for (int i = 0; i < dfg::kLanes; ++i)
+        dot.weights.push_back(
+            static_cast<int8_t>(rng.uniformInt(-64, 64)));
+    dot.bias = 0;
+    dot.requant = fixed::Requantizer::fromRealMultiplier(1.0 / 64.0);
+    dot.label = "ip/dot";
+    const int id = g.add(std::move(dot));
+    addOutput(g, id, 1);
+    return g;
+}
+
+dfg::Graph
+buildConv1d(int unroll, util::Rng &rng)
+{
+    (void)rng;
+    if (unroll != 1 && unroll != 2 && unroll != 4 && unroll != 8)
+        throw std::invalid_argument("conv1d unroll must be 1, 2, 4, or 8");
+
+    Graph g;
+    g.name = "Conv1D/x" + std::to_string(unroll);
+    const int in_width = kConvOutputs + kConvKernel - 1; // 9
+    const int in = addInput(g, in_width, "x");
+    const auto rq = fixed::Requantizer::fromRealMultiplier(kConvRequant);
+
+    std::vector<int> outputs;
+    for (int r = 0; r < unroll; ++r) {
+        const std::string lbl = "conv/r" + std::to_string(r);
+
+        // Window alignment (shift-register stage).
+        Node win;
+        win.kind = NodeKind::MapChain;
+        win.inputs = {in};
+        win.width = in_width;
+        win.fns = {MapFn::Identity};
+        win.label = lbl + "/window";
+        const int win_id = g.add(std::move(win));
+
+        // Two one-hot taps: "multiple small inner reductions".
+        std::vector<int> partials;
+        for (int t = 0; t < kConvKernel; ++t) {
+            Node tap;
+            tap.kind = NodeKind::PartialDot;
+            tap.inputs = {win_id};
+            tap.width = 1;
+            tap.weights.assign(static_cast<size_t>(in_width), 0);
+            tap.weights[static_cast<size_t>(r + t)] =
+                t == 0 ? kConvW0 : kConvW1;
+            tap.label = lbl + "/tap" + std::to_string(t);
+            partials.push_back(g.add(std::move(tap)));
+        }
+
+        Node comb;
+        comb.kind = NodeKind::CombineAdd;
+        comb.inputs = partials;
+        comb.width = 1;
+        comb.requant = rq;
+        comb.label = lbl + "/combine";
+        outputs.push_back(g.add(std::move(comb)));
+    }
+
+    Node cat;
+    cat.kind = NodeKind::Concat;
+    cat.inputs = outputs;
+    cat.width = unroll;
+    cat.label = "conv/gather";
+    int cur = g.add(std::move(cat));
+
+    // Merge/assembly tree for the output vector.
+    const int merges = (unroll - 1 + 1) / 2; // ceil((u-1)/2)
+    for (int m = 0; m < merges; ++m) {
+        Node mg;
+        mg.kind = NodeKind::MapChain;
+        mg.inputs = {cur};
+        mg.width = unroll;
+        mg.fns = {MapFn::Identity};
+        mg.label = "conv/merge" + std::to_string(m);
+        cur = g.add(std::move(mg));
+    }
+
+    addOutput(g, cur, unroll);
+    g.loop = dfg::LoopInfo{kConvOutputs, unroll};
+    return g;
+}
+
+std::vector<int8_t>
+referenceConv1d(const dfg::Graph &g, const std::vector<int8_t> &input)
+{
+    const int unroll = g.loop ? g.loop->unroll : kConvOutputs;
+    const auto rq =
+        fixed::Requantizer::fromRealMultiplier(kConvRequant);
+    std::vector<int8_t> out;
+    for (int o = 0; o < unroll; ++o) {
+        const int32_t acc =
+            kConvW0 * static_cast<int32_t>(input[static_cast<size_t>(o)]) +
+            kConvW1 *
+                static_cast<int32_t>(input[static_cast<size_t>(o + 1)]);
+        out.push_back(rq.apply(acc));
+    }
+    return out;
+}
+
+dfg::Graph
+buildActivationBench(const std::string &impl_name, util::Rng &rng)
+{
+    (void)rng;
+    const auto &impl = area::activationImpl(impl_name);
+    Graph g;
+    g.name = impl_name;
+    const int in = addInput(g, dfg::kLanes, "x");
+
+    int cur = in;
+    if (impl_name == "ReLU") {
+        Node n;
+        n.kind = NodeKind::MapChain;
+        n.inputs = {cur};
+        n.width = dfg::kLanes;
+        n.fns = {MapFn::Relu};
+        n.label = "act/relu";
+        cur = g.add(std::move(n));
+    } else if (impl_name == "LeakyReLU") {
+        Node n;
+        n.kind = NodeKind::MapChain;
+        n.inputs = {cur};
+        n.width = dfg::kLanes;
+        n.fns = {MapFn::LeakyRelu, MapFn::Identity};
+        n.label = "act/leaky";
+        cur = g.add(std::move(n));
+    } else if (impl_name == "ActLUT") {
+        // Pre-scale CU, MU table, post-scale CU.
+        Node pre;
+        pre.kind = NodeKind::MapChain;
+        pre.inputs = {cur};
+        pre.width = dfg::kLanes;
+        pre.fns = {MapFn::Identity};
+        pre.label = "act/pre";
+        cur = g.add(std::move(pre));
+
+        Node lut;
+        lut.kind = NodeKind::Lookup;
+        lut.inputs = {cur};
+        lut.width = dfg::kLanes;
+        lut.lut = nn::buildActivationLut(nn::Activation::Tanh, 4.0 / 127.0,
+                                         1.0 / 127.0);
+        lut.label = "act/lut";
+        cur = g.add(std::move(lut));
+
+        Node post;
+        post.kind = NodeKind::MapChain;
+        post.inputs = {cur};
+        post.width = dfg::kLanes;
+        post.fns = {MapFn::Identity};
+        post.label = "act/post";
+        cur = g.add(std::move(post));
+    } else {
+        // Taylor / piecewise chains: ceil(map_ops / stages) CUs of up to
+        // kStages bounded int8 ops each.
+        int remaining = impl.map_ops;
+        int cu_idx = 0;
+        while (remaining > 0) {
+            const int take = std::min(remaining, dfg::kStages);
+            Node n;
+            n.kind = NodeKind::MapChain;
+            n.inputs = {cur};
+            n.width = dfg::kLanes;
+            for (int i = 0; i < take; ++i) {
+                n.fns.push_back(fnForIndex(cu_idx * dfg::kStages + i));
+                n.imms.push_back(i % 2 == 0 ? 1 : 100);
+            }
+            n.label = "act/cu" + std::to_string(cu_idx++);
+            cur = g.add(std::move(n));
+            remaining -= take;
+        }
+    }
+    addOutput(g, cur, dfg::kLanes);
+    return g;
+}
+
+std::vector<std::string>
+microbenchNames()
+{
+    return {"Conv1D",  "InnerProduct", "ReLU",      "LeakyReLU",
+            "TanhExp", "SigmoidExp",   "TanhPW",    "SigmoidPW",
+            "ActLUT"};
+}
+
+dfg::Graph
+buildMicrobench(const std::string &name, util::Rng &rng)
+{
+    if (name == "Conv1D")
+        return buildConv1d(8, rng);
+    if (name == "InnerProduct")
+        return buildInnerProduct(rng);
+    return buildActivationBench(name, rng);
+}
+
+} // namespace taurus::models

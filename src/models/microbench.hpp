@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The Table 6 / Table 7 microbenchmarks as dataflow graphs.
+ *
+ * "Smaller dataflow programs can be composed into a single, large program"
+ * (Section 5.1.3, Figure 11): these builders produce the linear (Conv1D,
+ * inner product) and nonlinear (ReLU ... ActLUT) building blocks. Map-op
+ * counts for the activation variants are taken from the shared
+ * area::activationCatalog so Table 6 and Figure 10 agree by construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "util/rng.hpp"
+
+namespace taurus::models {
+
+/** 16-element inner product: one fused map+reduce CU. */
+dfg::Graph buildInnerProduct(util::Rng &rng);
+
+/**
+ * One-dimensional convolution: 8 outputs, kernel size 2 (Section 5.1.3).
+ * Each output is a "small inner reduction" that vectorizes poorly: a
+ * window-alignment map, two one-hot partial dots, and a combine — 4 CU
+ * slots per replica plus a merge tree. `unroll` in {1,2,4,8} replicates
+ * chains; line rate scales as unroll/8 (Table 7).
+ */
+dfg::Graph buildConv1d(int unroll, util::Rng &rng);
+
+/** Activation microbenchmarks over a 16-lane vector. */
+dfg::Graph buildActivationBench(const std::string &impl_name,
+                                util::Rng &rng);
+
+/** All Table 6 microbenchmark names, in the paper's order. */
+std::vector<std::string> microbenchNames();
+
+/** Build a microbenchmark graph by Table 6 name. */
+dfg::Graph buildMicrobench(const std::string &name, util::Rng &rng);
+
+/** Integer reference for the conv1d graph (for bit-exactness tests). */
+std::vector<int8_t> referenceConv1d(const dfg::Graph &g,
+                                    const std::vector<int8_t> &input);
+
+} // namespace taurus::models

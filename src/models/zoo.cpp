@@ -1,0 +1,178 @@
+#include "models/zoo.hpp"
+
+#include <sstream>
+
+#include "dfg/eval.hpp"
+#include "net/iot.hpp"
+#include "net/kdd.hpp"
+
+namespace taurus::models {
+
+namespace {
+
+/** Slice the first `n` feature vectors as quantization calibration. */
+std::vector<nn::Vector>
+calibrationSlice(const nn::Dataset &d, size_t n = 256)
+{
+    std::vector<nn::Vector> cal;
+    for (size_t i = 0; i < d.size() && i < n; ++i)
+        cal.push_back(d.x[i]);
+    return cal;
+}
+
+} // namespace
+
+AnomalyDnn
+trainAnomalyDnn(uint64_t seed, size_t connections)
+{
+    util::Rng rng(seed);
+
+    net::KddConfig cfg;
+    cfg.connections = connections;
+    net::KddGenerator gen(cfg, seed);
+    const nn::Dataset raw = gen.dataset(/*stride=*/3, /*svm=*/false);
+
+    AnomalyDnn out;
+    out.standardizer.fit(raw);
+    const nn::Dataset std_data = out.standardizer.apply(raw);
+    auto [train, test] = std_data.split(0.7, rng);
+    out.train = std::move(train);
+    out.test = std::move(test);
+
+    out.model = nn::Mlp({6, 12, 6, 3, 1}, nn::Activation::Relu,
+                        nn::Loss::BinaryCrossEntropy, rng);
+    nn::TrainConfig tc;
+    tc.epochs = 30;
+    tc.batch_size = 64;
+    tc.learning_rate = 0.05f;
+    out.model.train(out.train, tc, rng);
+
+    out.quantized =
+        nn::QuantizedMlp::fromFloat(out.model, calibrationSlice(out.train));
+    out.graph = compiler::lowerMlp(out.quantized, "anomaly_dnn");
+
+    out.float_test = scoreBinary(
+        [&](const nn::Vector &x) { return out.model.predict(x); },
+        out.test);
+    out.quant_test = scoreBinary(
+        [&](const nn::Vector &x) { return out.quantized.predict(x); },
+        out.test);
+    return out;
+}
+
+AnomalySvm
+trainAnomalySvm(uint64_t seed, size_t connections)
+{
+    util::Rng rng(seed);
+
+    net::KddConfig cfg;
+    cfg.connections = connections;
+    net::KddGenerator gen(cfg, seed + 17);
+    const nn::Dataset raw = gen.dataset(/*stride=*/4, /*svm=*/true);
+
+    AnomalySvm out;
+    out.standardizer.fit(raw);
+    const nn::Dataset std_data = out.standardizer.apply(raw);
+    auto [train, test] = std_data.split(0.7, rng);
+    out.train = std::move(train);
+    out.test = std::move(test);
+
+    out.model = nn::RbfNet::fit(out.train, /*centers_per_class=*/8,
+                                /*epochs=*/20, /*lr=*/0.05f, rng);
+    out.lowered = compiler::lowerRbf(out.model,
+                                     calibrationSlice(out.train),
+                                     "anomaly_svm");
+
+    out.float_test = scoreBinary(
+        [&](const nn::Vector &x) { return out.model.predict(x); },
+        out.test);
+
+    // Quantized metrics via the lowered graph's integer semantics.
+    out.quant_test = scoreBinary(
+        [&](const nn::Vector &x) {
+            std::vector<int8_t> q(x.size());
+            for (size_t i = 0; i < x.size(); ++i)
+                q[i] = static_cast<int8_t>(fixed::quantize(
+                    x[i], out.lowered.input_qp));
+            const auto res = dfg::evaluateSimple(out.lowered.graph, q);
+            return res.at(0) > 0 ? 1 : 0;
+        },
+        out.test);
+    return out;
+}
+
+IotKmeans
+trainIotKmeans(uint64_t seed, size_t samples)
+{
+    util::Rng rng(seed);
+    const nn::Dataset raw = net::iotDeviceDataset(samples, seed + 29);
+
+    IotKmeans out;
+    out.standardizer.fit(raw);
+    const nn::Dataset std_data = out.standardizer.apply(raw);
+    auto [train, test] = std_data.split(0.7, rng);
+    out.train = std::move(train);
+    out.test = std::move(test);
+
+    out.model = nn::KMeans::fit(out.train.x, /*k=*/5, /*iters=*/30, rng);
+    out.float_accuracy = out.model.labelAccuracy(out.train, out.test);
+    out.lowered = compiler::lowerKmeans(
+        out.model, calibrationSlice(out.train), "iot_kmeans");
+    return out;
+}
+
+IndigoLstm
+buildIndigoLstm(uint64_t seed)
+{
+    util::Rng rng(seed);
+    IndigoLstm out;
+    out.model = nn::Lstm(/*input_dim=*/5, /*units=*/32, /*outputs=*/5, rng);
+    out.graph = compiler::lowerLstm(out.model, "indigo_lstm");
+    return out;
+}
+
+IotDnnRow
+trainIotDnn(const std::vector<size_t> &hidden, uint64_t seed,
+            size_t samples)
+{
+    util::Rng rng(seed);
+    const nn::Dataset raw = net::iotBinaryDataset(samples, seed + 41);
+
+    nn::Standardizer std_fit;
+    std_fit.fit(raw);
+    const nn::Dataset std_data = std_fit.apply(raw);
+    auto [train, test] = std_data.split(0.7, rng);
+
+    std::vector<size_t> sizes;
+    sizes.push_back(4);
+    sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+    sizes.push_back(2);
+
+    nn::Mlp model(sizes, nn::Activation::Relu, nn::Loss::CrossEntropy,
+                  rng);
+    nn::TrainConfig tc;
+    tc.epochs = 25;
+    tc.batch_size = 32;
+    tc.learning_rate = 0.03f;
+    model.train(train, tc, rng);
+
+    const nn::QuantizedMlp quant =
+        nn::QuantizedMlp::fromFloat(model, calibrationSlice(train));
+
+    IotDnnRow row;
+    std::ostringstream name;
+    for (size_t s : sizes)
+        name << (name.str().empty() ? "" : "x") << s;
+    row.kernel = name.str();
+    row.float_accuracy = model.accuracy(test) * 100.0;
+    row.fix8_accuracy = quant.accuracy(test) * 100.0;
+    return row;
+}
+
+std::vector<std::vector<size_t>>
+table3Kernels()
+{
+    return {{10}, {5, 5}, {10, 10}};
+}
+
+} // namespace taurus::models

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The trained model zoo: every application of Section 5.1.2, trained on
+ * the synthetic workloads, quantized to the int8 data path, and lowered
+ * to MapReduce dataflow graphs.
+ *
+ * Each zoo entry packages the float model (what the control plane
+ * trains), the quantized model (what gets installed), the lowered graph
+ * (what the MapReduce block executes), the datasets, and offline quality
+ * metrics — so benches, examples, and the end-to-end experiments all pull
+ * from one consistent source.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/lower.hpp"
+#include "nn/dataset.hpp"
+#include "nn/kmeans.hpp"
+#include "nn/lstm.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized.hpp"
+#include "nn/rbf.hpp"
+
+namespace taurus::models {
+
+/** Binary-classification quality of a model over a dataset. */
+struct BinaryMetrics
+{
+    double accuracy = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+};
+
+/** Score a predict(x)->{0,1} functor against a labeled dataset. */
+template <typename PredictFn>
+BinaryMetrics
+scoreBinary(PredictFn &&predict, const nn::Dataset &data)
+{
+    uint64_t tp = 0, fp = 0, fn = 0, tn = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        const bool pred = predict(data.x[i]) != 0;
+        const bool truth = data.y[i] != 0;
+        if (pred && truth)
+            ++tp;
+        else if (pred && !truth)
+            ++fp;
+        else if (!pred && truth)
+            ++fn;
+        else
+            ++tn;
+    }
+    BinaryMetrics m;
+    m.accuracy = data.size()
+                     ? static_cast<double>(tp + tn) /
+                           static_cast<double>(data.size())
+                     : 0.0;
+    m.precision = tp + fp ? static_cast<double>(tp) /
+                                static_cast<double>(tp + fp)
+                          : 1.0;
+    m.recall =
+        tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                : 0.0;
+    m.f1 = m.precision + m.recall > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    return m;
+}
+
+/** The anomaly-detection DNN (Tang et al.: 6 -> 12 -> 6 -> 3 -> 1). */
+struct AnomalyDnn
+{
+    nn::Standardizer standardizer; ///< fitted on raw (binned) features
+    nn::Mlp model;                 ///< trained float32 network
+    nn::QuantizedMlp quantized;    ///< int8 network (what gets installed)
+    dfg::Graph graph;              ///< lowered MapReduce program
+    nn::Dataset train;             ///< standardized training split
+    nn::Dataset test;              ///< standardized held-out split
+    BinaryMetrics float_test;      ///< float32 quality on test
+    BinaryMetrics quant_test;      ///< int8 quality on test
+};
+
+/**
+ * Generate the KDD-style workload, train, quantize, and lower the
+ * anomaly DNN. `connections` sizes the synthetic trace behind the
+ * dataset; the default gives a few tens of thousands of packets.
+ */
+AnomalyDnn trainAnomalyDnn(uint64_t seed = 1, size_t connections = 4000);
+
+/** The SVM-shaped anomaly detector (8 KDD features, RBF kernel). */
+struct AnomalySvm
+{
+    nn::Standardizer standardizer;
+    nn::RbfNet model;
+    compiler::LoweredRbf lowered;
+    nn::Dataset train;
+    nn::Dataset test;
+    BinaryMetrics float_test;
+    BinaryMetrics quant_test; ///< via the lowered graph's int8 semantics
+};
+
+AnomalySvm trainAnomalySvm(uint64_t seed = 1, size_t connections = 3000);
+
+/** KMeans IoT classifier (11 features, 5 categories). */
+struct IotKmeans
+{
+    nn::Standardizer standardizer;
+    nn::KMeans model;
+    compiler::LoweredKmeans lowered;
+    nn::Dataset train;
+    nn::Dataset test;
+    double float_accuracy = 0.0; ///< purity-based classification accuracy
+};
+
+IotKmeans trainIotKmeans(uint64_t seed = 1, size_t samples = 4000);
+
+/** The Indigo-style congestion-control LSTM (32 units + softmax). */
+struct IndigoLstm
+{
+    nn::Lstm model;
+    dfg::Graph graph;
+};
+
+/**
+ * Build the Indigo LSTM structurally (32 units over 5 congestion
+ * features, 5 rate actions). Weights are randomly initialized: Table 5's
+ * latency/area row depends only on the structure. The congestion-control
+ * example trains a distilled policy separately.
+ */
+IndigoLstm buildIndigoLstm(uint64_t seed = 1);
+
+/** One Table 3 row: a small IoT DNN at float32 and fix8. */
+struct IotDnnRow
+{
+    std::string kernel;        ///< e.g. "4x10x2"
+    double float_accuracy = 0.0;
+    double fix8_accuracy = 0.0;
+    double diff() const { return fix8_accuracy - float_accuracy; }
+};
+
+/**
+ * Train one Table 3 IoT DNN with the given hidden-layer widths (input 4,
+ * output 2 implied) and report float32 vs int8 accuracy.
+ */
+IotDnnRow trainIotDnn(const std::vector<size_t> &hidden, uint64_t seed = 1,
+                      size_t samples = 6000);
+
+/** The three Table 3 kernels, in the paper's order. */
+std::vector<std::vector<size_t>> table3Kernels();
+
+} // namespace taurus::models

@@ -1,0 +1,223 @@
+#include "net/cc_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taurus::net {
+
+double
+applyCcAction(CcAction a, double rate_mbps, double cap_mbps)
+{
+    double r = rate_mbps;
+    switch (a) {
+      case CcAction::RateDown2x:
+        r *= 0.5;
+        break;
+      case CcAction::RateDownAdd:
+        r -= 2.0;
+        break;
+      case CcAction::Hold:
+        break;
+      case CcAction::RateUpAdd:
+        r += 2.0;
+        break;
+      case CcAction::RateUp2x:
+        r *= 1.5;
+        break;
+    }
+    return std::clamp(r, 1.0, cap_mbps);
+}
+
+double
+CcResult::power() const
+{
+    return avg_rtt_ms > 0.0 ? avg_throughput_mbps / avg_rtt_ms : 0.0;
+}
+
+CcResult
+runCcSim(const CcConfig &cfg, const CcController &controller)
+{
+    util::Rng rng(cfg.seed);
+
+    // Fluid model stepped at 1 ms (or finer if the controller is faster):
+    // the queue integrates (send + cross - bottleneck), drops overflow,
+    // and queueing delay is q / bottleneck. This captures exactly the
+    // load-tracking dynamics the decision interval influences.
+    const double step_s =
+        std::min(1e-3, cfg.decision_interval_ms * 1e-3);
+    const double q_cap_bits =
+        static_cast<double>(cfg.queue_packets) * cfg.packet_bytes * 8.0;
+    const double bneck_bps = cfg.bottleneck_mbps * 1e6;
+
+    double q_bits = 0.0;
+    double rate_mbps = cfg.bottleneck_mbps * 0.3;
+    double srtt_ms = 2.0 * cfg.prop_delay_ms;
+    const double min_rtt_ms = 2.0 * cfg.prop_delay_ms;
+
+    double cross_phase_s = 0.0;
+    bool cross_on = true;
+
+    // Per-epoch accumulators between controller invocations.
+    double epoch_sent_bits = 0.0;
+    double epoch_delivered_bits = 0.0;
+    double epoch_dropped_bits = 0.0;
+    double next_decision_s = cfg.decision_interval_ms * 1e-3;
+
+    util::RunningStat rtt_stat;
+    std::vector<double> rtt_samples;
+    double total_delivered_bits = 0.0;
+    double total_sent_bits = 0.0;
+    double total_dropped_bits = 0.0;
+
+    for (double t = 0.0; t < cfg.duration_s; t += step_s) {
+        // On/off cross traffic at the bottleneck.
+        cross_phase_s += step_s;
+        const double phase_len = cross_on ? cfg.cross_on_s : cfg.cross_off_s;
+        if (cross_phase_s >= phase_len) {
+            cross_phase_s = 0.0;
+            cross_on = !cross_on;
+        }
+        const double cross_bps =
+            cross_on ? cfg.cross_traffic_fraction * bneck_bps : 0.0;
+
+        const double in_bps = rate_mbps * 1e6 + cross_bps;
+        const double sender_share =
+            in_bps > 0.0 ? rate_mbps * 1e6 / in_bps : 0.0;
+
+        double q_next = q_bits + (in_bps - bneck_bps) * step_s;
+        double dropped = 0.0;
+        if (q_next > q_cap_bits) {
+            dropped = q_next - q_cap_bits;
+            q_next = q_cap_bits;
+        }
+        if (q_next < 0.0)
+            q_next = 0.0;
+        q_bits = q_next;
+
+        const double sent = rate_mbps * 1e6 * step_s;
+        const double my_dropped = dropped * sender_share;
+        const double drained = std::min(bneck_bps * step_s,
+                                        q_bits + bneck_bps * step_s);
+        const double my_delivered =
+            std::min(sent - my_dropped, drained * sender_share);
+
+        epoch_sent_bits += sent;
+        epoch_dropped_bits += my_dropped;
+        epoch_delivered_bits += std::max(0.0, my_delivered);
+        total_sent_bits += sent;
+        total_dropped_bits += my_dropped;
+        total_delivered_bits += std::max(0.0, my_delivered);
+
+        const double rtt_ms = min_rtt_ms + q_bits / bneck_bps * 1e3;
+        srtt_ms = 0.9 * srtt_ms + 0.1 * rtt_ms;
+        rtt_stat.add(rtt_ms);
+        rtt_samples.push_back(rtt_ms);
+
+        if (t + step_s >= next_decision_s) {
+            const double epoch_s = cfg.decision_interval_ms * 1e-3;
+            CcObservation obs;
+            obs.rtt_ms = srtt_ms;
+            obs.min_rtt_ms = min_rtt_ms;
+            obs.delivery_mbps = epoch_delivered_bits / epoch_s / 1e6;
+            obs.send_mbps = rate_mbps;
+            obs.loss_fraction =
+                epoch_sent_bits > 0.0 ? epoch_dropped_bits / epoch_sent_bits
+                                      : 0.0;
+            obs.queue_fraction = q_bits / q_cap_bits;
+
+            const CcAction a = controller(obs);
+            rate_mbps =
+                applyCcAction(a, rate_mbps, cfg.bottleneck_mbps * 2.0);
+
+            epoch_sent_bits = epoch_delivered_bits = epoch_dropped_bits =
+                0.0;
+            next_decision_s += epoch_s;
+        }
+    }
+
+    CcResult res;
+    res.avg_throughput_mbps =
+        total_delivered_bits / cfg.duration_s / 1e6;
+    res.avg_rtt_ms = rtt_stat.mean();
+    res.p95_rtt_ms = util::percentile(std::move(rtt_samples), 95.0);
+    res.loss_fraction =
+        total_sent_bits > 0.0 ? total_dropped_bits / total_sent_bits : 0.0;
+    return res;
+}
+
+CcAction
+aimdController(const CcObservation &obs)
+{
+    if (obs.loss_fraction > 0.0)
+        return CcAction::RateDown2x;
+    return CcAction::RateUpAdd;
+}
+
+namespace {
+
+/** Delay+loss aware teacher used to label imitation data. */
+CcAction
+teacherController(const CcObservation &obs)
+{
+    if (obs.loss_fraction > 0.01 || obs.queue_fraction > 0.85)
+        return CcAction::RateDown2x;
+    if (obs.rtt_ms > 1.6 * obs.min_rtt_ms)
+        return CcAction::RateDownAdd;
+    if (obs.queue_fraction < 0.10 && obs.rtt_ms < 1.15 * obs.min_rtt_ms)
+        return CcAction::RateUp2x;
+    if (obs.rtt_ms < 1.4 * obs.min_rtt_ms)
+        return CcAction::RateUpAdd;
+    return CcAction::Hold;
+}
+
+} // namespace
+
+std::vector<float>
+ccFeatures(const CcObservation &obs)
+{
+    std::vector<float> f(5);
+    const double rtt_ratio =
+        obs.min_rtt_ms > 0.0 ? obs.rtt_ms / obs.min_rtt_ms : 1.0;
+    f[0] = static_cast<float>(std::clamp((rtt_ratio - 1.0) / 2.0, 0.0, 2.0));
+    f[1] = static_cast<float>(
+        obs.send_mbps > 0.0
+            ? std::clamp(obs.delivery_mbps / obs.send_mbps, 0.0, 1.5)
+            : 0.0);
+    f[2] = static_cast<float>(std::clamp(obs.loss_fraction * 20.0, 0.0,
+                                         2.0));
+    f[3] = static_cast<float>(obs.queue_fraction);
+    f[4] = static_cast<float>(std::clamp(obs.send_mbps / 200.0, 0.0, 1.0));
+    return f;
+}
+
+std::vector<CcSample>
+ccImitationSamples(size_t episodes, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<CcSample> samples;
+
+    for (size_t e = 0; e < episodes; ++e) {
+        CcConfig cfg;
+        cfg.bottleneck_mbps = rng.uniform(30.0, 200.0);
+        cfg.prop_delay_ms = rng.uniform(1.0, 20.0);
+        cfg.queue_packets = static_cast<int>(rng.uniformInt(32, 128));
+        cfg.cross_traffic_fraction = rng.uniform(0.0, 0.6);
+        // Randomize the cadence so the distilled policy's action
+        // semantics do not bake in one decision interval.
+        cfg.decision_interval_ms = rng.uniform(1.0, 20.0);
+        cfg.duration_s = 3.0;
+        cfg.seed = rng.next();
+
+        // Wrap the teacher to capture (features, action) pairs.
+        CcController recorder = [&samples](const CcObservation &obs) {
+            const CcAction a = teacherController(obs);
+            samples.push_back(
+                CcSample{ccFeatures(obs), static_cast<int>(a)});
+            return a;
+        };
+        runCcSim(cfg, recorder);
+    }
+    return samples;
+}
+
+} // namespace taurus::net

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Single-bottleneck congestion-control simulator.
+ *
+ * The Indigo row of Table 5 is structural (LSTM latency/area), but the
+ * paper's framing — "Indigo can produce a decision every 805 ns: this
+ * allows the LSTM network to react more quickly to changes in load and
+ * better control tail latency" (Section 5.1.2) — is a closed-loop claim.
+ * This simulator provides the loop: one sender behind a droptail
+ * bottleneck queue, with a pluggable controller invoked on a configurable
+ * decision interval. The congestion-control example compares an AIMD
+ * controller against an LSTM policy at control-plane (10 ms) versus
+ * Taurus (per-RTT) decision intervals.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/event.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace taurus::net {
+
+/** What the controller sees each decision epoch. */
+struct CcObservation
+{
+    double rtt_ms = 0.0;          ///< smoothed RTT
+    double min_rtt_ms = 0.0;      ///< propagation estimate
+    double delivery_mbps = 0.0;   ///< goodput over the epoch
+    double send_mbps = 0.0;       ///< configured sending rate
+    double loss_fraction = 0.0;   ///< drops / sent over the epoch
+    double queue_fraction = 0.0;  ///< bottleneck occupancy [0, 1]
+};
+
+/** Discrete rate actions, Indigo-style (multiplicative / additive). */
+enum class CcAction
+{
+    RateDown2x,  ///< rate *= 0.5
+    RateDownAdd, ///< rate -= 2 Mb/s
+    Hold,
+    RateUpAdd,   ///< rate += 2 Mb/s
+    RateUp2x,    ///< rate *= 1.5
+};
+
+constexpr int kCcActionCount = 5;
+
+/** Apply an action to a sending rate (Mb/s), clamped to [1, cap]. */
+double applyCcAction(CcAction a, double rate_mbps, double cap_mbps);
+
+/** A rate controller: observation -> action. */
+using CcController = std::function<CcAction(const CcObservation &)>;
+
+/** Bottleneck and workload parameters. */
+struct CcConfig
+{
+    double bottleneck_mbps = 100.0;
+    double prop_delay_ms = 5.0;      ///< one-way propagation
+    int queue_packets = 64;          ///< droptail queue capacity
+    int packet_bytes = 1500;
+    double decision_interval_ms = 10.0; ///< controller invocation period
+    double duration_s = 10.0;
+    /** Competing on/off cross-traffic share of the bottleneck. */
+    double cross_traffic_fraction = 0.3;
+    double cross_on_s = 0.5;
+    double cross_off_s = 0.5;
+    uint64_t seed = 7;
+};
+
+/** Closed-loop results. */
+struct CcResult
+{
+    double avg_throughput_mbps = 0.0;
+    double avg_rtt_ms = 0.0;
+    double p95_rtt_ms = 0.0;
+    double loss_fraction = 0.0;
+    /** Throughput / delay score (higher is better), log-Kleinrock power. */
+    double power() const;
+};
+
+/** Run the closed loop with the given controller. */
+CcResult runCcSim(const CcConfig &cfg, const CcController &controller);
+
+/** The classic AIMD baseline controller (loss-based). */
+CcAction aimdController(const CcObservation &obs);
+
+/**
+ * Generate labeled imitation data for training an ML controller: runs a
+ * "teacher" (delay+loss aware) policy over randomized bottlenecks and
+ * records (observation features, action) pairs.
+ */
+struct CcSample
+{
+    std::vector<float> features; ///< normalized observation (5 values)
+    int action = 0;
+};
+
+std::vector<CcSample> ccImitationSamples(size_t episodes, uint64_t seed);
+
+/** Normalized feature vector the LSTM policy consumes. */
+std::vector<float> ccFeatures(const CcObservation &obs);
+
+} // namespace taurus::net

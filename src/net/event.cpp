@@ -1,0 +1,55 @@
+#include "net/event.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace taurus::net {
+
+void
+EventQueue::schedule(double time_s, Callback cb)
+{
+    if (time_s < now_)
+        throw std::invalid_argument("EventQueue: scheduling in the past");
+    heap_.push(Entry{time_s, seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(double delay_s, Callback cb)
+{
+    schedule(now_ + delay_s, std::move(cb));
+}
+
+bool
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top returns const&; the callback must be moved out
+    // before pop, so copy the entry (callbacks are cheap shared state).
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(double t_end_s)
+{
+    while (!heap_.empty() && heap_.top().time <= t_end_s) {
+        if (!runNext())
+            break;
+    }
+    if (now_ < t_end_s)
+        now_ = t_end_s;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+} // namespace taurus::net

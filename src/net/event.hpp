@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The end-to-end experiments (Table 8, Figures 13/14) and the
+ * congestion-control example run on this event queue: hosts, links, the
+ * control-plane server, and the Taurus switch all schedule work in
+ * simulated seconds. Single-threaded and deterministic by construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace taurus::net {
+
+/** A time-ordered event queue with stable FIFO ordering for ties. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at an absolute simulated time (seconds). */
+    void schedule(double time_s, Callback cb);
+
+    /** Schedule a callback `delay_s` after the current time. */
+    void scheduleIn(double delay_s, Callback cb);
+
+    /** Pop and run the earliest event; returns false when empty. */
+    bool runNext();
+
+    /** Run events until the queue is empty or time exceeds `t_end_s`. */
+    void runUntil(double t_end_s);
+
+    /** Drain the queue completely. */
+    void runAll();
+
+    /** Current simulated time in seconds. */
+    double now() const { return now_; }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far. */
+    uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        double time;
+        uint64_t seq; // tie-break: FIFO among equal timestamps
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (time != o.time)
+                return time > o.time;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    double now_ = 0.0;
+    uint64_t seq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace taurus::net

@@ -1,0 +1,200 @@
+#include "net/features.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace taurus::net {
+
+uint64_t
+FlowKey::hash() const
+{
+    // FNV-1a over the packed tuple; the switch's hash action uses the
+    // same function so software and MAT flow indices agree.
+    std::array<uint8_t, 13> buf{};
+    std::memcpy(buf.data() + 0, &src_ip, 4);
+    std::memcpy(buf.data() + 4, &dst_ip, 4);
+    std::memcpy(buf.data() + 8, &src_port, 2);
+    std::memcpy(buf.data() + 10, &dst_port, 2);
+    buf[12] = proto;
+
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : buf) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+int32_t
+log2Bin(uint64_t v)
+{
+    int32_t bin = 0;
+    uint64_t x = v + 1;
+    while (x > 1 && bin < 31) {
+        x >>= 1;
+        ++bin;
+    }
+    return bin;
+}
+
+int32_t
+protoCode(uint8_t proto)
+{
+    switch (proto) {
+      case kProtoTcp:
+        return 0;
+      case kProtoUdp:
+        return 1;
+      case kProtoIcmp:
+        return 2;
+      default:
+        return 3;
+    }
+}
+
+int32_t
+serviceCode(uint16_t dst_port)
+{
+    switch (dst_port) {
+      case 80:
+      case 8080:
+      case 443:
+        return 0; // web
+      case 53:
+        return 1; // dns
+      case 22:
+      case 23:
+        return 2; // remote shell
+      case 25:
+      case 110:
+      case 143:
+        return 3; // mail
+      case 20:
+      case 21:
+        return 4; // ftp
+      case 137:
+      case 139:
+      case 445:
+        return 5; // smb/netbios
+      default:
+        return dst_port < 1024 ? 6 : 7; // other privileged / ephemeral
+    }
+}
+
+namespace {
+
+/** Duration-so-far of the flow in milliseconds, never negative. */
+uint64_t
+durationMs(const FlowStats &flow, double now_s)
+{
+    if (flow.first_seen_s < 0.0)
+        return 0;
+    const double d = (now_s - flow.first_seen_s) * 1e3;
+    return d <= 0.0 ? 0 : static_cast<uint64_t>(d);
+}
+
+/** SYN-failure ratio scaled to [0, 15] (the switch keeps it as counts). */
+int32_t
+synErrBin(const SrcStats &src)
+{
+    if (src.conns == 0)
+        return 0;
+    const double rate =
+        static_cast<double>(src.syn_only) / static_cast<double>(src.conns);
+    return static_cast<int32_t>(std::min(15.0, rate * 15.0 + 0.5));
+}
+
+} // namespace
+
+nn::Vector
+dnnFeatureVector(const FlowStats &flow, const SrcStats &src,
+                 const TracePacket &pkt, double now_s)
+{
+    nn::Vector f(kDnnFeatureCount);
+    f[0] = static_cast<float>(log2Bin(durationMs(flow, now_s)));
+    f[1] = static_cast<float>(protoCode(pkt.flow.proto));
+    f[2] = static_cast<float>(log2Bin(flow.bytes));
+    f[3] = static_cast<float>(log2Bin(flow.pkts));
+    f[4] = static_cast<float>(std::min<uint32_t>(flow.urgent, 15));
+    f[5] = static_cast<float>(log2Bin(src.conns));
+    return f;
+}
+
+nn::Vector
+svmFeatureVector(const FlowStats &flow, const SrcStats &src,
+                 const TracePacket &pkt, double now_s)
+{
+    nn::Vector f(kSvmFeatureCount);
+    const nn::Vector base = dnnFeatureVector(flow, src, pkt, now_s);
+    std::copy(base.begin(), base.end(), f.begin());
+    f[6] = static_cast<float>(synErrBin(src));
+    f[7] = static_cast<float>(serviceCode(pkt.flow.dst_port));
+    return f;
+}
+
+void
+FlowTracker::observe(const TracePacket &pkt)
+{
+    now_s_ = pkt.time_s;
+    cur_pkt_ = pkt;
+
+    FlowStats &flow = flows_[pkt.flow];
+    const bool new_flow = flow.first_seen_s < 0.0;
+    if (new_flow)
+        flow.first_seen_s = pkt.time_s;
+    ++flow.pkts;
+    flow.bytes += pkt.size_bytes;
+    if (pkt.urg)
+        ++flow.urgent;
+    if (pkt.syn)
+        ++flow.syn;
+
+    SrcStats &src = sources_[pkt.flow.src_ip];
+    if (pkt.time_s - src.window_start_s > kSrcWindowS) {
+        src = SrcStats{};
+        src.window_start_s = pkt.time_s;
+    }
+    if (new_flow) {
+        ++src.conns;
+        if (pkt.flow.dst_port != src.last_port) {
+            ++src.dst_ports;
+            src.last_port = pkt.flow.dst_port;
+        }
+    }
+    // A SYN on a single-packet flow counts as a (so-far) failed handshake;
+    // it is decremented when the flow progresses. This matches what a
+    // register pair (syn_seen, progressed) computes in the MAT.
+    if (pkt.syn && flow.pkts == 1)
+        ++src.syn_only;
+    else if (flow.pkts == 2 && flow.syn > 0 && src.syn_only > 0)
+        --src.syn_only;
+
+    cur_flow_ = flow;
+    cur_src_ = src;
+}
+
+nn::Vector
+FlowTracker::dnnFeatures() const
+{
+    return dnnFeatureVector(cur_flow_, cur_src_, cur_pkt_, now_s_);
+}
+
+nn::Vector
+FlowTracker::svmFeatures() const
+{
+    return svmFeatureVector(cur_flow_, cur_src_, cur_pkt_, now_s_);
+}
+
+void
+FlowTracker::clear()
+{
+    flows_.clear();
+    sources_.clear();
+    cur_flow_ = FlowStats{};
+    cur_src_ = SrcStats{};
+    cur_pkt_ = TracePacket{};
+    now_s_ = 0.0;
+}
+
+} // namespace taurus::net

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Flow-level feature extraction shared by offline training and the switch.
+ *
+ * The paper's preprocessing MATs "use stateful elements (i.e., registers)
+ * ... to aggregate features across packets and across flows" and format
+ * them "as fixed-point numbers" (Section 3.1). This module defines that
+ * feature pipeline once — flow/source state mirrors the switch's register
+ * arrays, and the binning functions mirror its lookup tables — so the
+ * training set built offline and the features the Taurus switch computes
+ * per-packet are bit-identical. That shared definition is what makes the
+ * paper's "Taurus sustains full model accuracy" claim (Section 5.2.2)
+ * checkable in this reproduction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace taurus::net {
+
+/** Canonical 5-tuple identifying a flow. */
+struct FlowKey
+{
+    uint32_t src_ip = 0;
+    uint32_t dst_ip = 0;
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+    uint8_t proto = 0;
+
+    bool
+    operator==(const FlowKey &o) const
+    {
+        return src_ip == o.src_ip && dst_ip == o.dst_ip &&
+               src_port == o.src_port && dst_port == o.dst_port &&
+               proto == o.proto;
+    }
+
+    /** FNV-1a hash over the tuple bytes (also used by switch hashing). */
+    uint64_t hash() const;
+};
+
+/** IP protocol numbers used by the generators. */
+constexpr uint8_t kProtoTcp = 6;
+constexpr uint8_t kProtoUdp = 17;
+constexpr uint8_t kProtoIcmp = 1;
+
+/** One packet of a generated trace (ground truth attached). */
+struct TracePacket
+{
+    double time_s = 0.0;
+    FlowKey flow;
+    uint16_t size_bytes = 64;
+    bool syn = false;
+    bool fin = false;
+    bool urg = false;
+    bool anomalous = false; ///< ground-truth label of the connection
+    int32_t conn_id = -1;   ///< originating connection record
+};
+
+/** Per-flow register state (mirrors the switch's stateful registers). */
+struct FlowStats
+{
+    double first_seen_s = -1.0;
+    uint64_t pkts = 0;
+    uint64_t bytes = 0;
+    uint32_t urgent = 0;
+    uint32_t syn = 0;
+};
+
+/** Per-source-IP register state over a sliding window. */
+struct SrcStats
+{
+    double window_start_s = 0.0;
+    uint32_t conns = 0;     ///< new flows seen this window
+    uint32_t syn_only = 0;  ///< flows that never progressed past SYN
+    uint32_t dst_ports = 0; ///< distinct-destination-port estimate
+    uint32_t last_port = 0;
+};
+
+/** Width of the DNN feature vector (Tang et al., six KDD features). */
+constexpr size_t kDnnFeatureCount = 6;
+/** Width of the SVM feature vector (eight KDD features). */
+constexpr size_t kSvmFeatureCount = 8;
+
+/** Sliding-window length for per-source aggregates, seconds. */
+constexpr double kSrcWindowS = 1.0;
+
+/**
+ * Logarithmic bin of a non-negative count: floor(log2(v + 1)), clamped to
+ * [0, 31]. This is the software form of the switch's log lookup table
+ * (Section 3.1: taking logs turns exponential-ish header fields into
+ * features a small model can use).
+ */
+int32_t log2Bin(uint64_t v);
+
+/** Protocol code feature: tcp 0, udp 1, icmp 2, other 3. */
+int32_t protoCode(uint8_t proto);
+
+/**
+ * Service code from the destination port: a small categorical-to-numeric
+ * lookup (Section 3.1: "a table transforms port numbers into a linear
+ * likelihood value"). Well-known services get stable small codes.
+ */
+int32_t serviceCode(uint16_t dst_port);
+
+/**
+ * Tracks flow and source registers over a packet stream and produces the
+ * per-packet feature vectors the switch would compute. The Taurus switch
+ * implements the same arithmetic with MAT registers; integration tests
+ * assert the two paths agree on every packet.
+ */
+class FlowTracker
+{
+  public:
+    /**
+     * Account for a packet and return the updated flow/source views.
+     * Must be called in non-decreasing time order.
+     */
+    void observe(const TracePacket &pkt);
+
+    /** DNN features for the most recently observed packet. */
+    nn::Vector dnnFeatures() const;
+
+    /** SVM features for the most recently observed packet. */
+    nn::Vector svmFeatures() const;
+
+    /** Number of distinct flows tracked so far. */
+    size_t flowCount() const { return flows_.size(); }
+
+    /** Reset all state (new trace). */
+    void clear();
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const FlowKey &k) const { return k.hash(); }
+    };
+
+    std::unordered_map<FlowKey, FlowStats, KeyHash> flows_;
+    std::unordered_map<uint32_t, SrcStats> sources_;
+
+    // Views of the flow/source state for the last observed packet.
+    FlowStats cur_flow_;
+    SrcStats cur_src_;
+    TracePacket cur_pkt_;
+    double now_s_ = 0.0;
+};
+
+/**
+ * Assemble the 6-feature DNN vector from register views. Exposed so the
+ * switch-side MAT implementation can share it directly.
+ */
+nn::Vector dnnFeatureVector(const FlowStats &flow, const SrcStats &src,
+                            const TracePacket &pkt, double now_s);
+
+/** Assemble the 8-feature SVM vector from register views. */
+nn::Vector svmFeatureVector(const FlowStats &flow, const SrcStats &src,
+                            const TracePacket &pkt, double now_s);
+
+} // namespace taurus::net

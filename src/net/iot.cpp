@@ -1,0 +1,63 @@
+#include "net/iot.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace taurus::net {
+
+nn::Dataset
+iotBinaryDataset(size_t samples, uint64_t seed)
+{
+    util::Rng rng(seed);
+    nn::Dataset data;
+    // Separation d between class means gives Bayes accuracy Phi(d/2);
+    // d = 0.88 puts it at ~0.67 (Table 3's float32 operating point).
+    const double delta = 0.88 / std::sqrt(2.0);
+    for (size_t i = 0; i < samples; ++i) {
+        const int label = rng.bernoulli(0.5) ? 1 : 0;
+        const double sign = label ? 1.0 : -1.0;
+        nn::Vector x(4);
+        x[0] = static_cast<float>(rng.gaussian(sign * delta / 2.0, 1.0));
+        x[1] = static_cast<float>(rng.gaussian(-sign * delta / 2.0, 1.0));
+        x[2] = static_cast<float>(rng.gaussian(0.0, 1.0)); // noise dims
+        x[3] = static_cast<float>(rng.gaussian(0.0, 1.0));
+        data.add(std::move(x), label);
+    }
+    return data;
+}
+
+nn::Dataset
+iotDeviceDataset(size_t samples, uint64_t seed)
+{
+    util::Rng rng(seed);
+
+    // Five device categories with distinct traffic signatures over 11
+    // features (mean pkt size, size stddev, inter-arrival mean/stddev,
+    // flow duration, up/down ratio, port entropy, DNS rate, NTP rate,
+    // TLS fraction, sleep fraction) — loosely following the TMC IoT
+    // feature families.
+    constexpr int kCategories = 5;
+    constexpr int kFeatures = 11;
+    std::vector<nn::Vector> means(kCategories, nn::Vector(kFeatures));
+    util::Rng mean_rng = rng.split();
+    for (auto &m : means)
+        for (float &v : m)
+            v = static_cast<float>(mean_rng.uniform(-1.2, 1.2));
+
+    nn::Dataset data;
+    for (size_t i = 0; i < samples; ++i) {
+        const int label =
+            static_cast<int>(rng.uniformInt(0, kCategories - 1));
+        nn::Vector x(kFeatures);
+        for (int f = 0; f < kFeatures; ++f)
+            x[static_cast<size_t>(f)] = static_cast<float>(
+                rng.gaussian(means[static_cast<size_t>(label)]
+                                  [static_cast<size_t>(f)],
+                             0.9));
+        data.add(std::move(x), label);
+    }
+    return data;
+}
+
+} // namespace taurus::net

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Synthetic IoT traffic-classification datasets.
+ *
+ * Two datasets stand in for the paper's IoT workloads (DESIGN.md
+ * Section 1):
+ *
+ *  - the Table 3 binary classifier set (4 features, 2 classes) with a
+ *    controlled Bayes error so float32 DNN accuracy lands near the
+ *    paper's 67% — Table 3's claim is about quantization loss, which is a
+ *    property of the model/quantizer, not of the dataset identity;
+ *  - the KMeans device-classification set (11 features, 5 categories,
+ *    Section 5.1.2) used for the Table 5 IoT row and the classification
+ *    example.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "nn/dataset.hpp"
+
+namespace taurus::net {
+
+/**
+ * 4-feature, 2-class IoT set for the Table 3 quantization study. Class
+ * means are separated by ~0.9 sigma along two informative dimensions
+ * (the other two are noise), putting the Bayes accuracy near 67%.
+ */
+nn::Dataset iotBinaryDataset(size_t samples, uint64_t seed);
+
+/**
+ * 11-feature, 5-category device set for KMeans (per-device-type traffic
+ * signatures: packet sizes, inter-arrival stats, port entropy, ...).
+ * Clusters are separated enough for high clustering purity.
+ */
+nn::Dataset iotDeviceDataset(size_t samples, uint64_t seed);
+
+} // namespace taurus::net

@@ -1,0 +1,406 @@
+#include "net/kdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taurus::net {
+
+namespace {
+
+/** Address blocks keep benign, attacker, and server IPs disjoint. */
+constexpr uint32_t kBenignBase = 0x0a000100;   // 10.0.1.0/24-ish
+constexpr uint32_t kAttackerBase = 0x0a000200; // 10.0.2.0
+constexpr uint32_t kServerBase = 0x0a001000;   // 10.0.16.0
+constexpr uint32_t kSpoofBase = 0x0c000000;    // spoofed flood sources
+constexpr int kServerCount = 16;
+
+/** Max-segment-size used to derive packet counts from byte volumes. */
+constexpr uint64_t kMss = 1000;
+
+uint16_t
+benignServicePort(util::Rng &rng)
+{
+    const double r = rng.uniform();
+    if (r < 0.45)
+        return rng.bernoulli(0.5) ? 80 : 443;
+    if (r < 0.65)
+        return 53;
+    if (r < 0.75)
+        return 22;
+    if (r < 0.85)
+        return 25;
+    return 21;
+}
+
+} // namespace
+
+const char *
+toString(AttackClass c)
+{
+    switch (c) {
+      case AttackClass::Benign:
+        return "benign";
+      case AttackClass::Dos:
+        return "dos";
+      case AttackClass::Probe:
+        return "probe";
+      case AttackClass::R2l:
+        return "r2l";
+      case AttackClass::U2r:
+        return "u2r";
+    }
+    return "?";
+}
+
+KddGenerator::KddGenerator(KddConfig cfg, uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+}
+
+ConnRecord
+KddGenerator::sampleBenign(double start_s)
+{
+    ConnRecord r;
+    r.attack = AttackClass::Benign;
+    r.start_s = start_s;
+    r.flow.src_ip =
+        kBenignBase + static_cast<uint32_t>(
+                          rng_.uniformInt(0, cfg_.benign_hosts - 1));
+    r.flow.dst_ip = kServerBase + static_cast<uint32_t>(
+                                      rng_.uniformInt(0, kServerCount - 1));
+    r.flow.src_port = next_ephemeral_++;
+    r.flow.dst_port = benignServicePort(rng_);
+    r.flow.proto = r.flow.dst_port == 53 ? kProtoUdp : kProtoTcp;
+
+    switch (r.flow.dst_port) {
+      case 53: // dns: one small datagram
+        r.duration_s = 0.001 + rng_.exponential(100.0);
+        r.src_bytes = static_cast<uint64_t>(rng_.uniformInt(40, 120));
+        break;
+      case 22: // ssh: long interactive
+        r.duration_s = std::min(0.5 + rng_.exponential(1.5), 3.0);
+        r.src_bytes = static_cast<uint64_t>(
+            std::exp(rng_.gaussian(7.5, 1.2)));
+        break;
+      default: // web/mail/ftp: short-to-medium transfers
+        r.duration_s = std::min(0.01 + rng_.exponential(2.0), 3.0);
+        r.src_bytes = static_cast<uint64_t>(
+            std::exp(rng_.gaussian(6.5, 1.5)));
+        break;
+    }
+    r.src_bytes = std::min<uint64_t>(r.src_bytes, 2'000'000);
+    r.fwd_pkts = static_cast<int>(
+        std::max<uint64_t>(1, r.src_bytes / kMss + 1));
+    // Rare legitimate urgent data (telnet-era artifacts).
+    r.urgent = rng_.bernoulli(0.004) ? 1 : 0;
+    // Occasional refused/unanswered handshakes: benign SYN-only flows
+    // are what keep the syn-error feature from being a perfect detector.
+    if (r.flow.proto == kProtoTcp && rng_.bernoulli(0.02)) {
+        r.syn_only = true;
+        r.fwd_pkts = 1;
+        r.src_bytes = 40;
+        r.duration_s = 0.001;
+    }
+    return r;
+}
+
+ConnRecord
+KddGenerator::sampleDos(double start_s, uint32_t attacker, uint32_t victim)
+{
+    ConnRecord r;
+    r.attack = AttackClass::Dos;
+    r.start_s = start_s;
+    r.flow.src_ip = attacker;
+    r.flow.dst_ip = victim;
+    r.flow.src_port = next_ephemeral_++;
+    r.flow.dst_port = 80;
+    r.flow.proto = kProtoTcp;
+    r.duration_s = rng_.exponential(200.0); // near-instant
+    r.syn_only = rng_.bernoulli(0.9);
+    r.fwd_pkts = static_cast<int>(rng_.uniformInt(1, 3));
+    r.src_bytes = static_cast<uint64_t>(40 * r.fwd_pkts);
+    return r;
+}
+
+ConnRecord
+KddGenerator::sampleProbe(double start_s, uint32_t attacker,
+                          uint32_t victim, uint16_t port)
+{
+    ConnRecord r;
+    r.attack = AttackClass::Probe;
+    r.start_s = start_s;
+    r.flow.src_ip = attacker;
+    r.flow.dst_ip = victim;
+    r.flow.src_port = next_ephemeral_++;
+    r.flow.dst_port = port;
+    r.flow.proto = kProtoTcp;
+    r.duration_s = rng_.exponential(500.0);
+    r.syn_only = rng_.bernoulli(0.8); // most probed ports are closed
+    r.fwd_pkts = 1 + (rng_.bernoulli(0.3) ? 1 : 0);
+    r.src_bytes = static_cast<uint64_t>(40 * r.fwd_pkts);
+    return r;
+}
+
+ConnRecord
+KddGenerator::sampleR2l(double start_s, uint32_t attacker)
+{
+    // Password guessing / unauthorized transfers: shaped like benign
+    // ssh/ftp sessions, which is why models miss most of them.
+    ConnRecord r;
+    r.attack = AttackClass::R2l;
+    r.start_s = start_s;
+    r.flow.src_ip = attacker;
+    r.flow.dst_ip = kServerBase + static_cast<uint32_t>(
+                                      rng_.uniformInt(0, kServerCount - 1));
+    r.flow.src_port = next_ephemeral_++;
+    r.flow.dst_port = rng_.bernoulli(0.6) ? 22 : 21;
+    r.flow.proto = kProtoTcp;
+    r.duration_s = std::min(0.3 + rng_.exponential(1.2), 3.0);
+    r.src_bytes = static_cast<uint64_t>(std::exp(rng_.gaussian(7.0, 1.0)));
+    r.fwd_pkts = static_cast<int>(
+        std::max<uint64_t>(2, r.src_bytes / kMss + 1));
+    r.urgent = rng_.bernoulli(0.10) ? 1 : 0;
+    return r;
+}
+
+ConnRecord
+KddGenerator::sampleU2r(double start_s, uint32_t attacker)
+{
+    // Long interactive root session: benign-ssh-shaped with occasional
+    // urgent data and heavier uploads.
+    ConnRecord r;
+    r.attack = AttackClass::U2r;
+    r.start_s = start_s;
+    r.flow.src_ip = attacker;
+    r.flow.dst_ip = kServerBase;
+    r.flow.src_port = next_ephemeral_++;
+    r.flow.dst_port = 22;
+    r.flow.proto = kProtoTcp;
+    r.duration_s = std::min(1.0 + rng_.exponential(0.8), 4.0);
+    r.src_bytes = static_cast<uint64_t>(std::exp(rng_.gaussian(8.5, 1.0)));
+    r.fwd_pkts = static_cast<int>(
+        std::max<uint64_t>(3, r.src_bytes / kMss + 1));
+    r.urgent = rng_.bernoulli(0.2) ? 1 : 0;
+    return r;
+}
+
+std::vector<ConnRecord>
+KddGenerator::sampleConnections()
+{
+    std::vector<ConnRecord> out;
+    out.reserve(cfg_.connections);
+
+    const std::vector<double> family = {cfg_.dos_weight, cfg_.probe_weight,
+                                        cfg_.r2l_weight, cfg_.u2r_weight};
+
+    // Attack traffic arrives in episodes: a DoS flood or a port scan is a
+    // cluster of connections from one attacker in a sub-second window.
+    // Episodes are what make the sliding-window source features light up.
+    size_t attacks_left = static_cast<size_t>(
+        static_cast<double>(cfg_.connections) * cfg_.anomaly_fraction);
+    const size_t benign_count = cfg_.connections - attacks_left;
+
+    // Benign traffic mixes independent clients with NAT/proxy bursts:
+    // many connections from one source IP in a short window, which is
+    // exactly what the sliding-window source features confuse with a
+    // low-rate flood.
+    for (size_t i = 0; i < benign_count;) {
+        if (rng_.bernoulli(0.10) && benign_count - i > 8) {
+            const uint32_t src =
+                kBenignBase +
+                static_cast<uint32_t>(
+                    rng_.uniformInt(0, cfg_.benign_hosts - 1));
+            const double t0 =
+                rng_.uniform(0.0, cfg_.trace_duration_s * 0.9);
+            const size_t burst = std::min<size_t>(
+                benign_count - i,
+                static_cast<size_t>(rng_.uniformInt(10, 40)));
+            for (size_t j = 0; j < burst; ++j) {
+                ConnRecord r =
+                    sampleBenign(t0 + rng_.uniform(0.0, 0.6));
+                r.flow.src_ip = src;
+                out.push_back(std::move(r));
+            }
+            i += burst;
+        } else {
+            out.push_back(
+                sampleBenign(rng_.uniform(0.0, cfg_.trace_duration_s)));
+            ++i;
+        }
+    }
+
+    // Family weights are connection mass, not episode counts: a DoS
+    // episode holds ~100 connections while an R2L episode holds ~4, so
+    // drawing episode *types* from the weights would starve the rare
+    // classes of packet mass. Budget each family separately instead.
+    const double wsum = cfg_.dos_weight + cfg_.probe_weight +
+                        cfg_.r2l_weight + cfg_.u2r_weight;
+    std::vector<size_t> budget(4);
+    for (size_t f = 0; f < 4; ++f)
+        budget[f] = static_cast<size_t>(
+            static_cast<double>(attacks_left) * family[f] / wsum);
+    budget[0] += attacks_left - (budget[0] + budget[1] + budget[2] +
+                                 budget[3]); // rounding remainder to DoS
+
+    uint32_t episode_counter = 0;
+    while (budget[0] + budget[1] + budget[2] + budget[3] > 0) {
+        // Volumetric attackers churn through source addresses (botnets,
+        // spoofed ranges): each episode gets a fresh IP, so a per-IP
+        // control-plane rule only covers the episode that triggered it.
+        const uint32_t attacker = kAttackerBase + episode_counter++;
+        const double t0 = rng_.uniform(0.0, cfg_.trace_duration_s * 0.9);
+
+        // Pick a family that still has budget, proportionally.
+        std::vector<double> open;
+        for (size_t f = 0; f < 4; ++f)
+            open.push_back(budget[f] > 0 ? family[f] : 0.0);
+        const size_t fam = rng_.categorical(open);
+        size_t &attacks_left = budget[fam];
+
+        switch (fam) {
+          case 0: { // DoS flood episode
+            // Intensity varies: stealthy low-rate floods come from one
+            // (churning) host and overlap benign connection rates;
+            // intense volumetric floods spoof a fresh source address
+            // per connection, which is what makes the control plane's
+            // per-IP rules useless against them (Section 5.2.2).
+            const bool stealthy = rng_.bernoulli(0.45);
+            const size_t burst = std::min<size_t>(
+                attacks_left,
+                static_cast<size_t>(rng_.uniformInt(stealthy ? 4 : 60,
+                                                    stealthy ? 12 : 220)));
+            const double span = stealthy ? 2.0 : 0.4;
+            const uint32_t victim = kServerBase + static_cast<uint32_t>(
+                                                      rng_.uniformInt(0, 3));
+            for (size_t i = 0; i < burst; ++i) {
+                const uint32_t src =
+                    stealthy ? attacker
+                             : kSpoofBase +
+                                   static_cast<uint32_t>(rng_.uniformInt(
+                                       0, (1 << 20) - 1));
+                out.push_back(
+                    sampleDos(t0 + rng_.uniform(0.0, span), src,
+                              victim));
+            }
+            attacks_left -= burst;
+            break;
+          }
+          case 1: { // port-scan episode
+            const size_t burst = std::min<size_t>(
+                attacks_left, static_cast<size_t>(rng_.uniformInt(15, 60)));
+            const uint32_t victim = kServerBase + static_cast<uint32_t>(
+                                                      rng_.uniformInt(0, 7));
+            uint16_t port = static_cast<uint16_t>(rng_.uniformInt(1, 1024));
+            for (size_t i = 0; i < burst; ++i) {
+                out.push_back(sampleProbe(t0 + rng_.uniform(0.0, 2.0),
+                                          attacker, victim, port));
+                port = static_cast<uint16_t>(port + rng_.uniformInt(1, 7));
+            }
+            attacks_left -= burst;
+            break;
+          }
+          case 2: { // a few R2L attempts from a compromised client
+            const uint32_t client =
+                kBenignBase +
+                static_cast<uint32_t>(
+                    rng_.uniformInt(0, cfg_.benign_hosts - 1));
+            const size_t burst = std::min<size_t>(
+                attacks_left, static_cast<size_t>(rng_.uniformInt(2, 6)));
+            for (size_t i = 0; i < burst; ++i)
+                out.push_back(sampleR2l(t0 + rng_.uniform(0.0, 0.5),
+                                        client));
+            attacks_left -= burst;
+            break;
+          }
+          default: { // one U2R session from a compromised client
+            const uint32_t client =
+                kBenignBase +
+                static_cast<uint32_t>(
+                    rng_.uniformInt(0, cfg_.benign_hosts - 1));
+            out.push_back(sampleU2r(t0, client));
+            --attacks_left;
+            break;
+          }
+        }
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const ConnRecord &a, const ConnRecord &b) {
+                  return a.start_s < b.start_s;
+              });
+    return out;
+}
+
+std::vector<TracePacket>
+KddGenerator::expandToPackets(const std::vector<ConnRecord> &records)
+{
+    std::vector<TracePacket> trace;
+    for (size_t ci = 0; ci < records.size(); ++ci) {
+        const ConnRecord &r = records[ci];
+        const int n = std::max(1, r.fwd_pkts);
+        uint64_t bytes_left = std::max<uint64_t>(r.src_bytes, 40);
+        int urgent_left = r.urgent;
+        for (int p = 0; p < n; ++p) {
+            TracePacket pkt;
+            pkt.conn_id = static_cast<int32_t>(ci);
+            pkt.flow = r.flow;
+            pkt.anomalous = r.anomalous();
+            // Packets spread over the duration; the handshake packet
+            // leads at t0.
+            pkt.time_s =
+                r.start_s +
+                (n == 1 ? 0.0
+                        : r.duration_s * static_cast<double>(p) /
+                              static_cast<double>(n));
+            pkt.syn = (p == 0 && r.flow.proto == kProtoTcp);
+            pkt.fin = (p == n - 1 && r.flow.proto == kProtoTcp &&
+                       !r.syn_only);
+            const uint64_t chunk =
+                std::min<uint64_t>(bytes_left, kMss);
+            // Wire size: payload + Ethernet/IP/TCP headers (54 B), the
+            // same length the switch's parser will report as PktLen.
+            pkt.size_bytes =
+                static_cast<uint16_t>(std::max<uint64_t>(54, chunk + 54));
+            bytes_left -= chunk;
+            // URG-flagged packets cluster mid-connection.
+            if (urgent_left > 0 && p > 0) {
+                pkt.urg = true;
+                --urgent_left;
+            }
+            trace.push_back(pkt);
+        }
+    }
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const TracePacket &a, const TracePacket &b) {
+                         return a.time_s < b.time_s;
+                     });
+    return trace;
+}
+
+nn::Dataset
+KddGenerator::packetDataset(const std::vector<TracePacket> &trace,
+                            size_t stride, bool svm_features) const
+{
+    FlowTracker tracker;
+    nn::Dataset data;
+    size_t i = 0;
+    for (const TracePacket &pkt : trace) {
+        tracker.observe(pkt);
+        if (i++ % std::max<size_t>(stride, 1) != 0)
+            continue;
+        data.add(svm_features ? tracker.svmFeatures()
+                              : tracker.dnnFeatures(),
+                 pkt.anomalous ? 1 : 0);
+    }
+    return data;
+}
+
+nn::Dataset
+KddGenerator::dataset(size_t stride, bool svm_features)
+{
+    const auto records = sampleConnections();
+    const auto trace = expandToPackets(records);
+    return packetDataset(trace, stride, svm_features);
+}
+
+} // namespace taurus::net

@@ -1,0 +1,94 @@
+#include "nn/activations.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace taurus::nn {
+
+std::string
+toString(Activation a)
+{
+    switch (a) {
+      case Activation::None: return "none";
+      case Activation::Relu: return "relu";
+      case Activation::LeakyRelu: return "leaky_relu";
+      case Activation::Sigmoid: return "sigmoid";
+      case Activation::Tanh: return "tanh";
+      case Activation::Softmax: return "softmax";
+    }
+    return "?";
+}
+
+double
+activationScalar(Activation a, double x)
+{
+    switch (a) {
+      case Activation::None:
+        return x;
+      case Activation::Relu:
+        return x > 0 ? x : 0;
+      case Activation::LeakyRelu:
+        return x > 0 ? x : x / 8.0;
+      case Activation::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+      case Activation::Tanh:
+        return std::tanh(x);
+      case Activation::Softmax:
+        assert(false && "softmax is not a scalar function");
+        return x;
+    }
+    return x;
+}
+
+Vector
+applyActivation(Activation a, const Vector &z)
+{
+    Vector y(z.size());
+    if (a == Activation::Softmax) {
+        const float zmax = *std::max_element(z.begin(), z.end());
+        float sum = 0.0f;
+        for (size_t i = 0; i < z.size(); ++i) {
+            y[i] = std::exp(z[i] - zmax);
+            sum += y[i];
+        }
+        for (float &v : y)
+            v /= sum;
+        return y;
+    }
+    for (size_t i = 0; i < z.size(); ++i)
+        y[i] = static_cast<float>(activationScalar(a, z[i]));
+    return y;
+}
+
+Vector
+activationGrad(Activation a, const Vector &z, const Vector &y)
+{
+    Vector g(z.size(), 1.0f);
+    switch (a) {
+      case Activation::None:
+        break;
+      case Activation::Relu:
+        for (size_t i = 0; i < z.size(); ++i)
+            g[i] = z[i] > 0 ? 1.0f : 0.0f;
+        break;
+      case Activation::LeakyRelu:
+        for (size_t i = 0; i < z.size(); ++i)
+            g[i] = z[i] > 0 ? 1.0f : 0.125f;
+        break;
+      case Activation::Sigmoid:
+        for (size_t i = 0; i < z.size(); ++i)
+            g[i] = y[i] * (1.0f - y[i]);
+        break;
+      case Activation::Tanh:
+        for (size_t i = 0; i < z.size(); ++i)
+            g[i] = 1.0f - y[i] * y[i];
+        break;
+      case Activation::Softmax:
+        assert(false && "softmax grad is fused with cross-entropy");
+        break;
+    }
+    return g;
+}
+
+} // namespace taurus::nn

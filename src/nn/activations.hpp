@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Activation functions shared by the float trainer and the quantized
+ * reference; the set mirrors the Taurus microbenchmarks (Table 6).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "nn/matrix.hpp"
+
+namespace taurus::nn {
+
+/** Activation kinds supported by the data plane. */
+enum class Activation
+{
+    None,      ///< identity (linear output layer)
+    Relu,      ///< max(0, x)
+    LeakyRelu, ///< x >= 0 ? x : x/8 (hardware-friendly alpha)
+    Sigmoid,   ///< logistic
+    Tanh,      ///< hyperbolic tangent
+    Softmax,   ///< vector softmax (output layers only)
+};
+
+/** Human-readable name (for reports). */
+std::string toString(Activation a);
+
+/** Apply the activation elementwise (softmax normalizes the vector). */
+Vector applyActivation(Activation a, const Vector &z);
+
+/**
+ * Derivative w.r.t. pre-activation, given both pre-activation z and
+ * post-activation y (softmax is handled jointly with cross-entropy and
+ * must not be differentiated through this helper).
+ */
+Vector activationGrad(Activation a, const Vector &z, const Vector &y);
+
+/** Scalar versions used by LUT construction. */
+double activationScalar(Activation a, double x);
+
+} // namespace taurus::nn

@@ -1,0 +1,86 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace taurus::nn {
+
+int
+Dataset::classCount() const
+{
+    int m = 0;
+    for (int label : y)
+        m = std::max(m, label + 1);
+    return m;
+}
+
+void
+Dataset::add(Vector features, int label)
+{
+    x.push_back(std::move(features));
+    y.push_back(label);
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double fraction, util::Rng &rng) const
+{
+    std::vector<size_t> idx(size());
+    std::iota(idx.begin(), idx.end(), 0);
+    rng.shuffle(idx);
+    const size_t first_count =
+        static_cast<size_t>(fraction * static_cast<double>(size()));
+    Dataset a, b;
+    for (size_t i = 0; i < idx.size(); ++i) {
+        if (i < first_count)
+            a.add(x[idx[i]], y[idx[i]]);
+        else
+            b.add(x[idx[i]], y[idx[i]]);
+    }
+    return {std::move(a), std::move(b)};
+}
+
+void
+Standardizer::fit(const Dataset &d)
+{
+    const size_t f = d.featureCount();
+    mean_.assign(f, 0.0f);
+    std_.assign(f, 1.0f);
+    if (d.size() == 0)
+        return;
+    for (const auto &row : d.x)
+        for (size_t i = 0; i < f; ++i)
+            mean_[i] += row[i];
+    for (float &m : mean_)
+        m /= static_cast<float>(d.size());
+    Vector var(f, 0.0f);
+    for (const auto &row : d.x)
+        for (size_t i = 0; i < f; ++i) {
+            const float delta = row[i] - mean_[i];
+            var[i] += delta * delta;
+        }
+    for (size_t i = 0; i < f; ++i) {
+        const float v = var[i] / static_cast<float>(d.size());
+        std_[i] = v > 1e-12f ? std::sqrt(v) : 1.0f;
+    }
+}
+
+Vector
+Standardizer::apply(const Vector &v) const
+{
+    Vector out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = (v[i] - mean_[i]) / std_[i];
+    return out;
+}
+
+Dataset
+Standardizer::apply(const Dataset &d) const
+{
+    Dataset out;
+    for (size_t i = 0; i < d.size(); ++i)
+        out.add(apply(d.x[i]), d.y[i]);
+    return out;
+}
+
+} // namespace taurus::nn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Labeled datasets with standardization and train/test splitting.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace taurus::nn {
+
+/** A labeled classification dataset (integer class labels). */
+struct Dataset
+{
+    std::vector<Vector> x;
+    std::vector<int> y;
+
+    size_t size() const { return x.size(); }
+    size_t featureCount() const { return x.empty() ? 0 : x[0].size(); }
+    int classCount() const;
+
+    void add(Vector features, int label);
+
+    /** Deterministic shuffled split; fraction goes to the first result. */
+    std::pair<Dataset, Dataset> split(double fraction, util::Rng &rng) const;
+};
+
+/**
+ * Per-feature affine standardization fitted on training data and applied
+ * to all data before quantization (the paper preprocesses features in MATs
+ * into fixed-point canonical form, Section 3.1; standardization is the
+ * software analog of that canonicalization).
+ */
+class Standardizer
+{
+  public:
+    /** Fit mean/std per feature. */
+    void fit(const Dataset &d);
+
+    Vector apply(const Vector &v) const;
+    Dataset apply(const Dataset &d) const;
+
+    const Vector &mean() const { return mean_; }
+    const Vector &std() const { return std_; }
+
+  private:
+    Vector mean_;
+    Vector std_;
+};
+
+} // namespace taurus::nn

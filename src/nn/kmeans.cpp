@@ -1,0 +1,136 @@
+#include "nn/kmeans.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace taurus::nn {
+
+namespace {
+
+double
+sqDist(const Vector &a, const Vector &b)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace
+
+KMeans
+KMeans::fit(const std::vector<Vector> &points, int k, int iters,
+            util::Rng &rng)
+{
+    assert(!points.empty() && k >= 1);
+    KMeans model;
+
+    // kmeans++ seeding.
+    model.centers_.push_back(
+        points[static_cast<size_t>(rng.uniformInt(0, points.size() - 1))]);
+    while (static_cast<int>(model.centers_.size()) < k) {
+        std::vector<double> d2(points.size());
+        for (size_t i = 0; i < points.size(); ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &c : model.centers_)
+                best = std::min(best, sqDist(points[i], c));
+            d2[i] = best;
+        }
+        model.centers_.push_back(points[rng.categorical(d2)]);
+    }
+
+    const size_t dim = points[0].size();
+    std::vector<int> assign(points.size(), 0);
+    for (int iter = 0; iter < iters; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < points.size(); ++i) {
+            const int c = model.predict(points[i]);
+            if (c != assign[i]) {
+                assign[i] = c;
+                changed = true;
+            }
+        }
+        std::vector<Vector> sums(model.centers_.size(), Vector(dim, 0.0f));
+        std::vector<int> counts(model.centers_.size(), 0);
+        for (size_t i = 0; i < points.size(); ++i) {
+            axpy(sums[assign[i]], points[i], 1.0f);
+            ++counts[assign[i]];
+        }
+        for (size_t c = 0; c < model.centers_.size(); ++c)
+            if (counts[c] > 0) {
+                for (size_t j = 0; j < dim; ++j)
+                    sums[c][j] /= static_cast<float>(counts[c]);
+                model.centers_[c] = sums[c];
+            }
+        if (!changed && iter > 0)
+            break;
+    }
+    return model;
+}
+
+int
+KMeans::predict(const Vector &x) const
+{
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers_.size(); ++c) {
+        const double d = sqDist(x, centers_[c]);
+        if (d < best_d) {
+            best_d = d;
+            best = static_cast<int>(c);
+        }
+    }
+    return best;
+}
+
+Vector
+KMeans::distances(const Vector &x) const
+{
+    Vector d(centers_.size());
+    for (size_t c = 0; c < centers_.size(); ++c)
+        d[c] = static_cast<float>(sqDist(x, centers_[c]));
+    return d;
+}
+
+double
+KMeans::inertia(const std::vector<Vector> &points) const
+{
+    double acc = 0.0;
+    for (const auto &p : points)
+        acc += sqDist(p, centers_[static_cast<size_t>(predict(p))]);
+    return acc;
+}
+
+double
+KMeans::labelAccuracy(const Dataset &train, const Dataset &test)
+{
+    // Majority label per cluster from the training set.
+    std::vector<std::map<int, int>> votes(centers_.size());
+    for (size_t i = 0; i < train.size(); ++i)
+        ++votes[static_cast<size_t>(predict(train.x[i]))][train.y[i]];
+    cluster_label_.assign(centers_.size(), 0);
+    for (size_t c = 0; c < centers_.size(); ++c) {
+        int best_label = 0, best_count = -1;
+        for (const auto &[label, count] : votes[c])
+            if (count > best_count) {
+                best_count = count;
+                best_label = label;
+            }
+        cluster_label_[c] = best_label;
+    }
+    if (test.size() == 0)
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < test.size(); ++i)
+        if (cluster_label_[static_cast<size_t>(predict(test.x[i]))] ==
+            test.y[i])
+            ++correct;
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+} // namespace taurus::nn

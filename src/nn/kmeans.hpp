@@ -1,0 +1,49 @@
+/**
+ * @file
+ * KMeans clustering (Lloyd's algorithm with kmeans++ seeding) used by the
+ * IoT traffic-classification application (paper Section 5.1.2: "KMeans
+ * clustering using 11 features and five categories").
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace taurus::nn {
+
+/** Trained KMeans model with squared-Euclidean assignment. */
+class KMeans
+{
+  public:
+    /** Fit k centers on the dataset's features. */
+    static KMeans fit(const std::vector<Vector> &points, int k, int iters,
+                      util::Rng &rng);
+
+    /** Index of the nearest center. */
+    int predict(const Vector &x) const;
+
+    /** Squared distance to each center. */
+    Vector distances(const Vector &x) const;
+
+    const std::vector<Vector> &centers() const { return centers_; }
+
+    /** Sum of squared distances to assigned centers. */
+    double inertia(const std::vector<Vector> &points) const;
+
+    /**
+     * Purity-based classification accuracy: each cluster predicts its
+     * majority training label (the standard way to score clustering as a
+     * classifier for the IoT categories).
+     */
+    double labelAccuracy(const Dataset &train, const Dataset &test);
+
+  private:
+    std::vector<Vector> centers_;
+    std::vector<int> cluster_label_;
+};
+
+} // namespace taurus::nn

@@ -1,0 +1,62 @@
+#include "nn/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace taurus::nn {
+
+Lstm::Lstm(size_t input_dim, size_t units, size_t outputs, util::Rng &rng)
+    : input_dim_(input_dim), units_(units)
+{
+    const size_t concat = input_dim + units;
+    wi_ = Matrix::glorot(units, concat, rng);
+    wf_ = Matrix::glorot(units, concat, rng);
+    wo_ = Matrix::glorot(units, concat, rng);
+    wg_ = Matrix::glorot(units, concat, rng);
+    bi_.assign(units, 0.0f);
+    bf_.assign(units, 1.0f); // standard forget-gate bias init
+    bo_.assign(units, 0.0f);
+    bg_.assign(units, 0.0f);
+    head_ = Matrix::glorot(outputs, units, rng);
+    head_b_.assign(outputs, 0.0f);
+}
+
+LstmState
+Lstm::initialState() const
+{
+    return {Vector(units_, 0.0f), Vector(units_, 0.0f)};
+}
+
+Vector
+Lstm::step(const Vector &x, LstmState &state) const
+{
+    assert(x.size() == input_dim_);
+    Vector concat(input_dim_ + units_);
+    for (size_t i = 0; i < input_dim_; ++i)
+        concat[i] = x[i];
+    for (size_t i = 0; i < units_; ++i)
+        concat[input_dim_ + i] = state.h[i];
+
+    Vector zi = wi_.matVec(concat);
+    Vector zf = wf_.matVec(concat);
+    Vector zo = wo_.matVec(concat);
+    Vector zg = wg_.matVec(concat);
+    for (size_t i = 0; i < units_; ++i) {
+        const float gi =
+            1.0f / (1.0f + std::exp(-(zi[i] + bi_[i])));
+        const float gf =
+            1.0f / (1.0f + std::exp(-(zf[i] + bf_[i])));
+        const float go =
+            1.0f / (1.0f + std::exp(-(zo[i] + bo_[i])));
+        const float gg = std::tanh(zg[i] + bg_[i]);
+        state.c[i] = gf * state.c[i] + gi * gg;
+        state.h[i] = go * std::tanh(state.c[i]);
+    }
+
+    Vector z = head_.matVec(state.h);
+    for (size_t i = 0; i < z.size(); ++i)
+        z[i] += head_b_[i];
+    return applyActivation(Activation::Softmax, z);
+}
+
+} // namespace taurus::nn

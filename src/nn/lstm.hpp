@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LSTM cell + softmax head, matching the Indigo congestion-control model
+ * (paper Section 5.1.2: "32 LSTM units followed by a softmax layer").
+ *
+ * The LSTM is used (a) structurally by the compiler to derive the Table 5
+ * latency/area row, and (b) functionally by the congestion-control example
+ * to drive sending-rate decisions in the event simulator.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace taurus::nn {
+
+/** Recurrent state carried across LSTM steps. */
+struct LstmState
+{
+    Vector h;
+    Vector c;
+};
+
+/** A single-layer LSTM with a dense softmax output head. */
+class Lstm
+{
+  public:
+    Lstm() = default;
+    Lstm(size_t input_dim, size_t units, size_t outputs, util::Rng &rng);
+
+    /** Run one step; updates state in place and returns the softmax head. */
+    Vector step(const Vector &x, LstmState &state) const;
+
+    LstmState initialState() const;
+
+    size_t inputDim() const { return input_dim_; }
+    size_t units() const { return units_; }
+    size_t outputs() const { return head_.rows(); }
+
+    /** Gate matrices over [x; h], for the compiler's structural mapping. */
+    const Matrix &wi() const { return wi_; }
+    const Matrix &wf() const { return wf_; }
+    const Matrix &wo() const { return wo_; }
+    const Matrix &wg() const { return wg_; }
+    const Matrix &head() const { return head_; }
+
+  private:
+    size_t input_dim_ = 0;
+    size_t units_ = 0;
+    Matrix wi_, wf_, wo_, wg_; // units x (input_dim + units)
+    Vector bi_, bf_, bo_, bg_;
+    Matrix head_;              // outputs x units
+    Vector head_b_;
+};
+
+} // namespace taurus::nn

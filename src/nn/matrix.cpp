@@ -1,0 +1,109 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+
+namespace taurus::nn {
+
+Vector
+Matrix::matVec(const Vector &x) const
+{
+    assert(x.size() == cols_);
+    Vector y(rows_, 0.0f);
+    for (size_t r = 0; r < rows_; ++r) {
+        float acc = 0.0f;
+        const float *row = data_.data() + r * cols_;
+        for (size_t c = 0; c < cols_; ++c)
+            acc += row[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Vector
+Matrix::matVecTransposed(const Vector &x) const
+{
+    assert(x.size() == rows_);
+    Vector y(cols_, 0.0f);
+    for (size_t r = 0; r < rows_; ++r) {
+        const float *row = data_.data() + r * cols_;
+        const float xr = x[r];
+        for (size_t c = 0; c < cols_; ++c)
+            y[c] += row[c] * xr;
+    }
+    return y;
+}
+
+void
+Matrix::addOuter(const Vector &x, const Vector &y, float scale)
+{
+    assert(x.size() == rows_ && y.size() == cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        float *row = data_.data() + r * cols_;
+        const float xr = x[r] * scale;
+        for (size_t c = 0; c < cols_; ++c)
+            row[c] += xr * y[c];
+    }
+}
+
+void
+Matrix::addScaled(const Matrix &other, float scale)
+{
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += scale * other.data_[i];
+}
+
+void
+Matrix::scale(float s)
+{
+    for (float &v : data_)
+        v *= s;
+}
+
+float
+Matrix::absMax() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+Matrix
+Matrix::glorot(size_t rows, size_t cols, util::Rng &rng)
+{
+    Matrix m(rows, cols);
+    const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+    for (float &v : m.data())
+        v = static_cast<float>(rng.uniform(-limit, limit));
+    return m;
+}
+
+float
+dot(const Vector &a, const Vector &b)
+{
+    assert(a.size() == b.size());
+    float acc = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+axpy(Vector &y, const Vector &x, float a)
+{
+    assert(y.size() == x.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] += a * x[i];
+}
+
+float
+absMax(const Vector &v)
+{
+    float m = 0.0f;
+    for (float x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+} // namespace taurus::nn

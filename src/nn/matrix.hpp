@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal dense float matrix/vector support for the training stack.
+ *
+ * The models that run in the Taurus data plane are small (tens of units per
+ * layer), so a simple row-major matrix with unblocked loops is more than
+ * fast enough for training and keeps the numerics easy to audit.
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace taurus::nn {
+
+using Vector = std::vector<float>;
+
+/** Row-major dense matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    float &
+    at(size_t r, size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(size_t r, size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** y = A * x (x sized cols, result sized rows). */
+    Vector matVec(const Vector &x) const;
+
+    /** y = A^T * x (x sized rows, result sized cols). */
+    Vector matVecTransposed(const Vector &x) const;
+
+    /** this += scale * (x outer y), x sized rows, y sized cols. */
+    void addOuter(const Vector &x, const Vector &y, float scale);
+
+    /** this += scale * other (same shape). */
+    void addScaled(const Matrix &other, float scale);
+
+    /** this *= scale. */
+    void scale(float s);
+
+    /** Largest |entry|. */
+    float absMax() const;
+
+    /** Xavier/Glorot uniform initialization. */
+    static Matrix glorot(size_t rows, size_t cols, util::Rng &rng);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Elementwise helpers on Vector. */
+float dot(const Vector &a, const Vector &b);
+void axpy(Vector &y, const Vector &x, float a);
+float absMax(const Vector &v);
+
+} // namespace taurus::nn

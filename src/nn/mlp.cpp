@@ -1,0 +1,220 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace taurus::nn {
+
+Mlp::Mlp(const std::vector<size_t> &sizes, Activation hidden, Loss loss,
+         util::Rng &rng)
+    : loss_(loss)
+{
+    assert(sizes.size() >= 2);
+    for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+        DenseLayer layer;
+        layer.w = Matrix::glorot(sizes[i + 1], sizes[i], rng);
+        layer.b.assign(sizes[i + 1], 0.0f);
+        const bool last = (i + 2 == sizes.size());
+        if (!last) {
+            layer.act = hidden;
+        } else {
+            switch (loss) {
+              case Loss::BinaryCrossEntropy:
+                layer.act = Activation::Sigmoid;
+                break;
+              case Loss::CrossEntropy:
+                layer.act = Activation::Softmax;
+                break;
+              case Loss::MeanSquaredError:
+                layer.act = Activation::None;
+                break;
+            }
+        }
+        layers_.push_back(std::move(layer));
+    }
+}
+
+size_t
+Mlp::inputSize() const
+{
+    return layers_.empty() ? 0 : layers_.front().w.cols();
+}
+
+size_t
+Mlp::outputSize() const
+{
+    return layers_.empty() ? 0 : layers_.back().w.rows();
+}
+
+Vector
+Mlp::forward(const Vector &input) const
+{
+    Vector v = input;
+    for (const auto &layer : layers_) {
+        Vector z = layer.w.matVec(v);
+        for (size_t i = 0; i < z.size(); ++i)
+            z[i] += layer.b[i];
+        v = applyActivation(layer.act, z);
+    }
+    return v;
+}
+
+Vector
+Mlp::forwardTraced(const Vector &input, Trace &trace) const
+{
+    trace.pre.clear();
+    trace.post.clear();
+    trace.post.push_back(input);
+    Vector v = input;
+    for (const auto &layer : layers_) {
+        Vector z = layer.w.matVec(v);
+        for (size_t i = 0; i < z.size(); ++i)
+            z[i] += layer.b[i];
+        trace.pre.push_back(z);
+        v = applyActivation(layer.act, z);
+        trace.post.push_back(v);
+    }
+    return v;
+}
+
+float
+Mlp::trainBatch(const std::vector<const Vector *> &xs,
+                const std::vector<int> &ys, const TrainConfig &cfg)
+{
+    assert(xs.size() == ys.size() && !xs.empty());
+    if (vel_w_.size() != layers_.size()) {
+        vel_w_.clear();
+        vel_b_.clear();
+        for (const auto &layer : layers_) {
+            vel_w_.emplace_back(layer.w.rows(), layer.w.cols());
+            vel_b_.emplace_back(layer.b.size(), 0.0f);
+        }
+    }
+
+    std::vector<Matrix> grad_w;
+    std::vector<Vector> grad_b;
+    for (const auto &layer : layers_) {
+        grad_w.emplace_back(layer.w.rows(), layer.w.cols());
+        grad_b.emplace_back(layer.b.size(), 0.0f);
+    }
+
+    float total_loss = 0.0f;
+    Trace trace;
+    for (size_t s = 0; s < xs.size(); ++s) {
+        const Vector out = forwardTraced(*xs[s], trace);
+        // delta at the output layer (dL/dz for the fused loss+activation).
+        Vector delta(out.size());
+        switch (loss_) {
+          case Loss::BinaryCrossEntropy: {
+            const float target = static_cast<float>(ys[s]);
+            const float p = std::clamp(out[0], 1e-7f, 1.0f - 1e-7f);
+            total_loss += -(target * std::log(p) +
+                            (1.0f - target) * std::log(1.0f - p));
+            delta[0] = out[0] - target;
+            break;
+          }
+          case Loss::CrossEntropy: {
+            const int target = ys[s];
+            const float p = std::clamp(out[target], 1e-7f, 1.0f);
+            total_loss += -std::log(p);
+            for (size_t i = 0; i < out.size(); ++i)
+                delta[i] = out[i] - (static_cast<int>(i) == target ? 1.f : 0.f);
+            break;
+          }
+          case Loss::MeanSquaredError: {
+            const float target = static_cast<float>(ys[s]);
+            const float err = out[0] - target;
+            total_loss += 0.5f * err * err;
+            delta[0] = err;
+            break;
+          }
+        }
+
+        for (size_t li = layers_.size(); li-- > 0;) {
+            const auto &layer = layers_[li];
+            // For non-final layers, multiply by activation derivative.
+            if (li + 1 != layers_.size()) {
+                const Vector g = activationGrad(layer.act, trace.pre[li],
+                                                trace.post[li + 1]);
+                for (size_t i = 0; i < delta.size(); ++i)
+                    delta[i] *= g[i];
+            }
+            grad_w[li].addOuter(delta, trace.post[li], 1.0f);
+            axpy(grad_b[li], delta, 1.0f);
+            if (li > 0)
+                delta = layer.w.matVecTransposed(delta);
+        }
+    }
+
+    const float inv_n = 1.0f / static_cast<float>(xs.size());
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        auto &layer = layers_[li];
+        if (cfg.weight_decay > 0.0f)
+            grad_w[li].addScaled(layer.w, cfg.weight_decay);
+        vel_w_[li].scale(cfg.momentum);
+        vel_w_[li].addScaled(grad_w[li], -cfg.learning_rate * inv_n);
+        layer.w.addScaled(vel_w_[li], 1.0f);
+        for (size_t i = 0; i < layer.b.size(); ++i) {
+            vel_b_[li][i] = cfg.momentum * vel_b_[li][i] -
+                            cfg.learning_rate * inv_n * grad_b[li][i];
+            layer.b[i] += vel_b_[li][i];
+        }
+    }
+    return total_loss * inv_n;
+}
+
+float
+Mlp::train(const Dataset &data, const TrainConfig &cfg, util::Rng &rng)
+{
+    std::vector<size_t> idx(data.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+
+    float epoch_loss = 0.0f;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        rng.shuffle(idx);
+        epoch_loss = 0.0f;
+        size_t batches = 0;
+        for (size_t start = 0; start < idx.size();
+             start += static_cast<size_t>(cfg.batch_size)) {
+            const size_t end = std::min(
+                idx.size(), start + static_cast<size_t>(cfg.batch_size));
+            std::vector<const Vector *> xs;
+            std::vector<int> ys;
+            for (size_t i = start; i < end; ++i) {
+                xs.push_back(&data.x[idx[i]]);
+                ys.push_back(data.y[idx[i]]);
+            }
+            epoch_loss += trainBatch(xs, ys, cfg);
+            ++batches;
+        }
+        if (batches > 0)
+            epoch_loss /= static_cast<float>(batches);
+    }
+    return epoch_loss;
+}
+
+int
+Mlp::predict(const Vector &input) const
+{
+    const Vector out = forward(input);
+    if (loss_ == Loss::BinaryCrossEntropy || out.size() == 1)
+        return out[0] >= 0.5f ? 1 : 0;
+    return static_cast<int>(
+        std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+double
+Mlp::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i)
+        if (predict(data.x[i]) == data.y[i])
+            ++correct;
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+} // namespace taurus::nn

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multilayer perceptron with backprop training.
+ *
+ * This is the float32 model that the control plane trains (paper Figure 1:
+ * "Control Plane (Training)"); after training it is quantized to int8 and
+ * installed into the MapReduce block. Supports the paper's model zoo: the
+ * anomaly-detection DNN (6-12-6-3-1, Tang et al.) and the IoT classifiers
+ * of Table 3 (4x10x2 etc.).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/dataset.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace taurus::nn {
+
+/** One dense layer: y = act(W x + b). */
+struct DenseLayer
+{
+    Matrix w;
+    Vector b;
+    Activation act = Activation::Relu;
+};
+
+/** Loss families supported by the trainer. */
+enum class Loss
+{
+    BinaryCrossEntropy, ///< final layer sigmoid, scalar output
+    CrossEntropy,       ///< final layer softmax, one output per class
+    MeanSquaredError,   ///< final layer linear
+};
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    int epochs = 20;
+    int batch_size = 32;
+    float learning_rate = 0.05f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+};
+
+/** A fully-connected network with explicit backprop. */
+class Mlp
+{
+  public:
+    Mlp() = default;
+
+    /**
+     * Build from layer sizes, e.g. {6, 12, 6, 3, 1} with hidden activation
+     * `hidden` and the output activation implied by `loss`.
+     */
+    Mlp(const std::vector<size_t> &sizes, Activation hidden, Loss loss,
+        util::Rng &rng);
+
+    /** Forward pass returning the output activation vector. */
+    Vector forward(const Vector &input) const;
+
+    /** Train on one minibatch; returns mean loss. */
+    float trainBatch(const std::vector<const Vector *> &xs,
+                     const std::vector<int> &ys, const TrainConfig &cfg);
+
+    /** Full training loop; returns final-epoch mean loss. */
+    float train(const Dataset &data, const TrainConfig &cfg, util::Rng &rng);
+
+    /** Predicted class (argmax for softmax, threshold 0.5 for sigmoid). */
+    int predict(const Vector &input) const;
+
+    /** Classification accuracy over a dataset. */
+    double accuracy(const Dataset &data) const;
+
+    const std::vector<DenseLayer> &layers() const { return layers_; }
+    std::vector<DenseLayer> &layers() { return layers_; }
+    Loss loss() const { return loss_; }
+    size_t inputSize() const;
+    size_t outputSize() const;
+
+  private:
+    struct Trace
+    {
+        std::vector<Vector> pre;  // pre-activations per layer
+        std::vector<Vector> post; // post-activations per layer (incl input)
+    };
+
+    Vector forwardTraced(const Vector &input, Trace &trace) const;
+
+    std::vector<DenseLayer> layers_;
+    Loss loss_ = Loss::BinaryCrossEntropy;
+
+    // Momentum buffers, lazily sized.
+    std::vector<Matrix> vel_w_;
+    std::vector<Vector> vel_b_;
+};
+
+} // namespace taurus::nn

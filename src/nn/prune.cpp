@@ -1,0 +1,92 @@
+#include "nn/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace taurus::nn {
+
+std::vector<float>
+unitImportance(const Mlp &model, size_t hidden_layer)
+{
+    const auto &layers = model.layers();
+    const Matrix &w_in = layers[hidden_layer].w;
+    const Matrix &w_out = layers[hidden_layer + 1].w;
+
+    std::vector<float> importance(w_in.rows(), 0.0f);
+    for (size_t u = 0; u < w_in.rows(); ++u) {
+        float sq = 0.0f;
+        for (size_t j = 0; j < w_in.cols(); ++j)
+            sq += w_in.at(u, j) * w_in.at(u, j);
+        for (size_t r = 0; r < w_out.rows(); ++r)
+            sq += w_out.at(r, u) * w_out.at(r, u);
+        importance[u] = std::sqrt(sq);
+    }
+    return importance;
+}
+
+Mlp
+pruneUnits(const Mlp &model, const Dataset &data, const PruneConfig &cfg,
+           util::Rng &rng)
+{
+    const auto &layers = model.layers();
+
+    // Pick the survivors of each hidden layer.
+    std::vector<std::vector<size_t>> keep(layers.size());
+    // Layer 0's *input* is the feature vector: keep all columns.
+    for (size_t li = 0; li + 1 < layers.size(); ++li) {
+        const auto importance = unitImportance(model, li);
+        std::vector<size_t> order(importance.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) {
+                      return importance[a] > importance[b];
+                  });
+        const size_t n = std::max<size_t>(
+            1, static_cast<size_t>(std::ceil(
+                   cfg.keep_fraction *
+                   static_cast<double>(importance.size()))));
+        order.resize(n);
+        std::sort(order.begin(), order.end()); // stable unit order
+        keep[li] = std::move(order);
+    }
+    // The output layer keeps all its units.
+    keep.back().resize(layers.back().w.rows());
+    std::iota(keep.back().begin(), keep.back().end(), size_t{0});
+
+    // Rebuild the smaller network, copying surviving weights.
+    std::vector<size_t> sizes;
+    sizes.push_back(layers.front().w.cols());
+    for (size_t li = 0; li < layers.size(); ++li)
+        sizes.push_back(keep[li].size());
+
+    Mlp pruned(sizes,
+               layers.front().act == Activation::LeakyRelu
+                   ? Activation::LeakyRelu
+                   : Activation::Relu,
+               model.loss(), rng);
+    for (size_t li = 0; li < layers.size(); ++li) {
+        DenseLayer &dst = pruned.layers()[li];
+        const DenseLayer &src = layers[li];
+        const std::vector<size_t> *in_keep =
+            li == 0 ? nullptr : &keep[li - 1];
+        for (size_t r = 0; r < keep[li].size(); ++r) {
+            const size_t sr = keep[li][r];
+            dst.b[r] = src.b[sr];
+            for (size_t c = 0; c < dst.w.cols(); ++c) {
+                const size_t sc = in_keep ? (*in_keep)[c] : c;
+                dst.w.at(r, c) = src.w.at(sr, sc);
+            }
+        }
+        dst.act = src.act;
+    }
+
+    if (cfg.finetune_epochs > 0) {
+        TrainConfig tc = cfg.finetune;
+        tc.epochs = cfg.finetune_epochs;
+        pruned.train(data, tc, rng);
+    }
+    return pruned;
+}
+
+} // namespace taurus::nn

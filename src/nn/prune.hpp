@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Structured (unit-level) magnitude pruning with fine-tuning.
+ *
+ * Section 6, "Shrinking Models": control networks keep working with a
+ * handful of neurons per layer, and "techniques like quantization,
+ * pruning, and distillation can further reduce a model's size". This
+ * implements the pruning half: hidden units are ranked by the L2 norm
+ * of their fan-in and fan-out weights, the weakest are removed whole
+ * (so the pruned network is a strictly smaller dense network — exactly
+ * what shrinks CU count on the MapReduce grid), and a few fine-tuning
+ * epochs recover accuracy.
+ */
+
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+
+namespace taurus::nn {
+
+/** Pruning configuration. */
+struct PruneConfig
+{
+    /** Fraction of each hidden layer's units to keep, (0, 1]. */
+    double keep_fraction = 0.5;
+    /** Fine-tuning passes after pruning (0 = none). */
+    int finetune_epochs = 10;
+    TrainConfig finetune;
+};
+
+/**
+ * Prune every hidden layer of `model` to keep_fraction of its units
+ * (at least one unit per layer), then fine-tune on `data`. Input and
+ * output widths are preserved.
+ */
+Mlp pruneUnits(const Mlp &model, const Dataset &data,
+               const PruneConfig &cfg, util::Rng &rng);
+
+/** Unit importance: L2 norm of a hidden unit's fan-in and fan-out. */
+std::vector<float> unitImportance(const Mlp &model, size_t hidden_layer);
+
+} // namespace taurus::nn

@@ -1,0 +1,198 @@
+#include "nn/quantized.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "fixed/saturate.hpp"
+
+namespace taurus::nn {
+
+std::vector<int8_t>
+buildActivationLut(Activation act, double in_scale, double out_scale)
+{
+    std::vector<int8_t> lut(256);
+    for (int code = -128; code <= 127; ++code) {
+        const double x = code * in_scale;
+        const double y = activationScalar(act, x);
+        const int32_t q = fixed::quantize(
+            y, fixed::QuantParams{out_scale}, 8);
+        lut[static_cast<size_t>(code + 128)] = static_cast<int8_t>(q);
+    }
+    return lut;
+}
+
+QuantizedMlp
+QuantizedMlp::fromFloat(const Mlp &model, const std::vector<Vector> &calib)
+{
+    QuantizedMlp q;
+    q.loss_ = model.loss();
+
+    // Input range from calibration data.
+    float in_max = 1e-6f;
+    for (const auto &v : calib)
+        in_max = std::max(in_max, absMax(v));
+    q.input_qp_ = fixed::QuantParams::forAbsMax(in_max, 8);
+
+    // Per-layer pre-activation ranges from calibration.
+    const size_t n_layers = model.layers().size();
+    std::vector<float> pre_max(n_layers, 1e-6f);
+    for (const auto &input : calib) {
+        Vector v = input;
+        for (size_t li = 0; li < n_layers; ++li) {
+            const auto &layer = model.layers()[li];
+            Vector z = layer.w.matVec(v);
+            for (size_t i = 0; i < z.size(); ++i)
+                z[i] += layer.b[i];
+            pre_max[li] = std::max(pre_max[li], absMax(z));
+            v = applyActivation(layer.act, z);
+        }
+    }
+
+    double in_scale = q.input_qp_.scale;
+    for (size_t li = 0; li < n_layers; ++li) {
+        const auto &layer = model.layers()[li];
+        QuantizedDense qd;
+        qd.out = layer.w.rows();
+        qd.in = layer.w.cols();
+        qd.act = layer.act;
+
+        const fixed::QuantParams w_qp =
+            fixed::QuantParams::forAbsMax(layer.w.absMax(), 8);
+        qd.w.resize(qd.out * qd.in);
+        for (size_t r = 0; r < qd.out; ++r)
+            for (size_t c = 0; c < qd.in; ++c)
+                qd.w[r * qd.in + c] = static_cast<int8_t>(
+                    fixed::quantize(layer.w.at(r, c), w_qp, 8));
+
+        const double acc_scale = in_scale * w_qp.scale;
+        qd.b.resize(qd.out);
+        for (size_t r = 0; r < qd.out; ++r)
+            qd.b[r] = fixed::quantize(layer.b[r],
+                                      fixed::QuantParams{acc_scale}, 32);
+
+        qd.pre_scale = pre_max[li] / 127.0;
+        qd.requant =
+            fixed::Requantizer::fromRealMultiplier(acc_scale / qd.pre_scale);
+
+        switch (layer.act) {
+          case Activation::Relu:
+          case Activation::LeakyRelu:
+          case Activation::None:
+          case Activation::Softmax:
+            // Integer-domain activation (softmax degenerates to identity;
+            // argmax is preserved, which is all classification needs).
+            qd.out_scale = qd.pre_scale;
+            break;
+          case Activation::Sigmoid:
+          case Activation::Tanh:
+            qd.out_scale = 1.0 / 127.0;
+            qd.lut = buildActivationLut(layer.act, qd.pre_scale,
+                                        qd.out_scale);
+            break;
+        }
+        in_scale = qd.out_scale;
+        q.layers_.push_back(std::move(qd));
+    }
+    return q;
+}
+
+std::vector<int8_t>
+QuantizedMlp::quantizeInput(const Vector &input) const
+{
+    std::vector<int8_t> out(input.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        out[i] = static_cast<int8_t>(
+            fixed::quantize(input[i], input_qp_, 8));
+    return out;
+}
+
+std::vector<int8_t>
+QuantizedMlp::forwardInt(const std::vector<int8_t> &input) const
+{
+    std::vector<int8_t> v = input;
+    for (const auto &layer : layers_) {
+        assert(v.size() == layer.in);
+        std::vector<int8_t> next(layer.out);
+        for (size_t r = 0; r < layer.out; ++r) {
+            int64_t acc = layer.b[r];
+            const int8_t *row = layer.w.data() + r * layer.in;
+            for (size_t c = 0; c < layer.in; ++c)
+                acc += static_cast<int32_t>(row[c]) *
+                       static_cast<int32_t>(v[c]);
+            const int32_t acc32 = fixed::saturate<int32_t>(acc);
+            int8_t pre = layer.requant.apply(acc32);
+            switch (layer.act) {
+              case Activation::Relu:
+                next[r] = std::max<int8_t>(pre, 0);
+                break;
+              case Activation::LeakyRelu:
+                next[r] = pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
+                break;
+              case Activation::Sigmoid:
+              case Activation::Tanh:
+                next[r] = layer.lut[static_cast<size_t>(
+                    static_cast<int>(pre) + 128)];
+                break;
+              case Activation::None:
+              case Activation::Softmax:
+                next[r] = pre;
+                break;
+            }
+        }
+        v = std::move(next);
+    }
+    return v;
+}
+
+Vector
+QuantizedMlp::forward(const Vector &input) const
+{
+    const std::vector<int8_t> out = forwardInt(quantizeInput(input));
+    Vector real(out.size());
+    const double s = layers_.back().out_scale;
+    for (size_t i = 0; i < out.size(); ++i)
+        real[i] = static_cast<float>(out[i] * s);
+    return real;
+}
+
+int
+QuantizedMlp::predict(const Vector &input) const
+{
+    const Vector out = forward(input);
+    if (loss_ == Loss::BinaryCrossEntropy || out.size() == 1)
+        return out[0] >= 0.5f ? 1 : 0;
+    return static_cast<int>(
+        std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+double
+QuantizedMlp::score(const Vector &input) const
+{
+    const Vector out = forward(input);
+    return out.empty() ? 0.0 : out[0];
+}
+
+double
+QuantizedMlp::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i)
+        if (predict(data.x[i]) == data.y[i])
+            ++correct;
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+size_t
+QuantizedMlp::weightBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &layer : layers_)
+        bytes += layer.w.size() + layer.b.size() * sizeof(int32_t) +
+                 layer.lut.size();
+    return bytes;
+}
+
+} // namespace taurus::nn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Post-training int8 quantization of MLPs and the integer-only reference
+ * inference path.
+ *
+ * This defines the exact numeric contract of the Taurus MapReduce block:
+ * int8 weights/activations, int32 accumulation, requantization by a Q31
+ * mantissa + shift, ReLU/LeakyReLU in the integer domain, and sigmoid/tanh
+ * as 256-entry int8 lookup tables (the paper's ActLUT variant stores 1024
+ * 8-bit entries; an int8-indexed domain needs only 256). The hw simulator
+ * executes the same operations and is tested bit-exact against this class.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/quant.hpp"
+#include "nn/mlp.hpp"
+
+namespace taurus::nn {
+
+/** One quantized dense layer. */
+struct QuantizedDense
+{
+    size_t out = 0;
+    size_t in = 0;
+    std::vector<int8_t> w;    ///< row-major out x in
+    std::vector<int32_t> b;   ///< at scale in_scale * w_scale
+    fixed::Requantizer requant; ///< acc -> int8 pre-activation
+    Activation act = Activation::None;
+    std::vector<int8_t> lut;  ///< 256 entries for sigmoid/tanh, else empty
+    double pre_scale = 1.0;   ///< real value of pre-activation code 1
+    double out_scale = 1.0;   ///< real value of output code 1
+};
+
+/** A quantized MLP with an integer-only forward pass. */
+class QuantizedMlp
+{
+  public:
+    /**
+     * Quantize a trained float model. `calibration` provides representative
+     * inputs used to pick activation ranges (absolute-max calibration).
+     */
+    static QuantizedMlp fromFloat(const Mlp &model,
+                                  const std::vector<Vector> &calibration);
+
+    /** Quantize a real-valued input vector to the input scale. */
+    std::vector<int8_t> quantizeInput(const Vector &input) const;
+
+    /** Integer-only forward pass. */
+    std::vector<int8_t> forwardInt(const std::vector<int8_t> &input) const;
+
+    /** Convenience: real input -> dequantized real output vector. */
+    Vector forward(const Vector &input) const;
+
+    /** Predicted class (argmax / threshold on the dequantized output). */
+    int predict(const Vector &input) const;
+
+    /** Real-valued anomaly score for binary models (sigmoid output). */
+    double score(const Vector &input) const;
+
+    double accuracy(const Dataset &data) const;
+
+    const std::vector<QuantizedDense> &layers() const { return layers_; }
+    const fixed::QuantParams &inputParams() const { return input_qp_; }
+    Loss loss() const { return loss_; }
+
+    /** Total weight bytes (the paper's 5.6 KB-style footprint metric). */
+    size_t weightBytes() const;
+
+  private:
+    fixed::QuantParams input_qp_;
+    std::vector<QuantizedDense> layers_;
+    Loss loss_ = Loss::BinaryCrossEntropy;
+};
+
+/** Build a 256-entry int8 LUT for a scalar activation. */
+std::vector<int8_t> buildActivationLut(Activation act, double in_scale,
+                                       double out_scale);
+
+} // namespace taurus::nn

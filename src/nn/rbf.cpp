@@ -1,0 +1,105 @@
+#include "nn/rbf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kmeans.hpp"
+
+namespace taurus::nn {
+
+namespace {
+
+double
+sqDist(const Vector &a, const Vector &b)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace
+
+RbfNet
+RbfNet::fit(const Dataset &data, int centers_per_class, int epochs,
+            float lr, util::Rng &rng)
+{
+    RbfNet net;
+
+    // Per-class kmeans centers act as support vectors.
+    std::vector<Vector> pos, neg;
+    for (size_t i = 0; i < data.size(); ++i)
+        (data.y[i] ? pos : neg).push_back(data.x[i]);
+    for (const auto *cls : {&neg, &pos}) {
+        if (cls->empty())
+            continue;
+        const int k = std::min<int>(centers_per_class,
+                                    static_cast<int>(cls->size()));
+        const KMeans km = KMeans::fit(*cls, k, 15, rng);
+        for (const auto &c : km.centers())
+            net.centers_.push_back(c);
+    }
+
+    // Gamma from median pairwise center distance (standard heuristic).
+    std::vector<double> dists;
+    for (size_t i = 0; i < net.centers_.size(); ++i)
+        for (size_t j = i + 1; j < net.centers_.size(); ++j)
+            dists.push_back(sqDist(net.centers_[i], net.centers_[j]));
+    std::sort(dists.begin(), dists.end());
+    const double median =
+        dists.empty() ? 1.0 : dists[dists.size() / 2];
+    net.gamma_ = static_cast<float>(1.0 / std::max(median, 1e-6));
+
+    // Logistic-regression on kernel features.
+    net.weights_.assign(net.centers_.size(), 0.0f);
+    net.bias_ = 0.0f;
+    std::vector<size_t> idx(data.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        rng.shuffle(idx);
+        for (size_t i : idx) {
+            const Vector phi = net.features(data.x[i]);
+            const double z = dot(net.weights_, phi) + net.bias_;
+            const double p = 1.0 / (1.0 + std::exp(-z));
+            const double err =
+                p - static_cast<double>(data.y[i]);
+            for (size_t k = 0; k < phi.size(); ++k)
+                net.weights_[k] -= lr * static_cast<float>(err * phi[k]);
+            net.bias_ -= lr * static_cast<float>(err);
+        }
+    }
+    return net;
+}
+
+Vector
+RbfNet::features(const Vector &x) const
+{
+    Vector phi(centers_.size());
+    for (size_t k = 0; k < centers_.size(); ++k)
+        phi[k] = std::exp(-gamma_ * static_cast<float>(
+                                        sqDist(x, centers_[k])));
+    return phi;
+}
+
+double
+RbfNet::score(const Vector &x) const
+{
+    return dot(weights_, features(x)) + bias_;
+}
+
+double
+RbfNet::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i)
+        if (predict(data.x[i]) == data.y[i])
+            ++correct;
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+} // namespace taurus::nn

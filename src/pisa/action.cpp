@@ -1,0 +1,123 @@
+#include "pisa/action.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace taurus::pisa {
+
+uint32_t
+flowHash(const Phv &phv)
+{
+    // FNV-1a over the 5-tuple containers, matching net::FlowKey::hash's
+    // byte order so software flow tracking and MAT registers agree.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint32_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(phv.get(Field::Ipv4Src), 4);
+    mix(phv.get(Field::Ipv4Dst), 4);
+    mix(phv.get(Field::L4Sport), 2);
+    mix(phv.get(Field::L4Dport), 2);
+    mix(phv.get(Field::Ipv4Proto), 1);
+    return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+namespace {
+
+uint32_t
+operand(const Instr &in, const Phv &phv, const std::vector<uint32_t> &args)
+{
+    switch (in.src) {
+      case Src::None:
+        return 0;
+      case Src::Imm:
+        return in.imm;
+      case Src::FieldSrc:
+        return phv.get(in.src_field);
+      case Src::Arg:
+        if (static_cast<size_t>(in.arg_index) >= args.size())
+            throw std::out_of_range("action-data index out of range");
+        return args[static_cast<size_t>(in.arg_index)];
+    }
+    return 0;
+}
+
+} // namespace
+
+void
+execute(const Action &action, Phv &phv, RegisterFile &regs,
+        const std::vector<uint32_t> &args)
+{
+    for (const Instr &in : action.instrs) {
+        const uint32_t rhs = operand(in, phv, args);
+        const uint32_t cur = phv.get(in.dst);
+        switch (in.op) {
+          case ActionOp::Set:
+            phv.set(in.dst, rhs);
+            break;
+          case ActionOp::Add:
+            phv.set(in.dst, cur + rhs);
+            break;
+          case ActionOp::Sub:
+            phv.set(in.dst, cur - rhs);
+            break;
+          case ActionOp::Min:
+            phv.set(in.dst, std::min(cur, rhs));
+            break;
+          case ActionOp::Max:
+            phv.set(in.dst, std::max(cur, rhs));
+            break;
+          case ActionOp::And:
+            phv.set(in.dst, cur & rhs);
+            break;
+          case ActionOp::Or:
+            phv.set(in.dst, cur | rhs);
+            break;
+          case ActionOp::Xor:
+            phv.set(in.dst, cur ^ rhs);
+            break;
+          case ActionOp::Shl:
+            phv.set(in.dst, rhs >= 32 ? 0 : cur << rhs);
+            break;
+          case ActionOp::Shr:
+            phv.set(in.dst, rhs >= 32 ? 0 : cur >> rhs);
+            break;
+          case ActionOp::TestEq:
+            phv.set(in.dst, cur == rhs ? 1 : 0);
+            break;
+          case ActionOp::HashFlow: {
+            const uint32_t mod = rhs ? rhs : 1;
+            phv.set(in.dst, flowHash(phv) % mod);
+            break;
+          }
+          case ActionOp::RegLoad:
+            phv.set(in.dst,
+                    regs.array(in.reg).read(phv.get(in.reg_index)));
+            break;
+          case ActionOp::RegStore:
+            regs.array(in.reg).write(phv.get(in.reg_index), rhs);
+            break;
+          case ActionOp::RegAdd:
+            phv.set(in.dst,
+                    regs.array(in.reg).add(phv.get(in.reg_index), rhs));
+            break;
+          case ActionOp::RegLoadSet: {
+            RegisterArray &arr = regs.array(in.reg);
+            const size_t idx = phv.get(in.reg_index);
+            const uint32_t was = arr.read(idx);
+            if (was == 0) {
+                arr.write(idx, rhs);
+                phv.set(in.dst, rhs);
+            } else {
+                phv.set(in.dst, was);
+            }
+            break;
+          }
+        }
+    }
+}
+
+} // namespace taurus::pisa

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The VLIW action engine of a match-action stage.
+ *
+ * Actions are short straight-line programs of primitive operations over
+ * PHV containers, immediates, per-entry action data, and stateful
+ * registers. The per-stage issue budget models Tofino's limit of "12
+ * operations per stage: four of each of 8, 16, and 32 bits"
+ * (Section 2.1.1, ref [65]); MatStage::validate enforces it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pisa/phv.hpp"
+#include "pisa/registers.hpp"
+
+namespace taurus::pisa {
+
+/** Primitive operations the action engine issues. */
+enum class ActionOp : uint8_t
+{
+    Set,        ///< dst = operand
+    Add,        ///< dst = dst + operand
+    Sub,        ///< dst = dst - operand
+    Min,        ///< dst = min(dst, operand)
+    Max,        ///< dst = max(dst, operand)
+    And,        ///< dst = dst & operand
+    Or,         ///< dst = dst | operand
+    Xor,        ///< dst = dst ^ operand
+    Shl,        ///< dst = dst << operand
+    Shr,        ///< dst = dst >> operand
+    HashFlow,   ///< dst = fnv1a(5-tuple fields) % operand
+    TestEq,     ///< dst = (dst == operand) ? 1 : 0 (predication)
+    RegLoad,    ///< dst = reg[index]
+    RegStore,   ///< reg[index] = operand
+    RegAdd,     ///< dst = (reg[index] += operand)
+    RegLoadSet, ///< dst = reg[index] ?: (reg[index] = operand)
+};
+
+/** Where an instruction's second operand comes from. */
+enum class Src : uint8_t
+{
+    None,
+    Imm,      ///< instruction immediate
+    FieldSrc, ///< another PHV container
+    Arg,      ///< per-table-entry action data
+};
+
+/** One VLIW slot. */
+struct Instr
+{
+    ActionOp op = ActionOp::Set;
+    Field dst = Field::Tmp0;
+    Src src = Src::Imm;
+    Field src_field = Field::Tmp0;
+    uint32_t imm = 0;
+    int arg_index = 0; ///< which action-data word when src == Arg
+    int reg = -1;      ///< register array id for Reg* ops
+    Field reg_index = Field::FlowHash; ///< index source for Reg* ops
+};
+
+/** A named action: a VLIW bundle executed on match. */
+struct Action
+{
+    std::string name;
+    std::vector<Instr> instrs;
+
+    /** Issue slots this action needs. */
+    size_t opCount() const { return instrs.size(); }
+};
+
+/** Tofino-style per-stage issue budget. */
+constexpr size_t kMaxOpsPerStage = 12;
+
+/**
+ * Execute an action against a PHV, register file, and the matched
+ * entry's action data.
+ */
+void execute(const Action &action, Phv &phv, RegisterFile &regs,
+             const std::vector<uint32_t> &args);
+
+/** The FNV-1a 5-tuple hash the HashFlow op computes. */
+uint32_t flowHash(const Phv &phv);
+
+} // namespace taurus::pisa

@@ -1,0 +1,177 @@
+#include "pisa/mat.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace taurus::pisa {
+
+MatStage::MatStage(std::string name, MatchKind kind, std::vector<Field> key)
+    : name_(std::move(name)), kind_(kind), key_(std::move(key))
+{
+    if (kind_ == MatchKind::Lpm && key_.size() != 1)
+        throw std::invalid_argument("LPM tables take exactly one key");
+}
+
+int
+MatStage::addAction(Action action)
+{
+    actions_.push_back(std::move(action));
+    return static_cast<int>(actions_.size()) - 1;
+}
+
+uint64_t
+MatStage::keyHash(const std::vector<uint32_t> &key)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint32_t w : key) {
+        h ^= w;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+MatStage::addEntry(TableEntry entry)
+{
+    if (entry.value.size() != key_.size())
+        throw std::invalid_argument(name_ + ": entry key width mismatch");
+    if (kind_ == MatchKind::Ternary && entry.mask.size() != key_.size())
+        throw std::invalid_argument(name_ + ": ternary entry needs masks");
+    if (entry.action_id < 0 ||
+        static_cast<size_t>(entry.action_id) >= actions_.size())
+        throw std::invalid_argument(name_ + ": bad action id");
+    if (kind_ == MatchKind::Exact)
+        exact_index_[keyHash(entry.value)] = entries_.size();
+    entries_.push_back(std::move(entry));
+}
+
+void
+MatStage::setDefault(int action_id, std::vector<uint32_t> args)
+{
+    if (action_id < 0 ||
+        static_cast<size_t>(action_id) >= actions_.size())
+        throw std::invalid_argument(name_ + ": bad default action id");
+    TableEntry e;
+    e.action_id = action_id;
+    e.args = std::move(args);
+    default_entry_ = std::move(e);
+}
+
+void
+MatStage::clearEntries()
+{
+    entries_.clear();
+    exact_index_.clear();
+}
+
+const TableEntry *
+MatStage::lookup(const Phv &phv) const
+{
+    std::vector<uint32_t> key;
+    key.reserve(key_.size());
+    for (Field f : key_)
+        key.push_back(phv.get(f));
+
+    switch (kind_) {
+      case MatchKind::Exact: {
+        const auto it = exact_index_.find(keyHash(key));
+        if (it != exact_index_.end() &&
+            entries_[it->second].value == key)
+            return &entries_[it->second];
+        return nullptr;
+      }
+      case MatchKind::Ternary: {
+        const TableEntry *best = nullptr;
+        for (const TableEntry &e : entries_) {
+            bool match = true;
+            for (size_t i = 0; i < key.size(); ++i)
+                if ((key[i] & e.mask[i]) != (e.value[i] & e.mask[i])) {
+                    match = false;
+                    break;
+                }
+            if (match && (!best || e.priority > best->priority))
+                best = &e;
+        }
+        return best;
+      }
+      case MatchKind::Lpm: {
+        const TableEntry *best = nullptr;
+        for (const TableEntry &e : entries_) {
+            const uint32_t mask =
+                e.prefix_len == 0
+                    ? 0
+                    : ~uint32_t{0} << (32 - e.prefix_len);
+            if ((key[0] & mask) == (e.value[0] & mask) &&
+                (!best || e.prefix_len > best->prefix_len))
+                best = &e;
+        }
+        return best;
+      }
+    }
+    return nullptr;
+}
+
+bool
+MatStage::apply(Phv &phv, RegisterFile &regs) const
+{
+    const TableEntry *e = lookup(phv);
+    if (e) {
+        ++stats_.hits;
+        execute(actions_[static_cast<size_t>(e->action_id)], phv, regs,
+                e->args);
+        return true;
+    }
+    ++stats_.misses;
+    if (default_entry_) {
+        execute(actions_[static_cast<size_t>(default_entry_->action_id)],
+                phv, regs, default_entry_->args);
+    }
+    return false;
+}
+
+size_t
+MatStage::maxOps() const
+{
+    size_t m = 0;
+    for (const Action &a : actions_)
+        m = std::max(m, a.opCount());
+    return m;
+}
+
+std::string
+MatStage::validate() const
+{
+    if (maxOps() > kMaxOpsPerStage)
+        return name_ + ": action exceeds the " +
+               std::to_string(kMaxOpsPerStage) + "-op VLIW budget";
+    if (actions_.empty())
+        return name_ + ": stage has no actions";
+    return "";
+}
+
+size_t
+MatPipeline::addStage(MatStage stage)
+{
+    stages_.push_back(std::move(stage));
+    return stages_.size() - 1;
+}
+
+void
+MatPipeline::apply(Phv &phv, RegisterFile &regs) const
+{
+    for (const MatStage &s : stages_)
+        s.apply(phv, regs);
+}
+
+std::string
+MatPipeline::validate() const
+{
+    for (const MatStage &s : stages_) {
+        const std::string err = s.validate();
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+} // namespace taurus::pisa

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Match-action tables and pipelines.
+ *
+ * A MatStage holds one table (exact, ternary, or LPM over a list of key
+ * fields), a set of actions, and entries binding match values to an
+ * action plus per-entry action data. A MatPipeline is an ordered list of
+ * stages with PISA resource accounting (32 stages per pipeline on the
+ * baseline chip, Section 5.1.1; a 12-op VLIW budget per stage).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "pisa/action.hpp"
+#include "pisa/phv.hpp"
+#include "pisa/registers.hpp"
+
+namespace taurus::pisa {
+
+/** Match semantics of a stage's table. */
+enum class MatchKind
+{
+    Exact,
+    Ternary, ///< value/mask with priority (TCAM)
+    Lpm,     ///< longest-prefix match on a single field
+};
+
+/** One installed table entry. */
+struct TableEntry
+{
+    std::vector<uint32_t> value; ///< one word per key field
+    std::vector<uint32_t> mask;  ///< ternary only (1-bits compared)
+    int prefix_len = 0;          ///< LPM only
+    int priority = 0;            ///< ternary tie-break (higher wins)
+    int action_id = -1;
+    std::vector<uint32_t> args;  ///< action data
+};
+
+/** Statistics a stage accumulates while running. */
+struct MatStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/** One match-action stage. */
+class MatStage
+{
+  public:
+    MatStage(std::string name, MatchKind kind, std::vector<Field> key);
+
+    /** Register an action; returns its id. */
+    int addAction(Action action);
+
+    /** Install an entry (validated against the key shape). */
+    void addEntry(TableEntry entry);
+
+    /** Action to run on a miss (default: none). */
+    void setDefault(int action_id, std::vector<uint32_t> args = {});
+
+    /** Remove all entries (keeps actions). */
+    void clearEntries();
+
+    /**
+     * Match and execute. Returns true on a hit. Misses run the default
+     * action when one is configured.
+     */
+    bool apply(Phv &phv, RegisterFile &regs) const;
+
+    /** Largest VLIW bundle across actions (issue-budget check). */
+    size_t maxOps() const;
+
+    /** Error string if the stage violates PISA limits; empty if OK. */
+    std::string validate() const;
+
+    const std::string &name() const { return name_; }
+    MatchKind kind() const { return kind_; }
+    size_t entryCount() const { return entries_.size(); }
+    const MatStats &stats() const { return stats_; }
+
+  private:
+    const TableEntry *lookup(const Phv &phv) const;
+
+    /** Hash of an exact-match key (SRAM lookup index). */
+    static uint64_t keyHash(const std::vector<uint32_t> &key);
+
+    std::string name_;
+    MatchKind kind_;
+    std::vector<Field> key_;
+    std::vector<Action> actions_;
+    std::vector<TableEntry> entries_;
+    std::optional<TableEntry> default_entry_;
+    /** Exact tables index entries by key hash (hardware SRAM lookup). */
+    std::unordered_map<uint64_t, size_t> exact_index_;
+    mutable MatStats stats_;
+};
+
+/** Per-component latency constants (1 GHz PISA pipeline). */
+struct PipelineTiming
+{
+    double parser_ns = 25.0;
+    double per_stage_ns = 12.5;
+    double scheduler_ns = 25.0;
+};
+
+/** An ordered list of stages sharing a register file. */
+class MatPipeline
+{
+  public:
+    /** Append a stage; returns a stable index. */
+    size_t addStage(MatStage stage);
+
+    MatStage &stage(size_t i) { return stages_.at(i); }
+    const MatStage &stage(size_t i) const { return stages_.at(i); }
+    size_t stageCount() const { return stages_.size(); }
+
+    /** Apply all stages in order. */
+    void apply(Phv &phv, RegisterFile &regs) const;
+
+    /** Wire latency of the MAT section. */
+    double latencyNs(const PipelineTiming &t) const
+    {
+        return static_cast<double>(stages_.size()) * t.per_stage_ns;
+    }
+
+    /** First validation error across stages, or empty. */
+    std::string validate() const;
+
+  private:
+    std::vector<MatStage> stages_;
+};
+
+} // namespace taurus::pisa

@@ -1,0 +1,125 @@
+#include "pisa/packet.hpp"
+
+#include <stdexcept>
+
+namespace taurus::pisa {
+
+namespace {
+
+void
+putU8(std::vector<uint8_t> &b, uint8_t v)
+{
+    b.push_back(v);
+}
+
+void
+putU16(std::vector<uint8_t> &b, uint16_t v)
+{
+    b.push_back(static_cast<uint8_t>(v >> 8));
+    b.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+void
+putU32(std::vector<uint8_t> &b, uint32_t v)
+{
+    b.push_back(static_cast<uint8_t>(v >> 24));
+    b.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+    b.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+    b.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+} // namespace
+
+uint8_t
+readU8(const std::vector<uint8_t> &b, size_t off)
+{
+    if (off >= b.size())
+        throw std::out_of_range("packet read past end");
+    return b[off];
+}
+
+uint16_t
+readU16(const std::vector<uint8_t> &b, size_t off)
+{
+    return static_cast<uint16_t>(readU8(b, off) << 8 | readU8(b, off + 1));
+}
+
+uint32_t
+readU32(const std::vector<uint8_t> &b, size_t off)
+{
+    return static_cast<uint32_t>(readU16(b, off)) << 16 |
+           readU16(b, off + 2);
+}
+
+Packet
+makePacket(const net::FlowKey &flow, uint16_t total_len, uint8_t tcp_flags,
+           double arrival_s)
+{
+    Packet p;
+    p.arrival_s = arrival_s;
+    auto &b = p.bytes;
+    b.reserve(total_len);
+
+    // Ethernet: synthetic MACs derived from the IPs.
+    putU16(b, 0x0200);
+    putU32(b, flow.dst_ip);
+    putU16(b, 0x0200);
+    putU32(b, flow.src_ip);
+    putU16(b, kEtherTypeIpv4);
+
+    // IPv4 (no options).
+    const bool tcp = flow.proto == net::kProtoTcp;
+    putU8(b, 0x45); // version 4, ihl 5
+    putU8(b, 0);    // tos
+    putU16(b, static_cast<uint16_t>(total_len > 14 ? total_len - 14 : 20));
+    putU16(b, 0);      // id
+    putU16(b, 0x4000); // don't-fragment
+    putU8(b, 64);      // ttl
+    putU8(b, flow.proto);
+    putU16(b, 0); // checksum (not modeled)
+    putU32(b, flow.src_ip);
+    putU32(b, flow.dst_ip);
+
+    if (tcp) {
+        putU16(b, flow.src_port);
+        putU16(b, flow.dst_port);
+        putU32(b, 0); // seq
+        putU32(b, 0); // ack
+        putU8(b, 0x50); // data offset 5
+        putU8(b, tcp_flags);
+        putU16(b, 0xffff); // window
+        putU16(b, 0);      // checksum
+        putU16(b, 0);      // urgent pointer
+    } else {
+        putU16(b, flow.src_port);
+        putU16(b, flow.dst_port);
+        putU16(b, static_cast<uint16_t>(total_len > 34 ? total_len - 34
+                                                       : 8));
+        putU16(b, 0); // checksum
+    }
+
+    // Pad the body out to the wire length.
+    while (b.size() < total_len)
+        b.push_back(0);
+    return p;
+}
+
+Packet
+fromTracePacket(const net::TracePacket &tp)
+{
+    uint8_t flags = kTcpAck;
+    if (tp.syn)
+        flags = kTcpSyn;
+    if (tp.fin)
+        flags = static_cast<uint8_t>(flags | kTcpFin);
+    if (tp.urg)
+        flags = static_cast<uint8_t>(flags | kTcpUrg);
+
+    Packet p = makePacket(tp.flow, std::max<uint16_t>(tp.size_bytes, 54),
+                          flags, tp.time_s);
+    p.truth_anomalous = tp.anomalous;
+    p.truth_conn_id = tp.conn_id;
+    return p;
+}
+
+} // namespace taurus::pisa

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Raw packets and standard header layouts.
+ *
+ * The PISA substrate operates on real byte buffers: trace generators
+ * serialize Ethernet/IPv4/TCP/UDP headers, and the programmable parser
+ * (parser.hpp) re-extracts them into PHV fields. Round-tripping through
+ * bytes keeps the parser honest — it cannot peek at generator-side
+ * structs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/features.hpp"
+
+namespace taurus::pisa {
+
+/** A raw packet: wire bytes plus receive-side metadata. */
+struct Packet
+{
+    std::vector<uint8_t> bytes;
+    double arrival_s = 0.0;
+    uint16_t ingress_port = 0;
+
+    /** Ground truth carried alongside (never visible to the pipeline). */
+    bool truth_anomalous = false;
+    int32_t truth_conn_id = -1;
+
+    size_t size() const { return bytes.size(); }
+};
+
+/** EtherType values the parser understands. */
+constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+
+/** TCP flag bits. */
+constexpr uint8_t kTcpFin = 0x01;
+constexpr uint8_t kTcpSyn = 0x02;
+constexpr uint8_t kTcpAck = 0x10;
+constexpr uint8_t kTcpUrg = 0x20;
+
+/** Serialize a TCP or UDP packet for the given 5-tuple. */
+Packet makePacket(const net::FlowKey &flow, uint16_t total_len,
+                  uint8_t tcp_flags, double arrival_s);
+
+/** Build a wire packet from a generated trace element. */
+Packet fromTracePacket(const net::TracePacket &tp);
+
+/** Read big-endian integers out of a byte buffer (bounds-checked). */
+uint8_t readU8(const std::vector<uint8_t> &b, size_t off);
+uint16_t readU16(const std::vector<uint8_t> &b, size_t off);
+uint32_t readU32(const std::vector<uint8_t> &b, size_t off);
+
+} // namespace taurus::pisa

@@ -1,0 +1,119 @@
+#include "pisa/parser.hpp"
+
+#include <stdexcept>
+
+namespace taurus::pisa {
+
+void
+Parser::addState(ParseState state)
+{
+    if (states_.count(state.name))
+        throw std::invalid_argument("duplicate parse state " + state.name);
+    order_.push_back(state.name);
+    states_.emplace(state.name, std::move(state));
+}
+
+Phv
+Parser::parse(const Packet &pkt) const
+{
+    if (order_.empty())
+        throw std::runtime_error("empty parse graph");
+
+    Phv phv;
+    phv.set(Field::PktLen, static_cast<uint32_t>(pkt.size()));
+    phv.set(Field::IngressPort, pkt.ingress_port);
+    phv.set(Field::TimestampUs,
+            static_cast<uint32_t>(pkt.arrival_s * 1e6));
+
+    size_t cursor = 0;
+    const std::string *cur = &order_.front();
+    // Bounded walk: a parse graph cannot loop more steps than states.
+    for (size_t steps = 0; steps <= order_.size(); ++steps) {
+        const auto it = states_.find(*cur);
+        if (it == states_.end())
+            throw std::runtime_error("unknown parse state " + *cur);
+        const ParseState &st = it->second;
+
+        for (const ExtractOp &ex : st.extracts) {
+            const size_t off = cursor + ex.offset;
+            uint32_t v = 0;
+            switch (ex.width_bytes) {
+              case 1:
+                v = readU8(pkt.bytes, off);
+                break;
+              case 2:
+                v = readU16(pkt.bytes, off);
+                break;
+              case 4:
+                v = readU32(pkt.bytes, off);
+                break;
+              default:
+                throw std::runtime_error("bad extract width");
+            }
+            phv.set(ex.dst, v);
+        }
+        cursor += st.advance;
+
+        const std::string *next = nullptr;
+        if (st.select) {
+            const auto t = st.transitions.find(phv.get(*st.select));
+            if (t != st.transitions.end())
+                next = &t->second;
+        }
+        if (!next)
+            next = &st.def_next;
+        if (next->empty())
+            return phv; // accept
+        cur = next;
+    }
+    throw std::runtime_error("parse graph did not terminate");
+}
+
+Parser
+Parser::standard()
+{
+    Parser p;
+
+    ParseState eth;
+    eth.name = "ethernet";
+    eth.extracts = {{Field::EthType, 12, 2}};
+    eth.advance = 14;
+    eth.select = Field::EthType;
+    eth.transitions[kEtherTypeIpv4] = "ipv4";
+    eth.def_next = ""; // non-IP accepted unparsed
+    p.addState(std::move(eth));
+
+    ParseState ip;
+    ip.name = "ipv4";
+    ip.extracts = {{Field::Ipv4Len, 2, 2},
+                   {Field::Ipv4Ttl, 8, 1},
+                   {Field::Ipv4Proto, 9, 1},
+                   {Field::Ipv4Src, 12, 4},
+                   {Field::Ipv4Dst, 16, 4}};
+    ip.advance = 20;
+    ip.select = Field::Ipv4Proto;
+    ip.transitions[net::kProtoTcp] = "tcp";
+    ip.transitions[net::kProtoUdp] = "udp";
+    ip.def_next = "";
+    p.addState(std::move(ip));
+
+    ParseState tcp;
+    tcp.name = "tcp";
+    tcp.extracts = {{Field::L4Sport, 0, 2},
+                    {Field::L4Dport, 2, 2},
+                    {Field::TcpFlags, 13, 1}};
+    tcp.advance = 20;
+    tcp.def_next = "";
+    p.addState(std::move(tcp));
+
+    ParseState udp;
+    udp.name = "udp";
+    udp.extracts = {{Field::L4Sport, 0, 2}, {Field::L4Dport, 2, 2}};
+    udp.advance = 8;
+    udp.def_next = "";
+    p.addState(std::move(udp));
+
+    return p;
+}
+
+} // namespace taurus::pisa

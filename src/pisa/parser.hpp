@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Programmable packet parser: a parse graph of states with extract
+ * operations and select-based transitions, following the design of
+ * PISA-style parsers [Gibb et al., ANCS'13].
+ *
+ * Each state extracts header fields at byte offsets relative to its
+ * cursor, advances, and selects the next state on an extracted field.
+ * parse() walks the graph over the raw bytes and produces the PHV.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pisa/packet.hpp"
+#include "pisa/phv.hpp"
+
+namespace taurus::pisa {
+
+/** Extract `width_bytes` (1, 2, or 4) at cursor+offset into a field. */
+struct ExtractOp
+{
+    Field dst = Field::Tmp0;
+    size_t offset = 0;
+    int width_bytes = 2;
+};
+
+/** One parse-graph state. */
+struct ParseState
+{
+    std::string name;
+    std::vector<ExtractOp> extracts;
+    /** Bytes to advance the cursor after extraction. */
+    size_t advance = 0;
+    /** Field whose (just-extracted) value selects the next state. */
+    std::optional<Field> select;
+    /** value -> next state; missing values fall through to def_next. */
+    std::map<uint32_t, std::string> transitions;
+    /** Next state when select misses or is absent; "" accepts. */
+    std::string def_next;
+};
+
+/** A compiled parse graph. */
+class Parser
+{
+  public:
+    /** Add a state; the first added state is the start state. */
+    void addState(ParseState state);
+
+    /**
+     * Parse a packet into a PHV. Also fills receive metadata (PktLen,
+     * IngressPort, TimestampUs). Throws std::runtime_error on a
+     * malformed packet (truncated headers) or a broken parse graph.
+     */
+    Phv parse(const Packet &pkt) const;
+
+    /** Number of states (resource accounting). */
+    size_t stateCount() const { return order_.size(); }
+
+    /**
+     * The standard Taurus parser: Ethernet -> IPv4 -> {TCP, UDP},
+     * extracting the fields the anomaly pipeline needs.
+     */
+    static Parser standard();
+
+  private:
+    std::map<std::string, ParseState> states_;
+    std::vector<std::string> order_;
+};
+
+} // namespace taurus::pisa

@@ -1,0 +1,75 @@
+#include "pisa/phv.hpp"
+
+#include <stdexcept>
+
+namespace taurus::pisa {
+
+Field
+featureField(size_t i)
+{
+    if (i >= kFeatureSlots)
+        throw std::out_of_range("feature slot out of range");
+    return static_cast<Field>(static_cast<size_t>(kFirstFeature) + i);
+}
+
+std::string
+toString(Field f)
+{
+    switch (f) {
+      case Field::EthType:
+        return "eth.type";
+      case Field::Ipv4Len:
+        return "ipv4.len";
+      case Field::Ipv4Ttl:
+        return "ipv4.ttl";
+      case Field::Ipv4Proto:
+        return "ipv4.proto";
+      case Field::Ipv4Src:
+        return "ipv4.src";
+      case Field::Ipv4Dst:
+        return "ipv4.dst";
+      case Field::L4Sport:
+        return "l4.sport";
+      case Field::L4Dport:
+        return "l4.dport";
+      case Field::TcpFlags:
+        return "tcp.flags";
+      case Field::PktLen:
+        return "meta.pkt_len";
+      case Field::IngressPort:
+        return "meta.ingress_port";
+      case Field::TimestampUs:
+        return "meta.timestamp_us";
+      case Field::Drop:
+        return "meta.drop";
+      case Field::QueueId:
+        return "meta.queue_id";
+      case Field::Priority:
+        return "meta.priority";
+      case Field::MlBypass:
+        return "taurus.ml_bypass";
+      case Field::MlScore:
+        return "taurus.ml_score";
+      case Field::Decision:
+        return "taurus.decision";
+      case Field::FlowHash:
+        return "taurus.flow_hash";
+      case Field::Tmp0:
+        return "tmp0";
+      case Field::Tmp1:
+        return "tmp1";
+      case Field::Tmp2:
+        return "tmp2";
+      case Field::Tmp3:
+        return "tmp3";
+      default: {
+        const size_t i = static_cast<size_t>(f);
+        const size_t f0 = static_cast<size_t>(kFirstFeature);
+        if (i >= f0 && i < f0 + kFeatureSlots)
+            return "taurus.feature" + std::to_string(i - f0);
+        return "field" + std::to_string(i);
+      }
+    }
+}
+
+} // namespace taurus::pisa

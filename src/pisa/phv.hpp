@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The Packet Header Vector (PHV): the fixed-layout, structured format
+ * packets are parsed into before entering the match-action pipeline
+ * (paper Section 3, "packets ... are first parsed into Packet Header
+ * Vectors ... to extract header-level features").
+ *
+ * Fields are 32-bit containers with validity bits. A dedicated slice of
+ * the PHV carries the ML feature vector into the MapReduce block
+ * (Figure 7: "only the required feature headers enter the MapReduce
+ * block as a dense PHV").
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace taurus::pisa {
+
+/** Every PHV container; the layout is fixed at compile time. */
+enum class Field : uint8_t
+{
+    // Ethernet
+    EthType,
+    // IPv4
+    Ipv4Len,
+    Ipv4Ttl,
+    Ipv4Proto,
+    Ipv4Src,
+    Ipv4Dst,
+    // L4 (TCP or UDP)
+    L4Sport,
+    L4Dport,
+    TcpFlags,
+    // Standard metadata
+    PktLen,
+    IngressPort,
+    TimestampUs, ///< arrival time, microseconds (32-bit, wraps)
+    // Decision metadata
+    Drop,
+    QueueId,
+    Priority,
+    // Taurus metadata (Figure 6)
+    MlBypass, ///< preprocessing MAT decides to skip MapReduce
+    MlScore,  ///< MapReduce output (int8 code, sign-extended)
+    Decision, ///< postprocessing verdict (AnomalyDecision)
+    FlowHash, ///< register index computed by the hash action
+    // Feature slice handed to the MapReduce block (int8 codes).
+    Feature0,
+    Feature1,
+    Feature2,
+    Feature3,
+    Feature4,
+    Feature5,
+    Feature6,
+    Feature7,
+    Feature8,
+    Feature9,
+    Feature10,
+    Feature11,
+    Feature12,
+    Feature13,
+    Feature14,
+    Feature15,
+    // Action scratch space
+    Tmp0,
+    Tmp1,
+    Tmp2,
+    Tmp3,
+    Tmp4,
+    Tmp5,
+    Tmp6,
+    Tmp7,
+    Count,
+};
+
+constexpr size_t kFieldCount = static_cast<size_t>(Field::Count);
+constexpr size_t kFeatureSlots = 16;
+
+/** First feature field; Feature0..Feature15 are contiguous. */
+constexpr Field kFirstFeature = Field::Feature0;
+
+/** The feature field at slot i (0-based, i < kFeatureSlots). */
+Field featureField(size_t i);
+
+/** Human-readable field name (debugging and reports). */
+std::string toString(Field f);
+
+/** A parsed packet's header vector. */
+class Phv
+{
+  public:
+    /** Read a container (0 when invalid). */
+    uint32_t
+    get(Field f) const
+    {
+        return values_[static_cast<size_t>(f)];
+    }
+
+    /** Write a container and mark it valid. */
+    void
+    set(Field f, uint32_t v)
+    {
+        values_[static_cast<size_t>(f)] = v;
+        valid_[static_cast<size_t>(f)] = true;
+    }
+
+    bool
+    valid(Field f) const
+    {
+        return valid_[static_cast<size_t>(f)];
+    }
+
+    void
+    invalidate(Field f)
+    {
+        values_[static_cast<size_t>(f)] = 0;
+        valid_[static_cast<size_t>(f)] = false;
+    }
+
+    /** Signed view of a container (for int8/int32 feature codes). */
+    int32_t
+    getSigned(Field f) const
+    {
+        return static_cast<int32_t>(get(f));
+    }
+
+  private:
+    std::array<uint32_t, kFieldCount> values_{};
+    std::array<bool, kFieldCount> valid_{};
+};
+
+} // namespace taurus::pisa

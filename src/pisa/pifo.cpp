@@ -1,0 +1,48 @@
+#include "pisa/pifo.hpp"
+
+namespace taurus::pisa {
+
+uint64_t
+Pifo::rankOf(SchedPolicy policy, const Phv &phv, uint64_t seq)
+{
+    switch (policy) {
+      case SchedPolicy::Fifo:
+        return seq;
+      case SchedPolicy::StrictPriority:
+        // Priority in the top bits, arrival order below.
+        return (static_cast<uint64_t>(phv.get(Field::Priority)) << 40) |
+               (seq & ((uint64_t{1} << 40) - 1));
+      case SchedPolicy::AnomalyLast:
+        return (static_cast<uint64_t>(phv.get(Field::Decision) ? 1 : 0)
+                << 40) |
+               (seq & ((uint64_t{1} << 40) - 1));
+    }
+    return seq;
+}
+
+bool
+Pifo::push(uint64_t rank, Packet pkt, Phv phv)
+{
+    if (heap_.size() >= capacity_) {
+        ++drops_;
+        return false;
+    }
+    PifoItem item;
+    item.rank = rank;
+    item.seq = seq_++;
+    item.pkt = std::move(pkt);
+    item.phv = std::move(phv);
+    heap_.push(std::move(item));
+    max_occupancy_ = std::max(max_occupancy_, heap_.size());
+    return true;
+}
+
+PifoItem
+Pifo::pop()
+{
+    PifoItem top = heap_.top();
+    heap_.pop();
+    return top;
+}
+
+} // namespace taurus::pisa

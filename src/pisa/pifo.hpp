@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PIFO (push-in-first-out) packet scheduler [Sivaraman et al.,
+ * SIGCOMM'16], the abstraction Taurus's postprocessing connects
+ * inference to (Section 3.2: "postprocessing MATs connect inference to
+ * scheduling, which uses abstractions like PIFO").
+ *
+ * A PIFO admits packets with an arbitrary rank and always dequeues the
+ * minimum-rank packet; FIFO, strict priority, and deadline policies are
+ * all rank functions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "pisa/packet.hpp"
+#include "pisa/phv.hpp"
+
+namespace taurus::pisa {
+
+/** Built-in rank policies. */
+enum class SchedPolicy
+{
+    Fifo,           ///< rank = arrival order
+    StrictPriority, ///< rank = Priority field (0 served first)
+    AnomalyLast,    ///< flagged packets are deprioritized, not dropped
+};
+
+/** An enqueued element. */
+struct PifoItem
+{
+    uint64_t rank = 0;
+    uint64_t seq = 0; ///< admission order; stable tie-break
+    Packet pkt;
+    Phv phv;
+};
+
+/** A bounded PIFO with occupancy statistics. */
+class Pifo
+{
+  public:
+    explicit Pifo(size_t capacity = 1024) : capacity_(capacity) {}
+
+    /** Rank from policy + PHV (seq is appended as a tie-break). */
+    static uint64_t rankOf(SchedPolicy policy, const Phv &phv,
+                           uint64_t seq);
+
+    /** Push; returns false (drop) when the queue is full. */
+    bool push(uint64_t rank, Packet pkt, Phv phv);
+
+    /** True when no packets are queued. */
+    bool empty() const { return heap_.empty(); }
+
+    size_t size() const { return heap_.size(); }
+
+    /** Pop the minimum-rank packet; requires !empty(). */
+    PifoItem pop();
+
+    uint64_t drops() const { return drops_; }
+    size_t maxOccupancy() const { return max_occupancy_; }
+
+  private:
+    struct Greater
+    {
+        bool
+        operator()(const PifoItem &a, const PifoItem &b) const
+        {
+            if (a.rank != b.rank)
+                return a.rank > b.rank;
+            return a.seq > b.seq;
+        }
+    };
+
+    size_t capacity_;
+    std::priority_queue<PifoItem, std::vector<PifoItem>, Greater> heap_;
+    uint64_t seq_ = 0;
+    uint64_t drops_ = 0;
+    size_t max_occupancy_ = 0;
+};
+
+} // namespace taurus::pisa

@@ -1,0 +1,26 @@
+#include "pisa/range_match.hpp"
+
+namespace taurus::pisa {
+
+std::vector<Pattern>
+rangeToPrefixes(uint64_t lo, uint64_t hi)
+{
+    std::vector<Pattern> out;
+    hi = std::min<uint64_t>(hi, 0xffffffffull);
+    while (lo <= hi) {
+        // Largest aligned power-of-two block starting at lo that fits.
+        uint64_t size = 1;
+        while ((lo & ((size << 1) - 1)) == 0 &&
+               lo + (size << 1) - 1 <= hi && (size << 1) != 0)
+            size <<= 1;
+        const uint32_t mask =
+            static_cast<uint32_t>(~(size - 1) & 0xffffffffull);
+        out.emplace_back(static_cast<uint32_t>(lo), mask);
+        lo += size;
+        if (lo == 0)
+            break; // wrapped past 2^32
+    }
+    return out;
+}
+
+} // namespace taurus::pisa

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * TCAM range-to-prefix expansion.
+ *
+ * Ternary tables match value/mask pairs, but feature binning needs range
+ * matches (e.g. "duration in [1000, 2999] us -> bin 1"). The standard
+ * technique decomposes an integer range into at most 2*W prefixes; these
+ * helpers produce the (value, mask) entries to install.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace taurus::pisa {
+
+/** A TCAM pattern: value and mask (1-bits are compared). */
+using Pattern = std::pair<uint32_t, uint32_t>;
+
+/**
+ * Decompose the inclusive range [lo, hi] over 32-bit values into prefix
+ * patterns. Returns an empty vector when lo > hi.
+ */
+std::vector<Pattern> rangeToPrefixes(uint64_t lo, uint64_t hi);
+
+} // namespace taurus::pisa

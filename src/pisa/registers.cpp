@@ -1,0 +1,44 @@
+#include "pisa/registers.hpp"
+
+#include <stdexcept>
+
+namespace taurus::pisa {
+
+int
+RegisterFile::addArray(const std::string &name, size_t size)
+{
+    if (size == 0)
+        throw std::invalid_argument("register array must be non-empty");
+    arrays_.emplace_back(name, size);
+    return static_cast<int>(arrays_.size()) - 1;
+}
+
+RegisterArray &
+RegisterFile::array(int id)
+{
+    return arrays_.at(static_cast<size_t>(id));
+}
+
+const RegisterArray &
+RegisterFile::array(int id) const
+{
+    return arrays_.at(static_cast<size_t>(id));
+}
+
+size_t
+RegisterFile::totalBits() const
+{
+    size_t bits = 0;
+    for (const auto &a : arrays_)
+        bits += a.bits();
+    return bits;
+}
+
+void
+RegisterFile::clearAll()
+{
+    for (auto &a : arrays_)
+        a.clear();
+}
+
+} // namespace taurus::pisa

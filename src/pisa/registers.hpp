@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Stateful register arrays — the switch's cross-packet memory.
+ *
+ * The Taurus preprocessing MATs "use stateful elements (i.e., registers)
+ * of the switch-processing pipeline to aggregate features across packets
+ * and across flows" (Section 3.1). Arrays are indexed by a hash of the
+ * flow key (collisions are a modeled artifact, exactly as on real
+ * hardware) and accessed by register actions in MAT stages.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taurus::pisa {
+
+/** One named register array of 32-bit cells. */
+class RegisterArray
+{
+  public:
+    RegisterArray(std::string name, size_t size)
+        : name_(std::move(name)), cells_(size, 0)
+    {
+    }
+
+    uint32_t
+    read(size_t idx) const
+    {
+        return cells_[idx % cells_.size()];
+    }
+
+    void
+    write(size_t idx, uint32_t v)
+    {
+        cells_[idx % cells_.size()] = v;
+    }
+
+    /** Read-modify-write add; returns the post-add value. */
+    uint32_t
+    add(size_t idx, uint32_t delta)
+    {
+        uint32_t &c = cells_[idx % cells_.size()];
+        c += delta;
+        return c;
+    }
+
+    void clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+    size_t size() const { return cells_.size(); }
+    const std::string &name() const { return name_; }
+
+    /** SRAM bits consumed (resource accounting). */
+    size_t bits() const { return cells_.size() * 32; }
+
+  private:
+    std::string name_;
+    std::vector<uint32_t> cells_;
+};
+
+/** The pipeline's register file: arrays addressed by small ids. */
+class RegisterFile
+{
+  public:
+    /** Allocate an array; returns its id. */
+    int addArray(const std::string &name, size_t size);
+
+    RegisterArray &array(int id);
+    const RegisterArray &array(int id) const;
+
+    size_t arrayCount() const { return arrays_.size(); }
+
+    /** Total SRAM bits across arrays. */
+    size_t totalBits() const;
+
+    /** Zero all state (new trace / reconfiguration). */
+    void clearAll();
+
+  private:
+    std::vector<RegisterArray> arrays_;
+};
+
+} // namespace taurus::pisa

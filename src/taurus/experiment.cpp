@@ -1,0 +1,53 @@
+#include "taurus/experiment.hpp"
+
+#include "util/metrics.hpp"
+
+namespace taurus::core {
+
+TaurusRunResult
+runTaurus(const std::vector<net::TracePacket> &trace, TaurusSwitch &sw)
+{
+    util::ConfusionMatrix cm;
+    for (const auto &pkt : trace) {
+        const SwitchDecision d = sw.process(pkt);
+        cm.record(d.flagged, pkt.anomalous);
+    }
+
+    TaurusRunResult r;
+    r.detected_pct = cm.recall() * 100.0;
+    r.f1_x100 = cm.f1() * 100.0;
+    r.mean_ml_latency_ns = sw.stats().ml_latency_ns.mean();
+    r.mean_bypass_latency_ns = sw.stats().bypass_latency_ns.mean();
+    r.packets = sw.stats().packets;
+    r.flagged = sw.stats().flagged;
+    return r;
+}
+
+std::vector<EndToEndRow>
+runEndToEnd(const std::vector<net::TracePacket> &trace,
+            const models::AnomalyDnn &model,
+            const std::vector<double> &sampling_rates,
+            const SwitchConfig &switch_cfg)
+{
+    TaurusSwitch sw(switch_cfg);
+    sw.installAnomalyModel(model);
+    const TaurusRunResult taurus = runTaurus(trace, sw);
+
+    const auto standardize = [&model](const nn::Vector &raw) {
+        return model.standardizer.apply(raw);
+    };
+
+    std::vector<EndToEndRow> rows;
+    for (double rate : sampling_rates) {
+        cp::BaselineConfig cfg;
+        cfg.sampling_rate = rate;
+        EndToEndRow row;
+        row.baseline =
+            cp::runBaseline(trace, model.quantized, standardize, cfg);
+        row.taurus = taurus;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace taurus::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * End-to-end experiment harnesses (Section 5.2): run the same trace and
+ * the same trained model through the Taurus data plane and the
+ * control-plane baseline, and score per-packet decisions against ground
+ * truth. Produces the rows of Table 8.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cp/baseline.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "taurus/switch.hpp"
+
+namespace taurus::core {
+
+/** Taurus's half of a Table 8 row. */
+struct TaurusRunResult
+{
+    double detected_pct = 0.0; ///< anomalous packets flagged, %
+    double f1_x100 = 0.0;
+    double mean_ml_latency_ns = 0.0;
+    double mean_bypass_latency_ns = 0.0;
+    uint64_t packets = 0;
+    uint64_t flagged = 0;
+};
+
+/** One full Table 8 row: baseline and Taurus on the same traffic. */
+struct EndToEndRow
+{
+    cp::BaselineResult baseline;
+    TaurusRunResult taurus;
+};
+
+/** Run the Taurus switch over a trace and score it. */
+TaurusRunResult runTaurus(const std::vector<net::TracePacket> &trace,
+                          TaurusSwitch &sw);
+
+/**
+ * Produce Table 8: one row per sampling rate, with the Taurus column
+ * shared (the data plane does not sample). `model` is the trained
+ * anomaly DNN installed in both planes.
+ */
+std::vector<EndToEndRow> runEndToEnd(
+    const std::vector<net::TracePacket> &trace,
+    const models::AnomalyDnn &model,
+    const std::vector<double> &sampling_rates,
+    const SwitchConfig &switch_cfg = {});
+
+} // namespace taurus::core

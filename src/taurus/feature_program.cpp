@@ -1,0 +1,336 @@
+#include "taurus/feature_program.hpp"
+
+#include <cmath>
+
+#include "net/features.hpp"
+#include "pisa/range_match.hpp"
+
+namespace taurus::core {
+
+using pisa::Action;
+using pisa::ActionOp;
+using pisa::Field;
+using pisa::Instr;
+using pisa::MatchKind;
+using pisa::MatStage;
+using pisa::Src;
+using pisa::TableEntry;
+
+namespace {
+
+/** quantize(standardize(raw_bin)) for feature slot `f`: the int8 input
+ *  code of the installed model, stored sign-extended in a PHV word. */
+uint32_t
+featureCode(const nn::Standardizer &std_fit,
+            const fixed::QuantParams &input_qp, size_t f, double raw_bin)
+{
+    const double sd = std_fit.std()[f] > 1e-9f ? std_fit.std()[f] : 1.0;
+    const double x = (raw_bin - std_fit.mean()[f]) / sd;
+    const int32_t q = fixed::quantize(x, input_qp, 8);
+    return static_cast<uint32_t>(q);
+}
+
+/** Set-field action with the value taken from per-entry action data. */
+Action
+setFromArg(const std::string &name, Field dst)
+{
+    Action a;
+    a.name = name;
+    a.instrs = {Instr{ActionOp::Set, dst, Src::Arg, Field::Tmp0, 0, 0, -1,
+                      Field::FlowHash}};
+    return a;
+}
+
+/**
+ * Append a TCAM stage binning a counter field with log2Bin semantics:
+ * value v with floor(log2(v + 1)) == b maps to the code of bin b.
+ * `scale` stretches bin boundaries (1000 for the us -> ms duration
+ * mapping, 1 otherwise).
+ */
+void
+addLogBinStage(pisa::MatPipeline &pipe, const std::string &name,
+               Field key_field, Field dst,
+               const nn::Standardizer &std_fit,
+               const fixed::QuantParams &qp, size_t feature_slot,
+               uint64_t scale)
+{
+    MatStage st(name, MatchKind::Ternary, {Field::MlBypass, key_field});
+    const int act = st.addAction(setFromArg(name + "_set", dst));
+    for (int b = 0; b <= 31; ++b) {
+        // log2Bin(x) == b  <=>  x in [2^b - 1, 2^(b+1) - 2]; with the
+        // scale factor, v in [scale*(2^b - 1), scale*(2^(b+1) - 1) - 1].
+        const uint64_t lo = scale * ((uint64_t{1} << b) - 1);
+        const uint64_t hi =
+            scale * ((uint64_t{1} << (b + 1)) - 1) - 1;
+        const uint32_t code =
+            featureCode(std_fit, qp, feature_slot, double(b));
+        for (const auto &[val, mask] : pisa::rangeToPrefixes(lo, hi)) {
+            TableEntry e;
+            e.value = {0, val};
+            e.mask = {0xffffffffu, mask};
+            e.priority = 0;
+            e.action_id = act;
+            e.args = {code};
+            st.addEntry(std::move(e));
+        }
+        if (hi >= 0xffffffffull)
+            break;
+    }
+    st.setDefault(act, {featureCode(std_fit, qp, feature_slot, 31.0)});
+    pipe.addStage(std::move(st));
+}
+
+} // namespace
+
+FeatureProgram
+buildDnnFeatureProgram(const nn::Standardizer &std_fit,
+                       const fixed::QuantParams &input_qp,
+                       const FeatureProgramConfig &cfg)
+{
+    FeatureProgram fp;
+    fp.flow_table_size = uint32_t{1} << cfg.flow_table_bits;
+    fp.src_table_size = uint32_t{1} << cfg.src_table_bits;
+
+    fp.reg_first_seen =
+        fp.registers.addArray("flow_first_seen", fp.flow_table_size);
+    fp.reg_pkts = fp.registers.addArray("flow_pkts", fp.flow_table_size);
+    fp.reg_bytes = fp.registers.addArray("flow_bytes", fp.flow_table_size);
+    fp.reg_urgent =
+        fp.registers.addArray("flow_urgent", fp.flow_table_size);
+    fp.reg_win_start =
+        fp.registers.addArray("src_window_start", fp.src_table_size);
+    fp.reg_src_conns =
+        fp.registers.addArray("src_conns", fp.src_table_size);
+
+    auto &pipe = fp.preprocess;
+
+    // Stage 0: classify ML traffic, compute hash indices, extract the
+    // URG bit. Non-IP / non-TCP-UDP traffic takes the bypass path.
+    {
+        MatStage st("classify", MatchKind::Exact,
+                    {Field::EthType, Field::Ipv4Proto});
+        Action tcp;
+        tcp.name = "ml_tcp";
+        tcp.instrs = {
+            {ActionOp::Set, Field::MlBypass, Src::Imm, Field::Tmp0, 0, 0,
+             -1, Field::FlowHash},
+            {ActionOp::HashFlow, Field::FlowHash, Src::Imm, Field::Tmp0,
+             fp.flow_table_size, 0, -1, Field::FlowHash},
+            {ActionOp::Set, Field::Tmp1, Src::FieldSrc, Field::Ipv4Src, 0,
+             0, -1, Field::FlowHash},
+            {ActionOp::And, Field::Tmp1, Src::Imm, Field::Tmp0,
+             fp.src_table_size - 1, 0, -1, Field::FlowHash},
+            {ActionOp::Set, Field::Tmp2, Src::FieldSrc, Field::TcpFlags,
+             0, 0, -1, Field::FlowHash},
+            {ActionOp::And, Field::Tmp2, Src::Imm, Field::Tmp0, 0x20, 0,
+             -1, Field::FlowHash},
+            {ActionOp::Shr, Field::Tmp2, Src::Imm, Field::Tmp0, 5, 0, -1,
+             Field::FlowHash},
+        };
+        Action udp;
+        udp.name = "ml_udp";
+        udp.instrs = {
+            tcp.instrs[0], tcp.instrs[1], tcp.instrs[2], tcp.instrs[3],
+            {ActionOp::Set, Field::Tmp2, Src::Imm, Field::Tmp0, 0, 0, -1,
+             Field::FlowHash},
+        };
+        Action bypass;
+        bypass.name = "bypass";
+        bypass.instrs = {{ActionOp::Set, Field::MlBypass, Src::Imm,
+                          Field::Tmp0, 1, 0, -1, Field::FlowHash}};
+        const int a_tcp = st.addAction(std::move(tcp));
+        const int a_udp = st.addAction(std::move(udp));
+        const int a_byp = st.addAction(std::move(bypass));
+        st.addEntry({{pisa::kEtherTypeIpv4, net::kProtoTcp}, {}, 0, 0,
+                     a_tcp, {}});
+        st.addEntry({{pisa::kEtherTypeIpv4, net::kProtoUdp}, {}, 0, 0,
+                     a_udp, {}});
+        st.setDefault(a_byp);
+        pipe.addStage(std::move(st));
+    }
+
+    // Stage 1: flow-register updates (the cross-packet aggregates).
+    {
+        MatStage st("flow_regs", MatchKind::Exact, {Field::MlBypass});
+        Action upd;
+        upd.name = "update_flow";
+        upd.instrs = {
+            // Tmp0 = first_seen (installed on first packet)
+            {ActionOp::RegLoadSet, Field::Tmp0, Src::FieldSrc,
+             Field::TimestampUs, 0, 0, fp.reg_first_seen,
+             Field::FlowHash},
+            // Tmp3 = ++pkts
+            {ActionOp::RegAdd, Field::Tmp3, Src::Imm, Field::Tmp0, 1, 0,
+             fp.reg_pkts, Field::FlowHash},
+            // Tmp4 = bytes += pkt_len
+            {ActionOp::RegAdd, Field::Tmp4, Src::FieldSrc, Field::PktLen,
+             0, 0, fp.reg_bytes, Field::FlowHash},
+            // Tmp5 = urgent += urg_bit
+            {ActionOp::RegAdd, Field::Tmp5, Src::FieldSrc, Field::Tmp2, 0,
+             0, fp.reg_urgent, Field::FlowHash},
+            // Tmp6 = now - first_seen (duration so far, us)
+            {ActionOp::Set, Field::Tmp6, Src::FieldSrc,
+             Field::TimestampUs, 0, 0, -1, Field::FlowHash},
+            {ActionOp::Sub, Field::Tmp6, Src::FieldSrc, Field::Tmp0, 0, 0,
+             -1, Field::FlowHash},
+            // Tmp7 = (pkts == 1), the new-flow flag
+            {ActionOp::Set, Field::Tmp7, Src::FieldSrc, Field::Tmp3, 0, 0,
+             -1, Field::FlowHash},
+            {ActionOp::TestEq, Field::Tmp7, Src::Imm, Field::Tmp0, 1, 0,
+             -1, Field::FlowHash},
+        };
+        Action skip;
+        skip.name = "skip";
+        const int a_upd = st.addAction(std::move(upd));
+        const int a_skip = st.addAction(std::move(skip));
+        st.addEntry({{0}, {}, 0, 0, a_upd, {}});
+        st.setDefault(a_skip);
+        pipe.addStage(std::move(st));
+    }
+
+    // Stage 2: load the source window start and compute its age.
+    {
+        MatStage st("src_window_load", MatchKind::Exact,
+                    {Field::MlBypass});
+        Action load;
+        load.name = "load_window";
+        load.instrs = {
+            {ActionOp::RegLoad, Field::Tmp0, Src::None, Field::Tmp0, 0, 0,
+             fp.reg_win_start, Field::Tmp1},
+            {ActionOp::Set, Field::Tmp2, Src::FieldSrc,
+             Field::TimestampUs, 0, 0, -1, Field::FlowHash},
+            {ActionOp::Sub, Field::Tmp2, Src::FieldSrc, Field::Tmp0, 0, 0,
+             -1, Field::FlowHash},
+        };
+        Action skip;
+        skip.name = "skip";
+        const int a_load = st.addAction(std::move(load));
+        const int a_skip = st.addAction(std::move(skip));
+        st.addEntry({{0}, {}, 0, 0, a_load, {}});
+        st.setDefault(a_skip);
+        pipe.addStage(std::move(st));
+    }
+
+    // Stage 3: expire the sliding window when its age exceeds 1 s.
+    {
+        MatStage st("src_window_reset", MatchKind::Ternary,
+                    {Field::MlBypass, Field::Tmp2});
+        Action reset;
+        reset.name = "reset_window";
+        reset.instrs = {
+            {ActionOp::RegStore, Field::Tmp0, Src::FieldSrc,
+             Field::TimestampUs, 0, 0, fp.reg_win_start, Field::Tmp1},
+            {ActionOp::RegStore, Field::Tmp0, Src::Imm, Field::Tmp0, 0, 0,
+             fp.reg_src_conns, Field::Tmp1},
+        };
+        Action keep;
+        keep.name = "keep";
+        const int a_reset = st.addAction(std::move(reset));
+        const int a_keep = st.addAction(std::move(keep));
+        const uint64_t window_us =
+            static_cast<uint64_t>(net::kSrcWindowS * 1e6);
+        for (const auto &[val, mask] :
+             pisa::rangeToPrefixes(window_us + 1, 0xffffffffull)) {
+            st.addEntry({{0, val}, {0xffffffffu, mask}, 0, 1, a_reset,
+                         {}});
+        }
+        st.setDefault(a_keep);
+        pipe.addStage(std::move(st));
+    }
+
+    // Stage 4: count new flows per source within the window.
+    {
+        MatStage st("src_conns", MatchKind::Exact, {Field::MlBypass});
+        Action inc;
+        inc.name = "count_conn";
+        inc.instrs = {
+            {ActionOp::RegAdd, Field::Tmp0, Src::FieldSrc, Field::Tmp7, 0,
+             0, fp.reg_src_conns, Field::Tmp1},
+        };
+        Action skip;
+        skip.name = "skip";
+        const int a_inc = st.addAction(std::move(inc));
+        const int a_skip = st.addAction(std::move(skip));
+        st.addEntry({{0}, {}, 0, 0, a_inc, {}});
+        st.setDefault(a_skip);
+        pipe.addStage(std::move(st));
+    }
+
+    // Stages 5..10: binning + standardize + quantize lookup tables, one
+    // per feature, emitting the model's int8 input codes.
+    addLogBinStage(pipe, "f0_duration", Field::Tmp6, Field::Feature0,
+                   std_fit, input_qp, 0, 1000 /* us -> ms bins */);
+    {
+        // f1: protocol code via a small exact table.
+        MatStage st("f1_proto", MatchKind::Exact,
+                    {Field::MlBypass, Field::Ipv4Proto});
+        const int act = st.addAction(setFromArg("set_f1",
+                                                Field::Feature1));
+        for (uint8_t proto :
+             {net::kProtoTcp, net::kProtoUdp, net::kProtoIcmp}) {
+            st.addEntry({{0, proto}, {}, 0, 0, act,
+                         {featureCode(std_fit, input_qp, 1,
+                                      net::protoCode(proto))}});
+        }
+        st.setDefault(act, {featureCode(std_fit, input_qp, 1,
+                                        net::protoCode(255))});
+        pipe.addStage(std::move(st));
+    }
+    addLogBinStage(pipe, "f2_bytes", Field::Tmp4, Field::Feature2,
+                   std_fit, input_qp, 2, 1);
+    addLogBinStage(pipe, "f3_pkts", Field::Tmp3, Field::Feature3, std_fit,
+                   input_qp, 3, 1);
+    {
+        // f4: urgent count, clamped at 15 (min(urgent, 15)).
+        MatStage st("f4_urgent", MatchKind::Ternary,
+                    {Field::MlBypass, Field::Tmp5});
+        const int act = st.addAction(setFromArg("set_f4",
+                                                Field::Feature4));
+        for (uint32_t u = 0; u < 15; ++u)
+            st.addEntry({{0, u},
+                         {0xffffffffu, 0xffffffffu},
+                         0,
+                         1,
+                         act,
+                         {featureCode(std_fit, input_qp, 4, double(u))}});
+        st.setDefault(act, {featureCode(std_fit, input_qp, 4, 15.0)});
+        pipe.addStage(std::move(st));
+    }
+    addLogBinStage(pipe, "f5_srcconns", Field::Tmp0, Field::Feature5,
+                   std_fit, input_qp, 5, 1);
+
+    return fp;
+}
+
+pisa::MatPipeline
+buildVerdictProgram(const std::function<bool(int8_t)> &flag_code)
+{
+    pisa::MatPipeline pipe;
+    MatStage st("verdict", MatchKind::Exact,
+                {Field::MlBypass, Field::MlScore});
+    Action flag;
+    flag.name = "flag_anomaly";
+    flag.instrs = {
+        {ActionOp::Set, Field::Decision, Src::Imm, Field::Tmp0, 1, 0, -1,
+         Field::FlowHash},
+        {ActionOp::Set, Field::Priority, Src::Imm, Field::Tmp0, 1, 0, -1,
+         Field::FlowHash},
+    };
+    Action pass;
+    pass.name = "pass";
+    pass.instrs = {{ActionOp::Set, Field::Decision, Src::Imm, Field::Tmp0,
+                    0, 0, -1, Field::FlowHash}};
+    const int a_flag = st.addAction(std::move(flag));
+    const int a_pass = st.addAction(std::move(pass));
+    for (int c = -128; c <= 127; ++c) {
+        if (!flag_code(static_cast<int8_t>(c)))
+            continue;
+        st.addEntry({{0, static_cast<uint32_t>(c)}, {}, 0, 0, a_flag,
+                     {}});
+    }
+    st.setDefault(a_pass);
+    pipe.addStage(std::move(st));
+    return pipe;
+}
+
+} // namespace taurus::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The preprocessing MAT program: per-flow feature extraction in MAT
+ * primitives (Section 3.1).
+ *
+ * The program aggregates flow and source state in stateful registers
+ * (hash-indexed, as on real hardware), bins raw values logarithmically
+ * through TCAM range tables, and folds the control plane's standardize +
+ * quantize transform into the same tables — so Feature0..Feature5 leave
+ * the preprocessing MATs as the exact int8 codes the MapReduce block's
+ * quantized model was calibrated for. This is the switch-side half of
+ * the shared feature definition in net/features.hpp; integration tests
+ * drive both from the same packets and assert the codes agree.
+ *
+ * Stage budget: 11 of the pipeline's 32 MATs, every action within the
+ * 12-op VLIW budget (MatPipeline::validate enforces both).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fixed/quant.hpp"
+#include "nn/dataset.hpp"
+#include "pisa/mat.hpp"
+#include "pisa/packet.hpp"
+#include "pisa/registers.hpp"
+
+namespace taurus::core {
+
+/** Sizing of the stateful tables. */
+struct FeatureProgramConfig
+{
+    int flow_table_bits = 18; ///< flow register arrays: 2^bits cells
+    int src_table_bits = 16;  ///< per-source register arrays
+};
+
+/** The built pipeline plus the registers it owns. */
+struct FeatureProgram
+{
+    pisa::MatPipeline preprocess;
+    pisa::RegisterFile registers;
+
+    // Register array ids (exposed for tests and diagnostics).
+    int reg_first_seen = -1;
+    int reg_pkts = -1;
+    int reg_bytes = -1;
+    int reg_urgent = -1;
+    int reg_win_start = -1;
+    int reg_src_conns = -1;
+
+    uint32_t flow_table_size = 0;
+    uint32_t src_table_size = 0;
+};
+
+/**
+ * Build the 6-feature DNN preprocessing program. `standardizer` and
+ * `input_qp` come from the trained model: each binning table maps a raw
+ * register value directly to quantize(standardize(bin)), the int8 input
+ * code of the installed model.
+ */
+FeatureProgram buildDnnFeatureProgram(const nn::Standardizer &standardizer,
+                                      const fixed::QuantParams &input_qp,
+                                      const FeatureProgramConfig &cfg = {});
+
+/**
+ * Build the postprocessing MAT: a 256-entry verdict table on the ML
+ * score code. `flag_code` decides, per int8 score code, whether the
+ * packet is anomalous — derived from the installed model's output scale
+ * so switch verdicts are bit-consistent with QuantizedMlp::predict.
+ */
+pisa::MatPipeline buildVerdictProgram(
+    const std::function<bool(int8_t)> &flag_code);
+
+} // namespace taurus::core

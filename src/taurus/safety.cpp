@@ -1,0 +1,169 @@
+#include "taurus/safety.hpp"
+
+#include "pisa/range_match.hpp"
+
+namespace taurus::core {
+
+using pisa::Action;
+using pisa::ActionOp;
+using pisa::Field;
+using pisa::Instr;
+using pisa::MatchKind;
+using pisa::MatStage;
+using pisa::Src;
+using pisa::TableEntry;
+
+namespace {
+
+/** Clear the anomaly verdict (the only thing safety stages may do). */
+Action
+clearDecision()
+{
+    Action a;
+    a.name = "safety_clear";
+    a.instrs = {
+        {ActionOp::Set, Field::Decision, Src::Imm, Field::Tmp0, 0, 0, -1,
+         Field::Tmp0},
+        {ActionOp::Set, Field::Priority, Src::Imm, Field::Tmp0, 0, 0, -1,
+         Field::Tmp0},
+    };
+    return a;
+}
+
+Action
+noOp(const char *name)
+{
+    Action a;
+    a.name = name;
+    return a;
+}
+
+} // namespace
+
+CompiledSafety
+compileSafety(const SafetyPolicy &policy, pisa::RegisterFile &regs)
+{
+    CompiledSafety out;
+
+    // Stage 1: protected destinations and services — a flagged packet
+    // matching any guard has its verdict cleared.
+    if (!policy.protected_dsts.empty() ||
+        !policy.protected_services.empty()) {
+        MatStage st("safety_protected", MatchKind::Ternary,
+                    {Field::Decision, Field::Ipv4Dst, Field::L4Dport});
+        const int a_clear = st.addAction(clearDecision());
+        const int a_keep = st.addAction(noOp("keep"));
+        for (const auto &p : policy.protected_dsts) {
+            const uint32_t mask =
+                p.length == 0 ? 0
+                              : ~uint32_t{0} << (32 - p.length);
+            st.addEntry({{1, p.prefix, 0},
+                         {0xffffffffu, mask, 0},
+                         0,
+                         1,
+                         a_clear,
+                         {}});
+        }
+        for (uint16_t port : policy.protected_services) {
+            st.addEntry({{1, 0, port},
+                         {0xffffffffu, 0, 0xffffffffu},
+                         0,
+                         1,
+                         a_clear,
+                         {}});
+        }
+        st.setDefault(a_keep);
+        out.stages.addStage(std::move(st));
+    }
+
+    // Stages 2-4: the flag-budget liveness bound. A single-cell window
+    // register pair tracks flags per window; past the budget, further
+    // flags are cleared — a misbehaving model cannot black-hole the
+    // pipe.
+    if (policy.max_flagged_per_window > 0) {
+        out.reg_window_start = regs.addArray("safety_window_start", 1);
+        out.reg_flag_count = regs.addArray("safety_flag_count", 1);
+        const uint64_t window_us =
+            static_cast<uint64_t>(policy.window_s * 1e6);
+
+        {
+            MatStage st("safety_window_age", MatchKind::Exact,
+                        {Field::Decision});
+            Action load;
+            load.name = "load_window";
+            load.instrs = {
+                {ActionOp::RegLoad, Field::Tmp0, Src::None, Field::Tmp0,
+                 0, 0, out.reg_window_start, Field::Tmp0},
+                {ActionOp::Set, Field::Tmp2, Src::FieldSrc,
+                 Field::TimestampUs, 0, 0, -1, Field::Tmp0},
+                {ActionOp::Sub, Field::Tmp2, Src::FieldSrc, Field::Tmp0,
+                 0, 0, -1, Field::Tmp0},
+            };
+            const int a_load = st.addAction(std::move(load));
+            const int a_skip = st.addAction(noOp("skip"));
+            st.addEntry({{1}, {}, 0, 0, a_load, {}});
+            st.setDefault(a_skip);
+            out.stages.addStage(std::move(st));
+        }
+        {
+            MatStage st("safety_window_reset", MatchKind::Ternary,
+                        {Field::Decision, Field::Tmp2});
+            Action reset;
+            reset.name = "reset_window";
+            reset.instrs = {
+                {ActionOp::RegStore, Field::Tmp0, Src::FieldSrc,
+                 Field::TimestampUs, 0, 0, out.reg_window_start,
+                 Field::Tmp0},
+                {ActionOp::RegStore, Field::Tmp0, Src::Imm, Field::Tmp0,
+                 0, 0, out.reg_flag_count, Field::Tmp0},
+            };
+            const int a_reset = st.addAction(std::move(reset));
+            const int a_keep = st.addAction(noOp("keep"));
+            for (const auto &[val, mask] :
+                 pisa::rangeToPrefixes(window_us + 1, 0xffffffffull))
+                st.addEntry({{1, val},
+                             {0xffffffffu, mask},
+                             0,
+                             1,
+                             a_reset,
+                             {}});
+            st.setDefault(a_keep);
+            out.stages.addStage(std::move(st));
+        }
+        {
+            MatStage st("safety_budget", MatchKind::Exact,
+                        {Field::Decision});
+            Action count;
+            count.name = "count_flag";
+            count.instrs = {
+                {ActionOp::RegAdd, Field::Tmp3, Src::Imm, Field::Tmp0, 1,
+                 0, out.reg_flag_count, Field::Tmp0},
+            };
+            const int a_count = st.addAction(std::move(count));
+            const int a_skip = st.addAction(noOp("skip"));
+            st.addEntry({{1}, {}, 0, 0, a_count, {}});
+            st.setDefault(a_skip);
+            out.stages.addStage(std::move(st));
+        }
+        {
+            MatStage st("safety_budget_clear", MatchKind::Ternary,
+                        {Field::Decision, Field::Tmp3});
+            const int a_clear = st.addAction(clearDecision());
+            const int a_keep = st.addAction(noOp("keep"));
+            for (const auto &[val, mask] : pisa::rangeToPrefixes(
+                     policy.max_flagged_per_window + 1, 0xffffffffull))
+                st.addEntry({{1, val},
+                             {0xffffffffu, mask},
+                             0,
+                             1,
+                             a_clear,
+                             {}});
+            st.setDefault(a_keep);
+            out.stages.addStage(std::move(st));
+        }
+    }
+
+    return out;
+}
+
+} // namespace taurus::core

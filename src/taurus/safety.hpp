@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Safety constraints on ML decisions (Sections 3.2 and 6,
+ * "Correctness").
+ *
+ * "The control plane can compile high-level safety (no incorrect
+ * behavior) and liveness (eventual correct behavior) properties into
+ * per-switch constraints as postprocessing flow rules. By constraining
+ * the ML model's decision boundary, the data plane can guarantee
+ * correct network behavior without complicated model verification."
+ *
+ * A SafetyPolicy is a set of declarative guards compiled into a
+ * postprocessing MAT stage that runs *after* the verdict table and can
+ * only clear the Decision bit — the model may under-flag, never
+ * override a guard. Guards:
+ *
+ *  - protected destination prefixes (never drop/flag traffic to them,
+ *    e.g. the control network);
+ *  - protected services (destination ports, e.g. DNS must stay live);
+ *  - a drop-rate bound: at most `max_flagged_per_window` packets may be
+ *    flagged per window, enforced with a stateful register (liveness:
+ *    a misbehaving model cannot black-hole the network).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pisa/mat.hpp"
+#include "pisa/registers.hpp"
+
+namespace taurus::core {
+
+/** One protected destination prefix. */
+struct ProtectedPrefix
+{
+    uint32_t prefix = 0;
+    int length = 32; ///< prefix bits
+};
+
+/** Declarative safety policy. */
+struct SafetyPolicy
+{
+    std::vector<ProtectedPrefix> protected_dsts;
+    std::vector<uint16_t> protected_services; ///< dst ports
+
+    /** Flag-budget liveness bound; 0 disables. */
+    uint32_t max_flagged_per_window = 0;
+    double window_s = 0.01;
+
+    bool
+    empty() const
+    {
+        return protected_dsts.empty() && protected_services.empty() &&
+               max_flagged_per_window == 0;
+    }
+};
+
+/** The compiled policy: MAT stages plus the registers they use. */
+struct CompiledSafety
+{
+    pisa::MatPipeline stages;
+    int reg_window_start = -1; ///< flag-budget window register
+    int reg_flag_count = -1;   ///< flags used this window
+};
+
+/**
+ * Compile a policy into postprocessing MAT stages. The stages read
+ * Decision and may reset it (and Priority) to zero; they never set it.
+ * `regs` receives the budget registers (single-cell arrays).
+ */
+CompiledSafety compileSafety(const SafetyPolicy &policy,
+                             pisa::RegisterFile &regs);
+
+} // namespace taurus::core

@@ -1,0 +1,161 @@
+#include "taurus/switch.hpp"
+
+#include <stdexcept>
+
+#include "pisa/packet.hpp"
+
+namespace taurus::core {
+
+TaurusSwitch::TaurusSwitch(SwitchConfig cfg)
+    : cfg_(std::move(cfg)), parser_(pisa::Parser::standard()),
+      scheduler_(cfg_.queue_capacity)
+{
+    // The forwarding table proper: an LPM stage mapping the destination
+    // address to an egress port (default route: port 0).
+    pisa::MatStage fwd("forward", pisa::MatchKind::Lpm,
+                       {pisa::Field::Ipv4Dst});
+    pisa::Action set_port;
+    set_port.name = "set_egress";
+    set_port.instrs = {{pisa::ActionOp::Set, pisa::Field::QueueId,
+                        pisa::Src::Arg, pisa::Field::Tmp0, 0, 0, -1,
+                        pisa::Field::Tmp0}};
+    const int a_set = fwd.addAction(std::move(set_port));
+    for (const Route &r : cfg_.routes)
+        fwd.addEntry({{r.prefix}, {}, r.length, 0, a_set, {r.port}});
+    fwd.setDefault(a_set, {0});
+    forwarding_.addStage(std::move(fwd));
+}
+
+void
+TaurusSwitch::installAnomalyModel(const models::AnomalyDnn &model)
+{
+    program_ = std::make_unique<hw::GridProgram>(
+        compiler::compile(model.graph, cfg_.compiler));
+    sim_ = std::make_unique<hw::CycleSim>(*program_);
+
+    // One dry run fixes the (static) MapReduce latency.
+    std::vector<int8_t> zeros(model.quantized.layers().front().in, 0);
+    const hw::SimResult dry = sim_->run({zeros});
+    mr_latency_ns_ = dry.latency_ns;
+
+    features_ = buildDnnFeatureProgram(model.standardizer,
+                                       model.quantized.inputParams(),
+                                       cfg_.features);
+    const std::string err = features_.preprocess.validate();
+    if (!err.empty())
+        throw std::logic_error("preprocessing program invalid: " + err);
+
+    const double out_scale = model.quantized.layers().back().out_scale;
+    postprocess_ = buildVerdictProgram([out_scale](int8_t code) {
+        return static_cast<double>(code) * out_scale >= 0.5;
+    });
+    safety_ = compileSafety(cfg_.safety, features_.registers);
+
+    reset();
+}
+
+void
+TaurusSwitch::updateWeights(const dfg::Graph &fresh)
+{
+    if (!program_)
+        throw std::logic_error("no model installed");
+    program_->updateWeights(fresh);
+}
+
+SwitchDecision
+TaurusSwitch::process(const net::TracePacket &tp)
+{
+    if (!program_)
+        throw std::logic_error("no model installed");
+
+    const pisa::Packet pkt = pisa::fromTracePacket(tp);
+    pisa::Phv phv = parser_.parse(pkt);
+
+    features_.preprocess.apply(phv, features_.registers);
+
+    SwitchDecision d;
+    const bool take_ml =
+        !cfg_.enable_bypass || phv.get(pisa::Field::MlBypass) == 0;
+    double latency = cfg_.mat_timing.parser_ns +
+                     features_.preprocess.latencyNs(cfg_.mat_timing);
+
+    if (take_ml) {
+        std::vector<int8_t> input(net::kDnnFeatureCount);
+        for (size_t i = 0; i < input.size(); ++i)
+            input[i] = static_cast<int8_t>(static_cast<int32_t>(
+                phv.get(pisa::featureField(i))));
+        const hw::SimResult res = sim_->run({input});
+        d.score = static_cast<int8_t>(res.outputs.at(0).lanes.at(0));
+        phv.set(pisa::Field::MlScore,
+                static_cast<uint32_t>(static_cast<int32_t>(d.score)));
+        phv.set(pisa::Field::MlBypass, 0);
+        latency += res.latency_ns;
+        ++stats_.ml_packets;
+    } else {
+        d.bypassed = true;
+        phv.set(pisa::Field::MlBypass, 1);
+    }
+
+    postprocess_.apply(phv, features_.registers);
+    const bool pre_safety_flag = phv.get(pisa::Field::Decision) != 0;
+    safety_.stages.apply(phv, features_.registers);
+    latency += postprocess_.latencyNs(cfg_.mat_timing) +
+               safety_.stages.latencyNs(cfg_.mat_timing) +
+               cfg_.mat_timing.scheduler_ns;
+
+    forwarding_.apply(phv, features_.registers);
+    latency += forwarding_.latencyNs(cfg_.mat_timing);
+    d.egress_port = static_cast<uint16_t>(phv.get(pisa::Field::QueueId));
+
+    d.flagged = phv.get(pisa::Field::Decision) != 0;
+    if (pre_safety_flag && !d.flagged)
+        ++stats_.safety_overrides;
+    if (d.flagged && cfg_.drop_anomalies) {
+        d.dropped = true;
+    } else {
+        const uint64_t rank = pisa::Pifo::rankOf(
+            cfg_.policy, phv, stats_.packets);
+        if (!scheduler_.push(rank, pkt, phv))
+            d.dropped = true;
+        else
+            scheduler_.pop(); // drained at line rate in this model
+    }
+
+    d.latency_ns = latency;
+    ++stats_.packets;
+    if (d.flagged)
+        ++stats_.flagged;
+    if (d.dropped)
+        ++stats_.dropped;
+    if (d.bypassed)
+        stats_.bypass_latency_ns.add(latency);
+    else
+        stats_.ml_latency_ns.add(latency);
+    return d;
+}
+
+double
+TaurusSwitch::mlPathLatencyNs() const
+{
+    return bypassPathLatencyNs() + mr_latency_ns_;
+}
+
+double
+TaurusSwitch::bypassPathLatencyNs() const
+{
+    return cfg_.mat_timing.parser_ns +
+           features_.preprocess.latencyNs(cfg_.mat_timing) +
+           postprocess_.latencyNs(cfg_.mat_timing) +
+           safety_.stages.latencyNs(cfg_.mat_timing) +
+           forwarding_.latencyNs(cfg_.mat_timing) +
+           cfg_.mat_timing.scheduler_ns;
+}
+
+void
+TaurusSwitch::reset()
+{
+    features_.registers.clearAll();
+    stats_ = SwitchStats{};
+}
+
+} // namespace taurus::core

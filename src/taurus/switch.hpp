@@ -1,0 +1,135 @@
+/**
+ * @file
+ * TaurusSwitch: the complete data-plane pipeline of Figure 6.
+ *
+ * parse -> preprocessing MATs (stateful feature extraction) ->
+ * { MapReduce block | bypass } -> round-robin merge -> postprocessing
+ * MATs (verdict) -> PIFO scheduler.
+ *
+ * ML packets pay the MapReduce block's latency; bypass packets do not
+ * ("Packets that do not need an ML decision can bypass the MapReduce
+ * block, incurring no additional latency"). The control plane installs
+ * models through installAnomalyModel() and pushes weight-only updates
+ * through updateWeights() without touching placement (Figure 1).
+ */
+
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "compiler/compile.hpp"
+#include "hw/cycle_sim.hpp"
+#include "models/zoo.hpp"
+#include "pisa/mat.hpp"
+#include "pisa/parser.hpp"
+#include "pisa/pifo.hpp"
+#include "taurus/feature_program.hpp"
+#include "taurus/safety.hpp"
+#include "util/stats.hpp"
+
+namespace taurus::core {
+
+/** One LPM route: dst prefix -> egress port. */
+struct Route
+{
+    uint32_t prefix = 0;
+    int length = 0;
+    uint16_t port = 0;
+};
+
+/** Static configuration of one Taurus switch. */
+struct SwitchConfig
+{
+    compiler::Options compiler; ///< grid spec + timing + packing knobs
+    pisa::PipelineTiming mat_timing;
+    FeatureProgramConfig features;
+    pisa::SchedPolicy policy = pisa::SchedPolicy::AnomalyLast;
+    /** When false, all traffic is forced through the MapReduce block
+     *  (the bypass ablation). */
+    bool enable_bypass = true;
+    /** Drop flagged packets instead of deprioritizing them. */
+    bool drop_anomalies = false;
+    size_t queue_capacity = 4096;
+    /** Hard bounds on ML decisions (Section 3.2); empty = disabled. */
+    SafetyPolicy safety;
+    /** LPM forwarding table; empty = forward everything to port 0. */
+    std::vector<Route> routes;
+};
+
+/** The switch's verdict on one packet. */
+struct SwitchDecision
+{
+    bool flagged = false;   ///< postprocessing marked it anomalous
+    bool dropped = false;
+    bool bypassed = false;  ///< took the non-ML path
+    double latency_ns = 0.0;
+    int8_t score = 0;       ///< raw MapReduce output code
+    uint16_t egress_port = 0; ///< LPM forwarding decision
+};
+
+/** Aggregate counters the switch maintains. */
+struct SwitchStats
+{
+    uint64_t packets = 0;
+    uint64_t ml_packets = 0;
+    uint64_t flagged = 0;
+    uint64_t dropped = 0;
+    uint64_t safety_overrides = 0; ///< verdicts cleared by safety MATs
+    util::RunningStat ml_latency_ns;
+    util::RunningStat bypass_latency_ns;
+};
+
+/** A Taurus-enabled switch instance. */
+class TaurusSwitch
+{
+  public:
+    explicit TaurusSwitch(SwitchConfig cfg = {});
+
+    /**
+     * Install a trained anomaly model: compiles its graph onto the
+     * MapReduce grid, programs the preprocessing feature tables from
+     * its standardizer + input quantization, and installs the verdict
+     * table from its output scale. Resets stateful registers.
+     */
+    void installAnomalyModel(const models::AnomalyDnn &model);
+
+    /**
+     * Push fresh weights into the installed program without re-placing
+     * it (the out-of-band weight-update path). The graph must be
+     * structurally identical to the installed one.
+     */
+    void updateWeights(const dfg::Graph &fresh);
+
+    /** Process one packet end to end. */
+    SwitchDecision process(const net::TracePacket &pkt);
+
+    /** MapReduce-block latency for one ML packet, ns (constant). */
+    double mapReduceLatencyNs() const { return mr_latency_ns_; }
+
+    /** Total pipeline latency for ML / bypass packets, ns. */
+    double mlPathLatencyNs() const;
+    double bypassPathLatencyNs() const;
+
+    const SwitchStats &stats() const { return stats_; }
+    const hw::GridProgram &program() const { return *program_; }
+    const FeatureProgram &featureProgram() const { return features_; }
+
+    /** Clear registers and statistics (new trace). */
+    void reset();
+
+  private:
+    SwitchConfig cfg_;
+    pisa::Parser parser_;
+    FeatureProgram features_;
+    pisa::MatPipeline postprocess_;
+    CompiledSafety safety_;
+    pisa::MatPipeline forwarding_;
+    std::unique_ptr<hw::GridProgram> program_;
+    std::unique_ptr<hw::CycleSim> sim_;
+    pisa::Pifo scheduler_;
+    double mr_latency_ns_ = 0.0;
+    SwitchStats stats_;
+};
+
+} // namespace taurus::core

@@ -1,0 +1,46 @@
+#include "util/metrics.hpp"
+
+#include <sstream>
+
+namespace taurus::util {
+
+double
+ConfusionMatrix::precision() const
+{
+    const uint64_t denom = tp_ + fp_;
+    return denom == 0 ? 1.0 : static_cast<double>(tp_) / denom;
+}
+
+double
+ConfusionMatrix::recall() const
+{
+    const uint64_t denom = tp_ + fn_;
+    return denom == 0 ? 0.0 : static_cast<double>(tp_) / denom;
+}
+
+double
+ConfusionMatrix::f1() const
+{
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    const uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(tp_ + tn_) / t;
+}
+
+std::string
+ConfusionMatrix::summary() const
+{
+    std::ostringstream os;
+    os << "tp=" << tp_ << " fp=" << fp_ << " fn=" << fn_ << " tn=" << tn_
+       << " precision=" << precision() << " recall=" << recall()
+       << " f1=" << f1();
+    return os.str();
+}
+
+} // namespace taurus::util

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Classification metrics (confusion matrix, precision/recall/F1).
+ *
+ * Used both by the offline model-evaluation path (Table 3) and by the
+ * end-to-end anomaly-detection experiments (Table 8, Figures 13/14), which
+ * score per-packet decisions against ground-truth labels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace taurus::util {
+
+/** Binary confusion matrix with derived metrics. */
+class ConfusionMatrix
+{
+  public:
+    /** Record one (prediction, truth) pair. */
+    void
+    record(bool predicted_positive, bool actually_positive)
+    {
+        if (predicted_positive && actually_positive)
+            ++tp_;
+        else if (predicted_positive && !actually_positive)
+            ++fp_;
+        else if (!predicted_positive && actually_positive)
+            ++fn_;
+        else
+            ++tn_;
+    }
+
+    /** Merge another matrix into this one. */
+    void
+    merge(const ConfusionMatrix &other)
+    {
+        tp_ += other.tp_;
+        fp_ += other.fp_;
+        fn_ += other.fn_;
+        tn_ += other.tn_;
+    }
+
+    void reset() { tp_ = fp_ = fn_ = tn_ = 0; }
+
+    uint64_t tp() const { return tp_; }
+    uint64_t fp() const { return fp_; }
+    uint64_t fn() const { return fn_; }
+    uint64_t tn() const { return tn_; }
+    uint64_t total() const { return tp_ + fp_ + fn_ + tn_; }
+    uint64_t positives() const { return tp_ + fn_; }
+
+    /** Fraction of predicted positives that are real. 1.0 when undefined. */
+    double precision() const;
+    /** Fraction of real positives detected. 0.0 when undefined. */
+    double recall() const;
+    /** Harmonic mean of precision and recall. */
+    double f1() const;
+    /** Fraction of all decisions that are correct. */
+    double accuracy() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+
+  private:
+    uint64_t tp_ = 0;
+    uint64_t fp_ = 0;
+    uint64_t fn_ = 0;
+    uint64_t tn_ = 0;
+};
+
+} // namespace taurus::util

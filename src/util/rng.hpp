@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Seeded random number generation used throughout the Taurus simulator.
+ *
+ * Every stochastic component (trace generators, weight initialization,
+ * sampling) takes an explicit Rng so experiments are reproducible from a
+ * single seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace taurus::util {
+
+/**
+ * A small wrapper around std::mt19937_64 with the distributions the
+ * simulator needs. Deliberately copyable so sub-components can fork
+ * deterministic sub-streams via split().
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x7a757275735f3232ull) : engine_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    }
+
+    /** Gaussian with the given mean and standard deviation. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Exponentially distributed value with the given rate. */
+    double
+    exponential(double rate)
+    {
+        return std::exponential_distribution<double>(rate)(engine_);
+    }
+
+    /** Sample an index from an unnormalized weight vector. */
+    size_t
+    categorical(const std::vector<double> &weights)
+    {
+        std::discrete_distribution<size_t> dist(weights.begin(),
+                                                weights.end());
+        return dist(engine_);
+    }
+
+    /** Raw 64-bit draw. */
+    uint64_t next() { return engine_(); }
+
+    /** Fork an independent deterministic sub-stream. */
+    Rng split() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(0, i - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace taurus::util

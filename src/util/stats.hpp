@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Running statistics and small numeric helpers.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace taurus::util {
+
+/** Welford-style running mean/variance with min/max tracking. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Percentile of a sample vector (p in [0,100]); copies and sorts. */
+double percentile(std::vector<double> values, double p);
+
+/** Integer ceil division for non-negative operands. */
+constexpr int64_t
+ceilDiv(int64_t num, int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Smallest power of two >= x (x >= 1). */
+constexpr uint64_t
+nextPow2(uint64_t x)
+{
+    uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+/** floor(log2(x)) for x >= 1. */
+constexpr int
+log2Floor(uint64_t x)
+{
+    int l = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** ceil(log2(x)) for x >= 1. */
+constexpr int
+log2Ceil(uint64_t x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+} // namespace taurus::util

@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace taurus::util {
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != 'e' && c != '%' && c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::num(int64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto rule = [&] {
+        for (size_t i = 0; i < widths.size(); ++i)
+            os << std::string(widths[i] + 2, '-')
+               << (i + 1 == widths.size() ? "\n" : "+");
+    };
+
+    for (size_t i = 0; i < headers_.size(); ++i)
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[i]))
+           << headers_[i] << ' ' << (i + 1 == headers_.size() ? "\n" : "|");
+    rule();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << ' ';
+            if (looksNumeric(row[i]))
+                os << std::right;
+            else
+                os << std::left;
+            os << std::setw(static_cast<int>(widths[i])) << row[i] << ' '
+               << (i + 1 == row.size() ? "\n" : "|");
+        }
+    }
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i)
+        os_ << cells[i] << (i + 1 == cells.size() ? "\n" : ",");
+}
+
+} // namespace taurus::util

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the benchmark harnesses to emit
+ * paper-style tables, plus a small CSV writer for figure series.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace taurus::util {
+
+/**
+ * Accumulates rows of strings and prints them as an aligned text table.
+ * Numeric cells are right-aligned; text cells left-aligned.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; missing cells are padded with "". */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+    /** Convenience: format an integer. */
+    static std::string num(int64_t v);
+
+    /** Render the table to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Writes rows of (label, values...) as CSV lines, for figure series. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    void row(const std::vector<std::string> &cells);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace taurus::util

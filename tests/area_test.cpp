@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "area/activation_catalog.hpp"
+#include "area/cacti_lite.hpp"
+#include "area/chip.hpp"
+#include "area/fu_model.hpp"
+
+using namespace taurus;
+
+TEST(FuModel, Table4AnchorsExact)
+{
+    // Table 4 per-FU area/power at 16 lanes x 4 stages.
+    EXPECT_NEAR(area::FuModel::fuAreaUm2(16, 4, 8), 670.0, 1.0);
+    EXPECT_NEAR(area::FuModel::fuAreaUm2(16, 4, 16), 1338.0, 2.0);
+    EXPECT_NEAR(area::FuModel::fuAreaUm2(16, 4, 32), 2949.0, 4.0);
+    EXPECT_NEAR(area::FuModel::fuPowerUw(16, 4, 8), 456.0, 1.0);
+    EXPECT_NEAR(area::FuModel::fuPowerUw(16, 4, 16), 887.0, 2.0);
+    EXPECT_NEAR(area::FuModel::fuPowerUw(16, 4, 32), 2341.0, 4.0);
+}
+
+TEST(FuModel, CuAreaMatchesFinalConfiguration)
+{
+    // Section 5.1.1: the final CU takes 0.044 mm^2 including routing.
+    EXPECT_NEAR(area::FuModel::cuAreaMm2(16, 4, 8), 0.044, 0.001);
+}
+
+class LaneSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LaneSweepTest, PerFuAreaShrinksWithMoreLanes)
+{
+    // Figure 9: "raw area efficiency (area per FU) increases with the
+    // number of lanes" — control amortizes over more FUs.
+    const int stages = GetParam();
+    double prev = 1e18;
+    for (int lanes : {4, 8, 16, 32}) {
+        const double a = area::FuModel::fuAreaUm2(lanes, stages, 8);
+        EXPECT_LT(a, prev) << "lanes=" << lanes << " stages=" << stages;
+        prev = a;
+    }
+}
+
+TEST_P(LaneSweepTest, PerFuPowerShrinksWithMoreLanes)
+{
+    const int stages = GetParam();
+    double prev = 1e18;
+    for (int lanes : {4, 8, 16, 32}) {
+        const double p = area::FuModel::fuPowerUw(lanes, stages, 8);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, LaneSweepTest,
+                         ::testing::Values(2, 3, 4, 6));
+
+TEST(FuModel, PrecisionScalingRoughlyDoubles)
+{
+    // "For 16- and 32-bit data paths, both area and power will increase
+    // by about a factor of 2 and 4" (Section 5.1.2).
+    const double a8 = area::FuModel::fuAreaUm2(16, 4, 8);
+    const double a16 = area::FuModel::fuAreaUm2(16, 4, 16);
+    const double a32 = area::FuModel::fuAreaUm2(16, 4, 32);
+    EXPECT_NEAR(a16 / a8, 2.0, 0.25);
+    EXPECT_NEAR(a32 / a8, 4.0, 0.6);
+}
+
+TEST(CactiLite, MuAnchorAndScaling)
+{
+    // The paper's MU (16 banks x 1024 x 8 b) is 0.029 mm^2.
+    EXPECT_NEAR(area::CactiLite::muAreaMm2(), 0.029, 0.001);
+    // Area grows with banks and entries.
+    EXPECT_GT(area::CactiLite::sramAreaMm2(32, 1024, 8),
+              area::CactiLite::sramAreaMm2(16, 1024, 8));
+    EXPECT_GT(area::CactiLite::sramAreaMm2(16, 2048, 8),
+              area::CactiLite::sramAreaMm2(16, 1024, 8));
+    // More banks cost more than the same bits in fewer banks
+    // (periphery per bank).
+    EXPECT_GT(area::CactiLite::sramAreaMm2(32, 512, 8),
+              area::CactiLite::sramAreaMm2(16, 1024, 8));
+}
+
+TEST(ChipModel, FullGridOverheadMatchesPaper)
+{
+    // Section 5.1.1: the 12x10 grid is 4.8 mm^2 and adds 3.8% chip area
+    // (and 2.8% power) with one block per pipeline.
+    area::ChipModel chip;
+    const auto grid = chip.fullGridCost();
+    EXPECT_NEAR(grid.area_mm2, 4.8, 0.15);
+    EXPECT_NEAR(chip.areaOverheadPct(grid.area_mm2), 3.8, 0.2);
+    EXPECT_NEAR(chip.powerOverheadPct(grid.power_w), 2.8, 0.3);
+}
+
+TEST(ChipModel, IsoAreaMatEquivalents)
+{
+    // Section 5.1.1: "an iso-area design would lose 3 MATs per
+    // pipeline".
+    area::ChipModel chip;
+    const auto grid = chip.fullGridCost();
+    EXPECT_NEAR(chip.matEquivalents(grid.area_mm2), 2.5, 0.8);
+}
+
+TEST(ChipModel, UnitCostIsLinear)
+{
+    area::ChipModel chip;
+    const auto one = chip.unitCost(1, 1);
+    const auto ten = chip.unitCost(10, 10);
+    EXPECT_NEAR(ten.area_mm2, 10.0 * one.area_mm2, 1e-9);
+    EXPECT_NEAR(ten.power_w, 10.0 * one.power_w, 1e-9);
+}
+
+TEST(ActivationCatalog, PaperOrderAndShape)
+{
+    const auto &cat = area::activationCatalog();
+    ASSERT_EQ(cat.size(), 7u); // ReLU..ActLUT (Figure 10 variants)
+    EXPECT_EQ(cat.front().name, "ReLU");
+    EXPECT_EQ(cat.back().name, "ActLUT");
+}
+
+TEST(ActivationCatalog, ReluCheapestTaylorMostExpensive)
+{
+    const auto &relu = area::activationImpl("ReLU");
+    const auto &sig_exp = area::activationImpl("SigmoidExp");
+    const auto &sig_pw = area::activationImpl("SigmoidPW");
+    const double a_relu = relu.areaMm2(16, 4, 8);
+    const double a_exp = sig_exp.areaMm2(16, 4, 8);
+    const double a_pw = sig_pw.areaMm2(16, 4, 8);
+    EXPECT_LT(a_relu, a_pw);
+    EXPECT_LT(a_pw, a_exp); // piecewise beats Taylor (Section 5.1.3)
+}
+
+class ActivationStageTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ActivationStageTest, CusNeededShrinkWithDeeperCus)
+{
+    // Figure 10: more stages per CU fit longer map chains, so the CU
+    // count (and area) for a fixed function cannot grow with stages.
+    const int stages = GetParam();
+    for (const auto &impl : area::activationCatalog()) {
+        if (stages < 6)
+            EXPECT_GE(impl.cusNeeded(stages), impl.cusNeeded(6))
+                << impl.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, ActivationStageTest,
+                         ::testing::Values(2, 3, 4, 6));
+
+TEST(ActivationCatalog, UnknownNameThrows)
+{
+    EXPECT_THROW(area::activationImpl("NotAFunction"),
+                 std::invalid_argument);
+}

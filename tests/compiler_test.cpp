@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "compiler/lower.hpp"
+#include "compiler/report.hpp"
+#include "dfg/eval.hpp"
+#include "models/zoo.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+
+namespace {
+
+/** A small trained binary MLP for lowering tests. */
+nn::QuantizedMlp
+smallQuantizedMlp(util::Rng &rng, const std::vector<size_t> &sizes)
+{
+    nn::Dataset data;
+    for (int i = 0; i < 300; ++i) {
+        nn::Vector x(sizes.front());
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(i % 2 ? 1.0 : -1.0, 1.0));
+        data.add(std::move(x), i % 2);
+    }
+    nn::Mlp mlp(sizes, nn::Activation::Relu,
+                sizes.back() == 1 ? nn::Loss::BinaryCrossEntropy
+                                  : nn::Loss::CrossEntropy,
+                rng);
+    nn::TrainConfig tc;
+    tc.epochs = 4;
+    mlp.train(data, tc, rng);
+    return nn::QuantizedMlp::fromFloat(mlp, data.x);
+}
+
+} // namespace
+
+TEST(LowerMlp, GraphMatchesQuantizedReferenceBitExact)
+{
+    util::Rng rng(31);
+    const auto qm = smallQuantizedMlp(rng, {6, 12, 6, 3, 1});
+    const auto g = compiler::lowerMlp(qm);
+    ASSERT_EQ(g.validate(), "");
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<int8_t> q(6);
+        for (auto &v : q)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        const auto want = qm.forwardInt(q);
+        const auto got = dfg::evaluateSimple(g, q);
+        EXPECT_EQ(got, want);
+    }
+}
+
+TEST(LowerMlp, WideLayerSplitsIntoPartialDots)
+{
+    util::Rng rng(37);
+    // 24 inputs exceed the 16-lane CU: PartialDot + CombineAdd required.
+    const auto qm = smallQuantizedMlp(rng, {24, 4, 1});
+    const auto g = compiler::lowerMlp(qm);
+    ASSERT_EQ(g.validate(), "");
+
+    bool has_partial = false, has_combine = false;
+    for (const auto &n : g.nodes()) {
+        has_partial |= n.kind == dfg::NodeKind::PartialDot;
+        has_combine |= n.kind == dfg::NodeKind::CombineAdd;
+        EXPECT_LE(n.width, dfg::kLanes);
+    }
+    EXPECT_TRUE(has_partial);
+    EXPECT_TRUE(has_combine);
+
+    // Still bit-exact across the split.
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<int8_t> q(24);
+        for (auto &v : q)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        // Inputs are segmented 16 + 8.
+        const auto res = dfg::evaluate(
+            g, {{q.begin(), q.begin() + 16}, {q.begin() + 16, q.end()}});
+        const auto want = qm.forwardInt(q);
+        ASSERT_EQ(res.size(), 1u);
+        ASSERT_EQ(res[0].lanes.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(res[0].lanes[i], want[i]);
+    }
+}
+
+TEST(LowerKmeans, ArgMinAgreesWithFloatModelOnCleanPoints)
+{
+    util::Rng rng(41);
+    std::vector<nn::Vector> pts;
+    for (int i = 0; i < 600; ++i) {
+        nn::Vector x(11);
+        const int c = i % 5;
+        for (size_t j = 0; j < x.size(); ++j)
+            x[j] = static_cast<float>(
+                rng.gaussian((c - 2) * 1.5, 0.4));
+        pts.push_back(std::move(x));
+    }
+    const auto km = nn::KMeans::fit(pts, 5, 20, rng);
+    const auto lowered = compiler::lowerKmeans(km, pts);
+    ASSERT_EQ(lowered.graph.validate(), "");
+
+    int agree = 0, total = 0;
+    for (size_t i = 0; i < pts.size(); i += 7) {
+        std::vector<int8_t> q(pts[i].size());
+        for (size_t j = 0; j < q.size(); ++j)
+            q[j] = static_cast<int8_t>(
+                fixed::quantize(pts[i][j], lowered.input_qp));
+        const int hw = dfg::evaluateSimple(lowered.graph, q).at(0);
+        agree += (hw == km.predict(pts[i]));
+        ++total;
+    }
+    // Input quantization can flip near-boundary points only.
+    EXPECT_GE(agree, total * 9 / 10);
+}
+
+TEST(LowerRbf, QuantizedScoreTracksFloatScore)
+{
+    util::Rng rng(43);
+    nn::Dataset data;
+    for (int i = 0; i < 400; ++i) {
+        nn::Vector x(8);
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(i % 2 ? 0.8 : -0.8, 1.0));
+        data.add(std::move(x), i % 2);
+    }
+    const auto rbf = nn::RbfNet::fit(data, 6, 15, 0.05f, rng);
+    const auto lowered = compiler::lowerRbf(rbf, data.x);
+    ASSERT_EQ(lowered.graph.validate(), "");
+
+    int agree = 0;
+    for (size_t i = 0; i < 100; ++i) {
+        std::vector<int8_t> q(8);
+        for (size_t j = 0; j < 8; ++j)
+            q[j] = static_cast<int8_t>(
+                fixed::quantize(data.x[i][j], lowered.input_qp));
+        const int8_t code = dfg::evaluateSimple(lowered.graph, q).at(0);
+        const int hw_pred = code > 0 ? 1 : 0;
+        agree += (hw_pred == rbf.predict(data.x[i]));
+    }
+    EXPECT_GE(agree, 90);
+}
+
+TEST(LowerLstm, StructureAndOutputs)
+{
+    util::Rng rng(47);
+    nn::Lstm lstm(5, 32, 5, rng);
+    const auto g = compiler::lowerLstm(lstm);
+    ASSERT_EQ(g.validate(), "");
+    // Inputs: x (1 seg) + h (2 segs of 16) + c (2 segs).
+    EXPECT_EQ(g.inputIds().size(), 5u);
+    // Outputs: action (1 seg) + h' (2) + c' (2).
+    EXPECT_EQ(g.outputIds().size(), 5u);
+}
+
+TEST(Compile, PackingReducesCuCount)
+{
+    util::Rng rng(53);
+    const auto qm = smallQuantizedMlp(rng, {6, 12, 6, 3, 1});
+    const auto g = compiler::lowerMlp(qm);
+
+    compiler::Options packed;
+    packed.enable_packing = true;
+    compiler::Options unpacked;
+    unpacked.enable_packing = false;
+
+    const auto p1 = compiler::compile(g, packed);
+    const auto p2 = compiler::compile(g, unpacked);
+    EXPECT_LE(p1.cusUsed(), p2.cusUsed());
+    EXPECT_EQ(p1.validate(), "");
+    EXPECT_EQ(p2.validate(), "");
+
+    // Packing must not change results.
+    hw::CycleSim s1(p1), s2(p2);
+    for (int t = 0; t < 20; ++t) {
+        std::vector<int8_t> q(6);
+        for (auto &v : q)
+            v = static_cast<int8_t>(rng.uniformInt(-100, 100));
+        EXPECT_EQ(s1.run({q}).outputs.at(0).lanes,
+                  s2.run({q}).outputs.at(0).lanes);
+    }
+}
+
+TEST(Compile, LstmFoldsOntoGrid)
+{
+    // The Indigo LSTM needs more CU slots than the 12x10 grid provides;
+    // the compiler must fold it rather than fail.
+    const auto zoo = models::buildIndigoLstm(3);
+    const auto prog = compiler::compile(zoo.graph);
+    EXPECT_EQ(prog.validate(), "");
+    EXPECT_TRUE(prog.serialize_sharing);
+    EXPECT_LE(prog.cusUsed(), prog.spec.cuCount());
+}
+
+TEST(Compile, ThrowsWhenGraphCannotFit)
+{
+    util::Rng rng(59);
+    const auto zoo = models::buildIndigoLstm(3);
+    compiler::Options opts;
+    opts.max_contexts_per_cu = 1; // forbid folding
+    opts.spec.rows = 4;
+    opts.spec.cols = 4;
+    EXPECT_ANY_THROW(compiler::compile(zoo.graph, opts));
+}
+
+TEST(Analyze, ReportsLineRateForSmallModels)
+{
+    util::Rng rng(61);
+    const auto qm = smallQuantizedMlp(rng, {6, 12, 6, 3, 1});
+    const auto rep =
+        compiler::analyze(compiler::compile(compiler::lowerMlp(qm)));
+    EXPECT_DOUBLE_EQ(rep.gpktps, 1.0);
+    EXPECT_GT(rep.cus, 0);
+    EXPECT_GT(rep.area_mm2, 0.0);
+    EXPECT_GT(rep.latency_ns, 0.0);
+    EXPECT_LT(rep.area_overhead_pct, 1.0); // well under the full grid
+    EXPECT_FALSE(rep.folded);
+}
+
+TEST(Analyze, AppOrderingMatchesTable5)
+{
+    // KMeans < SVM < DNN << LSTM in latency; LSTM folded.
+    const auto km = models::trainIotKmeans(2, 1200);
+    const auto svm = models::trainAnomalySvm(2, 1200);
+    const auto dnn = models::trainAnomalyDnn(2, 1200);
+    const auto lstm = models::buildIndigoLstm(2);
+
+    const auto r_km = compiler::analyze(compiler::compile(
+        km.lowered.graph));
+    const auto r_svm = compiler::analyze(compiler::compile(
+        svm.lowered.graph));
+    const auto r_dnn = compiler::analyze(compiler::compile(dnn.graph));
+    const auto r_lstm = compiler::analyze(compiler::compile(lstm.graph));
+
+    EXPECT_LT(r_km.latency_ns, r_svm.latency_ns);
+    EXPECT_LT(r_svm.latency_ns, r_dnn.latency_ns);
+    EXPECT_LT(r_dnn.latency_ns * 2, r_lstm.latency_ns);
+    EXPECT_TRUE(r_lstm.folded);
+    // All line-rate models hold 1 GPkt/s.
+    EXPECT_DOUBLE_EQ(r_km.gpktps, 1.0);
+    EXPECT_DOUBLE_EQ(r_svm.gpktps, 1.0);
+    EXPECT_DOUBLE_EQ(r_dnn.gpktps, 1.0);
+    EXPECT_LT(r_lstm.gpktps, 1.0);
+}

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "cp/accelerators.hpp"
+#include "cp/baseline.hpp"
+#include "cp/rules.hpp"
+#include "cp/trainer.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+
+using namespace taurus;
+
+TEST(Accelerators, Table2UnbatchedLatencies)
+{
+    // Table 2: Xeon 0.67 ms, T4 1.15 ms, TPU 3.51 ms at batch 1.
+    EXPECT_NEAR(cp::accelerator("Broadwell Xeon").inferLatencyMs(1), 0.67,
+                0.02);
+    EXPECT_NEAR(cp::accelerator("Tesla T4 GPU").inferLatencyMs(1), 1.15,
+                0.02);
+    EXPECT_NEAR(cp::accelerator("Cloud TPU v2-8").inferLatencyMs(1), 3.51,
+                0.02);
+}
+
+TEST(Accelerators, CpuFastestUnbatched)
+{
+    const auto &devs = cp::accelerators();
+    ASSERT_EQ(devs.size(), 3u);
+    EXPECT_LT(devs[0].inferLatencyMs(1), devs[1].inferLatencyMs(1));
+    EXPECT_LT(devs[1].inferLatencyMs(1), devs[2].inferLatencyMs(1));
+}
+
+TEST(Accelerators, BatchingGrowsLatencyButAmortizes)
+{
+    const auto &xeon = cp::accelerator("Broadwell Xeon");
+    EXPECT_GT(xeon.inferLatencyMs(256), xeon.inferLatencyMs(1));
+    EXPECT_GT(xeon.throughputPerSec(256), xeon.throughputPerSec(1));
+}
+
+TEST(Accelerators, UnknownThrows)
+{
+    EXPECT_THROW(cp::accelerator("Abacus"), std::invalid_argument);
+}
+
+TEST(Rules, InstallSerializesAndGrowsWithTable)
+{
+    cp::RuleInstaller inst;
+    const double t1 = inst.requestInstall(1, 0.0);
+    const double t2 = inst.requestInstall(2, 0.0);
+    EXPECT_GT(t1, 0.0);
+    EXPECT_GT(t2, t1); // queued behind the first install
+    EXPECT_EQ(inst.installs(), 2u);
+
+    // Re-request is a no-op resolving to the existing rule.
+    EXPECT_DOUBLE_EQ(inst.requestInstall(1, 5.0), t1);
+    EXPECT_EQ(inst.installs(), 2u);
+
+    // Rule visibility respects activation time.
+    EXPECT_FALSE(inst.active(1, t1 - 1e-6));
+    EXPECT_TRUE(inst.active(1, t1));
+    EXPECT_FALSE(inst.active(99, 100.0));
+}
+
+TEST(Rules, CostGrowsWithOccupancy)
+{
+    cp::RuleInstallModel m;
+    EXPECT_GT(m.installMs(10000), m.installMs(0));
+    EXPECT_NEAR(m.installMs(0), 3.0, 1e-9); // 3 ms TCAM base
+}
+
+namespace {
+
+/** Shared fixture: one trained model + trace for baseline tests. */
+struct E2eFixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(5, 2000);
+    std::vector<net::TracePacket> trace;
+
+    E2eFixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 4000;
+        net::KddGenerator gen(cfg, 55);
+        trace = gen.expandToPackets(gen.sampleConnections());
+    }
+
+    cp::BaselineResult
+    run(double rate) const
+    {
+        cp::BaselineConfig cfg;
+        cfg.sampling_rate = rate;
+        return cp::runBaseline(
+            trace, dnn.quantized,
+            [this](const nn::Vector &v) {
+                return dnn.standardizer.apply(v);
+            },
+            cfg);
+    }
+};
+
+} // namespace
+
+TEST(Baseline, MissesMostAnomaliesAtLowSampling)
+{
+    const E2eFixture fx;
+    const auto res = fx.run(1e-4);
+    // The Table 8 story: the baseline misses the overwhelming majority
+    // of anomalous packets even though the model itself is fine.
+    EXPECT_LT(res.detected_pct, 10.0);
+    EXPECT_LT(res.f1_x100, 20.0);
+    EXPECT_GT(res.total_ms, 1.0); // ms-scale reaction path
+}
+
+TEST(Baseline, LatencyComponentsPositiveAndOrdered)
+{
+    const E2eFixture fx;
+    const auto res = fx.run(1e-3);
+    EXPECT_GT(res.xdp_ms, 0.0);
+    EXPECT_GT(res.db_ms, res.xdp_ms); // ingest dominates polling
+    EXPECT_GT(res.ml_ms, 0.0);
+    EXPECT_GE(res.mean_xdp_batch, 1.0);
+}
+
+TEST(Baseline, HigherSamplingGrowsBatches)
+{
+    const E2eFixture fx;
+    const auto lo = fx.run(1e-3);
+    const auto hi = fx.run(1e-1);
+    EXPECT_GT(hi.mean_xdp_batch, lo.mean_xdp_batch);
+    EXPECT_GT(hi.rules_installed, lo.rules_installed);
+}
+
+TEST(Trainer, OnlineTrainingConvergesToUsefulF1)
+{
+    const E2eFixture fx;
+    cp::OnlineTrainConfig cfg;
+    cfg.sampling_rate = 0.05;
+    cfg.epochs = 4;
+    cfg.batch = 64;
+    cfg.max_time_s = 60.0;
+    const auto res = cp::runOnlineTraining(
+        fx.trace, fx.dnn.standardizer, fx.dnn.test, cfg);
+
+    ASSERT_GE(res.curve.size(), 3u);
+    EXPECT_GT(res.updates_pushed, 5u);
+    // Starts near-random, ends materially better.
+    EXPECT_GT(res.final_f1, res.curve.front().f1);
+    EXPECT_GT(res.final_f1, 0.45);
+    // Curve is time-ordered.
+    for (size_t i = 1; i < res.curve.size(); ++i)
+        EXPECT_GE(res.curve[i].time_s, res.curve[i - 1].time_s);
+}
+
+TEST(Trainer, HigherSamplingConvergesFaster)
+{
+    // Figure 13: higher sampling rates converge faster.
+    const E2eFixture fx;
+    cp::OnlineTrainConfig fast;
+    fast.sampling_rate = 0.1;
+    fast.epochs = 4;
+    fast.max_time_s = 50.0;
+    cp::OnlineTrainConfig slow = fast;
+    slow.sampling_rate = 0.02;
+
+    const auto r_fast = cp::runOnlineTraining(
+        fx.trace, fx.dnn.standardizer, fx.dnn.test, fast);
+    const auto r_slow = cp::runOnlineTraining(
+        fx.trace, fx.dnn.standardizer, fx.dnn.test, slow);
+
+    // Time to first reach a fixed quality bar (the Figure 13 reading:
+    // higher-rate curves cross any horizontal line earlier).
+    auto time_to = [](const cp::OnlineTrainResult &r, double bar) {
+        for (const auto &p : r.curve)
+            if (p.f1 >= bar)
+                return p.time_s;
+        return 1e9;
+    };
+    EXPECT_LT(time_to(r_fast, 0.5), time_to(r_slow, 0.5));
+    EXPECT_LT(time_to(r_fast, 0.5), 1e9); // fast must actually get there
+}

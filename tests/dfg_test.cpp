@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "dfg/eval.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/mapreduce.hpp"
+#include "fixed/quant.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+using dfg::Graph;
+using dfg::MapFn;
+using dfg::Node;
+using dfg::NodeKind;
+
+namespace {
+
+/** Input(width) -> single node -> Output helper. */
+Graph
+wrap(Node mid, int in_width)
+{
+    Graph g;
+    Node in;
+    in.kind = NodeKind::Input;
+    in.width = in_width;
+    const int in_id = g.add(std::move(in));
+    mid.inputs = {in_id};
+    const int mid_id = g.add(std::move(mid));
+    Node out;
+    out.kind = NodeKind::Output;
+    out.inputs = {mid_id};
+    out.width = g.node(mid_id).width;
+    g.add(std::move(out));
+    return g;
+}
+
+} // namespace
+
+TEST(DfgGraph, ValidateCatchesBadWidth)
+{
+    Graph g;
+    Node in;
+    in.kind = NodeKind::Input;
+    in.width = dfg::kLanes + 1;
+    g.add(std::move(in));
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(DfgGraph, ValidateCatchesWeightMismatch)
+{
+    Node dot;
+    dot.kind = NodeKind::DotRow;
+    dot.width = 1;
+    dot.weights = {1, 2, 3}; // input will be 4 wide
+    Graph g = wrap(std::move(dot), 4);
+    EXPECT_NE(g.validate().find("weight count"), std::string::npos);
+}
+
+TEST(DfgGraph, ValidateRequiresOutput)
+{
+    Graph g;
+    Node in;
+    in.kind = NodeKind::Input;
+    in.width = 4;
+    g.add(std::move(in));
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(DfgGraph, LookupNeeds256Entries)
+{
+    Node lut;
+    lut.kind = NodeKind::Lookup;
+    lut.width = 4;
+    lut.lut.assign(255, 0);
+    Graph g = wrap(std::move(lut), 4);
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(DfgEval, DotRowComputesBiasedDotWithRequant)
+{
+    Node dot;
+    dot.kind = NodeKind::DotRow;
+    dot.width = 1;
+    dot.weights = {1, 2, -1, 3};
+    dot.bias = 10;
+    dot.requant = fixed::Requantizer::fromRealMultiplier(0.5);
+    Graph g = wrap(std::move(dot), 4);
+
+    // acc = 1*4 + 2*3 + (-1)*2 + 3*1 + 10 = 21; requant 0.5 -> 10.5 -> 11.
+    const auto out = dfg::evaluateSimple(g, {4, 3, 2, 1});
+    EXPECT_EQ(out.at(0), 11);
+}
+
+TEST(DfgEval, DotRowSaturatesToInt8)
+{
+    Node dot;
+    dot.kind = NodeKind::DotRow;
+    dot.width = 1;
+    dot.weights = {127, 127};
+    dot.requant = fixed::Requantizer::fromRealMultiplier(1.0);
+    Graph g = wrap(std::move(dot), 2);
+    const auto out = dfg::evaluateSimple(g, {127, 127});
+    EXPECT_EQ(out.at(0), 127); // 32258 saturated
+}
+
+TEST(DfgEval, PartialDotPlusCombineMatchesSingleDot)
+{
+    util::Rng rng(7);
+    // 24-wide neuron split into 16 + 8.
+    std::vector<int8_t> w(24), x(24);
+    for (auto &v : w)
+        v = static_cast<int8_t>(rng.uniformInt(-20, 20));
+    for (auto &v : x)
+        v = static_cast<int8_t>(rng.uniformInt(-20, 20));
+    const auto rq = fixed::Requantizer::fromRealMultiplier(0.01);
+
+    Graph g;
+    Node i0, i1;
+    i0.kind = i1.kind = NodeKind::Input;
+    i0.width = 16;
+    i1.width = 8;
+    const int a = g.add(std::move(i0));
+    const int b = g.add(std::move(i1));
+
+    Node p0;
+    p0.kind = NodeKind::PartialDot;
+    p0.inputs = {a};
+    p0.width = 1;
+    p0.weights.assign(w.begin(), w.begin() + 16);
+    const int p0_id = g.add(std::move(p0));
+    Node p1;
+    p1.kind = NodeKind::PartialDot;
+    p1.inputs = {b};
+    p1.width = 1;
+    p1.weights.assign(w.begin() + 16, w.end());
+    const int p1_id = g.add(std::move(p1));
+
+    Node c;
+    c.kind = NodeKind::CombineAdd;
+    c.inputs = {p0_id, p1_id};
+    c.width = 1;
+    c.bias = 5;
+    c.requant = rq;
+    const int c_id = g.add(std::move(c));
+    Node out;
+    out.kind = NodeKind::Output;
+    out.inputs = {c_id};
+    out.width = 1;
+    g.add(std::move(out));
+
+    const auto res = dfg::evaluate(
+        g, {{x.begin(), x.begin() + 16}, {x.begin() + 16, x.end()}});
+
+    int64_t acc = 5;
+    for (size_t i = 0; i < 24; ++i)
+        acc += int(w[i]) * int(x[i]);
+    EXPECT_EQ(res.at(0).lanes.at(0),
+              rq.apply(static_cast<int32_t>(acc)));
+}
+
+TEST(DfgEval, SquaredDistRawIsInt32)
+{
+    Node d;
+    d.kind = NodeKind::SquaredDist;
+    d.width = 1;
+    d.weights = {10, -10};
+    Graph g = wrap(std::move(d), 2);
+    EXPECT_EQ(dfg::Graph::outputType(g.node(1)),
+              dfg::ValueType::Int32Vec);
+    const auto res = dfg::evaluate(g, {{-10, 10}});
+    EXPECT_EQ(res.at(0).lanes.at(0), 400 + 400);
+}
+
+TEST(DfgEval, SquaredDistRequantizedIsInt8Code)
+{
+    Node d;
+    d.kind = NodeKind::SquaredDist;
+    d.width = 1;
+    d.weights = {0, 0};
+    d.requant = fixed::Requantizer::fromRealMultiplier(127.0 / 1000.0);
+    Graph g = wrap(std::move(d), 2);
+    EXPECT_EQ(dfg::Graph::outputType(g.node(1)),
+              dfg::ValueType::Int8Vec);
+    // dist = 2*100^2 = 20000 -> 20000 * 127/1000 saturates at 127.
+    const auto res = dfg::evaluate(g, {{100, -100}});
+    EXPECT_EQ(res.at(0).lanes.at(0), 127);
+}
+
+TEST(DfgEval, ArgMinPicksFirstMinimum)
+{
+    Graph g;
+    Node in;
+    in.kind = NodeKind::Input;
+    in.width = 5;
+    const int in_id = g.add(std::move(in));
+    Node am;
+    am.kind = NodeKind::ArgMin;
+    am.inputs = {in_id};
+    am.width = 1;
+    const int am_id = g.add(std::move(am));
+    Node out;
+    out.kind = NodeKind::Output;
+    out.inputs = {am_id};
+    out.width = 1;
+    g.add(std::move(out));
+
+    EXPECT_EQ(dfg::evaluateSimple(g, {5, 3, 3, 9, 4}).at(0), 1);
+}
+
+TEST(DfgEval, LookupIndexesSignedDomain)
+{
+    Node lut;
+    lut.kind = NodeKind::Lookup;
+    lut.width = 1;
+    lut.lut.resize(256);
+    for (int i = 0; i < 256; ++i)
+        lut.lut[static_cast<size_t>(i)] =
+            static_cast<int8_t>(i - 128); // identity
+    Graph g = wrap(std::move(lut), 1);
+    for (int v : {-128, -1, 0, 1, 127})
+        EXPECT_EQ(dfg::evaluateSimple(g, {static_cast<int8_t>(v)}).at(0),
+                  v);
+}
+
+TEST(DfgEval, ThrowsOnMissingInputs)
+{
+    Node m;
+    m.kind = NodeKind::MapChain;
+    m.width = 4;
+    m.fns = {MapFn::Relu};
+    Graph g = wrap(std::move(m), 4);
+    EXPECT_THROW(dfg::evaluate(g, {}), std::invalid_argument);
+    EXPECT_THROW(dfg::evaluate(g, {{1, 2}}), std::invalid_argument);
+}
+
+// ---- Map-function semantics, swept over representative inputs. ----
+
+class MapFnTest : public ::testing::TestWithParam<int32_t>
+{
+};
+
+TEST_P(MapFnTest, Semantics)
+{
+    const int32_t x = GetParam();
+    const fixed::Requantizer rq =
+        fixed::Requantizer::fromRealMultiplier(1.0);
+    EXPECT_EQ(dfg::applyMapFn(MapFn::Identity, x, 0, rq), x);
+    EXPECT_EQ(dfg::applyMapFn(MapFn::Relu, x, 0, rq), x > 0 ? x : 0);
+    EXPECT_EQ(dfg::applyMapFn(MapFn::LeakyRelu, x, 0, rq),
+              x >= 0 ? x : x / 8);
+    EXPECT_EQ(dfg::applyMapFn(MapFn::Abs, x, 0, rq),
+              x == -128 ? 127 : std::abs(x)); // saturating |-128|
+    EXPECT_EQ(dfg::applyMapFn(MapFn::MinConst, x, 5, rq), std::min(x, 5));
+    EXPECT_EQ(dfg::applyMapFn(MapFn::MaxConst, x, 5, rq), std::max(x, 5));
+    EXPECT_EQ(dfg::applyMapFn(MapFn::AddConst, x, 3, rq),
+              std::clamp(x + 3, -128, 127));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MapFnTest,
+                         ::testing::Values(-128, -127, -8, -1, 0, 1, 7,
+                                           126, 127));
+
+TEST(DfgGraph, WeightBytesCountsWeightsLutsAndBias)
+{
+    Node dot;
+    dot.kind = NodeKind::DotRow;
+    dot.weights = {1, 2, 3, 4};
+    EXPECT_EQ(dot.weightBytes(), 4u + 4u); // weights + int32 bias
+
+    Node lut;
+    lut.kind = NodeKind::Lookup;
+    lut.lut.resize(256);
+    EXPECT_EQ(lut.weightBytes(), 256u);
+}
+
+TEST(DfgGraph, LoopInfoIiMultiplier)
+{
+    dfg::LoopInfo loop;
+    loop.trip = 8;
+    loop.unroll = 1;
+    EXPECT_EQ(loop.iiMultiplier(), 8);
+    loop.unroll = 3;
+    EXPECT_EQ(loop.iiMultiplier(), 3);
+    loop.unroll = 8;
+    EXPECT_EQ(loop.iiMultiplier(), 1);
+}
+
+TEST(DfgGraph, MergeIsDisjointUnion)
+{
+    // Two independent programs merged keep their own inputs, outputs,
+    // and values (the multi-model path of Section 6).
+    util::Rng rng(71);
+    dfg::mr::Builder b1("m1");
+    b1.output(b1.map(b1.input(4), MapFn::Relu));
+    const Graph g1 = b1.build();
+
+    dfg::mr::Builder b2("m2");
+    b2.output(b2.map(b2.input(3), MapFn::Neg));
+    const Graph g2 = b2.build();
+
+    const Graph both = dfg::merge({&g1, &g2}, "both");
+    EXPECT_EQ(both.validate(), "");
+    EXPECT_EQ(both.inputIds().size(), 2u);
+    EXPECT_EQ(both.outputIds().size(), 2u);
+
+    const std::vector<int8_t> x1 = {-5, 3, -1, 7};
+    const std::vector<int8_t> x2 = {1, -2, 3};
+    const auto res = dfg::evaluate(both, {x1, x2});
+    ASSERT_EQ(res.size(), 2u);
+    EXPECT_EQ(res[0].lanes, (std::vector<int32_t>{0, 3, 0, 7}));
+    EXPECT_EQ(res[1].lanes, (std::vector<int32_t>{-1, 2, -3}));
+}
+
+TEST(DfgGraph, MergeTakesSlowestLoop)
+{
+    dfg::mr::Builder b1("fast");
+    b1.output(b1.map(b1.input(4), MapFn::Relu));
+    b1.setLoop(2, 1);
+    const Graph g1 = b1.build();
+    dfg::mr::Builder b2("slow");
+    b2.output(b2.map(b2.input(4), MapFn::Relu));
+    b2.setLoop(8, 1);
+    const Graph g2 = b2.build();
+
+    const Graph both = dfg::merge({&g1, &g2}, "both");
+    ASSERT_TRUE(both.loop.has_value());
+    EXPECT_EQ(both.loop->iiMultiplier(), 8);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/quant.hpp"
+#include "fixed/saturate.hpp"
+#include "util/rng.hpp"
+
+namespace tf = taurus::fixed;
+
+TEST(Saturate, ClampsToInt8)
+{
+    EXPECT_EQ(tf::saturate<int8_t>(int64_t{300}), 127);
+    EXPECT_EQ(tf::saturate<int8_t>(int64_t{-300}), -128);
+    EXPECT_EQ(tf::saturate<int8_t>(int64_t{5}), 5);
+}
+
+TEST(Saturate, SatAddBoundaries)
+{
+    EXPECT_EQ(tf::satAdd<int8_t>(127, 1), 127);
+    EXPECT_EQ(tf::satAdd<int8_t>(-128, -1), -128);
+    EXPECT_EQ(tf::satAdd<int8_t>(100, 20), 120);
+    EXPECT_EQ(tf::satAdd<int32_t>(INT32_MAX, 1), INT32_MAX);
+}
+
+TEST(Saturate, SatMulBoundaries)
+{
+    EXPECT_EQ(tf::satMul<int8_t>(16, 16), 127);
+    EXPECT_EQ(tf::satMul<int8_t>(-16, 16), -128);
+    EXPECT_EQ(tf::satMul<int8_t>(-11, 11), -121);
+}
+
+TEST(Saturate, RoundingShiftHalfAwayFromZero)
+{
+    EXPECT_EQ(tf::roundingShiftRight(5, 1), 3);   // 2.5 -> 3
+    EXPECT_EQ(tf::roundingShiftRight(-5, 1), -3); // -2.5 -> -3
+    EXPECT_EQ(tf::roundingShiftRight(4, 1), 2);
+    EXPECT_EQ(tf::roundingShiftRight(4, 0), 4);
+    EXPECT_EQ(tf::roundingShiftRight(4, -2), 16); // negative = left shift
+}
+
+TEST(Quant, RoundTripWithinHalfStep)
+{
+    const tf::QuantParams qp = tf::QuantParams::forAbsMax(4.0, 8);
+    for (double v = -4.0; v <= 4.0; v += 0.37) {
+        const int32_t q = tf::quantize(v, qp, 8);
+        EXPECT_NEAR(tf::dequantize(q, qp), v, qp.scale / 2 + 1e-12);
+    }
+}
+
+TEST(Quant, SaturatesOutOfRange)
+{
+    const tf::QuantParams qp = tf::QuantParams::forAbsMax(1.0, 8);
+    EXPECT_EQ(tf::quantize(10.0, qp, 8), 127);
+    EXPECT_EQ(tf::quantize(-10.0, qp, 8), -128);
+}
+
+TEST(Quant, AbsMaxMapsToExtremeCode)
+{
+    const tf::QuantParams qp = tf::QuantParams::forAbsMax(2.54, 8);
+    EXPECT_EQ(tf::quantize(2.54, qp, 8), 127);
+}
+
+TEST(Requantizer, ApproximatesRealMultiplier)
+{
+    taurus::util::Rng rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        const double mult = std::pow(2.0, rng.uniform(-10, 2)) *
+                            rng.uniform(0.5, 1.0);
+        const auto rq = tf::Requantizer::fromRealMultiplier(mult);
+        EXPECT_NEAR(rq.realMultiplier(), mult, mult * 1e-6);
+        for (int i = 0; i < 50; ++i) {
+            const int32_t acc =
+                static_cast<int32_t>(rng.uniformInt(-100000, 100000));
+            const double real = acc * mult;
+            const double got = rq.apply(acc);
+            if (real > 127)
+                EXPECT_EQ(got, 127);
+            else if (real < -128)
+                EXPECT_EQ(got, -128);
+            else
+                EXPECT_NEAR(got, real, 0.5 + 1e-9);
+        }
+    }
+}
+
+TEST(Requantizer, ZeroAndNegativeMultiplier)
+{
+    const auto rq = tf::Requantizer::fromRealMultiplier(0.0);
+    EXPECT_EQ(rq.apply(12345), 0);
+}
+
+// Property sweep: requantization is monotone in the accumulator.
+class RequantMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RequantMonotone, Monotonic)
+{
+    const auto rq = tf::Requantizer::fromRealMultiplier(GetParam());
+    int8_t prev = rq.apply(-200000);
+    for (int32_t acc = -200000; acc <= 200000; acc += 997) {
+        const int8_t cur = rq.apply(acc);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, RequantMonotone,
+                         ::testing::Values(0.0001, 0.001, 0.01, 0.05, 0.25,
+                                           0.5, 0.9, 1.0, 1.7));

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compile.hpp"
+#include "dfg/eval.hpp"
+#include "dfg/mapreduce.hpp"
+#include "fixed/quant.hpp"
+#include "hw/cycle_sim.hpp"
+#include "pisa/parser.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+using dfg::MapFn;
+
+namespace {
+
+/** Generate a random, valid MapReduce program via the builder. */
+dfg::Graph
+randomGraph(util::Rng &rng)
+{
+    dfg::mr::Builder b("fuzz");
+    const int in_w = static_cast<int>(rng.uniformInt(2, 16));
+    dfg::mr::Value cur = b.input(in_w);
+
+    const auto rand_rq = [&rng] {
+        return fixed::Requantizer::fromRealMultiplier(
+            rng.uniform(0.01, 0.9));
+    };
+
+    const int depth = static_cast<int>(rng.uniformInt(1, 4));
+    for (int d = 0; d < depth; ++d) {
+        switch (rng.uniformInt(0, 3)) {
+          case 0: { // map chain
+            const int chain = static_cast<int>(
+                rng.uniformInt(1, dfg::kStages));
+            std::vector<MapFn> fns;
+            std::vector<int32_t> imms;
+            const MapFn pool[] = {MapFn::Relu,     MapFn::LeakyRelu,
+                                  MapFn::Abs,      MapFn::Neg,
+                                  MapFn::AddConst, MapFn::MinConst,
+                                  MapFn::MaxConst};
+            for (int i = 0; i < chain; ++i) {
+                fns.push_back(pool[rng.uniformInt(0, 6)]);
+                imms.push_back(
+                    static_cast<int32_t>(rng.uniformInt(-50, 50)));
+            }
+            cur = b.mapChain(cur, fns, imms, rand_rq());
+            break;
+          }
+          case 1: { // dense layer
+            const int out_w = static_cast<int>(rng.uniformInt(1, 8));
+            std::vector<std::vector<int8_t>> w(
+                static_cast<size_t>(out_w),
+                std::vector<int8_t>(
+                    static_cast<size_t>(cur.totalWidth())));
+            std::vector<int32_t> biases(static_cast<size_t>(out_w));
+            for (auto &row : w)
+                for (auto &v : row)
+                    v = static_cast<int8_t>(rng.uniformInt(-80, 80));
+            for (auto &v : biases)
+                v = static_cast<int32_t>(rng.uniformInt(-300, 300));
+            cur = b.mapReduce(cur, w, biases, rand_rq());
+            break;
+          }
+          case 2: { // lookup
+            std::vector<int8_t> lut(256);
+            for (auto &v : lut)
+                v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+            cur = b.lookup(cur, lut);
+            break;
+          }
+          default: { // elementwise square via mul with itself
+            cur = b.mul(cur, cur, rand_rq());
+            break;
+          }
+        }
+    }
+    b.output(cur);
+    return b.build();
+}
+
+} // namespace
+
+TEST(Fuzz, RandomProgramsSimulateBitExact)
+{
+    // The central property: for any valid program and any input, the
+    // placed-and-routed cycle simulation produces exactly the reference
+    // evaluator's values, under every compiler configuration.
+    util::Rng rng(2024);
+    for (int trial = 0; trial < 60; ++trial) {
+        const dfg::Graph g = randomGraph(rng);
+        ASSERT_EQ(g.validate(), "");
+
+        compiler::Options opts;
+        opts.enable_packing = rng.bernoulli(0.5);
+        const auto prog = compiler::compile(g, opts);
+        ASSERT_EQ(prog.validate(), "");
+        hw::CycleSim sim(prog);
+
+        for (int rep = 0; rep < 5; ++rep) {
+            std::vector<std::vector<int8_t>> inputs;
+            for (int id : g.inputIds()) {
+                std::vector<int8_t> v(
+                    static_cast<size_t>(g.node(id).width));
+                for (auto &x : v)
+                    x = static_cast<int8_t>(rng.uniformInt(-128, 127));
+                inputs.push_back(std::move(v));
+            }
+            const auto want = dfg::evaluate(g, inputs);
+            const auto res = sim.run(inputs);
+            ASSERT_EQ(res.outputs.size(), want.size());
+            for (size_t i = 0; i < want.size(); ++i)
+                EXPECT_EQ(res.outputs[i].lanes, want[i].lanes);
+            EXPECT_GT(res.latency_cycles, 0);
+            EXPECT_GE(res.ii_cycles, 1);
+        }
+    }
+}
+
+TEST(Fuzz, ParserNeverCrashesOnGarbage)
+{
+    // Malformed input must either parse (short-circuit accept) or throw
+    // a std::exception — never UB or a crash.
+    util::Rng rng(4096);
+    const auto parser = pisa::Parser::standard();
+    for (int trial = 0; trial < 2000; ++trial) {
+        pisa::Packet p;
+        p.bytes.resize(static_cast<size_t>(rng.uniformInt(0, 128)));
+        for (auto &b : p.bytes)
+            b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+        try {
+            const pisa::Phv phv = parser.parse(p);
+            (void)phv;
+        } catch (const std::exception &) {
+            // acceptable: truncated headers
+        }
+    }
+}
+
+TEST(Fuzz, ParserOnTruncationsOfValidPacket)
+{
+    const auto parser = pisa::Parser::standard();
+    net::FlowKey flow{0x0a000101, 0x0a001002, 40000, 443,
+                      net::kProtoTcp};
+    const pisa::Packet full = pisa::makePacket(flow, 100, 0x12, 0.0);
+    for (size_t len = 0; len <= full.bytes.size(); ++len) {
+        pisa::Packet p = full;
+        p.bytes.resize(len);
+        try {
+            parser.parse(p);
+        } catch (const std::exception &) {
+        }
+    }
+}
+
+TEST(Fuzz, RequantizerMatchesRealArithmeticWithinOneLsb)
+{
+    util::Rng rng(7777);
+    for (int trial = 0; trial < 5000; ++trial) {
+        const double m = rng.uniform(1e-5, 1.0);
+        const auto rq = fixed::Requantizer::fromRealMultiplier(m);
+        const int32_t x =
+            static_cast<int32_t>(rng.uniformInt(-200000, 200000));
+        const double real = m * x;
+        const int32_t want = static_cast<int32_t>(std::clamp(
+            std::llround(real), -128ll, 127ll));
+        EXPECT_NEAR(rq.apply(x), want, 1)
+            << "m=" << m << " x=" << x;
+    }
+}
+
+TEST(Fuzz, QuantizeDequantizeRoundTrip)
+{
+    util::Rng rng(31337);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const double abs_max = rng.uniform(0.1, 100.0);
+        const auto qp = fixed::QuantParams::forAbsMax(abs_max);
+        const double v = rng.uniform(-abs_max, abs_max);
+        const int32_t q = fixed::quantize(v, qp);
+        EXPECT_GE(q, -127);
+        EXPECT_LE(q, 127);
+        EXPECT_NEAR(fixed::dequantize(q, qp), v, qp.scale * 0.5 + 1e-12);
+    }
+}

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "compiler/lower.hpp"
+#include "dfg/eval.hpp"
+#include "hw/cycle_sim.hpp"
+#include "hw/grid.hpp"
+#include "models/microbench.hpp"
+#include "nn/quantized.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+
+TEST(GridSpec, FinalConfigurationCounts)
+{
+    hw::GridSpec spec;
+    EXPECT_EQ(spec.unitCount(), 120);
+    // 3:1 CU:MU interleave over a 12x10 grid.
+    EXPECT_EQ(spec.cuCount(), 90);
+    EXPECT_EQ(spec.muCount(), 30);
+    EXPECT_EQ(spec.cuCount() + spec.muCount(), spec.unitCount());
+    // MU capacity: 16 banks x 1024 x 8 bits = 16 KiB.
+    EXPECT_EQ(spec.muCapacityBytes(), 16u * 1024u);
+}
+
+TEST(GridSpec, UnitsOfKindPartitionTheGrid)
+{
+    hw::GridSpec spec;
+    const auto cus = spec.unitsOfKind(hw::UnitKind::Cu);
+    const auto mus = spec.unitsOfKind(hw::UnitKind::Mu);
+    EXPECT_EQ(cus.size(), static_cast<size_t>(spec.cuCount()));
+    EXPECT_EQ(mus.size(), static_cast<size_t>(spec.muCount()));
+    for (const auto &c : cus)
+        EXPECT_EQ(spec.kindAt(c), hw::UnitKind::Cu);
+    for (const auto &m : mus)
+        EXPECT_EQ(spec.kindAt(m), hw::UnitKind::Mu);
+}
+
+TEST(GridSpec, Manhattan)
+{
+    EXPECT_EQ(hw::manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(hw::manhattan({2, 2}, {2, 2}), 0);
+    EXPECT_EQ(hw::manhattan({5, -1}, {5, 10}), 11);
+}
+
+TEST(CycleSim, InnerProductLandsAtPaperLatency)
+{
+    util::Rng rng(3);
+    const auto g = models::buildInnerProduct(rng);
+    const auto prog = compiler::compile(g);
+    hw::CycleSim sim(prog);
+    std::vector<int8_t> input(16, 1);
+    const auto res = sim.run({input});
+    // Table 6: a 16-element inner product takes 23 ns at 1 GHz.
+    EXPECT_EQ(res.latency_cycles, 23);
+    EXPECT_EQ(res.ii_cycles, 1);
+    EXPECT_DOUBLE_EQ(res.gpktps, 1.0);
+}
+
+TEST(CycleSim, ReluLandsAtPaperLatency)
+{
+    util::Rng rng(3);
+    const auto g = models::buildMicrobench("ReLU", rng);
+    const auto prog = compiler::compile(g);
+    hw::CycleSim sim(prog);
+    const auto res = sim.run({std::vector<int8_t>(16, -5)});
+    EXPECT_EQ(res.latency_cycles, 22); // Table 6
+    for (int32_t lane : res.outputs.at(0).lanes)
+        EXPECT_EQ(lane, 0);
+}
+
+TEST(CycleSim, BitExactWithReferenceEvaluator)
+{
+    util::Rng rng(11);
+    for (const std::string &name : models::microbenchNames()) {
+        const auto g = models::buildMicrobench(name, rng);
+        const auto prog = compiler::compile(g);
+        hw::CycleSim sim(prog);
+
+        std::vector<std::vector<int8_t>> inputs;
+        for (int id : g.inputIds()) {
+            std::vector<int8_t> v(
+                static_cast<size_t>(g.node(id).width));
+            for (auto &x : v)
+                x = static_cast<int8_t>(rng.uniformInt(-128, 127));
+            inputs.push_back(std::move(v));
+        }
+        const auto expect = dfg::evaluate(g, inputs);
+        const auto got = sim.run(inputs).outputs;
+        ASSERT_EQ(expect.size(), got.size()) << name;
+        for (size_t i = 0; i < expect.size(); ++i)
+            EXPECT_EQ(expect[i].lanes, got[i].lanes) << name;
+    }
+}
+
+TEST(CycleSim, LoopMetadataMultipliesIi)
+{
+    util::Rng rng(5);
+    auto g = models::buildInnerProduct(rng);
+    g.loop = dfg::LoopInfo{8, 2}; // trip 8, unrolled 2x
+    const auto prog = compiler::compile(g);
+    hw::CycleSim sim(prog);
+    const auto res = sim.run({std::vector<int8_t>(16, 1)});
+    EXPECT_EQ(res.ii_cycles, 4);
+    EXPECT_DOUBLE_EQ(res.gpktps, 0.25);
+}
+
+TEST(GridProgram, ValidateAcceptsCompiledPrograms)
+{
+    util::Rng rng(9);
+    for (const std::string &name : models::microbenchNames()) {
+        const auto prog =
+            compiler::compile(models::buildMicrobench(name, rng));
+        EXPECT_EQ(prog.validate(), "") << name;
+    }
+}
+
+TEST(GridProgram, UpdateWeightsSwapsConstantsInPlace)
+{
+    util::Rng rng(13);
+    const auto g1 = models::buildInnerProduct(rng);
+    auto prog = compiler::compile(g1);
+    hw::CycleSim sim(prog);
+
+    // A structurally identical graph with different weights.
+    auto g2 = g1;
+    for (auto &n : g2.nodes()) {
+        // nodes() is const; mutate through node().
+    }
+    for (int id = 0; id < static_cast<int>(g2.nodes().size()); ++id) {
+        auto &n = g2.node(id);
+        for (auto &w : n.weights)
+            w = static_cast<int8_t>(-w);
+    }
+
+    std::vector<int8_t> input(16);
+    for (auto &v : input)
+        v = static_cast<int8_t>(rng.uniformInt(-50, 50));
+
+    const auto before = sim.run({input}).outputs.at(0).lanes;
+    prog.updateWeights(g2);
+    const auto after = sim.run({input}).outputs.at(0).lanes;
+    EXPECT_EQ(after, dfg::evaluate(g2, {input}).at(0).lanes);
+    // Flipping weights flips the (pre-activation) result.
+    EXPECT_NE(before, after);
+}
+
+TEST(GridProgram, UpdateWeightsRejectsStructuralChange)
+{
+    util::Rng rng(17);
+    auto prog = compiler::compile(models::buildInnerProduct(rng));
+    const auto other = models::buildMicrobench("ReLU", rng);
+    EXPECT_THROW(prog.updateWeights(other), std::invalid_argument);
+}
+
+TEST(CycleSim, LatencyScalesWithChainDepth)
+{
+    // Deeper map chains must not be faster than shallow ones.
+    util::Rng rng(23);
+    const auto relu = compiler::compile(models::buildMicrobench(
+        "ReLU", rng));
+    const auto tanh_exp = compiler::compile(models::buildMicrobench(
+        "TanhExp", rng));
+    hw::CycleSim s1(relu), s2(tanh_exp);
+    const std::vector<int8_t> in(16, 3);
+    EXPECT_LT(s1.run({in}).latency_cycles, s2.run({in}).latency_cycles);
+}
+
+TEST(CycleSim, MlpGraphMatchesQuantizedReference)
+{
+    // The full equivalence chain: nn reference == dfg graph == hw sim.
+    util::Rng rng(29);
+    nn::Dataset data;
+    for (int i = 0; i < 400; ++i) {
+        nn::Vector x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(0, 1));
+        data.add(std::move(x), i % 2);
+    }
+    nn::Mlp mlp({6, 12, 6, 3, 1}, nn::Activation::Relu,
+                nn::Loss::BinaryCrossEntropy, rng);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    mlp.train(data, tc, rng);
+    const auto qm = nn::QuantizedMlp::fromFloat(mlp, data.x);
+    const auto graph = compiler::lowerMlp(qm);
+    const auto prog = compiler::compile(graph);
+    hw::CycleSim sim(prog);
+
+    for (int trial = 0; trial < 50; ++trial) {
+        nn::Vector x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(0, 1));
+        const auto q_in = qm.quantizeInput(x);
+        const auto want = qm.forwardInt(q_in);
+        const auto res = sim.run({q_in});
+        ASSERT_EQ(res.outputs.size(), 1u);
+        ASSERT_EQ(res.outputs[0].lanes.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(res.outputs[0].lanes[i], want[i]);
+    }
+}
+
+/** The DNN must compile and simulate identically on any big-enough
+ *  grid geometry — placement must not change values. */
+class GridGeometryTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(GridGeometryTest, PlacementPreservesValues)
+{
+    const auto [rows, cols] = GetParam();
+    util::Rng rng(123);
+    nn::Dataset data;
+    for (int i = 0; i < 200; ++i) {
+        nn::Vector x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(i % 2 ? 1 : -1, 1.0));
+        data.add(std::move(x), i % 2);
+    }
+    nn::Mlp mlp({6, 12, 6, 3, 1}, nn::Activation::Relu,
+                nn::Loss::BinaryCrossEntropy, rng);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    mlp.train(data, tc, rng);
+    const auto qm = nn::QuantizedMlp::fromFloat(mlp, data.x);
+    const auto g = compiler::lowerMlp(qm);
+
+    compiler::Options opts;
+    opts.spec.rows = rows;
+    opts.spec.cols = cols;
+    const auto prog = compiler::compile(g, opts);
+    ASSERT_EQ(prog.validate(), "");
+    hw::CycleSim sim(prog);
+    for (int t = 0; t < 20; ++t) {
+        std::vector<int8_t> q(6);
+        for (auto &v : q)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        EXPECT_EQ(sim.run({q}).outputs.at(0).lanes.at(0),
+                  qm.forwardInt(q).at(0));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GridGeometryTest,
+                         ::testing::Values(std::make_pair(12, 10),
+                                           std::make_pair(10, 8),
+                                           std::make_pair(16, 12),
+                                           std::make_pair(8, 14)));

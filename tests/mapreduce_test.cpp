@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "dfg/eval.hpp"
+#include "dfg/mapreduce.hpp"
+#include "hw/cycle_sim.hpp"
+#include "nn/activations.hpp"
+#include "nn/quantized.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+using dfg::MapFn;
+using dfg::mr::Builder;
+using dfg::mr::Value;
+
+TEST(MapReduceBuilder, Figure4DnnLayer)
+{
+    // The paper's Figure 4 program: a dense layer as a Map over weight
+    // rows of an inner Map/Reduce, followed by a ReLU Map.
+    util::Rng rng(3);
+    const int in_w = 6, out_w = 12;
+    std::vector<std::vector<int8_t>> weights(out_w,
+                                             std::vector<int8_t>(in_w));
+    std::vector<int32_t> biases(out_w);
+    for (auto &row : weights)
+        for (auto &w : row)
+            w = static_cast<int8_t>(rng.uniformInt(-60, 60));
+    for (auto &b : biases)
+        b = static_cast<int32_t>(rng.uniformInt(-500, 500));
+    const auto rq = fixed::Requantizer::fromRealMultiplier(0.02);
+
+    Builder mr("anomaly_layer");
+    const Value features = mr.input(in_w, "FeatureSet");
+    const Value linear = mr.mapReduce(features, weights, biases, rq);
+    const Value out = mr.map(linear, MapFn::Relu);
+    mr.output(out, "Output");
+    const dfg::Graph g = mr.build();
+    ASSERT_EQ(g.validate(), "");
+
+    // Semantics: requant(Wx + b) through ReLU, checked directly.
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<int8_t> x(in_w);
+        for (auto &v : x)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        const auto got = dfg::evaluateSimple(g, x);
+        ASSERT_EQ(got.size(), static_cast<size_t>(out_w));
+        for (int r = 0; r < out_w; ++r) {
+            int64_t acc = biases[static_cast<size_t>(r)];
+            for (int j = 0; j < in_w; ++j)
+                acc += int(weights[static_cast<size_t>(r)]
+                                  [static_cast<size_t>(j)]) *
+                       int(x[static_cast<size_t>(j)]);
+            int32_t want = rq.apply(fixed::saturate<int32_t>(acc));
+            want = want > 0 ? want : 0;
+            EXPECT_EQ(got[static_cast<size_t>(r)], want);
+        }
+    }
+}
+
+TEST(MapReduceBuilder, WideRowsLegalizeAcrossSegments)
+{
+    util::Rng rng(5);
+    const int in_w = 24; // two segments
+    std::vector<std::vector<int8_t>> weights(
+        3, std::vector<int8_t>(static_cast<size_t>(in_w)));
+    for (auto &row : weights)
+        for (auto &w : row)
+            w = static_cast<int8_t>(rng.uniformInt(-30, 30));
+    const auto rq = fixed::Requantizer::fromRealMultiplier(0.01);
+
+    Builder mr("wide");
+    const Value x = mr.input(in_w);
+    const Value y = mr.mapReduce(x, weights, {1, 2, 3}, rq);
+    mr.output(y);
+    const auto g = mr.build();
+
+    bool has_partial = false;
+    for (const auto &n : g.nodes())
+        has_partial |= n.kind == dfg::NodeKind::PartialDot;
+    EXPECT_TRUE(has_partial);
+
+    // Compiles and simulates like any other program.
+    const auto prog = compiler::compile(g);
+    hw::CycleSim sim(prog);
+    std::vector<int8_t> a(16, 3), b(8, -2);
+    const auto res = sim.run({a, b});
+    std::vector<int8_t> full;
+    full.insert(full.end(), a.begin(), a.end());
+    full.insert(full.end(), b.begin(), b.end());
+    for (int r = 0; r < 3; ++r) {
+        int64_t acc = r + 1;
+        for (int j = 0; j < in_w; ++j)
+            acc += int(weights[static_cast<size_t>(r)]
+                              [static_cast<size_t>(j)]) *
+                   int(full[static_cast<size_t>(j)]);
+        EXPECT_EQ(res.outputs.at(0).lanes.at(static_cast<size_t>(r)),
+                  rq.apply(fixed::saturate<int32_t>(acc)));
+    }
+}
+
+TEST(MapReduceBuilder, KMeansStyleProgram)
+{
+    Builder mr("cluster");
+    const Value x = mr.input(4);
+    const Value d0 = mr.squaredDist(x, {10, 10, 10, 10});
+    const Value d1 = mr.squaredDist(x, {-10, -10, -10, -10});
+    const Value cluster = mr.argMin(mr.gatherScalars({d0, d1}));
+    mr.output(cluster);
+    const auto g = mr.build();
+
+    EXPECT_EQ(dfg::evaluateSimple(g, {9, 9, 9, 9}).at(0), 0);
+    EXPECT_EQ(dfg::evaluateSimple(g, {-9, -9, -9, -9}).at(0), 1);
+}
+
+TEST(MapReduceBuilder, LookupAndElementwise)
+{
+    std::vector<int8_t> lut(256);
+    for (int i = 0; i < 256; ++i)
+        lut[static_cast<size_t>(i)] =
+            static_cast<int8_t>((i - 128) / 2);
+    const auto rq = fixed::Requantizer::fromRealMultiplier(1.0 / 64.0);
+
+    Builder mr("elt");
+    const Value a = mr.input(8, "a");
+    const Value b = mr.input(8, "b");
+    const Value prod = mr.mul(a, b, rq);
+    const Value summed = mr.add(prod, a);
+    const Value looked = mr.lookup(summed, lut);
+    mr.output(looked);
+    const auto g = mr.build();
+
+    const std::vector<int8_t> va(8, 64), vb(8, 64);
+    const auto res = dfg::evaluate(g, {va, vb});
+    // mul: 64*64/64 = 64; add: 64+64 = 127 (saturated); lut: ~ -1/2.
+    EXPECT_EQ(res.at(0).lanes.at(0),
+              lut[static_cast<size_t>(127 + 128)]);
+}
+
+TEST(MapReduceBuilder, ValidationAndErrors)
+{
+    Builder mr("bad");
+    const Value x = mr.input(4);
+    EXPECT_THROW(mr.mapReduce(x, {{1, 2, 3}}, {0},
+                              fixed::Requantizer{}),
+                 std::invalid_argument); // row width mismatch
+    EXPECT_THROW(
+        mr.mapChain(x, std::vector<MapFn>(dfg::kStages + 1,
+                                          MapFn::Identity)),
+        std::invalid_argument);
+
+    // A program with no output fails at build().
+    EXPECT_THROW(mr.build(), std::invalid_argument);
+}
+
+TEST(MapReduceBuilder, LoopMetadataFlowsThrough)
+{
+    Builder mr("looped");
+    const Value x = mr.input(8);
+    mr.output(mr.map(x, MapFn::Relu));
+    mr.setLoop(4, 2);
+    const auto g = mr.build();
+    ASSERT_TRUE(g.loop.has_value());
+    EXPECT_EQ(g.loop->iiMultiplier(), 2);
+}

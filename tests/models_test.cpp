@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "dfg/eval.hpp"
+#include "models/apps.hpp"
+#include "models/microbench.hpp"
+#include "models/zoo.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+
+TEST(Apps, Table1RegistryShape)
+{
+    const auto &reg = models::table1Registry();
+    ASSERT_EQ(reg.size(), 10u);
+    size_t security = 0, performance = 0, per_packet = 0;
+    for (const auto &app : reg) {
+        security += app.category == "Security";
+        performance += app.category == "Performance";
+        per_packet += app.reaction.per_packet;
+    }
+    EXPECT_EQ(security, 5u);
+    EXPECT_EQ(performance, 5u);
+    EXPECT_GE(per_packet, 3u); // DoS, CC, AQM at least
+}
+
+TEST(Apps, MatOnlyDesignsMatchPaperCosts)
+{
+    // Section 5.1.4: N2Net needs 48 MATs for the anomaly DNN; IIsy maps
+    // an SVM to 8 MATs and KMeans to 2.
+    const auto &designs = models::matOnlyDesigns();
+    ASSERT_EQ(designs.size(), 3u);
+    EXPECT_EQ(designs[0].mats_used, 48);
+    EXPECT_EQ(designs[1].mats_used, 8);
+    EXPECT_EQ(designs[2].mats_used, 2);
+}
+
+TEST(Microbench, NamesMatchTable6)
+{
+    const auto names = models::microbenchNames();
+    ASSERT_EQ(names.size(), 9u);
+    EXPECT_EQ(names.front(), "Conv1D");
+    EXPECT_EQ(names.back(), "ActLUT");
+}
+
+TEST(Microbench, AllBuildAndValidate)
+{
+    util::Rng rng(3);
+    for (const auto &name : models::microbenchNames()) {
+        const auto g = models::buildMicrobench(name, rng);
+        EXPECT_EQ(g.validate(), "") << name;
+        EXPECT_FALSE(g.inputIds().empty()) << name;
+        EXPECT_FALSE(g.outputIds().empty()) << name;
+    }
+}
+
+TEST(Microbench, Conv1dMatchesReference)
+{
+    util::Rng rng(5);
+    const auto g = models::buildConv1d(8, rng);
+    const size_t in_width = static_cast<size_t>(
+        g.node(g.inputIds().front()).width);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<int8_t> x(in_width);
+        for (auto &v : x)
+            v = static_cast<int8_t>(rng.uniformInt(-60, 60));
+        const auto want = models::referenceConv1d(g, x);
+        const auto got = dfg::evaluateSimple(g, x);
+        EXPECT_EQ(got, want);
+    }
+}
+
+class UnrollTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UnrollTest, Conv1dUnrollLoopMetadata)
+{
+    // Table 7: unroll u runs at u/8 of line rate.
+    util::Rng rng(7);
+    const int unroll = GetParam();
+    const auto g = models::buildConv1d(unroll, rng);
+    ASSERT_TRUE(g.loop.has_value());
+    EXPECT_EQ(g.loop->iiMultiplier(), 8 / unroll);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnrollTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Zoo, AnomalyDnnLandsInPaperBand)
+{
+    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    // The paper's offline F1 is 71.1 with 58.2% detection; the synthetic
+    // workload is tuned to land in that neighborhood.
+    EXPECT_GT(dnn.quant_test.f1, 0.55);
+    EXPECT_LT(dnn.quant_test.f1, 0.88);
+    EXPECT_GT(dnn.quant_test.recall, 0.45);
+    EXPECT_LT(dnn.quant_test.recall, 0.90);
+    // Quantization does not collapse accuracy.
+    EXPECT_NEAR(dnn.quant_test.f1, dnn.float_test.f1, 0.08);
+    // Model shape: 6-12-6-3-1.
+    ASSERT_EQ(dnn.quantized.layers().size(), 4u);
+    EXPECT_EQ(dnn.quantized.layers()[0].in, 6u);
+    EXPECT_EQ(dnn.quantized.layers()[0].out, 12u);
+    EXPECT_EQ(dnn.quantized.layers().back().out, 1u);
+    EXPECT_EQ(dnn.graph.validate(), "");
+}
+
+TEST(Zoo, AnomalyDnnWeightFootprintTiny)
+{
+    // Section 3: weights are orders of magnitude smaller than flow
+    // rules (~5.6 KB for the benchmark DNN).
+    const auto dnn = models::trainAnomalyDnn(2, 1500);
+    EXPECT_LT(dnn.quantized.weightBytes(), 8192u);
+    EXPECT_GT(dnn.quantized.weightBytes(), 100u);
+}
+
+TEST(Zoo, AnomalySvmQuantizationPreserved)
+{
+    const auto svm = models::trainAnomalySvm(1, 2000);
+    EXPECT_GT(svm.float_test.f1, 0.45);
+    EXPECT_NEAR(svm.quant_test.f1, svm.float_test.f1, 0.10);
+    EXPECT_EQ(svm.lowered.graph.validate(), "");
+}
+
+TEST(Zoo, IotKmeansAccuracyBand)
+{
+    const auto km = models::trainIotKmeans(1, 2500);
+    EXPECT_GT(km.float_accuracy, 0.75);
+    EXPECT_EQ(km.lowered.graph.validate(), "");
+    EXPECT_EQ(km.model.centers().size(), 5u);
+    EXPECT_EQ(km.model.centers().front().size(), 11u);
+}
+
+TEST(Zoo, IndigoLstmStructure)
+{
+    const auto lstm = models::buildIndigoLstm(1);
+    EXPECT_EQ(lstm.model.units(), 32u);
+    EXPECT_EQ(lstm.model.outputs(), 5u);
+    EXPECT_EQ(lstm.graph.validate(), "");
+}
+
+TEST(Zoo, Table3QuantizationLossNegligible)
+{
+    // Table 3: float32 vs fix8 accuracy differs by well under a point.
+    for (const auto &kernel : models::table3Kernels()) {
+        const auto row = models::trainIotDnn(kernel, 1, 6000);
+        EXPECT_GT(row.float_accuracy, 58.0) << row.kernel;
+        EXPECT_LT(row.float_accuracy, 74.0) << row.kernel;
+        EXPECT_LT(std::fabs(row.diff()), 1.5) << row.kernel;
+    }
+}
+
+TEST(Zoo, DeterministicUnderSeed)
+{
+    const auto a = models::trainAnomalyDnn(9, 1000);
+    const auto b = models::trainAnomalyDnn(9, 1000);
+    EXPECT_DOUBLE_EQ(a.quant_test.f1, b.quant_test.f1);
+    EXPECT_DOUBLE_EQ(a.float_test.accuracy, b.float_test.accuracy);
+}

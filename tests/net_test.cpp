@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/cc_sim.hpp"
+#include "net/event.hpp"
+#include "net/features.hpp"
+#include "net/iot.hpp"
+#include "net/kdd.hpp"
+
+using namespace taurus;
+
+TEST(EventQueue, RunsInTimeOrderWithStableTies)
+{
+    net::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(2.0, [&] { order.push_back(3); });
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(1.0, [&] { order.push_back(2); }); // tie: FIFO
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+}
+
+TEST(EventQueue, ScheduleInPastThrows)
+{
+    net::EventQueue eq;
+    eq.schedule(1.0, [] {});
+    eq.runAll();
+    EXPECT_THROW(eq.schedule(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, NestedSchedulingAndRunUntil)
+{
+    net::EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] {
+        ++fired;
+        eq.scheduleIn(1.0, [&] { ++fired; });
+    });
+    eq.runUntil(1.5);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(3.0);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(Features, Log2BinBoundaries)
+{
+    EXPECT_EQ(net::log2Bin(0), 0);
+    EXPECT_EQ(net::log2Bin(1), 1);
+    EXPECT_EQ(net::log2Bin(2), 1);
+    EXPECT_EQ(net::log2Bin(3), 2);
+    EXPECT_EQ(net::log2Bin(6), 2);
+    EXPECT_EQ(net::log2Bin(7), 3);
+    EXPECT_EQ(net::log2Bin((uint64_t{1} << 40)), 31); // clamped
+}
+
+TEST(Features, FlowKeyHashDiscriminates)
+{
+    net::FlowKey a{1, 2, 3, 4, 6};
+    net::FlowKey b = a;
+    EXPECT_EQ(a.hash(), b.hash());
+    b.src_port = 5;
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Features, TrackerAccumulatesFlowState)
+{
+    net::FlowTracker t;
+    net::TracePacket p;
+    p.flow = {1, 2, 1000, 80, net::kProtoTcp};
+    p.size_bytes = 100;
+    p.time_s = 0.0;
+    p.syn = true;
+    t.observe(p);
+
+    auto f = t.dnnFeatures();
+    ASSERT_EQ(f.size(), net::kDnnFeatureCount);
+    EXPECT_FLOAT_EQ(f[0], 0); // zero duration
+    EXPECT_FLOAT_EQ(f[1], 0); // tcp
+    EXPECT_FLOAT_EQ(f[2], (float)net::log2Bin(100));
+    EXPECT_FLOAT_EQ(f[3], 1); // log2Bin(1 pkt)
+    EXPECT_FLOAT_EQ(f[4], 0); // no urgent
+    EXPECT_FLOAT_EQ(f[5], 1); // one conn in window
+
+    // Second packet 10 ms later with URG.
+    p.time_s = 0.010;
+    p.syn = false;
+    p.urg = true;
+    t.observe(p);
+    f = t.dnnFeatures();
+    EXPECT_FLOAT_EQ(f[0], (float)net::log2Bin(10)); // 10 ms
+    EXPECT_FLOAT_EQ(f[2], (float)net::log2Bin(200));
+    EXPECT_FLOAT_EQ(f[4], 1);
+}
+
+TEST(Features, SlidingWindowResets)
+{
+    net::FlowTracker t;
+    net::TracePacket p;
+    p.flow = {9, 2, 1000, 80, net::kProtoTcp};
+    for (int i = 0; i < 4; ++i) {
+        p.flow.src_port = static_cast<uint16_t>(1000 + i);
+        p.time_s = 0.01 * i;
+        t.observe(p);
+    }
+    EXPECT_FLOAT_EQ(t.dnnFeatures()[5], (float)net::log2Bin(4));
+
+    // 2 s later the window has expired: count restarts.
+    p.flow.src_port = 2000;
+    p.time_s = 2.1;
+    t.observe(p);
+    EXPECT_FLOAT_EQ(t.dnnFeatures()[5], (float)net::log2Bin(1));
+}
+
+TEST(Features, SvmFeaturesExtendDnnFeatures)
+{
+    net::FlowTracker t;
+    net::TracePacket p;
+    p.flow = {1, 2, 1000, 22, net::kProtoTcp};
+    p.syn = true;
+    t.observe(p);
+    const auto dnn = t.dnnFeatures();
+    const auto svm = t.svmFeatures();
+    ASSERT_EQ(svm.size(), net::kSvmFeatureCount);
+    for (size_t i = 0; i < dnn.size(); ++i)
+        EXPECT_FLOAT_EQ(svm[i], dnn[i]);
+    EXPECT_FLOAT_EQ(svm[7], (float)net::serviceCode(22));
+}
+
+TEST(Kdd, AnomalyFractionRespected)
+{
+    net::KddConfig cfg;
+    cfg.connections = 2000;
+    cfg.anomaly_fraction = 0.3;
+    net::KddGenerator gen(cfg, 5);
+    const auto recs = gen.sampleConnections();
+    EXPECT_EQ(recs.size(), 2000u);
+    size_t attacks = 0;
+    for (const auto &r : recs)
+        attacks += r.anomalous();
+    EXPECT_NEAR(double(attacks) / 2000.0, 0.3, 0.02);
+}
+
+TEST(Kdd, RecordsSortedAndExpandedConsistently)
+{
+    net::KddConfig cfg;
+    cfg.connections = 500;
+    net::KddGenerator gen(cfg, 6);
+    const auto recs = gen.sampleConnections();
+    EXPECT_TRUE(std::is_sorted(recs.begin(), recs.end(),
+                               [](const auto &a, const auto &b) {
+                                   return a.start_s < b.start_s;
+                               }));
+
+    const auto trace = gen.expandToPackets(recs);
+    EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end(),
+                               [](const auto &a, const auto &b) {
+                                   return a.time_s < b.time_s;
+                               }));
+    size_t expected_pkts = 0;
+    for (const auto &r : recs)
+        expected_pkts += static_cast<size_t>(std::max(1, r.fwd_pkts));
+    EXPECT_EQ(trace.size(), expected_pkts);
+
+    // Ground truth and conn ids are preserved.
+    for (const auto &p : trace) {
+        ASSERT_GE(p.conn_id, 0);
+        ASSERT_LT(static_cast<size_t>(p.conn_id), recs.size());
+        EXPECT_EQ(p.anomalous,
+                  recs[static_cast<size_t>(p.conn_id)].anomalous());
+    }
+}
+
+TEST(Kdd, AllAttackFamiliesPresent)
+{
+    net::KddConfig cfg;
+    cfg.connections = 3000;
+    net::KddGenerator gen(cfg, 7);
+    const auto recs = gen.sampleConnections();
+    int seen[5] = {};
+    for (const auto &r : recs)
+        ++seen[static_cast<int>(r.attack)];
+    for (int c = 0; c < 5; ++c)
+        EXPECT_GT(seen[c], 0) << net::toString(net::AttackClass(c));
+    // DoS dominates the attack mix (NSL-KDD-like).
+    EXPECT_GT(seen[1], seen[2]);
+    EXPECT_GT(seen[2], seen[4]);
+}
+
+TEST(Kdd, DatasetIsLearnableButNotTrivial)
+{
+    net::KddConfig cfg;
+    cfg.connections = 2000;
+    net::KddGenerator gen(cfg, 8);
+    const auto data = gen.dataset(3, false);
+    ASSERT_GT(data.size(), 500u);
+    ASSERT_EQ(data.featureCount(), net::kDnnFeatureCount);
+    const double pos =
+        double(std::count(data.y.begin(), data.y.end(), 1)) /
+        double(data.size());
+    EXPECT_GT(pos, 0.1);
+    EXPECT_LT(pos, 0.5);
+}
+
+TEST(Kdd, DeterministicUnderSeed)
+{
+    net::KddConfig cfg;
+    cfg.connections = 300;
+    net::KddGenerator g1(cfg, 99), g2(cfg, 99);
+    const auto r1 = g1.sampleConnections();
+    const auto r2 = g2.sampleConnections();
+    ASSERT_EQ(r1.size(), r2.size());
+    for (size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].flow.src_ip, r2[i].flow.src_ip);
+        EXPECT_EQ(r1[i].attack, r2[i].attack);
+        EXPECT_DOUBLE_EQ(r1[i].start_s, r2[i].start_s);
+    }
+}
+
+TEST(Iot, BinaryDatasetNearTargetBayesError)
+{
+    const auto data = net::iotBinaryDataset(4000, 3);
+    ASSERT_EQ(data.featureCount(), 4u);
+    // An oracle linear classifier on the informative dims should land
+    // near 67% (Table 3's operating point), far from both 50 and 100.
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        const int pred = data.x[i][0] - data.x[i][1] > 0 ? 1 : 0;
+        correct += (pred == data.y[i]);
+    }
+    const double acc = double(correct) / double(data.size());
+    EXPECT_GT(acc, 0.60);
+    EXPECT_LT(acc, 0.74);
+}
+
+TEST(Iot, DeviceDatasetHasFiveSeparableCategories)
+{
+    const auto data = net::iotDeviceDataset(2000, 4);
+    ASSERT_EQ(data.featureCount(), 11u);
+    EXPECT_EQ(data.classCount(), 5);
+}
+
+TEST(CcSim, AimdUtilizesBottleneck)
+{
+    net::CcConfig cfg;
+    cfg.duration_s = 5.0;
+    const auto res = net::runCcSim(cfg, net::aimdController);
+    EXPECT_GT(res.avg_throughput_mbps, 0.3 * cfg.bottleneck_mbps);
+    EXPECT_LE(res.avg_throughput_mbps, cfg.bottleneck_mbps * 1.01);
+}
+
+TEST(CcSim, FasterDecisionsTrackLoadBetter)
+{
+    // The Taurus framing (Section 5.1.2): a tighter decision interval
+    // tracks on/off cross traffic better — higher throughput and
+    // throughput/delay power for the same policy.
+    net::CcConfig slow;
+    slow.decision_interval_ms = 50.0;
+    slow.duration_s = 8.0;
+    slow.cross_traffic_fraction = 0.5;
+    slow.cross_on_s = 0.25;
+    slow.cross_off_s = 0.25;
+    net::CcConfig fast = slow;
+    fast.decision_interval_ms = 1.0;
+
+    // A delay-sensitive hold-band controller for both.
+    auto controller = [](const net::CcObservation &o) {
+        if (o.loss_fraction > 0.01 || o.queue_fraction > 0.8)
+            return net::CcAction::RateDown2x;
+        if (o.rtt_ms > 1.5 * o.min_rtt_ms)
+            return net::CcAction::RateDownAdd;
+        if (o.queue_fraction < 0.2)
+            return net::CcAction::RateUpAdd;
+        return net::CcAction::Hold;
+    };
+    const auto r_slow = net::runCcSim(slow, controller);
+    const auto r_fast = net::runCcSim(fast, controller);
+    EXPECT_GT(r_fast.avg_throughput_mbps, r_slow.avg_throughput_mbps);
+    EXPECT_GT(r_fast.power(), r_slow.power());
+}
+
+TEST(CcSim, ApplyActionClampsRate)
+{
+    EXPECT_DOUBLE_EQ(
+        net::applyCcAction(net::CcAction::RateDown2x, 1.5, 100.0), 1.0);
+    EXPECT_DOUBLE_EQ(
+        net::applyCcAction(net::CcAction::RateUp2x, 90.0, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(net::applyCcAction(net::CcAction::Hold, 42.0, 100.0),
+                     42.0);
+}
+
+TEST(CcSim, ImitationSamplesCoverActions)
+{
+    const auto samples = net::ccImitationSamples(6, 21);
+    ASSERT_GT(samples.size(), 100u);
+    int seen[net::kCcActionCount] = {};
+    for (const auto &s : samples) {
+        ASSERT_GE(s.action, 0);
+        ASSERT_LT(s.action, net::kCcActionCount);
+        ASSERT_EQ(s.features.size(), 5u);
+        ++seen[s.action];
+    }
+    int distinct = 0;
+    for (int c : seen)
+        distinct += c > 0;
+    EXPECT_GE(distinct, 3);
+}

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.hpp"
+#include "nn/kmeans.hpp"
+#include "nn/lstm.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized.hpp"
+#include "nn/rbf.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+using nn::Vector;
+
+namespace {
+
+/** Two-gaussian binary dataset with controllable separation. */
+nn::Dataset
+makeBlobs(size_t n, size_t dim, double separation, util::Rng &rng)
+{
+    nn::Dataset d;
+    for (size_t i = 0; i < n; ++i) {
+        const int label = static_cast<int>(i % 2);
+        Vector x(dim);
+        for (size_t j = 0; j < dim; ++j)
+            x[j] = static_cast<float>(
+                rng.gaussian(label ? separation : -separation, 1.0));
+        d.add(std::move(x), label);
+    }
+    return d;
+}
+
+} // namespace
+
+TEST(Matrix, MatVec)
+{
+    nn::Matrix m(2, 3);
+    m.at(0, 0) = 1; m.at(0, 1) = 2; m.at(0, 2) = 3;
+    m.at(1, 0) = 4; m.at(1, 1) = 5; m.at(1, 2) = 6;
+    const Vector y = m.matVec({1, 1, 1});
+    EXPECT_FLOAT_EQ(y[0], 6);
+    EXPECT_FLOAT_EQ(y[1], 15);
+    const Vector t = m.matVecTransposed({1, 1});
+    EXPECT_FLOAT_EQ(t[0], 5);
+    EXPECT_FLOAT_EQ(t[1], 7);
+    EXPECT_FLOAT_EQ(t[2], 9);
+}
+
+TEST(Matrix, OuterAccumulate)
+{
+    nn::Matrix m(2, 2);
+    m.addOuter({1, 2}, {3, 4}, 0.5f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(m.at(1, 1), 4.0f);
+}
+
+TEST(Activations, ScalarValues)
+{
+    EXPECT_DOUBLE_EQ(nn::activationScalar(nn::Activation::Relu, -2.0), 0.0);
+    EXPECT_DOUBLE_EQ(nn::activationScalar(nn::Activation::Relu, 2.0), 2.0);
+    EXPECT_DOUBLE_EQ(
+        nn::activationScalar(nn::Activation::LeakyRelu, -8.0), -1.0);
+    EXPECT_NEAR(nn::activationScalar(nn::Activation::Sigmoid, 0.0), 0.5,
+                1e-12);
+    EXPECT_NEAR(nn::activationScalar(nn::Activation::Tanh, 100.0), 1.0,
+                1e-9);
+}
+
+TEST(Activations, SoftmaxNormalizes)
+{
+    const Vector y =
+        nn::applyActivation(nn::Activation::Softmax, {1.0f, 2.0f, 3.0f});
+    float sum = 0;
+    for (float v : y)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(y[2], y[1]);
+    EXPECT_GT(y[1], y[0]);
+}
+
+TEST(Dataset, SplitPreservesAll)
+{
+    util::Rng rng(5);
+    nn::Dataset d = makeBlobs(100, 3, 1.0, rng);
+    const auto [a, b] = d.split(0.7, rng);
+    EXPECT_EQ(a.size() + b.size(), d.size());
+    EXPECT_EQ(a.size(), 70u);
+}
+
+TEST(Standardizer, ZeroMeanUnitVar)
+{
+    util::Rng rng(6);
+    nn::Dataset d = makeBlobs(500, 4, 2.0, rng);
+    nn::Standardizer s;
+    s.fit(d);
+    const nn::Dataset sd = s.apply(d);
+    for (size_t j = 0; j < 4; ++j) {
+        double mean = 0;
+        for (const auto &row : sd.x)
+            mean += row[j];
+        mean /= static_cast<double>(sd.size());
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+    }
+}
+
+TEST(Mlp, LearnsSeparableBlobs)
+{
+    util::Rng rng(7);
+    nn::Dataset d = makeBlobs(600, 4, 1.5, rng);
+    nn::Mlp model({4, 8, 1}, nn::Activation::Relu,
+                  nn::Loss::BinaryCrossEntropy, rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 30;
+    model.train(d, cfg, rng);
+    EXPECT_GT(model.accuracy(d), 0.95);
+}
+
+TEST(Mlp, LearnsXor)
+{
+    util::Rng rng(8);
+    nn::Dataset d;
+    for (int i = 0; i < 400; ++i) {
+        const int a = i & 1, b = (i >> 1) & 1;
+        Vector x{static_cast<float>(a + rng.gaussian(0, 0.1)),
+                 static_cast<float>(b + rng.gaussian(0, 0.1))};
+        d.add(x, a ^ b);
+    }
+    nn::Mlp model({2, 8, 8, 1}, nn::Activation::Tanh,
+                  nn::Loss::BinaryCrossEntropy, rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 200;
+    cfg.learning_rate = 0.1f;
+    model.train(d, cfg, rng);
+    EXPECT_GT(model.accuracy(d), 0.95);
+}
+
+TEST(Mlp, MulticlassSoftmax)
+{
+    util::Rng rng(9);
+    nn::Dataset d;
+    for (int i = 0; i < 900; ++i) {
+        const int label = i % 3;
+        Vector x{static_cast<float>(rng.gaussian(label * 3.0, 0.7)),
+                 static_cast<float>(rng.gaussian(-label * 2.0, 0.7))};
+        d.add(x, label);
+    }
+    nn::Mlp model({2, 10, 3}, nn::Activation::Relu, nn::Loss::CrossEntropy,
+                  rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 40;
+    model.train(d, cfg, rng);
+    EXPECT_GT(model.accuracy(d), 0.95);
+}
+
+TEST(Quantized, MatchesFloatOnEasyData)
+{
+    util::Rng rng(10);
+    nn::Dataset d = makeBlobs(800, 6, 1.5, rng);
+    nn::Mlp model({6, 12, 6, 3, 1}, nn::Activation::Relu,
+                  nn::Loss::BinaryCrossEntropy, rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 30;
+    model.train(d, cfg, rng);
+
+    const nn::QuantizedMlp q = nn::QuantizedMlp::fromFloat(model, d.x);
+    const double fa = model.accuracy(d);
+    const double qa = q.accuracy(d);
+    EXPECT_GT(fa, 0.9);
+    EXPECT_NEAR(qa, fa, 0.02);
+}
+
+TEST(Quantized, ScoreTracksFloatScore)
+{
+    util::Rng rng(12);
+    nn::Dataset d = makeBlobs(400, 6, 1.0, rng);
+    nn::Mlp model({6, 12, 6, 3, 1}, nn::Activation::Relu,
+                  nn::Loss::BinaryCrossEntropy, rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 20;
+    model.train(d, cfg, rng);
+    const nn::QuantizedMlp q = nn::QuantizedMlp::fromFloat(model, d.x);
+    double max_err = 0;
+    for (size_t i = 0; i < 100; ++i) {
+        const double f = model.forward(d.x[i])[0];
+        const double s = q.score(d.x[i]);
+        max_err = std::max(max_err, std::fabs(f - s));
+    }
+    EXPECT_LT(max_err, 0.12);
+}
+
+TEST(Quantized, LutMatchesScalarActivation)
+{
+    const auto lut =
+        nn::buildActivationLut(nn::Activation::Sigmoid, 0.05, 1.0 / 127.0);
+    ASSERT_EQ(lut.size(), 256u);
+    for (int code = -128; code <= 127; ++code) {
+        const double x = code * 0.05;
+        const double expect = 1.0 / (1.0 + std::exp(-x));
+        const double got = lut[code + 128] * (1.0 / 127.0);
+        EXPECT_NEAR(got, expect, 1.0 / 127.0);
+    }
+}
+
+TEST(Quantized, WeightBytesSmall)
+{
+    util::Rng rng(13);
+    nn::Dataset d = makeBlobs(100, 6, 1.0, rng);
+    nn::Mlp model({6, 12, 6, 3, 1}, nn::Activation::Relu,
+                  nn::Loss::BinaryCrossEntropy, rng);
+    const nn::QuantizedMlp q = nn::QuantizedMlp::fromFloat(model, d.x);
+    // 6*12+12*6+6*3+3*1 = 165 int8 weights + 22 int32 biases + sigmoid LUT.
+    EXPECT_LT(q.weightBytes(), 600u);
+    EXPECT_GT(q.weightBytes(), 165u);
+}
+
+TEST(KMeans, RecoverTightClusters)
+{
+    util::Rng rng(14);
+    std::vector<Vector> pts;
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < 100; ++i)
+            pts.push_back({static_cast<float>(rng.gaussian(c * 10, 0.3)),
+                           static_cast<float>(rng.gaussian(-c * 10, 0.3))});
+    const nn::KMeans km = nn::KMeans::fit(pts, 3, 25, rng);
+    // All points in a generated cluster should agree on assignment.
+    for (int c = 0; c < 3; ++c) {
+        const int a0 = km.predict(pts[c * 100]);
+        for (int i = 1; i < 100; ++i)
+            EXPECT_EQ(km.predict(pts[c * 100 + i]), a0);
+    }
+}
+
+TEST(KMeans, LabelAccuracyOnSeparatedClasses)
+{
+    util::Rng rng(15);
+    nn::Dataset d = makeBlobs(600, 5, 3.0, rng);
+    nn::KMeans km = nn::KMeans::fit(d.x, 2, 20, rng);
+    EXPECT_GT(km.labelAccuracy(d, d), 0.98);
+}
+
+TEST(Rbf, LearnsRadialBoundary)
+{
+    util::Rng rng(16);
+    nn::Dataset d;
+    // Anomalies inside a ring, benign outside: not linearly separable.
+    for (int i = 0; i < 600; ++i) {
+        const double angle = rng.uniform(0, 2 * M_PI);
+        const bool anomalous = i % 2 == 0;
+        const double radius =
+            anomalous ? rng.uniform(0, 1.0) : rng.uniform(2.0, 3.0);
+        d.add({static_cast<float>(radius * std::cos(angle)),
+               static_cast<float>(radius * std::sin(angle))},
+              anomalous ? 1 : 0);
+    }
+    const nn::RbfNet net = nn::RbfNet::fit(d, 8, 30, 0.1f, rng);
+    EXPECT_GT(net.accuracy(d), 0.95);
+}
+
+TEST(Lstm, StepShapesAndSoftmax)
+{
+    util::Rng rng(17);
+    nn::Lstm lstm(16, 32, 8, rng);
+    nn::LstmState state = lstm.initialState();
+    const Vector out = lstm.step(Vector(16, 0.5f), state);
+    ASSERT_EQ(out.size(), 8u);
+    float sum = 0;
+    for (float v : out)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    EXPECT_EQ(state.h.size(), 32u);
+}
+
+TEST(Lstm, StateEvolves)
+{
+    util::Rng rng(18);
+    nn::Lstm lstm(4, 8, 2, rng);
+    nn::LstmState s = lstm.initialState();
+    lstm.step({1, 0, 0, 0}, s);
+    const Vector h1 = s.h;
+    lstm.step({0, 1, 1, 0}, s);
+    bool changed = false;
+    for (size_t i = 0; i < h1.size(); ++i)
+        if (h1[i] != s.h[i])
+            changed = true;
+    EXPECT_TRUE(changed);
+}

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include "net/features.hpp"
+#include "pisa/action.hpp"
+#include "pisa/mat.hpp"
+#include "pisa/packet.hpp"
+#include "pisa/parser.hpp"
+#include "pisa/pifo.hpp"
+#include "pisa/range_match.hpp"
+#include "pisa/registers.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+using namespace taurus::pisa;
+
+TEST(Packet, TcpRoundTripThroughParser)
+{
+    net::FlowKey flow{0x0a000101, 0x0a001002, 40000, 443,
+                      net::kProtoTcp};
+    const Packet pkt = makePacket(flow, 200, kTcpSyn | kTcpUrg, 1.5);
+    const Phv phv = Parser::standard().parse(pkt);
+
+    EXPECT_EQ(phv.get(Field::EthType), kEtherTypeIpv4);
+    EXPECT_EQ(phv.get(Field::Ipv4Src), flow.src_ip);
+    EXPECT_EQ(phv.get(Field::Ipv4Dst), flow.dst_ip);
+    EXPECT_EQ(phv.get(Field::Ipv4Proto), net::kProtoTcp);
+    EXPECT_EQ(phv.get(Field::L4Sport), 40000u);
+    EXPECT_EQ(phv.get(Field::L4Dport), 443u);
+    EXPECT_EQ(phv.get(Field::TcpFlags),
+              uint32_t{kTcpSyn} | kTcpUrg);
+    EXPECT_EQ(phv.get(Field::PktLen), 200u);
+    EXPECT_EQ(phv.get(Field::TimestampUs), 1'500'000u);
+    EXPECT_TRUE(phv.valid(Field::TcpFlags));
+}
+
+TEST(Packet, UdpRoundTripThroughParser)
+{
+    net::FlowKey flow{1, 2, 5353, 53, net::kProtoUdp};
+    const Packet pkt = makePacket(flow, 80, 0, 0.0);
+    const Phv phv = Parser::standard().parse(pkt);
+    EXPECT_EQ(phv.get(Field::L4Dport), 53u);
+    EXPECT_FALSE(phv.valid(Field::TcpFlags));
+}
+
+TEST(Packet, FromTracePacketCarriesFlagsAndTruth)
+{
+    net::TracePacket tp;
+    tp.flow = {1, 2, 3, 80, net::kProtoTcp};
+    tp.syn = true;
+    tp.urg = true;
+    tp.anomalous = true;
+    tp.size_bytes = 100;
+    tp.time_s = 0.25;
+    const Packet p = fromTracePacket(tp);
+    EXPECT_TRUE(p.truth_anomalous);
+    const Phv phv = Parser::standard().parse(p);
+    EXPECT_EQ(phv.get(Field::TcpFlags) & kTcpSyn, uint32_t{kTcpSyn});
+    EXPECT_EQ(phv.get(Field::TcpFlags) & kTcpUrg, uint32_t{kTcpUrg});
+}
+
+TEST(Parser, MalformedPacketThrows)
+{
+    Packet p;
+    p.bytes.assign(10, 0); // truncated ethernet
+    EXPECT_THROW(Parser::standard().parse(p), std::out_of_range);
+}
+
+TEST(Parser, NonIpAccepted)
+{
+    net::FlowKey flow{1, 2, 3, 4, net::kProtoTcp};
+    Packet p = makePacket(flow, 100, 0, 0.0);
+    p.bytes[12] = 0x86; // ethertype -> not IPv4
+    p.bytes[13] = 0xdd;
+    const Phv phv = Parser::standard().parse(p);
+    EXPECT_FALSE(phv.valid(Field::Ipv4Src));
+}
+
+TEST(Actions, ArithmeticAndLogicOps)
+{
+    Phv phv;
+    RegisterFile regs;
+    Action a;
+    a.name = "math";
+    a.instrs = {
+        {ActionOp::Set, Field::Tmp0, Src::Imm, Field::Tmp0, 10, 0, -1,
+         Field::Tmp0},
+        {ActionOp::Add, Field::Tmp0, Src::Imm, Field::Tmp0, 5, 0, -1,
+         Field::Tmp0},
+        {ActionOp::Shl, Field::Tmp0, Src::Imm, Field::Tmp0, 2, 0, -1,
+         Field::Tmp0},
+        {ActionOp::And, Field::Tmp0, Src::Imm, Field::Tmp0, 0x3c, 0, -1,
+         Field::Tmp0},
+    };
+    execute(a, phv, regs, {});
+    EXPECT_EQ(phv.get(Field::Tmp0), ((10u + 5u) << 2) & 0x3c);
+}
+
+TEST(Actions, TestEqPredication)
+{
+    Phv phv;
+    RegisterFile regs;
+    phv.set(Field::Tmp0, 7);
+    Action a;
+    a.instrs = {{ActionOp::TestEq, Field::Tmp0, Src::Imm, Field::Tmp0, 7,
+                 0, -1, Field::Tmp0}};
+    execute(a, phv, regs, {});
+    EXPECT_EQ(phv.get(Field::Tmp0), 1u);
+    execute(a, phv, regs, {}); // 1 != 7
+    EXPECT_EQ(phv.get(Field::Tmp0), 0u);
+}
+
+TEST(Actions, RegisterOpsReadModifyWrite)
+{
+    Phv phv;
+    RegisterFile regs;
+    const int arr = regs.addArray("ctr", 16);
+    phv.set(Field::FlowHash, 3);
+
+    Action add;
+    add.instrs = {{ActionOp::RegAdd, Field::Tmp0, Src::Imm, Field::Tmp0,
+                   2, 0, arr, Field::FlowHash}};
+    execute(add, phv, regs, {});
+    execute(add, phv, regs, {});
+    EXPECT_EQ(phv.get(Field::Tmp0), 4u);
+    EXPECT_EQ(regs.array(arr).read(3), 4u);
+
+    // RegLoadSet seeds only when zero and returns the live value.
+    const int fs = regs.addArray("first_seen", 16);
+    Action seed;
+    seed.instrs = {{ActionOp::RegLoadSet, Field::Tmp1, Src::Imm,
+                    Field::Tmp0, 777, 0, fs, Field::FlowHash}};
+    execute(seed, phv, regs, {});
+    EXPECT_EQ(phv.get(Field::Tmp1), 777u);
+    seed.instrs[0].imm = 999;
+    execute(seed, phv, regs, {});
+    EXPECT_EQ(phv.get(Field::Tmp1), 777u); // already seeded
+}
+
+TEST(Actions, HashFlowMatchesSoftwareFlowKeyHash)
+{
+    net::FlowKey flow{0x01020304, 0x05060708, 1234, 80, 6};
+    const Packet pkt = makePacket(flow, 100, 0, 0.0);
+    Phv phv = Parser::standard().parse(pkt);
+    RegisterFile regs;
+    Action h;
+    h.instrs = {{ActionOp::HashFlow, Field::FlowHash, Src::Imm,
+                 Field::Tmp0, 1u << 16, 0, -1, Field::Tmp0}};
+    execute(h, phv, regs, {});
+    EXPECT_EQ(phv.get(Field::FlowHash),
+              static_cast<uint32_t>(
+                  (flow.hash() ^ (flow.hash() >> 32)) % (1u << 16)));
+}
+
+TEST(Actions, ArgIndexOutOfRangeThrows)
+{
+    Phv phv;
+    RegisterFile regs;
+    Action a;
+    a.instrs = {{ActionOp::Set, Field::Tmp0, Src::Arg, Field::Tmp0, 0, 2,
+                 -1, Field::Tmp0}};
+    EXPECT_THROW(execute(a, phv, regs, {1, 2}), std::out_of_range);
+}
+
+TEST(Mat, ExactMatchAndDefault)
+{
+    MatStage st("t", MatchKind::Exact, {Field::L4Dport});
+    Action set1;
+    set1.instrs = {{ActionOp::Set, Field::Tmp0, Src::Imm, Field::Tmp0,
+                    11, 0, -1, Field::Tmp0}};
+    Action set2;
+    set2.instrs = {{ActionOp::Set, Field::Tmp0, Src::Imm, Field::Tmp0,
+                    22, 0, -1, Field::Tmp0}};
+    const int a1 = st.addAction(std::move(set1));
+    const int a2 = st.addAction(std::move(set2));
+    st.addEntry({{80}, {}, 0, 0, a1, {}});
+    st.setDefault(a2);
+
+    Phv phv;
+    RegisterFile regs;
+    phv.set(Field::L4Dport, 80);
+    EXPECT_TRUE(st.apply(phv, regs));
+    EXPECT_EQ(phv.get(Field::Tmp0), 11u);
+    phv.set(Field::L4Dport, 81);
+    EXPECT_FALSE(st.apply(phv, regs));
+    EXPECT_EQ(phv.get(Field::Tmp0), 22u);
+    EXPECT_EQ(st.stats().hits, 1u);
+    EXPECT_EQ(st.stats().misses, 1u);
+}
+
+TEST(Mat, TernaryPriority)
+{
+    MatStage st("t", MatchKind::Ternary, {Field::Ipv4Src});
+    Action lo;
+    lo.instrs = {{ActionOp::Set, Field::Tmp0, Src::Imm, Field::Tmp0, 1, 0,
+                  -1, Field::Tmp0}};
+    Action hi;
+    hi.instrs = {{ActionOp::Set, Field::Tmp0, Src::Imm, Field::Tmp0, 2, 0,
+                  -1, Field::Tmp0}};
+    const int a_lo = st.addAction(std::move(lo));
+    const int a_hi = st.addAction(std::move(hi));
+    // Broad low-priority pattern and a specific high-priority one.
+    st.addEntry({{0x0a000000}, {0xff000000}, 0, 1, a_lo, {}});
+    st.addEntry({{0x0a000005}, {0xffffffff}, 0, 9, a_hi, {}});
+
+    Phv phv;
+    RegisterFile regs;
+    phv.set(Field::Ipv4Src, 0x0a000005);
+    st.apply(phv, regs);
+    EXPECT_EQ(phv.get(Field::Tmp0), 2u);
+    phv.set(Field::Ipv4Src, 0x0a000007);
+    st.apply(phv, regs);
+    EXPECT_EQ(phv.get(Field::Tmp0), 1u);
+}
+
+TEST(Mat, LpmLongestPrefixWins)
+{
+    MatStage st("lpm", MatchKind::Lpm, {Field::Ipv4Dst});
+    Action a8, a24;
+    a8.instrs = {{ActionOp::Set, Field::QueueId, Src::Imm, Field::Tmp0, 8,
+                  0, -1, Field::Tmp0}};
+    a24.instrs = {{ActionOp::Set, Field::QueueId, Src::Imm, Field::Tmp0,
+                   24, 0, -1, Field::Tmp0}};
+    const int id8 = st.addAction(std::move(a8));
+    const int id24 = st.addAction(std::move(a24));
+    st.addEntry({{0x0a000000}, {}, 8, 0, id8, {}});
+    st.addEntry({{0x0a000100}, {}, 24, 0, id24, {}});
+
+    Phv phv;
+    RegisterFile regs;
+    phv.set(Field::Ipv4Dst, 0x0a000123);
+    st.apply(phv, regs);
+    EXPECT_EQ(phv.get(Field::QueueId), 24u);
+    phv.set(Field::Ipv4Dst, 0x0a00ff01);
+    st.apply(phv, regs);
+    EXPECT_EQ(phv.get(Field::QueueId), 8u);
+}
+
+TEST(Mat, VliwBudgetEnforced)
+{
+    MatStage st("fat", MatchKind::Exact, {Field::Tmp0});
+    Action big;
+    for (size_t i = 0; i <= kMaxOpsPerStage; ++i)
+        big.instrs.push_back({ActionOp::Set, Field::Tmp1, Src::Imm,
+                              Field::Tmp0, 0, 0, -1, Field::Tmp0});
+    st.addAction(std::move(big));
+    EXPECT_NE(st.validate().find("VLIW"), std::string::npos);
+}
+
+TEST(Mat, EntryShapeValidation)
+{
+    MatStage st("t", MatchKind::Exact, {Field::Tmp0, Field::Tmp1});
+    Action a;
+    const int id = st.addAction(std::move(a));
+    EXPECT_THROW(st.addEntry({{1}, {}, 0, 0, id, {}}),
+                 std::invalid_argument);
+    EXPECT_THROW(st.addEntry({{1, 2}, {}, 0, 0, 7, {}}),
+                 std::invalid_argument);
+}
+
+TEST(RangeMatch, CoversExactlyTheRange)
+{
+    util::Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        const uint64_t lo = static_cast<uint64_t>(rng.uniformInt(0, 5000));
+        const uint64_t hi =
+            lo + static_cast<uint64_t>(rng.uniformInt(0, 5000));
+        const auto pats = pisa::rangeToPrefixes(lo, hi);
+        // Check coverage at boundaries and random probes.
+        for (uint64_t probe :
+             {lo, hi, lo + (hi - lo) / 2, lo ? lo - 1 : hi + 1, hi + 1}) {
+            bool matched = false;
+            for (const auto &[v, m] : pats)
+                matched |= ((static_cast<uint32_t>(probe) & m) == (v & m));
+            const bool inside = probe >= lo && probe <= hi;
+            EXPECT_EQ(matched, inside)
+                << "lo=" << lo << " hi=" << hi << " probe=" << probe;
+        }
+        EXPECT_LE(pats.size(), 64u);
+    }
+}
+
+TEST(Pifo, MinRankFirstWithFifoTieBreak)
+{
+    Pifo q(16);
+    Phv phv;
+    q.push(5, {}, phv);
+    q.push(1, {}, phv);
+    q.push(5, {}, phv);
+    EXPECT_EQ(q.pop().rank, 1u);
+    const auto first5 = q.pop();
+    const auto second5 = q.pop();
+    EXPECT_LT(first5.seq, second5.seq);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Pifo, CapacityDrops)
+{
+    Pifo q(2);
+    Phv phv;
+    EXPECT_TRUE(q.push(1, {}, phv));
+    EXPECT_TRUE(q.push(2, {}, phv));
+    EXPECT_FALSE(q.push(3, {}, phv));
+    EXPECT_EQ(q.drops(), 1u);
+    EXPECT_EQ(q.maxOccupancy(), 2u);
+}
+
+TEST(Pifo, AnomalyLastPolicyDeprioritizes)
+{
+    Phv benign, anomalous;
+    benign.set(Field::Decision, 0);
+    anomalous.set(Field::Decision, 1);
+    const uint64_t r_anom = Pifo::rankOf(SchedPolicy::AnomalyLast,
+                                         anomalous, 0);
+    const uint64_t r_benign = Pifo::rankOf(SchedPolicy::AnomalyLast,
+                                           benign, 1000);
+    EXPECT_GT(r_anom, r_benign);
+}
+
+TEST(Registers, WrapAndAccounting)
+{
+    RegisterFile rf;
+    const int a = rf.addArray("a", 8);
+    rf.array(a).write(10, 42); // wraps to index 2
+    EXPECT_EQ(rf.array(a).read(2), 42u);
+    EXPECT_EQ(rf.totalBits(), 8u * 32u);
+    rf.clearAll();
+    EXPECT_EQ(rf.array(a).read(2), 0u);
+}

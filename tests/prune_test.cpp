@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "compiler/lower.hpp"
+#include "compiler/report.hpp"
+#include "models/zoo.hpp"
+#include "nn/prune.hpp"
+#include "nn/quantized.hpp"
+#include "dfg/eval.hpp"
+
+using namespace taurus;
+
+namespace {
+
+const models::AnomalyDnn &
+dnn()
+{
+    static const models::AnomalyDnn model = models::trainAnomalyDnn(7,
+                                                                    2500);
+    return model;
+}
+
+} // namespace
+
+TEST(Prune, ShapesShrinkAndIoPreserved)
+{
+    util::Rng rng(9);
+    nn::PruneConfig cfg;
+    cfg.keep_fraction = 0.5;
+    cfg.finetune_epochs = 0;
+    const nn::Mlp pruned = nn::pruneUnits(dnn().model, dnn().train, cfg,
+                                          rng);
+
+    ASSERT_EQ(pruned.layers().size(), dnn().model.layers().size());
+    EXPECT_EQ(pruned.inputSize(), dnn().model.inputSize());
+    EXPECT_EQ(pruned.outputSize(), dnn().model.outputSize());
+    for (size_t li = 0; li + 1 < pruned.layers().size(); ++li)
+        EXPECT_LT(pruned.layers()[li].w.rows(),
+                  dnn().model.layers()[li].w.rows());
+}
+
+TEST(Prune, ImportanceRanksUnits)
+{
+    const auto importance = nn::unitImportance(dnn().model, 0);
+    ASSERT_EQ(importance.size(), 12u);
+    for (float v : importance)
+        EXPECT_GE(v, 0.0f);
+    // Not all units are equal after training.
+    const auto [mn, mx] =
+        std::minmax_element(importance.begin(), importance.end());
+    EXPECT_LT(*mn, *mx);
+}
+
+TEST(Prune, KeepAllIsLossless)
+{
+    util::Rng rng(9);
+    nn::PruneConfig cfg;
+    cfg.keep_fraction = 1.0;
+    cfg.finetune_epochs = 0;
+    const nn::Mlp same = nn::pruneUnits(dnn().model, dnn().train, cfg,
+                                        rng);
+    // Identical predictions everywhere on the test set.
+    for (size_t i = 0; i < dnn().test.size(); ++i)
+        EXPECT_EQ(same.predict(dnn().test.x[i]),
+                  dnn().model.predict(dnn().test.x[i]));
+}
+
+TEST(Prune, FineTunedHalfModelKeepsAccuracy)
+{
+    util::Rng rng(9);
+    nn::PruneConfig cfg;
+    cfg.keep_fraction = 0.5;
+    cfg.finetune_epochs = 10;
+    cfg.finetune.learning_rate = 0.02f;
+    const nn::Mlp pruned = nn::pruneUnits(dnn().model, dnn().train, cfg,
+                                          rng);
+
+    const auto base = models::scoreBinary(
+        [&](const nn::Vector &x) { return dnn().model.predict(x); },
+        dnn().test);
+    const auto small = models::scoreBinary(
+        [&](const nn::Vector &x) { return pruned.predict(x); },
+        dnn().test);
+    EXPECT_GT(small.f1, base.f1 - 0.10);
+}
+
+TEST(Prune, SmallerModelUsesFewerCus)
+{
+    util::Rng rng(9);
+    nn::PruneConfig cfg;
+    cfg.keep_fraction = 0.4;
+    cfg.finetune_epochs = 5;
+    const nn::Mlp pruned = nn::pruneUnits(dnn().model, dnn().train, cfg,
+                                          rng);
+
+    std::vector<nn::Vector> calib(dnn().train.x.begin(),
+                                  dnn().train.x.begin() + 128);
+    const auto q_base =
+        nn::QuantizedMlp::fromFloat(dnn().model, calib);
+    const auto q_small = nn::QuantizedMlp::fromFloat(pruned, calib);
+    const auto rep_base = compiler::analyze(
+        compiler::compile(compiler::lowerMlp(q_base)));
+    const auto rep_small = compiler::analyze(
+        compiler::compile(compiler::lowerMlp(q_small)));
+
+    EXPECT_LT(rep_small.cus, rep_base.cus);
+    EXPECT_LT(rep_small.area_mm2, rep_base.area_mm2);
+    EXPECT_LE(rep_small.latency_ns, rep_base.latency_ns);
+    EXPECT_LT(q_small.weightBytes(), q_base.weightBytes());
+}
+
+class KeepFractionTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(KeepFractionTest, AlwaysProducesValidLowerableModel)
+{
+    util::Rng rng(11);
+    nn::PruneConfig cfg;
+    cfg.keep_fraction = GetParam();
+    cfg.finetune_epochs = 2;
+    const nn::Mlp pruned = nn::pruneUnits(dnn().model, dnn().train, cfg,
+                                          rng);
+    std::vector<nn::Vector> calib(dnn().train.x.begin(),
+                                  dnn().train.x.begin() + 64);
+    const auto qm = nn::QuantizedMlp::fromFloat(pruned, calib);
+    const auto g = compiler::lowerMlp(qm, "pruned");
+    EXPECT_EQ(g.validate(), "");
+    // Bit-exact against its own quantized reference.
+    for (int t = 0; t < 20; ++t) {
+        std::vector<int8_t> q(6);
+        for (auto &v : q)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        EXPECT_EQ(dfg::evaluateSimple(g, q), qm.forwardInt(q));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, KeepFractionTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));

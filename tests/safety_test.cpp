@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "taurus/safety.hpp"
+#include "taurus/switch.hpp"
+
+using namespace taurus;
+
+namespace {
+
+const models::AnomalyDnn &
+dnn()
+{
+    static const models::AnomalyDnn model = models::trainAnomalyDnn(3,
+                                                                    2500);
+    return model;
+}
+
+std::vector<net::TracePacket>
+trace()
+{
+    net::KddConfig cfg;
+    cfg.connections = 3000;
+    net::KddGenerator gen(cfg, 71);
+    return gen.expandToPackets(gen.sampleConnections());
+}
+
+} // namespace
+
+TEST(Safety, EmptyPolicyIsFree)
+{
+    core::SafetyPolicy policy;
+    EXPECT_TRUE(policy.empty());
+    pisa::RegisterFile regs;
+    const auto compiled = core::compileSafety(policy, regs);
+    EXPECT_EQ(compiled.stages.stageCount(), 0u);
+    EXPECT_EQ(regs.arrayCount(), 0u);
+}
+
+TEST(Safety, ProtectedPrefixNeverFlagged)
+{
+    // Guard the whole server block: no matter what the model says,
+    // traffic to it must not be flagged.
+    core::SwitchConfig cfg;
+    core::ProtectedPrefix server_block;
+    server_block.prefix = 0x0a001000;
+    server_block.length = 24;
+    cfg.safety.protected_dsts = {server_block};
+
+    core::TaurusSwitch sw(cfg);
+    sw.installAnomalyModel(dnn());
+
+    uint64_t flagged_protected = 0, overrides = 0;
+    for (const auto &pkt : trace()) {
+        const auto d = sw.process(pkt);
+        if ((pkt.flow.dst_ip & 0xffffff00u) == 0x0a001000u &&
+            d.flagged)
+            ++flagged_protected;
+    }
+    overrides = sw.stats().safety_overrides;
+    EXPECT_EQ(flagged_protected, 0u);
+    // The guard actually fired (the model does flag such traffic).
+    EXPECT_GT(overrides, 0u);
+}
+
+TEST(Safety, ProtectedServiceNeverFlagged)
+{
+    core::SwitchConfig cfg;
+    cfg.safety.protected_services = {53}; // DNS must stay live
+
+    core::TaurusSwitch sw(cfg);
+    sw.installAnomalyModel(dnn());
+
+    uint64_t flagged_dns = 0;
+    for (const auto &pkt : trace()) {
+        const auto d = sw.process(pkt);
+        if (pkt.flow.dst_port == 53 && d.flagged)
+            ++flagged_dns;
+    }
+    EXPECT_EQ(flagged_dns, 0u);
+}
+
+TEST(Safety, FlagBudgetBoundsDropsPerWindow)
+{
+    core::SwitchConfig cfg;
+    cfg.safety.max_flagged_per_window = 10;
+    cfg.safety.window_s = 0.01;
+
+    core::TaurusSwitch sw(cfg);
+    sw.installAnomalyModel(dnn());
+
+    // Count flags per 10 ms window; none may exceed the budget.
+    uint64_t window_flags = 0;
+    double window_start = 0.0;
+    uint64_t worst = 0;
+    for (const auto &pkt : trace()) {
+        if (pkt.time_s - window_start > 0.0101) {
+            worst = std::max(worst, window_flags);
+            window_flags = 0;
+            window_start = pkt.time_s;
+        }
+        const auto d = sw.process(pkt);
+        window_flags += d.flagged;
+    }
+    worst = std::max(worst, window_flags);
+    // Windows are register-aligned rather than scorer-aligned, so allow
+    // one window's worth of slack across the boundary.
+    EXPECT_LE(worst, 2u * cfg.safety.max_flagged_per_window);
+    EXPECT_GT(sw.stats().safety_overrides, 0u);
+}
+
+TEST(Safety, GuardsOnlyEverClearDecisions)
+{
+    // With and without the policy, the flagged set with safety on must
+    // be a subset of the flagged set with safety off.
+    core::TaurusSwitch plain;
+    plain.installAnomalyModel(dnn());
+
+    core::SwitchConfig cfg;
+    cfg.safety.protected_services = {22, 53};
+    core::ProtectedPrefix p;
+    p.prefix = 0x0a001000;
+    p.length = 28;
+    cfg.safety.protected_dsts = {p};
+    core::TaurusSwitch guarded(cfg);
+    guarded.installAnomalyModel(dnn());
+
+    for (const auto &pkt : trace()) {
+        const bool f_plain = plain.process(pkt).flagged;
+        const bool f_guarded = guarded.process(pkt).flagged;
+        if (f_guarded)
+            EXPECT_TRUE(f_plain);
+    }
+}
+
+TEST(Safety, LatencyAccountsForGuardStages)
+{
+    core::SwitchConfig cfg;
+    cfg.safety.protected_services = {53};
+    cfg.safety.max_flagged_per_window = 100;
+    core::TaurusSwitch guarded(cfg);
+    guarded.installAnomalyModel(dnn());
+
+    core::TaurusSwitch plain;
+    plain.installAnomalyModel(dnn());
+
+    // 1 protected stage + 4 budget stages at 12.5 ns each.
+    EXPECT_NEAR(guarded.mlPathLatencyNs() - plain.mlPathLatencyNs(),
+                5 * 12.5, 1e-9);
+}

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace tu = taurus::util;
+
+TEST(Rng, Deterministic)
+{
+    tu::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitIndependent)
+{
+    tu::Rng a(42);
+    tu::Rng c = a.split();
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformBounds)
+{
+    tu::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    tu::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    tu::Rng rng(7);
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 30000; ++i)
+        ++counts[rng.categorical({1.0, 2.0, 7.0})];
+    EXPECT_LT(counts[0], counts[1]);
+    EXPECT_LT(counts[1], counts[2]);
+    EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    tu::Rng rng(3);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto copy = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, copy);
+}
+
+TEST(ConfusionMatrix, PerfectClassifier)
+{
+    tu::ConfusionMatrix cm;
+    for (int i = 0; i < 10; ++i) {
+        cm.record(true, true);
+        cm.record(false, false);
+    }
+    EXPECT_DOUBLE_EQ(cm.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrix, KnownValues)
+{
+    tu::ConfusionMatrix cm;
+    // tp=6, fp=2, fn=4, tn=8.
+    for (int i = 0; i < 6; ++i) cm.record(true, true);
+    for (int i = 0; i < 2; ++i) cm.record(true, false);
+    for (int i = 0; i < 4; ++i) cm.record(false, true);
+    for (int i = 0; i < 8; ++i) cm.record(false, false);
+    EXPECT_DOUBLE_EQ(cm.precision(), 0.75);
+    EXPECT_DOUBLE_EQ(cm.recall(), 0.6);
+    EXPECT_NEAR(cm.f1(), 2 * 0.75 * 0.6 / 1.35, 1e-12);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 14.0 / 20.0);
+    EXPECT_EQ(cm.positives(), 10u);
+}
+
+TEST(ConfusionMatrix, MergeAddsCounts)
+{
+    tu::ConfusionMatrix a, b;
+    a.record(true, true);
+    b.record(false, true);
+    a.merge(b);
+    EXPECT_EQ(a.tp(), 1u);
+    EXPECT_EQ(a.fn(), 1u);
+    EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(ConfusionMatrix, EmptyIsSafe)
+{
+    tu::ConfusionMatrix cm;
+    EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.precision(), 1.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    tu::RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(tu::percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(tu::percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(tu::percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(tu::percentile(v, 25), 2.0);
+}
+
+TEST(MathHelpers, CeilDivLog2)
+{
+    EXPECT_EQ(tu::ceilDiv(10, 3), 4);
+    EXPECT_EQ(tu::ceilDiv(9, 3), 3);
+    EXPECT_EQ(tu::nextPow2(5), 8u);
+    EXPECT_EQ(tu::nextPow2(8), 8u);
+    EXPECT_EQ(tu::log2Ceil(16), 4);
+    EXPECT_EQ(tu::log2Ceil(17), 5);
+    EXPECT_EQ(tu::log2Ceil(1), 0);
+    EXPECT_EQ(tu::log2Floor(17), 4);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    tu::TablePrinter t({"App", "Latency"});
+    t.addRow({"DNN", tu::TablePrinter::num(221.0, 1)});
+    t.addRow({"KMeans", "61.0"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("DNN"), std::string::npos);
+    EXPECT_NE(s.find("221.0"), std::string::npos);
+    EXPECT_NE(s.find("KMeans"), std::string::npos);
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    std::ostringstream os;
+    tu::CsvWriter csv(os);
+    csv.row({"t", "f1"});
+    csv.row({"0.5", "70.1"});
+    EXPECT_EQ(os.str(), "t,f1\n0.5,70.1\n");
+}
