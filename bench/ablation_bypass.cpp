@@ -5,27 +5,28 @@
  * packet crosses the MapReduce block and inherits its latency.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "models/zoo.hpp"
 #include "net/kdd.hpp"
 #include "taurus/experiment.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(ablation_bypass, "Figure 6 ablation",
+             "non-ML traffic bypass of the MapReduce block")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Ablation: non-ML traffic bypass (Figure 6)\n\n";
+    os << "Ablation: non-ML traffic bypass (Figure 6)\n\n";
 
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(3000, 800));
 
     // A mixed trace: half the flows are non-IP/ICMP control traffic
     // that needs no ML decision.
     net::KddConfig cfg;
-    cfg.connections = 6000;
+    cfg.connections = ctx.size(6000, 1000);
     net::KddGenerator gen(cfg, 17);
     auto trace = gen.expandToPackets(gen.sampleConnections());
     for (size_t i = 0; i < trace.size(); i += 2)
@@ -45,16 +46,20 @@ main()
             if (pkt.flow.proto == net::kProtoIcmp)
                 non_ml.add(d.latency_ns);
         }
+        const std::string key =
+            bypass ? "bypass_enabled" : "bypass_disabled";
+        ctx.metric(key + "_ml_path_ns", sw.mlPathLatencyNs());
+        ctx.metric(key + "_bypass_path_ns", sw.bypassPathLatencyNs());
+        ctx.metric(key + "_mean_non_ml_ns", non_ml.mean());
         t.addRow({bypass ? "bypass enabled" : "bypass disabled",
                   TablePrinter::num(sw.mlPathLatencyNs(), 0),
                   TablePrinter::num(sw.bypassPathLatencyNs(), 0),
                   TablePrinter::num(non_ml.mean(), 0)});
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\n\"Packets that do not need an ML decision can bypass "
-                 "the MapReduce block, incurring no additional "
-                 "latency.\" Disabling the bypass charges every packet "
-                 "the full block latency.\n";
-    return 0;
+    os << "\n\"Packets that do not need an ML decision can bypass the "
+          "MapReduce block, incurring no additional latency.\" "
+          "Disabling the bypass charges every packet the full block "
+          "latency.\n";
 }

@@ -6,28 +6,32 @@
  * "minimal loss" claim by showing where it would break.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "models/zoo.hpp"
 #include "net/kdd.hpp"
 #include "nn/quantized.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(ablation_calibration, "Table 3 ablation",
+             "calibration-set size for post-training quantization")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Ablation: calibration-set size for post-training "
-                 "quantization (anomaly DNN)\n\n";
+    os << "Ablation: calibration-set size for post-training "
+          "quantization (anomaly DNN)\n\n";
 
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(3000, 800));
 
     TablePrinter t({"Calibration samples", "Quantized F1 x100",
                     "Delta vs float"});
     const double float_f1 = dnn.float_test.f1 * 100.0;
-    for (size_t n : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    const std::vector<size_t> sizes =
+        ctx.smoke() ? std::vector<size_t>{1, 16, 256}
+                    : std::vector<size_t>{1, 4, 16, 64, 256, 1024};
+    for (size_t n : sizes) {
         std::vector<nn::Vector> cal;
         for (size_t i = 0; i < n && i < dnn.train.size(); ++i)
             cal.push_back(dnn.train.x[i]);
@@ -35,15 +39,17 @@ main()
         const auto m = models::scoreBinary(
             [&](const nn::Vector &x) { return qm.predict(x); },
             dnn.test);
+        ctx.metric("cal" + std::to_string(n) + "_f1_x100",
+                   m.f1 * 100.0);
         t.addRow({std::to_string(n),
                   TablePrinter::num(m.f1 * 100.0, 1),
                   TablePrinter::num(m.f1 * 100.0 - float_f1, 1)});
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nFloat32 reference F1 x100: "
-              << TablePrinter::num(float_f1, 1)
-              << ". A few dozen representative samples suffice for "
-                 "full-accuracy int8 deployment.\n";
-    return 0;
+    ctx.metric("float_f1_x100", float_f1);
+    os << "\nFloat32 reference F1 x100: "
+       << TablePrinter::num(float_f1, 1)
+       << ". A few dozen representative samples suffice for "
+          "full-accuracy int8 deployment.\n";
 }

@@ -6,24 +6,26 @@
  * model latency sensitivity.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "compiler/compile.hpp"
 #include "compiler/report.hpp"
 #include "models/zoo.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(ablation_fifo_depth, "Table 6 ablation",
+             "interface FIFO depth and synchronization-cost sweep")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Ablation: interface FIFO depth and per-movement "
-                 "synchronization cost\n\n";
+    os << "Ablation: interface FIFO depth and per-movement "
+          "synchronization cost\n\n";
 
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
-    const auto km = models::trainIotKmeans(1, 3000);
+    const size_t conns = ctx.size(3000, 800);
+    const auto dnn = models::trainAnomalyDnn(1, conns);
+    const auto km = models::trainIotKmeans(1, conns);
 
     TablePrinter t({"FIFO depth", "Route sync", "KMeans ns", "DNN ns"});
     for (int fifo : {2, 4, 8}) {
@@ -36,16 +38,20 @@ main()
                 compiler::compile(km.lowered.graph, opts));
             const auto r_dnn =
                 compiler::analyze(compiler::compile(dnn.graph, opts));
+            if (fifo == 4 && sync == 4) {
+                ctx.metric("default_kmeans_latency_ns",
+                           r_km.latency_ns);
+                ctx.metric("default_dnn_latency_ns", r_dnn.latency_ns);
+            }
             t.addRow({std::to_string(fifo), std::to_string(sync),
                       TablePrinter::num(r_km.latency_ns, 0),
                       TablePrinter::num(r_dnn.latency_ns, 0)});
         }
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nThe deep model amplifies the per-movement cost "
-                 "(more producer->consumer edges on the critical path); "
-                 "the interface FIFOs are a constant.\nThe calibrated "
-                 "defaults (depth 4, sync 4) reproduce Table 6.\n";
-    return 0;
+    os << "\nThe deep model amplifies the per-movement cost (more "
+          "producer->consumer edges on the critical path); the "
+          "interface FIFOs are a constant.\nThe calibrated defaults "
+          "(depth 4, sync 4) reproduce Table 6.\n";
 }

@@ -4,31 +4,33 @@
  * block. "With such small networks, Taurus can run multiple models
  * simultaneously (e.g., one model for intrusion detection and another
  * for traffic optimization)." Merges the anomaly DNN with the IoT
- * KMeans classifier (and a pruned DNN variant), compiles the union onto
- * a single 12x10 grid, and verifies both halves keep their results and
- * line rate.
+ * KMeans classifier, compiles the union onto a single 12x10 grid, and
+ * verifies both halves keep their results and line rate.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "compiler/compile.hpp"
 #include "compiler/report.hpp"
 #include "dfg/eval.hpp"
 #include "hw/cycle_sim.hpp"
 #include "models/zoo.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(ablation_multimodel, "Section 6 extension",
+             "concurrent models sharing one MapReduce block")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Extension: concurrent models on one MapReduce block "
-                 "(Section 6)\n\n";
+    os << "Extension: concurrent models on one MapReduce block "
+          "(Section 6)\n\n";
 
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
-    const auto km = models::trainIotKmeans(1, 3000);
+    const size_t conns = ctx.size(3000, 800);
+    const auto dnn = models::trainAnomalyDnn(1, conns);
+    const auto km = models::trainIotKmeans(1, conns);
 
     const dfg::Graph both =
         dfg::merge({&dnn.graph, &km.lowered.graph}, "dnn+kmeans");
@@ -51,14 +53,19 @@ main()
     row("anomaly DNN alone", rep_dnn);
     row("IoT KMeans alone", rep_km);
     row("merged (concurrent)", rep);
-    t.print(std::cout);
+    t.print(os);
+    ctx.metric("merged_cus", int64_t{rep.cus});
+    ctx.metric("merged_area_mm2", rep.area_mm2);
+    ctx.metric("merged_latency_ns", rep.latency_ns);
+    ctx.metric("merged_gpktps", rep.gpktps);
 
     // Functional check: the merged program computes exactly what the
     // parts compute, per packet.
     hw::CycleSim sim(prog);
     util::Rng rng(3);
+    const int trials = static_cast<int>(ctx.size(200, 20));
     int checked = 0, matched = 0;
-    for (int trial = 0; trial < 200; ++trial) {
+    for (int trial = 0; trial < trials; ++trial) {
         std::vector<std::vector<int8_t>> inputs;
         for (int id : both.inputIds()) {
             std::vector<int8_t> v(
@@ -75,10 +82,11 @@ main()
             ok = want[i].lanes == got[i].lanes;
         matched += ok;
     }
-    std::cout << "\nBit-exactness of the merged program: " << matched
-              << "/" << checked << " random packets\n";
-    std::cout << "Grid capacity: " << prog.spec.cuCount() << " CUs; the "
-              << "pair uses " << rep.cus << " — both models run "
-              << "concurrently at line rate with room to spare.\n";
-    return 0;
+    ctx.metric("bit_exact_trials", checked);
+    ctx.metric("bit_exact_matches", matched);
+    os << "\nBit-exactness of the merged program: " << matched << "/"
+       << checked << " random packets\n";
+    os << "Grid capacity: " << prog.spec.cuCount() << " CUs; the pair "
+       << "uses " << rep.cus << " — both models run concurrently at "
+       << "line rate with room to spare.\n";
 }

@@ -5,25 +5,27 @@
  * lanes; without it, every neuron takes its own CU.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "compiler/compile.hpp"
 #include "compiler/report.hpp"
 #include "models/zoo.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(ablation_packing, "Figure 8 ablation",
+             "dot-product lane packing on/off across the model zoo")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Ablation: dot-product lane packing (sparse stage-3 "
-                 "reductions)\n\n";
+    os << "Ablation: dot-product lane packing (sparse stage-3 "
+          "reductions)\n\n";
 
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
-    const auto svm = models::trainAnomalySvm(1, 3000);
-    const auto km = models::trainIotKmeans(1, 3000);
+    const size_t conns = ctx.size(3000, 800);
+    const auto dnn = models::trainAnomalyDnn(1, conns);
+    const auto svm = models::trainAnomalySvm(1, conns);
+    const auto km = models::trainIotKmeans(1, conns);
     const auto lstm = models::buildIndigoLstm(1);
 
     struct App
@@ -45,19 +47,20 @@ main()
             compiler::analyze(compiler::compile(*app.graph, on));
         const auto rep_off =
             compiler::analyze(compiler::compile(*app.graph, off));
+        const double saving_pct =
+            (1.0 - rep_on.area_mm2 / rep_off.area_mm2) * 100.0;
+        ctx.metric(bench::slug(app.name) + "_packed_cus", int64_t{rep_on.cus});
+        ctx.metric(bench::slug(app.name) + "_unpacked_cus", int64_t{rep_off.cus});
+        ctx.metric(bench::slug(app.name) + "_area_saving_pct", saving_pct);
         t.addRow({app.name, TablePrinter::num(int64_t{rep_on.cus}),
                   TablePrinter::num(int64_t{rep_off.cus}),
                   TablePrinter::num(rep_on.area_mm2, 2),
                   TablePrinter::num(rep_off.area_mm2, 2),
-                  TablePrinter::num((1.0 - rep_on.area_mm2 /
-                                               rep_off.area_mm2) *
-                                        100.0,
-                                    0)});
+                  TablePrinter::num(saving_pct, 0)});
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nPacking matters most for layers of narrow neurons "
-                 "(the DNN's 6-input rows); wide dot products already "
-                 "fill their CU.\n";
-    return 0;
+    os << "\nPacking matters most for layers of narrow neurons (the "
+          "DNN's 6-input rows); wide dot products already fill their "
+          "CU.\n";
 }

@@ -7,35 +7,43 @@
  * optimization)". Reports the accuracy/area/latency tradeoff.
  */
 
-#include <iostream>
+#include "harness.hpp"
+
+#include <algorithm>
 
 #include "compiler/compile.hpp"
 #include "compiler/lower.hpp"
 #include "compiler/report.hpp"
 #include "models/zoo.hpp"
 #include "nn/prune.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(ablation_pruning, "Section 6 extension",
+             "structured pruning of the anomaly DNN")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Extension: structured pruning of the anomaly DNN "
-                 "(Section 6, Shrinking Models)\n\n";
+    os << "Extension: structured pruning of the anomaly DNN (Section "
+          "6, Shrinking Models)\n\n";
 
-    const auto dnn = models::trainAnomalyDnn(1, 4000);
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(4000, 800));
     util::Rng rng(21);
+
+    const std::vector<double> keeps =
+        ctx.smoke() ? std::vector<double>{1.0, 0.5}
+                    : std::vector<double>{1.0, 0.75, 0.5, 0.34};
 
     TablePrinter t({"Keep fraction", "Hidden units", "F1 x100", "CUs",
                     "Area (mm^2)", "Lat (ns)", "Weight bytes"});
-    for (double keep : {1.0, 0.75, 0.5, 0.34}) {
+    for (double keep : keeps) {
         nn::Mlp model = dnn.model;
         if (keep < 1.0) {
             nn::PruneConfig pc;
             pc.keep_fraction = keep;
-            pc.finetune_epochs = 10;
+            pc.finetune_epochs = ctx.smoke() ? 3 : 10;
             pc.finetune.learning_rate = 0.02f;
             model = nn::pruneUnits(model, dnn.train, pc, rng);
         }
@@ -54,6 +62,11 @@ main()
         for (size_t li = 0; li + 1 < model.layers().size(); ++li)
             units += (li ? "-" : "") +
                      std::to_string(model.layers()[li].w.rows());
+        const std::string key =
+            "keep" + std::to_string(static_cast<int>(keep * 100));
+        ctx.metric(key + "_f1_x100", m.f1 * 100.0);
+        ctx.metric(key + "_cus", int64_t{rep.cus});
+        ctx.metric(key + "_area_mm2", rep.area_mm2);
         t.addRow({TablePrinter::num(keep), units,
                   TablePrinter::num(m.f1 * 100.0, 1),
                   TablePrinter::num(int64_t{rep.cus}),
@@ -61,10 +74,9 @@ main()
                   TablePrinter::num(rep.latency_ns, 0),
                   std::to_string(qm.weightBytes())});
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nHalving the hidden units costs little F1 after "
-                 "fine-tuning while shrinking the grid footprint — "
-                 "room for a second concurrent model.\n";
-    return 0;
+    os << "\nHalving the hidden units costs little F1 after "
+          "fine-tuning while shrinking the grid footprint — room for a "
+          "second concurrent model.\n";
 }

@@ -8,21 +8,22 @@
  * sigmoid/tanh) span several CUs.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "area/activation_catalog.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(fig10_activations, "Figure 10",
+             "line-rate activation-function area vs CU stage count")
 {
     using taurus::area::activationCatalog;
     using taurus::util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Figure 10: line-rate activation-function area (mm^2) "
-                 "vs CU stage count, fix8 x 16 lanes\n"
-                 "Paper at 4 stages: ReLU 0.04, TanhExp 0.26, SigmoidExp "
-                 "0.31, TanhPW 0.13, SigmoidPW 0.17, ActLUT 0.12\n\n";
+    os << "Figure 10: line-rate activation-function area (mm^2) vs CU "
+          "stage count, fix8 x 16 lanes\n"
+          "Paper at 4 stages: ReLU 0.04, TanhExp 0.26, SigmoidExp "
+          "0.31, TanhPW 0.13, SigmoidPW 0.17, ActLUT 0.12\n\n";
 
     TablePrinter t({"Activation", "2 stages", "3 stages", "4 stages",
                     "6 stages"});
@@ -31,13 +32,14 @@ main()
         for (int stages : {2, 3, 4, 6})
             row.push_back(
                 TablePrinter::num(impl.areaMm2(16, stages, 8), 3));
+        ctx.metric(taurus::bench::slug(impl.name) + "_4stage_area_mm2",
+                   impl.areaMm2(16, 4, 8));
         t.addRow(row);
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nReading: piecewise approximations beat Taylor "
-                 "series; ReLU-family needs a single CU at any depth;\n"
-                 "deeper CUs shrink the multi-CU functions, which is why "
-                 "the final design uses four stages.\n";
-    return 0;
+    os << "\nReading: piecewise approximations beat Taylor series; "
+          "ReLU-family needs a single CU at any depth;\ndeeper CUs "
+          "shrink the multi-CU functions, which is why the final "
+          "design uses four stages.\n";
 }

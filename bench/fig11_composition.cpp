@@ -10,24 +10,26 @@
  * predictive of whole models (Table 5).
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "compiler/compile.hpp"
 #include "compiler/report.hpp"
 #include "models/zoo.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(fig11_composition, "Figure 11",
+             "the anomaly DNN as composed microbenchmark blocks")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    const size_t conns = ctx.size(3000, 800);
+    const auto dnn = models::trainAnomalyDnn(1, conns);
     const auto rep = compiler::analyze(compiler::compile(dnn.graph));
 
-    std::cout << "Figure 11: the anomaly DNN as composed perceptron / "
-                 "activation blocks\n\n";
+    os << "Figure 11: the anomaly DNN as composed perceptron / "
+          "activation blocks\n\n";
 
     // Per-layer decomposition straight from the lowered graph.
     TablePrinter t({"Block", "Neurons (DotRows)", "Activation"});
@@ -43,25 +45,29 @@ main()
                   std::to_string(layers[i].out),
                   toString(layers[i].act)});
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nGraph decomposition: " << dot_nodes
-              << " perceptron nodes (= 12+6+3+1 neurons), " << act_nodes
-              << " ReLU map blocks, " << lut_nodes
-              << " sigmoid LUT block(s).\n";
+    os << "\nGraph decomposition: " << dot_nodes
+       << " perceptron nodes (= 12+6+3+1 neurons), " << act_nodes
+       << " ReLU map blocks, " << lut_nodes << " sigmoid LUT block(s).\n";
 
     size_t neurons = 0;
     for (const auto &l : layers)
         neurons += l.out;
-    std::cout << "Expected perceptron nodes: " << neurons << " -> "
-              << (static_cast<size_t>(dot_nodes) == neurons ? "match"
-                                                            : "MISMATCH")
-              << "\n";
+    const bool match = static_cast<size_t>(dot_nodes) == neurons;
+    os << "Expected perceptron nodes: " << neurons << " -> "
+       << (match ? "match" : "MISMATCH") << "\n";
 
-    std::cout << "\nComposed DNN: " << rep.cus << " CUs, "
-              << TablePrinter::num(rep.area_mm2, 2) << " mm^2, "
-              << TablePrinter::num(rep.latency_ns, 0)
-              << " ns at II = " << rep.ii_cycles
-              << " (line rate preserved through composition).\n";
-    return 0;
+    ctx.metric("dot_nodes", dot_nodes);
+    ctx.metric("expected_neurons", neurons);
+    ctx.metric("decomposition_matches", int64_t{match});
+    ctx.metric("composed_cus", int64_t{rep.cus});
+    ctx.metric("composed_area_mm2", rep.area_mm2);
+    ctx.metric("composed_latency_ns", rep.latency_ns);
+
+    os << "\nComposed DNN: " << rep.cus << " CUs, "
+       << TablePrinter::num(rep.area_mm2, 2) << " mm^2, "
+       << TablePrinter::num(rep.latency_ns, 0)
+       << " ns at II = " << rep.ii_cycles
+       << " (line rate preserved through composition).\n";
 }

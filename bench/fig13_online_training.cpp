@@ -6,32 +6,40 @@
  * converge faster.
  */
 
-#include <iostream>
+#include "harness.hpp"
+
+#include <cmath>
+#include <cstdio>
 
 #include "cp/trainer.hpp"
 #include "models/zoo.hpp"
 #include "net/kdd.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(fig13_online_training, "Figure 13",
+             "online-training convergence by telemetry sampling rate")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Figure 13: F1 over time by sampling rate (higher "
-                 "sampling converges faster)\n\n";
+    os << "Figure 13: F1 over time by sampling rate (higher sampling "
+          "converges faster)\n\n";
 
-    const auto dnn = models::trainAnomalyDnn(1, 4000);
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(4000, 800));
     net::KddConfig cfg;
-    cfg.connections = 40000;
+    cfg.connections = ctx.size(40000, 2000);
     cfg.trace_duration_s = 1.5;
     net::KddGenerator gen(cfg, 31);
     const auto trace = gen.expandToPackets(gen.sampleConnections());
 
-    const double rates[] = {1e-4, 1e-3, 1e-2, 1e-1};
+    const std::vector<double> rates = ctx.smoke()
+                                          ? std::vector<double>{1e-2, 1e-1}
+                                          : std::vector<double>{1e-4, 1e-3,
+                                                                1e-2, 1e-1};
     const double checkpoints[] = {0.05, 0.1, 0.25, 0.5, 1.0,
                                   2.0,  5.0, 10.0, 20.0};
+    const double max_time_s = ctx.amount(25.0, 4.0);
 
     TablePrinter t({"Sampling", "t=.05s", ".1s", ".25s", ".5s", "1s",
                     "2s", "5s", "10s", "20s", "converged @"});
@@ -40,7 +48,7 @@ main()
         tc.sampling_rate = rate;
         tc.epochs = 4;
         tc.batch = 64;
-        tc.max_time_s = 25.0;
+        tc.max_time_s = max_time_s;
         const auto res = cp::runOnlineTraining(trace, dnn.standardizer,
                                                dnn.test, tc);
         char label[16];
@@ -58,12 +66,15 @@ main()
         row.push_back(TablePrinter::num(res.convergence_time_s, 2) +
                       " s");
         t.addRow(row);
+        ctx.metric(std::string("rate_") + label + "_final_f1_x100",
+                   res.final_f1 * 100.0);
+        ctx.metric(std::string("rate_") + label + "_convergence_s",
+                   res.convergence_time_s);
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nEach row is one Figure 13 curve sampled at fixed "
-                 "times (F1 x 100). Offline ceiling: "
-              << TablePrinter::num(dnn.quant_test.f1 * 100.0, 0)
-              << ".\n";
-    return 0;
+    ctx.metric("offline_ceiling_f1_x100", dnn.quant_test.f1 * 100.0);
+    os << "\nEach row is one Figure 13 curve sampled at fixed times "
+          "(F1 x 100). Offline ceiling: "
+       << TablePrinter::num(dnn.quant_test.f1 * 100.0, 0) << ".\n";
 }

@@ -8,21 +8,22 @@
  * against the anomaly DNN's widest (12-element) dot products.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "area/fu_model.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(fig9_design_space, "Figure 9",
+             "per-FU area/power across lane and stage counts")
 {
     using taurus::area::FuModel;
     using taurus::util::TablePrinter;
+    auto &os = ctx.out();
 
     const int lanes_sweep[] = {4, 8, 16, 32};
     const int stages_sweep[] = {2, 3, 4, 6};
 
-    std::cout << "Figure 9a: area per FU (um^2), fix8\n\n";
+    os << "Figure 9a: area per FU (um^2), fix8\n\n";
     {
         TablePrinter t({"Lanes", "2 stages", "3 stages", "4 stages",
                         "6 stages"});
@@ -33,11 +34,10 @@ main()
                     FuModel::fuAreaUm2(lanes, stages, 8), 0));
             t.addRow(row);
         }
-        t.print(std::cout);
+        t.print(os);
     }
 
-    std::cout << "\nFigure 9b: power per FU (uW at 10% switching), "
-                 "fix8\n\n";
+    os << "\nFigure 9b: power per FU (uW at 10% switching), fix8\n\n";
     {
         TablePrinter t({"Lanes", "2 stages", "3 stages", "4 stages",
                         "6 stages"});
@@ -48,14 +48,17 @@ main()
                     FuModel::fuPowerUw(lanes, stages, 8), 0));
             t.addRow(row);
         }
-        t.print(std::cout);
+        t.print(os);
     }
 
-    std::cout << "\nShape check: every column decreases with lane count "
-                 "(control amortization);\nthe (16, 4) anchor is "
-              << TablePrinter::num(FuModel::fuAreaUm2(16, 4, 8), 0)
-              << " um^2 / "
-              << TablePrinter::num(FuModel::fuPowerUw(16, 4, 8), 0)
-              << " uW (paper: 670 / 456).\n";
-    return 0;
+    const double anchor_area = FuModel::fuAreaUm2(16, 4, 8);
+    const double anchor_power = FuModel::fuPowerUw(16, 4, 8);
+    ctx.metric("anchor_16lane_4stage_area_um2", anchor_area);
+    ctx.metric("anchor_16lane_4stage_power_uw", anchor_power);
+
+    os << "\nShape check: every column decreases with lane count "
+          "(control amortization);\nthe (16, 4) anchor is "
+       << TablePrinter::num(anchor_area, 0) << " um^2 / "
+       << TablePrinter::num(anchor_power, 0)
+       << " uW (paper: 670 / 456).\n";
 }

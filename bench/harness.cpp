@@ -1,0 +1,135 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace taurus::bench {
+
+size_t
+Context::size(size_t full, size_t tiny) const
+{
+    if (smoke_)
+        return std::max<size_t>(1, tiny);
+    const double scaled = static_cast<double>(full) * scale_;
+    return std::max<size_t>(1, static_cast<size_t>(scaled));
+}
+
+double
+Context::amount(double full, double tiny) const
+{
+    return smoke_ ? tiny : full * scale_;
+}
+
+void
+Context::metric(const std::string &name, double value)
+{
+    metrics_.set(name, value);
+}
+
+void
+Context::metric(const std::string &name, int64_t value)
+{
+    metrics_.set(name, value);
+}
+
+void
+Context::latency(const std::string &name, std::vector<double> samples,
+                 const std::string &unit)
+{
+    if (samples.empty())
+        return;
+    util::RunningStat stat;
+    for (const double s : samples)
+        stat.add(s);
+    std::sort(samples.begin(), samples.end());
+    metric(name + "_mean_" + unit, stat.mean());
+    metric(name + "_p50_" + unit, util::percentileSorted(samples, 50.0));
+    metric(name + "_p90_" + unit, util::percentileSorted(samples, 90.0));
+    metric(name + "_p99_" + unit, util::percentileSorted(samples, 99.0));
+    metric(name + "_max_" + unit, stat.max());
+}
+
+void
+Context::throughput(const std::string &name, double items, double seconds)
+{
+    if (seconds > 0.0)
+        metric(name + "_per_sec", items / seconds);
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry reg;
+    return reg;
+}
+
+void
+Registry::add(Bench b)
+{
+    benches_.push_back(std::move(b));
+}
+
+std::vector<Bench>
+Registry::sorted() const
+{
+    std::vector<Bench> out = benches_;
+    std::sort(out.begin(), out.end(),
+              [](const Bench &a, const Bench &b) { return a.name < b.name; });
+    return out;
+}
+
+const Bench *
+Registry::find(const std::string &name) const
+{
+    for (const auto &b : benches_)
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+Registrar::Registrar(std::string name, std::string figure,
+                     std::string summary,
+                     std::function<void(Context &)> fn)
+{
+    Registry::instance().add(
+        {std::move(name), std::move(figure), std::move(summary),
+         std::move(fn)});
+}
+
+std::string
+slug(const std::string &name)
+{
+    std::string s;
+    s.reserve(name.size());
+    for (const char c : name) {
+        const auto u = static_cast<unsigned char>(c);
+        s += std::isalnum(u) ? static_cast<char>(std::tolower(u)) : '_';
+    }
+    return s;
+}
+
+bool
+parseDouble(const std::string &arg, double lo, double hi, double *out,
+            std::string *err)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end != arg.c_str() + arg.size() ||
+        errno == ERANGE || !std::isfinite(v)) {
+        *err = "'" + arg + "' is not a finite number";
+        return false;
+    }
+    if (v < lo || v > hi) {
+        *err = "'" + arg + "' out of range [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "]";
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace taurus::bench

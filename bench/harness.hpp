@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unified benchmark harness. Every paper bench (tables 1-8, figures
+ * 9-14, ablations, throughput) registers itself here with a name, the
+ * paper table/figure it reproduces, and a run function; the single
+ * `taurus_bench` driver runs any subset at full or `--smoke` problem
+ * sizes and emits machine-readable JSON (BENCH_results.json).
+ *
+ * A bench file looks like:
+ *
+ *     #include "harness.hpp"
+ *
+ *     TAURUS_BENCH(table4_precision, "Table 4",
+ *                  "per-FU area/power across precisions")
+ *     {
+ *         const size_t n = ctx.size(150000, 2000); // full vs smoke
+ *         ...
+ *         ctx.metric("area_um2", area);
+ *     }
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace taurus::bench {
+
+/**
+ * Per-run state handed to each bench: problem sizing (full vs --smoke,
+ * times an optional --scale factor) and the metric sink that feeds the
+ * JSON report.
+ */
+class Context
+{
+  public:
+    Context(bool smoke, double scale, std::ostream &os)
+        : smoke_(smoke), scale_(scale), os_(os)
+    {
+        metrics_ = util::json::Value::object();
+    }
+
+    bool smoke() const { return smoke_; }
+    double scale() const { return scale_; }
+
+    /** Human-readable output (tables); may be a null sink in --quiet. */
+    std::ostream &out() { return os_; }
+
+    /**
+     * Pick a problem size: `full` (times --scale, clamped to >= 1) for
+     * real runs, `tiny` for --smoke.
+     */
+    size_t size(size_t full, size_t tiny) const;
+
+    /** Like size() for continuous quantities (durations, rates). */
+    double amount(double full, double tiny) const;
+
+    /** Record a scalar metric for the JSON report (insertion order). */
+    void metric(const std::string &name, double value);
+    void metric(const std::string &name, int64_t value);
+    void metric(const std::string &name, size_t value)
+    {
+        metric(name, static_cast<int64_t>(value));
+    }
+    void metric(const std::string &name, int value)
+    {
+        metric(name, static_cast<int64_t>(value));
+    }
+
+    /**
+     * Record latency percentiles (p50/p90/p99), mean, and max from raw
+     * samples, under `<name>_<stat>_<unit>` keys.
+     */
+    void latency(const std::string &name, std::vector<double> samples,
+                 const std::string &unit = "ns");
+
+    /** Record items/s under `<name>_per_sec` given a count + duration. */
+    void throughput(const std::string &name, double items,
+                    double seconds);
+
+    const util::json::Value &metrics() const { return metrics_; }
+
+  private:
+    bool smoke_;
+    double scale_;
+    std::ostream &os_;
+    util::json::Value metrics_;
+};
+
+/** Wall-clock stopwatch for throughput loops. */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    double elapsedSec() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** A registered bench: identity plus the function that runs it. */
+struct Bench
+{
+    std::string name;    ///< CLI name, e.g. "table8_end_to_end"
+    std::string figure;  ///< paper anchor, e.g. "Table 8"
+    std::string summary; ///< one-line description
+    std::function<void(Context &)> fn;
+};
+
+/** Process-wide bench registry, populated by TAURUS_BENCH statics. */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    void add(Bench b);
+
+    /** All benches, sorted by name. */
+    std::vector<Bench> sorted() const;
+
+    const Bench *find(const std::string &name) const;
+
+  private:
+    std::vector<Bench> benches_;
+};
+
+/** Static initializer that registers one bench. */
+struct Registrar
+{
+    Registrar(std::string name, std::string figure, std::string summary,
+              std::function<void(Context &)> fn);
+};
+
+/**
+ * Lowercase a display name into a snake_case metric-key fragment
+ * ("Cloud TPU v2-8" -> "cloud_tpu_v2_8") so JSON metric keys stay
+ * identifier-safe.
+ */
+std::string slug(const std::string &name);
+
+/**
+ * Validated numeric argv parsing (the harness owns all argv handling,
+ * so no bench ever feeds raw atoll() input into a size_t again): the
+ * full string must parse to a finite number in [lo, hi]. Returns
+ * false with a message on any violation.
+ */
+bool parseDouble(const std::string &arg, double lo, double hi,
+                 double *out, std::string *err);
+
+} // namespace taurus::bench
+
+/**
+ * Define and register a bench. Usage:
+ *     TAURUS_BENCH(name_ident, "Table N", "summary") { ... use ctx ... }
+ */
+#define TAURUS_BENCH(ident, figure, summary)                               \
+    static void taurus_bench_run_##ident(::taurus::bench::Context &ctx);   \
+    static const ::taurus::bench::Registrar taurus_bench_reg_##ident(      \
+        #ident, figure, summary, &taurus_bench_run_##ident);               \
+    static void taurus_bench_run_##ident(::taurus::bench::Context &ctx)

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * `taurus_bench` — single driver for every registered paper bench.
+ *
+ *     taurus_bench                      # run everything, full sizes
+ *     taurus_bench --smoke table8_end_to_end
+ *     taurus_bench --json BENCH_results.json --smoke
+ *     taurus_bench --list
+ *
+ * Exit status: 0 all selected benches passed; 1 at least one threw;
+ * 2 bad usage.
+ */
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace taurus;
+using bench::Bench;
+using bench::Context;
+using bench::Registry;
+
+/** Discards table output under --quiet. */
+class NullBuf : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return traits_type::not_eof(c); }
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: taurus_bench [options] [bench ...]\n"
+          "\n"
+          "options:\n"
+          "  --list         list registered benches and exit\n"
+          "  --smoke        tiny problem sizes (CI-friendly)\n"
+          "  --scale X      multiply full problem sizes by X in "
+          "[0.001, 100]\n"
+          "  --json FILE    write machine-readable results to FILE\n"
+          "  --quiet        suppress per-bench table output\n"
+          "  --help         this message\n"
+          "\n"
+          "With no bench names, every registered bench runs. Names are\n"
+          "matched exactly; see --list.\n";
+}
+
+void
+list(std::ostream &os)
+{
+    for (const auto &b : Registry::instance().sorted())
+        os << b.name << "\t[" << b.figure << "] " << b.summary << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool quiet = false;
+    double scale = 1.0;
+    std::string json_path;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string err;
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--list") {
+            list(std::cout);
+            return 0;
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--scale") {
+            if (++i >= argc) {
+                std::cerr << "taurus_bench: --scale needs a value\n";
+                return 2;
+            }
+            if (!bench::parseDouble(argv[i], 1e-3, 100.0, &scale, &err)) {
+                std::cerr << "taurus_bench: --scale " << err << "\n";
+                return 2;
+            }
+        } else if (arg == "--json") {
+            if (++i >= argc) {
+                std::cerr << "taurus_bench: --json needs a path\n";
+                return 2;
+            }
+            json_path = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "taurus_bench: unknown option " << arg << "\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    // Resolve the selection up front so a typo fails before any run.
+    // `all` must outlive `selected`, which points into it.
+    const auto all = Registry::instance().sorted();
+    std::vector<const Bench *> selected;
+    if (names.empty()) {
+        for (const auto &b : all)
+            selected.push_back(&b);
+    } else {
+        for (const auto &n : names) {
+            const Bench *b = Registry::instance().find(n);
+            if (!b) {
+                std::cerr << "taurus_bench: unknown bench '" << n
+                          << "' (see --list)\n";
+                return 2;
+            }
+            selected.push_back(b);
+        }
+    }
+
+    NullBuf null_buf;
+    std::ostream null_os(&null_buf);
+    std::ostream &table_os = quiet ? null_os : std::cout;
+
+    auto report = util::json::Value::object();
+    report.set("schema", "taurus-bench-v1");
+    report.set("smoke", smoke);
+    report.set("scale", scale);
+    auto benches = util::json::Value::array();
+
+    int failures = 0;
+    for (const Bench *b : selected) {
+        if (!quiet)
+            std::cout << "==== " << b->name << " [" << b->figure
+                      << "] ====\n";
+        Context ctx(smoke, scale, table_os);
+        auto entry = util::json::Value::object();
+        entry.set("name", b->name);
+        entry.set("figure", b->figure);
+        entry.set("summary", b->summary);
+
+        const bench::Timer timer;
+        try {
+            b->fn(ctx);
+            entry.set("status", "ok");
+        } catch (const std::exception &e) {
+            ++failures;
+            entry.set("status", "error");
+            entry.set("error", std::string(e.what()));
+            std::cerr << "taurus_bench: " << b->name << " failed: "
+                      << e.what() << "\n";
+        }
+        entry.set("wall_ms", timer.elapsedSec() * 1e3);
+        entry.set("metrics", ctx.metrics());
+        benches.push(std::move(entry));
+        if (!quiet)
+            std::cout << "\n";
+    }
+    report.set("benches", std::move(benches));
+
+    if (!json_path.empty()) {
+        std::ofstream f(json_path);
+        if (!f) {
+            std::cerr << "taurus_bench: cannot write " << json_path
+                      << "\n";
+            return 2;
+        }
+        f << report.dump(2) << "\n";
+        f.close();
+        if (!f) {
+            std::cerr << "taurus_bench: failed writing " << json_path
+                      << "\n";
+            return 2;
+        }
+        if (!quiet)
+            std::cout << "wrote " << json_path << " ("
+                      << report.find("benches")->size() << " benches)\n";
+    }
+
+    return failures ? 1 : 0;
+}

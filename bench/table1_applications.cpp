@@ -4,27 +4,33 @@
  * demands (per-packet / per-flowlet / per-flow / per-microburst).
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "models/apps.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table1_applications, "Table 1",
+             "in-network applications demand fast reaction time")
 {
     using taurus::util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Table 1: in-network applications demand fast reaction "
-                 "time\n\n";
+    os << "Table 1: in-network applications demand fast reaction "
+          "time\n\n";
     TablePrinter t({"Application", "Category", "Pkt", "Flowlet", "Flow",
                     "uburst"});
+    int64_t apps = 0, per_packet = 0;
     for (const auto &app : taurus::models::table1Registry()) {
+        ++apps;
+        per_packet += app.reaction.per_packet;
         t.addRow({app.name, app.category,
                   app.reaction.per_packet ? "x" : "",
                   app.reaction.per_flowlet ? "x" : "",
                   app.reaction.per_flow ? "x" : "",
                   app.reaction.per_microburst ? "x" : ""});
     }
-    t.print(std::cout);
-    return 0;
+    t.print(os);
+
+    ctx.metric("applications", apps);
+    ctx.metric("per_packet_applications", per_packet);
 }

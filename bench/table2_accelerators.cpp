@@ -6,27 +6,35 @@
  * batch).
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "cp/accelerators.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table2_accelerators, "Table 2",
+             "control-plane accelerator inference latency and batch "
+             "scaling")
 {
     using taurus::util::TablePrinter;
     using namespace taurus::cp;
+    auto &os = ctx.out();
 
-    std::cout << "Table 2: inference latency for control-plane "
-                 "accelerators (batch = 1)\n"
-                 "Paper: Xeon 0.67 ms | T4 1.15 ms | TPU 3.51 ms\n\n";
+    os << "Table 2: inference latency for control-plane accelerators "
+          "(batch = 1)\n"
+          "Paper: Xeon 0.67 ms | T4 1.15 ms | TPU 3.51 ms\n\n";
 
     TablePrinter t({"Accelerator", "Latency (ms)"});
-    for (const auto &dev : accelerators())
+    for (const auto &dev : accelerators()) {
         t.addRow({dev.name, TablePrinter::num(dev.inferLatencyMs(1))});
-    t.print(std::cout);
+        ctx.metric(taurus::bench::slug(dev.name) + "_b1_latency_ms",
+                   dev.inferLatencyMs(1));
+        ctx.metric(taurus::bench::slug(dev.name) +
+                       "_b256_throughput_per_sec",
+                   dev.throughputPerSec(256));
+    }
+    t.print(os);
 
-    std::cout << "\nBatch scaling (latency ms / throughput K-items/s):\n";
+    os << "\nBatch scaling (latency ms / throughput K-items/s):\n";
     TablePrinter s({"Accelerator", "b=1", "b=16", "b=256", "b=4096"});
     for (const auto &dev : accelerators()) {
         auto cell = [&](size_t b) {
@@ -35,10 +43,9 @@ main()
         };
         s.addRow({dev.name, cell(1), cell(16), cell(256), cell(4096)});
     }
-    s.print(std::cout);
+    s.print(os);
 
-    std::cout << "\nAt 1 GPkt/s line rate, even the CPU's 0.67 ms covers "
-                 "~670k packets per decision;\nTaurus answers in "
-                 "nanoseconds per packet (Table 5).\n";
-    return 0;
+    os << "\nAt 1 GPkt/s line rate, even the CPU's 0.67 ms covers "
+          "~670k packets per decision;\nTaurus answers in nanoseconds "
+          "per packet (Table 5).\n";
 }

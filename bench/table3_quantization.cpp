@@ -5,30 +5,43 @@
  * path (paper: diffs of -0.05 / -0.07 / -0.02 points).
  */
 
-#include <iostream>
+#include "harness.hpp"
+
+#include <cmath>
 
 #include "models/zoo.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table3_quantization, "Table 3",
+             "IoT classifier accuracy, float32 vs fix8")
 {
     using taurus::util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Table 3: accuracy of DNNs for IoT traffic classifiers "
-                 "(float32 vs fix8)\n"
-                 "Paper: 67.06/67.01, 67.02/66.95, 67.04/67.02 "
-                 "(diff <= 0.07)\n\n";
+    const size_t samples = ctx.size(12000, 1500);
 
+    os << "Table 3: accuracy of DNNs for IoT traffic classifiers "
+          "(float32 vs fix8)\n"
+          "Paper: 67.06/67.01, 67.02/66.95, 67.04/67.02 "
+          "(diff <= 0.07)\n\n";
+
+    double worst_diff = 0.0;
     TablePrinter t({"DNN Kernel", "float32 (%)", "fix8 (%)", "Diff"});
     for (const auto &kernel : taurus::models::table3Kernels()) {
-        const auto row = taurus::models::trainIotDnn(kernel, 1, 12000);
+        const auto row =
+            taurus::models::trainIotDnn(kernel, 1, samples);
+        worst_diff = std::max(worst_diff, std::fabs(row.diff()));
+        ctx.metric(taurus::bench::slug(row.kernel) + "_float_accuracy_pct",
+                   row.float_accuracy);
+        ctx.metric(taurus::bench::slug(row.kernel) + "_fix8_accuracy_pct", row.fix8_accuracy);
         t.addRow({row.kernel, TablePrinter::num(row.float_accuracy),
                   TablePrinter::num(row.fix8_accuracy),
                   TablePrinter::num(row.diff())});
     }
-    t.print(std::cout);
-    std::cout << "\n8-bit quantization costs well under a point of "
-                 "accuracy at a 4x resource saving (Table 4).\n";
-    return 0;
+    t.print(os);
+    ctx.metric("train_samples", samples);
+    ctx.metric("worst_abs_diff_pct", worst_diff);
+
+    os << "\n8-bit quantization costs well under a point of accuracy "
+          "at a 4x resource saving (Table 4).\n";
 }

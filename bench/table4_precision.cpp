@@ -4,28 +4,31 @@
  * stages) across fixed-point precisions.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "area/fu_model.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table4_precision, "Table 4",
+             "per-FU area and power across fixed-point precisions")
 {
     using taurus::area::FuModel;
     using taurus::util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Table 4: area and power scaling (per-FU) at 16 lanes "
-                 "x 4 stages\n"
-                 "Paper: fix8 670/456, fix16 1338/887, fix32 2949/2341 "
-                 "(um^2 / uW)\n\n";
+    os << "Table 4: area and power scaling (per-FU) at 16 lanes x 4 "
+          "stages\n"
+          "Paper: fix8 670/456, fix16 1338/887, fix32 2949/2341 "
+          "(um^2 / uW)\n\n";
 
     TablePrinter t({"Precision", "Area (um^2)", "Power (uW)"});
     for (int bits : {8, 16, 32}) {
+        const double area = FuModel::fuAreaUm2(16, 4, bits);
+        const double power = FuModel::fuPowerUw(16, 4, bits);
+        ctx.metric("fix" + std::to_string(bits) + "_area_um2", area);
+        ctx.metric("fix" + std::to_string(bits) + "_power_uw", power);
         t.addRow({"fix" + std::to_string(bits),
-                  TablePrinter::num(FuModel::fuAreaUm2(16, 4, bits), 0),
-                  TablePrinter::num(FuModel::fuPowerUw(16, 4, bits), 0)});
+                  TablePrinter::num(area, 0), TablePrinter::num(power, 0)});
     }
-    t.print(std::cout);
-    return 0;
+    t.print(os);
 }

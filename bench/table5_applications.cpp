@@ -6,7 +6,7 @@
  * full 12x10 grid row.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "area/chip.hpp"
 #include "compiler/compile.hpp"
@@ -14,21 +14,24 @@
 #include "models/zoo.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table5_applications, "Table 5",
+             "application model performance and resource overheads")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Table 5: performance and resource overheads of "
-                 "application models\n"
-                 "Paper: KMeans 1.0/61/0.3/0.2/177/0.3 | SVM "
-                 "1.0/83/0.6/0.5/395/0.6 | DNN 1.0/221/1.0/0.8/647/1.0 "
-                 "| LSTM -/805/3.0/2.4/1897/2.8 | grid 4.8 mm^2, 3.8%\n\n";
+    const size_t conns = ctx.size(3000, 800);
 
-    const auto km = models::trainIotKmeans(1, 3000);
-    const auto svm = models::trainAnomalySvm(1, 3000);
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
+    os << "Table 5: performance and resource overheads of application "
+          "models\n"
+          "Paper: KMeans 1.0/61/0.3/0.2/177/0.3 | SVM "
+          "1.0/83/0.6/0.5/395/0.6 | DNN 1.0/221/1.0/0.8/647/1.0 "
+          "| LSTM -/805/3.0/2.4/1897/2.8 | grid 4.8 mm^2, 3.8%\n\n";
+
+    const auto km = models::trainIotKmeans(1, conns);
+    const auto svm = models::trainAnomalySvm(1, conns);
+    const auto dnn = models::trainAnomalyDnn(1, conns);
     const auto lstm = models::buildIndigoLstm(1);
 
     struct AppRow
@@ -55,6 +58,10 @@ main()
         // line-rate pipeline, matching the paper's "-" entry.
         const std::string rate =
             app.recurrent ? "-" : TablePrinter::num(rep.gpktps);
+        ctx.metric(bench::slug(app.model) + "_latency_ns", rep.latency_ns);
+        ctx.metric(bench::slug(app.model) + "_area_mm2", rep.area_mm2);
+        if (!app.recurrent)
+            ctx.metric(bench::slug(app.model) + "_gpktps", rep.gpktps);
         t.addRow({app.app, app.model, rate,
                   TablePrinter::num(rep.latency_ns, 0),
                   TablePrinter::num(rep.area_mm2, 1),
@@ -64,14 +71,16 @@ main()
     }
 
     const auto grid = chip.fullGridCost();
+    ctx.metric("grid_area_mm2", grid.area_mm2);
+    ctx.metric("grid_area_overhead_pct",
+               chip.areaOverheadPct(grid.area_mm2));
     t.addRow({"12x10 Grid", "", "", "",
               TablePrinter::num(grid.area_mm2, 1),
               TablePrinter::num(chip.areaOverheadPct(grid.area_mm2), 1),
               TablePrinter::num(grid.power_w * 1e3, 0),
               TablePrinter::num(chip.powerOverheadPct(grid.power_w), 1)});
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nOrdering check: KMeans < SVM < DNN << LSTM latency; "
-                 "all feed-forward models hold 1 GPkt/s line rate.\n";
-    return 0;
+    os << "\nOrdering check: KMeans < SVM < DNN << LSTM latency; all "
+          "feed-forward models hold 1 GPkt/s line rate.\n";
 }

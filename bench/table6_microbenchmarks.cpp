@@ -4,7 +4,7 @@
  * in 16-lane, four-stage CUs.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "compiler/compile.hpp"
 #include "compiler/report.hpp"
@@ -12,18 +12,18 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table6_microbenchmarks, "Table 6",
+             "microbenchmark area and latency at line rate")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Table 6: microbenchmark area and latency at line "
-                 "rate\n"
-                 "Paper: Conv1D 1.57/122 | InnerProduct 0.04/23 | ReLU "
-                 "0.04/22 | LeakyReLU 0.04/22 | TanhExp 0.26/69 |\n"
-                 "       SigmoidExp 0.31/73 | TanhPW 0.13/38 | SigmoidPW "
-                 "0.17/46 | ActLUT 0.12/36 (mm^2 / ns)\n\n";
+    os << "Table 6: microbenchmark area and latency at line rate\n"
+          "Paper: Conv1D 1.57/122 | InnerProduct 0.04/23 | ReLU "
+          "0.04/22 | LeakyReLU 0.04/22 | TanhExp 0.26/69 |\n"
+          "       SigmoidExp 0.31/73 | TanhPW 0.13/38 | SigmoidPW "
+          "0.17/46 | ActLUT 0.12/36 (mm^2 / ns)\n\n";
 
     util::Rng rng(3);
     TablePrinter t({"ubmark", "Kind", "CUs", "MUs", "Area (mm^2)",
@@ -33,17 +33,17 @@ main()
         const auto rep = compiler::analyze(compiler::compile(g));
         const bool linear =
             name == "Conv1D" || name == "InnerProduct";
+        ctx.metric(bench::slug(name) + "_area_mm2", rep.area_mm2);
+        ctx.metric(bench::slug(name) + "_latency_ns", rep.latency_ns);
         t.addRow({name, linear ? "Linear" : "Nonlinear",
                   TablePrinter::num(int64_t{rep.cus}),
                   TablePrinter::num(int64_t{rep.mus}),
                   TablePrinter::num(rep.area_mm2, 3),
                   TablePrinter::num(rep.latency_ns, 0)});
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nThe inner product fits one CU (map + log2-tree "
-                 "reduce = 5 cycles of compute);\nConv1D's small inner "
-                 "reductions vectorize poorly and need 8x unrolling "
-                 "(Table 7).\n";
-    return 0;
+    os << "\nThe inner product fits one CU (map + log2-tree reduce = 5 "
+          "cycles of compute);\nConv1D's small inner reductions "
+          "vectorize poorly and need 8x unrolling (Table 7).\n";
 }

@@ -5,7 +5,7 @@
  * trades area for line rate).
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "compiler/compile.hpp"
 #include "compiler/report.hpp"
@@ -13,15 +13,16 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table7_unrolling, "Table 7",
+             "Conv1D throughput/area scaling with unrolling")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Table 7: throughput and area scaling with unrolling\n"
-                 "Paper: Conv1D 1/8 0.19 | 1/4 0.44 | 1/2 0.93 | 1 1.57 "
-                 "(line rate, mm^2); InnerProduct 1, 0.04\n\n";
+    os << "Table 7: throughput and area scaling with unrolling\n"
+          "Paper: Conv1D 1/8 0.19 | 1/4 0.44 | 1/2 0.93 | 1 1.57 "
+          "(line rate, mm^2); InnerProduct 1, 0.04\n\n";
 
     util::Rng rng(3);
     TablePrinter t({"ubmark", "Unroll", "Line Rate", "Area (mm^2)"});
@@ -30,19 +31,22 @@ main()
         const auto rep = compiler::analyze(compiler::compile(g));
         const std::string rate =
             unroll == 8 ? "1" : "1/" + std::to_string(8 / unroll);
+        ctx.metric("conv1d_unroll" + std::to_string(unroll) +
+                       "_area_mm2",
+                   rep.area_mm2);
         t.addRow({"Conv1D", std::to_string(unroll), rate,
                   TablePrinter::num(rep.area_mm2, 2)});
     }
     {
         const auto g = models::buildInnerProduct(rng);
         const auto rep = compiler::analyze(compiler::compile(g));
+        ctx.metric("inner_product_area_mm2", rep.area_mm2);
         t.addRow({"InnerProduct", "-", "1",
                   TablePrinter::num(rep.area_mm2, 2)});
     }
-    t.print(std::cout);
+    t.print(os);
 
-    std::cout << "\nUnrolling the outer loop in space buys back line "
-                 "rate at ~linear area cost; the inner product\nhas no "
-                 "outer loop to unroll.\n";
-    return 0;
+    os << "\nUnrolling the outer loop in space buys back line rate at "
+          "~linear area cost; the inner product\nhas no outer loop to "
+          "unroll.\n";
 }

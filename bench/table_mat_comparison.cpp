@@ -4,7 +4,7 @@
  * KMeans) versus Taurus's MapReduce block, in iso-area MAT equivalents.
  */
 
-#include <iostream>
+#include "harness.hpp"
 
 #include "area/chip.hpp"
 #include "compiler/compile.hpp"
@@ -13,20 +13,23 @@
 #include "models/zoo.hpp"
 #include "util/table.hpp"
 
-int
-main()
+TAURUS_BENCH(table_mat_comparison, "Section 5.1.4",
+             "MAT-only designs vs Taurus in iso-area MAT equivalents")
 {
     using namespace taurus;
     using util::TablePrinter;
+    auto &os = ctx.out();
 
-    std::cout << "Section 5.1.4: MAT-only designs vs Taurus (iso-area "
-                 "MAT equivalents)\n"
-                 "Paper: N2Net needs 48 MATs for the anomaly DNN vs "
-                 "Taurus ~3; IIsy SVM 8 / KMeans 2 vs ~1.\n\n";
+    const size_t conns = ctx.size(3000, 800);
 
-    const auto dnn = models::trainAnomalyDnn(1, 3000);
-    const auto svm = models::trainAnomalySvm(1, 3000);
-    const auto km = models::trainIotKmeans(1, 3000);
+    os << "Section 5.1.4: MAT-only designs vs Taurus (iso-area MAT "
+          "equivalents)\n"
+          "Paper: N2Net needs 48 MATs for the anomaly DNN vs Taurus "
+          "~3; IIsy SVM 8 / KMeans 2 vs ~1.\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, conns);
+    const auto svm = models::trainAnomalySvm(1, conns);
+    const auto km = models::trainIotKmeans(1, conns);
 
     area::ChipModel chip;
     auto mats_for = [&](const dfg::Graph &g) {
@@ -36,6 +39,9 @@ main()
     const double mats_dnn = mats_for(dnn.graph);
     const double mats_svm = mats_for(svm.lowered.graph);
     const double mats_km = mats_for(km.lowered.graph);
+    ctx.metric("taurus_dnn_mat_equivalents", mats_dnn);
+    ctx.metric("taurus_svm_mat_equivalents", mats_svm);
+    ctx.metric("taurus_kmeans_mat_equivalents", mats_km);
 
     TablePrinter t({"System", "Model", "MATs used",
                     "Taurus iso-area MATs", "Ratio"});
@@ -43,6 +49,8 @@ main()
     const double taurus_mats[] = {mats_dnn, mats_svm, mats_km};
     for (size_t i = 0; i < designs.size(); ++i) {
         const auto &d = designs[i];
+        ctx.metric(bench::slug(d.system + "_" + d.model) + "_mats_used",
+                   int64_t{d.mats_used});
         t.addRow({d.system, d.model,
                   TablePrinter::num(int64_t{d.mats_used}),
                   TablePrinter::num(taurus_mats[i], 1),
@@ -50,13 +58,13 @@ main()
                                     0) +
                       "x"});
     }
-    t.print(std::cout);
+    t.print(os);
 
     const auto grid = chip.fullGridCost();
-    std::cout << "\nThe full provisioned MapReduce block is "
-              << TablePrinter::num(grid.area_mm2, 1) << " mm^2 = "
-              << TablePrinter::num(chip.matEquivalents(grid.area_mm2), 1)
-              << " MAT equivalents per pipeline (paper: ~3 MATs / "
-                 "3.8%).\n";
-    return 0;
+    ctx.metric("grid_mat_equivalents",
+               chip.matEquivalents(grid.area_mm2));
+    os << "\nThe full provisioned MapReduce block is "
+       << TablePrinter::num(grid.area_mm2, 1) << " mm^2 = "
+       << TablePrinter::num(chip.matEquivalents(grid.area_mm2), 1)
+       << " MAT equivalents per pipeline (paper: ~3 MATs / 3.8%).\n";
 }

@@ -1,98 +1,106 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of the simulator itself: packets/s
- * through the cycle simulator and the full TaurusSwitch pipeline. These
- * measure the *reproduction's* speed (how fast we can simulate), not
- * the modeled hardware (which is fixed at 1 GPkt/s by construction).
+ * Microbenchmarks of the simulator itself: packets/s through the cycle
+ * simulator and the full TaurusSwitch pipeline. These measure the
+ * *reproduction's* speed (how fast we can simulate), not the modeled
+ * hardware (which is fixed at 1 GPkt/s by construction).
+ *
+ * Each loop is wall-clock timed by the harness Timer; the switch loop
+ * additionally reports modeled per-packet latency percentiles.
  */
 
-#include <benchmark/benchmark.h>
+#include "harness.hpp"
 
 #include "compiler/compile.hpp"
 #include "hw/cycle_sim.hpp"
 #include "models/zoo.hpp"
 #include "net/kdd.hpp"
 #include "taurus/switch.hpp"
+#include "util/table.hpp"
 
-namespace {
-
-using namespace taurus;
-
-const models::AnomalyDnn &
-sharedDnn()
+TAURUS_BENCH(throughput_bench, "Simulator throughput",
+             "packets/s through the cycle sim and the full switch")
 {
-    static const models::AnomalyDnn dnn = models::trainAnomalyDnn(1, 2000);
-    return dnn;
-}
+    using namespace taurus;
+    using util::TablePrinter;
+    auto &os = ctx.out();
 
-const std::vector<net::TracePacket> &
-sharedTrace()
-{
-    static const std::vector<net::TracePacket> trace = [] {
-        net::KddConfig cfg;
-        cfg.connections = 4000;
-        net::KddGenerator gen(cfg, 9);
-        return gen.expandToPackets(gen.sampleConnections());
-    }();
-    return trace;
-}
+    os << "Simulator throughput (wall-clock, this host)\n\n";
 
-void
-BM_CycleSimDnnInference(benchmark::State &state)
-{
-    const auto &dnn = sharedDnn();
-    const auto prog = compiler::compile(dnn.graph);
-    hw::CycleSim sim(prog);
-    std::vector<int8_t> input(6, 42);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(sim.run({input}));
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(2000, 600));
+    net::KddConfig cfg;
+    cfg.connections = ctx.size(4000, 500);
+    net::KddGenerator gen(cfg, 9);
+    const auto trace = gen.expandToPackets(gen.sampleConnections());
+
+    TablePrinter t({"Loop", "Iterations", "Wall ms", "Items/s"});
+    auto report = [&](const std::string &name, size_t iters,
+                      double sec) {
+        ctx.throughput(name, static_cast<double>(iters), sec);
+        t.addRow({name, std::to_string(iters),
+                  TablePrinter::num(sec * 1e3, 1),
+                  TablePrinter::num(double(iters) / sec, 0)});
+    };
+
+    // 1. Cycle-accurate DNN inference on the MapReduce grid.
+    {
+        const auto prog = compiler::compile(dnn.graph);
+        hw::CycleSim sim(prog);
+        std::vector<int8_t> input(6, 42);
+        const size_t iters = ctx.size(2000, 100);
+        const bench::Timer timer;
+        uint64_t sink = 0;
+        for (size_t i = 0; i < iters; ++i)
+            sink += sim.run({input}).outputs.size();
+        report("cycle_sim_inference", iters, timer.elapsedSec());
+        ctx.metric("cycle_sim_outputs_seen", sink);
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-}
-BENCHMARK(BM_CycleSimDnnInference);
 
-void
-BM_SwitchProcessPacket(benchmark::State &state)
-{
-    const auto &trace = sharedTrace();
-    core::TaurusSwitch sw;
-    sw.installAnomalyModel(sharedDnn());
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(sw.process(trace[i]));
-        i = (i + 1) % trace.size();
+    // 2. The full Figure-6 pipeline: parse -> MATs -> grid -> PIFO.
+    {
+        core::TaurusSwitch sw;
+        sw.installAnomalyModel(dnn);
+        const size_t iters = ctx.size(20000, 1000);
+        std::vector<double> modeled_ns;
+        modeled_ns.reserve(iters);
+        const bench::Timer timer;
+        for (size_t i = 0; i < iters; ++i) {
+            const auto d = sw.process(trace[i % trace.size()]);
+            modeled_ns.push_back(d.latency_ns);
+        }
+        report("switch_process", iters, timer.elapsedSec());
+        ctx.latency("switch_modeled_latency", std::move(modeled_ns));
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-}
-BENCHMARK(BM_SwitchProcessPacket);
 
-void
-BM_ParserOnly(benchmark::State &state)
-{
-    const auto parser = pisa::Parser::standard();
-    const auto pkt = pisa::fromTracePacket(sharedTrace().front());
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(parser.parse(pkt));
+    // 3. Header parsing alone.
+    {
+        const auto parser = pisa::Parser::standard();
+        const auto pkt = pisa::fromTracePacket(trace.front());
+        const size_t iters = ctx.size(200000, 5000);
+        const bench::Timer timer;
+        uint64_t sink = 0;
+        for (size_t i = 0; i < iters; ++i)
+            sink += parser.parse(pkt).get(pisa::Field::PktLen);
+        report("parser_only", iters, timer.elapsedSec());
+        ctx.metric("parser_sink", sink);
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-}
-BENCHMARK(BM_ParserOnly);
 
-void
-BM_FlowTrackerObserve(benchmark::State &state)
-{
-    const auto &trace = sharedTrace();
-    net::FlowTracker tracker;
-    size_t i = 0;
-    for (auto _ : state) {
-        tracker.observe(trace[i]);
-        benchmark::DoNotOptimize(tracker.dnnFeatures());
-        i = (i + 1) % trace.size();
+    // 4. Flow-feature tracking (the MAT-side stateful preprocessing).
+    {
+        net::FlowTracker tracker;
+        const size_t iters = ctx.size(100000, 5000);
+        const bench::Timer timer;
+        double sink = 0;
+        for (size_t i = 0; i < iters; ++i) {
+            tracker.observe(trace[i % trace.size()]);
+            sink += tracker.dnnFeatures().size();
+        }
+        report("flow_tracker_observe", iters, timer.elapsedSec());
+        ctx.metric("flow_tracker_sink", sink);
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+
+    t.print(os);
+
+    os << "\nThese numbers measure the reproduction on this host; the "
+          "modeled hardware runs at 1 GPkt/s by construction.\n";
 }
-BENCHMARK(BM_FlowTrackerObserve);
-
-} // namespace
-
-BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace taurus::util::json {
+
+void
+Value::push(Value v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        throw std::logic_error("json: push on non-array");
+    array_.push_back(std::move(v));
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        throw std::logic_error("json: set on non-object");
+    for (auto &kv : object_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &kv : object_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+size_t
+Value::size() const
+{
+    switch (kind_) {
+    case Kind::Array:
+        return array_.size();
+    case Kind::Object:
+        return object_.size();
+    default:
+        return 0;
+    }
+}
+
+std::string
+Value::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+formatDouble(double d)
+{
+    // NaN / Inf are not representable in JSON numbers.
+    if (!std::isfinite(d))
+        return "null";
+    // Shortest round-trip representation.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    std::string s(buf, res.ptr);
+    // Keep integral-valued doubles recognizable as floats.
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+} // namespace
+
+void
+Value::write(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0
+            ? std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+            : "";
+    const std::string close_pad =
+        indent > 0 ? std::string(static_cast<size_t>(indent) * depth, ' ')
+                   : "";
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *kv_sep = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+    case Kind::Null:
+        out += "null";
+        break;
+    case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Kind::Int:
+        out += std::to_string(int_);
+        break;
+    case Kind::Double:
+        out += formatDouble(double_);
+        break;
+    case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+    case Kind::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].write(out, indent, depth + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+    }
+    case Kind::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (size_t i = 0; i < object_.size(); ++i) {
+            out += pad;
+            out += '"';
+            out += escape(object_[i].first);
+            out += '"';
+            out += kv_sep;
+            object_[i].second.write(out, indent, depth + 1);
+            if (i + 1 < object_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+    }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+} // namespace taurus::util::json

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON value + serializer for machine-readable reports
+ * (BENCH_results.json). Insertion-ordered objects, round-trip double
+ * formatting, no parsing — this is a writer, not a full JSON library.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace taurus::util::json {
+
+/** A JSON value: null, bool, number, string, array, or object. */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int64_t i) : kind_(Kind::Int), int_(i) {}
+    Value(int i) : kind_(Kind::Int), int_(i) {}
+    Value(uint64_t u) : kind_(Kind::Int), int_(static_cast<int64_t>(u)) {}
+    Value(double d) : kind_(Kind::Double), double_(d) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), string_(s) {}
+
+    static Value array() { return Value(Kind::Array); }
+    static Value object() { return Value(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Array append. Converts a Null value into an array first. */
+    void push(Value v);
+
+    /**
+     * Object insert-or-overwrite, preserving first-insertion order.
+     * Converts a Null value into an object first.
+     */
+    void set(const std::string &key, Value v);
+
+    /** Object lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    size_t size() const;
+
+    /** Serialize; indent > 0 pretty-prints, indent == 0 is compact. */
+    std::string dump(int indent = 2) const;
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    explicit Value(Kind k) : kind_(k) {}
+
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+} // namespace taurus::util::json

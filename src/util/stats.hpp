@@ -38,6 +38,9 @@ class RunningStat
 /** Percentile of a sample vector (p in [0,100]); copies and sorts. */
 double percentile(std::vector<double> values, double p);
 
+/** Percentile of an already-sorted sample vector (p in [0,100]). */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
 /** Integer ceil division for non-negative operands. */
 constexpr int64_t
 ceilDiv(int64_t num, int64_t den)

@@ -140,9 +140,10 @@ TEST_P(ActivationStageTest, CusNeededShrinkWithDeeperCus)
     // count (and area) for a fixed function cannot grow with stages.
     const int stages = GetParam();
     for (const auto &impl : area::activationCatalog()) {
-        if (stages < 6)
+        if (stages < 6) {
             EXPECT_GE(impl.cusNeeded(stages), impl.cusNeeded(6))
                 << impl.name;
+        }
     }
 }
 

@@ -124,9 +124,6 @@ TEST(GridProgram, UpdateWeightsSwapsConstantsInPlace)
 
     // A structurally identical graph with different weights.
     auto g2 = g1;
-    for (auto &n : g2.nodes()) {
-        // nodes() is const; mutate through node().
-    }
     for (int id = 0; id < static_cast<int>(g2.nodes().size()); ++id) {
         auto &n = g2.node(id);
         for (auto &w : n.weights)

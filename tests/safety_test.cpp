@@ -129,8 +129,9 @@ TEST(Safety, GuardsOnlyEverClearDecisions)
     for (const auto &pkt : trace()) {
         const bool f_plain = plain.process(pkt).flagged;
         const bool f_guarded = guarded.process(pkt).flagged;
-        if (f_guarded)
+        if (f_guarded) {
             EXPECT_TRUE(f_plain);
+        }
     }
 }
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
+#include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -164,4 +167,53 @@ TEST(CsvWriter, WritesRows)
     csv.row({"t", "f1"});
     csv.row({"0.5", "70.1"});
     EXPECT_EQ(os.str(), "t,f1\n0.5,70.1\n");
+}
+
+TEST(Json, ScalarsAndEscaping)
+{
+    namespace js = taurus::util::json;
+    EXPECT_EQ(js::Value().dump(0), "null");
+    EXPECT_EQ(js::Value(true).dump(0), "true");
+    EXPECT_EQ(js::Value(int64_t{-42}).dump(0), "-42");
+    EXPECT_EQ(js::Value(1.5).dump(0), "1.5");
+    // Integral-valued doubles stay recognizable as floats.
+    EXPECT_EQ(js::Value(3.0).dump(0), "3.0");
+    // NaN/Inf are not valid JSON numbers.
+    EXPECT_EQ(js::Value(std::nan("")).dump(0), "null");
+    EXPECT_EQ(js::Value("a\"b\nc").dump(0), "\"a\\\"b\\nc\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndOverwrites)
+{
+    namespace js = taurus::util::json;
+    auto o = js::Value::object();
+    o.set("z", 1);
+    o.set("a", 2);
+    o.set("z", 3); // overwrite keeps the original position
+    EXPECT_EQ(o.dump(0), "{\"z\":3,\"a\":2}");
+    ASSERT_NE(o.find("a"), nullptr);
+    EXPECT_EQ(o.find("missing"), nullptr);
+    EXPECT_EQ(o.size(), 2u);
+}
+
+TEST(Json, NestedPrettyPrint)
+{
+    namespace js = taurus::util::json;
+    auto o = js::Value::object();
+    auto arr = js::Value::array();
+    arr.push(1);
+    arr.push("two");
+    o.set("xs", std::move(arr));
+    EXPECT_EQ(o.dump(2), "{\n  \"xs\": [\n    1,\n    \"two\"\n  ]\n}");
+    EXPECT_EQ(o.dump(0), "{\"xs\":[1,\"two\"]}");
+}
+
+TEST(Json, TypeMisuseThrows)
+{
+    namespace js = taurus::util::json;
+    auto arr = js::Value::array();
+    arr.push(1);
+    EXPECT_THROW(arr.set("k", 2), std::logic_error);
+    auto obj = js::Value::object();
+    EXPECT_THROW(obj.push(1), std::logic_error);
 }
