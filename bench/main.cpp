@@ -11,6 +11,7 @@
  * 2 bad usage.
  */
 
+#include <algorithm>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "harness.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -43,6 +45,9 @@ usage(std::ostream &os)
           "  --smoke        tiny problem sizes (CI-friendly)\n"
           "  --scale X      multiply full problem sizes by X in "
           "[0.001, 100]\n"
+          "  --repeats N    run each bench N times in [1, 100]; JSON\n"
+          "                 metrics report the median across repeats\n"
+          "                 plus <key>_min, and wall_ms_min/median\n"
           "  --json FILE    write machine-readable results to FILE\n"
           "  --quiet        suppress per-bench table output\n"
           "  --help         this message\n"
@@ -66,6 +71,7 @@ main(int argc, char **argv)
     bool smoke = false;
     bool quiet = false;
     double scale = 1.0;
+    int repeats = 1;
     std::string json_path;
     std::vector<std::string> names;
 
@@ -91,6 +97,22 @@ main(int argc, char **argv)
                 std::cerr << "taurus_bench: --scale " << err << "\n";
                 return 2;
             }
+        } else if (arg == "--repeats") {
+            if (++i >= argc) {
+                std::cerr << "taurus_bench: --repeats needs a value\n";
+                return 2;
+            }
+            double r = 1.0;
+            if (!bench::parseDouble(argv[i], 1.0, 100.0, &r, &err)) {
+                std::cerr << "taurus_bench: --repeats " << err << "\n";
+                return 2;
+            }
+            if (r != static_cast<double>(static_cast<int>(r))) {
+                std::cerr << "taurus_bench: --repeats '" << argv[i]
+                          << "' must be an integer\n";
+                return 2;
+            }
+            repeats = static_cast<int>(r);
         } else if (arg == "--json") {
             if (++i >= argc) {
                 std::cerr << "taurus_bench: --json needs a path\n";
@@ -133,6 +155,7 @@ main(int argc, char **argv)
     report.set("schema", "taurus-bench-v1");
     report.set("smoke", smoke);
     report.set("scale", scale);
+    report.set("repeats", repeats);
     auto benches = util::json::Value::array();
 
     int failures = 0;
@@ -140,25 +163,73 @@ main(int argc, char **argv)
         if (!quiet)
             std::cout << "==== " << b->name << " [" << b->figure
                       << "] ====\n";
-        Context ctx(smoke, scale, table_os);
         auto entry = util::json::Value::object();
         entry.set("name", b->name);
         entry.set("figure", b->figure);
         entry.set("summary", b->summary);
 
-        const bench::Timer timer;
-        try {
-            b->fn(ctx);
-            entry.set("status", "ok");
-        } catch (const std::exception &e) {
-            ++failures;
-            entry.set("status", "error");
-            entry.set("error", std::string(e.what()));
-            std::cerr << "taurus_bench: " << b->name << " failed: "
-                      << e.what() << "\n";
+        // Run the bench `repeats` times; only completed repeats feed
+        // the min/median aggregation below (an aborted run's partial
+        // wall time and metrics would skew the numbers).
+        std::vector<double> walls;
+        std::vector<util::json::Value> runs;
+        bool failed = false;
+        double failed_wall_ms = 0.0;
+        for (int r = 0; r < repeats && !failed; ++r) {
+            Context ctx(smoke, scale, r == 0 ? table_os : null_os);
+            const bench::Timer timer;
+            try {
+                b->fn(ctx);
+                walls.push_back(timer.elapsedSec() * 1e3);
+                runs.push_back(ctx.metrics());
+            } catch (const std::exception &e) {
+                ++failures;
+                failed = true;
+                failed_wall_ms = timer.elapsedSec() * 1e3;
+                entry.set("status", "error");
+                entry.set("error", std::string(e.what()));
+                std::cerr << "taurus_bench: " << b->name << " failed: "
+                          << e.what() << "\n";
+            }
         }
-        entry.set("wall_ms", timer.elapsedSec() * 1e3);
-        entry.set("metrics", ctx.metrics());
+        if (!failed)
+            entry.set("status", "ok");
+
+        entry.set("repeats", static_cast<int64_t>(runs.size()));
+        if (runs.empty()) {
+            // Failed on the first repeat: no completed run to report.
+            entry.set("wall_ms", failed_wall_ms);
+            entry.set("metrics", util::json::Value::object());
+        } else if (runs.size() == 1) {
+            // A single completed run passes its metrics through
+            // untouched.
+            entry.set("wall_ms", walls.front());
+            entry.set("wall_ms_min", walls.front());
+            entry.set("metrics", std::move(runs.front()));
+        } else {
+            // Per-metric aggregation: the median across repeats under
+            // the original key plus the minimum under <key>_min.
+            entry.set("wall_ms", util::percentile(walls, 50.0));
+            entry.set("wall_ms_min",
+                      *std::min_element(walls.begin(), walls.end()));
+            auto metrics = util::json::Value::object();
+            for (const auto &[key, first_val] : runs.front().entries()) {
+                if (!first_val.isNumber()) {
+                    metrics.set(key, first_val);
+                    continue;
+                }
+                std::vector<double> samples;
+                for (const auto &run : runs)
+                    if (const auto *v = run.find(key);
+                        v && v->isNumber())
+                        samples.push_back(v->asDouble());
+                metrics.set(key, util::percentile(samples, 50.0));
+                metrics.set(key + "_min",
+                            *std::min_element(samples.begin(),
+                                              samples.end()));
+            }
+            entry.set("metrics", std::move(metrics));
+        }
         benches.push(std::move(entry));
         if (!quiet)
             std::cout << "\n";

@@ -5,16 +5,29 @@
  * *reproduction's* speed (how fast we can simulate), not the modeled
  * hardware (which is fixed at 1 GPkt/s by construction).
  *
+ * The loops cover the whole fast-path ladder:
+ *   cycle_sim_inference   allocation-free runInto (cached schedule +
+ *                         scratch-buffer evaluation)
+ *   cycle_sim_run_legacy  the allocating run() entry point, for
+ *                         comparison against the fast path
+ *   switch_process        one packet at a time through Figure 6
+ *   switch_process_batch  the processBatch entry point
+ *   switch_farm           SwitchFarm: N switch replicas, flow-hash
+ *                         partitioned, one worker thread each
+ *
  * Each loop is wall-clock timed by the harness Timer; the switch loop
  * additionally reports modeled per-packet latency percentiles.
  */
 
 #include "harness.hpp"
 
+#include <thread>
+
 #include "compiler/compile.hpp"
 #include "hw/cycle_sim.hpp"
 #include "models/zoo.hpp"
 #include "net/kdd.hpp"
+#include "taurus/farm.hpp"
 #include "taurus/switch.hpp"
 #include "util/table.hpp"
 
@@ -42,25 +55,44 @@ TAURUS_BENCH(throughput_bench, "Simulator throughput",
                   TablePrinter::num(double(iters) / sec, 0)});
     };
 
-    // 1. Cycle-accurate DNN inference on the MapReduce grid.
+    // 1. Cycle-accurate DNN inference on the MapReduce grid: the
+    //    allocation-free path (compiled schedule + scratch buffers).
     {
         const auto prog = compiler::compile(dnn.graph);
         hw::CycleSim sim(prog);
-        std::vector<int8_t> input(6, 42);
-        const size_t iters = ctx.size(2000, 100);
+        // The input buffer persists across packets: no per-iteration
+        // vector-of-vectors temporary, so the loop times the simulator
+        // rather than allocator churn.
+        std::vector<std::vector<int8_t>> inputs(
+            1, std::vector<int8_t>(6, 42));
+        dfg::EvalScratch scratch;
+        hw::SimResult res;
+        sim.runInto(inputs, scratch, res); // warm the buffers
+        const size_t iters = ctx.size(200000, 100);
         const bench::Timer timer;
         uint64_t sink = 0;
-        for (size_t i = 0; i < iters; ++i)
-            sink += sim.run({input}).outputs.size();
+        for (size_t i = 0; i < iters; ++i) {
+            sim.runInto(inputs, scratch, res);
+            sink += res.outputs.size();
+        }
         report("cycle_sim_inference", iters, timer.elapsedSec());
         ctx.metric("cycle_sim_outputs_seen", sink);
+
+        // The legacy allocating entry point, for before/after context.
+        const size_t legacy_iters = ctx.size(20000, 100);
+        const bench::Timer legacy_timer;
+        for (size_t i = 0; i < legacy_iters; ++i)
+            sink += sim.run(inputs).outputs.size();
+        report("cycle_sim_run_legacy", legacy_iters,
+               legacy_timer.elapsedSec());
     }
 
-    // 2. The full Figure-6 pipeline: parse -> MATs -> grid -> PIFO.
+    // 2. The full Figure-6 pipeline: parse -> MATs -> grid -> PIFO,
+    //    one packet at a time.
     {
         core::TaurusSwitch sw;
         sw.installAnomalyModel(dnn);
-        const size_t iters = ctx.size(20000, 1000);
+        const size_t iters = ctx.size(100000, 1000);
         std::vector<double> modeled_ns;
         modeled_ns.reserve(iters);
         const bench::Timer timer;
@@ -72,20 +104,65 @@ TAURUS_BENCH(throughput_bench, "Simulator throughput",
         ctx.latency("switch_modeled_latency", std::move(modeled_ns));
     }
 
-    // 3. Header parsing alone.
+    // 3. The batched entry point over the same pipeline.
+    {
+        core::TaurusSwitch sw;
+        sw.installAnomalyModel(dnn);
+        std::vector<core::SwitchDecision> decisions(trace.size());
+        const size_t target = ctx.size(100000, 1000);
+        size_t done = 0;
+        const bench::Timer timer;
+        while (done < target) {
+            const size_t n = std::min(trace.size(), target - done);
+            sw.processBatch(
+                util::Span<const net::TracePacket>(trace.data(), n),
+                util::Span<core::SwitchDecision>(decisions.data(), n));
+            done += n;
+        }
+        report("switch_process_batch", done, timer.elapsedSec());
+    }
+
+    // 4. The sharded farm: N replicas, flow-hash partitioned traffic.
+    {
+        const unsigned hc = std::thread::hardware_concurrency();
+        const size_t workers =
+            std::max<size_t>(1, std::min<size_t>(hc ? hc : 1, 8));
+        core::SwitchFarm farm({}, workers);
+        farm.installAnomalyModel(dnn);
+        std::vector<core::SwitchDecision> decisions(trace.size());
+        const size_t target = ctx.size(400000, 1000);
+        size_t done = 0;
+        const bench::Timer timer;
+        while (done < target) {
+            const size_t n = std::min(trace.size(), target - done);
+            farm.processTrace(
+                util::Span<const net::TracePacket>(trace.data(), n),
+                util::Span<core::SwitchDecision>(decisions.data(), n));
+            done += n;
+        }
+        report("switch_farm", done, timer.elapsedSec());
+        ctx.metric("switch_farm_workers", workers);
+        ctx.metric("switch_farm_packets",
+                   farm.mergedStats().packets);
+    }
+
+    // 5. Header parsing alone (reset-in-place PHV).
     {
         const auto parser = pisa::Parser::standard();
         const auto pkt = pisa::fromTracePacket(trace.front());
+        pisa::Phv phv;
         const size_t iters = ctx.size(200000, 5000);
         const bench::Timer timer;
         uint64_t sink = 0;
-        for (size_t i = 0; i < iters; ++i)
-            sink += parser.parse(pkt).get(pisa::Field::PktLen);
+        for (size_t i = 0; i < iters; ++i) {
+            parser.parseInto(pkt, phv);
+            sink += phv.get(pisa::Field::PktLen);
+        }
         report("parser_only", iters, timer.elapsedSec());
         ctx.metric("parser_sink", sink);
     }
 
-    // 4. Flow-feature tracking (the MAT-side stateful preprocessing).
+    // 6. Flow-feature tracking (the MAT-side stateful preprocessing).
     {
         net::FlowTracker tracker;
         const size_t iters = ctx.size(100000, 5000);

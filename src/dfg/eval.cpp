@@ -18,49 +18,23 @@ clamp8(int32_t v)
     return saturate<int8_t>(v);
 }
 
-} // namespace
-
-int32_t
-applyMapFn(MapFn fn, int32_t x, int32_t imm, const fixed::Requantizer &rq)
+/**
+ * Evaluate every node in `topo` order, writing each result into
+ * `values[id]`. Lane buffers are cleared, not reallocated, so a caller
+ * that reuses `values` across packets pays no per-packet allocations
+ * once the buffers have grown to their steady-state capacity.
+ */
+void
+evalNodes(const Graph &g, const std::vector<int> &topo,
+          const std::vector<std::vector<int8_t>> &inputs,
+          std::vector<LaneVec> &values)
 {
-    switch (fn) {
-      case MapFn::Identity:
-        return x;
-      case MapFn::Relu:
-        return x > 0 ? x : 0;
-      case MapFn::LeakyRelu:
-        return x >= 0 ? x : x / 8;
-      case MapFn::Square:
-        return clamp8(x * x);
-      case MapFn::Abs:
-        return x < 0 ? clamp8(-x) : x;
-      case MapFn::Neg:
-        return clamp8(-x);
-      case MapFn::AddConst:
-        return clamp8(x + imm);
-      case MapFn::MulConst:
-        return rq.apply(x * imm);
-      case MapFn::MinConst:
-        return x < imm ? x : imm;
-      case MapFn::MaxConst:
-        return x > imm ? x : imm;
-    }
-    return x;
-}
-
-std::vector<LaneVec>
-evaluate(const Graph &g, const std::vector<std::vector<int8_t>> &inputs)
-{
-    const std::string err = g.validate();
-    if (!err.empty())
-        throw std::invalid_argument("invalid graph: " + err);
-
-    std::vector<LaneVec> values(g.nodes().size());
     size_t next_input = 0;
 
-    for (int id : g.topoOrder()) {
+    for (int id : topo) {
         const Node &n = g.node(id);
-        LaneVec out;
+        LaneVec &out = values[static_cast<size_t>(id)];
+        out.lanes.clear();
         out.type = Graph::outputType(n);
 
         auto in = [&](size_t i) -> const LaneVec & {
@@ -106,7 +80,7 @@ evaluate(const Graph &g, const std::vector<std::vector<int8_t>> &inputs)
             break;
           }
           case NodeKind::MapChain: {
-            out.lanes = in(0).lanes;
+            out.lanes.assign(in(0).lanes.begin(), in(0).lanes.end());
             for (size_t s = 0; s < n.fns.size(); ++s) {
                 const int32_t imm =
                     s < n.imms.size() ? n.imms[s] : 0;
@@ -171,17 +145,97 @@ evaluate(const Graph &g, const std::vector<std::vector<int8_t>> &inputs)
                     out.lanes.push_back(lane);
             break;
           }
-          case NodeKind::Output:
-            out = in(0);
+          case NodeKind::Output: {
+            const auto &src = in(0);
+            out.lanes.assign(src.lanes.begin(), src.lanes.end());
+            out.type = src.type;
             break;
+          }
         }
 
         if (n.kind != NodeKind::Output &&
             out.lanes.size() != static_cast<size_t>(n.width))
             throw std::logic_error("node " + std::to_string(n.id) +
                                    " produced wrong width");
-        values[static_cast<size_t>(id)] = std::move(out);
     }
+}
+
+} // namespace
+
+int32_t
+applyMapFn(MapFn fn, int32_t x, int32_t imm, const fixed::Requantizer &rq)
+{
+    switch (fn) {
+      case MapFn::Identity:
+        return x;
+      case MapFn::Relu:
+        return x > 0 ? x : 0;
+      case MapFn::LeakyRelu:
+        return x >= 0 ? x : x / 8;
+      case MapFn::Square:
+        return clamp8(x * x);
+      case MapFn::Abs:
+        return x < 0 ? clamp8(-x) : x;
+      case MapFn::Neg:
+        return clamp8(-x);
+      case MapFn::AddConst:
+        return clamp8(x + imm);
+      case MapFn::MulConst:
+        return rq.apply(x * imm);
+      case MapFn::MinConst:
+        return x < imm ? x : imm;
+      case MapFn::MaxConst:
+        return x > imm ? x : imm;
+    }
+    return x;
+}
+
+void
+EvalScratch::bind(const Graph &g)
+{
+    const std::string err = g.validate();
+    if (!err.empty())
+        throw std::invalid_argument("invalid graph: " + err);
+    graph_ = &g;
+    topo_ = g.topoOrder();
+    out_ids_ = g.outputIds();
+    values_.resize(g.nodes().size());
+    outputs_.resize(out_ids_.size());
+}
+
+std::vector<LaneVec> &
+evaluateInto(const Graph &g, const std::vector<std::vector<int8_t>> &inputs,
+             EvalScratch &scratch)
+{
+    // Self-bind on first use, when handed a different graph object, or
+    // when the bound graph changed node count (guards address reuse and
+    // in-place structural edits; weight-only mutation keeps the binding
+    // valid). Steady-state packets skip validation and topo sorting.
+    if (scratch.graph_ != &g ||
+        scratch.values_.size() != g.nodes().size())
+        scratch.bind(g);
+
+    evalNodes(g, scratch.topo_, inputs, scratch.values_);
+
+    size_t oi = 0;
+    for (int id : scratch.out_ids_) {
+        const LaneVec &src = scratch.values_[static_cast<size_t>(id)];
+        LaneVec &dst = scratch.outputs_[oi++];
+        dst.lanes.assign(src.lanes.begin(), src.lanes.end());
+        dst.type = src.type;
+    }
+    return scratch.outputs_;
+}
+
+std::vector<LaneVec>
+evaluate(const Graph &g, const std::vector<std::vector<int8_t>> &inputs)
+{
+    const std::string err = g.validate();
+    if (!err.empty())
+        throw std::invalid_argument("invalid graph: " + err);
+
+    std::vector<LaneVec> values(g.nodes().size());
+    evalNodes(g, g.topoOrder(), inputs, values);
 
     std::vector<LaneVec> results;
     for (int id : g.outputIds())

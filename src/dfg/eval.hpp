@@ -25,11 +25,50 @@ struct LaneVec
 };
 
 /**
+ * Reusable evaluation state for the allocation-free per-packet path:
+ * per-node lane buffers (capacity retained across packets) plus the
+ * graph's topological order, both computed once by bind(). A scratch is
+ * bound to one graph structure; rebinding is cheap and only needed when
+ * the graph changes shape (weight-only updates keep the binding valid).
+ */
+class EvalScratch
+{
+  public:
+    /** Validate `g`, cache its topo order, and size the buffers. */
+    void bind(const Graph &g);
+
+    bool bound() const { return graph_ != nullptr; }
+
+  private:
+    friend std::vector<LaneVec> &evaluateInto(
+        const Graph &g, const std::vector<std::vector<int8_t>> &inputs,
+        EvalScratch &scratch);
+
+    const Graph *graph_ = nullptr; ///< identity of the bound graph
+    std::vector<int> topo_;
+    std::vector<int> out_ids_;     ///< Output node ids, insertion order
+    std::vector<LaneVec> values_;  ///< one per node, lanes reused
+    std::vector<LaneVec> outputs_; ///< one per Output node, lanes reused
+};
+
+/**
  * Evaluate the graph on one input vector per Input node (matched in
  * insertion order). Returns one LaneVec per Output node.
  */
 std::vector<LaneVec> evaluate(const Graph &g,
                               const std::vector<std::vector<int8_t>> &inputs);
+
+/**
+ * Allocation-free evaluate: identical semantics (and bit-identical
+ * results) to evaluate(), but all intermediate and output lane storage
+ * lives in `scratch` and is reused across calls. The returned reference
+ * points into the scratch and is valid until the next call. The scratch
+ * self-binds on first use (or when the node count changes); callers that
+ * swap between same-shaped graphs can keep one scratch per graph.
+ */
+std::vector<LaneVec> &evaluateInto(
+    const Graph &g, const std::vector<std::vector<int8_t>> &inputs,
+    EvalScratch &scratch);
 
 /** Convenience for single-input single-output graphs. */
 std::vector<int8_t> evaluateSimple(const Graph &g,

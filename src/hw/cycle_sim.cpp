@@ -1,7 +1,6 @@
 #include "hw/cycle_sim.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "util/stats.hpp"
@@ -13,6 +12,7 @@ CycleSim::CycleSim(const GridProgram &program) : program_(program)
     const std::string err = program.validate();
     if (!err.empty())
         throw std::invalid_argument("invalid program: " + err);
+    schedule_ = compileSchedule(program);
 }
 
 int
@@ -58,27 +58,37 @@ CycleSim::nodeLatency(const dfg::Node &n, const dfg::Graph &g,
     return 0;
 }
 
-SimResult
-CycleSim::run(const std::vector<std::vector<int8_t>> &inputs) const
+Schedule
+CycleSim::compileSchedule(const GridProgram &prog)
 {
-    const auto &prog = program_;
     const auto &g = prog.graph;
-    SimResult res;
+    Schedule sched;
+    sched.start.assign(g.nodes().size(), 0);
+    sched.finish.assign(g.nodes().size(), 0);
 
-    // Functional evaluation (bit-exact dfg semantics).
-    const auto all_values = dfg::evaluate(g, inputs);
-    res.outputs = all_values;
-
-    // Timing: longest-path schedule with optional unit serialization.
-    std::vector<int> finish(g.nodes().size(), 0);
-    std::map<std::pair<int, int>, int> unit_free;
+    // Longest-path schedule with optional unit serialization. Unit
+    // reservations live in a flat vector keyed by grid coordinate
+    // (row * cols + col) rather than an ordered map: placement
+    // coordinates are dense and bounded by the grid.
+    auto coordKey = [&](const Coord &c) {
+        return static_cast<size_t>(c.row) *
+                   static_cast<size_t>(prog.spec.cols) +
+               static_cast<size_t>(c.col);
+    };
+    std::vector<int> unit_free;
+    if (prog.serialize_sharing)
+        unit_free.assign(static_cast<size_t>(prog.spec.rows) *
+                             static_cast<size_t>(prog.spec.cols),
+                         0);
 
     for (int id : g.topoOrder()) {
         const auto &n = g.node(id);
         const Coord here = prog.place[static_cast<size_t>(id)];
 
         if (n.kind == dfg::NodeKind::Input) {
-            finish[static_cast<size_t>(id)] = prog.timing.ingress_cycles;
+            sched.start[static_cast<size_t>(id)] = 0;
+            sched.finish[static_cast<size_t>(id)] =
+                prog.timing.ingress_cycles;
             continue;
         }
 
@@ -92,14 +102,15 @@ CycleSim::run(const std::vector<std::vector<int8_t>> &inputs) const
                 g.node(pred).kind == dfg::NodeKind::Input ||
                 n.kind == dfg::NodeKind::Output;
             const int hops = io_edge ? 1 : manhattan(from, here);
-            res.route_hops += hops;
-            const int arrive = finish[static_cast<size_t>(pred)] +
+            sched.route_hops += hops;
+            const int arrive = sched.finish[static_cast<size_t>(pred)] +
                                prog.timing.route_base + hops;
             ready = std::max(ready, arrive);
         }
 
         if (n.kind == dfg::NodeKind::Output) {
-            finish[static_cast<size_t>(id)] =
+            sched.start[static_cast<size_t>(id)] = ready;
+            sched.finish[static_cast<size_t>(id)] =
                 ready + prog.timing.egress_cycles;
             continue;
         }
@@ -108,30 +119,34 @@ CycleSim::run(const std::vector<std::vector<int8_t>> &inputs) const
             nodeLatency(n, g, prog.spec, prog.timing);
         int start = ready;
         if (prog.serialize_sharing && dfg::Graph::isCuOp(n)) {
-            auto &free_at = unit_free[{here.row, here.col}];
+            int &free_at = unit_free[coordKey(here)];
             start = std::max(start, free_at);
             free_at = start + lat;
         }
-        finish[static_cast<size_t>(id)] = start + lat;
+        sched.start[static_cast<size_t>(id)] = start;
+        sched.finish[static_cast<size_t>(id)] = start + lat;
     }
 
     int latency = 0;
     for (int id : g.outputIds())
-        latency = std::max(latency, finish[static_cast<size_t>(id)]);
+        latency =
+            std::max(latency, sched.finish[static_cast<size_t>(id)]);
 
     // Initiation interval.
     int ii = prog.ii_multiplier;
     if (g.loop)
         ii = std::max(ii, g.loop->iiMultiplier());
     if (prog.serialize_sharing) {
-        std::map<std::pair<int, int>, int> demand;
+        std::vector<int> demand(static_cast<size_t>(prog.spec.rows) *
+                                    static_cast<size_t>(prog.spec.cols),
+                                0);
         for (const auto &n : g.nodes())
             if (dfg::Graph::isCuOp(n)) {
                 const Coord c = prog.place[static_cast<size_t>(n.id)];
-                demand[{c.row, c.col}] +=
+                demand[coordKey(c)] +=
                     nodeLatency(n, g, prog.spec, prog.timing);
             }
-        for (const auto &[coord, d] : demand)
+        for (const int d : demand)
             ii = std::max(ii, d);
     }
 
@@ -140,11 +155,45 @@ CycleSim::run(const std::vector<std::vector<int8_t>> &inputs) const
     if (ii > 1)
         latency += ii - 1;
 
-    res.latency_cycles = latency;
-    res.latency_ns = latency / prog.spec.clock_ghz;
-    res.ii_cycles = ii;
-    res.gpktps = prog.spec.clock_ghz / ii;
+    sched.latency_cycles = latency;
+    sched.latency_ns = latency / prog.spec.clock_ghz;
+    sched.ii_cycles = ii;
+    sched.gpktps = prog.spec.clock_ghz / ii;
+    return sched;
+}
+
+SimResult
+CycleSim::run(const std::vector<std::vector<int8_t>> &inputs) const
+{
+    SimResult res;
+    // Functional evaluation (bit-exact dfg semantics); timing comes from
+    // the schedule compiled at construction.
+    res.outputs = dfg::evaluate(program_.graph, inputs);
+    res.latency_cycles = schedule_.latency_cycles;
+    res.latency_ns = schedule_.latency_ns;
+    res.ii_cycles = schedule_.ii_cycles;
+    res.gpktps = schedule_.gpktps;
+    res.route_hops = schedule_.route_hops;
     return res;
+}
+
+void
+CycleSim::runInto(const std::vector<std::vector<int8_t>> &inputs,
+                  dfg::EvalScratch &scratch, SimResult &res) const
+{
+    const auto &outputs =
+        dfg::evaluateInto(program_.graph, inputs, scratch);
+    res.outputs.resize(outputs.size());
+    for (size_t i = 0; i < outputs.size(); ++i) {
+        res.outputs[i].lanes.assign(outputs[i].lanes.begin(),
+                                    outputs[i].lanes.end());
+        res.outputs[i].type = outputs[i].type;
+    }
+    res.latency_cycles = schedule_.latency_cycles;
+    res.latency_ns = schedule_.latency_ns;
+    res.ii_cycles = schedule_.ii_cycles;
+    res.gpktps = schedule_.gpktps;
+    res.route_hops = schedule_.route_hops;
 }
 
 } // namespace taurus::hw

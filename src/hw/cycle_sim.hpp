@@ -15,6 +15,13 @@
  * lane-packed ops) and the block is fully pipelined: II = 1. Loop metadata
  * multiplies II by ceil(trip/unroll); folded programs (serialize_sharing)
  * derive II from per-unit service demand.
+ *
+ * Timing is entirely static per installed program, so it is *compiled
+ * once* into a Schedule at construction: per-node start/finish cycles,
+ * route hops, latency, II, and gpktps. The steady-state per-packet path
+ * (runInto) then performs only the functional dfg evaluation, against
+ * reusable scratch buffers — no validation, no timing walk, and no
+ * allocations once the buffers are warm.
  */
 
 #pragma once
@@ -37,6 +44,21 @@ struct SimResult
     int route_hops = 0;      ///< total routed hops (for reports)
 };
 
+/**
+ * The input-independent timing of a placed program, compiled once at
+ * CycleSim construction and reused for every packet.
+ */
+struct Schedule
+{
+    std::vector<int> start;  ///< per-node compute start cycle
+    std::vector<int> finish; ///< per-node finish cycle
+    int latency_cycles = 0;
+    double latency_ns = 0.0;
+    int ii_cycles = 1;
+    double gpktps = 0.0;
+    int route_hops = 0;
+};
+
 /** Simulates a GridProgram. */
 class CycleSim
 {
@@ -46,12 +68,33 @@ class CycleSim
     /** Run one packet's feature vector(s) through the block. */
     SimResult run(const std::vector<std::vector<int8_t>> &inputs) const;
 
+    /**
+     * Allocation-free per-packet entry point: functional evaluation into
+     * `scratch`, timing copied from the cached Schedule. `res.outputs`
+     * references are refreshed in place (lane buffers reused). Results
+     * are bit-identical to run().
+     */
+    void runInto(const std::vector<std::vector<int8_t>> &inputs,
+                 dfg::EvalScratch &scratch, SimResult &res) const;
+
+    /** The compiled (static, per-program) timing schedule. */
+    const Schedule &schedule() const { return schedule_; }
+
+    /**
+     * Compile the timing schedule for a program from scratch: the
+     * longest-path walk with per-unit serialization and the II
+     * derivation. Used by the constructor and by regression tests that
+     * compare cached schedules against a fresh computation.
+     */
+    static Schedule compileSchedule(const GridProgram &program);
+
     /** Latency of a single node's compute, in cycles. */
     static int nodeLatency(const dfg::Node &n, const dfg::Graph &g,
                            const GridSpec &spec, const TimingSpec &timing);
 
   private:
     const GridProgram &program_;
+    Schedule schedule_;
 };
 
 } // namespace taurus::hw

@@ -110,10 +110,25 @@ QuantizedMlp::quantizeInput(const Vector &input) const
 std::vector<int8_t>
 QuantizedMlp::forwardInt(const std::vector<int8_t> &input) const
 {
-    std::vector<int8_t> v = input;
+    ForwardScratch scratch;
+    return forwardInt(input, scratch);
+}
+
+const std::vector<int8_t> &
+QuantizedMlp::forwardInt(const std::vector<int8_t> &input,
+                         ForwardScratch &scratch) const
+{
+    // Double-buffer: `cur` holds the previous layer's activations,
+    // `next` receives this layer's; the buffers swap roles per layer and
+    // keep their capacity across packets.
+    std::vector<int8_t> *cur = &scratch.a;
+    std::vector<int8_t> *next = &scratch.b;
+    cur->assign(input.begin(), input.end());
+
     for (const auto &layer : layers_) {
-        assert(v.size() == layer.in);
-        std::vector<int8_t> next(layer.out);
+        assert(cur->size() == layer.in);
+        next->resize(layer.out);
+        const int8_t *v = cur->data();
         for (size_t r = 0; r < layer.out; ++r) {
             int64_t acc = layer.b[r];
             const int8_t *row = layer.w.data() + r * layer.in;
@@ -122,27 +137,28 @@ QuantizedMlp::forwardInt(const std::vector<int8_t> &input) const
                        static_cast<int32_t>(v[c]);
             const int32_t acc32 = fixed::saturate<int32_t>(acc);
             int8_t pre = layer.requant.apply(acc32);
+            int8_t out = pre;
             switch (layer.act) {
               case Activation::Relu:
-                next[r] = std::max<int8_t>(pre, 0);
+                out = std::max<int8_t>(pre, 0);
                 break;
               case Activation::LeakyRelu:
-                next[r] = pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
+                out = pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
                 break;
               case Activation::Sigmoid:
               case Activation::Tanh:
-                next[r] = layer.lut[static_cast<size_t>(
+                out = layer.lut[static_cast<size_t>(
                     static_cast<int>(pre) + 128)];
                 break;
               case Activation::None:
               case Activation::Softmax:
-                next[r] = pre;
                 break;
             }
+            (*next)[r] = out;
         }
-        v = std::move(next);
+        std::swap(cur, next);
     }
-    return v;
+    return *cur;
 }
 
 Vector

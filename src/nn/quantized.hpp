@@ -35,6 +35,17 @@ struct QuantizedDense
     double out_scale = 1.0;   ///< real value of output code 1
 };
 
+/**
+ * Reusable activation buffers for the allocation-free forward pass: two
+ * vectors that double-buffer layer activations across the network, with
+ * capacity retained across packets.
+ */
+struct ForwardScratch
+{
+    std::vector<int8_t> a;
+    std::vector<int8_t> b;
+};
+
 /** A quantized MLP with an integer-only forward pass. */
 class QuantizedMlp
 {
@@ -51,6 +62,15 @@ class QuantizedMlp
 
     /** Integer-only forward pass. */
     std::vector<int8_t> forwardInt(const std::vector<int8_t> &input) const;
+
+    /**
+     * Allocation-free forward pass: activations ping-pong between the
+     * two scratch buffers instead of allocating one vector per layer.
+     * Returns a reference into `scratch`, valid until the next call;
+     * results are bit-identical to forwardInt().
+     */
+    const std::vector<int8_t> &forwardInt(const std::vector<int8_t> &input,
+                                          ForwardScratch &scratch) const;
 
     /** Convenience: real input -> dequantized real output vector. */
     Vector forward(const Vector &input) const;

@@ -10,6 +10,8 @@ MatStage::MatStage(std::string name, MatchKind kind, std::vector<Field> key)
 {
     if (kind_ == MatchKind::Lpm && key_.size() != 1)
         throw std::invalid_argument("LPM tables take exactly one key");
+    if (key_.size() > kMaxKeyFields)
+        throw std::invalid_argument(name_ + ": key too wide");
 }
 
 int
@@ -20,11 +22,11 @@ MatStage::addAction(Action action)
 }
 
 uint64_t
-MatStage::keyHash(const std::vector<uint32_t> &key)
+MatStage::keyHash(const uint32_t *key, size_t n)
 {
     uint64_t h = 0xcbf29ce484222325ull;
-    for (uint32_t w : key) {
-        h ^= w;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= key[i];
         h *= 0x100000001b3ull;
     }
     return h;
@@ -42,6 +44,12 @@ MatStage::addEntry(TableEntry entry)
         throw std::invalid_argument(name_ + ": bad action id");
     if (kind_ == MatchKind::Exact)
         exact_index_[keyHash(entry.value)] = entries_.size();
+    if (kind_ == MatchKind::Ternary)
+        for (size_t i = 0; i < key_.size(); ++i) {
+            ternary_masked_values_.push_back(entry.value[i] &
+                                             entry.mask[i]);
+            ternary_masks_.push_back(entry.mask[i]);
+        }
     entries_.push_back(std::move(entry));
 }
 
@@ -62,35 +70,45 @@ MatStage::clearEntries()
 {
     entries_.clear();
     exact_index_.clear();
+    ternary_masked_values_.clear();
+    ternary_masks_.clear();
 }
 
 const TableEntry *
 MatStage::lookup(const Phv &phv) const
 {
-    std::vector<uint32_t> key;
-    key.reserve(key_.size());
-    for (Field f : key_)
-        key.push_back(phv.get(f));
+    // The key lives on the stack (width bounded at construction), so a
+    // lookup costs no allocation on the per-packet path.
+    uint32_t key[kMaxKeyFields];
+    const size_t klen = key_.size();
+    for (size_t i = 0; i < klen; ++i)
+        key[i] = phv.get(key_[i]);
 
     switch (kind_) {
       case MatchKind::Exact: {
-        const auto it = exact_index_.find(keyHash(key));
+        const auto it = exact_index_.find(keyHash(key, klen));
         if (it != exact_index_.end() &&
-            entries_[it->second].value == key)
+            std::equal(key, key + klen,
+                       entries_[it->second].value.begin(),
+                       entries_[it->second].value.end()))
             return &entries_[it->second];
         return nullptr;
       }
       case MatchKind::Ternary: {
         const TableEntry *best = nullptr;
+        const uint32_t *mv = ternary_masked_values_.data();
+        const uint32_t *mm = ternary_masks_.data();
         for (const TableEntry &e : entries_) {
             bool match = true;
-            for (size_t i = 0; i < key.size(); ++i)
-                if ((key[i] & e.mask[i]) != (e.value[i] & e.mask[i])) {
+            for (size_t i = 0; i < klen; ++i)
+                if ((key[i] & mm[i]) != mv[i]) {
                     match = false;
                     break;
                 }
             if (match && (!best || e.priority > best->priority))
                 best = &e;
+            mv += klen;
+            mm += klen;
         }
         return best;
       }

@@ -31,6 +31,9 @@ enum class MatchKind
     Lpm,     ///< longest-prefix match on a single field
 };
 
+/** Most key fields any stage may match on (bounds the stack key). */
+constexpr size_t kMaxKeyFields = 16;
+
 /** One installed table entry. */
 struct TableEntry
 {
@@ -88,7 +91,11 @@ class MatStage
     const TableEntry *lookup(const Phv &phv) const;
 
     /** Hash of an exact-match key (SRAM lookup index). */
-    static uint64_t keyHash(const std::vector<uint32_t> &key);
+    static uint64_t keyHash(const uint32_t *key, size_t n);
+    static uint64_t keyHash(const std::vector<uint32_t> &key)
+    {
+        return keyHash(key.data(), key.size());
+    }
 
     std::string name_;
     MatchKind kind_;
@@ -98,6 +105,14 @@ class MatStage
     std::optional<TableEntry> default_entry_;
     /** Exact tables index entries by key hash (hardware SRAM lookup). */
     std::unordered_map<uint64_t, size_t> exact_index_;
+    /**
+     * Ternary match data flattened for the per-packet scan: key-width
+     * words per entry, values pre-masked at install time, so the TCAM
+     * walk touches two contiguous arrays instead of chasing per-entry
+     * heap vectors.
+     */
+    std::vector<uint32_t> ternary_masked_values_;
+    std::vector<uint32_t> ternary_masks_;
     mutable MatStats stats_;
 };
 

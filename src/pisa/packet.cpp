@@ -1,32 +1,42 @@
 #include "pisa/packet.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace taurus::pisa {
 
 namespace {
 
-void
-putU8(std::vector<uint8_t> &b, uint8_t v)
+/**
+ * Big-endian cursor writer over a pre-sized buffer: serialization is
+ * indexed stores, not per-byte push_backs with capacity checks.
+ */
+struct Cursor
 {
-    b.push_back(v);
-}
+    uint8_t *p;
 
-void
-putU16(std::vector<uint8_t> &b, uint16_t v)
-{
-    b.push_back(static_cast<uint8_t>(v >> 8));
-    b.push_back(static_cast<uint8_t>(v & 0xff));
-}
+    void
+    u8(uint8_t v)
+    {
+        *p++ = v;
+    }
 
-void
-putU32(std::vector<uint8_t> &b, uint32_t v)
-{
-    b.push_back(static_cast<uint8_t>(v >> 24));
-    b.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
-    b.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
-    b.push_back(static_cast<uint8_t>(v & 0xff));
-}
+    void
+    u16(uint16_t v)
+    {
+        *p++ = static_cast<uint8_t>(v >> 8);
+        *p++ = static_cast<uint8_t>(v & 0xff);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        *p++ = static_cast<uint8_t>(v >> 24);
+        *p++ = static_cast<uint8_t>((v >> 16) & 0xff);
+        *p++ = static_cast<uint8_t>((v >> 8) & 0xff);
+        *p++ = static_cast<uint8_t>(v & 0xff);
+    }
+};
 
 } // namespace
 
@@ -56,56 +66,77 @@ makePacket(const net::FlowKey &flow, uint16_t total_len, uint8_t tcp_flags,
            double arrival_s)
 {
     Packet p;
+    makePacketInto(flow, total_len, tcp_flags, arrival_s, p);
+    return p;
+}
+
+void
+makePacketInto(const net::FlowKey &flow, uint16_t total_len,
+               uint8_t tcp_flags, double arrival_s, Packet &p)
+{
     p.arrival_s = arrival_s;
+    p.ingress_port = 0;
+    p.truth_anomalous = false;
+    p.truth_conn_id = -1;
+
+    // Size the wire buffer up front (body bytes are zero); clear+resize
+    // zero-fills while keeping the buffer's capacity across packets.
+    const bool tcp = flow.proto == net::kProtoTcp;
+    const size_t header_len = 14u + 20u + (tcp ? 20u : 8u);
     auto &b = p.bytes;
-    b.reserve(total_len);
+    b.clear();
+    b.resize(std::max<size_t>(total_len, header_len), 0);
+
+    Cursor c{b.data()};
 
     // Ethernet: synthetic MACs derived from the IPs.
-    putU16(b, 0x0200);
-    putU32(b, flow.dst_ip);
-    putU16(b, 0x0200);
-    putU32(b, flow.src_ip);
-    putU16(b, kEtherTypeIpv4);
+    c.u16(0x0200);
+    c.u32(flow.dst_ip);
+    c.u16(0x0200);
+    c.u32(flow.src_ip);
+    c.u16(kEtherTypeIpv4);
 
     // IPv4 (no options).
-    const bool tcp = flow.proto == net::kProtoTcp;
-    putU8(b, 0x45); // version 4, ihl 5
-    putU8(b, 0);    // tos
-    putU16(b, static_cast<uint16_t>(total_len > 14 ? total_len - 14 : 20));
-    putU16(b, 0);      // id
-    putU16(b, 0x4000); // don't-fragment
-    putU8(b, 64);      // ttl
-    putU8(b, flow.proto);
-    putU16(b, 0); // checksum (not modeled)
-    putU32(b, flow.src_ip);
-    putU32(b, flow.dst_ip);
+    c.u8(0x45); // version 4, ihl 5
+    c.u8(0);    // tos
+    c.u16(static_cast<uint16_t>(total_len > 14 ? total_len - 14 : 20));
+    c.u16(0);      // id
+    c.u16(0x4000); // don't-fragment
+    c.u8(64);      // ttl
+    c.u8(flow.proto);
+    c.u16(0); // checksum (not modeled)
+    c.u32(flow.src_ip);
+    c.u32(flow.dst_ip);
 
     if (tcp) {
-        putU16(b, flow.src_port);
-        putU16(b, flow.dst_port);
-        putU32(b, 0); // seq
-        putU32(b, 0); // ack
-        putU8(b, 0x50); // data offset 5
-        putU8(b, tcp_flags);
-        putU16(b, 0xffff); // window
-        putU16(b, 0);      // checksum
-        putU16(b, 0);      // urgent pointer
+        c.u16(flow.src_port);
+        c.u16(flow.dst_port);
+        c.u32(0); // seq
+        c.u32(0); // ack
+        c.u8(0x50); // data offset 5
+        c.u8(tcp_flags);
+        c.u16(0xffff); // window
+        c.u16(0);      // checksum
+        c.u16(0);      // urgent pointer
     } else {
-        putU16(b, flow.src_port);
-        putU16(b, flow.dst_port);
-        putU16(b, static_cast<uint16_t>(total_len > 34 ? total_len - 34
-                                                       : 8));
-        putU16(b, 0); // checksum
+        c.u16(flow.src_port);
+        c.u16(flow.dst_port);
+        c.u16(static_cast<uint16_t>(total_len > 34 ? total_len - 34
+                                                   : 8));
+        c.u16(0); // checksum
     }
-
-    // Pad the body out to the wire length.
-    while (b.size() < total_len)
-        b.push_back(0);
-    return p;
 }
 
 Packet
 fromTracePacket(const net::TracePacket &tp)
+{
+    Packet p;
+    fromTracePacketInto(tp, p);
+    return p;
+}
+
+void
+fromTracePacketInto(const net::TracePacket &tp, Packet &p)
 {
     uint8_t flags = kTcpAck;
     if (tp.syn)
@@ -115,11 +146,10 @@ fromTracePacket(const net::TracePacket &tp)
     if (tp.urg)
         flags = static_cast<uint8_t>(flags | kTcpUrg);
 
-    Packet p = makePacket(tp.flow, std::max<uint16_t>(tp.size_bytes, 54),
-                          flags, tp.time_s);
+    makePacketInto(tp.flow, std::max<uint16_t>(tp.size_bytes, 54), flags,
+                   tp.time_s, p);
     p.truth_anomalous = tp.anomalous;
     p.truth_conn_id = tp.conn_id;
-    return p;
 }
 
 } // namespace taurus::pisa

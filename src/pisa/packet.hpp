@@ -45,8 +45,18 @@ constexpr uint8_t kTcpUrg = 0x20;
 Packet makePacket(const net::FlowKey &flow, uint16_t total_len,
                   uint8_t tcp_flags, double arrival_s);
 
+/**
+ * Serialize into an existing packet, reusing its byte buffer — the
+ * per-packet fast path (no wire-buffer allocation once warm).
+ */
+void makePacketInto(const net::FlowKey &flow, uint16_t total_len,
+                    uint8_t tcp_flags, double arrival_s, Packet &out);
+
 /** Build a wire packet from a generated trace element. */
 Packet fromTracePacket(const net::TracePacket &tp);
+
+/** Build a wire packet from a trace element into a reusable buffer. */
+void fromTracePacketInto(const net::TracePacket &tp, Packet &out);
 
 /** Read big-endian integers out of a byte buffer (bounds-checked). */
 uint8_t readU8(const std::vector<uint8_t> &b, size_t off);

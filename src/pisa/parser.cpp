@@ -16,10 +16,18 @@ Parser::addState(ParseState state)
 Phv
 Parser::parse(const Packet &pkt) const
 {
+    Phv phv;
+    parseInto(pkt, phv);
+    return phv;
+}
+
+void
+Parser::parseInto(const Packet &pkt, Phv &phv) const
+{
     if (order_.empty())
         throw std::runtime_error("empty parse graph");
 
-    Phv phv;
+    phv.reset();
     phv.set(Field::PktLen, static_cast<uint32_t>(pkt.size()));
     phv.set(Field::IngressPort, pkt.ingress_port);
     phv.set(Field::TimestampUs,
@@ -63,7 +71,7 @@ Parser::parse(const Packet &pkt) const
         if (!next)
             next = &st.def_next;
         if (next->empty())
-            return phv; // accept
+            return; // accept
         cur = next;
     }
     throw std::runtime_error("parse graph did not terminate");

@@ -59,6 +59,12 @@ class Parser
      */
     Phv parse(const Packet &pkt) const;
 
+    /**
+     * Parse into an existing PHV, resetting it in place first — the
+     * per-packet fast path (no PHV construction per packet).
+     */
+    void parseInto(const Packet &pkt, Phv &phv) const;
+
     /** Number of states (resource accounting). */
     size_t stateCount() const { return order_.size(); }
 

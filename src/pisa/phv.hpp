@@ -127,6 +127,17 @@ class Phv
         return static_cast<int32_t>(get(f));
     }
 
+    /**
+     * Clear every container and validity bit in place — equivalent to
+     * assigning a fresh Phv, but reusable in per-packet scratch storage.
+     */
+    void
+    reset()
+    {
+        values_.fill(0);
+        valid_.fill(false);
+    }
+
   private:
     std::array<uint32_t, kFieldCount> values_{};
     std::array<bool, kFieldCount> valid_{};

@@ -1,5 +1,7 @@
 #include "pisa/pifo.hpp"
 
+#include <algorithm>
+
 namespace taurus::pisa {
 
 uint64_t
@@ -32,7 +34,8 @@ Pifo::push(uint64_t rank, Packet pkt, Phv phv)
     item.seq = seq_++;
     item.pkt = std::move(pkt);
     item.phv = std::move(phv);
-    heap_.push(std::move(item));
+    heap_.push_back(std::move(item));
+    std::push_heap(heap_.begin(), heap_.end(), later);
     max_occupancy_ = std::max(max_occupancy_, heap_.size());
     return true;
 }
@@ -40,8 +43,9 @@ Pifo::push(uint64_t rank, Packet pkt, Phv phv)
 PifoItem
 Pifo::pop()
 {
-    PifoItem top = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    PifoItem top = std::move(heap_.back());
+    heap_.pop_back();
     return top;
 }
 

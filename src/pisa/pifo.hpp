@@ -13,8 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "pisa/packet.hpp"
@@ -49,34 +47,48 @@ class Pifo
     static uint64_t rankOf(SchedPolicy policy, const Phv &phv,
                            uint64_t seq);
 
-    /** Push; returns false (drop) when the queue is full. */
+    /**
+     * Push; returns false (drop) when the queue is full. Takes the
+     * packet and PHV by value so the per-packet fast path can move
+     * scratch buffers in without copying wire bytes.
+     */
     bool push(uint64_t rank, Packet pkt, Phv phv);
 
     /** True when no packets are queued. */
     bool empty() const { return heap_.empty(); }
 
+    /** True when the next push would drop. */
+    bool full() const { return heap_.size() >= capacity_; }
+
     size_t size() const { return heap_.size(); }
 
-    /** Pop the minimum-rank packet; requires !empty(). */
+    /**
+     * Pop the minimum-rank packet; requires !empty(). The item is moved
+     * out, so the caller can reclaim its buffers (the switch moves the
+     * popped packet's byte storage back into its scratch).
+     */
     PifoItem pop();
 
     uint64_t drops() const { return drops_; }
     size_t maxOccupancy() const { return max_occupancy_; }
 
   private:
-    struct Greater
+    /**
+     * Min-heap order (std::push_heap/pop_heap build max-heaps, so the
+     * comparison is inverted): lowest rank first, admission order as the
+     * stable tie-break.
+     */
+    static bool
+    later(const PifoItem &a, const PifoItem &b)
     {
-        bool
-        operator()(const PifoItem &a, const PifoItem &b) const
-        {
-            if (a.rank != b.rank)
-                return a.rank > b.rank;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.rank != b.rank)
+            return a.rank > b.rank;
+        return a.seq > b.seq;
+    }
 
     size_t capacity_;
-    std::priority_queue<PifoItem, std::vector<PifoItem>, Greater> heap_;
+    /** Explicit binary heap so pop() can move items out. */
+    std::vector<PifoItem> heap_;
     uint64_t seq_ = 0;
     uint64_t drops_ = 0;
     size_t max_occupancy_ = 0;

@@ -1,0 +1,122 @@
+#include "taurus/farm.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace taurus::core {
+
+namespace {
+
+/** Finalizer-style integer mix (splitmix64) for partition hashing. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SwitchFarm::SwitchFarm(SwitchConfig cfg, size_t workers)
+{
+    if (workers == 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        workers = hc ? hc : 1;
+    }
+    replicas_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        replicas_.push_back(std::make_unique<TaurusSwitch>(cfg));
+}
+
+void
+SwitchFarm::installAnomalyModel(const models::AnomalyDnn &model)
+{
+    for (auto &sw : replicas_)
+        sw->installAnomalyModel(model);
+}
+
+size_t
+SwitchFarm::workerFor(const net::TracePacket &tp) const
+{
+    return static_cast<size_t>(mix64(tp.flow.src_ip)) % replicas_.size();
+}
+
+void
+SwitchFarm::processTrace(util::Span<const net::TracePacket> packets,
+                         util::Span<SwitchDecision> decisions)
+{
+    if (packets.size() != decisions.size())
+        throw std::invalid_argument(
+            "processTrace: packets/decisions size mismatch");
+
+    // Partition indices per worker, preserving trace order within each
+    // partition (per-flow state updates must happen in arrival order).
+    std::vector<std::vector<size_t>> parts(replicas_.size());
+    for (auto &p : parts)
+        p.reserve(packets.size() / replicas_.size() + 1);
+    for (size_t i = 0; i < packets.size(); ++i)
+        parts[workerFor(packets[i])].push_back(i);
+
+    // Workers fill contiguous per-worker buffers rather than scattering
+    // into the shared output (whose interleaved entries would
+    // false-share cache lines between threads); the single-threaded
+    // scatter after the join is cheap.
+    std::vector<std::vector<SwitchDecision>> local(replicas_.size());
+    std::vector<std::exception_ptr> errors(replicas_.size());
+    std::vector<std::thread> threads;
+    threads.reserve(replicas_.size());
+    for (size_t w = 0; w < replicas_.size(); ++w) {
+        threads.emplace_back([&, w]() {
+            try {
+                TaurusSwitch &sw = *replicas_[w];
+                const auto &part = parts[w];
+                auto &out = local[w];
+                out.resize(part.size());
+                for (size_t j = 0; j < part.size(); ++j)
+                    out[j] = sw.process(packets[part[j]]);
+            } catch (...) {
+                errors[w] = std::current_exception();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (const auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+
+    for (size_t w = 0; w < replicas_.size(); ++w)
+        for (size_t j = 0; j < parts[w].size(); ++j)
+            decisions[parts[w][j]] = local[w][j];
+}
+
+std::vector<SwitchDecision>
+SwitchFarm::processTrace(const std::vector<net::TracePacket> &packets)
+{
+    std::vector<SwitchDecision> decisions(packets.size());
+    processTrace(packets,
+                 util::Span<SwitchDecision>(decisions.data(),
+                                            decisions.size()));
+    return decisions;
+}
+
+SwitchStats
+SwitchFarm::mergedStats() const
+{
+    SwitchStats total;
+    for (const auto &sw : replicas_)
+        total.merge(sw->stats());
+    return total;
+}
+
+void
+SwitchFarm::reset()
+{
+    for (auto &sw : replicas_)
+        sw->reset();
+}
+
+} // namespace taurus::core

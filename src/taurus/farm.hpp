@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SwitchFarm: a sharded multi-worker driver over TaurusSwitch replicas.
+ *
+ * The simulator models one switch at packet granularity; to sweep the
+ * design space at the traffic scales the roadmap targets (millions of
+ * flows), a single core is not enough. The farm runs N identical switch
+ * replicas, one worker thread each, and partitions traffic by a hash of
+ * the source address. That key dominates every piece of stateful
+ * processing: flow registers are keyed by the 5-tuple (which contains
+ * the source) and source registers by the source address, so a replica
+ * owns *all* state its packets can touch and replicas never share
+ * mutable state — no locks on the per-packet path.
+ *
+ * Determinism: each replica sees its partition in trace order, so a
+ * farm run is bit-identical to running each partition through a
+ * standalone TaurusSwitch (the fastpath regression test asserts this,
+ * and that a single-worker farm exactly reproduces the scalar path).
+ * Across different worker counts, decisions can differ only through
+ * register hash collisions, which partitioning changes by construction.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "taurus/switch.hpp"
+
+namespace taurus::core {
+
+/** N switch replicas fed by flow-hash partitioning. */
+class SwitchFarm
+{
+  public:
+    /**
+     * `workers` == 0 picks the host's hardware concurrency (at least
+     * one). Every replica is built from the same config.
+     */
+    explicit SwitchFarm(SwitchConfig cfg = {}, size_t workers = 0);
+
+    /** Install the same model into every replica. */
+    void installAnomalyModel(const models::AnomalyDnn &model);
+
+    /**
+     * Deterministic owner of a packet: a mixed hash of the source
+     * address modulo the worker count. All packets of a flow — and all
+     * flows of a source — map to the same worker.
+     */
+    size_t workerFor(const net::TracePacket &tp) const;
+
+    /**
+     * Process a trace: partition by workerFor(), drain each partition
+     * on its own thread in trace order, and write each packet's
+     * decision at its original index. `decisions.size()` must equal
+     * `packets.size()`. Rethrows the first worker exception.
+     */
+    void processTrace(util::Span<const net::TracePacket> packets,
+                      util::Span<SwitchDecision> decisions);
+
+    /** Convenience overload that owns the decision storage. */
+    std::vector<SwitchDecision> processTrace(
+        const std::vector<net::TracePacket> &packets);
+
+    /** Sum of all replicas' counters (latency stats merged exactly). */
+    SwitchStats mergedStats() const;
+
+    size_t workers() const { return replicas_.size(); }
+    TaurusSwitch &replica(size_t i) { return *replicas_[i]; }
+
+    /** Clear every replica's registers and statistics. */
+    void reset();
+
+  private:
+    std::vector<std::unique_ptr<TaurusSwitch>> replicas_;
+};
+
+} // namespace taurus::core

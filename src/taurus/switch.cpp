@@ -6,6 +6,18 @@
 
 namespace taurus::core {
 
+void
+SwitchStats::merge(const SwitchStats &o)
+{
+    packets += o.packets;
+    ml_packets += o.ml_packets;
+    flagged += o.flagged;
+    dropped += o.dropped;
+    safety_overrides += o.safety_overrides;
+    ml_latency_ns.merge(o.ml_latency_ns);
+    bypass_latency_ns.merge(o.bypass_latency_ns);
+}
+
 TaurusSwitch::TaurusSwitch(SwitchConfig cfg)
     : cfg_(std::move(cfg)), parser_(pisa::Parser::standard()),
       scheduler_(cfg_.queue_capacity)
@@ -33,10 +45,15 @@ TaurusSwitch::installAnomalyModel(const models::AnomalyDnn &model)
         compiler::compile(model.graph, cfg_.compiler));
     sim_ = std::make_unique<hw::CycleSim>(*program_);
 
-    // One dry run fixes the (static) MapReduce latency.
-    std::vector<int8_t> zeros(model.quantized.layers().front().in, 0);
-    const hw::SimResult dry = sim_->run({zeros});
-    mr_latency_ns_ = dry.latency_ns;
+    // The compiled schedule fixes the (static) MapReduce latency.
+    mr_latency_ns_ = sim_->schedule().latency_ns;
+
+    // Size the per-packet scratch for the installed model: one input
+    // vector per graph Input node, and evaluation buffers bound to the
+    // compiled graph so steady-state packets skip validation.
+    scratch_.ml_input.assign(1, std::vector<int8_t>(
+                                    model.quantized.layers().front().in));
+    scratch_.eval.bind(program_->graph);
 
     features_ = buildDnnFeatureProgram(model.standardizer,
                                        model.quantized.inputParams(),
@@ -68,8 +85,12 @@ TaurusSwitch::process(const net::TracePacket &tp)
     if (!program_)
         throw std::logic_error("no model installed");
 
-    const pisa::Packet pkt = pisa::fromTracePacket(tp);
-    pisa::Phv phv = parser_.parse(pkt);
+    // Every per-packet buffer (wire bytes, PHV, feature vector, eval
+    // lanes) lives in scratch_ and is reset in place, so the steady
+    // state allocates nothing.
+    pisa::fromTracePacketInto(tp, scratch_.pkt);
+    pisa::Phv &phv = scratch_.phv;
+    parser_.parseInto(scratch_.pkt, phv);
 
     features_.preprocess.apply(phv, features_.registers);
 
@@ -80,11 +101,12 @@ TaurusSwitch::process(const net::TracePacket &tp)
                      features_.preprocess.latencyNs(cfg_.mat_timing);
 
     if (take_ml) {
-        std::vector<int8_t> input(net::kDnnFeatureCount);
+        std::vector<int8_t> &input = scratch_.ml_input.front();
         for (size_t i = 0; i < input.size(); ++i)
             input[i] = static_cast<int8_t>(static_cast<int32_t>(
                 phv.get(pisa::featureField(i))));
-        const hw::SimResult res = sim_->run({input});
+        hw::SimResult &res = scratch_.sim_result;
+        sim_->runInto(scratch_.ml_input, scratch_.eval, res);
         d.score = static_cast<int8_t>(res.outputs.at(0).lanes.at(0));
         phv.set(pisa::Field::MlScore,
                 static_cast<uint32_t>(static_cast<int32_t>(d.score)));
@@ -115,10 +137,22 @@ TaurusSwitch::process(const net::TracePacket &tp)
     } else {
         const uint64_t rank = pisa::Pifo::rankOf(
             cfg_.policy, phv, stats_.packets);
-        if (!scheduler_.push(rank, pkt, phv))
+        // Move the scratch buffers into the scheduler rather than
+        // copying the wire bytes; the immediate pop (packets drain at
+        // line rate in this model) hands them straight back. A full
+        // queue would destroy the moved-in buffers, so feed the
+        // guaranteed drop empties instead (keeping the PIFO's own drop
+        // accounting) and hold on to the scratch.
+        if (scheduler_.full()) {
+            scheduler_.push(rank, pisa::Packet{}, pisa::Phv{});
             d.dropped = true;
-        else
-            scheduler_.pop(); // drained at line rate in this model
+        } else {
+            scheduler_.push(rank, std::move(scratch_.pkt),
+                            std::move(phv));
+            pisa::PifoItem item = scheduler_.pop();
+            scratch_.pkt = std::move(item.pkt);
+            scratch_.phv = std::move(item.phv);
+        }
     }
 
     d.latency_ns = latency;
@@ -132,6 +166,17 @@ TaurusSwitch::process(const net::TracePacket &tp)
     else
         stats_.ml_latency_ns.add(latency);
     return d;
+}
+
+void
+TaurusSwitch::processBatch(util::Span<const net::TracePacket> packets,
+                           util::Span<SwitchDecision> decisions)
+{
+    if (packets.size() != decisions.size())
+        throw std::invalid_argument(
+            "processBatch: packets/decisions size mismatch");
+    for (size_t i = 0; i < packets.size(); ++i)
+        decisions[i] = process(packets[i]);
 }
 
 double

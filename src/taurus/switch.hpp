@@ -26,6 +26,7 @@
 #include "pisa/pifo.hpp"
 #include "taurus/feature_program.hpp"
 #include "taurus/safety.hpp"
+#include "util/span.hpp"
 #include "util/stats.hpp"
 
 namespace taurus::core {
@@ -78,6 +79,24 @@ struct SwitchStats
     uint64_t safety_overrides = 0; ///< verdicts cleared by safety MATs
     util::RunningStat ml_latency_ns;
     util::RunningStat bypass_latency_ns;
+
+    /** Fold another switch's counters in (SwitchFarm stat merging). */
+    void merge(const SwitchStats &o);
+};
+
+/**
+ * Per-switch reusable packet-processing state: the wire-byte buffer,
+ * the PHV, the MapReduce input/feature buffer, and the dataflow
+ * evaluation scratch. Holding these per switch instance makes the
+ * steady-state process() path allocation-free.
+ */
+struct PacketScratch
+{
+    pisa::Packet pkt;
+    pisa::Phv phv;
+    std::vector<std::vector<int8_t>> ml_input; ///< one vector per graph Input
+    dfg::EvalScratch eval;
+    hw::SimResult sim_result;
 };
 
 /** A Taurus-enabled switch instance. */
@@ -103,6 +122,16 @@ class TaurusSwitch
 
     /** Process one packet end to end. */
     SwitchDecision process(const net::TracePacket &pkt);
+
+    /**
+     * Process a batch of packets in trace order, writing one decision
+     * per packet. `decisions.size()` must equal `packets.size()`.
+     * Decisions and statistics are bit-identical to calling process()
+     * per packet; the batch entry point exists so drivers amortize the
+     * call overhead and so SwitchFarm workers drain partitions.
+     */
+    void processBatch(util::Span<const net::TracePacket> packets,
+                      util::Span<SwitchDecision> decisions);
 
     /** MapReduce-block latency for one ML packet, ns (constant). */
     double mapReduceLatencyNs() const { return mr_latency_ns_; }
@@ -130,6 +159,7 @@ class TaurusSwitch
     pisa::Pifo scheduler_;
     double mr_latency_ns_ = 0.0;
     SwitchStats stats_;
+    PacketScratch scratch_;
 };
 
 } // namespace taurus::core

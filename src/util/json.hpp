@@ -36,6 +36,24 @@ class Value
     Kind kind() const { return kind_; }
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    /** Numeric value as double (0.0 for non-numbers). */
+    double asDouble() const
+    {
+        return kind_ == Kind::Int ? static_cast<double>(int_)
+               : kind_ == Kind::Double ? double_
+                                       : 0.0;
+    }
+
+    /** Object entries in insertion order (empty for non-objects). */
+    const std::vector<std::pair<std::string, Value>> &entries() const
+    {
+        return object_;
+    }
 
     /** Array append. Converts a Null value into an array first. */
     void push(Value v);

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A minimal contiguous-range view (C++17 stand-in for std::span).
+ *
+ * Batched entry points (TaurusSwitch::processBatch, SwitchFarm) take
+ * Span parameters so callers can hand over any contiguous storage —
+ * std::vector, C arrays, sub-ranges — without copying.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace taurus::util {
+
+template <typename T> class Span
+{
+  public:
+    Span() = default;
+    Span(T *data, size_t size) : data_(data), size_(size) {}
+
+    /** From a vector (or const vector, when T is const). */
+    template <typename U>
+    Span(std::vector<U> &v) : data_(v.data()), size_(v.size())
+    {
+    }
+    template <typename U>
+    Span(const std::vector<U> &v) : data_(v.data()), size_(v.size())
+    {
+    }
+
+    T *data() const { return data_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](size_t i) const { return data_[i]; }
+
+    T *begin() const { return data_; }
+    T *end() const { return data_ + size_; }
+
+    /** A view of `count` elements starting at `offset` (not checked). */
+    Span subspan(size_t offset, size_t count) const
+    {
+        return Span(data_ + offset, count);
+    }
+
+  private:
+    T *data_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace taurus::util

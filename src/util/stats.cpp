@@ -16,6 +16,27 @@ RunningStat::add(double x)
     max_ = std::max(max_, x);
 }
 
+void
+RunningStat::merge(const RunningStat &o)
+{
+    if (o.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = o;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double n_total = na + nb;
+    mean_ += delta * nb / n_total;
+    m2_ += o.m2_ + delta * delta * na * nb / n_total;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
 double
 RunningStat::variance() const
 {

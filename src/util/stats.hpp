@@ -18,6 +18,12 @@ class RunningStat
   public:
     void add(double x);
 
+    /**
+     * Fold another accumulator into this one (Chan et al.'s parallel
+     * variance combination), so per-worker stats can be merged into one.
+     */
+    void merge(const RunningStat &o);
+
     uint64_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
     double variance() const;

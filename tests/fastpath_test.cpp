@@ -1,0 +1,334 @@
+/**
+ * Bit-exactness regression tests for the allocation-free per-packet
+ * fast path: scratch-buffer evaluation, cached cycle-sim schedules, the
+ * batched switch entry point, and the sharded SwitchFarm must all
+ * produce results identical to the reference paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "dfg/eval.hpp"
+#include "hw/cycle_sim.hpp"
+#include "models/microbench.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+#include "util/rng.hpp"
+
+using namespace taurus;
+
+namespace {
+
+/** Shared trained model + deterministic evaluation trace. */
+struct Fixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(5, 2000);
+    std::vector<net::TracePacket> trace;
+
+    Fixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 2500;
+        net::KddGenerator gen(cfg, 42);
+        trace = gen.expandToPackets(gen.sampleConnections());
+    }
+};
+
+const Fixture &
+fixture()
+{
+    static const Fixture fx;
+    return fx;
+}
+
+void
+expectSameDecision(const core::SwitchDecision &a,
+                   const core::SwitchDecision &b, size_t i)
+{
+    EXPECT_EQ(a.flagged, b.flagged) << "packet " << i;
+    EXPECT_EQ(a.dropped, b.dropped) << "packet " << i;
+    EXPECT_EQ(a.bypassed, b.bypassed) << "packet " << i;
+    EXPECT_EQ(a.score, b.score) << "packet " << i;
+    EXPECT_EQ(a.egress_port, b.egress_port) << "packet " << i;
+    EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+}
+
+void
+expectSameStats(const core::SwitchStats &a, const core::SwitchStats &b)
+{
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.ml_packets, b.ml_packets);
+    EXPECT_EQ(a.flagged, b.flagged);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.safety_overrides, b.safety_overrides);
+    EXPECT_EQ(a.ml_latency_ns.count(), b.ml_latency_ns.count());
+    EXPECT_DOUBLE_EQ(a.ml_latency_ns.mean(), b.ml_latency_ns.mean());
+    EXPECT_DOUBLE_EQ(a.ml_latency_ns.max(), b.ml_latency_ns.max());
+    EXPECT_EQ(a.bypass_latency_ns.count(), b.bypass_latency_ns.count());
+    EXPECT_DOUBLE_EQ(a.bypass_latency_ns.mean(),
+                     b.bypass_latency_ns.mean());
+}
+
+/** Every zoo graph with its compiled program, for schedule checks. */
+std::vector<std::pair<std::string, hw::GridProgram>>
+zooPrograms()
+{
+    std::vector<std::pair<std::string, hw::GridProgram>> progs;
+    progs.emplace_back("anomaly_dnn",
+                       compiler::compile(fixture().dnn.graph));
+    const auto svm = models::trainAnomalySvm(2, 800);
+    progs.emplace_back("anomaly_svm",
+                       compiler::compile(svm.lowered.graph));
+    const auto kmeans = models::trainIotKmeans(2, 800);
+    progs.emplace_back("iot_kmeans",
+                       compiler::compile(kmeans.lowered.graph));
+    const auto lstm = models::buildIndigoLstm(2);
+    progs.emplace_back("indigo_lstm", compiler::compile(lstm.graph));
+    return progs;
+}
+
+std::vector<std::vector<int8_t>>
+randomInputs(const dfg::Graph &g, util::Rng &rng)
+{
+    std::vector<std::vector<int8_t>> inputs;
+    for (int id : g.inputIds()) {
+        std::vector<int8_t> v(static_cast<size_t>(g.node(id).width));
+        for (auto &x : v)
+            x = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        inputs.push_back(std::move(v));
+    }
+    return inputs;
+}
+
+} // namespace
+
+TEST(EvaluateInto, BitExactWithEvaluateOnMicrobenches)
+{
+    util::Rng rng(7);
+    for (const std::string &name : models::microbenchNames()) {
+        const auto g = models::buildMicrobench(name, rng);
+        dfg::EvalScratch scratch;
+        // Reuse one scratch across several distinct inputs: buffer
+        // reuse must never leak state between packets.
+        for (int trial = 0; trial < 10; ++trial) {
+            const auto inputs = randomInputs(g, rng);
+            const auto want = dfg::evaluate(g, inputs);
+            const auto &got = dfg::evaluateInto(g, inputs, scratch);
+            ASSERT_EQ(want.size(), got.size()) << name;
+            for (size_t i = 0; i < want.size(); ++i) {
+                EXPECT_EQ(want[i].lanes, got[i].lanes) << name;
+                EXPECT_EQ(static_cast<int>(want[i].type),
+                          static_cast<int>(got[i].type))
+                    << name;
+            }
+        }
+    }
+}
+
+TEST(ForwardInt, ScratchMatchesAllocatingPath)
+{
+    const auto &qm = fixture().dnn.quantized;
+    util::Rng rng(11);
+    nn::ForwardScratch scratch;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<int8_t> in(qm.layers().front().in);
+        for (auto &v : in)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        EXPECT_EQ(qm.forwardInt(in), qm.forwardInt(in, scratch));
+    }
+}
+
+TEST(Schedule, CachedScheduleMatchesFromScratchForEveryZooModel)
+{
+    util::Rng rng(13);
+    for (const auto &[name, prog] : zooPrograms()) {
+        hw::CycleSim sim(prog);
+        const hw::Schedule &cached = sim.schedule();
+        const hw::Schedule fresh = hw::CycleSim::compileSchedule(prog);
+
+        EXPECT_EQ(cached.latency_cycles, fresh.latency_cycles) << name;
+        EXPECT_DOUBLE_EQ(cached.latency_ns, fresh.latency_ns) << name;
+        EXPECT_EQ(cached.ii_cycles, fresh.ii_cycles) << name;
+        EXPECT_DOUBLE_EQ(cached.gpktps, fresh.gpktps) << name;
+        EXPECT_EQ(cached.route_hops, fresh.route_hops) << name;
+        EXPECT_EQ(cached.start, fresh.start) << name;
+        EXPECT_EQ(cached.finish, fresh.finish) << name;
+
+        // run() must report exactly the cached timing, and runInto()
+        // must be bit-exact with run() on the functional side.
+        const auto inputs = randomInputs(prog.graph, rng);
+        const auto res = sim.run(inputs);
+        EXPECT_EQ(res.latency_cycles, cached.latency_cycles) << name;
+        EXPECT_DOUBLE_EQ(res.latency_ns, cached.latency_ns) << name;
+        EXPECT_EQ(res.ii_cycles, cached.ii_cycles) << name;
+        EXPECT_DOUBLE_EQ(res.gpktps, cached.gpktps) << name;
+        EXPECT_EQ(res.route_hops, cached.route_hops) << name;
+
+        dfg::EvalScratch scratch;
+        hw::SimResult fast;
+        sim.runInto(inputs, scratch, fast);
+        ASSERT_EQ(res.outputs.size(), fast.outputs.size()) << name;
+        for (size_t i = 0; i < res.outputs.size(); ++i)
+            EXPECT_EQ(res.outputs[i].lanes, fast.outputs[i].lanes)
+                << name;
+        EXPECT_EQ(fast.latency_cycles, cached.latency_cycles) << name;
+    }
+}
+
+TEST(Schedule, SurvivesWeightUpdates)
+{
+    // Weight-only updates must not invalidate the cached schedule:
+    // timing depends on structure and placement alone.
+    const auto &fx = fixture();
+    auto prog = compiler::compile(fx.dnn.graph);
+    hw::CycleSim sim(prog);
+    const hw::Schedule before = sim.schedule();
+
+    const auto fresh_model = models::trainAnomalyDnn(17, 2000);
+    prog.updateWeights(fresh_model.graph);
+
+    const hw::Schedule after = hw::CycleSim::compileSchedule(prog);
+    EXPECT_EQ(before.latency_cycles, after.latency_cycles);
+    EXPECT_EQ(before.ii_cycles, after.ii_cycles);
+    EXPECT_EQ(before.route_hops, after.route_hops);
+    EXPECT_EQ(before.finish, after.finish);
+
+    // And the new weights actually flow through the cached-schedule run.
+    util::Rng rng(19);
+    const auto inputs = randomInputs(prog.graph, rng);
+    EXPECT_EQ(sim.run(inputs).outputs.at(0).lanes,
+              dfg::evaluate(fresh_model.graph, inputs).at(0).lanes);
+}
+
+TEST(FastPath, ProcessBatchBitIdenticalToProcess)
+{
+    const auto &fx = fixture();
+    const size_t n = std::min<size_t>(fx.trace.size(), 8000);
+
+    core::TaurusSwitch scalar;
+    scalar.installAnomalyModel(fx.dnn);
+    std::vector<core::SwitchDecision> want;
+    want.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        want.push_back(scalar.process(fx.trace[i]));
+
+    core::TaurusSwitch batched;
+    batched.installAnomalyModel(fx.dnn);
+    std::vector<core::SwitchDecision> got(n);
+    batched.processBatch(
+        util::Span<const net::TracePacket>(fx.trace.data(), n),
+        util::Span<core::SwitchDecision>(got.data(), n));
+
+    for (size_t i = 0; i < n; ++i)
+        expectSameDecision(want[i], got[i], i);
+    expectSameStats(scalar.stats(), batched.stats());
+}
+
+TEST(FastPath, SingleWorkerFarmBitIdenticalToScalar)
+{
+    const auto &fx = fixture();
+    const size_t n = std::min<size_t>(fx.trace.size(), 8000);
+    const std::vector<net::TracePacket> slice(fx.trace.begin(),
+                                              fx.trace.begin() + n);
+
+    core::TaurusSwitch scalar;
+    scalar.installAnomalyModel(fx.dnn);
+    std::vector<core::SwitchDecision> want;
+    want.reserve(n);
+    for (const auto &tp : slice)
+        want.push_back(scalar.process(tp));
+
+    core::SwitchFarm farm({}, 1);
+    farm.installAnomalyModel(fx.dnn);
+    const auto got = farm.processTrace(slice);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < n; ++i)
+        expectSameDecision(want[i], got[i], i);
+    expectSameStats(scalar.stats(), farm.mergedStats());
+}
+
+TEST(FastPath, FarmBitIdenticalToPerPartitionScalar)
+{
+    // The farm's contract: processing is bit-identical to draining each
+    // flow-hash partition through its own standalone switch.
+    const auto &fx = fixture();
+    const size_t n = std::min<size_t>(fx.trace.size(), 8000);
+    const std::vector<net::TracePacket> slice(fx.trace.begin(),
+                                              fx.trace.begin() + n);
+    const size_t workers = 3;
+
+    core::SwitchFarm farm({}, workers);
+    farm.installAnomalyModel(fx.dnn);
+    const auto got = farm.processTrace(slice);
+    ASSERT_EQ(got.size(), slice.size());
+
+    core::SwitchStats want_stats;
+    std::vector<core::SwitchDecision> want(slice.size());
+    for (size_t w = 0; w < workers; ++w) {
+        core::TaurusSwitch sw;
+        sw.installAnomalyModel(fx.dnn);
+        for (size_t i = 0; i < slice.size(); ++i)
+            if (farm.workerFor(slice[i]) == w)
+                want[i] = sw.process(slice[i]);
+        want_stats.merge(sw.stats());
+    }
+
+    for (size_t i = 0; i < slice.size(); ++i)
+        expectSameDecision(want[i], got[i], i);
+    expectSameStats(want_stats, farm.mergedStats());
+
+    // The merge covered every packet exactly once.
+    EXPECT_EQ(farm.mergedStats().packets, slice.size());
+}
+
+TEST(FastPath, FarmPartitioningKeepsFlowsTogether)
+{
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 4);
+    // Same source address => same worker, regardless of ports/protocol.
+    net::TracePacket a, b;
+    a.flow = {0x0a000001, 0x0a000002, 1234, 80, net::kProtoTcp};
+    b.flow = {0x0a000001, 0x0b0000ff, 999, 53, net::kProtoUdp};
+    EXPECT_EQ(farm.workerFor(a), farm.workerFor(b));
+    (void)fx;
+}
+
+TEST(FastPath, FullSchedulerDropsWithoutLosingScratchBuffers)
+{
+    // A zero-capacity PIFO makes every enqueue a guaranteed drop; the
+    // fast path must keep processing (and keep its reusable buffers)
+    // rather than sacrificing them to the full queue.
+    const auto &fx = fixture();
+    core::SwitchConfig cfg;
+    cfg.queue_capacity = 0;
+    core::TaurusSwitch sw(cfg);
+    sw.installAnomalyModel(fx.dnn);
+
+    const size_t n = 500;
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_TRUE(sw.process(fx.trace[i]).dropped) << i;
+    EXPECT_EQ(sw.stats().packets, n);
+    EXPECT_EQ(sw.stats().dropped, n);
+}
+
+TEST(FastPath, RunningStatMergeMatchesSequential)
+{
+    util::Rng rng(23);
+    util::RunningStat all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        all.add(x);
+        (i < 400 ? left : right).add(x);
+    }
+    util::RunningStat merged = left;
+    merged.merge(right);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), all.min());
+    EXPECT_DOUBLE_EQ(merged.max(), all.max());
+    EXPECT_NEAR(merged.sum(), all.sum(), 1e-9);
+}
