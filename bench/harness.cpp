@@ -81,15 +81,6 @@ Registry::sorted() const
     return out;
 }
 
-const Bench *
-Registry::find(const std::string &name) const
-{
-    for (const auto &b : benches_)
-        if (b.name == name)
-            return &b;
-    return nullptr;
-}
-
 Registrar::Registrar(std::string name, std::string figure,
                      std::string summary,
                      std::function<void(Context &)> fn)

@@ -128,10 +128,9 @@ class Registry
 
     void add(Bench b);
 
-    /** All benches, sorted by name. */
+    /** All benches, sorted by name. Selection (exact or substring)
+     *  is the driver's job — there is exactly one resolution path. */
     std::vector<Bench> sorted() const;
-
-    const Bench *find(const std::string &name) const;
 
   private:
     std::vector<Bench> benches_;

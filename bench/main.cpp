@@ -52,8 +52,10 @@ usage(std::ostream &os)
           "  --quiet        suppress per-bench table output\n"
           "  --help         this message\n"
           "\n"
-          "With no bench names, every registered bench runs. Names are\n"
-          "matched exactly; see --list.\n";
+          "With no bench names, every registered bench runs. A name\n"
+          "selects every bench it is a substring of (so `table` runs\n"
+          "all tables); a name matching nothing is an error. See\n"
+          "--list for the registered names.\n";
 }
 
 void
@@ -128,7 +130,11 @@ main(int argc, char **argv)
         }
     }
 
-    // Resolve the selection up front so a typo fails before any run.
+    // Resolve the selection up front so a typo fails before any run:
+    // each name selects every registered bench it is a substring of
+    // (exact names keep working — a string is its own substring), and a
+    // filter that matches nothing is a hard error so a misspelled CI
+    // job fails loudly instead of silently running zero benches.
     // `all` must outlive `selected`, which points into it.
     const auto all = Registry::instance().sorted();
     std::vector<const Bench *> selected;
@@ -137,13 +143,20 @@ main(int argc, char **argv)
             selected.push_back(&b);
     } else {
         for (const auto &n : names) {
-            const Bench *b = Registry::instance().find(n);
-            if (!b) {
-                std::cerr << "taurus_bench: unknown bench '" << n
+            bool matched = false;
+            for (const auto &b : all) {
+                if (b.name.find(n) == std::string::npos)
+                    continue;
+                matched = true;
+                if (std::find(selected.begin(), selected.end(), &b) ==
+                    selected.end())
+                    selected.push_back(&b);
+            }
+            if (!matched) {
+                std::cerr << "taurus_bench: no bench matches '" << n
                           << "' (see --list)\n";
                 return 2;
             }
-            selected.push_back(b);
         }
     }
 

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Online-learning runtime benchmark (paper Section 5.2.3 made live):
+ *
+ *  1. Steady-state throughput of a SwitchFarm driven by OnlineRuntime
+ *     with training disabled vs. enabled (train_always: SGD runs on
+ *     every mirrored minibatch, updates hot-swap continuously).
+ *     Mirroring is a sampled wait-free ring push and training runs on
+ *     its own thread, so the enabled number must stay within ~10% of
+ *     the disabled one — the train-and-push loop never blocks the
+ *     per-packet path.
+ *
+ *  2. Time-to-recover after an injected distribution shift
+ *     (net::shiftedAttackMix), run in the deterministic synchronous
+ *     mode: packets until the drift monitor triggers, packets until
+ *     windowed F1 recovers to >= 95% of its pre-shift reference, and
+ *     the F1 trajectory (pre / trough / recovered).
+ */
+
+#include "harness.hpp"
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "runtime/runtime.hpp"
+#include "taurus/farm.hpp"
+#include "util/table.hpp"
+
+TAURUS_BENCH(runtime_bench, "Online runtime",
+             "live training throughput overhead + drift recovery time")
+{
+    using namespace taurus;
+    using util::TablePrinter;
+    auto &os = ctx.out();
+
+    os << "Online-learning runtime: telemetry mirroring -> trainer -> "
+          "ModelStore -> farm\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(3000, 800));
+
+    net::KddConfig base;
+    base.connections = ctx.size(12000, 2500);
+    base.trace_duration_s = 1.0;
+    net::KddGenerator gen_a(base, 42);
+    const auto steady = net::trimTrace(
+        gen_a.expandToPackets(gen_a.sampleConnections()),
+        base.trace_duration_s);
+    net::KddGenerator gen_b(net::shiftedAttackMix(base), 43);
+    const auto shifted = net::trimTrace(
+        gen_b.expandToPackets(gen_b.sampleConnections()),
+        base.trace_duration_s);
+    ctx.metric("steady_trace_pkts", steady.size());
+    ctx.metric("shifted_trace_pkts", shifted.size());
+
+    // ---- 1. Steady-state throughput, training off vs on -------------
+    const size_t workers = 2;
+    const size_t reps = ctx.size(6, 2);
+    std::vector<core::SwitchDecision> decisions(steady.size());
+    double off_pps = 0.0, on_pps = 0.0;
+    for (const bool training : {false, true}) {
+        core::SwitchFarm farm({}, workers);
+        farm.installAnomalyModel(dnn);
+        runtime::RuntimeConfig rc;
+        rc.batch_pkts = 1024;
+        rc.sampling_rate = training ? 0.02 : 0.0;
+        rc.train.seed = 7;
+        // The enabled arm streams SGD on every minibatch (not just on
+        // drift), so the measured overhead covers the whole loop:
+        // mirroring, draining, training, and hot-swapping — throttled
+        // only by the install delay between weight pushes.
+        rc.train_always = training;
+        rc.train.batch = 128;
+        rc.train.epochs = 1;
+        runtime::OnlineRuntime rt(farm, dnn, rc);
+        rt.start();
+        // Warm one pass so both sides measure steady state.
+        rt.processTrace(
+            util::Span<const net::TracePacket>(steady.data(),
+                                               steady.size()),
+            util::Span<core::SwitchDecision>(decisions.data(),
+                                             decisions.size()));
+        const bench::Timer timer;
+        for (size_t r = 0; r < reps; ++r)
+            rt.processTrace(
+                util::Span<const net::TracePacket>(steady.data(),
+                                                   steady.size()),
+                util::Span<core::SwitchDecision>(decisions.data(),
+                                                 decisions.size()));
+        const double sec = timer.elapsedSec();
+        const double pps =
+            static_cast<double>(reps * steady.size()) / sec;
+        (training ? on_pps : off_pps) = pps;
+        const auto st = rt.stats();
+        rt.stop();
+        ctx.metric(training ? "train_on_pkts_per_sec"
+                            : "train_off_pkts_per_sec",
+                   pps);
+        if (training) {
+            ctx.metric("steady_mirrored", st.mirrored);
+            ctx.metric("steady_ring_dropped", st.ring_dropped);
+            ctx.metric("steady_sgd_steps", st.sgd_steps);
+            ctx.metric("steady_updates_applied", st.updates_applied);
+        }
+    }
+    const double overhead_pct =
+        off_pps > 0.0 ? (off_pps - on_pps) / off_pps * 100.0 : 0.0;
+    ctx.metric("train_overhead_pct", overhead_pct);
+
+    TablePrinter tput({"Mode", "Packets/s", "Overhead %"});
+    tput.addRow({"training off", TablePrinter::num(off_pps, 0), "-"});
+    tput.addRow({"training on", TablePrinter::num(on_pps, 0),
+                 TablePrinter::num(overhead_pct, 2)});
+    tput.print(os);
+
+    // ---- 2. Drift recovery (deterministic synchronous mode) ---------
+    core::SwitchFarm farm({}, workers);
+    farm.installAnomalyModel(dnn);
+    runtime::RuntimeConfig rc;
+    rc.synchronous = true;
+    rc.sampling_rate = 1.0;
+    rc.batch_pkts = 512;
+    rc.train.batch = 256;
+    rc.train.epochs = 2;
+    rc.train.learning_rate = 0.05f;
+    rc.train.seed = 5;
+    rc.drift.window = ctx.smoke() ? 512 : 2048;
+    rc.drift.warmup_windows = 2;
+    runtime::OnlineRuntime rt(farm, dnn, rc);
+    rt.start();
+
+    rt.processTrace(steady);
+    const auto pre = rt.stats();
+    const double pre_shift_f1 = pre.reference_f1;
+
+    // Feed the shifted mix in chunks, tracking trigger/recovery points
+    // at chunk granularity.
+    const size_t chunk = std::max<size_t>(shifted.size() / 4, 1);
+    uint64_t pkts_to_trigger = 0, pkts_to_recover = 0;
+    double trough_f1 = pre.smoothed_f1;
+    uint64_t shift_pkts = 0;
+    const size_t max_rounds = 10;
+    for (size_t round = 0;
+         round < max_rounds && rt.stats().drift_recoveries == 0;
+         ++round) {
+        for (size_t at = 0; at < shifted.size(); at += chunk) {
+            const size_t n = std::min(chunk, shifted.size() - at);
+            std::vector<core::SwitchDecision> out(n);
+            rt.processTrace(
+                util::Span<const net::TracePacket>(shifted.data() + at,
+                                                   n),
+                util::Span<core::SwitchDecision>(out.data(), n));
+            shift_pkts += n;
+            const auto st = rt.stats();
+            trough_f1 = std::min(trough_f1, st.smoothed_f1);
+            if (st.drift_triggers > 0 && pkts_to_trigger == 0)
+                pkts_to_trigger = shift_pkts;
+            if (st.drift_recoveries > 0) {
+                pkts_to_recover = shift_pkts;
+                break;
+            }
+        }
+    }
+    const auto post = rt.stats();
+    rt.stop();
+
+    const bool recovered = post.drift_recoveries > 0;
+    ctx.metric("pre_shift_f1", pre_shift_f1);
+    ctx.metric("trough_f1", trough_f1);
+    ctx.metric("recovered_f1", post.smoothed_f1);
+    ctx.metric("recovery_ratio", pre_shift_f1 > 0.0
+                                     ? post.smoothed_f1 / pre_shift_f1
+                                     : 0.0);
+    ctx.metric("recovered", recovered ? 1 : 0);
+    ctx.metric("pkts_to_trigger", pkts_to_trigger);
+    ctx.metric("pkts_to_recover", pkts_to_recover);
+    ctx.metric("drift_triggers", post.drift_triggers);
+    ctx.metric("retrain_sgd_steps", post.sgd_steps);
+    ctx.metric("updates_published", post.updates_published);
+    ctx.metric("updates_applied", post.updates_applied);
+
+    os << "\nDrift recovery (synchronous, seeded)\n";
+    TablePrinter rec({"Metric", "Value"});
+    rec.addRow({"pre-shift F1 (ref)", TablePrinter::num(pre_shift_f1, 3)});
+    rec.addRow({"trough F1", TablePrinter::num(trough_f1, 3)});
+    rec.addRow({"recovered F1", TablePrinter::num(post.smoothed_f1, 3)});
+    rec.addRow({"packets to trigger",
+                std::to_string(pkts_to_trigger)});
+    rec.addRow({"packets to recover",
+                std::to_string(pkts_to_recover)});
+    rec.addRow({"SGD updates pushed",
+                std::to_string(post.updates_published)});
+    rec.print(os);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Live online learning, end to end (paper Figure 1 / Section 5.2.3):
+ * a SwitchFarm serves traffic while the control-plane runtime mirrors
+ * sampled telemetry, watches windowed F1 for drift, retrains in the
+ * background, and hot-swaps quantized weight updates into every replica
+ * without touching placement.
+ *
+ * The demo runs the deterministic synchronous mode so the printed
+ * trajectory is reproducible: steady traffic -> injected distribution
+ * shift (net::shiftedAttackMix) -> drift trigger -> streaming SGD ->
+ * recovery to >= 95% of the pre-shift windowed F1.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "runtime/runtime.hpp"
+#include "taurus/farm.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "=== Live online learning on a running SwitchFarm ===\n\n";
+    const auto dnn = models::trainAnomalyDnn(1, 1200);
+
+    net::KddConfig base;
+    base.connections = 5000;
+    base.trace_duration_s = 1.0;
+    net::KddGenerator gen_a(base, 42);
+    const auto steady = net::trimTrace(
+        gen_a.expandToPackets(gen_a.sampleConnections()),
+        base.trace_duration_s);
+    net::KddGenerator gen_b(net::shiftedAttackMix(base), 43);
+    const auto shifted = net::trimTrace(
+        gen_b.expandToPackets(gen_b.sampleConnections()),
+        base.trace_duration_s);
+    std::cout << "Steady trace: " << steady.size()
+              << " packets, shifted trace: " << shifted.size()
+              << " packets\n\n";
+
+    core::SwitchFarm farm({}, 2);
+    farm.installAnomalyModel(dnn);
+
+    runtime::RuntimeConfig rc;
+    rc.synchronous = true; // deterministic demo; production runs async
+    rc.sampling_rate = 1.0;
+    rc.batch_pkts = 512;
+    rc.train.batch = 256;
+    rc.train.epochs = 2;
+    rc.train.seed = 5;
+    rc.drift.window = 512;
+    rc.drift.warmup_windows = 2;
+    runtime::OnlineRuntime rt(farm, dnn, rc);
+    rt.start();
+
+    TablePrinter t({"Phase", "Windows", "F1 (smoothed)", "Drift",
+                    "Updates pushed"});
+    auto row = [&](const std::string &phase) {
+        const auto st = rt.stats();
+        t.addRow({phase, std::to_string(st.windows_closed),
+                  TablePrinter::num(st.smoothed_f1, 3),
+                  st.drifted ? "YES" : "no",
+                  std::to_string(st.updates_published)});
+    };
+
+    rt.processTrace(steady);
+    row("steady mix");
+    const double pre_shift_f1 = rt.stats().reference_f1;
+
+    // Inject the shift; keep replaying the shifted mix until the drift
+    // monitor reports recovery (or we give up).
+    bool first = true;
+    for (int round = 0; round < 10; ++round) {
+        rt.processTrace(shifted);
+        row(first ? "shift injected" : "retraining");
+        first = false;
+        if (rt.stats().drift_recoveries > 0)
+            break;
+    }
+    row("final");
+    t.print(std::cout);
+
+    const auto st = rt.stats();
+    rt.stop();
+    std::cout << "\nPre-shift windowed F1 (reference): "
+              << TablePrinter::num(pre_shift_f1, 3) << "\n"
+              << "Recovered windowed F1:             "
+              << TablePrinter::num(st.smoothed_f1, 3) << " ("
+              << TablePrinter::num(
+                     pre_shift_f1 > 0
+                         ? 100.0 * st.smoothed_f1 / pre_shift_f1
+                         : 0.0,
+                     1)
+              << "% of pre-shift)\n"
+              << "Drift triggers: " << st.drift_triggers
+              << ", SGD updates: " << st.sgd_steps
+              << ", models published: " << st.updates_published
+              << ", per-replica applications: " << st.updates_applied
+              << " (superseded versions coalesce at batch "
+                 "boundaries)\n"
+              << "Telemetry mirrored: " << st.mirrored
+              << " samples, ring drops: " << st.ring_dropped << "\n";
+
+    const bool ok = st.drift_triggers > 0 && st.drift_recoveries > 0;
+    std::cout << (ok ? "\nDrift detected, retrained, and recovered "
+                       "with zero reconfiguration downtime.\n"
+                     : "\nWARNING: scenario did not recover.\n");
+    return ok ? 0 : 1;
+}

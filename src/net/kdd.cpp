@@ -52,6 +52,36 @@ toString(AttackClass c)
     return "?";
 }
 
+KddConfig
+shiftedAttackMix(KddConfig base)
+{
+    // Attack mass: DoS-dominant -> probe-dominant (scans). The
+    // benign-overlapping families (R2L/U2R) keep roughly their original
+    // share: the shift moves the distribution, not the irreducible
+    // error, so a model retrained on the shifted telemetry can recover
+    // to its pre-shift operating point.
+    base.dos_weight = 0.20;
+    base.probe_weight = 0.65;
+    base.r2l_weight = 0.10;
+    base.u2r_weight = 0.05;
+    // Benign baseline drift: the same connection volume now comes from a
+    // quarter of the hosts, so per-source windows look "hotter" than
+    // anything in the original training distribution.
+    base.benign_hosts = std::max(4, base.benign_hosts / 4);
+    return base;
+}
+
+std::vector<TracePacket>
+trimTrace(std::vector<TracePacket> trace, double t_max)
+{
+    // Traces are time-sorted; the tail is one contiguous suffix.
+    auto it = trace.begin();
+    while (it != trace.end() && it->time_s <= t_max)
+        ++it;
+    trace.erase(it, trace.end());
+    return trace;
+}
+
 KddGenerator::KddGenerator(KddConfig cfg, uint64_t seed)
     : cfg_(cfg), rng_(seed)
 {

@@ -71,6 +71,30 @@ struct KddConfig
     int benign_hosts = 64;
 };
 
+/**
+ * Derive the drifted workload used by the online-learning scenario: the
+ * attack mass migrates from volumetric DoS toward probe-style scans, and
+ * the benign population concentrates onto far fewer hosts (so per-source
+ * window features — connection counts, port diversity — take values the
+ * original training distribution never produced). A model trained on
+ * `base` loses precision on the shifted mix until it is retrained on
+ * live telemetry; the signal that separates the new benign baseline from
+ * scans (port diversity, SYN-only ratios) is still present, so retraining
+ * can recover.
+ */
+KddConfig shiftedAttackMix(KddConfig base);
+
+/**
+ * Drop the unmixed tail of an expanded trace: connections *start*
+ * uniformly over [0, trace_duration_s] but each runs for its own
+ * duration, so packets past `t_max` come only from long-lived flows —
+ * a mix no window of live traffic would ever see. The online-learning
+ * scenario trims at trace_duration_s so windowed statistics measure the
+ * representative mix, not the artifact.
+ */
+std::vector<TracePacket> trimTrace(std::vector<TracePacket> trace,
+                                   double t_max);
+
 /** Seeded generator for records, traces, and datasets. */
 class KddGenerator
 {

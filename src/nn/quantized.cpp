@@ -25,14 +25,20 @@ buildActivationLut(Activation act, double in_scale, double out_scale)
 QuantizedMlp
 QuantizedMlp::fromFloat(const Mlp &model, const std::vector<Vector> &calib)
 {
-    QuantizedMlp q;
-    q.loss_ = model.loss();
-
     // Input range from calibration data.
     float in_max = 1e-6f;
     for (const auto &v : calib)
         in_max = std::max(in_max, absMax(v));
-    q.input_qp_ = fixed::QuantParams::forAbsMax(in_max, 8);
+    return fromFloat(model, calib, fixed::QuantParams::forAbsMax(in_max, 8));
+}
+
+QuantizedMlp
+QuantizedMlp::fromFloat(const Mlp &model, const std::vector<Vector> &calib,
+                        const fixed::QuantParams &pinned_input)
+{
+    QuantizedMlp q;
+    q.loss_ = model.loss();
+    q.input_qp_ = pinned_input;
 
     // Per-layer pre-activation ranges from calibration.
     const size_t n_layers = model.layers().size();

@@ -57,6 +57,18 @@ class QuantizedMlp
     static QuantizedMlp fromFloat(const Mlp &model,
                                   const std::vector<Vector> &calibration);
 
+    /**
+     * Quantize with a pinned input scale instead of deriving it from the
+     * calibration set. The out-of-band weight-update path needs this: the
+     * switch's preprocessing tables were burned in at install time, so a
+     * retrained model must be quantized against the *installed* input
+     * quantization or its first-layer weights would assume a scale the
+     * data plane no longer produces.
+     */
+    static QuantizedMlp fromFloat(const Mlp &model,
+                                  const std::vector<Vector> &calibration,
+                                  const fixed::QuantParams &pinned_input);
+
     /** Quantize a real-valued input vector to the input scale. */
     std::vector<int8_t> quantizeInput(const Vector &input) const;
 

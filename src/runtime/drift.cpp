@@ -1,0 +1,70 @@
+#include "runtime/drift.hpp"
+
+#include <algorithm>
+
+namespace taurus::runtime {
+
+DriftMonitor::DriftMonitor(DriftConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.window == 0)
+        cfg_.window = 1;
+}
+
+void
+DriftMonitor::record(int8_t score, bool flagged, bool truth)
+{
+    score_stat_.add(static_cast<double>(score));
+    window_cm_.record(flagged, truth);
+    if (window_cm_.total() >= cfg_.window)
+        closeWindow();
+}
+
+void
+DriftMonitor::closeWindow()
+{
+    ++windows_;
+    last_f1_ = window_cm_.f1();
+    last_score_mean_ = score_stat_.mean();
+    smoothed_f1_ = windows_ == 1
+                       ? last_f1_
+                       : smoothed_f1_ +
+                             cfg_.ema_alpha * (last_f1_ - smoothed_f1_);
+
+    if (windows_ <= cfg_.warmup_windows) {
+        // Warmup windows only establish the healthy reference.
+        reference_f1_ = std::max(reference_f1_, smoothed_f1_);
+    } else if (drifted_) {
+        if (smoothed_f1_ >= cfg_.recover_ratio * reference_f1_) {
+            drifted_ = false;
+            ++recoveries_;
+            reference_f1_ = std::max(reference_f1_, smoothed_f1_);
+        }
+    } else if (smoothed_f1_ < cfg_.trigger_ratio * reference_f1_) {
+        drifted_ = true;
+        ++triggers_;
+        // The reference is frozen while drifted: recovery is measured
+        // against the pre-shift operating point, not a decayed one.
+    } else {
+        reference_f1_ = std::max(reference_f1_, smoothed_f1_);
+    }
+
+    window_cm_.reset();
+    score_stat_.reset();
+}
+
+void
+DriftMonitor::reset()
+{
+    window_cm_.reset();
+    score_stat_.reset();
+    last_f1_ = 0.0;
+    smoothed_f1_ = 0.0;
+    last_score_mean_ = 0.0;
+    reference_f1_ = 0.0;
+    windows_ = 0;
+    triggers_ = 0;
+    recoveries_ = 0;
+    drifted_ = false;
+}
+
+} // namespace taurus::runtime

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Windowed drift detection over mirrored telemetry.
+ *
+ * The control plane scores the data plane's own verdicts against labeled
+ * telemetry in fixed-size windows: each window closes into an F1 point
+ * plus score-distribution statistics (util::RunningStat, reset per
+ * window), and the best healthy window becomes the reference. A window
+ * that falls below `trigger_ratio` of the reference latches the drifted
+ * state — the trainer's cue to start streaming SGD — and the state clears
+ * itself once a window recovers to `recover_ratio` of the reference,
+ * which is exactly the "windowed F1 recovers to >= 95% of its pre-shift
+ * value" criterion the online-learning scenario measures.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace taurus::runtime {
+
+/** Drift-detection knobs. */
+struct DriftConfig
+{
+    size_t window = 1024;        ///< labeled samples per window
+    double trigger_ratio = 0.85; ///< drift when F1 < ratio * reference
+    double recover_ratio = 0.95; ///< recovered when F1 >= ratio * ref
+    size_t warmup_windows = 2;   ///< windows that only seed the reference
+    /**
+     * Exponential smoothing applied to the per-window F1 before any
+     * trigger/recover decision. Raw windows on bursty traffic swing by
+     * +-0.15 F1 (a window inside a DoS burst is easy, one inside a
+     * benign lull with a lone R2L is hopeless); the EMA tracks the
+     * sustained operating point instead of the luck of one window.
+     */
+    double ema_alpha = 0.25;
+};
+
+/** Scores (verdict, truth) pairs in windows and latches drift. */
+class DriftMonitor
+{
+  public:
+    explicit DriftMonitor(DriftConfig cfg = {});
+
+    /** Account one labeled sample; may close a window. */
+    void record(int8_t score, bool flagged, bool truth);
+
+    /** Latched drift state (set on trigger, cleared on recovery). */
+    bool drifted() const { return drifted_; }
+
+    /** Manually clear the latch (e.g. after an operator-forced push). */
+    void clearDrift() { drifted_ = false; }
+
+    double lastWindowF1() const { return last_f1_; }
+    /** EMA-smoothed windowed F1 (what triggers and recovery compare). */
+    double smoothedF1() const { return smoothed_f1_; }
+    double referenceF1() const { return reference_f1_; }
+    uint64_t windowsClosed() const { return windows_; }
+    uint64_t triggers() const { return triggers_; }
+    uint64_t recoveries() const { return recoveries_; }
+
+    /** Score statistics of the *current, still-open* window. */
+    const util::RunningStat &scoreStat() const { return score_stat_; }
+
+    /** Mean ML score of the last closed window. */
+    double lastWindowScoreMean() const { return last_score_mean_; }
+
+    /** Forget everything (new deployment). */
+    void reset();
+
+  private:
+    void closeWindow();
+
+    DriftConfig cfg_;
+    util::ConfusionMatrix window_cm_;
+    util::RunningStat score_stat_; ///< reset at every window boundary
+    double last_f1_ = 0.0;
+    double smoothed_f1_ = 0.0;
+    double last_score_mean_ = 0.0;
+    double reference_f1_ = 0.0;
+    uint64_t windows_ = 0;
+    uint64_t triggers_ = 0;
+    uint64_t recoveries_ = 0;
+    bool drifted_ = false;
+};
+
+} // namespace taurus::runtime

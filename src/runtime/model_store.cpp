@@ -1,0 +1,62 @@
+#include "runtime/model_store.hpp"
+
+namespace taurus::runtime {
+
+namespace {
+
+/** FNV-1a over a byte range. */
+uint64_t
+fnv1a(const void *data, size_t n, uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+uint64_t
+ModelStore::checksum(const dfg::Graph &g)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto &n : g.nodes()) {
+        h = fnv1a(n.weights.data(), n.weights.size(), h);
+        h = fnv1a(&n.bias, sizeof(n.bias), h);
+        h = fnv1a(n.lut.data(), n.lut.size(), h);
+        h = fnv1a(n.imms.data(),
+                  n.imms.size() * sizeof(n.imms[0]), h);
+        const int32_t mantissa = n.requant.mantissa();
+        const int exponent = n.requant.exponent();
+        h = fnv1a(&mantissa, sizeof(mantissa), h);
+        h = fnv1a(&exponent, sizeof(exponent), h);
+    }
+    return h;
+}
+
+void
+ModelStore::publish(dfg::Graph g)
+{
+    auto snap = std::make_shared<ModelSnapshot>();
+    snap->version = version_.load(std::memory_order_relaxed) + 1;
+    snap->graph = std::move(g);
+    snap->checksum = checksum(snap->graph);
+
+    // Swap the frozen snapshot in first, then advance the version
+    // counter: a reader that sees version N is guaranteed to load a
+    // snapshot at least that new.
+    std::atomic_store_explicit(
+        &snap_, std::shared_ptr<const ModelSnapshot>(std::move(snap)),
+        std::memory_order_release);
+    version_.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const ModelSnapshot>
+ModelStore::current() const
+{
+    return std::atomic_load_explicit(&snap_, std::memory_order_acquire);
+}
+
+} // namespace taurus::runtime

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Versioned, double-buffered model publication (the "weight push" half of
+ * the paper's Figure 1 loop).
+ *
+ * The trainer publishes a fresh weight graph as an immutable snapshot;
+ * data-plane workers grab the current snapshot at batch boundaries and
+ * apply it to their own switch replica. Publication is RCU/epoch style:
+ * readers take a `shared_ptr` to a snapshot that is frozen at publish
+ * time, so a reader can never observe a half-written graph — the old
+ * snapshot stays alive (and bit-stable) until its last reader drops it,
+ * and the writer builds each new snapshot off to the side before the
+ * single atomic pointer swap makes it visible.
+ *
+ * Single writer, any number of readers. The version counter lets a
+ * reader poll "is there anything new?" with one relaxed atomic load
+ * before paying for the pointer acquire.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "dfg/graph.hpp"
+
+namespace taurus::runtime {
+
+/** One published model: an immutable graph plus its identity. */
+struct ModelSnapshot
+{
+    uint64_t version = 0;
+    dfg::Graph graph;
+    /**
+     * FNV-1a over every node's mutable payload, computed at publish
+     * time. A reader that recomputes it on its copy of the snapshot can
+     * prove the hot swap was torn-read-free (the runtime tests do).
+     */
+    uint64_t checksum = 0;
+};
+
+/**
+ * Publish/subscribe point for weight updates. Readers never block on a
+ * half-built snapshot and never observe torn state; the version()
+ * pre-check is a genuinely lock-free atomic load, while the
+ * shared_ptr exchange itself uses the C++17 atomic_load/atomic_store
+ * free functions (libstdc++ backs these with a mutex pool — fine at
+ * batch granularity, so do NOT move current() onto a per-packet path).
+ */
+class ModelStore
+{
+  public:
+    ModelStore() = default;
+
+    /** Writer: freeze `g` into the next version and swap it in. */
+    void publish(dfg::Graph g);
+
+    /**
+     * Reader: the current snapshot, or nullptr before the first publish.
+     * The returned snapshot is immutable and stays valid for as long as
+     * the caller holds the pointer, regardless of later publishes.
+     */
+    std::shared_ptr<const ModelSnapshot> current() const;
+
+    /** Latest published version (0 before the first publish). */
+    uint64_t
+    version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+    /** Weight-payload checksum of a graph (FNV-1a). */
+    static uint64_t checksum(const dfg::Graph &g);
+
+  private:
+    std::shared_ptr<const ModelSnapshot> snap_;
+    std::atomic<uint64_t> version_{0};
+};
+
+} // namespace taurus::runtime

@@ -1,0 +1,345 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace taurus::runtime {
+
+OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
+                             const models::AnomalyDnn &installed,
+                             RuntimeConfig cfg)
+    : farm_(farm), cfg_(cfg),
+      trainer_(installed, cfg.train, cfg.reservoir_cap,
+               cfg.calibration_cap),
+      drift_(cfg.drift)
+{
+    if (cfg_.batch_pkts == 0)
+        cfg_.batch_pkts = 1;
+    util::Rng seeder(cfg_.train.seed);
+    workers_.reserve(farm_.workers());
+    for (size_t w = 0; w < farm_.workers(); ++w)
+        workers_.push_back(
+            std::make_unique<Worker>(cfg_.ring_capacity, seeder.split()));
+    parts_.resize(farm_.workers());
+}
+
+OnlineRuntime::~OnlineRuntime()
+{
+    stop();
+}
+
+void
+OnlineRuntime::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    since_control_ = 0;
+    if (cfg_.synchronous)
+        return;
+    trainer_stop_.store(false, std::memory_order_relaxed);
+    for (auto &w : workers_)
+        w->stop = false; // clear a previous stop() so restart works
+    for (size_t w = 0; w < workers_.size(); ++w)
+        workers_[w]->thread =
+            std::thread([this, w]() { workerLoop(w); });
+    trainer_thread_ = std::thread([this]() { trainerLoop(); });
+}
+
+void
+OnlineRuntime::stop()
+{
+    if (!running_)
+        return;
+    if (!cfg_.synchronous) {
+        for (auto &w : workers_) {
+            {
+                std::lock_guard<std::mutex> lk(w->m);
+                w->stop = true;
+            }
+            w->cv.notify_all();
+        }
+        for (auto &w : workers_)
+            if (w->thread.joinable())
+                w->thread.join();
+        trainer_stop_.store(true, std::memory_order_relaxed);
+        if (trainer_thread_.joinable())
+            trainer_thread_.join();
+    }
+    // Final drain so trailing samples are accounted (both modes), and
+    // a farm-wide apply so a publish out of that drain — or one the
+    // async workers had not yet picked up — is actually live in every
+    // replica, keeping the store and the farm in sync at shutdown.
+    {
+        std::lock_guard<std::mutex> lk(ctl_m_);
+        controlStepLocked(/*drain_all_minibatches=*/true, nullptr);
+        applyLatestToAllLocked();
+    }
+    running_ = false;
+}
+
+void
+OnlineRuntime::processOne(size_t w, const net::TracePacket &pkt,
+                          core::SwitchDecision &out)
+{
+    Worker &worker = *workers_[w];
+    out = farm_.replica(w).process(pkt);
+    if (cfg_.sampling_rate > 0.0 &&
+        worker.rng.bernoulli(cfg_.sampling_rate))
+        worker.ring.tryPush(makeSample(out, pkt.anomalous));
+}
+
+void
+OnlineRuntime::maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw)
+{
+    if (store_.version() == worker.applied_version)
+        return;
+    const auto snap = store_.current();
+    if (!snap || snap->version == worker.applied_version)
+        return;
+    sw.updateWeights(snap->graph);
+    worker.applied_version = snap->version;
+    updates_applied_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+OnlineRuntime::runAssignment(Worker &worker, core::TaurusSwitch &sw)
+{
+    for (size_t at = 0; at < worker.n; at += cfg_.batch_pkts) {
+        // Hot swap happens here: between batches, against a frozen
+        // snapshot, on the worker's own replica. The per-packet loop
+        // below never touches shared mutable state.
+        maybeApplyUpdate(worker, sw);
+        const size_t end = std::min(at + cfg_.batch_pkts, worker.n);
+        for (size_t j = at; j < end; ++j) {
+            const size_t i = worker.idx[j];
+            core::SwitchDecision d = sw.process(worker.pkts[i]);
+            if (cfg_.sampling_rate > 0.0 &&
+                worker.rng.bernoulli(cfg_.sampling_rate))
+                worker.ring.tryPush(
+                    makeSample(d, worker.pkts[i].anomalous));
+            worker.out[i] = d;
+        }
+    }
+}
+
+void
+OnlineRuntime::workerLoop(size_t w)
+{
+    Worker &worker = *workers_[w];
+    core::TaurusSwitch &sw = farm_.replica(w);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(worker.m);
+            worker.cv.wait(lk, [&]() {
+                return worker.has_work || worker.stop;
+            });
+            if (worker.stop)
+                return;
+        }
+        try {
+            runAssignment(worker, sw);
+        } catch (...) {
+            worker.error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(worker.m);
+            worker.has_work = false;
+        }
+        {
+            std::lock_guard<std::mutex> lk(done_m_);
+            --outstanding_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void
+OnlineRuntime::processTrace(util::Span<const net::TracePacket> packets,
+                            util::Span<core::SwitchDecision> decisions)
+{
+    if (packets.size() != decisions.size())
+        throw std::invalid_argument(
+            "OnlineRuntime::processTrace: size mismatch");
+    if (!running_)
+        throw std::logic_error(
+            "OnlineRuntime::processTrace: call start() first");
+
+    if (cfg_.synchronous) {
+        for (size_t i = 0; i < packets.size(); ++i) {
+            const size_t w = farm_.workerFor(packets[i]);
+            processOne(w, packets[i], decisions[i]);
+            if (++since_control_ >= cfg_.batch_pkts) {
+                since_control_ = 0;
+                // Inline batch boundary: nothing is processing, so the
+                // farm-wide update path is safe and immediate.
+                std::lock_guard<std::mutex> lk(ctl_m_);
+                controlStepLocked(/*drain_all_minibatches=*/true,
+                                  nullptr);
+                applyLatestToAllLocked();
+            }
+        }
+        packets_.fetch_add(packets.size(), std::memory_order_relaxed);
+        return;
+    }
+
+    // Asynchronous mode: partition by flow hash (identical ownership to
+    // SwitchFarm::processTrace) and hand each worker its partition.
+    for (auto &p : parts_) {
+        p.clear();
+        p.reserve(packets.size() / workers_.size() + 1);
+    }
+    for (size_t i = 0; i < packets.size(); ++i)
+        parts_[farm_.workerFor(packets[i])].push_back(i);
+
+    {
+        std::lock_guard<std::mutex> lk(done_m_);
+        outstanding_ = workers_.size();
+    }
+    for (size_t w = 0; w < workers_.size(); ++w) {
+        Worker &worker = *workers_[w];
+        {
+            std::lock_guard<std::mutex> lk(worker.m);
+            worker.pkts = packets.data();
+            worker.idx = parts_[w].data();
+            worker.n = parts_[w].size();
+            worker.out = decisions.data();
+            worker.error = nullptr;
+            worker.has_work = true;
+        }
+        worker.cv.notify_all();
+    }
+    {
+        std::unique_lock<std::mutex> lk(done_m_);
+        done_cv_.wait(lk, [&]() { return outstanding_ == 0; });
+    }
+    for (auto &worker : workers_)
+        if (worker->error)
+            std::rethrow_exception(worker->error);
+    packets_.fetch_add(packets.size(), std::memory_order_relaxed);
+}
+
+std::vector<core::SwitchDecision>
+OnlineRuntime::processTrace(const std::vector<net::TracePacket> &packets)
+{
+    std::vector<core::SwitchDecision> decisions(packets.size());
+    processTrace(util::Span<const net::TracePacket>(packets.data(),
+                                                    packets.size()),
+                 util::Span<core::SwitchDecision>(decisions.data(),
+                                                  decisions.size()));
+    return decisions;
+}
+
+size_t
+OnlineRuntime::controlStepLocked(bool drain_all_minibatches,
+                                 std::unique_ptr<dfg::Graph> *pending)
+{
+    size_t drained = 0;
+    TelemetrySample s;
+    for (auto &worker : workers_) {
+        while (worker->ring.tryPop(s)) {
+            ++drained;
+            ++consumed_;
+            drift_.record(s.score, s.flagged, s.truth);
+            trainer_.ingest(s);
+        }
+    }
+
+    while (trainer_.minibatchReady()) {
+        if (cfg_.train_always || drift_.drifted()) {
+            trainer_.step();
+            if (drain_all_minibatches) {
+                publishLocked(trainer_.snapshotGraph());
+            } else {
+                // Async path: hand the lowered graph to the trainer
+                // thread, which sleeps the install delay and publishes
+                // without holding ctl_m_ (stats() must never stall on
+                // a publish burst).
+                *pending =
+                    std::make_unique<dfg::Graph>(trainer_.snapshotGraph());
+                break;
+            }
+        } else {
+            trainer_.absorb();
+        }
+    }
+    return drained;
+}
+
+void
+OnlineRuntime::publishLocked(dfg::Graph g)
+{
+    store_.publish(std::move(g));
+    ++updates_published_;
+}
+
+void
+OnlineRuntime::applyLatestToAllLocked()
+{
+    const auto snap = store_.current();
+    if (!snap)
+        return;
+    size_t behind = 0;
+    for (const auto &worker : workers_)
+        behind += worker->applied_version != snap->version;
+    if (behind == 0)
+        return;
+    farm_.updateWeights(snap->graph);
+    for (auto &worker : workers_)
+        worker->applied_version = snap->version;
+    updates_applied_.fetch_add(behind, std::memory_order_relaxed);
+}
+
+void
+OnlineRuntime::trainerLoop()
+{
+    while (!trainer_stop_.load(std::memory_order_relaxed)) {
+        size_t drained;
+        std::unique_ptr<dfg::Graph> pending;
+        {
+            std::lock_guard<std::mutex> lk(ctl_m_);
+            drained = controlStepLocked(/*drain_all_minibatches=*/false,
+                                        &pending);
+        }
+        if (pending) {
+            // Model the rule-install latency between training and the
+            // weights going live — off the lock, so only the publish
+            // cadence is throttled, never the data path or stats().
+            if (cfg_.train.install_delay_ms > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        cfg_.train.install_delay_ms));
+            std::lock_guard<std::mutex> lk(ctl_m_);
+            publishLocked(std::move(*pending));
+        } else if (drained == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+}
+
+RuntimeStats
+OnlineRuntime::stats() const
+{
+    RuntimeStats st;
+    st.packets = packets_.load(std::memory_order_relaxed);
+    for (const auto &worker : workers_) {
+        st.mirrored += worker->ring.pushed();
+        st.ring_dropped += worker->ring.dropped();
+    }
+    st.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(ctl_m_);
+    st.consumed = consumed_;
+    st.sgd_steps = trainer_.steps();
+    st.updates_published = updates_published_;
+    st.drift_triggers = drift_.triggers();
+    st.drift_recoveries = drift_.recoveries();
+    st.windows_closed = drift_.windowsClosed();
+    st.last_window_f1 = drift_.lastWindowF1();
+    st.smoothed_f1 = drift_.smoothedF1();
+    st.reference_f1 = drift_.referenceF1();
+    st.drifted = drift_.drifted();
+    return st;
+}
+
+} // namespace taurus::runtime

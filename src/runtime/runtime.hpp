@@ -1,0 +1,235 @@
+/**
+ * @file
+ * OnlineRuntime: the live train-and-push loop of paper Figure 1 /
+ * Section 5.2.3, closed over a running SwitchFarm.
+ *
+ *   workers (data plane)          control plane (trainer thread)
+ *   ------------------------      --------------------------------
+ *   replica.process(pkt)   --+--> TelemetryRing (SPSC, drop-on-full)
+ *   sample w/ prob p          |        |
+ *   poll ModelStore        <--+   DriftMonitor (windowed F1)
+ *   at batch boundaries        \       |  triggers
+ *   apply updateWeights()       \  StreamingTrainer (minibatch SGD)
+ *                                \      |  install-delay, then
+ *                                 +-- ModelStore.publish(graph)
+ *
+ * Two execution modes:
+ *
+ *  - Asynchronous (default): one persistent thread per farm replica
+ *    drains its flow-hash partition in batches; a dedicated trainer
+ *    thread drains every ring, monitors drift, trains, and publishes.
+ *    Workers apply a published snapshot to *their own* replica at their
+ *    next batch boundary — the only cross-thread state is the lock-free
+ *    ring and the RCU-style ModelStore, so the per-packet path never
+ *    takes a lock and never blocks on the trainer.
+ *
+ *  - Synchronous (cfg.synchronous): everything runs inline on the
+ *    caller's thread with the same policy, control steps firing at
+ *    batch boundaries. With a fixed seed the whole run — decisions,
+ *    updates, drift triggers — is bit-deterministic, which is what the
+ *    regression tests and the recovery benchmark pin down.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cp/trainer.hpp"
+#include "models/zoo.hpp"
+#include "runtime/drift.hpp"
+#include "runtime/model_store.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/trainer.hpp"
+#include "taurus/farm.hpp"
+
+namespace taurus::runtime {
+
+/** Online-learning runtime configuration. */
+struct RuntimeConfig
+{
+    /** Packets a worker processes between ModelStore polls. */
+    size_t batch_pkts = 1024;
+    /** Telemetry mirror fraction (0 disables mirroring entirely). */
+    double sampling_rate = 0.02;
+    /** Per-worker ring capacity (rounded up to a power of two). */
+    size_t ring_capacity = 1 << 14;
+    /** Run everything inline and deterministically on the caller. */
+    bool synchronous = false;
+    /**
+     * Train on every full minibatch instead of only while the drift
+     * monitor is latched. Steady-state deployments leave this off: the
+     * trainer then only absorbs history until drift strikes.
+     */
+    bool train_always = false;
+    /** Minibatch/epochs/learning-rate/install-delay/seed semantics. */
+    cp::OnlineTrainConfig train;
+    DriftConfig drift;
+    size_t reservoir_cap = 2048;
+    size_t calibration_cap = 256;
+};
+
+/** Aggregate counters of one runtime (all monotonic except gauges). */
+struct RuntimeStats
+{
+    uint64_t packets = 0;           ///< packets processed
+    uint64_t mirrored = 0;          ///< samples enqueued into rings
+    uint64_t ring_dropped = 0;      ///< samples dropped (consumer behind)
+    uint64_t consumed = 0;          ///< samples drained by the trainer
+    uint64_t sgd_steps = 0;         ///< streaming SGD updates run
+    uint64_t updates_published = 0; ///< graphs pushed into the store
+    uint64_t updates_applied = 0;   ///< per-replica weight applications
+    uint64_t drift_triggers = 0;    ///< retrainings triggered
+    uint64_t drift_recoveries = 0;
+    uint64_t windows_closed = 0;
+    double last_window_f1 = 0.0;    ///< gauge
+    double smoothed_f1 = 0.0;       ///< gauge (EMA the monitor acts on)
+    double reference_f1 = 0.0;      ///< gauge (pre-shift operating point)
+    bool drifted = false;           ///< gauge
+};
+
+/** The asynchronous control-plane runtime over a SwitchFarm. */
+class OnlineRuntime
+{
+  public:
+    /**
+     * `farm` must already have `installed` installed in every replica;
+     * the trainer warm-starts from the installed float model and pins
+     * its input quantization. The runtime holds references — both must
+     * outlive it.
+     */
+    OnlineRuntime(core::SwitchFarm &farm,
+                  const models::AnomalyDnn &installed,
+                  RuntimeConfig cfg = {});
+    ~OnlineRuntime();
+
+    OnlineRuntime(const OnlineRuntime &) = delete;
+    OnlineRuntime &operator=(const OnlineRuntime &) = delete;
+
+    /** Launch worker + trainer threads (no-op in synchronous mode). */
+    void start();
+
+    /**
+     * Drain rings one last time, stop and join all threads. Idempotent;
+     * the destructor calls it.
+     */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /**
+     * Process a trace through the farm with mirroring, drift detection,
+     * and live weight updates active. Decisions land at their original
+     * indices, exactly like SwitchFarm::processTrace. Not reentrant:
+     * one caller at a time.
+     */
+    void processTrace(util::Span<const net::TracePacket> packets,
+                      util::Span<core::SwitchDecision> decisions);
+
+    /** Convenience overload that owns the decision storage. */
+    std::vector<core::SwitchDecision> processTrace(
+        const std::vector<net::TracePacket> &packets);
+
+    /** Consistent snapshot of all counters and gauges. */
+    RuntimeStats stats() const;
+
+    /** Latest published model version (0 = still the installed model). */
+    uint64_t modelVersion() const { return store_.version(); }
+
+    const ModelStore &store() const { return store_; }
+
+  private:
+    /** Per-replica worker state: ring, sampler, and the async mailbox. */
+    struct Worker
+    {
+        Worker(size_t ring_capacity, util::Rng sampler)
+            : ring(ring_capacity), rng(sampler)
+        {
+        }
+
+        TelemetryRing ring;
+        util::Rng rng;                 ///< mirror-sampling stream
+        uint64_t applied_version = 0;  ///< last snapshot applied
+
+        // Async mailbox (one assignment per processTrace call).
+        std::mutex m;
+        std::condition_variable cv;
+        bool has_work = false;
+        bool stop = false;
+        const net::TracePacket *pkts = nullptr;
+        const size_t *idx = nullptr;
+        size_t n = 0;
+        core::SwitchDecision *out = nullptr;
+        std::exception_ptr error;
+        std::thread thread;
+    };
+
+    void workerLoop(size_t w);
+    void runAssignment(Worker &worker, core::TaurusSwitch &sw);
+    void maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw);
+    /** Process one packet on replica `w` and mirror it. Sync + async. */
+    void processOne(size_t w, const net::TracePacket &pkt,
+                    core::SwitchDecision &out);
+
+    void trainerLoop();
+    /**
+     * Drain every ring into the drift monitor + trainer and run the
+     * train/absorb policy. With `drain_all_minibatches` (synchronous
+     * mode and final drain) every buffered minibatch is handled and
+     * publishes happen inline; otherwise at most one minibatch is
+     * trained per call and the freshly lowered graph is handed back
+     * through `pending` so the trainer thread can model the
+     * install delay *outside* the lock before publishing. Returns the
+     * drained sample count. Caller holds ctl_m_.
+     */
+    size_t controlStepLocked(bool drain_all_minibatches,
+                             std::unique_ptr<dfg::Graph> *pending);
+    /** Publish a trained graph (caller holds ctl_m_). */
+    void publishLocked(dfg::Graph g);
+    /**
+     * Farm-wide apply of the latest snapshot, counting only replicas
+     * that were actually behind. Only safe when no worker is
+     * processing: synchronous batch boundaries and stop()'s final
+     * drain (threads already joined). Caller holds ctl_m_.
+     */
+    void applyLatestToAllLocked();
+
+    core::SwitchFarm &farm_;
+    RuntimeConfig cfg_;
+    ModelStore store_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    // Control-plane state: owned by the trainer thread (async) or the
+    // caller (sync); ctl_m_ guards it plus the counters below.
+    mutable std::mutex ctl_m_;
+    StreamingTrainer trainer_;
+    DriftMonitor drift_;
+    uint64_t consumed_ = 0;
+    uint64_t updates_published_ = 0;
+
+    std::atomic<uint64_t> packets_{0};
+    std::atomic<uint64_t> updates_applied_{0};
+
+    // Async completion of one processTrace: workers count down.
+    std::mutex done_m_;
+    std::condition_variable done_cv_;
+    size_t outstanding_ = 0;
+
+    std::thread trainer_thread_;
+    std::atomic<bool> trainer_stop_{false};
+    bool running_ = false;
+
+    // Synchronous-mode control cadence, carried across processTrace
+    // calls so chunked callers still fire control steps on schedule.
+    size_t since_control_ = 0;
+
+    // Reused partition buffers (processTrace is single-caller).
+    std::vector<std::vector<size_t>> parts_;
+};
+
+} // namespace taurus::runtime

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Telemetry mirroring between the data-plane fast path and the
+ * control-plane trainer (paper Figure 1 / Section 5.2.3: the control
+ * plane "continuously retrains on mirrored telemetry").
+ *
+ * Each farm worker owns one bounded single-producer/single-consumer ring;
+ * the trainer thread is the only consumer of every ring. The producer
+ * side is wait-free: a full ring counts a drop and moves on — mirroring
+ * must never block or slow the per-packet path, the same way a hardware
+ * mirror port tail-drops under pressure. Samples carry the int8 feature
+ * codes the preprocessing MATs already computed (the model's exact input
+ * view), the data-plane verdict, and the ground-truth label the
+ * control plane would attach when labeling telemetry.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "taurus/switch.hpp"
+#include "util/stats.hpp"
+
+namespace taurus::runtime {
+
+/** One mirrored packet: feature codes + verdict + label. */
+struct TelemetrySample
+{
+    std::array<int8_t, core::kDecisionFeatureSlots> features{};
+    uint8_t feature_count = 0;
+    int8_t score = 0;    ///< raw MapReduce output code
+    bool flagged = false; ///< data-plane verdict
+    bool truth = false;   ///< ground-truth label (control-plane labeling)
+};
+
+/** Build a sample from a processed packet's decision and label. */
+TelemetrySample makeSample(const core::SwitchDecision &d, bool truth);
+
+/**
+ * Bounded lock-free SPSC ring. Exactly one producer thread may call
+ * tryPush() and exactly one consumer thread may call tryPop(); any
+ * thread may read the counters. Capacity is rounded up to a power of
+ * two so index masking stays branch-free.
+ */
+class TelemetryRing
+{
+  public:
+    explicit TelemetryRing(size_t capacity);
+
+    /**
+     * Producer side: enqueue one sample. Returns false — and counts the
+     * drop — when the ring is full. Never blocks, never allocates.
+     */
+    bool tryPush(const TelemetrySample &s);
+
+    /** Consumer side: dequeue into `out`; false when empty. */
+    bool tryPop(TelemetrySample &out);
+
+    /** Samples discarded because the consumer fell behind. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Samples successfully enqueued. */
+    uint64_t pushed() const
+    {
+        return tail_.load(std::memory_order_relaxed);
+    }
+
+    size_t capacity() const { return slots_.size(); }
+
+    /** Approximate occupancy (exact only from producer or consumer). */
+    size_t
+    size() const
+    {
+        const uint64_t t = tail_.load(std::memory_order_acquire);
+        const uint64_t h = head_.load(std::memory_order_acquire);
+        return static_cast<size_t>(t - h);
+    }
+
+  private:
+    std::vector<TelemetrySample> slots_;
+    size_t mask_ = 0;
+    // Producer and consumer indices live on their own cache lines so the
+    // two sides don't false-share under concurrent traffic.
+    alignas(64) std::atomic<uint64_t> tail_{0}; ///< next write (producer)
+    alignas(64) std::atomic<uint64_t> head_{0}; ///< next read (consumer)
+    alignas(64) std::atomic<uint64_t> dropped_{0};
+};
+
+} // namespace taurus::runtime

@@ -1,0 +1,157 @@
+#include "runtime/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compiler/lower.hpp"
+#include "nn/quantized.hpp"
+
+namespace taurus::runtime {
+
+StreamingTrainer::StreamingTrainer(const models::AnomalyDnn &installed,
+                                   cp::OnlineTrainConfig cfg,
+                                   size_t reservoir_cap,
+                                   size_t calibration_cap)
+    : cfg_(cfg), input_qp_(installed.quantized.inputParams()),
+      installed_out_scale_(installed.quantized.layers().back().out_scale),
+      model_(installed.model), rng_(cfg.seed),
+      reservoir_cap_(std::max<size_t>(reservoir_cap, 1)),
+      calib_cap_(std::max<size_t>(calibration_cap, 1))
+{
+    if (cfg_.batch < 1)
+        throw std::invalid_argument("StreamingTrainer: batch must be >= 1");
+}
+
+void
+StreamingTrainer::ingest(const TelemetrySample &s)
+{
+    nn::Vector x(s.feature_count);
+    for (size_t i = 0; i < s.feature_count; ++i)
+        x[i] = static_cast<float>(
+            fixed::dequantize(s.features[i], input_qp_));
+
+    // Rolling calibration window for the next re-quantization.
+    if (calib_.size() < calib_cap_) {
+        calib_.push_back(x);
+    } else {
+        calib_[calib_next_] = x;
+        calib_next_ = (calib_next_ + 1) % calib_cap_;
+    }
+
+    buf_x_.push_back(std::move(x));
+    buf_y_.push_back(s.truth ? 1 : 0);
+    ++ingested_;
+}
+
+void
+StreamingTrainer::step()
+{
+    if (!minibatchReady())
+        throw std::logic_error("StreamingTrainer::step: minibatch not full");
+
+    // One update trains over exactly cfg_.batch fresh samples — not
+    // the whole buffer. The buffer can hold far more than one batch
+    // after a burst (the rings keep filling while the trainer sleeps
+    // an install delay), and step() runs under the runtime's control
+    // lock, so the per-step cost must stay bounded by configuration,
+    // not by load; the surplus stays buffered for subsequent steps.
+    const size_t fresh = static_cast<size_t>(cfg_.batch);
+
+    // The update set: the fresh minibatch plus an equal-sized replay
+    // draw from the reservoir (cp::runOnlineTraining semantics).
+    std::vector<const nn::Vector *> xs;
+    std::vector<int> ys(buf_y_.begin(),
+                        buf_y_.begin() + static_cast<long>(fresh));
+    xs.reserve(fresh * 2);
+    ys.reserve(fresh * 2);
+    for (size_t k = 0; k < fresh; ++k)
+        xs.push_back(&buf_x_[k]);
+    for (size_t k = 0; k < fresh && !reservoir_x_.empty(); ++k) {
+        const size_t j = static_cast<size_t>(rng_.uniformInt(
+            0, static_cast<int64_t>(reservoir_x_.size()) - 1));
+        xs.push_back(&reservoir_x_[j]);
+        ys.push_back(reservoir_y_[j]);
+    }
+
+    nn::TrainConfig tc;
+    tc.epochs = 1; // epochs handled explicitly below
+    tc.batch_size = cfg_.batch;
+    tc.learning_rate = cfg_.learning_rate;
+
+    // Each epoch is a pass of chunked SGD steps over the shuffled
+    // update set (a single full-batch step per push parks the model at
+    // the all-negative operating point).
+    std::vector<size_t> order(xs.size());
+    for (size_t k = 0; k < order.size(); ++k)
+        order[k] = k;
+    constexpr size_t kStep = 32;
+    std::vector<const nn::Vector *> step_x;
+    std::vector<int> step_y;
+    for (int e = 0; e < cfg_.epochs; ++e) {
+        rng_.shuffle(order);
+        for (size_t at = 0; at < order.size(); at += kStep) {
+            step_x.clear();
+            step_y.clear();
+            for (size_t k = at; k < std::min(at + kStep, order.size());
+                 ++k) {
+                step_x.push_back(xs[order[k]]);
+                step_y.push_back(ys[order[k]]);
+            }
+            model_.trainBatch(step_x, step_y, tc);
+        }
+    }
+
+    ++steps_;
+    retireMinibatch(fresh);
+}
+
+void
+StreamingTrainer::absorb()
+{
+    retireMinibatch(buf_x_.size());
+}
+
+void
+StreamingTrainer::retireMinibatch(size_t count)
+{
+    count = std::min(count, buf_x_.size());
+    for (size_t k = 0; k < count; ++k) {
+        if (reservoir_x_.size() < reservoir_cap_) {
+            reservoir_x_.push_back(std::move(buf_x_[k]));
+            reservoir_y_.push_back(buf_y_[k]);
+        } else {
+            const size_t j = static_cast<size_t>(rng_.uniformInt(
+                0, static_cast<int64_t>(reservoir_x_.size()) - 1));
+            reservoir_x_[j] = std::move(buf_x_[k]);
+            reservoir_y_[j] = buf_y_[k];
+        }
+    }
+    buf_x_.erase(buf_x_.begin(),
+                 buf_x_.begin() + static_cast<long>(count));
+    buf_y_.erase(buf_y_.begin(),
+                 buf_y_.begin() + static_cast<long>(count));
+}
+
+dfg::Graph
+StreamingTrainer::snapshotGraph() const
+{
+    if (calib_.empty())
+        throw std::logic_error(
+            "StreamingTrainer::snapshotGraph: no telemetry ingested yet");
+    const nn::QuantizedMlp q =
+        nn::QuantizedMlp::fromFloat(model_, calib_, input_qp_);
+    // The switch's verdict table was burned in at install time against
+    // the installed model's output scale; a weight-only push must keep
+    // that contract or flagging thresholds silently shift. For the
+    // sigmoid-headed anomaly DNN the scale is a calibration-independent
+    // constant (1/127), so this only fires if someone retargets the
+    // trainer at a model family whose output scale floats — loudly,
+    // instead of quietly unflagging anomalies.
+    if (q.layers().back().out_scale != installed_out_scale_)
+        throw std::logic_error(
+            "StreamingTrainer::snapshotGraph: output scale diverged "
+            "from the installed verdict table");
+    return compiler::lowerMlp(q, "anomaly_dnn_online");
+}
+
+} // namespace taurus::runtime

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Streaming SGD over mirrored telemetry (the live counterpart of
+ * cp::runOnlineTraining, which models the same loop offline).
+ *
+ * The trainer warm-starts from the float model that is installed in the
+ * data plane, dequantizes each mirrored sample's int8 feature codes with
+ * the *installed* input quantization (the preprocessing tables are fixed
+ * at install time, so codes are the ground truth of what the model
+ * sees), and reuses the cp::OnlineTrainConfig minibatch semantics: each
+ * update trains `epochs` chunked-SGD passes over the fresh minibatch
+ * plus an equal-sized draw from a reservoir of retired history, which
+ * keeps time-correlated bursts from collapsing the streamed model.
+ *
+ * snapshotGraph() re-quantizes against the pinned input scale and lowers
+ * to a dataflow graph that is structurally identical to the installed
+ * one — exactly what the weight-only update path requires.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cp/trainer.hpp"
+#include "dfg/graph.hpp"
+#include "models/zoo.hpp"
+#include "nn/mlp.hpp"
+#include "runtime/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace taurus::runtime {
+
+/** Background trainer state: one instance, owned by the control loop. */
+class StreamingTrainer
+{
+  public:
+    /**
+     * `installed` supplies the warm-start float model, the pinned input
+     * quantization, and the graph name; `cfg` supplies batch/epochs/
+     * learning-rate/seed (sampling and install delay are handled by the
+     * runtime, which owns mirroring and publication timing).
+     */
+    StreamingTrainer(const models::AnomalyDnn &installed,
+                     cp::OnlineTrainConfig cfg,
+                     size_t reservoir_cap = 2048,
+                     size_t calibration_cap = 256);
+
+    /** Buffer one mirrored sample (dequantized feature codes + label). */
+    void ingest(const TelemetrySample &s);
+
+    /** True when a full minibatch is buffered. */
+    bool
+    minibatchReady() const
+    {
+        return buf_x_.size() >= static_cast<size_t>(cfg_.batch);
+    }
+
+    /**
+     * One streaming update: epochs of chunked SGD over exactly
+     * cfg_.batch buffered samples plus a reservoir draw, then retire
+     * that minibatch into the reservoir (any surplus stays buffered
+     * for later steps, keeping per-step cost load-independent).
+     * Requires minibatchReady().
+     */
+    void step();
+
+    /**
+     * Retire the buffered minibatch into the reservoir *without*
+     * training. The idle (no-drift) mode of the runtime uses this so the
+     * reservoir always holds recent history when drift does strike.
+     */
+    void absorb();
+
+    /**
+     * Quantize the current float model against the pinned input scale
+     * and lower it to a weight-update graph. Requires at least one
+     * ingested sample (the calibration window must be non-empty).
+     */
+    dfg::Graph snapshotGraph() const;
+
+    const nn::Mlp &model() const { return model_; }
+    uint64_t steps() const { return steps_; }
+    uint64_t ingested() const { return ingested_; }
+    size_t reservoirSize() const { return reservoir_x_.size(); }
+
+  private:
+    /** Move the first `count` buffered samples into the reservoir. */
+    void retireMinibatch(size_t count);
+
+    cp::OnlineTrainConfig cfg_;
+    fixed::QuantParams input_qp_; ///< pinned from the installed model
+    double installed_out_scale_;  ///< install-time verdict-scale contract
+    nn::Mlp model_;
+    util::Rng rng_;
+
+    std::vector<nn::Vector> buf_x_; ///< fresh minibatch
+    std::vector<int> buf_y_;
+    std::vector<nn::Vector> reservoir_x_; ///< retired history
+    std::vector<int> reservoir_y_;
+    size_t reservoir_cap_;
+
+    // Rolling calibration window of recent inputs for re-quantization.
+    std::vector<nn::Vector> calib_;
+    size_t calib_cap_;
+    size_t calib_next_ = 0;
+
+    uint64_t steps_ = 0;
+    uint64_t ingested_ = 0;
+};
+
+} // namespace taurus::runtime

@@ -38,6 +38,13 @@ SwitchFarm::installAnomalyModel(const models::AnomalyDnn &model)
         sw->installAnomalyModel(model);
 }
 
+void
+SwitchFarm::updateWeights(const dfg::Graph &fresh)
+{
+    for (auto &sw : replicas_)
+        sw->updateWeights(fresh);
+}
+
 size_t
 SwitchFarm::workerFor(const net::TracePacket &tp) const
 {

@@ -43,6 +43,16 @@ class SwitchFarm
     void installAnomalyModel(const models::AnomalyDnn &model);
 
     /**
+     * Push fresh weights into every replica's installed program without
+     * re-placing it (the farm-wide out-of-band weight-update path). Must
+     * be called at a batch boundary — i.e. not concurrently with
+     * processTrace(); the online runtime serializes updates against its
+     * worker batches for exactly this reason. The graph must be
+     * structurally identical to the installed one.
+     */
+    void updateWeights(const dfg::Graph &fresh);
+
+    /**
      * Deterministic owner of a packet: a mixed hash of the source
      * address modulo the worker count. All packets of a flow — and all
      * flows of a source — map to the same worker.

@@ -88,6 +88,7 @@ buildDnnFeatureProgram(const nn::Standardizer &std_fit,
                        const FeatureProgramConfig &cfg)
 {
     FeatureProgram fp;
+    fp.feature_count = net::kDnnFeatureCount;
     fp.flow_table_size = uint32_t{1} << cfg.flow_table_bits;
     fp.src_table_size = uint32_t{1} << cfg.src_table_bits;
 

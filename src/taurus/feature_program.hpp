@@ -52,6 +52,9 @@ struct FeatureProgram
 
     uint32_t flow_table_size = 0;
     uint32_t src_table_size = 0;
+
+    /** Feature codes the program writes (Feature0..Feature{n-1}). */
+    size_t feature_count = 0;
 };
 
 /**

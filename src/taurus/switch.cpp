@@ -1,5 +1,6 @@
 #include "taurus/switch.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "pisa/packet.hpp"
@@ -95,16 +96,26 @@ TaurusSwitch::process(const net::TracePacket &tp)
     features_.preprocess.apply(phv, features_.registers);
 
     SwitchDecision d;
+    d.feature_count = static_cast<uint8_t>(
+        std::min(features_.feature_count, kDecisionFeatureSlots));
+    for (size_t i = 0; i < d.feature_count; ++i)
+        d.features[i] = static_cast<int8_t>(
+            static_cast<int32_t>(phv.get(pisa::featureField(i))));
     const bool take_ml =
         !cfg_.enable_bypass || phv.get(pisa::Field::MlBypass) == 0;
     double latency = cfg_.mat_timing.parser_ns +
                      features_.preprocess.latencyNs(cfg_.mat_timing);
 
     if (take_ml) {
+        // The decision's telemetry export above already pulled the
+        // feature codes out of the PHV; reuse them instead of reading
+        // the fields a second time on the hot path.
         std::vector<int8_t> &input = scratch_.ml_input.front();
         for (size_t i = 0; i < input.size(); ++i)
-            input[i] = static_cast<int8_t>(static_cast<int32_t>(
-                phv.get(pisa::featureField(i))));
+            input[i] = i < d.feature_count
+                           ? d.features[i]
+                           : static_cast<int8_t>(static_cast<int32_t>(
+                                 phv.get(pisa::featureField(i))));
         hw::SimResult &res = scratch_.sim_result;
         sim_->runInto(scratch_.ml_input, scratch_.eval, res);
         d.score = static_cast<int8_t>(res.outputs.at(0).lanes.at(0));

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 
@@ -58,6 +59,9 @@ struct SwitchConfig
     std::vector<Route> routes;
 };
 
+/** Feature codes a decision can carry (DNN uses 6, SVM 8). */
+constexpr size_t kDecisionFeatureSlots = 8;
+
 /** The switch's verdict on one packet. */
 struct SwitchDecision
 {
@@ -67,6 +71,16 @@ struct SwitchDecision
     double latency_ns = 0.0;
     int8_t score = 0;       ///< raw MapReduce output code
     uint16_t egress_port = 0; ///< LPM forwarding decision
+    /**
+     * The int8 feature codes the preprocessing MATs computed for this
+     * packet (the model's exact input view). This is the telemetry the
+     * online-learning runtime mirrors to the control plane: the paper's
+     * weight-update loop retrains on data-plane telemetry, and exporting
+     * the already-computed codes costs a few byte copies rather than a
+     * second feature-extraction pass.
+     */
+    std::array<int8_t, kDecisionFeatureSlots> features{};
+    uint8_t feature_count = 0;
 };
 
 /** Aggregate counters the switch maintains. */

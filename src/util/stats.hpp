@@ -24,6 +24,12 @@ class RunningStat
      */
     void merge(const RunningStat &o);
 
+    /**
+     * Forget everything (windowed statistics: the drift monitor closes a
+     * window, reads the aggregates, and starts the next window fresh).
+     */
+    void reset() { *this = RunningStat{}; }
+
     uint64_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
     double variance() const;

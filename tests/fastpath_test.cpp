@@ -53,6 +53,8 @@ expectSameDecision(const core::SwitchDecision &a,
     EXPECT_EQ(a.score, b.score) << "packet " << i;
     EXPECT_EQ(a.egress_port, b.egress_port) << "packet " << i;
     EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+    EXPECT_EQ(a.feature_count, b.feature_count) << "packet " << i;
+    EXPECT_EQ(a.features, b.features) << "packet " << i;
 }
 
 void
@@ -282,6 +284,55 @@ TEST(FastPath, FarmBitIdenticalToPerPartitionScalar)
 
     // The merge covered every packet exactly once.
     EXPECT_EQ(farm.mergedStats().packets, slice.size());
+}
+
+TEST(FastPath, FarmWeightUpdateMatchesScalarAtSameIndex)
+{
+    // SwitchFarm::updateWeights at a batch boundary must leave the farm
+    // bit-identical to a scalar switch that received the same update at
+    // the same packet index.
+    const auto &fx = fixture();
+    const size_t n = std::min<size_t>(fx.trace.size(), 6000);
+    const size_t half = n / 2;
+    const auto fresh = models::trainAnomalyDnn(21, 1500);
+
+    core::TaurusSwitch scalar;
+    scalar.installAnomalyModel(fx.dnn);
+    std::vector<core::SwitchDecision> want;
+    want.reserve(n);
+    for (size_t i = 0; i < half; ++i)
+        want.push_back(scalar.process(fx.trace[i]));
+    scalar.updateWeights(fresh.graph);
+    for (size_t i = half; i < n; ++i)
+        want.push_back(scalar.process(fx.trace[i]));
+
+    core::SwitchFarm farm({}, 1);
+    farm.installAnomalyModel(fx.dnn);
+    std::vector<core::SwitchDecision> got(n);
+    farm.processTrace(
+        util::Span<const net::TracePacket>(fx.trace.data(), half),
+        util::Span<core::SwitchDecision>(got.data(), half));
+    farm.updateWeights(fresh.graph);
+    farm.processTrace(
+        util::Span<const net::TracePacket>(fx.trace.data() + half,
+                                           n - half),
+        util::Span<core::SwitchDecision>(got.data() + half, n - half));
+
+    for (size_t i = 0; i < n; ++i)
+        expectSameDecision(want[i], got[i], i);
+    expectSameStats(scalar.stats(), farm.mergedStats());
+
+    // The update must actually have changed some decisions (otherwise
+    // this test proves nothing about the update path).
+    core::TaurusSwitch stale;
+    stale.installAnomalyModel(fx.dnn);
+    size_t differing = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const auto d = stale.process(fx.trace[i]);
+        differing += d.flagged != want[i].flagged ||
+                     d.score != want[i].score;
+    }
+    EXPECT_GT(differing, 0u);
 }
 
 TEST(FastPath, FarmPartitioningKeepsFlowsTogether)

@@ -126,6 +126,91 @@ TEST(RunningStat, MeanAndVariance)
     EXPECT_EQ(s.count(), 8u);
 }
 
+TEST(RunningStat, MergeEdgeCases)
+{
+    tu::RunningStat filled;
+    for (double v : {1.0, 3.0, 5.0, 11.0})
+        filled.add(v);
+
+    // Merging an empty accumulator is a no-op.
+    tu::RunningStat empty;
+    tu::RunningStat a = filled;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), filled.count());
+    EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), filled.variance());
+    EXPECT_DOUBLE_EQ(a.sum(), filled.sum());
+
+    // Merging into an empty accumulator copies the source exactly.
+    tu::RunningStat b;
+    b.merge(filled);
+    EXPECT_EQ(b.count(), filled.count());
+    EXPECT_DOUBLE_EQ(b.mean(), filled.mean());
+    EXPECT_DOUBLE_EQ(b.variance(), filled.variance());
+    EXPECT_DOUBLE_EQ(b.min(), filled.min());
+    EXPECT_DOUBLE_EQ(b.max(), filled.max());
+
+    // Self-merge must behave like merging an identical copy (the
+    // aliased reads inside merge() are all of not-yet-written fields).
+    tu::RunningStat self = filled;
+    self.merge(self);
+    tu::RunningStat doubled = filled;
+    doubled.merge(filled);
+    EXPECT_EQ(self.count(), doubled.count());
+    EXPECT_DOUBLE_EQ(self.mean(), doubled.mean());
+    EXPECT_NEAR(self.variance(), doubled.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(self.sum(), doubled.sum());
+}
+
+TEST(RunningStat, MergeOrderIndependent)
+{
+    tu::RunningStat x, y;
+    for (double v : {1.0, 2.0, 2.5})
+        x.add(v);
+    for (double v : {10.0, -4.0, 6.0, 0.5})
+        y.add(v);
+
+    tu::RunningStat xy = x, yx = y;
+    xy.merge(y);
+    yx.merge(x);
+    EXPECT_EQ(xy.count(), yx.count());
+    EXPECT_NEAR(xy.mean(), yx.mean(), 1e-12);
+    EXPECT_NEAR(xy.variance(), yx.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(xy.min(), yx.min());
+    EXPECT_DOUBLE_EQ(xy.max(), yx.max());
+
+    // And both equal the sequential accumulation over all samples.
+    tu::RunningStat all;
+    for (double v : {1.0, 2.0, 2.5, 10.0, -4.0, 6.0, 0.5})
+        all.add(v);
+    EXPECT_NEAR(xy.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(xy.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStat, ResetForWindowedUse)
+{
+    // The drift monitor accumulates per-window score statistics and
+    // resets at every window boundary; reset must restore the
+    // freshly-constructed state (including min/max sentinels).
+    tu::RunningStat s;
+    s.add(-3.0);
+    s.add(7.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+
+    // A reset accumulator behaves exactly like a new one.
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
+    EXPECT_EQ(s.count(), 1u);
+}
+
 TEST(Percentile, Interpolates)
 {
     std::vector<double> v{1, 2, 3, 4, 5};
