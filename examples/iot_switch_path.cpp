@@ -1,0 +1,85 @@
+/**
+ * @file
+ * IoT device classification served end-to-end through the Taurus data
+ * plane — the "add your own app" recipe in action.
+ *
+ * The anomaly DNN used to be the only model the full pipeline (parser
+ * -> preprocessing MATs -> MapReduce -> verdict table -> scheduler)
+ * could serve. This example onboards a second application through the
+ * generic AppArtifact install API: a multi-class MLP over 6 flow
+ * features, its own stateful preprocessing program, an in-graph argmax
+ * head, and a class-verdict table — installed into a TaurusSwitch and
+ * a SwitchFarm with the same one-liner the anomaly app uses.
+ */
+
+#include <iostream>
+
+#include "models/zoo.hpp"
+#include "net/iot.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace taurus;
+    using util::TablePrinter;
+
+    std::cout << "=== IoT classification on the switch path ===\n\n";
+
+    // 1. Train the flow classifier on a synthetic IoT trace; quantize
+    //    and lower it with an argmax head.
+    const models::IotFlowMlp iot = models::trainIotFlowMlp(1, 2000);
+    std::cout << "Offline accuracy: float "
+              << TablePrinter::num(iot.float_accuracy * 100.0, 1)
+              << "%, int8 "
+              << TablePrinter::num(iot.quant_accuracy * 100.0, 1)
+              << "%\n";
+
+    // 2. Package it as a data-plane application artifact.
+    const core::AppArtifact app = core::makeIotFlowApp(iot);
+
+    // 3. Install into a switch and run the labeled evaluation trace
+    //    through the real pipeline.
+    core::TaurusSwitch sw;
+    sw.installApp(app);
+    const core::AppRunResult r =
+        core::runApp(app.eval_trace, sw, app.num_classes);
+
+    std::cout << "Switch-path accuracy: "
+              << TablePrinter::num(r.accuracy_pct, 1) << "% over "
+              << r.packets << " packets (macro-F1 "
+              << TablePrinter::num(r.macro_f1_x100, 1) << ", ML latency "
+              << TablePrinter::num(r.mean_ml_latency_ns, 0) << " ns)\n\n";
+
+    TablePrinter t({"Class", "Precision", "Recall", "F1"});
+    for (size_t c = 0; c < app.num_classes; ++c)
+        t.addRow({net::iotClassName(static_cast<int>(c)),
+                  TablePrinter::num(r.confusion.precision(c) * 100.0, 1),
+                  TablePrinter::num(r.confusion.recall(c) * 100.0, 1),
+                  TablePrinter::num(r.confusion.f1(c) * 100.0, 1)});
+    t.print(std::cout);
+
+    // 4. The same artifact installs into a sharded farm unchanged.
+    core::SwitchFarm farm({}, 2);
+    farm.installApp(app);
+    const auto decisions = farm.processTrace(app.eval_trace);
+    util::MultiConfusion farm_cm(app.num_classes);
+    for (size_t i = 0; i < decisions.size(); ++i)
+        farm_cm.record(decisions[i].class_id,
+                       app.eval_trace[i].class_label);
+    std::cout << "\nFarm (2 workers) accuracy: "
+              << TablePrinter::num(farm_cm.accuracy() * 100.0, 1)
+              << "% over " << decisions.size() << " packets\n";
+
+    std::cout << "\nSame install API, same pipeline, different app: the "
+                 "verdict table decodes a class id instead of a flag.\n";
+
+    if (r.accuracy_pct < 60.0) {
+        std::cerr << "switch-path accuracy unexpectedly low\n";
+        return 1;
+    }
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/stats.hpp"
 
@@ -163,19 +164,11 @@ addOutputs(Graph &g, const SegmentedValue &v, const std::string &label)
     }
 }
 
-} // namespace
-
-int
-SegmentedValue::totalWidth() const
+/** Lower every layer of a quantized MLP into `g`, returning the final
+ *  activation value (shared by the plain and argmax-headed lowerings). */
+SegmentedValue
+lowerMlpBody(Graph &g, const nn::QuantizedMlp &model)
 {
-    return std::accumulate(widths.begin(), widths.end(), 0);
-}
-
-Graph
-lowerMlp(const nn::QuantizedMlp &model, const std::string &name)
-{
-    Graph g;
-    g.name = name;
     SegmentedValue cur = addInputs(
         g, static_cast<int>(model.layers().front().in), "input");
 
@@ -201,8 +194,61 @@ lowerMlp(const nn::QuantizedMlp &model, const std::string &name)
         }
         cur = applyActivationNodes(g, pre, layer.act, layer.lut, lbl);
     }
-    addOutputs(g, cur, "result");
+    return cur;
+}
 
+} // namespace
+
+int
+SegmentedValue::totalWidth() const
+{
+    return std::accumulate(widths.begin(), widths.end(), 0);
+}
+
+Graph
+lowerMlp(const nn::QuantizedMlp &model, const std::string &name)
+{
+    Graph g;
+    g.name = name;
+    addOutputs(g, lowerMlpBody(g, model), "result");
+    assert(g.validate().empty());
+    return g;
+}
+
+Graph
+lowerMlpClassifier(const nn::QuantizedMlp &model, const std::string &name)
+{
+    Graph g;
+    g.name = name;
+    const SegmentedValue logits = lowerMlpBody(g, model);
+    if (logits.nodes.size() != 1)
+        throw std::invalid_argument(
+            "lowerMlpClassifier: class count must fit one 16-lane "
+            "segment");
+
+    // argmax(logits) == argmin(-logits); both run as plain CU ops, so
+    // the class id leaves the MapReduce block as an exact integer and
+    // the switch's class-verdict table never has to read a logit
+    // vector.
+    Node neg;
+    neg.kind = NodeKind::MapChain;
+    neg.fns = {MapFn::Neg};
+    neg.inputs = {logits.nodes[0]};
+    neg.width = logits.widths[0];
+    neg.label = "head/neg";
+    const int neg_id = g.add(std::move(neg));
+
+    Node arg;
+    arg.kind = NodeKind::ArgMin;
+    arg.inputs = {neg_id};
+    arg.width = 1;
+    arg.label = "head/argmax";
+    const int arg_id = g.add(std::move(arg));
+
+    SegmentedValue res;
+    res.nodes = {arg_id};
+    res.widths = {1};
+    addOutputs(g, res, "class");
     assert(g.validate().empty());
     return g;
 }

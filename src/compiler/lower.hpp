@@ -40,6 +40,17 @@ struct SegmentedValue
 dfg::Graph lowerMlp(const nn::QuantizedMlp &model,
                     const std::string &name = "mlp");
 
+/**
+ * Lower a quantized multi-class MLP with an in-graph argmax head: the
+ * final logit vector feeds a Neg map chain plus an ArgMin, so the graph
+ * outputs the predicted class id directly (the form the switch's
+ * class-verdict table consumes). Output classes must fit one 16-lane
+ * segment. Ties — and logits saturated at -128, whose negation clamps
+ * to 127 — resolve to the lowest class index.
+ */
+dfg::Graph lowerMlpClassifier(const nn::QuantizedMlp &model,
+                              const std::string &name = "mlp_classifier");
+
 /** Quantized KMeans front-end state (centers share the input scale). */
 struct LoweredKmeans
 {

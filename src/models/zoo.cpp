@@ -1,5 +1,6 @@
 #include "models/zoo.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "dfg/eval.hpp"
@@ -128,6 +129,49 @@ buildIndigoLstm(uint64_t seed)
     IndigoLstm out;
     out.model = nn::Lstm(/*input_dim=*/5, /*units=*/32, /*outputs=*/5, rng);
     out.graph = compiler::lowerLstm(out.model, "indigo_lstm");
+    return out;
+}
+
+IotFlowMlp
+trainIotFlowMlp(uint64_t seed, size_t sessions)
+{
+    util::Rng rng(seed);
+
+    net::IotTraceConfig tc;
+    tc.sessions = sessions;
+    const auto train_trace = net::iotDeviceTrace(tc, seed + 101);
+    const nn::Dataset raw = net::iotPacketDataset(train_trace, 2);
+
+    IotFlowMlp out;
+    out.num_classes = net::kIotClassCount;
+    out.standardizer.fit(raw);
+    const nn::Dataset std_data = out.standardizer.apply(raw);
+    auto [train, test] = std_data.split(0.7, rng);
+    out.train = std::move(train);
+    out.test = std::move(test);
+
+    out.model = nn::Mlp({net::kIotFlowFeatureCount, 16, 8,
+                         static_cast<size_t>(net::kIotClassCount)},
+                        nn::Activation::Relu, nn::Loss::CrossEntropy,
+                        rng);
+    nn::TrainConfig mtc;
+    mtc.epochs = 25;
+    mtc.batch_size = 64;
+    mtc.learning_rate = 0.03f;
+    out.model.train(out.train, mtc, rng);
+
+    out.quantized =
+        nn::QuantizedMlp::fromFloat(out.model, calibrationSlice(out.train));
+    out.graph = compiler::lowerMlpClassifier(out.quantized, "iot_flow_mlp");
+
+    out.float_accuracy = out.model.accuracy(out.test);
+    out.quant_accuracy = out.quantized.accuracy(out.test);
+
+    // Independent labeled trace for the switch-path evaluation: about a
+    // third of the training volume keeps end-to-end runs affordable.
+    net::IotTraceConfig ec = tc;
+    ec.sessions = std::max<size_t>(200, sessions / 3);
+    out.eval_trace = net::iotDeviceTrace(ec, seed + 202);
     return out;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "compiler/lower.hpp"
+#include "net/features.hpp"
 #include "nn/dataset.hpp"
 #include "nn/kmeans.hpp"
 #include "nn/lstm.hpp"
@@ -132,6 +133,35 @@ struct IndigoLstm
  * example trains a distilled policy separately.
  */
 IndigoLstm buildIndigoLstm(uint64_t seed = 1);
+
+/**
+ * Packet-level IoT device classifier: a multi-class MLP over the
+ * 6-feature IoT flow view (net::iotFlowFeatureVector), lowered with an
+ * in-graph argmax head. This is the second application served
+ * end-to-end through the Taurus switch: its own preprocessing feature
+ * program, an argmax verdict table, and per-class scoring.
+ */
+struct IotFlowMlp
+{
+    nn::Standardizer standardizer; ///< fitted on raw flow features
+    nn::Mlp model;                 ///< trained float32 network
+    nn::QuantizedMlp quantized;    ///< int8 network (what gets installed)
+    dfg::Graph graph;              ///< lowered argmax-headed program
+    nn::Dataset train;             ///< standardized training split
+    nn::Dataset test;              ///< standardized held-out split
+    std::vector<net::TracePacket> eval_trace; ///< labeled switch-path trace
+    double float_accuracy = 0.0;   ///< float32 test accuracy
+    double quant_accuracy = 0.0;   ///< int8 test accuracy
+    size_t num_classes = 0;
+};
+
+/**
+ * Generate the IoT device workload, train, quantize, and lower the
+ * multi-class flow classifier. `sessions` sizes the synthetic trace
+ * behind the dataset; an independently seeded second trace is attached
+ * as the labeled switch-path evaluation trace.
+ */
+IotFlowMlp trainIotFlowMlp(uint64_t seed = 1, size_t sessions = 2500);
 
 /** One Table 3 row: a small IoT DNN at float32 and fix8. */
 struct IotDnnRow

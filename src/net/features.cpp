@@ -53,46 +53,43 @@ protoCode(uint8_t proto)
     }
 }
 
+const std::vector<ServicePort> &
+knownServicePorts()
+{
+    static const std::vector<ServicePort> ports = {
+        {80, 0},   {8080, 0}, {443, 0},  // web
+        {53, 1},                         // dns
+        {22, 2},   {23, 2},              // remote shell
+        {25, 3},   {110, 3},  {143, 3},  // mail
+        {20, 4},   {21, 4},              // ftp
+        {137, 5},  {139, 5},  {445, 5},  // smb/netbios
+        {554, 8},                        // rtsp (camera streams)
+        {1883, 9}, {8883, 9},            // mqtt (IoT telemetry)
+        {5683, 10},                      // coap (constrained devices)
+        {123, 11},                       // ntp
+    };
+    return ports;
+}
+
 int32_t
 serviceCode(uint16_t dst_port)
 {
-    switch (dst_port) {
-      case 80:
-      case 8080:
-      case 443:
-        return 0; // web
-      case 53:
-        return 1; // dns
-      case 22:
-      case 23:
-        return 2; // remote shell
-      case 25:
-      case 110:
-      case 143:
-        return 3; // mail
-      case 20:
-      case 21:
-        return 4; // ftp
-      case 137:
-      case 139:
-      case 445:
-        return 5; // smb/netbios
-      default:
-        return dst_port < 1024 ? 6 : 7; // other privileged / ephemeral
-    }
+    for (const ServicePort &sp : knownServicePorts())
+        if (sp.port == dst_port)
+            return sp.code;
+    return dst_port < 1024 ? kServicePrivileged : kServiceEphemeral;
 }
 
-namespace {
-
-/** Duration-so-far of the flow in milliseconds, never negative. */
 uint64_t
-durationMs(const FlowStats &flow, double now_s)
+flowDurationMs(const FlowStats &flow, double now_s)
 {
     if (flow.first_seen_s < 0.0)
         return 0;
     const double d = (now_s - flow.first_seen_s) * 1e3;
     return d <= 0.0 ? 0 : static_cast<uint64_t>(d);
 }
+
+namespace {
 
 /** SYN-failure ratio scaled to [0, 15] (the switch keeps it as counts). */
 int32_t
@@ -112,7 +109,7 @@ dnnFeatureVector(const FlowStats &flow, const SrcStats &src,
                  const TracePacket &pkt, double now_s)
 {
     nn::Vector f(kDnnFeatureCount);
-    f[0] = static_cast<float>(log2Bin(durationMs(flow, now_s)));
+    f[0] = static_cast<float>(log2Bin(flowDurationMs(flow, now_s)));
     f[1] = static_cast<float>(protoCode(pkt.flow.proto));
     f[2] = static_cast<float>(log2Bin(flow.bytes));
     f[3] = static_cast<float>(log2Bin(flow.pkts));

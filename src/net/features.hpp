@@ -59,6 +59,14 @@ struct TracePacket
     bool fin = false;
     bool urg = false;
     bool anomalous = false; ///< ground-truth label of the connection
+    /**
+     * Generic ground-truth class label: 0/1 mirrors `anomalous` for the
+     * binary workloads, 0..K-1 for multi-class ones (IoT device
+     * classification). App-generic scoring and the online-learning
+     * telemetry loop read this field; the binary paths keep reading
+     * `anomalous`.
+     */
+    int32_t class_label = 0;
     int32_t conn_id = -1;   ///< originating connection record
 };
 
@@ -101,12 +109,39 @@ int32_t log2Bin(uint64_t v);
 /** Protocol code feature: tcp 0, udp 1, icmp 2, other 3. */
 int32_t protoCode(uint8_t proto);
 
+/** One well-known service port and its categorical feature code. */
+struct ServicePort
+{
+    uint16_t port;
+    int32_t code;
+};
+
+/**
+ * The exact-match half of the service-code table: every well-known port
+ * with a dedicated code. Exposed so the switch-side MAT builder can
+ * install precisely the entries `serviceCode` implements — the two
+ * sides agree by construction, not by parallel maintenance.
+ */
+const std::vector<ServicePort> &knownServicePorts();
+
+/** Fallback code for unlisted privileged ports (< 1024). */
+constexpr int32_t kServicePrivileged = 6;
+/** Fallback code for unlisted ephemeral ports. */
+constexpr int32_t kServiceEphemeral = 7;
+
 /**
  * Service code from the destination port: a small categorical-to-numeric
  * lookup (Section 3.1: "a table transforms port numbers into a linear
- * likelihood value"). Well-known services get stable small codes.
+ * likelihood value"). Well-known services get stable small codes:
+ * knownServicePorts() entries first, then the privileged/ephemeral
+ * fallbacks.
  */
 int32_t serviceCode(uint16_t dst_port);
+
+/** Duration-so-far of a flow in milliseconds, never negative. Shared by
+ *  the DNN/IoT feature definitions and exposed so switch-side builders
+ *  and offline extractors bin the same quantity. */
+uint64_t flowDurationMs(const FlowStats &flow, double now_s);
 
 /**
  * Tracks flow and source registers over a packet stream and produces the
@@ -131,6 +166,14 @@ class FlowTracker
 
     /** Number of distinct flows tracked so far. */
     size_t flowCount() const { return flows_.size(); }
+
+    // Register views of the most recently observed packet, exposed so
+    // app-specific feature definitions (the IoT classifier's, for one)
+    // can assemble their own vectors from the shared state machine.
+    const FlowStats &flowView() const { return cur_flow_; }
+    const SrcStats &srcView() const { return cur_src_; }
+    const TracePacket &pktView() const { return cur_pkt_; }
+    double nowS() const { return now_s_; }
 
     /** Reset all state (new trace). */
     void clear();

@@ -1,5 +1,6 @@
 #include "net/iot.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/rng.hpp"
@@ -56,6 +57,153 @@ iotDeviceDataset(size_t samples, uint64_t seed)
                                   [static_cast<size_t>(f)],
                              0.9));
         data.add(std::move(x), label);
+    }
+    return data;
+}
+
+const char *
+iotClassName(int category)
+{
+    switch (category) {
+      case 0:
+        return "camera";
+      case 1:
+        return "sensor";
+      case 2:
+        return "hub";
+      case 3:
+        return "speaker";
+      case 4:
+        return "bulb";
+      default:
+        return "unknown";
+    }
+}
+
+namespace {
+
+/** Per-category traffic signature of one device session. */
+struct IotSignature
+{
+    uint8_t proto;
+    uint16_t port;
+    double size_mean, size_sd;
+    uint16_t size_lo, size_hi;
+    int pkts_lo, pkts_hi;
+    double gap_ms;
+};
+
+/** The five device families. Signatures are distinct along several
+ *  axes (port, transport, packet size, flow volume, pacing) so no
+ *  single feature carries the whole classification. */
+const IotSignature kIotSignatures[kIotClassCount] = {
+    // camera: long RTSP/UDP streams of large frames
+    {kProtoUdp, 554, 1050.0, 120.0, 300, 1400, 120, 320, 2.0},
+    // sensor: tiny MQTT bursts
+    {kProtoTcp, 1883, 90.0, 15.0, 60, 160, 3, 8, 30.0},
+    // hub: DNS chatter, a few packets per query burst (overlaps the
+    // bulb in size — the confusable pair once ports are hidden)
+    {kProtoUdp, 53, 100.0, 25.0, 60, 300, 1, 4, 5.0},
+    // speaker: medium TLS audio segments
+    {kProtoTcp, 443, 620.0, 150.0, 100, 1400, 40, 120, 8.0},
+    // bulb: periodic CoAP keepalives
+    {kProtoUdp, 5683, 85.0, 15.0, 60, 160, 2, 5, 50.0},
+};
+
+uint16_t
+clampSize(double v, uint16_t lo, uint16_t hi)
+{
+    const double c = std::min<double>(hi, std::max<double>(lo, v));
+    return static_cast<uint16_t>(c);
+}
+
+} // namespace
+
+std::vector<TracePacket>
+iotDeviceTrace(const IotTraceConfig &cfg, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<TracePacket> trace;
+    trace.reserve(cfg.sessions * 8);
+
+    uint16_t next_sport = 20000;
+    for (size_t s = 0; s < cfg.sessions; ++s) {
+        const int cls =
+            static_cast<int>(rng.uniformInt(0, kIotClassCount - 1));
+        const IotSignature &sig =
+            kIotSignatures[static_cast<size_t>(cls)];
+        const int device = static_cast<int>(
+            rng.uniformInt(0, std::max(1, cfg.devices_per_class) - 1));
+
+        TracePacket proto;
+        proto.flow.src_ip = 0xC0A80000u |
+                            (static_cast<uint32_t>(cls) << 8) |
+                            static_cast<uint32_t>(device);
+        proto.flow.dst_ip = 0x08080800u + static_cast<uint32_t>(cls);
+        proto.flow.src_port = next_sport;
+        next_sport = next_sport >= 60000 ? uint16_t{20000}
+                                         : static_cast<uint16_t>(
+                                               next_sport + 1);
+        proto.flow.dst_port =
+            rng.bernoulli(cfg.other_port_fraction)
+                ? static_cast<uint16_t>(40000 + rng.uniformInt(0, 999))
+                : sig.port;
+        proto.flow.proto = sig.proto;
+        proto.class_label = cls;
+        proto.conn_id = static_cast<int32_t>(s);
+
+        const int pkts =
+            static_cast<int>(rng.uniformInt(sig.pkts_lo, sig.pkts_hi));
+        const double start_s = rng.uniform(0.0, cfg.duration_s);
+        double t = start_s;
+        for (int p = 0; p < pkts; ++p) {
+            TracePacket pkt = proto;
+            pkt.time_s = t;
+            pkt.syn = (p == 0 && sig.proto == kProtoTcp);
+            pkt.fin = (p == pkts - 1 && sig.proto == kProtoTcp);
+            pkt.size_bytes = clampSize(
+                rng.gaussian(sig.size_mean, sig.size_sd), sig.size_lo,
+                sig.size_hi);
+            trace.push_back(pkt);
+            t += sig.gap_ms * 1e-3 * rng.uniform(0.5, 1.5);
+        }
+    }
+
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const TracePacket &a, const TracePacket &b) {
+                         return a.time_s < b.time_s;
+                     });
+    return trace;
+}
+
+nn::Vector
+iotFlowFeatureVector(const FlowStats &flow, const TracePacket &pkt,
+                     double now_s)
+{
+    nn::Vector f(kIotFlowFeatureCount);
+    f[0] = static_cast<float>(log2Bin(pkt.size_bytes));
+    f[1] = static_cast<float>(protoCode(pkt.flow.proto));
+    f[2] = static_cast<float>(serviceCode(pkt.flow.dst_port));
+    f[3] = static_cast<float>(log2Bin(flow.pkts));
+    f[4] = static_cast<float>(log2Bin(flow.bytes));
+    f[5] = static_cast<float>(log2Bin(flowDurationMs(flow, now_s)));
+    return f;
+}
+
+nn::Dataset
+iotPacketDataset(const std::vector<TracePacket> &trace, size_t stride)
+{
+    if (stride == 0)
+        stride = 1;
+    FlowTracker tracker;
+    nn::Dataset data;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        tracker.observe(trace[i]);
+        if (i % stride != 0)
+            continue;
+        data.add(iotFlowFeatureVector(tracker.flowView(),
+                                      tracker.pktView(), tracker.nowS()),
+                 trace[i].class_label);
     }
     return data;
 }

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "net/features.hpp"
 #include "nn/dataset.hpp"
 
 namespace taurus::net {
@@ -35,5 +37,66 @@ nn::Dataset iotBinaryDataset(size_t samples, uint64_t seed);
  * Clusters are separated enough for high clustering purity.
  */
 nn::Dataset iotDeviceDataset(size_t samples, uint64_t seed);
+
+// ---------------------------------------------------------------------
+// Packet-level IoT device classification: the second end-to-end
+// application served through the Taurus switch. A labeled packet trace
+// (five device categories with distinct flow signatures) plus a
+// 6-feature flow-level view that both the offline trainer and the
+// switch's preprocessing MATs compute — the IoT counterpart of the
+// KDD DNN's shared feature definition.
+// ---------------------------------------------------------------------
+
+/** Device categories of the packet-level IoT workload. */
+constexpr int kIotClassCount = 5;
+
+/** Human-readable device-category name (0..kIotClassCount-1). */
+const char *iotClassName(int category);
+
+/** Width of the IoT flow feature vector. */
+constexpr size_t kIotFlowFeatureCount = 6;
+
+/** Workload-shape knobs for the IoT trace generator. */
+struct IotTraceConfig
+{
+    /** Flows (device sessions) to synthesize. */
+    size_t sessions = 2500;
+    /** Session start times spread over [0, duration_s]. */
+    double duration_s = 8.0;
+    /** Distinct source addresses (devices) per category. */
+    int devices_per_class = 12;
+    /**
+     * Fraction of sessions that talk to a non-signature (cloud-sync)
+     * port, so the classifier cannot reduce to a pure port lookup and
+     * must lean on the size/volume/duration features.
+     */
+    double other_port_fraction = 0.30;
+};
+
+/**
+ * Synthesize a time-sorted labeled packet trace: each session is one
+ * flow from a device of a random category, with category-distinct
+ * packet size, packet count, inter-packet gap, transport, and service
+ * port. Every packet carries `class_label` = device category.
+ */
+std::vector<TracePacket> iotDeviceTrace(const IotTraceConfig &cfg,
+                                        uint64_t seed);
+
+/**
+ * The 6-feature IoT flow vector for the most recent packet of a flow:
+ * {log2 packet-size bin, protocol code, service code, log2 flow-packet
+ * bin, log2 flow-byte bin, log2 flow-duration-ms bin}. Every feature is
+ * computable by the switch's stateful preprocessing MATs; integration
+ * tests assert the two implementations agree per packet.
+ */
+nn::Vector iotFlowFeatureVector(const FlowStats &flow,
+                                const TracePacket &pkt, double now_s);
+
+/**
+ * Run the shared FlowTracker over a trace and emit every `stride`-th
+ * packet's IoT features as a labeled example (label = device category).
+ */
+nn::Dataset iotPacketDataset(const std::vector<TracePacket> &trace,
+                             size_t stride);
 
 } // namespace taurus::net

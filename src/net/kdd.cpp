@@ -375,6 +375,7 @@ KddGenerator::expandToPackets(const std::vector<ConnRecord> &records)
             pkt.conn_id = static_cast<int32_t>(ci);
             pkt.flow = r.flow;
             pkt.anomalous = r.anomalous();
+            pkt.class_label = r.anomalous() ? 1 : 0;
             // Packets spread over the duration; the handshake packet
             // leads at t0.
             pkt.time_s =

@@ -52,6 +52,8 @@ toString(Field f)
         return "taurus.ml_score";
       case Field::Decision:
         return "taurus.decision";
+      case Field::MlClass:
+        return "taurus.ml_class";
       case Field::FlowHash:
         return "taurus.flow_hash";
       case Field::Tmp0:

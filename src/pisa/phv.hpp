@@ -46,6 +46,7 @@ enum class Field : uint8_t
     MlBypass, ///< preprocessing MAT decides to skip MapReduce
     MlScore,  ///< MapReduce output (int8 code, sign-extended)
     Decision, ///< postprocessing verdict (AnomalyDecision)
+    MlClass,  ///< postprocessing class id (argmax verdict tables)
     FlowHash, ///< register index computed by the hash action
     // Feature slice handed to the MapReduce block (int8 codes).
     Feature0,

@@ -13,8 +13,21 @@ DriftMonitor::DriftMonitor(DriftConfig cfg) : cfg_(cfg)
 void
 DriftMonitor::record(int8_t score, bool flagged, bool truth)
 {
+    record(score, flagged ? 1 : 0, truth ? 1 : 0);
+}
+
+void
+DriftMonitor::record(int8_t score, int32_t predicted, int32_t truth)
+{
     score_stat_.add(static_cast<double>(score));
-    window_cm_.record(flagged, truth);
+    if (cfg_.metric == DriftMetric::BinaryF1) {
+        window_cm_.record(predicted != 0, truth != 0);
+    } else {
+        // Accuracy mode folds into the same matrix: every sample is a
+        // "positive" and a correct verdict is a true positive, so
+        // ConfusionMatrix::accuracy() == correct / total.
+        window_cm_.record(predicted == truth, true);
+    }
     if (window_cm_.total() >= cfg_.window)
         closeWindow();
 }
@@ -23,7 +36,8 @@ void
 DriftMonitor::closeWindow()
 {
     ++windows_;
-    last_f1_ = window_cm_.f1();
+    last_f1_ = cfg_.metric == DriftMetric::BinaryF1 ? window_cm_.f1()
+                                                    : window_cm_.accuracy();
     last_score_mean_ = score_stat_.mean();
     smoothed_f1_ = windows_ == 1
                        ? last_f1_

@@ -22,6 +22,13 @@
 
 namespace taurus::runtime {
 
+/** Windowed quality metric the monitor tracks. */
+enum class DriftMetric
+{
+    BinaryF1, ///< precision/recall F1 of the flag verdict (binary apps)
+    Accuracy, ///< fraction of correct class verdicts (multi-class apps)
+};
+
 /** Drift-detection knobs. */
 struct DriftConfig
 {
@@ -29,6 +36,9 @@ struct DriftConfig
     double trigger_ratio = 0.85; ///< drift when F1 < ratio * reference
     double recover_ratio = 0.95; ///< recovered when F1 >= ratio * ref
     size_t warmup_windows = 2;   ///< windows that only seed the reference
+    /** Metric each window closes into. The "F1" gauges below carry
+     *  whatever metric is configured here. */
+    DriftMetric metric = DriftMetric::BinaryF1;
     /**
      * Exponential smoothing applied to the per-window F1 before any
      * trigger/recover decision. Raw windows on bursty traffic swing by
@@ -47,6 +57,14 @@ class DriftMonitor
 
     /** Account one labeled sample; may close a window. */
     void record(int8_t score, bool flagged, bool truth);
+
+    /**
+     * Generic form: `predicted` and `truth` are class labels
+     * (SwitchDecision::class_id vs TracePacket::class_label). Under
+     * BinaryF1 nonzero labels are the positive class; under Accuracy
+     * the window scores predicted == truth.
+     */
+    void record(int8_t score, int32_t predicted, int32_t truth);
 
     /** Latched drift state (set on trigger, cleared on recovery). */
     bool drifted() const { return drifted_; }

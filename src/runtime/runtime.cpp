@@ -7,21 +7,33 @@
 namespace taurus::runtime {
 
 OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
-                             const models::AnomalyDnn &installed,
+                             const core::AppArtifact &app,
                              RuntimeConfig cfg)
-    : farm_(farm), cfg_(cfg),
-      trainer_(installed, cfg.train, cfg.reservoir_cap,
-               cfg.calibration_cap),
-      drift_(cfg.drift)
+    : farm_(farm), cfg_(cfg)
 {
     if (cfg_.batch_pkts == 0)
         cfg_.batch_pkts = 1;
+    // Multi-class apps are scored per class: windowed F1 of a binary
+    // flag is meaningless there, so drift tracks accuracy instead.
+    if (app.verdict.kind == core::VerdictKind::ArgmaxClass)
+        cfg_.drift.metric = DriftMetric::Accuracy;
+    drift_ = DriftMonitor(cfg_.drift);
+    if (app.make_trainer)
+        trainer_ = app.make_trainer(cfg_.train, cfg_.reservoir_cap,
+                                    cfg_.calibration_cap);
     util::Rng seeder(cfg_.train.seed);
     workers_.reserve(farm_.workers());
     for (size_t w = 0; w < farm_.workers(); ++w)
         workers_.push_back(
             std::make_unique<Worker>(cfg_.ring_capacity, seeder.split()));
     parts_.resize(farm_.workers());
+}
+
+OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
+                             const models::AnomalyDnn &installed,
+                             RuntimeConfig cfg)
+    : OnlineRuntime(farm, core::makeAnomalyDnnApp(installed), cfg)
+{
 }
 
 OnlineRuntime::~OnlineRuntime()
@@ -87,7 +99,7 @@ OnlineRuntime::processOne(size_t w, const net::TracePacket &pkt,
     out = farm_.replica(w).process(pkt);
     if (cfg_.sampling_rate > 0.0 &&
         worker.rng.bernoulli(cfg_.sampling_rate))
-        worker.ring.tryPush(makeSample(out, pkt.anomalous));
+        worker.ring.tryPush(makeSample(out, pkt.class_label));
 }
 
 void
@@ -118,7 +130,7 @@ OnlineRuntime::runAssignment(Worker &worker, core::TaurusSwitch &sw)
             if (cfg_.sampling_rate > 0.0 &&
                 worker.rng.bernoulli(cfg_.sampling_rate))
                 worker.ring.tryPush(
-                    makeSample(d, worker.pkts[i].anomalous));
+                    makeSample(d, worker.pkts[i].class_label));
             worker.out[i] = d;
         }
     }
@@ -241,27 +253,28 @@ OnlineRuntime::controlStepLocked(bool drain_all_minibatches,
         while (worker->ring.tryPop(s)) {
             ++drained;
             ++consumed_;
-            drift_.record(s.score, s.flagged, s.truth);
-            trainer_.ingest(s);
+            drift_.record(s.score, s.predicted, s.label);
+            if (trainer_)
+                trainer_->ingest(s);
         }
     }
 
-    while (trainer_.minibatchReady()) {
+    while (trainer_ && trainer_->minibatchReady()) {
         if (cfg_.train_always || drift_.drifted()) {
-            trainer_.step();
+            trainer_->step();
             if (drain_all_minibatches) {
-                publishLocked(trainer_.snapshotGraph());
+                publishLocked(trainer_->snapshotGraph());
             } else {
                 // Async path: hand the lowered graph to the trainer
                 // thread, which sleeps the install delay and publishes
                 // without holding ctl_m_ (stats() must never stall on
                 // a publish burst).
-                *pending =
-                    std::make_unique<dfg::Graph>(trainer_.snapshotGraph());
+                *pending = std::make_unique<dfg::Graph>(
+                    trainer_->snapshotGraph());
                 break;
             }
         } else {
-            trainer_.absorb();
+            trainer_->absorb();
         }
     }
     return drained;
@@ -330,7 +343,7 @@ OnlineRuntime::stats() const
     st.updates_applied = updates_applied_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(ctl_m_);
     st.consumed = consumed_;
-    st.sgd_steps = trainer_.steps();
+    st.sgd_steps = trainer_ ? trainer_->steps() : 0;
     st.updates_published = updates_published_;
     st.drift_triggers = drift_.triggers();
     st.drift_recoveries = drift_.recoveries();

@@ -45,7 +45,7 @@
 #include "runtime/drift.hpp"
 #include "runtime/model_store.hpp"
 #include "runtime/telemetry.hpp"
-#include "runtime/trainer.hpp"
+#include "taurus/app.hpp"
 #include "taurus/farm.hpp"
 
 namespace taurus::runtime {
@@ -98,10 +98,19 @@ class OnlineRuntime
 {
   public:
     /**
-     * `farm` must already have `installed` installed in every replica;
-     * the trainer warm-starts from the installed float model and pins
-     * its input quantization. The runtime holds references — both must
-     * outlive it.
+     * Generic form: `farm` must already have `app` installed in every
+     * replica. The runtime builds the app's trainer through its
+     * factory (no factory = mirroring and drift monitoring run, but
+     * nothing retrains), and — for ArgmaxClass apps — switches the
+     * drift metric to windowed accuracy. The artifact itself is not
+     * retained; only the farm reference must outlive the runtime.
+     */
+    OnlineRuntime(core::SwitchFarm &farm, const core::AppArtifact &app,
+                  RuntimeConfig cfg = {});
+
+    /**
+     * Anomaly convenience: builds the anomaly artifact from `installed`
+     * (which must be what the farm has installed) and delegates.
      */
     OnlineRuntime(core::SwitchFarm &farm,
                   const models::AnomalyDnn &installed,
@@ -207,7 +216,7 @@ class OnlineRuntime
     // Control-plane state: owned by the trainer thread (async) or the
     // caller (sync); ctl_m_ guards it plus the counters below.
     mutable std::mutex ctl_m_;
-    StreamingTrainer trainer_;
+    std::unique_ptr<core::AppTrainer> trainer_; ///< null = no retraining
     DriftMonitor drift_;
     uint64_t consumed_ = 0;
     uint64_t updates_published_ = 0;

@@ -3,14 +3,16 @@
 namespace taurus::runtime {
 
 TelemetrySample
-makeSample(const core::SwitchDecision &d, bool truth)
+makeSample(const core::SwitchDecision &d, int32_t label)
 {
     TelemetrySample s;
     s.features = d.features;
     s.feature_count = d.feature_count;
     s.score = d.score;
     s.flagged = d.flagged;
-    s.truth = truth;
+    s.predicted = d.class_id;
+    s.label = label;
+    s.truth = label != 0;
     return s;
 }
 

@@ -21,23 +21,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "taurus/app.hpp"
 #include "taurus/switch.hpp"
 #include "util/stats.hpp"
 
 namespace taurus::runtime {
 
-/** One mirrored packet: feature codes + verdict + label. */
-struct TelemetrySample
-{
-    std::array<int8_t, core::kDecisionFeatureSlots> features{};
-    uint8_t feature_count = 0;
-    int8_t score = 0;    ///< raw MapReduce output code
-    bool flagged = false; ///< data-plane verdict
-    bool truth = false;   ///< ground-truth label (control-plane labeling)
-};
+/** One mirrored packet: feature codes + verdict + label. The struct
+ *  itself lives in core (taurus/app.hpp) so the generic AppTrainer
+ *  interface can consume it; the rings here carry it unchanged. */
+using TelemetrySample = core::TelemetrySample;
 
-/** Build a sample from a processed packet's decision and label. */
-TelemetrySample makeSample(const core::SwitchDecision &d, bool truth);
+/** Build a sample from a processed packet's decision and its
+ *  ground-truth class label (0/1 for the binary apps). */
+TelemetrySample makeSample(const core::SwitchDecision &d, int32_t label);
 
 /**
  * Bounded lock-free SPSC ring. Exactly one producer thread may call

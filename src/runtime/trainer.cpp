@@ -8,18 +8,35 @@
 
 namespace taurus::runtime {
 
-StreamingTrainer::StreamingTrainer(const models::AnomalyDnn &installed,
+StreamingTrainer::StreamingTrainer(nn::Mlp warm_model,
+                                   fixed::QuantParams input_qp,
+                                   bool classifier_head,
+                                   double installed_out_scale,
+                                   std::string graph_name,
                                    cp::OnlineTrainConfig cfg,
                                    size_t reservoir_cap,
                                    size_t calibration_cap)
-    : cfg_(cfg), input_qp_(installed.quantized.inputParams()),
-      installed_out_scale_(installed.quantized.layers().back().out_scale),
-      model_(installed.model), rng_(cfg.seed),
+    : cfg_(cfg), input_qp_(input_qp), classifier_head_(classifier_head),
+      installed_out_scale_(installed_out_scale),
+      graph_name_(std::move(graph_name)), model_(std::move(warm_model)),
+      rng_(cfg.seed),
       reservoir_cap_(std::max<size_t>(reservoir_cap, 1)),
       calib_cap_(std::max<size_t>(calibration_cap, 1))
 {
     if (cfg_.batch < 1)
         throw std::invalid_argument("StreamingTrainer: batch must be >= 1");
+}
+
+StreamingTrainer::StreamingTrainer(const models::AnomalyDnn &installed,
+                                   cp::OnlineTrainConfig cfg,
+                                   size_t reservoir_cap,
+                                   size_t calibration_cap)
+    : StreamingTrainer(installed.model, installed.quantized.inputParams(),
+                       /*classifier_head=*/false,
+                       installed.quantized.layers().back().out_scale,
+                       "anomaly_dnn_online", cfg, reservoir_cap,
+                       calibration_cap)
+{
 }
 
 void
@@ -39,7 +56,7 @@ StreamingTrainer::ingest(const TelemetrySample &s)
     }
 
     buf_x_.push_back(std::move(x));
-    buf_y_.push_back(s.truth ? 1 : 0);
+    buf_y_.push_back(static_cast<int>(s.label));
     ++ingested_;
 }
 
@@ -140,6 +157,11 @@ StreamingTrainer::snapshotGraph() const
             "StreamingTrainer::snapshotGraph: no telemetry ingested yet");
     const nn::QuantizedMlp q =
         nn::QuantizedMlp::fromFloat(model_, calib_, input_qp_);
+    if (classifier_head_)
+        // Argmax is scale-invariant, so there is no output-scale
+        // contract to police; the lowering just has to match the
+        // installed argmax-headed structure.
+        return compiler::lowerMlpClassifier(q, graph_name_);
     // The switch's verdict table was burned in at install time against
     // the installed model's output scale; a weight-only push must keep
     // that contract or flagging thresholds silently shift. For the
@@ -151,7 +173,7 @@ StreamingTrainer::snapshotGraph() const
         throw std::logic_error(
             "StreamingTrainer::snapshotGraph: output scale diverged "
             "from the installed verdict table");
-    return compiler::lowerMlp(q, "anomaly_dnn_online");
+    return compiler::lowerMlp(q, graph_name_);
 }
 
 } // namespace taurus::runtime

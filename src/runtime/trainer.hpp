@@ -3,23 +3,29 @@
  * Streaming SGD over mirrored telemetry (the live counterpart of
  * cp::runOnlineTraining, which models the same loop offline).
  *
- * The trainer warm-starts from the float model that is installed in the
- * data plane, dequantizes each mirrored sample's int8 feature codes with
- * the *installed* input quantization (the preprocessing tables are fixed
- * at install time, so codes are the ground truth of what the model
- * sees), and reuses the cp::OnlineTrainConfig minibatch semantics: each
- * update trains `epochs` chunked-SGD passes over the fresh minibatch
- * plus an equal-sized draw from a reservoir of retired history, which
- * keeps time-correlated bursts from collapsing the streamed model.
+ * StreamingTrainer is the MLP implementation of the generic
+ * core::AppTrainer interface — the trainer adapter an AppArtifact
+ * carries. It warm-starts from the float model that is installed in
+ * the data plane, dequantizes each mirrored sample's int8 feature
+ * codes with the *installed* input quantization (the preprocessing
+ * tables are fixed at install time, so codes are the ground truth of
+ * what the model sees), and reuses the cp::OnlineTrainConfig minibatch
+ * semantics: each update trains `epochs` chunked-SGD passes over the
+ * fresh minibatch plus an equal-sized draw from a reservoir of retired
+ * history, which keeps time-correlated bursts from collapsing the
+ * streamed model. Labels are generic int class labels, so the same
+ * trainer serves the binary anomaly DNN (labels 0/1, sigmoid head) and
+ * the multi-class IoT classifier (labels 0..K-1, argmax head).
  *
- * snapshotGraph() re-quantizes against the pinned input scale and lowers
- * to a dataflow graph that is structurally identical to the installed
- * one — exactly what the weight-only update path requires.
+ * snapshotGraph() re-quantizes against the pinned input scale and
+ * lowers to a dataflow graph that is structurally identical to the
+ * installed one — exactly what the weight-only update path requires.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cp/trainer.hpp"
@@ -27,31 +33,43 @@
 #include "models/zoo.hpp"
 #include "nn/mlp.hpp"
 #include "runtime/telemetry.hpp"
+#include "taurus/app.hpp"
 #include "util/rng.hpp"
 
 namespace taurus::runtime {
 
 /** Background trainer state: one instance, owned by the control loop. */
-class StreamingTrainer
+class StreamingTrainer : public core::AppTrainer
 {
   public:
     /**
-     * `installed` supplies the warm-start float model, the pinned input
-     * quantization, and the graph name; `cfg` supplies batch/epochs/
-     * learning-rate/seed (sampling and install delay are handled by the
-     * runtime, which owns mirroring and publication timing).
+     * Generic constructor, the form AppArtifact trainer factories use.
+     * `warm_model` is the float model installed in the data plane;
+     * `input_qp` its pinned input quantization; `classifier_head`
+     * selects the argmax-headed lowering (multi-class) over the plain
+     * one (binary threshold), in which case `installed_out_scale` is
+     * the output-scale contract the verdict table was burned with
+     * (ignored for classifiers — argmax is scale-invariant).
+     * `graph_name` names published weight-update graphs.
      */
+    StreamingTrainer(nn::Mlp warm_model, fixed::QuantParams input_qp,
+                     bool classifier_head, double installed_out_scale,
+                     std::string graph_name, cp::OnlineTrainConfig cfg,
+                     size_t reservoir_cap = 2048,
+                     size_t calibration_cap = 256);
+
+    /** Anomaly-DNN convenience constructor (legacy call sites). */
     StreamingTrainer(const models::AnomalyDnn &installed,
                      cp::OnlineTrainConfig cfg,
                      size_t reservoir_cap = 2048,
                      size_t calibration_cap = 256);
 
     /** Buffer one mirrored sample (dequantized feature codes + label). */
-    void ingest(const TelemetrySample &s);
+    void ingest(const TelemetrySample &s) override;
 
     /** True when a full minibatch is buffered. */
     bool
-    minibatchReady() const
+    minibatchReady() const override
     {
         return buf_x_.size() >= static_cast<size_t>(cfg_.batch);
     }
@@ -63,24 +81,24 @@ class StreamingTrainer
      * for later steps, keeping per-step cost load-independent).
      * Requires minibatchReady().
      */
-    void step();
+    void step() override;
 
     /**
      * Retire the buffered minibatch into the reservoir *without*
      * training. The idle (no-drift) mode of the runtime uses this so the
      * reservoir always holds recent history when drift does strike.
      */
-    void absorb();
+    void absorb() override;
 
     /**
      * Quantize the current float model against the pinned input scale
      * and lower it to a weight-update graph. Requires at least one
      * ingested sample (the calibration window must be non-empty).
      */
-    dfg::Graph snapshotGraph() const;
+    dfg::Graph snapshotGraph() const override;
 
     const nn::Mlp &model() const { return model_; }
-    uint64_t steps() const { return steps_; }
+    uint64_t steps() const override { return steps_; }
     uint64_t ingested() const { return ingested_; }
     size_t reservoirSize() const { return reservoir_x_.size(); }
 
@@ -90,7 +108,9 @@ class StreamingTrainer
 
     cp::OnlineTrainConfig cfg_;
     fixed::QuantParams input_qp_; ///< pinned from the installed model
+    bool classifier_head_;        ///< argmax-headed lowering
     double installed_out_scale_;  ///< install-time verdict-scale contract
+    std::string graph_name_;
     nn::Mlp model_;
     util::Rng rng_;
 

@@ -1,0 +1,82 @@
+#include "taurus/app.hpp"
+
+// The artifact factories wire each app's online trainer; the generic
+// MLP streaming-SGD implementation lives in the runtime layer. This is
+// a deliberate upward include within the single taurus_core library:
+// the *interface* (AppTrainer) stays in core, only the factories here
+// reach for the concrete trainer.
+#include "runtime/trainer.hpp"
+
+namespace taurus::core {
+
+AppArtifact
+makeAnomalyDnnApp(const models::AnomalyDnn &model,
+                  std::vector<net::TracePacket> eval_trace)
+{
+    AppArtifact app;
+    app.name = "anomaly_dnn";
+
+    const nn::Standardizer std_fit = model.standardizer;
+    const fixed::QuantParams qp = model.quantized.inputParams();
+    app.build_features = [std_fit, qp](const FeatureProgramConfig &cfg) {
+        return buildDnnFeatureProgram(std_fit, qp, cfg);
+    };
+    app.feature_count = net::kDnnFeatureCount;
+
+    app.graph = model.graph;
+    app.input_qp = qp;
+
+    const double out_scale = model.quantized.layers().back().out_scale;
+    app.verdict.kind = VerdictKind::BinaryThreshold;
+    app.verdict.flag_code = [out_scale](int8_t code) {
+        return static_cast<double>(code) * out_scale >= 0.5;
+    };
+    app.num_classes = 2;
+    app.eval_trace = std::move(eval_trace);
+
+    const nn::Mlp warm = model.model;
+    app.make_trainer = [warm, qp, out_scale](
+                           const cp::OnlineTrainConfig &cfg,
+                           size_t reservoir_cap, size_t calibration_cap)
+        -> std::unique_ptr<AppTrainer> {
+        return std::make_unique<runtime::StreamingTrainer>(
+            warm, qp, /*classifier_head=*/false, out_scale,
+            "anomaly_dnn_online", cfg, reservoir_cap, calibration_cap);
+    };
+    return app;
+}
+
+AppArtifact
+makeIotFlowApp(const models::IotFlowMlp &model)
+{
+    AppArtifact app;
+    app.name = "iot_flow_mlp";
+
+    const nn::Standardizer std_fit = model.standardizer;
+    const fixed::QuantParams qp = model.quantized.inputParams();
+    app.build_features = [std_fit, qp](const FeatureProgramConfig &cfg) {
+        return buildIotFeatureProgram(std_fit, qp, cfg);
+    };
+    app.feature_count = net::kIotFlowFeatureCount;
+
+    app.graph = model.graph;
+    app.input_qp = qp;
+
+    app.verdict.kind = VerdictKind::ArgmaxClass;
+    app.verdict.num_classes = model.num_classes;
+    app.num_classes = model.num_classes;
+    app.eval_trace = model.eval_trace;
+
+    const nn::Mlp warm = model.model;
+    app.make_trainer = [warm, qp](const cp::OnlineTrainConfig &cfg,
+                                  size_t reservoir_cap,
+                                  size_t calibration_cap)
+        -> std::unique_ptr<AppTrainer> {
+        return std::make_unique<runtime::StreamingTrainer>(
+            warm, qp, /*classifier_head=*/true, /*out_scale=*/0.0,
+            "iot_flow_mlp_online", cfg, reservoir_cap, calibration_cap);
+    };
+    return app;
+}
+
+} // namespace taurus::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * AppArtifact: the generic, self-describing data-plane application
+ * bundle the serving stack is built around.
+ *
+ * The paper positions Taurus as a platform for *many* per-packet ML
+ * applications (Table 5: anomaly DNN, anomaly SVM, IoT classification,
+ * Indigo CC). An AppArtifact packages everything the switch, the farm,
+ * and the online-learning runtime need to serve one of them:
+ *
+ *  - a feature-program builder (the app's stateful preprocessing MATs),
+ *  - the lowered MapReduce graph plus its pinned input quantization,
+ *  - a verdict policy (binary threshold / multi-class argmax / scalar
+ *    action) that becomes the postprocessing MAT,
+ *  - a labeled evaluation trace for end-to-end scoring, and
+ *  - an optional trainer factory that closes the online-learning loop
+ *    for this app.
+ *
+ * TaurusSwitch::installApp(artifact) is the single install entry point;
+ * installAnomalyModel() survives as a thin wrapper over
+ * makeAnomalyDnnApp(). Onboarding a new application means building an
+ * artifact — no switch, farm, or runtime surgery.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cp/trainer.hpp"
+#include "dfg/graph.hpp"
+#include "fixed/quant.hpp"
+#include "models/zoo.hpp"
+#include "net/features.hpp"
+#include "net/iot.hpp"
+#include "taurus/feature_program.hpp"
+#include "taurus/switch.hpp"
+
+namespace taurus::core {
+
+/**
+ * How an app's postprocessing MAT interprets the MapReduce output code.
+ * Exactly one of the kind-specific fields is meaningful.
+ */
+struct VerdictPolicy
+{
+    VerdictKind kind = VerdictKind::BinaryThreshold;
+
+    /** BinaryThreshold: per-score-code flag decision (all 256 codes are
+     *  enumerated into the verdict table at install time). */
+    std::function<bool(int8_t)> flag_code;
+
+    /** ArgmaxClass: number of classes the score code ranges over. */
+    size_t num_classes = 0;
+    /** ArgmaxClass: classes that additionally flag/deprioritize. */
+    std::vector<int32_t> flagged_classes;
+};
+
+/**
+ * One mirrored packet: feature codes + verdict + ground truth. Defined
+ * here (not in the runtime) because the generic trainer interface
+ * consumes it; the runtime's telemetry rings carry it unchanged.
+ */
+struct TelemetrySample
+{
+    std::array<int8_t, kDecisionFeatureSlots> features{};
+    uint8_t feature_count = 0;
+    int8_t score = 0;     ///< raw MapReduce output code
+    bool flagged = false; ///< data-plane flag verdict
+    int32_t predicted = 0; ///< generic verdict (SwitchDecision::class_id)
+    int32_t label = 0;     ///< ground-truth class label
+    bool truth = false;    ///< label != 0 (binary convenience view)
+};
+
+/**
+ * Abstract online trainer for one installed app: consumes labeled
+ * telemetry, emits weight-update graphs structurally identical to the
+ * installed one. Implementations live in the runtime layer (the MLP
+ * streaming-SGD trainer); the interface lives here so an AppArtifact
+ * can carry its trainer without the core depending on runtime types.
+ */
+class AppTrainer
+{
+  public:
+    virtual ~AppTrainer() = default;
+
+    /** Buffer one mirrored sample. */
+    virtual void ingest(const TelemetrySample &s) = 0;
+    /** True when a full minibatch is buffered. */
+    virtual bool minibatchReady() const = 0;
+    /** One streaming update over the buffered minibatch. */
+    virtual void step() = 0;
+    /** Retire the buffer into replay history without training. */
+    virtual void absorb() = 0;
+    /** Quantize + lower the current model as a weight-update graph. */
+    virtual dfg::Graph snapshotGraph() const = 0;
+    /** Updates run so far. */
+    virtual uint64_t steps() const = 0;
+};
+
+/** Factory signature an artifact uses to create its trainer. */
+using AppTrainerFactory = std::function<std::unique_ptr<AppTrainer>(
+    const cp::OnlineTrainConfig &cfg, size_t reservoir_cap,
+    size_t calibration_cap)>;
+
+/** A self-describing data-plane application. */
+struct AppArtifact
+{
+    std::string name;
+
+    /** Build the app's preprocessing feature program. */
+    std::function<FeatureProgram(const FeatureProgramConfig &)>
+        build_features;
+    /** Feature codes the program writes. installApp verifies this
+     *  matches the built program's feature_count (and that both fit
+     *  kDecisionFeatureSlots), so the declaration cannot drift from
+     *  what build_features actually emits. */
+    size_t feature_count = 0;
+
+    /** The lowered MapReduce program. */
+    dfg::Graph graph;
+    /** Pinned input quantization (what the feature tables emit). */
+    fixed::QuantParams input_qp;
+
+    VerdictPolicy verdict;
+
+    /** Labeled evaluation trace (TracePacket::class_label is ground
+     *  truth); may be empty when the caller scores elsewhere. */
+    std::vector<net::TracePacket> eval_trace;
+
+    /** Number of ground-truth classes for scoring (2 for binary). */
+    size_t num_classes = 2;
+
+    /** Optional online-trainer factory; null = not retrainable. */
+    AppTrainerFactory make_trainer;
+};
+
+/**
+ * Package a trained anomaly DNN as an artifact: the 6-feature KDD
+ * preprocessing program, its lowered graph, a binary-threshold verdict
+ * derived from the model's output scale, and an MLP streaming-SGD
+ * trainer warm-started from the float model. Bit-identical to the
+ * legacy installAnomalyModel() path by construction.
+ */
+AppArtifact makeAnomalyDnnApp(const models::AnomalyDnn &model,
+                              std::vector<net::TracePacket> eval_trace = {});
+
+/**
+ * Package the IoT device classifier as an artifact: its own 6-feature
+ * preprocessing program, the argmax-headed graph, a class verdict
+ * table, the labeled evaluation trace generated at training time, and
+ * a multi-class MLP trainer.
+ */
+AppArtifact makeIotFlowApp(const models::IotFlowMlp &model);
+
+} // namespace taurus::core

@@ -1,8 +1,36 @@
 #include "taurus/experiment.hpp"
 
+#include "taurus/app.hpp"
 #include "util/metrics.hpp"
 
 namespace taurus::core {
+
+AppRunResult
+runApp(const std::vector<net::TracePacket> &trace, TaurusSwitch &sw,
+       size_t num_classes)
+{
+    AppRunResult r;
+    r.confusion = util::MultiConfusion(num_classes);
+    for (const auto &pkt : trace) {
+        const SwitchDecision d = sw.process(pkt);
+        r.confusion.record(d.class_id, pkt.class_label);
+    }
+    r.accuracy_pct = r.confusion.accuracy() * 100.0;
+    r.macro_f1_x100 = r.confusion.macroF1() * 100.0;
+    r.mean_ml_latency_ns = sw.stats().ml_latency_ns.mean();
+    r.mean_bypass_latency_ns = sw.stats().bypass_latency_ns.mean();
+    r.packets = sw.stats().packets;
+    r.flagged = sw.stats().flagged;
+    return r;
+}
+
+AppRunResult
+runApp(const AppArtifact &app, const SwitchConfig &switch_cfg)
+{
+    TaurusSwitch sw(switch_cfg);
+    sw.installApp(app);
+    return runApp(app.eval_trace, sw, app.num_classes);
+}
 
 TaurusRunResult
 runTaurus(const std::vector<net::TracePacket> &trace, TaurusSwitch &sw)

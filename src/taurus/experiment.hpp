@@ -14,8 +14,44 @@
 #include "models/zoo.hpp"
 #include "net/kdd.hpp"
 #include "taurus/switch.hpp"
+#include "util/metrics.hpp"
 
 namespace taurus::core {
+
+struct AppArtifact;
+
+/**
+ * App-generic result of one switch run: a K-class confusion over
+ * (SwitchDecision::class_id, TracePacket::class_label) with per-class
+ * metrics, plus the latency/counter summary. Binary anomaly apps are
+ * the K = 2 case (class 1 = anomalous), so `f1_x100` of class 1 equals
+ * the legacy binary F1.
+ */
+struct AppRunResult
+{
+    util::MultiConfusion confusion{2};
+    double accuracy_pct = 0.0;
+    double macro_f1_x100 = 0.0;
+    double mean_ml_latency_ns = 0.0;
+    double mean_bypass_latency_ns = 0.0;
+    uint64_t packets = 0;
+    uint64_t flagged = 0;
+};
+
+/**
+ * Run any installed app's labeled trace through the switch and score
+ * class_id against class_label. `num_classes` sizes the confusion
+ * matrix. Does not reset the switch first (callers control state).
+ */
+AppRunResult runApp(const std::vector<net::TracePacket> &trace,
+                    TaurusSwitch &sw, size_t num_classes);
+
+/**
+ * Convenience: install `app` into a fresh switch, run its own
+ * eval_trace, and score it.
+ */
+AppRunResult runApp(const AppArtifact &app,
+                    const SwitchConfig &switch_cfg = {});
 
 /** Taurus's half of a Table 8 row. */
 struct TaurusRunResult

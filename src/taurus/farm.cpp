@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "taurus/app.hpp"
+
 namespace taurus::core {
 
 namespace {
@@ -32,10 +34,18 @@ SwitchFarm::SwitchFarm(SwitchConfig cfg, size_t workers)
 }
 
 void
-SwitchFarm::installAnomalyModel(const models::AnomalyDnn &model)
+SwitchFarm::installApp(const AppArtifact &app)
 {
     for (auto &sw : replicas_)
-        sw->installAnomalyModel(model);
+        sw->installApp(app);
+}
+
+void
+SwitchFarm::installAnomalyModel(const models::AnomalyDnn &model)
+{
+    // Build the artifact once and install it everywhere, rather than
+    // re-deriving it per replica.
+    installApp(makeAnomalyDnnApp(model));
 }
 
 void

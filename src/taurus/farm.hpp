@@ -39,7 +39,11 @@ class SwitchFarm
      */
     explicit SwitchFarm(SwitchConfig cfg = {}, size_t workers = 0);
 
-    /** Install the same model into every replica. */
+    /** Install the same application artifact into every replica. */
+    void installApp(const AppArtifact &app);
+
+    /** Install the same anomaly model into every replica (thin wrapper
+     *  over installApp, like the switch's). */
     void installAnomalyModel(const models::AnomalyDnn &model);
 
     /**

@@ -1,8 +1,10 @@
 #include "taurus/feature_program.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "net/features.hpp"
+#include "net/iot.hpp"
 #include "pisa/range_match.hpp"
 
 namespace taurus::core {
@@ -80,15 +82,10 @@ addLogBinStage(pisa::MatPipeline &pipe, const std::string &name,
     pipe.addStage(std::move(st));
 }
 
-} // namespace
-
-FeatureProgram
-buildDnnFeatureProgram(const nn::Standardizer &std_fit,
-                       const fixed::QuantParams &input_qp,
-                       const FeatureProgramConfig &cfg)
+/** Allocate the flow-register arrays every stateful program shares. */
+void
+addFlowRegisters(FeatureProgram &fp, const FeatureProgramConfig &cfg)
 {
-    FeatureProgram fp;
-    fp.feature_count = net::kDnnFeatureCount;
     fp.flow_table_size = uint32_t{1} << cfg.flow_table_bits;
     fp.src_table_size = uint32_t{1} << cfg.src_table_bits;
 
@@ -98,6 +95,111 @@ buildDnnFeatureProgram(const nn::Standardizer &std_fit,
     fp.reg_bytes = fp.registers.addArray("flow_bytes", fp.flow_table_size);
     fp.reg_urgent =
         fp.registers.addArray("flow_urgent", fp.flow_table_size);
+}
+
+/**
+ * Append the shared classify stage: mark ML traffic, compute the flow
+ * and source hash indices, extract the URG bit. Non-IP / non-TCP-UDP
+ * traffic takes the bypass path.
+ */
+void
+addClassifyStage(FeatureProgram &fp)
+{
+    MatStage st("classify", MatchKind::Exact,
+                {Field::EthType, Field::Ipv4Proto});
+    Action tcp;
+    tcp.name = "ml_tcp";
+    tcp.instrs = {
+        {ActionOp::Set, Field::MlBypass, Src::Imm, Field::Tmp0, 0, 0,
+         -1, Field::FlowHash},
+        {ActionOp::HashFlow, Field::FlowHash, Src::Imm, Field::Tmp0,
+         fp.flow_table_size, 0, -1, Field::FlowHash},
+        {ActionOp::Set, Field::Tmp1, Src::FieldSrc, Field::Ipv4Src, 0,
+         0, -1, Field::FlowHash},
+        {ActionOp::And, Field::Tmp1, Src::Imm, Field::Tmp0,
+         fp.src_table_size - 1, 0, -1, Field::FlowHash},
+        {ActionOp::Set, Field::Tmp2, Src::FieldSrc, Field::TcpFlags,
+         0, 0, -1, Field::FlowHash},
+        {ActionOp::And, Field::Tmp2, Src::Imm, Field::Tmp0, 0x20, 0,
+         -1, Field::FlowHash},
+        {ActionOp::Shr, Field::Tmp2, Src::Imm, Field::Tmp0, 5, 0, -1,
+         Field::FlowHash},
+    };
+    Action udp;
+    udp.name = "ml_udp";
+    udp.instrs = {
+        tcp.instrs[0], tcp.instrs[1], tcp.instrs[2], tcp.instrs[3],
+        {ActionOp::Set, Field::Tmp2, Src::Imm, Field::Tmp0, 0, 0, -1,
+         Field::FlowHash},
+    };
+    Action bypass;
+    bypass.name = "bypass";
+    bypass.instrs = {{ActionOp::Set, Field::MlBypass, Src::Imm,
+                      Field::Tmp0, 1, 0, -1, Field::FlowHash}};
+    const int a_tcp = st.addAction(std::move(tcp));
+    const int a_udp = st.addAction(std::move(udp));
+    const int a_byp = st.addAction(std::move(bypass));
+    st.addEntry({{pisa::kEtherTypeIpv4, net::kProtoTcp}, {}, 0, 0,
+                 a_tcp, {}});
+    st.addEntry({{pisa::kEtherTypeIpv4, net::kProtoUdp}, {}, 0, 0,
+                 a_udp, {}});
+    st.setDefault(a_byp);
+    fp.preprocess.addStage(std::move(st));
+}
+
+/** Append the shared flow-register update stage (the cross-packet
+ *  aggregates: first-seen, packets, bytes, urgent, duration, new-flow
+ *  flag). */
+void
+addFlowRegStage(FeatureProgram &fp)
+{
+    MatStage st("flow_regs", MatchKind::Exact, {Field::MlBypass});
+    Action upd;
+    upd.name = "update_flow";
+    upd.instrs = {
+        // Tmp0 = first_seen (installed on first packet)
+        {ActionOp::RegLoadSet, Field::Tmp0, Src::FieldSrc,
+         Field::TimestampUs, 0, 0, fp.reg_first_seen,
+         Field::FlowHash},
+        // Tmp3 = ++pkts
+        {ActionOp::RegAdd, Field::Tmp3, Src::Imm, Field::Tmp0, 1, 0,
+         fp.reg_pkts, Field::FlowHash},
+        // Tmp4 = bytes += pkt_len
+        {ActionOp::RegAdd, Field::Tmp4, Src::FieldSrc, Field::PktLen,
+         0, 0, fp.reg_bytes, Field::FlowHash},
+        // Tmp5 = urgent += urg_bit
+        {ActionOp::RegAdd, Field::Tmp5, Src::FieldSrc, Field::Tmp2, 0,
+         0, fp.reg_urgent, Field::FlowHash},
+        // Tmp6 = now - first_seen (duration so far, us)
+        {ActionOp::Set, Field::Tmp6, Src::FieldSrc,
+         Field::TimestampUs, 0, 0, -1, Field::FlowHash},
+        {ActionOp::Sub, Field::Tmp6, Src::FieldSrc, Field::Tmp0, 0, 0,
+         -1, Field::FlowHash},
+        // Tmp7 = (pkts == 1), the new-flow flag
+        {ActionOp::Set, Field::Tmp7, Src::FieldSrc, Field::Tmp3, 0, 0,
+         -1, Field::FlowHash},
+        {ActionOp::TestEq, Field::Tmp7, Src::Imm, Field::Tmp0, 1, 0,
+         -1, Field::FlowHash},
+    };
+    Action skip;
+    skip.name = "skip";
+    const int a_upd = st.addAction(std::move(upd));
+    const int a_skip = st.addAction(std::move(skip));
+    st.addEntry({{0}, {}, 0, 0, a_upd, {}});
+    st.setDefault(a_skip);
+    fp.preprocess.addStage(std::move(st));
+}
+
+} // namespace
+
+FeatureProgram
+buildDnnFeatureProgram(const nn::Standardizer &std_fit,
+                       const fixed::QuantParams &input_qp,
+                       const FeatureProgramConfig &cfg)
+{
+    FeatureProgram fp;
+    fp.feature_count = net::kDnnFeatureCount;
+    addFlowRegisters(fp, cfg);
     fp.reg_win_start =
         fp.registers.addArray("src_window_start", fp.src_table_size);
     fp.reg_src_conns =
@@ -105,89 +207,9 @@ buildDnnFeatureProgram(const nn::Standardizer &std_fit,
 
     auto &pipe = fp.preprocess;
 
-    // Stage 0: classify ML traffic, compute hash indices, extract the
-    // URG bit. Non-IP / non-TCP-UDP traffic takes the bypass path.
-    {
-        MatStage st("classify", MatchKind::Exact,
-                    {Field::EthType, Field::Ipv4Proto});
-        Action tcp;
-        tcp.name = "ml_tcp";
-        tcp.instrs = {
-            {ActionOp::Set, Field::MlBypass, Src::Imm, Field::Tmp0, 0, 0,
-             -1, Field::FlowHash},
-            {ActionOp::HashFlow, Field::FlowHash, Src::Imm, Field::Tmp0,
-             fp.flow_table_size, 0, -1, Field::FlowHash},
-            {ActionOp::Set, Field::Tmp1, Src::FieldSrc, Field::Ipv4Src, 0,
-             0, -1, Field::FlowHash},
-            {ActionOp::And, Field::Tmp1, Src::Imm, Field::Tmp0,
-             fp.src_table_size - 1, 0, -1, Field::FlowHash},
-            {ActionOp::Set, Field::Tmp2, Src::FieldSrc, Field::TcpFlags,
-             0, 0, -1, Field::FlowHash},
-            {ActionOp::And, Field::Tmp2, Src::Imm, Field::Tmp0, 0x20, 0,
-             -1, Field::FlowHash},
-            {ActionOp::Shr, Field::Tmp2, Src::Imm, Field::Tmp0, 5, 0, -1,
-             Field::FlowHash},
-        };
-        Action udp;
-        udp.name = "ml_udp";
-        udp.instrs = {
-            tcp.instrs[0], tcp.instrs[1], tcp.instrs[2], tcp.instrs[3],
-            {ActionOp::Set, Field::Tmp2, Src::Imm, Field::Tmp0, 0, 0, -1,
-             Field::FlowHash},
-        };
-        Action bypass;
-        bypass.name = "bypass";
-        bypass.instrs = {{ActionOp::Set, Field::MlBypass, Src::Imm,
-                          Field::Tmp0, 1, 0, -1, Field::FlowHash}};
-        const int a_tcp = st.addAction(std::move(tcp));
-        const int a_udp = st.addAction(std::move(udp));
-        const int a_byp = st.addAction(std::move(bypass));
-        st.addEntry({{pisa::kEtherTypeIpv4, net::kProtoTcp}, {}, 0, 0,
-                     a_tcp, {}});
-        st.addEntry({{pisa::kEtherTypeIpv4, net::kProtoUdp}, {}, 0, 0,
-                     a_udp, {}});
-        st.setDefault(a_byp);
-        pipe.addStage(std::move(st));
-    }
-
-    // Stage 1: flow-register updates (the cross-packet aggregates).
-    {
-        MatStage st("flow_regs", MatchKind::Exact, {Field::MlBypass});
-        Action upd;
-        upd.name = "update_flow";
-        upd.instrs = {
-            // Tmp0 = first_seen (installed on first packet)
-            {ActionOp::RegLoadSet, Field::Tmp0, Src::FieldSrc,
-             Field::TimestampUs, 0, 0, fp.reg_first_seen,
-             Field::FlowHash},
-            // Tmp3 = ++pkts
-            {ActionOp::RegAdd, Field::Tmp3, Src::Imm, Field::Tmp0, 1, 0,
-             fp.reg_pkts, Field::FlowHash},
-            // Tmp4 = bytes += pkt_len
-            {ActionOp::RegAdd, Field::Tmp4, Src::FieldSrc, Field::PktLen,
-             0, 0, fp.reg_bytes, Field::FlowHash},
-            // Tmp5 = urgent += urg_bit
-            {ActionOp::RegAdd, Field::Tmp5, Src::FieldSrc, Field::Tmp2, 0,
-             0, fp.reg_urgent, Field::FlowHash},
-            // Tmp6 = now - first_seen (duration so far, us)
-            {ActionOp::Set, Field::Tmp6, Src::FieldSrc,
-             Field::TimestampUs, 0, 0, -1, Field::FlowHash},
-            {ActionOp::Sub, Field::Tmp6, Src::FieldSrc, Field::Tmp0, 0, 0,
-             -1, Field::FlowHash},
-            // Tmp7 = (pkts == 1), the new-flow flag
-            {ActionOp::Set, Field::Tmp7, Src::FieldSrc, Field::Tmp3, 0, 0,
-             -1, Field::FlowHash},
-            {ActionOp::TestEq, Field::Tmp7, Src::Imm, Field::Tmp0, 1, 0,
-             -1, Field::FlowHash},
-        };
-        Action skip;
-        skip.name = "skip";
-        const int a_upd = st.addAction(std::move(upd));
-        const int a_skip = st.addAction(std::move(skip));
-        st.addEntry({{0}, {}, 0, 0, a_upd, {}});
-        st.setDefault(a_skip);
-        pipe.addStage(std::move(st));
-    }
+    // Stages 0-1: shared classify + flow-register updates.
+    addClassifyStage(fp);
+    addFlowRegStage(fp);
 
     // Stage 2: load the source window start and compute its age.
     {
@@ -303,6 +325,85 @@ buildDnnFeatureProgram(const nn::Standardizer &std_fit,
     return fp;
 }
 
+FeatureProgram
+buildIotFeatureProgram(const nn::Standardizer &std_fit,
+                       const fixed::QuantParams &input_qp,
+                       const FeatureProgramConfig &cfg)
+{
+    FeatureProgram fp;
+    fp.feature_count = net::kIotFlowFeatureCount;
+    addFlowRegisters(fp, cfg);
+
+    auto &pipe = fp.preprocess;
+
+    // Stages 0-1: shared classify + flow-register updates. The IoT
+    // features need no per-source window, so the sliding-window stages
+    // of the DNN program are simply absent here.
+    addClassifyStage(fp);
+    addFlowRegStage(fp);
+
+    // Stages 2..7: per-feature binning + standardize + quantize lookup
+    // tables, mirroring net::iotFlowFeatureVector slot for slot.
+    addLogBinStage(pipe, "f0_pktsize", Field::PktLen, Field::Feature0,
+                   std_fit, input_qp, 0, 1);
+    {
+        // f1: protocol code via a small exact table.
+        MatStage st("f1_proto", MatchKind::Exact,
+                    {Field::MlBypass, Field::Ipv4Proto});
+        const int act = st.addAction(setFromArg("set_f1",
+                                                Field::Feature1));
+        for (uint8_t proto :
+             {net::kProtoTcp, net::kProtoUdp, net::kProtoIcmp}) {
+            st.addEntry({{0, proto}, {}, 0, 0, act,
+                         {featureCode(std_fit, input_qp, 1,
+                                      net::protoCode(proto))}});
+        }
+        st.setDefault(act, {featureCode(std_fit, input_qp, 1,
+                                        net::protoCode(255))});
+        pipe.addStage(std::move(st));
+    }
+    {
+        // f2: service code of the destination port. Exact entries for
+        // every port net::serviceCode knows (highest priority), a
+        // TCAM prefix block for the remaining privileged range, and
+        // the ephemeral fallback as the default — the same three-level
+        // resolution the software function implements.
+        MatStage st("f2_service", MatchKind::Ternary,
+                    {Field::MlBypass, Field::L4Dport});
+        const int act = st.addAction(setFromArg("set_f2",
+                                                Field::Feature2));
+        for (const net::ServicePort &sp : net::knownServicePorts()) {
+            st.addEntry({{0, sp.port},
+                         {0xffffffffu, 0xffffffffu},
+                         0,
+                         2,
+                         act,
+                         {featureCode(std_fit, input_qp, 2,
+                                      double(sp.code))}});
+        }
+        for (const auto &[val, mask] : pisa::rangeToPrefixes(0, 1023)) {
+            st.addEntry({{0, val},
+                         {0xffffffffu, mask},
+                         0,
+                         1,
+                         act,
+                         {featureCode(std_fit, input_qp, 2,
+                                      double(net::kServicePrivileged))}});
+        }
+        st.setDefault(act, {featureCode(std_fit, input_qp, 2,
+                                        double(net::kServiceEphemeral))});
+        pipe.addStage(std::move(st));
+    }
+    addLogBinStage(pipe, "f3_pkts", Field::Tmp3, Field::Feature3, std_fit,
+                   input_qp, 3, 1);
+    addLogBinStage(pipe, "f4_bytes", Field::Tmp4, Field::Feature4,
+                   std_fit, input_qp, 4, 1);
+    addLogBinStage(pipe, "f5_duration", Field::Tmp6, Field::Feature5,
+                   std_fit, input_qp, 5, 1000 /* us -> ms bins */);
+
+    return fp;
+}
+
 pisa::MatPipeline
 buildVerdictProgram(const std::function<bool(int8_t)> &flag_code)
 {
@@ -330,6 +431,49 @@ buildVerdictProgram(const std::function<bool(int8_t)> &flag_code)
                      {}});
     }
     st.setDefault(a_pass);
+    pipe.addStage(std::move(st));
+    return pipe;
+}
+
+pisa::MatPipeline
+buildClassVerdictProgram(size_t num_classes,
+                         const std::vector<int32_t> &flagged_classes)
+{
+    pisa::MatPipeline pipe;
+    MatStage st("class_verdict", MatchKind::Exact,
+                {Field::MlBypass, Field::MlScore});
+    Action cls;
+    cls.name = "set_class";
+    cls.instrs = {
+        {ActionOp::Set, Field::MlClass, Src::Arg, Field::Tmp0, 0, 0, -1,
+         Field::FlowHash},
+        {ActionOp::Set, Field::Decision, Src::Imm, Field::Tmp0, 0, 0, -1,
+         Field::FlowHash},
+    };
+    Action flag;
+    flag.name = "flag_class";
+    flag.instrs = {
+        {ActionOp::Set, Field::MlClass, Src::Arg, Field::Tmp0, 0, 0, -1,
+         Field::FlowHash},
+        {ActionOp::Set, Field::Decision, Src::Imm, Field::Tmp0, 1, 0, -1,
+         Field::FlowHash},
+        {ActionOp::Set, Field::Priority, Src::Imm, Field::Tmp0, 1, 0, -1,
+         Field::FlowHash},
+    };
+    const int a_cls = st.addAction(std::move(cls));
+    const int a_flag = st.addAction(std::move(flag));
+    for (size_t c = 0; c < num_classes; ++c) {
+        const bool flagged =
+            std::find(flagged_classes.begin(), flagged_classes.end(),
+                      static_cast<int32_t>(c)) != flagged_classes.end();
+        st.addEntry({{0, static_cast<uint32_t>(c)},
+                     {},
+                     0,
+                     0,
+                     flagged ? a_flag : a_cls,
+                     {static_cast<uint32_t>(c)}});
+    }
+    st.setDefault(a_cls, {0});
     pipe.addStage(std::move(st));
     return pipe;
 }

@@ -68,6 +68,17 @@ FeatureProgram buildDnnFeatureProgram(const nn::Standardizer &standardizer,
                                       const FeatureProgramConfig &cfg = {});
 
 /**
+ * Build the 6-feature IoT flow-classification preprocessing program,
+ * mirroring net::iotFlowFeatureVector: packet-size/flow-packet/
+ * flow-byte/duration log bins, the protocol code, and the service-port
+ * code, each folded through standardize + quantize so Feature0..5 leave
+ * the MATs as the installed classifier's exact int8 input codes.
+ */
+FeatureProgram buildIotFeatureProgram(const nn::Standardizer &standardizer,
+                                      const fixed::QuantParams &input_qp,
+                                      const FeatureProgramConfig &cfg = {});
+
+/**
  * Build the postprocessing MAT: a 256-entry verdict table on the ML
  * score code. `flag_code` decides, per int8 score code, whether the
  * packet is anomalous — derived from the installed model's output scale
@@ -75,5 +86,16 @@ FeatureProgram buildDnnFeatureProgram(const nn::Standardizer &standardizer,
  */
 pisa::MatPipeline buildVerdictProgram(
     const std::function<bool(int8_t)> &flag_code);
+
+/**
+ * Build the argmax postprocessing MAT: the MapReduce block's output
+ * code *is* the predicted class id (the lowered classifier ends in an
+ * in-graph argmax), and this table copies it into the MlClass field —
+ * optionally flagging (Decision/Priority) the classes listed in
+ * `flagged_classes`. Codes outside [0, num_classes), and bypass
+ * packets, fall to a default of class 0 / no flag.
+ */
+pisa::MatPipeline buildClassVerdictProgram(
+    size_t num_classes, const std::vector<int32_t> &flagged_classes = {});
 
 } // namespace taurus::core

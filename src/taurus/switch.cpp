@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pisa/packet.hpp"
+#include "taurus/app.hpp"
 
 namespace taurus::core {
 
@@ -40,36 +41,85 @@ TaurusSwitch::TaurusSwitch(SwitchConfig cfg)
 }
 
 void
-TaurusSwitch::installAnomalyModel(const models::AnomalyDnn &model)
+TaurusSwitch::installApp(const AppArtifact &app)
 {
+    // Validate the whole artifact before touching any installed state,
+    // so a bad artifact cannot leave the switch half-installed.
+    if (!app.build_features)
+        throw std::invalid_argument(
+            "installApp: artifact has no feature-program builder");
+    if (app.verdict.kind == VerdictKind::BinaryThreshold &&
+        !app.verdict.flag_code)
+        throw std::invalid_argument(
+            "installApp: binary verdict without flag_code");
+    if (app.verdict.kind == VerdictKind::ArgmaxClass &&
+        app.verdict.num_classes == 0)
+        throw std::invalid_argument(
+            "installApp: argmax verdict without classes");
+
+    FeatureProgram fp = app.build_features(cfg_.features);
+    if (fp.feature_count > kDecisionFeatureSlots)
+        throw std::invalid_argument(
+            "installApp: app '" + app.name + "' writes " +
+            std::to_string(fp.feature_count) +
+            " feature codes but SwitchDecision exports only " +
+            std::to_string(kDecisionFeatureSlots) +
+            " — telemetry would silently truncate");
+    if (app.feature_count != fp.feature_count)
+        throw std::invalid_argument(
+            "installApp: app '" + app.name + "' declares " +
+            std::to_string(app.feature_count) +
+            " features but its program writes " +
+            std::to_string(fp.feature_count));
+    const std::string err = fp.preprocess.validate();
+    if (!err.empty())
+        throw std::logic_error("preprocessing program invalid: " + err);
+
     program_ = std::make_unique<hw::GridProgram>(
-        compiler::compile(model.graph, cfg_.compiler));
+        compiler::compile(app.graph, cfg_.compiler));
     sim_ = std::make_unique<hw::CycleSim>(*program_);
 
     // The compiled schedule fixes the (static) MapReduce latency.
     mr_latency_ns_ = sim_->schedule().latency_ns;
 
-    // Size the per-packet scratch for the installed model: one input
-    // vector per graph Input node, and evaluation buffers bound to the
-    // compiled graph so steady-state packets skip validation.
-    scratch_.ml_input.assign(1, std::vector<int8_t>(
-                                    model.quantized.layers().front().in));
+    // Size the per-packet scratch for the installed program: one input
+    // vector per graph Input node (width taken from the graph itself),
+    // and evaluation buffers bound to the compiled graph so
+    // steady-state packets skip validation.
+    scratch_.ml_input.clear();
+    for (int id : program_->graph.inputIds())
+        scratch_.ml_input.emplace_back(
+            static_cast<size_t>(program_->graph.node(id).width));
     scratch_.eval.bind(program_->graph);
 
-    features_ = buildDnnFeatureProgram(model.standardizer,
-                                       model.quantized.inputParams(),
-                                       cfg_.features);
-    const std::string err = features_.preprocess.validate();
-    if (!err.empty())
-        throw std::logic_error("preprocessing program invalid: " + err);
+    features_ = std::move(fp);
 
-    const double out_scale = model.quantized.layers().back().out_scale;
-    postprocess_ = buildVerdictProgram([out_scale](int8_t code) {
-        return static_cast<double>(code) * out_scale >= 0.5;
-    });
+    switch (app.verdict.kind) {
+      case VerdictKind::BinaryThreshold:
+        postprocess_ = buildVerdictProgram(app.verdict.flag_code);
+        break;
+      case VerdictKind::ArgmaxClass:
+        postprocess_ = buildClassVerdictProgram(
+            app.verdict.num_classes, app.verdict.flagged_classes);
+        break;
+      case VerdictKind::ScalarAction:
+        // The raw score code *is* the action; postprocessing only has
+        // to clear the Decision bit (nothing gets flagged).
+        postprocess_ = buildVerdictProgram([](int8_t) { return false; });
+        break;
+    }
+    verdict_kind_ = app.verdict.kind;
+    app_name_ = app.name;
+
     safety_ = compileSafety(cfg_.safety, features_.registers);
 
     reset();
+}
+
+void
+TaurusSwitch::installAnomalyModel(const models::AnomalyDnn &model)
+{
+    installApp(makeAnomalyDnnApp(model));
 }
 
 void
@@ -141,6 +191,17 @@ TaurusSwitch::process(const net::TracePacket &tp)
     d.egress_port = static_cast<uint16_t>(phv.get(pisa::Field::QueueId));
 
     d.flagged = phv.get(pisa::Field::Decision) != 0;
+    switch (verdict_kind_) {
+      case VerdictKind::BinaryThreshold:
+        d.class_id = d.flagged ? 1 : 0;
+        break;
+      case VerdictKind::ArgmaxClass:
+        d.class_id = phv.getSigned(pisa::Field::MlClass);
+        break;
+      case VerdictKind::ScalarAction:
+        d.class_id = static_cast<int32_t>(d.score);
+        break;
+    }
     if (pre_safety_flag && !d.flagged)
         ++stats_.safety_overrides;
     if (d.flagged && cfg_.drop_anomalies) {

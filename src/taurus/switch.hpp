@@ -9,8 +9,9 @@
  * ML packets pay the MapReduce block's latency; bypass packets do not
  * ("Packets that do not need an ML decision can bypass the MapReduce
  * block, incurring no additional latency"). The control plane installs
- * models through installAnomalyModel() and pushes weight-only updates
- * through updateWeights() without touching placement (Figure 1).
+ * applications through installApp() — any AppArtifact: anomaly DNN,
+ * IoT classifier, ... — and pushes weight-only updates through
+ * updateWeights() without touching placement (Figure 1).
  */
 
 #pragma once
@@ -18,6 +19,7 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "compiler/compile.hpp"
 #include "hw/cycle_sim.hpp"
@@ -62,6 +64,17 @@ struct SwitchConfig
 /** Feature codes a decision can carry (DNN uses 6, SVM 8). */
 constexpr size_t kDecisionFeatureSlots = 8;
 
+/** How an installed app's postprocessing interprets the ML score. */
+enum class VerdictKind
+{
+    /** The score code thresholds into a flag (anomaly detectors). */
+    BinaryThreshold,
+    /** The score code is a class id (argmax-headed classifiers). */
+    ArgmaxClass,
+    /** The score code is a raw scalar action (congestion control). */
+    ScalarAction,
+};
+
 /** The switch's verdict on one packet. */
 struct SwitchDecision
 {
@@ -70,6 +83,13 @@ struct SwitchDecision
     bool bypassed = false;  ///< took the non-ML path
     double latency_ns = 0.0;
     int8_t score = 0;       ///< raw MapReduce output code
+    /**
+     * Generic verdict: the predicted class id under an ArgmaxClass
+     * policy, `flagged` as 0/1 under BinaryThreshold, the raw score
+     * code under ScalarAction. App-generic scoring compares this to
+     * TracePacket::class_label.
+     */
+    int32_t class_id = 0;
     uint16_t egress_port = 0; ///< LPM forwarding decision
     /**
      * The int8 feature codes the preprocessing MATs computed for this
@@ -113,6 +133,8 @@ struct PacketScratch
     hw::SimResult sim_result;
 };
 
+struct AppArtifact;
+
 /** A Taurus-enabled switch instance. */
 class TaurusSwitch
 {
@@ -120,10 +142,20 @@ class TaurusSwitch
     explicit TaurusSwitch(SwitchConfig cfg = {});
 
     /**
-     * Install a trained anomaly model: compiles its graph onto the
-     * MapReduce grid, programs the preprocessing feature tables from
-     * its standardizer + input quantization, and installs the verdict
-     * table from its output scale. Resets stateful registers.
+     * Install a self-describing data-plane application: compiles its
+     * lowered graph onto the MapReduce grid, builds its preprocessing
+     * feature program, and installs its verdict table. Throws
+     * std::invalid_argument when the app's feature count exceeds
+     * kDecisionFeatureSlots (the decision/telemetry export would
+     * otherwise silently truncate). Resets stateful registers.
+     */
+    void installApp(const AppArtifact &app);
+
+    /**
+     * Install a trained anomaly model. Thin wrapper: builds the
+     * anomaly AppArtifact and delegates to installApp(); decisions and
+     * statistics are bit-identical between the two entry points (a
+     * regression test enforces the parity).
      */
     void installAnomalyModel(const models::AnomalyDnn &model);
 
@@ -158,6 +190,11 @@ class TaurusSwitch
     const hw::GridProgram &program() const { return *program_; }
     const FeatureProgram &featureProgram() const { return features_; }
 
+    /** Name of the installed application ("" before any install). */
+    const std::string &appName() const { return app_name_; }
+    /** Verdict semantics of the installed application. */
+    VerdictKind verdictKind() const { return verdict_kind_; }
+
     /** Clear registers and statistics (new trace). */
     void reset();
 
@@ -174,6 +211,8 @@ class TaurusSwitch
     double mr_latency_ns_ = 0.0;
     SwitchStats stats_;
     PacketScratch scratch_;
+    std::string app_name_;
+    VerdictKind verdict_kind_ = VerdictKind::BinaryThreshold;
 };
 
 } // namespace taurus::core

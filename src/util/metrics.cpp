@@ -1,6 +1,7 @@
 #include "util/metrics.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace taurus::util {
 
@@ -41,6 +42,101 @@ ConfusionMatrix::summary() const
        << " precision=" << precision() << " recall=" << recall()
        << " f1=" << f1();
     return os.str();
+}
+
+MultiConfusion::MultiConfusion(size_t classes)
+    : classes_(classes == 0 ? 1 : classes),
+      cells_(classes_ * classes_, 0)
+{
+}
+
+size_t
+MultiConfusion::clampClass(int32_t c) const
+{
+    if (c < 0)
+        return classes_ - 1;
+    const size_t u = static_cast<size_t>(c);
+    return u >= classes_ ? classes_ - 1 : u;
+}
+
+void
+MultiConfusion::record(int32_t predicted, int32_t truth)
+{
+    ++cells_[clampClass(predicted) * classes_ + clampClass(truth)];
+    ++total_;
+}
+
+void
+MultiConfusion::merge(const MultiConfusion &other)
+{
+    if (other.classes_ != classes_)
+        throw std::invalid_argument(
+            "MultiConfusion::merge: class-count mismatch (" +
+            std::to_string(classes_) + " vs " +
+            std::to_string(other.classes_) + ")");
+    for (size_t i = 0; i < cells_.size(); ++i)
+        cells_[i] += other.cells_[i];
+    total_ += other.total_;
+}
+
+void
+MultiConfusion::reset()
+{
+    cells_.assign(classes_ * classes_, 0);
+    total_ = 0;
+}
+
+uint64_t
+MultiConfusion::count(size_t predicted, size_t truth) const
+{
+    return cells_[predicted * classes_ + truth];
+}
+
+double
+MultiConfusion::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t diag = 0;
+    for (size_t c = 0; c < classes_; ++c)
+        diag += count(c, c);
+    return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double
+MultiConfusion::precision(size_t c) const
+{
+    uint64_t predicted = 0;
+    for (size_t t = 0; t < classes_; ++t)
+        predicted += count(c, t);
+    return predicted == 0 ? 1.0
+                          : static_cast<double>(count(c, c)) / predicted;
+}
+
+double
+MultiConfusion::recall(size_t c) const
+{
+    uint64_t truth = 0;
+    for (size_t p = 0; p < classes_; ++p)
+        truth += count(p, c);
+    return truth == 0 ? 0.0 : static_cast<double>(count(c, c)) / truth;
+}
+
+double
+MultiConfusion::f1(size_t c) const
+{
+    const double p = precision(c);
+    const double r = recall(c);
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double
+MultiConfusion::macroF1() const
+{
+    double sum = 0.0;
+    for (size_t c = 0; c < classes_; ++c)
+        sum += f1(c);
+    return sum / static_cast<double>(classes_);
 }
 
 } // namespace taurus::util

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace taurus::util {
 
@@ -68,6 +69,50 @@ class ConfusionMatrix
     uint64_t fp_ = 0;
     uint64_t fn_ = 0;
     uint64_t tn_ = 0;
+};
+
+/**
+ * K-class confusion matrix with per-class one-vs-rest metrics. The
+ * app-generic scorer uses this for every installed application — the
+ * binary anomaly detectors are just the K = 2 case.
+ */
+class MultiConfusion
+{
+  public:
+    explicit MultiConfusion(size_t classes = 2);
+
+    /** Record one (prediction, truth) pair; out-of-range labels clamp
+     *  to the last class so malformed verdicts still count visibly. */
+    void record(int32_t predicted, int32_t truth);
+
+    /** Merge another matrix into this one; throws
+     *  std::invalid_argument on a class-count mismatch (a silent
+     *  partial merge would under-report whole workers). */
+    void merge(const MultiConfusion &other);
+
+    void reset();
+
+    size_t classes() const { return classes_; }
+    uint64_t total() const { return total_; }
+    uint64_t count(size_t predicted, size_t truth) const;
+
+    /** Diagonal mass / total. */
+    double accuracy() const;
+    /** One-vs-rest precision for class c (1.0 when undefined). */
+    double precision(size_t c) const;
+    /** One-vs-rest recall for class c (0.0 when undefined). */
+    double recall(size_t c) const;
+    /** One-vs-rest F1 for class c. */
+    double f1(size_t c) const;
+    /** Unweighted mean of the per-class F1 scores. */
+    double macroF1() const;
+
+  private:
+    size_t clampClass(int32_t c) const;
+
+    size_t classes_;
+    std::vector<uint64_t> cells_; ///< classes_ x classes_, row = predicted
+    uint64_t total_ = 0;
 };
 
 } // namespace taurus::util

@@ -157,3 +157,38 @@ TEST(Zoo, DeterministicUnderSeed)
     EXPECT_DOUBLE_EQ(a.quant_test.f1, b.quant_test.f1);
     EXPECT_DOUBLE_EQ(a.float_test.accuracy, b.float_test.accuracy);
 }
+
+TEST(Zoo, IotFlowMlpSeparatesDeviceClasses)
+{
+    const auto iot = models::trainIotFlowMlp(5, 900);
+    EXPECT_EQ(iot.num_classes, 5u);
+    // The signatures are separable but not trivially so (other-port
+    // sessions force the volume/size features to carry weight).
+    EXPECT_GT(iot.float_accuracy, 0.75);
+    // int8 quantization costs little on a 6-wide input.
+    EXPECT_GT(iot.quant_accuracy, iot.float_accuracy - 0.08);
+    EXPECT_FALSE(iot.eval_trace.empty());
+
+    // The lowered graph ends in the argmax head: single scalar output.
+    const auto outs = iot.graph.outputIds();
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(iot.graph.node(outs[0]).width, 1);
+    EXPECT_EQ(iot.graph.validate(), "");
+}
+
+TEST(Zoo, LowerMlpClassifierAgreesWithQuantizedPredict)
+{
+    const auto iot = models::trainIotFlowMlp(6, 600);
+    dfg::EvalScratch scratch;
+    size_t agree = 0, total = 0;
+    for (size_t i = 0; i < iot.test.size() && i < 2000; ++i) {
+        const auto q = iot.quantized.quantizeInput(iot.test.x[i]);
+        const auto res = dfg::evaluateSimple(iot.graph, q);
+        const int graph_class = static_cast<int>(res.at(0));
+        agree += graph_class == iot.quantized.predict(iot.test.x[i]);
+        ++total;
+    }
+    // Only -128-saturated logit ties can disagree (Neg clamps -128 to
+    // 127); everything else is exact.
+    EXPECT_GT(static_cast<double>(agree) / double(total), 0.99);
+}

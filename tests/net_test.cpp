@@ -308,3 +308,86 @@ TEST(CcSim, ImitationSamplesCoverActions)
         distinct += c > 0;
     EXPECT_GE(distinct, 3);
 }
+
+TEST(IotTrace, GeneratorProducesLabeledSortedTrace)
+{
+    net::IotTraceConfig cfg;
+    cfg.sessions = 400;
+    const auto trace = net::iotDeviceTrace(cfg, 5);
+    ASSERT_FALSE(trace.empty());
+
+    int seen[net::kIotClassCount] = {};
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (i > 0) {
+            EXPECT_GE(trace[i].time_s, trace[i - 1].time_s);
+        }
+        ASSERT_GE(trace[i].class_label, 0);
+        ASSERT_LT(trace[i].class_label, net::kIotClassCount);
+        ++seen[trace[i].class_label];
+        // Data-plane-visible sizes only (the parser floors at 54 B).
+        EXPECT_GE(trace[i].size_bytes, 54);
+        EXPECT_FALSE(trace[i].anomalous);
+    }
+    for (int c = 0; c < net::kIotClassCount; ++c)
+        EXPECT_GT(seen[c], 0) << net::iotClassName(c);
+}
+
+TEST(IotTrace, DeterministicPerSeed)
+{
+    net::IotTraceConfig cfg;
+    cfg.sessions = 200;
+    const auto a = net::iotDeviceTrace(cfg, 9);
+    const auto b = net::iotDeviceTrace(cfg, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].flow.src_ip, b[i].flow.src_ip);
+        EXPECT_EQ(a[i].size_bytes, b[i].size_bytes);
+        EXPECT_EQ(a[i].class_label, b[i].class_label);
+    }
+    const auto c = net::iotDeviceTrace(cfg, 10);
+    bool differs = c.size() != a.size();
+    for (size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].size_bytes != c[i].size_bytes;
+    EXPECT_TRUE(differs);
+}
+
+TEST(IotTrace, PacketDatasetLabelsAndShape)
+{
+    net::IotTraceConfig cfg;
+    cfg.sessions = 300;
+    const auto trace = net::iotDeviceTrace(cfg, 11);
+    const auto data = net::iotPacketDataset(trace, 3);
+    ASSERT_GT(data.size(), 0u);
+    EXPECT_EQ(data.size(), (trace.size() + 2) / 3);
+    for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(data.x[i].size(), net::kIotFlowFeatureCount);
+        EXPECT_GE(data.y[i], 0);
+        EXPECT_LT(data.y[i], net::kIotClassCount);
+    }
+}
+
+TEST(Features, ServiceCodeMatchesKnownPortTable)
+{
+    // serviceCode must resolve exactly as the published table + the
+    // privileged/ephemeral fallbacks — the switch's MAT builder
+    // installs entries straight from knownServicePorts().
+    for (const auto &sp : net::knownServicePorts())
+        EXPECT_EQ(net::serviceCode(sp.port), sp.code) << sp.port;
+    EXPECT_EQ(net::serviceCode(999), net::kServicePrivileged);
+    EXPECT_EQ(net::serviceCode(40123), net::kServiceEphemeral);
+    // IoT signature ports have dedicated codes (no aliasing).
+    EXPECT_EQ(net::serviceCode(554), 8);
+    EXPECT_EQ(net::serviceCode(1883), 9);
+    EXPECT_EQ(net::serviceCode(5683), 10);
+    EXPECT_EQ(net::serviceCode(123), 11);
+}
+
+TEST(Features, KddTraceCarriesBinaryClassLabels)
+{
+    net::KddConfig cfg;
+    cfg.connections = 300;
+    net::KddGenerator gen(cfg, 21);
+    const auto trace = gen.expandToPackets(gen.sampleConnections());
+    for (const auto &pkt : trace)
+        EXPECT_EQ(pkt.class_label, pkt.anomalous ? 1 : 0);
+}

@@ -16,13 +16,16 @@
 #include <vector>
 
 #include "models/zoo.hpp"
+#include "net/iot.hpp"
 #include "net/kdd.hpp"
 #include "runtime/drift.hpp"
 #include "runtime/model_store.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/telemetry.hpp"
 #include "runtime/trainer.hpp"
+#include "taurus/app.hpp"
 #include "taurus/farm.hpp"
+#include "util/metrics.hpp"
 
 using namespace taurus;
 
@@ -526,4 +529,148 @@ TEST(StreamingTrainer, SnapshotIsStructurallyCompatible)
     // And the update is live: the switch still decides packets.
     const auto d = sw.process(fx.steady.front());
     EXPECT_GT(d.latency_ns, 0.0);
+}
+
+TEST(DriftMonitor, AccuracyMetricScoresMultiClassVerdicts)
+{
+    runtime::DriftConfig dc;
+    dc.window = 100;
+    dc.warmup_windows = 2;
+    dc.trigger_ratio = 0.85;
+    dc.recover_ratio = 0.95;
+    dc.ema_alpha = 1.0;
+    dc.metric = runtime::DriftMetric::Accuracy;
+    runtime::DriftMonitor mon(dc);
+
+    // Windows of multi-class verdicts at a given accuracy.
+    auto feedWindow = [&](int correct_pct) {
+        for (int i = 0; i < 100; ++i) {
+            const int32_t truth = i % 5;
+            const int32_t pred =
+                i < correct_pct ? truth : (truth + 1) % 5;
+            mon.record(static_cast<int8_t>(truth), pred, truth);
+        }
+    };
+
+    feedWindow(90);
+    feedWindow(90);
+    feedWindow(90);
+    EXPECT_FALSE(mon.drifted());
+    EXPECT_DOUBLE_EQ(mon.lastWindowF1(), 0.9); // gauge carries accuracy
+    EXPECT_DOUBLE_EQ(mon.referenceF1(), 0.9);
+
+    feedWindow(40);
+    EXPECT_TRUE(mon.drifted());
+    EXPECT_EQ(mon.triggers(), 1u);
+
+    feedWindow(90);
+    EXPECT_FALSE(mon.drifted());
+    EXPECT_EQ(mon.recoveries(), 1u);
+}
+
+TEST(Runtime, ServesIotClassifierArtifactEndToEnd)
+{
+    // The app-generic runtime: the IoT multi-class artifact trains,
+    // publishes, and hot-swaps through the same machinery as the
+    // anomaly DNN — with the drift monitor automatically switched to
+    // the accuracy metric.
+    const models::IotFlowMlp iot = models::trainIotFlowMlp(13, 700);
+    const core::AppArtifact app = core::makeIotFlowApp(iot);
+
+    core::SwitchFarm farm({}, 2);
+    farm.installApp(app);
+
+    runtime::RuntimeConfig rc;
+    rc.synchronous = true;
+    rc.sampling_rate = 1.0;
+    rc.batch_pkts = 512;
+    rc.train_always = true; // exercise train+publish+swap on every batch
+    rc.train.batch = 128;
+    rc.train.epochs = 1;
+    rc.train.seed = 9;
+    rc.drift.window = 512;
+
+    runtime::OnlineRuntime rt(farm, app, rc);
+    rt.start();
+    const auto decisions = rt.processTrace(app.eval_trace);
+    const auto st = rt.stats();
+    rt.stop();
+
+    EXPECT_EQ(st.packets, app.eval_trace.size());
+    EXPECT_GT(st.sgd_steps, 0u);
+    EXPECT_GT(st.updates_published, 0u);
+    EXPECT_GT(st.updates_applied, 0u);
+
+    // Decisions stay accurate across live classifier hot swaps.
+    util::MultiConfusion cm(net::kIotClassCount);
+    for (size_t i = 0; i < decisions.size(); ++i)
+        cm.record(decisions[i].class_id, app.eval_trace[i].class_label);
+    EXPECT_GT(cm.accuracy(), 0.6);
+
+    // The windowed gauge is an accuracy in accuracy mode.
+    EXPECT_GT(st.windows_closed, 0u);
+    EXPECT_GT(st.last_window_f1, 0.5);
+    EXPECT_LE(st.last_window_f1, 1.0);
+}
+
+TEST(Runtime, ArtifactWithoutTrainerMirrorsButNeverTrains)
+{
+    // A null trainer factory disables retraining, not the runtime:
+    // telemetry still mirrors and drift is still monitored.
+    const auto &fx = fixture();
+    core::AppArtifact app = core::makeAnomalyDnnApp(fx.dnn);
+    app.make_trainer = nullptr;
+
+    core::SwitchFarm farm({}, 1);
+    farm.installApp(app);
+
+    runtime::RuntimeConfig rc = scenarioConfig();
+    rc.train_always = true; // would train every batch if it could
+    runtime::OnlineRuntime rt(farm, app, rc);
+    rt.start();
+    const size_t n = std::min<size_t>(fx.steady.size(), 8000);
+    const std::vector<net::TracePacket> slice(
+        fx.steady.begin(), fx.steady.begin() + static_cast<long>(n));
+    rt.processTrace(slice);
+    rt.stop();
+
+    const auto st = rt.stats();
+    EXPECT_GT(st.mirrored, 0u);
+    EXPECT_GT(st.consumed, 0u);
+    EXPECT_EQ(st.sgd_steps, 0u);
+    EXPECT_EQ(st.updates_published, 0u);
+}
+
+TEST(StreamingTrainer, ClassifierSnapshotIsStructurallyCompatible)
+{
+    // The classifier-headed trainer must produce graphs the installed
+    // argmax program accepts as weight-only updates.
+    const models::IotFlowMlp iot = models::trainIotFlowMlp(17, 500);
+    const core::AppArtifact app = core::makeIotFlowApp(iot);
+
+    core::TaurusSwitch sw;
+    sw.installApp(app);
+
+    cp::OnlineTrainConfig tc;
+    tc.batch = 32;
+    tc.seed = 3;
+    runtime::StreamingTrainer trainer(
+        iot.model, iot.quantized.inputParams(), /*classifier_head=*/true,
+        0.0, "iot_flow_mlp_online", tc);
+
+    size_t fed = 0;
+    for (size_t i = 0; i < app.eval_trace.size() && fed < 64; ++i) {
+        const auto d = sw.process(app.eval_trace[i]);
+        trainer.ingest(
+            runtime::makeSample(d, app.eval_trace[i].class_label));
+        ++fed;
+    }
+    ASSERT_TRUE(trainer.minibatchReady());
+    trainer.step();
+
+    const dfg::Graph g = trainer.snapshotGraph();
+    EXPECT_NO_THROW(sw.updateWeights(g));
+    const auto d = sw.process(app.eval_trace.front());
+    EXPECT_GE(d.class_id, 0);
+    EXPECT_LT(d.class_id, net::kIotClassCount);
 }

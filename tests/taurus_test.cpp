@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include "models/zoo.hpp"
+#include "net/iot.hpp"
 #include "net/kdd.hpp"
 #include "pisa/packet.hpp"
 #include "pisa/parser.hpp"
+#include "taurus/app.hpp"
 #include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
 #include "taurus/feature_program.hpp"
 #include "taurus/switch.hpp"
 #include "util/metrics.hpp"
@@ -33,6 +36,45 @@ fixture()
 {
     static const Fixture fx;
     return fx;
+}
+
+/** Shared trained IoT classifier (the second end-to-end app). */
+const models::IotFlowMlp &
+iotFixture()
+{
+    static const models::IotFlowMlp fx = models::trainIotFlowMlp(7, 900);
+    return fx;
+}
+
+/** Field-by-field decision equality (bit-exact parity checks). */
+bool
+sameDecision(const core::SwitchDecision &a, const core::SwitchDecision &b)
+{
+    if (a.flagged != b.flagged || a.dropped != b.dropped ||
+        a.bypassed != b.bypassed || a.latency_ns != b.latency_ns ||
+        a.score != b.score || a.class_id != b.class_id ||
+        a.egress_port != b.egress_port ||
+        a.feature_count != b.feature_count)
+        return false;
+    for (size_t i = 0; i < core::kDecisionFeatureSlots; ++i)
+        if (a.features[i] != b.features[i])
+            return false;
+    return true;
+}
+
+/** Counter + latency-stat equality between two switches' stats. */
+void
+expectSameStats(const core::SwitchStats &a, const core::SwitchStats &b)
+{
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.ml_packets, b.ml_packets);
+    EXPECT_EQ(a.flagged, b.flagged);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.safety_overrides, b.safety_overrides);
+    EXPECT_EQ(a.ml_latency_ns.count(), b.ml_latency_ns.count());
+    EXPECT_EQ(a.ml_latency_ns.sum(), b.ml_latency_ns.sum());
+    EXPECT_EQ(a.bypass_latency_ns.count(), b.bypass_latency_ns.count());
+    EXPECT_EQ(a.bypass_latency_ns.sum(), b.bypass_latency_ns.sum());
 }
 
 } // namespace
@@ -249,6 +291,204 @@ TEST(Switch, LpmForwardingPicksLongestPrefix)
     EXPECT_EQ(sw.process(pkt).egress_port, 7);
     pkt.flow.dst_ip = 0x0b000001; // no route -> default port 0
     EXPECT_EQ(sw.process(pkt).egress_port, 0);
+}
+
+TEST(AppInstall, InstallAppMatchesLegacyAnomalyInstallBitExactly)
+{
+    // The redesigned install path: installApp(anomalyArtifact) must be
+    // decision- and stats-bit-identical to the legacy entry point on
+    // the same trace.
+    const auto &fx = fixture();
+    core::TaurusSwitch legacy;
+    legacy.installAnomalyModel(fx.dnn);
+    core::TaurusSwitch generic;
+    generic.installApp(core::makeAnomalyDnnApp(fx.dnn));
+
+    EXPECT_EQ(generic.appName(), "anomaly_dnn");
+    EXPECT_EQ(generic.verdictKind(), core::VerdictKind::BinaryThreshold);
+
+    const size_t n = std::min<size_t>(fx.trace.size(), 8000);
+    for (size_t i = 0; i < n; ++i) {
+        const auto a = legacy.process(fx.trace[i]);
+        const auto b = generic.process(fx.trace[i]);
+        ASSERT_TRUE(sameDecision(a, b)) << "packet " << i;
+    }
+    expectSameStats(legacy.stats(), generic.stats());
+}
+
+TEST(AppInstall, RejectsFeatureCountBeyondDecisionSlots)
+{
+    // Guard (not silent truncation): an app whose preprocessing writes
+    // more feature codes than SwitchDecision can export must be
+    // rejected at install time.
+    const auto &fx = fixture();
+    core::AppArtifact app = core::makeAnomalyDnnApp(fx.dnn);
+    const auto inner = app.build_features;
+    app.build_features =
+        [inner](const core::FeatureProgramConfig &cfg) {
+            core::FeatureProgram fp = inner(cfg);
+            fp.feature_count = core::kDecisionFeatureSlots + 1;
+            return fp;
+        };
+    core::TaurusSwitch sw;
+    EXPECT_THROW(sw.installApp(app), std::invalid_argument);
+}
+
+TEST(AppInstall, RejectsArtifactWithoutFeatureBuilder)
+{
+    core::AppArtifact app;
+    app.graph = fixture().dnn.graph;
+    core::TaurusSwitch sw;
+    EXPECT_THROW(sw.installApp(app), std::invalid_argument);
+}
+
+TEST(AppInstall, RejectsDeclaredFeatureCountMismatch)
+{
+    // The artifact's self-description must match what its builder
+    // actually emits.
+    core::AppArtifact app = core::makeAnomalyDnnApp(fixture().dnn);
+    app.feature_count += 1;
+    core::TaurusSwitch sw;
+    EXPECT_THROW(sw.installApp(app), std::invalid_argument);
+}
+
+TEST(AppInstall, FailedInstallLeavesPreviousAppServing)
+{
+    // A rejected artifact must not leave the switch half-installed:
+    // the previously installed app keeps producing identical verdicts.
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(fx.dnn);
+    core::TaurusSwitch ref;
+    ref.installAnomalyModel(fx.dnn);
+
+    core::AppArtifact bad = core::makeAnomalyDnnApp(fx.dnn);
+    bad.verdict.flag_code = nullptr; // binary verdict without a rule
+    EXPECT_THROW(sw.installApp(bad), std::invalid_argument);
+
+    for (size_t i = 0; i < 2000 && i < fx.trace.size(); ++i) {
+        const auto a = ref.process(fx.trace[i]);
+        const auto b = sw.process(fx.trace[i]);
+        ASSERT_TRUE(sameDecision(a, b)) << "packet " << i;
+    }
+}
+
+TEST(IotApp, FeatureProgramMatchesSoftwareExtractor)
+{
+    // The IoT counterpart of the DNN fidelity claim: the preprocessing
+    // MATs compute the same int8 codes as iotFlowFeatureVector ->
+    // standardize -> quantize on (almost) every packet.
+    const auto &iot = iotFixture();
+    auto fp = core::buildIotFeatureProgram(iot.standardizer,
+                                           iot.quantized.inputParams());
+    EXPECT_EQ(fp.preprocess.validate(), "");
+    EXPECT_EQ(fp.feature_count, net::kIotFlowFeatureCount);
+    const auto parser = pisa::Parser::standard();
+
+    net::FlowTracker tracker;
+    uint64_t total = 0, mismatched = 0;
+    for (size_t i = 0; i < iot.eval_trace.size() && i < 20000; ++i) {
+        const auto &tp = iot.eval_trace[i];
+        tracker.observe(tp);
+        const auto want_q = iot.quantized.quantizeInput(
+            iot.standardizer.apply(net::iotFlowFeatureVector(
+                tracker.flowView(), tracker.pktView(), tracker.nowS())));
+
+        pisa::Phv phv = parser.parse(pisa::fromTracePacket(tp));
+        fp.preprocess.apply(phv, fp.registers);
+
+        bool ok = true;
+        for (size_t f = 0; f < want_q.size(); ++f) {
+            const int8_t got = static_cast<int8_t>(
+                static_cast<int32_t>(phv.get(pisa::featureField(f))));
+            ok &= got == want_q[f];
+        }
+        ++total;
+        mismatched += !ok;
+    }
+    EXPECT_LT(static_cast<double>(mismatched) / double(total), 0.02)
+        << mismatched << " of " << total;
+}
+
+TEST(IotApp, RunsEndToEndThroughSwitchWithArgmaxVerdict)
+{
+    // The second application of the redesign: IoT multi-class device
+    // classification through the real data plane — its own feature
+    // program, an argmax verdict table, per-class scoring.
+    const auto &iot = iotFixture();
+    const core::AppArtifact app = core::makeIotFlowApp(iot);
+    EXPECT_EQ(app.num_classes,
+              static_cast<size_t>(net::kIotClassCount));
+
+    core::TaurusSwitch sw;
+    sw.installApp(app);
+    EXPECT_EQ(sw.verdictKind(), core::VerdictKind::ArgmaxClass);
+
+    const auto r = core::runApp(app.eval_trace, sw, app.num_classes);
+    EXPECT_EQ(r.packets, app.eval_trace.size());
+    // Offline the quantized classifier separates the five categories
+    // well; through the switch the only degradations are register
+    // collisions and bin-boundary effects.
+    EXPECT_GT(r.accuracy_pct, 70.0);
+    EXPECT_GT(r.macro_f1_x100, 60.0);
+    // Argmax apps flag nothing by default.
+    EXPECT_EQ(r.flagged, 0u);
+
+    // Switch verdicts agree with the offline quantized model on the
+    // shared feature definition (up to collisions/saturation).
+    net::FlowTracker tracker;
+    core::TaurusSwitch sw2;
+    sw2.installApp(app);
+    uint64_t agree = 0, total = 0;
+    for (size_t i = 0; i < app.eval_trace.size() && i < 10000; ++i) {
+        const auto &tp = app.eval_trace[i];
+        tracker.observe(tp);
+        const int want = iot.quantized.predict(
+            iot.standardizer.apply(net::iotFlowFeatureVector(
+                tracker.flowView(), tracker.pktView(), tracker.nowS())));
+        const auto d = sw2.process(tp);
+        agree += d.class_id == want;
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(agree) / double(total), 0.95);
+}
+
+TEST(IotApp, FarmServesIotAppIdenticallyToScalarSwitch)
+{
+    // SwitchFarm::installApp: a single-worker farm reproduces the
+    // scalar switch bit for bit on the multi-class app.
+    const auto &iot = iotFixture();
+    const core::AppArtifact app = core::makeIotFlowApp(iot);
+
+    core::TaurusSwitch scalar;
+    scalar.installApp(app);
+    core::SwitchFarm farm(core::SwitchConfig{}, 1);
+    farm.installApp(app);
+
+    const size_t n = std::min<size_t>(app.eval_trace.size(), 5000);
+    const std::vector<net::TracePacket> slice(
+        app.eval_trace.begin(),
+        app.eval_trace.begin() + static_cast<long>(n));
+    const auto got = farm.processTrace(slice);
+    for (size_t i = 0; i < n; ++i) {
+        const auto want = scalar.process(slice[i]);
+        ASSERT_TRUE(sameDecision(want, got[i])) << "packet " << i;
+    }
+}
+
+TEST(AppGenericScoring, BinaryAppClassMetricsMatchLegacyF1)
+{
+    // The app-generic scorer reduces to the legacy binary scorer for
+    // K = 2: class-1 F1 equals the binary F1 on the same run.
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(fx.dnn);
+    const auto legacy = core::runTaurus(fx.trace, sw);
+
+    sw.reset();
+    const auto generic = core::runApp(fx.trace, sw, 2);
+    EXPECT_NEAR(generic.confusion.f1(1) * 100.0, legacy.f1_x100, 1e-9);
+    EXPECT_EQ(generic.packets, legacy.packets);
 }
 
 /** Smaller flow tables collide more: the feature-mismatch rate must

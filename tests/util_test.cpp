@@ -302,3 +302,52 @@ TEST(Json, TypeMisuseThrows)
     auto obj = js::Value::object();
     EXPECT_THROW(obj.push(1), std::logic_error);
 }
+
+TEST(MultiConfusion, PerClassMetricsAndAccuracy)
+{
+    tu::MultiConfusion cm(3);
+    // truth 0: predicted 0,0,1 ; truth 1: predicted 1 ; truth 2: 2,2.
+    cm.record(0, 0);
+    cm.record(0, 0);
+    cm.record(1, 0);
+    cm.record(1, 1);
+    cm.record(2, 2);
+    cm.record(2, 2);
+    EXPECT_EQ(cm.total(), 6u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 5.0 / 6.0);
+    EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);
+    EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+    EXPECT_DOUBLE_EQ(cm.f1(2), 1.0);
+    EXPECT_GT(cm.macroF1(), 0.7);
+
+    tu::MultiConfusion other(3);
+    other.record(0, 0);
+    cm.merge(other);
+    EXPECT_EQ(cm.total(), 7u);
+    EXPECT_EQ(cm.count(0, 0), 3u);
+
+    cm.reset();
+    EXPECT_EQ(cm.total(), 0u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(MultiConfusion, ClampsOutOfRangeLabels)
+{
+    tu::MultiConfusion cm(2);
+    cm.record(-1, 5); // both clamp to class 1
+    EXPECT_EQ(cm.count(1, 1), 1u);
+    // Undefined per-class metrics use the binary conventions.
+    EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 0.0);
+}
+
+TEST(MultiConfusion, MergeRejectsShapeMismatch)
+{
+    tu::MultiConfusion a(5);
+    tu::MultiConfusion b(2);
+    b.record(1, 1);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+    EXPECT_EQ(a.total(), 0u); // nothing partially merged
+}
