@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Extension bench (Table 9): N applications co-resident on one serving
+ * stack — per-tenant throughput, latency, accuracy, and isolation.
+ *
+ * Where ablation_multimodel shows two *graphs* sharing one MapReduce
+ * grid, this bench exercises the full multi-tenant serving path: the
+ * anomaly DNN and the IoT classifier installed side by side in one
+ * TaurusSwitch (and one SwitchFarm), a per-flow dispatch MAT routing
+ * each packet to its tenant, per-tenant statistics, and per-tenant
+ * weight hot-swaps. It measures
+ *
+ *  - per-tenant modeled ML latency and switch-path accuracy on an
+ *    interleaved two-app mix, against each tenant's solo-install run
+ *    (parity must be exact: co-residency costs one dispatch stage of
+ *    latency and zero accuracy);
+ *  - simulator throughput of the co-resident switch and farm;
+ *  - isolation: hot-swapping the anomaly tenant's weights mid-trace,
+ *    and doubling its traffic, must leave every IoT decision
+ *    bit-identical (`isolation_violations` == 0).
+ */
+
+#include "harness.hpp"
+
+#include <algorithm>
+
+#include "compiler/report.hpp"
+#include "models/zoo.hpp"
+#include "net/iot.hpp"
+#include "net/kdd.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
+#include "util/table.hpp"
+
+TAURUS_BENCH(table9_multitenant, "Table 9 (extension)",
+             "multi-tenant serving: per-app throughput/latency + isolation")
+{
+    using namespace taurus;
+    using util::TablePrinter;
+    auto &os = ctx.out();
+
+    os << "Multi-tenant serving: anomaly DNN + IoT classifier on one "
+          "switch\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(3000, 600));
+    const auto iot = models::trainIotFlowMlp(1, ctx.size(2500, 500));
+    net::KddConfig kc;
+    kc.connections = ctx.size(3000, 500);
+    net::KddGenerator gen(kc, 17);
+    const auto kdd_trace = gen.expandToPackets(gen.sampleConnections());
+
+    const core::AppArtifact anomaly_app = core::makeAnomalyDnnApp(dnn);
+    const core::AppArtifact iot_app = core::makeIotFlowApp(iot);
+    const auto merged =
+        core::mergeTracesByTime(kdd_trace, iot_app.eval_trace);
+    ctx.metric("mixed_trace_packets", merged.size());
+
+    // Solo references: each tenant alone on its own switch.
+    core::AppArtifact solo_anom = anomaly_app;
+    solo_anom.eval_trace = kdd_trace;
+    const auto ref_anom = core::runApp(solo_anom);
+    const auto ref_iot = core::runApp(iot_app);
+
+    // -----------------------------------------------------------------
+    // Co-resident switch: per-tenant accuracy/latency + throughput.
+    // -----------------------------------------------------------------
+    core::TaurusSwitch sw;
+    const core::AppId anom_id = sw.installApp(anomaly_app);
+    const core::AppId iot_id = sw.installApp(iot_app);
+    std::vector<core::SwitchDecision> decisions(merged.size());
+
+    const bench::Timer sw_timer;
+    sw.processBatch(
+        util::Span<const net::TracePacket>(merged.data(), merged.size()),
+        util::Span<core::SwitchDecision>(decisions.data(),
+                                         decisions.size()));
+    ctx.throughput("multitenant_switch", double(merged.size()),
+                   sw_timer.elapsedSec());
+
+    const auto co_anom = core::scoreApp(
+        util::Span<const core::SwitchDecision>(decisions.data(),
+                                               decisions.size()),
+        util::Span<const net::TracePacket>(merged.data(), merged.size()),
+        anom_id, 2);
+    const auto co_iot = core::scoreApp(
+        util::Span<const core::SwitchDecision>(decisions.data(),
+                                               decisions.size()),
+        util::Span<const net::TracePacket>(merged.data(), merged.size()),
+        iot_id, iot_app.num_classes);
+
+    TablePrinter t({"Tenant", "Packets", "Acc %", "Solo acc %",
+                    "ML ns", "Solo ML ns"});
+    auto row = [&](const std::string &n, const core::AppRunResult &co,
+                   const core::AppRunResult &solo) {
+        t.addRow({n, std::to_string(co.packets),
+                  TablePrinter::num(co.accuracy_pct, 1),
+                  TablePrinter::num(solo.accuracy_pct, 1),
+                  TablePrinter::num(co.mean_ml_latency_ns, 0),
+                  TablePrinter::num(solo.mean_ml_latency_ns, 0)});
+    };
+    row("anomaly_dnn", co_anom, ref_anom);
+    row("iot_flow_mlp", co_iot, ref_iot);
+    t.print(os);
+
+    ctx.metric("anom_coresident_accuracy_pct", co_anom.accuracy_pct);
+    ctx.metric("anom_solo_accuracy_pct", ref_anom.accuracy_pct);
+    ctx.metric("iot_coresident_accuracy_pct", co_iot.accuracy_pct);
+    ctx.metric("iot_solo_accuracy_pct", ref_iot.accuracy_pct);
+    ctx.metric("anom_ml_latency_ns", co_anom.mean_ml_latency_ns);
+    ctx.metric("iot_ml_latency_ns", co_iot.mean_ml_latency_ns);
+    // Exact-parity flags (the dispatch stage adds latency, never loss).
+    ctx.metric("accuracy_parity_exact",
+               int64_t{co_anom.accuracy_pct == ref_anom.accuracy_pct &&
+                       co_iot.accuracy_pct == ref_iot.accuracy_pct});
+    const double stage_ns = 12.5; // one dispatch MAT stage at 1 GHz
+    ctx.metric("dispatch_stage_overhead_ns",
+               co_iot.mean_ml_latency_ns - ref_iot.mean_ml_latency_ns);
+    os << "\nCo-residency costs exactly one dispatch stage ("
+       << TablePrinter::num(stage_ns, 1) << " ns) and zero accuracy.\n";
+
+    // Per-tenant placement on the shared block.
+    const auto rep = compiler::analyzeApps(sw.programs());
+    ctx.metric("total_cus", int64_t{rep.total_cus});
+    ctx.metric("grid_cus", int64_t{rep.grid_cus});
+    ctx.metric("fits_concurrently", int64_t{rep.fits_concurrently});
+    ctx.metric("min_gpktps", rep.min_gpktps);
+
+    // -----------------------------------------------------------------
+    // Isolation 1: hot-swap the anomaly tenant mid-trace; every IoT
+    // decision (score, class, latency) must be bit-identical.
+    // -----------------------------------------------------------------
+    const auto fresh = models::trainAnomalyDnn(99, ctx.size(2000, 400));
+    core::TaurusSwitch swapped;
+    swapped.installApp(anomaly_app);
+    swapped.installApp(iot_app);
+    std::vector<core::SwitchDecision> after(merged.size());
+    const size_t half = merged.size() / 2;
+    for (size_t i = 0; i < half; ++i)
+        after[i] = swapped.process(merged[i]);
+    swapped.updateWeights(anom_id, fresh.graph);
+    for (size_t i = half; i < merged.size(); ++i)
+        after[i] = swapped.process(merged[i]);
+
+    size_t swap_violations = 0, anom_changed = 0;
+    for (size_t i = 0; i < merged.size(); ++i) {
+        if (decisions[i].app_id == iot_id)
+            swap_violations +=
+                after[i].score != decisions[i].score ||
+                after[i].class_id != decisions[i].class_id ||
+                after[i].flagged != decisions[i].flagged ||
+                after[i].latency_ns != decisions[i].latency_ns;
+        else
+            anom_changed += after[i].score != decisions[i].score ||
+                            after[i].flagged != decisions[i].flagged;
+    }
+    ctx.metric("hotswap_isolation_violations", swap_violations);
+    ctx.metric("hotswap_swapped_tenant_changed", anom_changed);
+
+    // -----------------------------------------------------------------
+    // Isolation 2: a 2x traffic burst on the anomaly tenant; the IoT
+    // tenant's decision stream must be bit-identical.
+    // -----------------------------------------------------------------
+    core::TaurusSwitch bursty;
+    bursty.installApp(anomaly_app);
+    bursty.installApp(iot_app);
+    std::vector<core::SwitchDecision> burst_iot, calm_iot;
+    for (size_t i = 0; i < merged.size(); ++i)
+        if (decisions[i].app_id == iot_id)
+            calm_iot.push_back(decisions[i]);
+    for (const auto &tp : merged) {
+        const auto d = bursty.process(tp);
+        if (d.app_id == iot_id)
+            burst_iot.push_back(d);
+        else
+            bursty.process(tp); // the burst: every anomaly packet twice
+    }
+    size_t burst_violations = calm_iot.size() != burst_iot.size();
+    for (size_t i = 0;
+         i < std::min(calm_iot.size(), burst_iot.size()); ++i)
+        burst_violations += burst_iot[i].score != calm_iot[i].score ||
+                            burst_iot[i].class_id != calm_iot[i].class_id ||
+                            burst_iot[i].latency_ns != calm_iot[i].latency_ns;
+    ctx.metric("burst_isolation_violations", burst_violations);
+
+    os << "Isolation: " << swap_violations
+       << " IoT decisions diverged across the anomaly hot-swap, "
+       << burst_violations << " across a 2x anomaly burst (both must "
+       << "be 0; the swap changed " << anom_changed
+       << " anomaly decisions).\n";
+
+    // -----------------------------------------------------------------
+    // Co-resident farm throughput with per-tenant merged stats.
+    // -----------------------------------------------------------------
+    core::SwitchFarm farm({}, 0);
+    farm.installApp(anomaly_app);
+    farm.installApp(iot_app);
+    std::vector<core::SwitchDecision> farm_out(merged.size());
+    const size_t target = ctx.size(200000, 1000);
+    size_t done = 0;
+    const bench::Timer farm_timer;
+    while (done < target) {
+        const size_t n = std::min(merged.size(), target - done);
+        farm.processTrace(
+            util::Span<const net::TracePacket>(merged.data(), n),
+            util::Span<core::SwitchDecision>(farm_out.data(), n));
+        done += n;
+    }
+    ctx.throughput("multitenant_farm", double(done),
+                   farm_timer.elapsedSec());
+    ctx.metric("farm_workers", farm.workers());
+    ctx.metric("farm_tenant0_packets", farm.mergedStats(anom_id).packets);
+    ctx.metric("farm_tenant1_packets", farm.mergedStats(iot_id).packets);
+
+    os << "\nFarm (" << farm.workers() << " workers): " << done
+       << " packets, per-tenant split "
+       << farm.mergedStats(anom_id).packets << " / "
+       << farm.mergedStats(iot_id).packets << ".\n";
+}

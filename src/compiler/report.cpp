@@ -1,5 +1,9 @@
 #include "compiler/report.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
 namespace taurus::compiler {
 
 AppReport
@@ -31,6 +35,33 @@ analyze(const hw::GridProgram &program, const area::ChipModel &chip)
     r.route_hops = res.route_hops;
     r.folded = program.serialize_sharing;
     return r;
+}
+
+MultiAppReport
+analyzeApps(const std::vector<const hw::GridProgram *> &programs,
+            const area::ChipModel &chip)
+{
+    if (programs.empty())
+        throw std::invalid_argument("analyzeApps: no programs");
+
+    MultiAppReport m;
+    m.grid_cus = programs.front()->spec.cuCount();
+    m.grid_mus = programs.front()->spec.muCount();
+    m.worst_latency_ns = 0.0;
+    m.min_gpktps = std::numeric_limits<double>::infinity();
+    for (const hw::GridProgram *prog : programs) {
+        AppReport r = analyze(*prog, chip);
+        m.total_cus += r.cus;
+        m.total_mus += r.mus;
+        m.worst_latency_ns = std::max(m.worst_latency_ns, r.latency_ns);
+        m.min_gpktps = std::min(m.min_gpktps, r.gpktps);
+        m.total_area_mm2 += r.area_mm2;
+        m.total_power_w += r.power_w;
+        m.apps.push_back(std::move(r));
+    }
+    m.fits_concurrently =
+        m.total_cus <= m.grid_cus && m.total_mus <= m.grid_mus;
+    return m;
 }
 
 } // namespace taurus::compiler

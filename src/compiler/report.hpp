@@ -40,4 +40,37 @@ struct AppReport
 AppReport analyze(const hw::GridProgram &program,
                   const area::ChipModel &chip = area::ChipModel{});
 
+/**
+ * Placement report for N applications co-resident on one switch: the
+ * per-app AppReports plus the shared-MapReduce-block roll-up — total
+ * CU/MU demand against one grid's capacity, whether the tenant set fits
+ * concurrently (the paper's "multiple models simultaneously" claim),
+ * and the worst-case latency / weakest line rate across tenants.
+ */
+struct MultiAppReport
+{
+    std::vector<AppReport> apps;
+    int total_cus = 0;
+    int total_mus = 0;
+    int grid_cus = 0; ///< capacity of one tenant's grid spec
+    int grid_mus = 0;
+    /** Combined CU+MU demand fits one grid, so the tenants could share
+     *  a single MapReduce block spatially (no time multiplexing). */
+    bool fits_concurrently = false;
+    double worst_latency_ns = 0.0;
+    double min_gpktps = 0.0; ///< slowest tenant's sustained line rate
+    double total_area_mm2 = 0.0;
+    double total_power_w = 0.0;
+};
+
+/**
+ * Analyze every tenant of a multi-tenant switch (the vector
+ * TaurusSwitch::programs() returns, in AppId order). `programs` must be
+ * non-empty; the grid capacity is read from the first program's spec
+ * (all tenants of one switch compile against the same spec).
+ */
+MultiAppReport analyzeApps(
+    const std::vector<const hw::GridProgram *> &programs,
+    const area::ChipModel &chip = area::ChipModel{});
+
 } // namespace taurus::compiler

@@ -56,6 +56,8 @@ toString(Field f)
         return "taurus.ml_class";
       case Field::FlowHash:
         return "taurus.flow_hash";
+      case Field::AppId:
+        return "taurus.app_id";
       case Field::Tmp0:
         return "tmp0";
       case Field::Tmp1:

@@ -48,6 +48,7 @@ enum class Field : uint8_t
     Decision, ///< postprocessing verdict (AnomalyDecision)
     MlClass,  ///< postprocessing class id (argmax verdict tables)
     FlowHash, ///< register index computed by the hash action
+    AppId,    ///< installed application selected by the dispatch MAT
     // Feature slice handed to the MapReduce block (int8 codes).
     Feature0,
     Feature1,

@@ -6,27 +6,53 @@
 
 namespace taurus::runtime {
 
-OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
-                             const core::AppArtifact &app,
-                             RuntimeConfig cfg)
+OnlineRuntime::OnlineRuntime(
+    core::SwitchFarm &farm,
+    const std::vector<const core::AppArtifact *> &apps, RuntimeConfig cfg)
     : farm_(farm), cfg_(cfg)
 {
     if (cfg_.batch_pkts == 0)
         cfg_.batch_pkts = 1;
-    // Multi-class apps are scored per class: windowed F1 of a binary
-    // flag is meaningless there, so drift tracks accuracy instead.
-    if (app.verdict.kind == core::VerdictKind::ArgmaxClass)
-        cfg_.drift.metric = DriftMetric::Accuracy;
-    drift_ = DriftMonitor(cfg_.drift);
-    if (app.make_trainer)
-        trainer_ = app.make_trainer(cfg_.train, cfg_.reservoir_cap,
-                                    cfg_.calibration_cap);
+    if (apps.empty())
+        throw std::invalid_argument("OnlineRuntime: no applications");
+    if (apps.size() != farm_.appCount())
+        throw std::invalid_argument(
+            "OnlineRuntime: " + std::to_string(apps.size()) +
+            " artifacts for a farm with " +
+            std::to_string(farm_.appCount()) + " installed apps");
+
+    apps_.reserve(apps.size());
+    for (const core::AppArtifact *app : apps) {
+        if (!app)
+            throw std::invalid_argument("OnlineRuntime: null artifact");
+        auto ctl = std::make_unique<AppControl>();
+        ctl->name = app->name;
+        // Multi-class apps are scored per class: windowed F1 of a
+        // binary flag is meaningless there, so drift tracks accuracy.
+        DriftConfig dc = cfg_.drift;
+        if (app->verdict.kind == core::VerdictKind::ArgmaxClass)
+            dc.metric = DriftMetric::Accuracy;
+        ctl->drift = DriftMonitor(dc);
+        if (app->make_trainer)
+            ctl->trainer = app->make_trainer(
+                cfg_.train, cfg_.reservoir_cap, cfg_.calibration_cap);
+        apps_.push_back(std::move(ctl));
+    }
+
     util::Rng seeder(cfg_.train.seed);
     workers_.reserve(farm_.workers());
     for (size_t w = 0; w < farm_.workers(); ++w)
-        workers_.push_back(
-            std::make_unique<Worker>(cfg_.ring_capacity, seeder.split()));
+        workers_.push_back(std::make_unique<Worker>(
+            cfg_.ring_capacity, seeder.split(), apps_.size()));
     parts_.resize(farm_.workers());
+}
+
+OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
+                             const core::AppArtifact &app,
+                             RuntimeConfig cfg)
+    : OnlineRuntime(
+          farm, std::vector<const core::AppArtifact *>{&app}, cfg)
+{
 }
 
 OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
@@ -39,6 +65,23 @@ OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
 OnlineRuntime::~OnlineRuntime()
 {
     stop();
+}
+
+OnlineRuntime::AppControl &
+OnlineRuntime::appCtl(core::AppId id)
+{
+    if (id >= apps_.size())
+        throw std::out_of_range(
+            "OnlineRuntime: app id " + std::to_string(id) +
+            " out of range (" + std::to_string(apps_.size()) +
+            " managed)");
+    return *apps_[id];
+}
+
+const OnlineRuntime::AppControl &
+OnlineRuntime::appCtl(core::AppId id) const
+{
+    return const_cast<OnlineRuntime *>(this)->appCtl(id);
 }
 
 void
@@ -82,7 +125,7 @@ OnlineRuntime::stop()
     // Final drain so trailing samples are accounted (both modes), and
     // a farm-wide apply so a publish out of that drain — or one the
     // async workers had not yet picked up — is actually live in every
-    // replica, keeping the store and the farm in sync at shutdown.
+    // replica, keeping the stores and the farm in sync at shutdown.
     {
         std::lock_guard<std::mutex> lk(ctl_m_);
         controlStepLocked(/*drain_all_minibatches=*/true, nullptr);
@@ -105,22 +148,27 @@ OnlineRuntime::processOne(size_t w, const net::TracePacket &pkt,
 void
 OnlineRuntime::maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw)
 {
-    if (store_.version() == worker.applied_version)
-        return;
-    const auto snap = store_.current();
-    if (!snap || snap->version == worker.applied_version)
-        return;
-    sw.updateWeights(snap->graph);
-    worker.applied_version = snap->version;
-    updates_applied_.fetch_add(1, std::memory_order_relaxed);
+    for (core::AppId id = 0; id < apps_.size(); ++id) {
+        AppControl &ctl = *apps_[id];
+        if (ctl.store.version() == worker.applied_version[id])
+            continue;
+        const auto snap = ctl.store.current();
+        if (!snap || snap->version == worker.applied_version[id])
+            continue;
+        // Hot swap of exactly this tenant's program; the co-resident
+        // tenants' weights are untouched.
+        sw.updateWeights(id, snap->graph);
+        worker.applied_version[id] = snap->version;
+        ctl.updates_applied.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 void
 OnlineRuntime::runAssignment(Worker &worker, core::TaurusSwitch &sw)
 {
     for (size_t at = 0; at < worker.n; at += cfg_.batch_pkts) {
-        // Hot swap happens here: between batches, against a frozen
-        // snapshot, on the worker's own replica. The per-packet loop
+        // Hot swap happens here: between batches, against frozen
+        // snapshots, on the worker's own replica. The per-packet loop
         // below never touches shared mutable state.
         maybeApplyUpdate(worker, sw);
         const size_t end = std::min(at + cfg_.batch_pkts, worker.n);
@@ -244,64 +292,81 @@ OnlineRuntime::processTrace(const std::vector<net::TracePacket> &packets)
 }
 
 size_t
-OnlineRuntime::controlStepLocked(bool drain_all_minibatches,
-                                 std::unique_ptr<dfg::Graph> *pending)
+OnlineRuntime::controlStepLocked(
+    bool drain_all_minibatches,
+    std::vector<std::pair<core::AppId, dfg::Graph>> *pending)
 {
     size_t drained = 0;
     TelemetrySample s;
     for (auto &worker : workers_) {
         while (worker->ring.tryPop(s)) {
             ++drained;
-            ++consumed_;
-            drift_.record(s.score, s.predicted, s.label);
-            if (trainer_)
-                trainer_->ingest(s);
+            // Route the sample to the tenant that decided the packet.
+            // A tenant installed on the farm after this runtime was
+            // built has no control block here; drop its samples rather
+            // than train another tenant's model on foreign features.
+            if (s.app_id >= apps_.size())
+                continue;
+            AppControl &ctl = *apps_[s.app_id];
+            ++ctl.consumed;
+            ctl.drift.record(s.score, s.predicted, s.label);
+            if (ctl.trainer)
+                ctl.trainer->ingest(s);
         }
     }
 
-    while (trainer_ && trainer_->minibatchReady()) {
-        if (cfg_.train_always || drift_.drifted()) {
-            trainer_->step();
-            if (drain_all_minibatches) {
-                publishLocked(trainer_->snapshotGraph());
+    for (core::AppId id = 0; id < apps_.size(); ++id) {
+        AppControl &ctl = *apps_[id];
+        while (ctl.trainer && ctl.trainer->minibatchReady()) {
+            if (cfg_.train_always || ctl.drift.drifted()) {
+                ctl.trainer->step();
+                if (drain_all_minibatches) {
+                    publishLocked(id, ctl.trainer->snapshotGraph());
+                } else {
+                    // Async path: hand the lowered graph to the trainer
+                    // thread, which sleeps the install delay and
+                    // publishes without holding ctl_m_ (stats() must
+                    // never stall on a publish burst). At most one
+                    // pending publish per tenant per step.
+                    pending->emplace_back(id,
+                                          ctl.trainer->snapshotGraph());
+                    break;
+                }
             } else {
-                // Async path: hand the lowered graph to the trainer
-                // thread, which sleeps the install delay and publishes
-                // without holding ctl_m_ (stats() must never stall on
-                // a publish burst).
-                *pending = std::make_unique<dfg::Graph>(
-                    trainer_->snapshotGraph());
-                break;
+                ctl.trainer->absorb();
             }
-        } else {
-            trainer_->absorb();
         }
     }
     return drained;
 }
 
 void
-OnlineRuntime::publishLocked(dfg::Graph g)
+OnlineRuntime::publishLocked(core::AppId id, dfg::Graph g)
 {
-    store_.publish(std::move(g));
-    ++updates_published_;
+    AppControl &ctl = *apps_[id];
+    ctl.store.publish(std::move(g));
+    ++ctl.updates_published;
 }
 
 void
 OnlineRuntime::applyLatestToAllLocked()
 {
-    const auto snap = store_.current();
-    if (!snap)
-        return;
-    size_t behind = 0;
-    for (const auto &worker : workers_)
-        behind += worker->applied_version != snap->version;
-    if (behind == 0)
-        return;
-    farm_.updateWeights(snap->graph);
-    for (auto &worker : workers_)
-        worker->applied_version = snap->version;
-    updates_applied_.fetch_add(behind, std::memory_order_relaxed);
+    for (core::AppId id = 0; id < apps_.size(); ++id) {
+        AppControl &ctl = *apps_[id];
+        const auto snap = ctl.store.current();
+        if (!snap)
+            continue;
+        size_t behind = 0;
+        for (const auto &worker : workers_)
+            behind += worker->applied_version[id] != snap->version;
+        if (behind == 0)
+            continue;
+        farm_.updateWeights(id, snap->graph);
+        for (auto &worker : workers_)
+            worker->applied_version[id] = snap->version;
+        ctl.updates_applied.fetch_add(behind,
+                                      std::memory_order_relaxed);
+    }
 }
 
 void
@@ -309,22 +374,25 @@ OnlineRuntime::trainerLoop()
 {
     while (!trainer_stop_.load(std::memory_order_relaxed)) {
         size_t drained;
-        std::unique_ptr<dfg::Graph> pending;
+        std::vector<std::pair<core::AppId, dfg::Graph>> pending;
         {
             std::lock_guard<std::mutex> lk(ctl_m_);
             drained = controlStepLocked(/*drain_all_minibatches=*/false,
                                         &pending);
         }
-        if (pending) {
+        if (!pending.empty()) {
             // Model the rule-install latency between training and the
             // weights going live — off the lock, so only the publish
             // cadence is throttled, never the data path or stats().
+            // One delay covers the batch: installs for distinct
+            // tenants land together, like one control-plane push.
             if (cfg_.train.install_delay_ms > 0.0)
                 std::this_thread::sleep_for(
                     std::chrono::duration<double, std::milli>(
                         cfg_.train.install_delay_ms));
             std::lock_guard<std::mutex> lk(ctl_m_);
-            publishLocked(std::move(*pending));
+            for (auto &[id, graph] : pending)
+                publishLocked(id, std::move(graph));
         } else if (drained == 0) {
             std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
@@ -340,18 +408,46 @@ OnlineRuntime::stats() const
         st.mirrored += worker->ring.pushed();
         st.ring_dropped += worker->ring.dropped();
     }
-    st.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+    for (const auto &ctl : apps_)
+        st.updates_applied +=
+            ctl->updates_applied.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(ctl_m_);
-    st.consumed = consumed_;
-    st.sgd_steps = trainer_ ? trainer_->steps() : 0;
-    st.updates_published = updates_published_;
-    st.drift_triggers = drift_.triggers();
-    st.drift_recoveries = drift_.recoveries();
-    st.windows_closed = drift_.windowsClosed();
-    st.last_window_f1 = drift_.lastWindowF1();
-    st.smoothed_f1 = drift_.smoothedF1();
-    st.reference_f1 = drift_.referenceF1();
-    st.drifted = drift_.drifted();
+    for (const auto &ctl : apps_) {
+        st.consumed += ctl->consumed;
+        st.sgd_steps += ctl->trainer ? ctl->trainer->steps() : 0;
+        st.updates_published += ctl->updates_published;
+        st.drift_triggers += ctl->drift.triggers();
+        st.drift_recoveries += ctl->drift.recoveries();
+        st.windows_closed += ctl->drift.windowsClosed();
+        st.drifted = st.drifted || ctl->drift.drifted();
+    }
+    // The quality gauges are the default tenant's view (the only
+    // tenant in single-app deployments).
+    const AppControl &first = *apps_.front();
+    st.last_window_f1 = first.drift.lastWindowF1();
+    st.smoothed_f1 = first.drift.smoothedF1();
+    st.reference_f1 = first.drift.referenceF1();
+    return st;
+}
+
+RuntimeStats
+OnlineRuntime::appStats(core::AppId id) const
+{
+    const AppControl &ctl = appCtl(id);
+    RuntimeStats st;
+    st.updates_applied =
+        ctl.updates_applied.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(ctl_m_);
+    st.consumed = ctl.consumed;
+    st.sgd_steps = ctl.trainer ? ctl.trainer->steps() : 0;
+    st.updates_published = ctl.updates_published;
+    st.drift_triggers = ctl.drift.triggers();
+    st.drift_recoveries = ctl.drift.recoveries();
+    st.windows_closed = ctl.drift.windowsClosed();
+    st.last_window_f1 = ctl.drift.lastWindowF1();
+    st.smoothed_f1 = ctl.drift.smoothedF1();
+    st.reference_f1 = ctl.drift.referenceF1();
+    st.drifted = ctl.drift.drifted();
     return st;
 }
 

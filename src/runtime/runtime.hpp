@@ -1,26 +1,35 @@
 /**
  * @file
  * OnlineRuntime: the live train-and-push loop of paper Figure 1 /
- * Section 5.2.3, closed over a running SwitchFarm.
+ * Section 5.2.3, closed over a running (multi-tenant) SwitchFarm.
  *
  *   workers (data plane)          control plane (trainer thread)
  *   ------------------------      --------------------------------
  *   replica.process(pkt)   --+--> TelemetryRing (SPSC, drop-on-full)
- *   sample w/ prob p          |        |
- *   poll ModelStore        <--+   DriftMonitor (windowed F1)
+ *   sample w/ prob p          |        | samples routed by app_id
+ *   poll ModelStores       <--+   per-app DriftMonitor (windowed F1)
  *   at batch boundaries        \       |  triggers
- *   apply updateWeights()       \  StreamingTrainer (minibatch SGD)
+ *   apply updateWeights(app)    \  per-app StreamingTrainer (SGD)
  *                                \      |  install-delay, then
- *                                 +-- ModelStore.publish(graph)
+ *                                 +-- ModelStore[app].publish(graph)
+ *
+ * Multi-tenant: the runtime hosts one control block per installed
+ * application — its own trainer, drift monitor, and versioned
+ * ModelStore. Mirrored samples carry the deciding tenant's app_id and
+ * are routed to that tenant's monitor and trainer; weight updates
+ * publish into that tenant's store and hot-swap only that tenant's
+ * program on each replica, so retraining one application never pauses
+ * (or perturbs) the others. The single-app constructors are the N = 1
+ * case and behave exactly as before.
  *
  * Two execution modes:
  *
  *  - Asynchronous (default): one persistent thread per farm replica
  *    drains its flow-hash partition in batches; a dedicated trainer
  *    thread drains every ring, monitors drift, trains, and publishes.
- *    Workers apply a published snapshot to *their own* replica at their
+ *    Workers apply published snapshots to *their own* replica at their
  *    next batch boundary — the only cross-thread state is the lock-free
- *    ring and the RCU-style ModelStore, so the per-packet path never
+ *    ring and the RCU-style ModelStores, so the per-packet path never
  *    takes a lock and never blocks on the trainer.
  *
  *  - Synchronous (cfg.synchronous): everything runs inline on the
@@ -38,6 +47,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cp/trainer.hpp"
@@ -98,13 +108,21 @@ class OnlineRuntime
 {
   public:
     /**
-     * Generic form: `farm` must already have `app` installed in every
-     * replica. The runtime builds the app's trainer through its
-     * factory (no factory = mirroring and drift monitoring run, but
-     * nothing retrains), and — for ArgmaxClass apps — switches the
-     * drift metric to windowed accuracy. The artifact itself is not
-     * retained; only the farm reference must outlive the runtime.
+     * Multi-tenant form: `farm` must already have every artifact in
+     * `apps` installed, in the same order (apps[i] serves AppId i; the
+     * runtime checks the counts match). Each tenant gets its own
+     * control block — a trainer built through its factory (no factory =
+     * mirroring and drift monitoring run, but nothing retrains), a
+     * drift monitor (windowed accuracy for ArgmaxClass apps, windowed
+     * F1 otherwise), and a versioned model store. The artifacts
+     * themselves are not retained; only the farm reference must outlive
+     * the runtime.
      */
+    OnlineRuntime(core::SwitchFarm &farm,
+                  const std::vector<const core::AppArtifact *> &apps,
+                  RuntimeConfig cfg = {});
+
+    /** Single-tenant form: the N = 1 case of the above. */
     OnlineRuntime(core::SwitchFarm &farm, const core::AppArtifact &app,
                   RuntimeConfig cfg = {});
 
@@ -144,26 +162,64 @@ class OnlineRuntime
     std::vector<core::SwitchDecision> processTrace(
         const std::vector<net::TracePacket> &packets);
 
-    /** Consistent snapshot of all counters and gauges. */
+    /**
+     * Consistent snapshot of all counters and gauges, every tenant
+     * folded in (counters summed; the f1/reference gauges are the
+     * default tenant's — app 0 — and `drifted` is true when *any*
+     * tenant is latched).
+     */
     RuntimeStats stats() const;
 
-    /** Latest published model version (0 = still the installed model). */
-    uint64_t modelVersion() const { return store_.version(); }
+    /**
+     * One tenant's control-plane counters and gauges. The worker-level
+     * fields (`packets`, `mirrored`, `ring_dropped`) stay zero here:
+     * rings are shared per worker, not per tenant.
+     */
+    RuntimeStats appStats(core::AppId id) const;
 
-    const ModelStore &store() const { return store_; }
+    /** Tenants under management. */
+    size_t appCount() const { return apps_.size(); }
+
+    /** Latest published model version for one tenant (0 = still the
+     *  installed model). */
+    uint64_t modelVersion(core::AppId id) const
+    {
+        return appCtl(id).store.version();
+    }
+    uint64_t modelVersion() const { return modelVersion(0); }
+
+    const ModelStore &store(core::AppId id) const
+    {
+        return appCtl(id).store;
+    }
+    const ModelStore &store() const { return store(0); }
 
   private:
+    /** Per-tenant control-plane state (trainer-thread / caller owned,
+     *  except the lock-free store and the applied counter). */
+    struct AppControl
+    {
+        std::string name;
+        std::unique_ptr<core::AppTrainer> trainer; ///< null = no retrain
+        DriftMonitor drift;
+        ModelStore store;
+        uint64_t consumed = 0;
+        uint64_t updates_published = 0;
+        std::atomic<uint64_t> updates_applied{0};
+    };
+
     /** Per-replica worker state: ring, sampler, and the async mailbox. */
     struct Worker
     {
-        Worker(size_t ring_capacity, util::Rng sampler)
-            : ring(ring_capacity), rng(sampler)
+        Worker(size_t ring_capacity, util::Rng sampler, size_t apps)
+            : ring(ring_capacity), rng(sampler), applied_version(apps, 0)
         {
         }
 
         TelemetryRing ring;
         util::Rng rng;                 ///< mirror-sampling stream
-        uint64_t applied_version = 0;  ///< last snapshot applied
+        /** Last snapshot version applied, per tenant. */
+        std::vector<uint64_t> applied_version;
 
         // Async mailbox (one assignment per processTrace call).
         std::mutex m;
@@ -178,6 +234,9 @@ class OnlineRuntime
         std::thread thread;
     };
 
+    AppControl &appCtl(core::AppId id);
+    const AppControl &appCtl(core::AppId id) const;
+
     void workerLoop(size_t w);
     void runAssignment(Worker &worker, core::TaurusSwitch &sw);
     void maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw);
@@ -187,22 +246,24 @@ class OnlineRuntime
 
     void trainerLoop();
     /**
-     * Drain every ring into the drift monitor + trainer and run the
-     * train/absorb policy. With `drain_all_minibatches` (synchronous
-     * mode and final drain) every buffered minibatch is handled and
-     * publishes happen inline; otherwise at most one minibatch is
-     * trained per call and the freshly lowered graph is handed back
-     * through `pending` so the trainer thread can model the
-     * install delay *outside* the lock before publishing. Returns the
-     * drained sample count. Caller holds ctl_m_.
+     * Drain every ring — routing each sample to its tenant's drift
+     * monitor + trainer — and run each tenant's train/absorb policy.
+     * With `drain_all_minibatches` (synchronous mode and final drain)
+     * every buffered minibatch is handled and publishes happen inline;
+     * otherwise at most one minibatch is trained per tenant per call
+     * and the freshly lowered graphs are handed back through `pending`
+     * so the trainer thread can model the install delay *outside* the
+     * lock before publishing. Returns the drained sample count. Caller
+     * holds ctl_m_.
      */
-    size_t controlStepLocked(bool drain_all_minibatches,
-                             std::unique_ptr<dfg::Graph> *pending);
-    /** Publish a trained graph (caller holds ctl_m_). */
-    void publishLocked(dfg::Graph g);
+    size_t controlStepLocked(
+        bool drain_all_minibatches,
+        std::vector<std::pair<core::AppId, dfg::Graph>> *pending);
+    /** Publish a trained graph into one tenant's store (holds ctl_m_). */
+    void publishLocked(core::AppId id, dfg::Graph g);
     /**
-     * Farm-wide apply of the latest snapshot, counting only replicas
-     * that were actually behind. Only safe when no worker is
+     * Farm-wide apply of every tenant's latest snapshot, counting only
+     * replicas that were actually behind. Only safe when no worker is
      * processing: synchronous batch boundaries and stop()'s final
      * drain (threads already joined). Caller holds ctl_m_.
      */
@@ -210,19 +271,15 @@ class OnlineRuntime
 
     core::SwitchFarm &farm_;
     RuntimeConfig cfg_;
-    ModelStore store_;
+    std::vector<std::unique_ptr<AppControl>> apps_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
     // Control-plane state: owned by the trainer thread (async) or the
-    // caller (sync); ctl_m_ guards it plus the counters below.
+    // caller (sync); ctl_m_ guards every AppControl's mutable state
+    // (except the lock-free store reads and the applied counters).
     mutable std::mutex ctl_m_;
-    std::unique_ptr<core::AppTrainer> trainer_; ///< null = no retraining
-    DriftMonitor drift_;
-    uint64_t consumed_ = 0;
-    uint64_t updates_published_ = 0;
 
     std::atomic<uint64_t> packets_{0};
-    std::atomic<uint64_t> updates_applied_{0};
 
     // Async completion of one processTrace: workers count down.
     std::mutex done_m_;

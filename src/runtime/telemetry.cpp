@@ -13,6 +13,7 @@ makeSample(const core::SwitchDecision &d, int32_t label)
     s.predicted = d.class_id;
     s.label = label;
     s.truth = label != 0;
+    s.app_id = d.app_id;
     return s;
 }
 

@@ -67,6 +67,17 @@ makeIotFlowApp(const models::IotFlowMlp &model)
     app.num_classes = model.num_classes;
     app.eval_trace = model.eval_trace;
 
+    // Multi-tenant dispatch: the IoT device fleet lives in the
+    // 192.168.0.0/16 management subnet (net::iotDeviceTrace), so the
+    // artifact claims that source prefix. Co-resident with the anomaly
+    // detector (the usual default app), every device packet routes
+    // here and everything else stays on the detector.
+    DispatchRule iot_subnet;
+    iot_subnet.src_ip = 0xC0A80000u;
+    iot_subnet.src_ip_mask = 0xFFFF0000u;
+    iot_subnet.priority = 1;
+    app.dispatch = {iot_subnet};
+
     const nn::Mlp warm = model.model;
     app.make_trainer = [warm, qp](const cp::OnlineTrainConfig &cfg,
                                   size_t reservoir_cap,

@@ -74,6 +74,10 @@ struct TelemetrySample
     int32_t predicted = 0; ///< generic verdict (SwitchDecision::class_id)
     int32_t label = 0;     ///< ground-truth class label
     bool truth = false;    ///< label != 0 (binary convenience view)
+    /** Tenant that decided the packet (SwitchDecision::app_id): the
+     *  control plane routes each sample to that tenant's own drift
+     *  monitor and trainer. */
+    AppId app_id = 0;
 };
 
 /**
@@ -127,6 +131,15 @@ struct AppArtifact
     fixed::QuantParams input_qp;
 
     VerdictPolicy verdict;
+
+    /**
+     * Per-flow dispatch predicates claiming this app's traffic on a
+     * multi-tenant switch (ternary 5-tuple rules, installed into the
+     * dispatch MAT at install time). An app with no rules is reachable
+     * only as the switch's default app; on a single-tenant switch the
+     * dispatch stage is elided entirely.
+     */
+    std::vector<DispatchRule> dispatch;
 
     /** Labeled evaluation trace (TracePacket::class_label is ground
      *  truth); may be empty when the caller scores elsewhere. */

@@ -1,5 +1,7 @@
 #include "taurus/experiment.hpp"
 
+#include <stdexcept>
+
 #include "taurus/app.hpp"
 #include "util/metrics.hpp"
 
@@ -30,6 +32,50 @@ runApp(const AppArtifact &app, const SwitchConfig &switch_cfg)
     TaurusSwitch sw(switch_cfg);
     sw.installApp(app);
     return runApp(app.eval_trace, sw, app.num_classes);
+}
+
+AppRunResult
+scoreApp(util::Span<const SwitchDecision> decisions,
+         util::Span<const net::TracePacket> packets, AppId app,
+         size_t num_classes)
+{
+    if (decisions.size() != packets.size())
+        throw std::invalid_argument(
+            "scoreApp: decisions/packets size mismatch");
+    AppRunResult r;
+    r.confusion = util::MultiConfusion(num_classes);
+    util::RunningStat ml_ns, bypass_ns;
+    for (size_t i = 0; i < decisions.size(); ++i) {
+        const SwitchDecision &d = decisions[i];
+        if (d.app_id != app)
+            continue;
+        r.confusion.record(d.class_id, packets[i].class_label);
+        ++r.packets;
+        r.flagged += d.flagged;
+        (d.bypassed ? bypass_ns : ml_ns).add(d.latency_ns);
+    }
+    r.accuracy_pct = r.confusion.accuracy() * 100.0;
+    r.macro_f1_x100 = r.confusion.macroF1() * 100.0;
+    r.mean_ml_latency_ns = ml_ns.mean();
+    r.mean_bypass_latency_ns = bypass_ns.mean();
+    return r;
+}
+
+std::vector<net::TracePacket>
+mergeTracesByTime(const std::vector<net::TracePacket> &a,
+                  const std::vector<net::TracePacket> &b)
+{
+    std::vector<net::TracePacket> merged;
+    merged.reserve(a.size() + b.size());
+    size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        if (j >= b.size() ||
+            (i < a.size() && a[i].time_s <= b[j].time_s))
+            merged.push_back(a[i++]);
+        else
+            merged.push_back(b[j++]);
+    }
+    return merged;
 }
 
 TaurusRunResult

@@ -53,6 +53,27 @@ AppRunResult runApp(const std::vector<net::TracePacket> &trace,
 AppRunResult runApp(const AppArtifact &app,
                     const SwitchConfig &switch_cfg = {});
 
+/**
+ * Score one tenant's slice of a co-resident (multi-tenant) run: fold
+ * only the decisions the dispatch MAT routed to `app` into a K-class
+ * confusion over (class_id, class_label). Latency means are computed
+ * from the matching decisions, so the result is directly comparable to
+ * a solo-install runApp() on the same sub-trace.
+ */
+AppRunResult scoreApp(util::Span<const SwitchDecision> decisions,
+                      util::Span<const net::TracePacket> packets,
+                      AppId app, size_t num_classes);
+
+/**
+ * Interleave two labeled traces by timestamp into one multi-tenant
+ * trace. The merge is stable and ties prefer `a`, so each input trace
+ * survives as an order-preserving subsequence — exactly what the
+ * solo-vs-co-resident parity checks need.
+ */
+std::vector<net::TracePacket> mergeTracesByTime(
+    const std::vector<net::TracePacket> &a,
+    const std::vector<net::TracePacket> &b);
+
 /** Taurus's half of a Table 8 row. */
 struct TaurusRunResult
 {

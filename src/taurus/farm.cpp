@@ -33,19 +33,30 @@ SwitchFarm::SwitchFarm(SwitchConfig cfg, size_t workers)
         replicas_.push_back(std::make_unique<TaurusSwitch>(cfg));
 }
 
-void
+AppId
 SwitchFarm::installApp(const AppArtifact &app)
 {
+    AppId id = 0;
     for (auto &sw : replicas_)
-        sw->installApp(app);
+        id = sw->installApp(app); // same install order => same id
+    return id;
+}
+
+AppId
+SwitchFarm::installAnomalyModel(const models::AnomalyDnn &model)
+{
+    // Build the artifact once through the one shared builder and
+    // install it everywhere, rather than re-deriving it per replica —
+    // the same single code path TaurusSwitch::installAnomalyModel
+    // takes, so the anomaly parity test covers both entry points.
+    return installApp(makeAnomalyDnnApp(model));
 }
 
 void
-SwitchFarm::installAnomalyModel(const models::AnomalyDnn &model)
+SwitchFarm::updateWeights(AppId id, const dfg::Graph &fresh)
 {
-    // Build the artifact once and install it everywhere, rather than
-    // re-deriving it per replica.
-    installApp(makeAnomalyDnnApp(model));
+    for (auto &sw : replicas_)
+        sw->updateWeights(id, fresh);
 }
 
 void
@@ -127,6 +138,21 @@ SwitchFarm::mergedStats() const
     for (const auto &sw : replicas_)
         total.merge(sw->stats());
     return total;
+}
+
+SwitchStats
+SwitchFarm::mergedStats(AppId id) const
+{
+    SwitchStats total;
+    for (const auto &sw : replicas_)
+        total.merge(sw->stats(id));
+    return total;
+}
+
+size_t
+SwitchFarm::appCount() const
+{
+    return replicas_.front()->appCount();
 }
 
 void

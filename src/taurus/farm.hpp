@@ -12,6 +12,11 @@
  * owns *all* state its packets can touch and replicas never share
  * mutable state — no locks on the per-packet path.
  *
+ * Multi-tenant: installApp() is additive, exactly like the switch's —
+ * every replica hosts the same tenant set under the same AppIds, and
+ * per-tenant weight updates (updateWeights(app_id, graph)) land on all
+ * replicas without touching the other tenants.
+ *
  * Determinism: each replica sees its partition in trace order, so a
  * farm run is bit-identical to running each partition through a
  * standalone TaurusSwitch (the fastpath regression test asserts this,
@@ -39,21 +44,32 @@ class SwitchFarm
      */
     explicit SwitchFarm(SwitchConfig cfg = {}, size_t workers = 0);
 
-    /** Install the same application artifact into every replica. */
-    void installApp(const AppArtifact &app);
+    /**
+     * Install an application artifact into every replica, alongside any
+     * resident tenants. Returns the new tenant's AppId (identical on
+     * every replica, since all replicas install in the same order).
+     */
+    AppId installApp(const AppArtifact &app);
 
-    /** Install the same anomaly model into every replica (thin wrapper
-     *  over installApp, like the switch's). */
-    void installAnomalyModel(const models::AnomalyDnn &model);
+    /** Install an anomaly model into every replica (thin wrapper over
+     *  installApp through the one shared builder, like the switch's). */
+    AppId installAnomalyModel(const models::AnomalyDnn &model);
 
     /**
-     * Push fresh weights into every replica's installed program without
-     * re-placing it (the farm-wide out-of-band weight-update path). Must
-     * be called at a batch boundary — i.e. not concurrently with
+     * Push fresh weights into one tenant's program on every replica
+     * without re-placing it (the farm-wide out-of-band weight-update
+     * path); the other tenants keep serving their installed weights.
+     * Must be called at a batch boundary — i.e. not concurrently with
      * processTrace(); the online runtime serializes updates against its
      * worker batches for exactly this reason. The graph must be
-     * structurally identical to the installed one.
+     * structurally identical to the installed one
+     * (std::invalid_argument otherwise); an unknown `id` throws
+     * std::out_of_range and a farm with nothing installed throws
+     * std::logic_error.
      */
+    void updateWeights(AppId id, const dfg::Graph &fresh);
+
+    /** Single-tenant convenience; same contract as the switch's. */
     void updateWeights(const dfg::Graph &fresh);
 
     /**
@@ -78,6 +94,12 @@ class SwitchFarm
 
     /** Sum of all replicas' counters (latency stats merged exactly). */
     SwitchStats mergedStats() const;
+
+    /** Sum of all replicas' counters for one tenant. */
+    SwitchStats mergedStats(AppId id) const;
+
+    /** Tenants resident on every replica. */
+    size_t appCount() const;
 
     size_t workers() const { return replicas_.size(); }
     TaurusSwitch &replica(size_t i) { return *replicas_[i]; }

@@ -40,11 +40,66 @@ TaurusSwitch::TaurusSwitch(SwitchConfig cfg)
     forwarding_.addStage(std::move(fwd));
 }
 
+TaurusSwitch::InstalledApp &
+TaurusSwitch::checked(AppId id)
+{
+    if (id >= apps_.size())
+        throw std::out_of_range(
+            "TaurusSwitch: app id " + std::to_string(id) +
+            " out of range (" + std::to_string(apps_.size()) +
+            " installed)");
+    return *apps_[id];
+}
+
+const TaurusSwitch::InstalledApp &
+TaurusSwitch::checked(AppId id) const
+{
+    return const_cast<TaurusSwitch *>(this)->checked(id);
+}
+
 void
+TaurusSwitch::rebuildDispatch()
+{
+    // One ternary stage over the 5-tuple. Each tenant's rules write its
+    // AppId into the PHV; the default action routes unmatched traffic
+    // to the default app. Rebuilt whole on every install — dispatch
+    // rewrites happen at control-plane cadence, never per packet.
+    pisa::MatStage st("dispatch", pisa::MatchKind::Ternary,
+                      {pisa::Field::Ipv4Src, pisa::Field::Ipv4Dst,
+                       pisa::Field::L4Sport, pisa::Field::L4Dport,
+                       pisa::Field::Ipv4Proto});
+    pisa::Action set_app;
+    set_app.name = "set_app";
+    set_app.instrs = {{pisa::ActionOp::Set, pisa::Field::AppId,
+                       pisa::Src::Arg, pisa::Field::Tmp0, 0, 0, -1,
+                       pisa::Field::Tmp0}};
+    const int a_set = st.addAction(std::move(set_app));
+    for (AppId id = 0; id < apps_.size(); ++id) {
+        for (const DispatchRule &r : apps_[id]->dispatch) {
+            pisa::TableEntry e;
+            e.value = {r.src_ip, r.dst_ip, r.src_port, r.dst_port,
+                       r.proto};
+            e.mask = {r.src_ip_mask, r.dst_ip_mask, r.src_port_mask,
+                      r.dst_port_mask, r.proto_mask};
+            e.priority = r.priority;
+            e.action_id = a_set;
+            e.args = {id};
+            st.addEntry(std::move(e));
+        }
+    }
+    st.setDefault(a_set, {default_app_});
+
+    pisa::MatPipeline fresh;
+    fresh.addStage(std::move(st));
+    dispatch_ = std::move(fresh);
+}
+
+AppId
 TaurusSwitch::installApp(const AppArtifact &app)
 {
     // Validate the whole artifact before touching any installed state,
-    // so a bad artifact cannot leave the switch half-installed.
+    // so a bad artifact cannot leave the switch half-installed (or
+    // disturb tenants that are already serving).
     if (!app.build_features)
         throw std::invalid_argument(
             "installApp: artifact has no feature-program builder");
@@ -75,123 +130,173 @@ TaurusSwitch::installApp(const AppArtifact &app)
     if (!err.empty())
         throw std::logic_error("preprocessing program invalid: " + err);
 
-    program_ = std::make_unique<hw::GridProgram>(
+    auto inst = std::make_unique<InstalledApp>();
+    inst->program = std::make_unique<hw::GridProgram>(
         compiler::compile(app.graph, cfg_.compiler));
-    sim_ = std::make_unique<hw::CycleSim>(*program_);
+    inst->sim = std::make_unique<hw::CycleSim>(*inst->program);
 
-    // The compiled schedule fixes the (static) MapReduce latency.
-    mr_latency_ns_ = sim_->schedule().latency_ns;
+    // The compiled schedule fixes this tenant's (static) MapReduce
+    // latency.
+    inst->mr_latency_ns = inst->sim->schedule().latency_ns;
 
-    // Size the per-packet scratch for the installed program: one input
+    // Size the tenant's feature-slot scratch for its program: one input
     // vector per graph Input node (width taken from the graph itself),
     // and evaluation buffers bound to the compiled graph so
     // steady-state packets skip validation.
-    scratch_.ml_input.clear();
-    for (int id : program_->graph.inputIds())
-        scratch_.ml_input.emplace_back(
-            static_cast<size_t>(program_->graph.node(id).width));
-    scratch_.eval.bind(program_->graph);
+    for (int id : inst->program->graph.inputIds())
+        inst->ml_input.emplace_back(
+            static_cast<size_t>(inst->program->graph.node(id).width));
+    inst->eval.bind(inst->program->graph);
 
-    features_ = std::move(fp);
+    inst->features = std::move(fp);
 
     switch (app.verdict.kind) {
       case VerdictKind::BinaryThreshold:
-        postprocess_ = buildVerdictProgram(app.verdict.flag_code);
+        inst->postprocess = buildVerdictProgram(app.verdict.flag_code);
         break;
       case VerdictKind::ArgmaxClass:
-        postprocess_ = buildClassVerdictProgram(
+        inst->postprocess = buildClassVerdictProgram(
             app.verdict.num_classes, app.verdict.flagged_classes);
         break;
       case VerdictKind::ScalarAction:
         // The raw score code *is* the action; postprocessing only has
         // to clear the Decision bit (nothing gets flagged).
-        postprocess_ = buildVerdictProgram([](int8_t) { return false; });
+        inst->postprocess =
+            buildVerdictProgram([](int8_t) { return false; });
         break;
     }
-    verdict_kind_ = app.verdict.kind;
-    app_name_ = app.name;
+    inst->verdict_kind = app.verdict.kind;
+    inst->name = app.name;
+    inst->dispatch = app.dispatch;
 
-    safety_ = compileSafety(cfg_.safety, features_.registers);
+    inst->safety = compileSafety(cfg_.safety, inst->features.registers);
+    inst->features.registers.clearAll();
 
-    reset();
+    const AppId id = static_cast<AppId>(apps_.size());
+    apps_.push_back(std::move(inst));
+    rebuildDispatch();
+    return id;
+}
+
+AppId
+TaurusSwitch::installAnomalyModel(const models::AnomalyDnn &model)
+{
+    return installApp(makeAnomalyDnnApp(model));
 }
 
 void
-TaurusSwitch::installAnomalyModel(const models::AnomalyDnn &model)
+TaurusSwitch::setDefaultApp(AppId id)
 {
-    installApp(makeAnomalyDnnApp(model));
+    checked(id); // bounds check
+    default_app_ = id;
+    rebuildDispatch();
+}
+
+void
+TaurusSwitch::updateWeights(AppId id, const dfg::Graph &fresh)
+{
+    if (apps_.empty())
+        throw std::logic_error(
+            "updateWeights: no application installed");
+    // GridProgram::updateWeights rejects structurally mismatched graphs
+    // with std::invalid_argument before touching any weights.
+    checked(id).program->updateWeights(fresh);
 }
 
 void
 TaurusSwitch::updateWeights(const dfg::Graph &fresh)
 {
-    if (!program_)
-        throw std::logic_error("no model installed");
-    program_->updateWeights(fresh);
+    if (apps_.empty())
+        throw std::logic_error(
+            "updateWeights: no application installed");
+    if (apps_.size() > 1)
+        throw std::invalid_argument(
+            "updateWeights: " + std::to_string(apps_.size()) +
+            " applications installed — name the tenant with "
+            "updateWeights(app_id, graph)");
+    updateWeights(AppId{0}, fresh);
 }
 
 SwitchDecision
 TaurusSwitch::process(const net::TracePacket &tp)
 {
-    if (!program_)
-        throw std::logic_error("no model installed");
+    if (apps_.empty())
+        throw std::logic_error("process: no application installed");
 
     // Every per-packet buffer (wire bytes, PHV, feature vector, eval
-    // lanes) lives in scratch_ and is reset in place, so the steady
-    // state allocates nothing.
+    // lanes) lives in scratch_ or the owning tenant and is reset in
+    // place, so the steady state allocates nothing.
     pisa::fromTracePacketInto(tp, scratch_.pkt);
     pisa::Phv &phv = scratch_.phv;
     parser_.parseInto(scratch_.pkt, phv);
 
-    features_.preprocess.apply(phv, features_.registers);
+    double latency = cfg_.mat_timing.parser_ns;
+
+    // Tenant selection. A single-tenant switch needs no dispatch stage
+    // (everything is the default app), which keeps it latency- and
+    // decision-identical to the pre-multi-tenant pipeline; with
+    // co-resident tenants the dispatch MAT is a real pipeline stage and
+    // is billed as one.
+    AppId app_id = default_app_;
+    if (dispatchActive()) {
+        dispatch_.apply(phv, dispatch_regs_);
+        app_id = static_cast<AppId>(phv.get(pisa::Field::AppId));
+        if (app_id >= apps_.size())
+            app_id = default_app_; // stale rule after a re-point
+        latency += dispatch_.latencyNs(cfg_.mat_timing);
+    }
+    InstalledApp &app = *apps_[app_id];
+
+    app.features.preprocess.apply(phv, app.features.registers);
+    latency += app.features.preprocess.latencyNs(cfg_.mat_timing);
 
     SwitchDecision d;
+    d.app_id = app_id;
     d.feature_count = static_cast<uint8_t>(
-        std::min(features_.feature_count, kDecisionFeatureSlots));
+        std::min(app.features.feature_count, kDecisionFeatureSlots));
     for (size_t i = 0; i < d.feature_count; ++i)
         d.features[i] = static_cast<int8_t>(
             static_cast<int32_t>(phv.get(pisa::featureField(i))));
     const bool take_ml =
         !cfg_.enable_bypass || phv.get(pisa::Field::MlBypass) == 0;
-    double latency = cfg_.mat_timing.parser_ns +
-                     features_.preprocess.latencyNs(cfg_.mat_timing);
 
     if (take_ml) {
         // The decision's telemetry export above already pulled the
         // feature codes out of the PHV; reuse them instead of reading
         // the fields a second time on the hot path.
-        std::vector<int8_t> &input = scratch_.ml_input.front();
+        std::vector<int8_t> &input = app.ml_input.front();
         for (size_t i = 0; i < input.size(); ++i)
             input[i] = i < d.feature_count
                            ? d.features[i]
                            : static_cast<int8_t>(static_cast<int32_t>(
                                  phv.get(pisa::featureField(i))));
         hw::SimResult &res = scratch_.sim_result;
-        sim_->runInto(scratch_.ml_input, scratch_.eval, res);
+        app.sim->runInto(app.ml_input, app.eval, res);
         d.score = static_cast<int8_t>(res.outputs.at(0).lanes.at(0));
         phv.set(pisa::Field::MlScore,
                 static_cast<uint32_t>(static_cast<int32_t>(d.score)));
         phv.set(pisa::Field::MlBypass, 0);
         latency += res.latency_ns;
         ++stats_.ml_packets;
+        ++app.stats.ml_packets;
     } else {
         d.bypassed = true;
         phv.set(pisa::Field::MlBypass, 1);
     }
 
-    postprocess_.apply(phv, features_.registers);
+    app.postprocess.apply(phv, app.features.registers);
     const bool pre_safety_flag = phv.get(pisa::Field::Decision) != 0;
-    safety_.stages.apply(phv, features_.registers);
-    latency += postprocess_.latencyNs(cfg_.mat_timing) +
-               safety_.stages.latencyNs(cfg_.mat_timing) +
+    app.safety.stages.apply(phv, app.features.registers);
+    latency += app.postprocess.latencyNs(cfg_.mat_timing) +
+               app.safety.stages.latencyNs(cfg_.mat_timing) +
                cfg_.mat_timing.scheduler_ns;
 
-    forwarding_.apply(phv, features_.registers);
+    forwarding_.apply(phv, app.features.registers);
     latency += forwarding_.latencyNs(cfg_.mat_timing);
     d.egress_port = static_cast<uint16_t>(phv.get(pisa::Field::QueueId));
 
     d.flagged = phv.get(pisa::Field::Decision) != 0;
-    switch (verdict_kind_) {
+    switch (app.verdict_kind) {
       case VerdictKind::BinaryThreshold:
         d.class_id = d.flagged ? 1 : 0;
         break;
@@ -202,8 +307,10 @@ TaurusSwitch::process(const net::TracePacket &tp)
         d.class_id = static_cast<int32_t>(d.score);
         break;
     }
-    if (pre_safety_flag && !d.flagged)
+    if (pre_safety_flag && !d.flagged) {
         ++stats_.safety_overrides;
+        ++app.stats.safety_overrides;
+    }
     if (d.flagged && cfg_.drop_anomalies) {
         d.dropped = true;
     } else {
@@ -229,14 +336,22 @@ TaurusSwitch::process(const net::TracePacket &tp)
 
     d.latency_ns = latency;
     ++stats_.packets;
-    if (d.flagged)
+    ++app.stats.packets;
+    if (d.flagged) {
         ++stats_.flagged;
-    if (d.dropped)
+        ++app.stats.flagged;
+    }
+    if (d.dropped) {
         ++stats_.dropped;
-    if (d.bypassed)
+        ++app.stats.dropped;
+    }
+    if (d.bypassed) {
         stats_.bypass_latency_ns.add(latency);
-    else
+        app.stats.bypass_latency_ns.add(latency);
+    } else {
         stats_.ml_latency_ns.add(latency);
+        app.stats.ml_latency_ns.add(latency);
+    }
     return d;
 }
 
@@ -252,26 +367,49 @@ TaurusSwitch::processBatch(util::Span<const net::TracePacket> packets,
 }
 
 double
-TaurusSwitch::mlPathLatencyNs() const
+TaurusSwitch::mapReduceLatencyNs(AppId id) const
 {
-    return bypassPathLatencyNs() + mr_latency_ns_;
+    return checked(id).mr_latency_ns;
 }
 
 double
-TaurusSwitch::bypassPathLatencyNs() const
+TaurusSwitch::mlPathLatencyNs(AppId id) const
 {
-    return cfg_.mat_timing.parser_ns +
-           features_.preprocess.latencyNs(cfg_.mat_timing) +
-           postprocess_.latencyNs(cfg_.mat_timing) +
-           safety_.stages.latencyNs(cfg_.mat_timing) +
-           forwarding_.latencyNs(cfg_.mat_timing) +
-           cfg_.mat_timing.scheduler_ns;
+    return bypassPathLatencyNs(id) + checked(id).mr_latency_ns;
+}
+
+double
+TaurusSwitch::bypassPathLatencyNs(AppId id) const
+{
+    const InstalledApp &app = checked(id);
+    double ns = cfg_.mat_timing.parser_ns +
+                app.features.preprocess.latencyNs(cfg_.mat_timing) +
+                app.postprocess.latencyNs(cfg_.mat_timing) +
+                app.safety.stages.latencyNs(cfg_.mat_timing) +
+                forwarding_.latencyNs(cfg_.mat_timing) +
+                cfg_.mat_timing.scheduler_ns;
+    if (dispatchActive())
+        ns += dispatch_.latencyNs(cfg_.mat_timing);
+    return ns;
+}
+
+std::vector<const hw::GridProgram *>
+TaurusSwitch::programs() const
+{
+    std::vector<const hw::GridProgram *> out;
+    out.reserve(apps_.size());
+    for (const auto &app : apps_)
+        out.push_back(app->program.get());
+    return out;
 }
 
 void
 TaurusSwitch::reset()
 {
-    features_.registers.clearAll();
+    for (auto &app : apps_) {
+        app->features.registers.clearAll();
+        app->stats = SwitchStats{};
+    }
     stats_ = SwitchStats{};
 }
 

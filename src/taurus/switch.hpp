@@ -1,17 +1,27 @@
 /**
  * @file
- * TaurusSwitch: the complete data-plane pipeline of Figure 6.
+ * TaurusSwitch: the complete data-plane pipeline of Figure 6, hosting
+ * N concurrent applications on one shared MapReduce block.
  *
- * parse -> preprocessing MATs (stateful feature extraction) ->
- * { MapReduce block | bypass } -> round-robin merge -> postprocessing
- * MATs (verdict) -> PIFO scheduler.
+ * parse -> dispatch MAT (per-flow tenant selection) -> the selected
+ * app's preprocessing MATs (stateful feature extraction) ->
+ * { MapReduce block | bypass } -> round-robin merge -> the app's
+ * postprocessing MATs (verdict) -> PIFO scheduler.
  *
- * ML packets pay the MapReduce block's latency; bypass packets do not
- * ("Packets that do not need an ML decision can bypass the MapReduce
- * block, incurring no additional latency"). The control plane installs
- * applications through installApp() — any AppArtifact: anomaly DNN,
- * IoT classifier, ... — and pushes weight-only updates through
- * updateWeights() without touching placement (Figure 1).
+ * The paper time-multiplexes the MapReduce block across applications
+ * ("With such small networks, Taurus can run multiple models
+ * simultaneously"); this switch serves them concurrently. installApp()
+ * is additive: each call compiles one AppArtifact and returns its
+ * AppId. A per-flow dispatch MAT — a ternary table over the 5-tuple,
+ * with rules supplied by each artifact and a default app for unmatched
+ * traffic — selects which tenant's preprocessing program, compiled
+ * schedule, and verdict table a packet traverses. Every tenant keeps
+ * its own feature registers, cached MapReduce schedule, statistics, and
+ * feature-slot scratch, so tenants are state-isolated and the
+ * per-packet path stays allocation-free. ML packets pay the MapReduce
+ * block's latency; bypass packets do not. The control plane pushes
+ * per-tenant weight-only updates through updateWeights(app_id, graph)
+ * without touching placement or the other tenants (Figure 1).
  */
 
 #pragma once
@@ -61,6 +71,26 @@ struct SwitchConfig
     std::vector<Route> routes;
 };
 
+/** Identity of one installed application on a switch (install order). */
+using AppId = uint32_t;
+
+/**
+ * One per-flow dispatch predicate: a ternary match over the 5-tuple
+ * (value/mask per field; an all-zero mask is a wildcard). An artifact
+ * supplies zero or more rules claiming its traffic; packets matching no
+ * installed rule run the switch's default app. Higher `priority` wins
+ * ties between overlapping tenants' rules.
+ */
+struct DispatchRule
+{
+    uint32_t src_ip = 0, src_ip_mask = 0;
+    uint32_t dst_ip = 0, dst_ip_mask = 0;
+    uint32_t src_port = 0, src_port_mask = 0;
+    uint32_t dst_port = 0, dst_port_mask = 0;
+    uint32_t proto = 0, proto_mask = 0;
+    int priority = 0;
+};
+
 /** Feature codes a decision can carry (DNN uses 6, SVM 8). */
 constexpr size_t kDecisionFeatureSlots = 8;
 
@@ -90,6 +120,10 @@ struct SwitchDecision
      * TracePacket::class_label.
      */
     int32_t class_id = 0;
+    /** The installed application the dispatch MAT routed this packet
+     *  to. Telemetry carries it so the control plane trains, monitors,
+     *  and hot-swaps per tenant. */
+    AppId app_id = 0;
     uint16_t egress_port = 0; ///< LPM forwarding decision
     /**
      * The int8 feature codes the preprocessing MATs computed for this
@@ -119,17 +153,17 @@ struct SwitchStats
 };
 
 /**
- * Per-switch reusable packet-processing state: the wire-byte buffer,
- * the PHV, the MapReduce input/feature buffer, and the dataflow
- * evaluation scratch. Holding these per switch instance makes the
- * steady-state process() path allocation-free.
+ * Per-switch reusable packet-processing state shared by every tenant:
+ * the wire-byte buffer, the PHV, and the simulator result. The
+ * graph-shaped buffers (MapReduce input vectors, dataflow evaluation
+ * scratch) live per installed app instead, bound to that app's compiled
+ * graph. Together they make the steady-state process() path
+ * allocation-free regardless of how many tenants are resident.
  */
 struct PacketScratch
 {
     pisa::Packet pkt;
     pisa::Phv phv;
-    std::vector<std::vector<int8_t>> ml_input; ///< one vector per graph Input
-    dfg::EvalScratch eval;
     hw::SimResult sim_result;
 };
 
@@ -142,27 +176,42 @@ class TaurusSwitch
     explicit TaurusSwitch(SwitchConfig cfg = {});
 
     /**
-     * Install a self-describing data-plane application: compiles its
-     * lowered graph onto the MapReduce grid, builds its preprocessing
-     * feature program, and installs its verdict table. Throws
+     * Install a self-describing data-plane application *alongside* any
+     * already-installed tenants: compiles its lowered graph onto the
+     * MapReduce grid, builds its preprocessing feature program and
+     * verdict table, installs its dispatch rules, and returns the new
+     * tenant's AppId (install order, starting at 0). The first
+     * installed app becomes the dispatch default. Throws
      * std::invalid_argument when the app's feature count exceeds
      * kDecisionFeatureSlots (the decision/telemetry export would
-     * otherwise silently truncate). Resets stateful registers.
+     * otherwise silently truncate). Resets the new app's stateful
+     * registers; resident tenants are untouched.
      */
-    void installApp(const AppArtifact &app);
+    AppId installApp(const AppArtifact &app);
 
     /**
      * Install a trained anomaly model. Thin wrapper: builds the
-     * anomaly AppArtifact and delegates to installApp(); decisions and
+     * anomaly AppArtifact through the one shared builder
+     * (makeAnomalyDnnApp) and delegates to installApp(); decisions and
      * statistics are bit-identical between the two entry points (a
      * regression test enforces the parity).
      */
-    void installAnomalyModel(const models::AnomalyDnn &model);
+    AppId installAnomalyModel(const models::AnomalyDnn &model);
 
     /**
-     * Push fresh weights into the installed program without re-placing
-     * it (the out-of-band weight-update path). The graph must be
-     * structurally identical to the installed one.
+     * Push fresh weights into one tenant's installed program without
+     * re-placing it (the out-of-band weight-update path) and without
+     * touching any other tenant. The graph must be structurally
+     * identical to the installed one (std::invalid_argument otherwise);
+     * an unknown `id` throws std::out_of_range.
+     */
+    void updateWeights(AppId id, const dfg::Graph &fresh);
+
+    /**
+     * Single-tenant convenience: updates the only installed app.
+     * Throws std::logic_error when nothing is installed and
+     * std::invalid_argument when more than one tenant is resident (the
+     * target would be ambiguous — name it with the AppId overload).
      */
     void updateWeights(const dfg::Graph &fresh);
 
@@ -179,40 +228,115 @@ class TaurusSwitch
     void processBatch(util::Span<const net::TracePacket> packets,
                       util::Span<SwitchDecision> decisions);
 
-    /** MapReduce-block latency for one ML packet, ns (constant). */
-    double mapReduceLatencyNs() const { return mr_latency_ns_; }
+    /** Installed applications (0 before any install). */
+    size_t appCount() const { return apps_.size(); }
 
-    /** Total pipeline latency for ML / bypass packets, ns. */
-    double mlPathLatencyNs() const;
-    double bypassPathLatencyNs() const;
+    /** The dispatch default (unmatched traffic); install 0 initially. */
+    AppId defaultApp() const { return default_app_; }
 
+    /** Re-point unmatched traffic at another installed tenant. */
+    void setDefaultApp(AppId id);
+
+    /** MapReduce-block latency for one of `id`'s ML packets, ns. */
+    double mapReduceLatencyNs(AppId id) const;
+    double mapReduceLatencyNs() const
+    {
+        return mapReduceLatencyNs(default_app_);
+    }
+
+    /** Total pipeline latency for app `id`'s ML / bypass packets, ns.
+     *  Includes the dispatch MAT stage once more than one tenant is
+     *  resident (a single-tenant switch needs no dispatch stage, which
+     *  keeps it latency-identical to the pre-multi-tenant pipeline). */
+    double mlPathLatencyNs(AppId id) const;
+    double bypassPathLatencyNs(AppId id) const;
+    double mlPathLatencyNs() const { return mlPathLatencyNs(default_app_); }
+    double bypassPathLatencyNs() const
+    {
+        return bypassPathLatencyNs(default_app_);
+    }
+
+    /** Switch-wide counters (every tenant folded in). */
     const SwitchStats &stats() const { return stats_; }
-    const hw::GridProgram &program() const { return *program_; }
-    const FeatureProgram &featureProgram() const { return features_; }
+    /** One tenant's own counters. */
+    const SwitchStats &stats(AppId id) const { return checked(id).stats; }
 
-    /** Name of the installed application ("" before any install). */
-    const std::string &appName() const { return app_name_; }
-    /** Verdict semantics of the installed application. */
-    VerdictKind verdictKind() const { return verdict_kind_; }
+    /** A tenant's compiled MapReduce program / feature program. */
+    const hw::GridProgram &program(AppId id) const
+    {
+        return *checked(id).program;
+    }
+    const hw::GridProgram &program() const { return program(default_app_); }
+    const FeatureProgram &featureProgram(AppId id) const
+    {
+        return checked(id).features;
+    }
+    const FeatureProgram &featureProgram() const
+    {
+        return featureProgram(default_app_);
+    }
 
-    /** Clear registers and statistics (new trace). */
+    /** Name of an installed application ("" before any install). */
+    const std::string &appName(AppId id) const { return checked(id).name; }
+    const std::string &appName() const
+    {
+        static const std::string empty;
+        return apps_.empty() ? empty : appName(default_app_);
+    }
+    /** Verdict semantics of an installed application. */
+    VerdictKind verdictKind(AppId id) const
+    {
+        return checked(id).verdict_kind;
+    }
+    VerdictKind verdictKind() const { return verdictKind(default_app_); }
+
+    /** Every tenant's compiled program, in AppId order (placement
+     *  reporting: compiler::analyzeApps consumes exactly this). */
+    std::vector<const hw::GridProgram *> programs() const;
+
+    /** Clear every tenant's registers and all statistics (new trace). */
     void reset();
 
   private:
+    /** Everything one resident tenant owns. */
+    struct InstalledApp
+    {
+        std::string name;
+        FeatureProgram features;
+        pisa::MatPipeline postprocess;
+        CompiledSafety safety;
+        std::unique_ptr<hw::GridProgram> program;
+        std::unique_ptr<hw::CycleSim> sim;
+        double mr_latency_ns = 0.0;
+        VerdictKind verdict_kind = VerdictKind::BinaryThreshold;
+        SwitchStats stats;
+        std::vector<DispatchRule> dispatch;
+        /** Per-app feature-slot view: one input vector per graph Input
+         *  node plus evaluation scratch bound to the compiled graph, so
+         *  co-resident tenants never resize each other's buffers. */
+        std::vector<std::vector<int8_t>> ml_input;
+        dfg::EvalScratch eval;
+    };
+
+    InstalledApp &checked(AppId id);
+    const InstalledApp &checked(AppId id) const;
+
+    /** Rebuild the dispatch MAT from every tenant's rules. */
+    void rebuildDispatch();
+
+    /** True when the dispatch MAT stage is materialized (>1 tenant). */
+    bool dispatchActive() const { return apps_.size() > 1; }
+
     SwitchConfig cfg_;
     pisa::Parser parser_;
-    FeatureProgram features_;
-    pisa::MatPipeline postprocess_;
-    CompiledSafety safety_;
+    std::vector<std::unique_ptr<InstalledApp>> apps_;
+    AppId default_app_ = 0;
+    pisa::MatPipeline dispatch_;
+    pisa::RegisterFile dispatch_regs_; ///< dispatch actions are stateless
     pisa::MatPipeline forwarding_;
-    std::unique_ptr<hw::GridProgram> program_;
-    std::unique_ptr<hw::CycleSim> sim_;
     pisa::Pifo scheduler_;
-    double mr_latency_ns_ = 0.0;
     SwitchStats stats_;
     PacketScratch scratch_;
-    std::string app_name_;
-    VerdictKind verdict_kind_ = VerdictKind::BinaryThreshold;
 };
 
 } // namespace taurus::core

@@ -13,6 +13,7 @@
 #include "models/microbench.hpp"
 #include "models/zoo.hpp"
 #include "net/kdd.hpp"
+#include "taurus/app.hpp"
 #include "taurus/farm.hpp"
 #include "taurus/switch.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,7 @@ expectSameDecision(const core::SwitchDecision &a,
     EXPECT_EQ(a.dropped, b.dropped) << "packet " << i;
     EXPECT_EQ(a.bypassed, b.bypassed) << "packet " << i;
     EXPECT_EQ(a.score, b.score) << "packet " << i;
+    EXPECT_EQ(a.app_id, b.app_id) << "packet " << i;
     EXPECT_EQ(a.egress_port, b.egress_port) << "packet " << i;
     EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
     EXPECT_EQ(a.feature_count, b.feature_count) << "packet " << i;
@@ -363,6 +365,70 @@ TEST(FastPath, FullSchedulerDropsWithoutLosingScratchBuffers)
         EXPECT_TRUE(sw.process(fx.trace[i]).dropped) << i;
     EXPECT_EQ(sw.stats().packets, n);
     EXPECT_EQ(sw.stats().dropped, n);
+}
+
+TEST(FastPath, SingleTenantMultiTenantPathMatchesLegacyBitExactly)
+{
+    // Single-tenant parity (ISSUE 5 acceptance criterion): installing
+    // exactly one app through the multi-tenant path — one tenant, no
+    // dispatch stage — must be decision- and stats-bit-identical to the
+    // pre-multi-tenant pipeline, whose behavior the legacy
+    // installAnomalyModel() wrapper preserves.
+    const auto &fx = fixture();
+    const size_t n = std::min<size_t>(fx.trace.size(), 8000);
+
+    core::TaurusSwitch legacy;
+    legacy.installAnomalyModel(fx.dnn);
+    core::TaurusSwitch tenant;
+    const core::AppId id = tenant.installApp(
+        core::makeAnomalyDnnApp(fx.dnn));
+    EXPECT_EQ(id, 0u);
+    EXPECT_EQ(tenant.appCount(), 1u);
+
+    for (size_t i = 0; i < n; ++i) {
+        const auto want = legacy.process(fx.trace[i]);
+        const auto got = tenant.process(fx.trace[i]);
+        expectSameDecision(want, got, i);
+        EXPECT_EQ(got.app_id, 0u) << i;
+    }
+    expectSameStats(legacy.stats(), tenant.stats());
+    // With one tenant, the per-app view IS the aggregate view.
+    expectSameStats(tenant.stats(), tenant.stats(0));
+    // And no dispatch stage is billed: path latencies are unchanged.
+    EXPECT_DOUBLE_EQ(legacy.bypassPathLatencyNs(),
+                     tenant.bypassPathLatencyNs());
+    EXPECT_DOUBLE_EQ(legacy.mlPathLatencyNs(), tenant.mlPathLatencyNs());
+}
+
+TEST(FastPath, AnomalyWrapperSharesOneBuilderAcrossSwitchAndFarm)
+{
+    // The installAnomalyModel() thin wrappers on TaurusSwitch and
+    // SwitchFarm both delegate to the one shared artifact builder
+    // (makeAnomalyDnnApp) + installApp, so this single parity check
+    // covers every anomaly install entry point.
+    const auto &fx = fixture();
+    const size_t n = std::min<size_t>(fx.trace.size(), 4000);
+    const std::vector<net::TracePacket> slice(fx.trace.begin(),
+                                              fx.trace.begin() + n);
+
+    core::TaurusSwitch via_switch;
+    EXPECT_EQ(via_switch.installAnomalyModel(fx.dnn), 0u);
+    core::SwitchFarm via_farm({}, 1);
+    EXPECT_EQ(via_farm.installAnomalyModel(fx.dnn), 0u);
+    core::SwitchFarm via_artifact({}, 1);
+    via_artifact.installApp(core::makeAnomalyDnnApp(fx.dnn));
+
+    std::vector<core::SwitchDecision> want;
+    for (const auto &tp : slice)
+        want.push_back(via_switch.process(tp));
+    const auto got_farm = via_farm.processTrace(slice);
+    const auto got_artifact = via_artifact.processTrace(slice);
+    for (size_t i = 0; i < n; ++i) {
+        expectSameDecision(want[i], got_farm[i], i);
+        expectSameDecision(want[i], got_artifact[i], i);
+    }
+    expectSameStats(via_switch.stats(), via_farm.mergedStats());
+    expectSameStats(via_switch.stats(), via_artifact.mergedStats());
 }
 
 TEST(FastPath, RunningStatMergeMatchesSequential)

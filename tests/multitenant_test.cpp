@@ -1,0 +1,568 @@
+/**
+ * Multi-tenant serving regression tests: N AppArtifacts co-resident on
+ * one TaurusSwitch / SwitchFarm with per-flow dispatch, state-isolated
+ * per-app registers and statistics, per-tenant weight updates, and the
+ * per-app online-learning runtime.
+ *
+ * The two contracts under test (ISSUE 5 acceptance criteria):
+ *  - solo/co-resident parity: with anomaly + IoT co-resident, each
+ *    app's decisions and per-class confusion on the switch path match
+ *    its solo-install run (latency aside — co-residency adds the
+ *    dispatch MAT stage, a solo switch elides it);
+ *  - tenant isolation: hot-swapping one tenant's weights leaves the
+ *    other tenant's decisions bit-identical, latency included.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/report.hpp"
+#include "models/zoo.hpp"
+#include "net/iot.hpp"
+#include "net/kdd.hpp"
+#include "runtime/runtime.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+
+using namespace taurus;
+
+namespace {
+
+/** Trained models + disjoint-address traces, built once per process. */
+struct Fixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(5, 1500);
+    models::IotFlowMlp iot = models::trainIotFlowMlp(1, 1200);
+    std::vector<net::TracePacket> kdd_trace; ///< 10.x sources
+    std::vector<net::TracePacket> merged;    ///< interleaved by time
+
+    Fixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 1500;
+        net::KddGenerator gen(cfg, 42);
+        kdd_trace = gen.expandToPackets(gen.sampleConnections());
+        merged = core::mergeTracesByTime(kdd_trace, iot.eval_trace);
+    }
+};
+
+const Fixture &
+fixture()
+{
+    static const Fixture fx;
+    return fx;
+}
+
+/** Install anomaly (default tenant, id 0) + IoT (192.168/16, id 1). */
+template <typename Target>
+std::pair<core::AppId, core::AppId>
+installBoth(Target &t)
+{
+    const core::AppId a = t.installApp(core::makeAnomalyDnnApp(
+        fixture().dnn));
+    const core::AppId b = t.installApp(core::makeIotFlowApp(
+        fixture().iot));
+    return {a, b};
+}
+
+/** Field-by-field equality, optionally ignoring latency (solo runs
+ *  lack the dispatch stage co-resident pipelines pay for). */
+void
+expectSameDecision(const core::SwitchDecision &a,
+                   const core::SwitchDecision &b, size_t i,
+                   bool with_latency)
+{
+    EXPECT_EQ(a.flagged, b.flagged) << "packet " << i;
+    EXPECT_EQ(a.dropped, b.dropped) << "packet " << i;
+    EXPECT_EQ(a.bypassed, b.bypassed) << "packet " << i;
+    EXPECT_EQ(a.score, b.score) << "packet " << i;
+    EXPECT_EQ(a.class_id, b.class_id) << "packet " << i;
+    EXPECT_EQ(a.egress_port, b.egress_port) << "packet " << i;
+    EXPECT_EQ(a.feature_count, b.feature_count) << "packet " << i;
+    EXPECT_EQ(a.features, b.features) << "packet " << i;
+    if (with_latency) {
+        EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+    }
+}
+
+} // namespace
+
+TEST(MultiTenant, InstallIsAdditiveAndDispatchRoutesByRule)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    const auto [anom, iot] = installBoth(sw);
+    EXPECT_EQ(anom, 0u);
+    EXPECT_EQ(iot, 1u);
+    EXPECT_EQ(sw.appCount(), 2u);
+    EXPECT_EQ(sw.defaultApp(), 0u);
+    EXPECT_EQ(sw.appName(0), "anomaly_dnn");
+    EXPECT_EQ(sw.appName(1), "iot_flow_mlp");
+    EXPECT_EQ(sw.verdictKind(0), core::VerdictKind::BinaryThreshold);
+    EXPECT_EQ(sw.verdictKind(1), core::VerdictKind::ArgmaxClass);
+
+    // A KDD packet (10.x source) falls to the default tenant; an IoT
+    // packet (192.168.x source) matches the IoT dispatch rule.
+    EXPECT_EQ(sw.process(fx.kdd_trace.front()).app_id, 0u);
+    EXPECT_EQ(sw.process(fx.iot.eval_trace.front()).app_id, 1u);
+
+    // Each tenant keeps its own compiled program and cached schedule.
+    EXPECT_GT(sw.mapReduceLatencyNs(0), 0.0);
+    EXPECT_GT(sw.mapReduceLatencyNs(1), 0.0);
+    EXPECT_NE(sw.program(0).graph.name, sw.program(1).graph.name);
+
+    // Co-resident pipelines pay for the dispatch MAT stage.
+    core::TaurusSwitch solo;
+    solo.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    EXPECT_DOUBLE_EQ(sw.bypassPathLatencyNs(0) - 12.5,
+                     solo.bypassPathLatencyNs());
+}
+
+TEST(MultiTenant, CoResidentDecisionsMatchSoloPerApp)
+{
+    // Acceptance criterion: with anomaly + IoT co-resident, each app's
+    // decisions (and therefore its per-class confusion) on the switch
+    // path match its solo-install run over the same packets.
+    const auto &fx = fixture();
+
+    core::TaurusSwitch solo_anom;
+    solo_anom.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    std::vector<core::SwitchDecision> want_anom;
+    for (const auto &tp : fx.kdd_trace)
+        want_anom.push_back(solo_anom.process(tp));
+
+    core::TaurusSwitch solo_iot;
+    solo_iot.installApp(core::makeIotFlowApp(fx.iot));
+    std::vector<core::SwitchDecision> want_iot;
+    for (const auto &tp : fx.iot.eval_trace)
+        want_iot.push_back(solo_iot.process(tp));
+
+    core::TaurusSwitch both;
+    installBoth(both);
+    std::vector<core::SwitchDecision> got(fx.merged.size());
+    both.processBatch(
+        util::Span<const net::TracePacket>(fx.merged.data(),
+                                           fx.merged.size()),
+        util::Span<core::SwitchDecision>(got.data(), got.size()));
+
+    // The merge preserves each trace as a subsequence, so the nth
+    // decision for app k must equal the nth solo decision.
+    size_t na = 0, ni = 0;
+    for (size_t i = 0; i < got.size(); ++i) {
+        if (got[i].app_id == 0)
+            expectSameDecision(want_anom.at(na++), got[i], i,
+                               /*with_latency=*/false);
+        else
+            expectSameDecision(want_iot.at(ni++), got[i], i,
+                               /*with_latency=*/false);
+    }
+    EXPECT_EQ(na, want_anom.size());
+    EXPECT_EQ(ni, want_iot.size());
+
+    // Per-class confusion parity, cell for cell.
+    const auto co_anom = core::scoreApp(
+        util::Span<const core::SwitchDecision>(got.data(), got.size()),
+        util::Span<const net::TracePacket>(fx.merged.data(),
+                                           fx.merged.size()),
+        0, 2);
+    const auto co_iot = core::scoreApp(
+        util::Span<const core::SwitchDecision>(got.data(), got.size()),
+        util::Span<const net::TracePacket>(fx.merged.data(),
+                                           fx.merged.size()),
+        1, fx.iot.num_classes);
+    util::MultiConfusion solo_anom_cm(2);
+    for (size_t i = 0; i < fx.kdd_trace.size(); ++i)
+        solo_anom_cm.record(want_anom[i].class_id,
+                            fx.kdd_trace[i].class_label);
+    util::MultiConfusion solo_iot_cm(fx.iot.num_classes);
+    for (size_t i = 0; i < fx.iot.eval_trace.size(); ++i)
+        solo_iot_cm.record(want_iot[i].class_id,
+                           fx.iot.eval_trace[i].class_label);
+    for (size_t p = 0; p < 2; ++p)
+        for (size_t t = 0; t < 2; ++t)
+            EXPECT_EQ(co_anom.confusion.count(p, t),
+                      solo_anom_cm.count(p, t));
+    for (size_t p = 0; p < fx.iot.num_classes; ++p)
+        for (size_t t = 0; t < fx.iot.num_classes; ++t)
+            EXPECT_EQ(co_iot.confusion.count(p, t),
+                      solo_iot_cm.count(p, t));
+
+    // Per-app stats sum to the switch-wide aggregate.
+    const auto &agg = both.stats();
+    EXPECT_EQ(both.stats(0).packets + both.stats(1).packets,
+              agg.packets);
+    EXPECT_EQ(both.stats(0).ml_packets + both.stats(1).ml_packets,
+              agg.ml_packets);
+    EXPECT_EQ(both.stats(0).flagged + both.stats(1).flagged,
+              agg.flagged);
+    EXPECT_EQ(both.stats(0).ml_latency_ns.count() +
+                  both.stats(1).ml_latency_ns.count(),
+              agg.ml_latency_ns.count());
+    EXPECT_EQ(both.stats(0).packets, fx.kdd_trace.size());
+    EXPECT_EQ(both.stats(1).packets, fx.iot.eval_trace.size());
+}
+
+TEST(MultiTenant, HotSwapLeavesOtherTenantBitIdentical)
+{
+    // Acceptance criterion: one tenant's weight hot-swap must not
+    // change the other tenant's decisions — latency included, both
+    // runs being co-resident.
+    const auto &fx = fixture();
+    const auto fresh = models::trainAnomalyDnn(77, 1200);
+    const size_t half = fx.merged.size() / 2;
+
+    core::TaurusSwitch base;
+    installBoth(base);
+    std::vector<core::SwitchDecision> quiet;
+    for (const auto &tp : fx.merged)
+        quiet.push_back(base.process(tp));
+
+    core::TaurusSwitch swapped;
+    installBoth(swapped);
+    std::vector<core::SwitchDecision> noisy;
+    for (size_t i = 0; i < half; ++i)
+        noisy.push_back(swapped.process(fx.merged[i]));
+    swapped.updateWeights(0, fresh.graph); // anomaly tenant only
+    for (size_t i = half; i < fx.merged.size(); ++i)
+        noisy.push_back(swapped.process(fx.merged[i]));
+
+    size_t anom_changed = 0;
+    for (size_t i = 0; i < fx.merged.size(); ++i) {
+        ASSERT_EQ(quiet[i].app_id, noisy[i].app_id) << i;
+        if (quiet[i].app_id == 1)
+            expectSameDecision(quiet[i], noisy[i], i,
+                               /*with_latency=*/true);
+        else
+            anom_changed += quiet[i].score != noisy[i].score ||
+                            quiet[i].flagged != noisy[i].flagged;
+    }
+    // The swap must actually have moved the swapped tenant (otherwise
+    // this proves nothing about isolation).
+    EXPECT_GT(anom_changed, 0u);
+}
+
+TEST(MultiTenant, TrafficBurstLeavesOtherTenantBitIdentical)
+{
+    // A burst of extra default-tenant traffic interleaved into the mix
+    // must not perturb the IoT tenant: its registers, schedule, and
+    // verdicts are its own.
+    const auto &fx = fixture();
+
+    core::TaurusSwitch calm;
+    installBoth(calm);
+    std::vector<core::SwitchDecision> calm_iot;
+    for (const auto &tp : fx.merged) {
+        const auto d = calm.process(tp);
+        if (d.app_id == 1)
+            calm_iot.push_back(d);
+    }
+
+    // Same mix with every KDD packet processed twice (a 2x burst on
+    // tenant 0; duplicate sources hammer its flow registers).
+    core::TaurusSwitch bursty;
+    installBoth(bursty);
+    std::vector<core::SwitchDecision> burst_iot;
+    for (const auto &tp : fx.merged) {
+        const auto d = bursty.process(tp);
+        if (d.app_id == 1)
+            burst_iot.push_back(d);
+        else
+            bursty.process(tp);
+    }
+
+    ASSERT_EQ(calm_iot.size(), burst_iot.size());
+    for (size_t i = 0; i < calm_iot.size(); ++i)
+        expectSameDecision(calm_iot[i], burst_iot[i], i,
+                           /*with_latency=*/true);
+}
+
+TEST(MultiTenant, SingleWorkerFarmMatchesScalarCoResident)
+{
+    const auto &fx = fixture();
+    const size_t n = std::min<size_t>(fx.merged.size(), 6000);
+    const std::vector<net::TracePacket> slice(fx.merged.begin(),
+                                              fx.merged.begin() + n);
+
+    core::TaurusSwitch scalar;
+    installBoth(scalar);
+    std::vector<core::SwitchDecision> want;
+    for (const auto &tp : slice)
+        want.push_back(scalar.process(tp));
+
+    core::SwitchFarm farm({}, 1);
+    const auto [a, b] = installBoth(farm);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(farm.appCount(), 2u);
+    const auto got = farm.processTrace(slice);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(want[i].app_id, got[i].app_id) << i;
+        expectSameDecision(want[i], got[i], i, /*with_latency=*/true);
+    }
+
+    // Per-tenant merged stats line up with the scalar reference.
+    for (core::AppId id : {core::AppId{0}, core::AppId{1}}) {
+        const auto fs = farm.mergedStats(id);
+        const auto &ss = scalar.stats(id);
+        EXPECT_EQ(fs.packets, ss.packets);
+        EXPECT_EQ(fs.ml_packets, ss.ml_packets);
+        EXPECT_EQ(fs.flagged, ss.flagged);
+        EXPECT_DOUBLE_EQ(fs.ml_latency_ns.mean(),
+                         ss.ml_latency_ns.mean());
+    }
+    EXPECT_EQ(farm.mergedStats().packets, n);
+}
+
+TEST(MultiTenant, FarmPerTenantWeightUpdate)
+{
+    // Farm-wide per-tenant update at a batch boundary: tenant 1's
+    // decisions stay bit-identical across the swap of tenant 0.
+    const auto &fx = fixture();
+    const auto fresh = models::trainAnomalyDnn(31, 1000);
+    const size_t n = std::min<size_t>(fx.merged.size(), 6000);
+    const size_t half = n / 2;
+    const std::vector<net::TracePacket> slice(fx.merged.begin(),
+                                              fx.merged.begin() + n);
+
+    core::SwitchFarm farm({}, 3);
+    installBoth(farm);
+    std::vector<core::SwitchDecision> got(n);
+    farm.processTrace(
+        util::Span<const net::TracePacket>(slice.data(), half),
+        util::Span<core::SwitchDecision>(got.data(), half));
+    farm.updateWeights(0, fresh.graph);
+    farm.processTrace(
+        util::Span<const net::TracePacket>(slice.data() + half,
+                                           n - half),
+        util::Span<core::SwitchDecision>(got.data() + half, n - half));
+
+    core::SwitchFarm quiet({}, 3);
+    installBoth(quiet);
+    const auto want = quiet.processTrace(slice);
+    for (size_t i = 0; i < n; ++i)
+        if (want[i].app_id == 1)
+            expectSameDecision(want[i], got[i], i,
+                               /*with_latency=*/true);
+}
+
+TEST(MultiTenant, UpdateWeightsErrorPaths)
+{
+    const auto &fx = fixture();
+
+    // No installed app: both entry points fail loudly, on the switch
+    // and through the farm.
+    core::TaurusSwitch empty;
+    EXPECT_THROW(empty.updateWeights(fx.dnn.graph), std::logic_error);
+    EXPECT_THROW(empty.updateWeights(0, fx.dnn.graph),
+                 std::logic_error);
+    core::SwitchFarm empty_farm({}, 2);
+    EXPECT_THROW(empty_farm.updateWeights(fx.dnn.graph),
+                 std::logic_error);
+    EXPECT_THROW(empty_farm.updateWeights(0, fx.dnn.graph),
+                 std::logic_error);
+
+    // Structurally mismatched graph: rejected before any weight moves,
+    // and the installed tenant keeps deciding exactly as before.
+    core::TaurusSwitch sw;
+    sw.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto before = sw.process(fx.kdd_trace.front());
+    EXPECT_THROW(sw.updateWeights(fx.iot.graph), std::invalid_argument);
+    sw.reset();
+    const auto after = sw.process(fx.kdd_trace.front());
+    EXPECT_EQ(before.score, after.score);
+    EXPECT_EQ(before.flagged, after.flagged);
+
+    core::SwitchFarm farm({}, 2);
+    farm.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    EXPECT_THROW(farm.updateWeights(fx.iot.graph),
+                 std::invalid_argument);
+
+    // Unknown tenant id.
+    EXPECT_THROW(sw.updateWeights(7, fx.dnn.graph), std::out_of_range);
+    EXPECT_THROW(farm.updateWeights(7, fx.dnn.graph),
+                 std::out_of_range);
+
+    // Ambiguous single-tenant call on a multi-tenant switch.
+    core::TaurusSwitch both;
+    installBoth(both);
+    EXPECT_THROW(both.updateWeights(fx.dnn.graph),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(both.updateWeights(0, fx.dnn.graph));
+}
+
+TEST(MultiTenant, RuntimeTrainsAndSwapsPerTenant)
+{
+    // Both tenants under one runtime: samples route to each tenant's
+    // own trainer and drift monitor, publishes land in per-tenant
+    // stores, and both hot-swap live.
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 2);
+    installBoth(farm);
+    const core::AppArtifact anom = core::makeAnomalyDnnApp(fx.dnn);
+    const core::AppArtifact iot = core::makeIotFlowApp(fx.iot);
+
+    runtime::RuntimeConfig rc;
+    rc.synchronous = true;
+    rc.train_always = true;
+    rc.sampling_rate = 1.0;
+    rc.batch_pkts = 512;
+    rc.train.batch = 64;
+    rc.train.epochs = 1;
+    rc.train.seed = 11;
+    runtime::OnlineRuntime rt(farm, {&anom, &iot}, rc);
+    EXPECT_EQ(rt.appCount(), 2u);
+    rt.start();
+    rt.processTrace(fx.merged);
+    rt.stop();
+
+    for (core::AppId id : {core::AppId{0}, core::AppId{1}}) {
+        const auto st = rt.appStats(id);
+        EXPECT_GT(st.consumed, 0u) << "app " << id;
+        EXPECT_GT(st.sgd_steps, 0u) << "app " << id;
+        EXPECT_GT(st.updates_published, 0u) << "app " << id;
+        EXPECT_GT(st.updates_applied, 0u) << "app " << id;
+        EXPECT_GT(rt.modelVersion(id), 0u) << "app " << id;
+    }
+    // The aggregate view folds both tenants in.
+    const auto agg = rt.stats();
+    EXPECT_EQ(agg.consumed,
+              rt.appStats(0).consumed + rt.appStats(1).consumed);
+    EXPECT_EQ(agg.updates_published, rt.appStats(0).updates_published +
+                                         rt.appStats(1).updates_published);
+    EXPECT_EQ(agg.packets, fx.merged.size());
+
+    // Count mismatch between farm tenants and artifacts is rejected.
+    EXPECT_THROW(runtime::OnlineRuntime bad(farm, {&anom}, rc),
+                 std::invalid_argument);
+}
+
+TEST(MultiTenant, AsyncRuntimeHotSwapsBothTenantsUnderTraffic)
+{
+    // Persistent workers + trainer thread with two tenants live:
+    // per-tenant publishes and hot-swaps happen concurrently with
+    // traffic. TSan (CI job) is the oracle for data races; functionally
+    // every packet must be decided and both tenants must swap.
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 2);
+    installBoth(farm);
+    const core::AppArtifact anom = core::makeAnomalyDnnApp(fx.dnn);
+    const core::AppArtifact iot = core::makeIotFlowApp(fx.iot);
+
+    runtime::RuntimeConfig rc;
+    rc.synchronous = false;
+    rc.train_always = true;
+    rc.sampling_rate = 0.5;
+    rc.batch_pkts = 256;
+    rc.ring_capacity = 1 << 12;
+    rc.train.batch = 64;
+    rc.train.epochs = 1;
+    rc.train.install_delay_ms = 0.0;
+    rc.train.seed = 7;
+
+    runtime::OnlineRuntime rt(farm, {&anom, &iot}, rc);
+    rt.start();
+    std::vector<core::SwitchDecision> decisions(fx.merged.size());
+    for (int round = 0; round < 3; ++round)
+        rt.processTrace(
+            util::Span<const net::TracePacket>(fx.merged.data(),
+                                               fx.merged.size()),
+            util::Span<core::SwitchDecision>(decisions.data(),
+                                             decisions.size()));
+    rt.stop();
+
+    EXPECT_EQ(rt.stats().packets, 3 * fx.merged.size());
+    for (core::AppId id : {core::AppId{0}, core::AppId{1}}) {
+        const auto st = rt.appStats(id);
+        EXPECT_GT(st.consumed, 0u) << "app " << id;
+        EXPECT_GT(st.updates_published, 0u) << "app " << id;
+        EXPECT_GT(st.updates_applied, 0u) << "app " << id;
+    }
+    for (size_t i = 0; i < decisions.size(); ++i)
+        EXPECT_GT(decisions[i].latency_ns, 0.0) << i;
+}
+
+TEST(MultiTenant, RuntimeRetrainingOneTenantLeavesOtherDecisionsAlone)
+{
+    // Full-runtime isolation: live retraining + hot swaps of tenant 0
+    // must leave tenant 1's decisions bit-identical to a run with no
+    // training at all.
+    const auto &fx = fixture();
+
+    auto run = [&](bool train) {
+        core::SwitchFarm farm({}, 2);
+        installBoth(farm);
+        core::AppArtifact anom = core::makeAnomalyDnnApp(fx.dnn);
+        core::AppArtifact iot = core::makeIotFlowApp(fx.iot);
+        iot.make_trainer = nullptr; // tenant 1 is mirror-only
+        if (!train)
+            anom.make_trainer = nullptr;
+        runtime::RuntimeConfig rc;
+        rc.synchronous = true;
+        rc.train_always = true;
+        rc.sampling_rate = 1.0;
+        rc.batch_pkts = 512;
+        rc.train.batch = 64;
+        rc.train.epochs = 1;
+        rc.train.seed = 11;
+        runtime::OnlineRuntime rt(farm, {&anom, &iot}, rc);
+        rt.start();
+        auto decisions = rt.processTrace(fx.merged);
+        const uint64_t published = rt.stats().updates_published;
+        rt.stop();
+        return std::make_pair(std::move(decisions), published);
+    };
+
+    const auto [trained, pubs_trained] = run(true);
+    const auto [still, pubs_still] = run(false);
+    EXPECT_GT(pubs_trained, 0u);
+    EXPECT_EQ(pubs_still, 0u);
+
+    size_t anom_changed = 0;
+    ASSERT_EQ(trained.size(), still.size());
+    for (size_t i = 0; i < trained.size(); ++i) {
+        ASSERT_EQ(trained[i].app_id, still[i].app_id) << i;
+        if (trained[i].app_id == 1)
+            expectSameDecision(still[i], trained[i], i,
+                               /*with_latency=*/true);
+        else
+            anom_changed += still[i].score != trained[i].score;
+    }
+    EXPECT_GT(anom_changed, 0u);
+}
+
+TEST(MultiTenant, PlacementReportCoversEveryTenant)
+{
+    core::TaurusSwitch sw;
+    installBoth(sw);
+    const auto progs = sw.programs();
+    ASSERT_EQ(progs.size(), 2u);
+    const auto rep = compiler::analyzeApps(progs);
+    ASSERT_EQ(rep.apps.size(), 2u);
+    EXPECT_EQ(rep.total_cus, rep.apps[0].cus + rep.apps[1].cus);
+    EXPECT_EQ(rep.total_mus, rep.apps[0].mus + rep.apps[1].mus);
+    EXPECT_GT(rep.grid_cus, 0);
+    EXPECT_DOUBLE_EQ(rep.worst_latency_ns,
+                     std::max(rep.apps[0].latency_ns,
+                              rep.apps[1].latency_ns));
+    EXPECT_DOUBLE_EQ(rep.min_gpktps, std::min(rep.apps[0].gpktps,
+                                              rep.apps[1].gpktps));
+    // The paper's claim: these small models share one MapReduce block.
+    EXPECT_TRUE(rep.fits_concurrently);
+    EXPECT_THROW(compiler::analyzeApps({}), std::invalid_argument);
+}
+
+TEST(MultiTenant, SetDefaultAppRedirectsUnmatchedTraffic)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    installBoth(sw);
+    // KDD traffic matches no dispatch rule -> default tenant.
+    EXPECT_EQ(sw.process(fx.kdd_trace.front()).app_id, 0u);
+    sw.setDefaultApp(1);
+    EXPECT_EQ(sw.defaultApp(), 1u);
+    EXPECT_EQ(sw.process(fx.kdd_trace.front()).app_id, 1u);
+    EXPECT_THROW(sw.setDefaultApp(9), std::out_of_range);
+}

@@ -534,3 +534,68 @@ TEST_P(FlowTableBitsTest, CollisionRateBoundedByTableSize)
 
 INSTANTIATE_TEST_SUITE_P(TableSizes, FlowTableBitsTest,
                          ::testing::Values(10, 14, 18, 20));
+
+TEST(SwitchStats, MergeEmptyEitherWay)
+{
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(fixture().dnn);
+    for (size_t i = 0; i < 200; ++i)
+        sw.process(fixture().trace[i]);
+    const core::SwitchStats &ref = sw.stats();
+
+    // empty.merge(filled) copies; filled.merge(empty) is a no-op —
+    // including the latency RunningStats' means and extrema.
+    core::SwitchStats onto_empty;
+    onto_empty.merge(ref);
+    EXPECT_EQ(onto_empty.packets, ref.packets);
+    EXPECT_EQ(onto_empty.ml_packets, ref.ml_packets);
+    EXPECT_EQ(onto_empty.flagged, ref.flagged);
+    EXPECT_EQ(onto_empty.dropped, ref.dropped);
+    EXPECT_EQ(onto_empty.safety_overrides, ref.safety_overrides);
+    EXPECT_EQ(onto_empty.ml_latency_ns.count(),
+              ref.ml_latency_ns.count());
+    EXPECT_DOUBLE_EQ(onto_empty.ml_latency_ns.mean(),
+                     ref.ml_latency_ns.mean());
+    EXPECT_DOUBLE_EQ(onto_empty.ml_latency_ns.max(),
+                     ref.ml_latency_ns.max());
+
+    core::SwitchStats with_empty = onto_empty;
+    with_empty.merge(core::SwitchStats{});
+    EXPECT_EQ(with_empty.packets, ref.packets);
+    EXPECT_EQ(with_empty.ml_latency_ns.count(),
+              ref.ml_latency_ns.count());
+    EXPECT_DOUBLE_EQ(with_empty.ml_latency_ns.mean(),
+                     ref.ml_latency_ns.mean());
+    EXPECT_DOUBLE_EQ(with_empty.bypass_latency_ns.mean(),
+                     ref.bypass_latency_ns.mean());
+
+    // empty.merge(empty) stays all-zero with safe gauges.
+    core::SwitchStats e;
+    e.merge(core::SwitchStats{});
+    EXPECT_EQ(e.packets, 0u);
+    EXPECT_EQ(e.ml_latency_ns.count(), 0u);
+    EXPECT_DOUBLE_EQ(e.ml_latency_ns.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(e.ml_latency_ns.min(), 0.0);
+}
+
+TEST(SwitchStats, MergeWithSelfDoublesCountsKeepsMoments)
+{
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(fixture().dnn);
+    for (size_t i = 0; i < 300; ++i)
+        sw.process(fixture().trace[i]);
+    core::SwitchStats s = sw.stats();
+    const core::SwitchStats ref = s;
+
+    s.merge(s); // aliased merge must not read half-updated fields
+    EXPECT_EQ(s.packets, 2 * ref.packets);
+    EXPECT_EQ(s.ml_packets, 2 * ref.ml_packets);
+    EXPECT_EQ(s.flagged, 2 * ref.flagged);
+    EXPECT_EQ(s.ml_latency_ns.count(), 2 * ref.ml_latency_ns.count());
+    // Duplicating every sample moves no scale-invariant moment.
+    EXPECT_DOUBLE_EQ(s.ml_latency_ns.mean(), ref.ml_latency_ns.mean());
+    EXPECT_DOUBLE_EQ(s.ml_latency_ns.min(), ref.ml_latency_ns.min());
+    EXPECT_DOUBLE_EQ(s.ml_latency_ns.max(), ref.ml_latency_ns.max());
+    EXPECT_NEAR(s.ml_latency_ns.sum(), 2.0 * ref.ml_latency_ns.sum(),
+                1e-6);
+}

@@ -351,3 +351,66 @@ TEST(MultiConfusion, MergeRejectsShapeMismatch)
     EXPECT_THROW(a.merge(b), std::invalid_argument);
     EXPECT_EQ(a.total(), 0u); // nothing partially merged
 }
+
+TEST(MultiConfusion, MergeEmptyEitherWay)
+{
+    tu::MultiConfusion filled(3);
+    filled.record(1, 1);
+    filled.record(2, 0);
+    tu::MultiConfusion empty(3);
+
+    // empty into filled: nothing changes.
+    filled.merge(empty);
+    EXPECT_EQ(filled.total(), 2u);
+    EXPECT_EQ(filled.count(1, 1), 1u);
+    EXPECT_DOUBLE_EQ(filled.accuracy(), 0.5);
+
+    // filled into empty: the empty side becomes an exact copy.
+    empty.merge(filled);
+    EXPECT_EQ(empty.total(), filled.total());
+    for (size_t p = 0; p < 3; ++p)
+        for (size_t t = 0; t < 3; ++t)
+            EXPECT_EQ(empty.count(p, t), filled.count(p, t));
+
+    // empty into empty stays empty, with the undefined-metric
+    // conventions intact (precision 1, recall 0, accuracy 0).
+    tu::MultiConfusion e1(4), e2(4);
+    e1.merge(e2);
+    EXPECT_EQ(e1.total(), 0u);
+    EXPECT_DOUBLE_EQ(e1.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(e1.precision(0), 1.0);
+    EXPECT_DOUBLE_EQ(e1.recall(0), 0.0);
+}
+
+TEST(MultiConfusion, MergeWithSelfDoublesEveryCell)
+{
+    tu::MultiConfusion cm(3);
+    cm.record(0, 0);
+    cm.record(1, 0);
+    cm.record(2, 2);
+    const double acc = cm.accuracy();
+    cm.merge(cm); // aliased merge must not read half-updated cells
+    EXPECT_EQ(cm.total(), 6u);
+    EXPECT_EQ(cm.count(0, 0), 2u);
+    EXPECT_EQ(cm.count(1, 0), 2u);
+    EXPECT_EQ(cm.count(2, 2), 2u);
+    // Ratios are scale-invariant: doubling changes no derived metric.
+    EXPECT_DOUBLE_EQ(cm.accuracy(), acc);
+}
+
+TEST(MultiConfusion, SingleClassDegenerateCase)
+{
+    // K = 1: everything clamps to class 0 and the one-vs-rest metrics
+    // collapse to all-positive conventions rather than dividing by 0.
+    tu::MultiConfusion cm(1);
+    cm.record(0, 0);
+    cm.record(5, -3); // clamps to (0, 0)
+    EXPECT_EQ(cm.classes(), 1u);
+    EXPECT_EQ(cm.total(), 2u);
+    EXPECT_EQ(cm.count(0, 0), 2u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 1.0);
+    EXPECT_DOUBLE_EQ(cm.f1(0), 1.0);
+    EXPECT_DOUBLE_EQ(cm.macroF1(), 1.0);
+}
