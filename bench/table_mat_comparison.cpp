@@ -11,6 +11,7 @@
 #include "compiler/report.hpp"
 #include "models/apps.hpp"
 #include "models/zoo.hpp"
+#include "taurus/switch.hpp"
 #include "util/table.hpp"
 
 TAURUS_BENCH(table_mat_comparison, "Section 5.1.4",
@@ -32,11 +33,20 @@ TAURUS_BENCH(table_mat_comparison, "Section 5.1.4",
     const auto km = models::trainIotKmeans(1, conns);
 
     area::ChipModel chip;
+    // Every compile below runs against the one SwitchConfig the real
+    // pipeline consumes, and the DNN is measured on the program a
+    // TaurusSwitch built from that config actually installed — not a
+    // bench-local side compile with drifting options.
+    core::SwitchConfig cfg;
+    core::TaurusSwitch sw(cfg);
+    sw.installAnomalyModel(dnn);
     auto mats_for = [&](const dfg::Graph &g) {
-        const auto rep = compiler::analyze(compiler::compile(g), chip);
+        const auto rep =
+            compiler::analyze(compiler::compile(g, cfg.compiler), chip);
         return chip.matEquivalents(rep.area_mm2);
     };
-    const double mats_dnn = mats_for(dnn.graph);
+    const double mats_dnn =
+        chip.matEquivalents(compiler::analyze(sw.program(), chip).area_mm2);
     const double mats_svm = mats_for(svm.lowered.graph);
     const double mats_km = mats_for(km.lowered.graph);
     ctx.metric("taurus_dnn_mat_equivalents", mats_dnn);

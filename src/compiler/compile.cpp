@@ -69,10 +69,19 @@ compile(const dfg::Graph &graph, const Options &opts)
         throw std::invalid_argument("compile: invalid graph: " + gerr);
 
     const GridSpec &spec = opts.spec;
+    if (opts.region.col_begin < 0 ||
+        opts.region.col_begin >= opts.region.endFor(spec.cols) ||
+        opts.region.endFor(spec.cols) > spec.cols)
+        throw std::invalid_argument(
+            "compile: region [" + std::to_string(opts.region.col_begin) +
+            "," + std::to_string(opts.region.endFor(spec.cols)) +
+            ") does not fit a " + std::to_string(spec.cols) +
+            "-column grid");
     hw::GridProgram prog;
     prog.graph = graph;
     prog.spec = spec;
     prog.timing = opts.timing;
+    prog.region = opts.region;
     prog.place.assign(graph.nodes().size(), Coord{0, 0});
 
     const std::vector<int> level = nodeLevels(graph);
@@ -132,8 +141,10 @@ compile(const dfg::Graph &graph, const Options &opts)
     }
 
     // ---- Step 2: folding decision. ----
-    const auto cu_coords = spec.unitsOfKind(UnitKind::Cu);
-    const auto mu_coords = spec.unitsOfKind(UnitKind::Mu);
+    // Unit pools restricted to the program's region; the default region
+    // is the whole grid, so a region-less compile sees every unit.
+    const auto cu_coords = spec.unitsOfKind(UnitKind::Cu, opts.region);
+    const auto mu_coords = spec.unitsOfKind(UnitKind::Mu, opts.region);
     const int n_slots = static_cast<int>(slots.size());
     int contexts = 1;
     if (n_slots > static_cast<int>(cu_coords.size())) {
@@ -147,7 +158,9 @@ compile(const dfg::Graph &graph, const Options &opts)
     if (cus_needed > static_cast<int>(cu_coords.size()))
         throw std::invalid_argument(
             "compile: graph needs " + std::to_string(cus_needed) +
-            " CUs, grid has " + std::to_string(cu_coords.size()));
+            " CUs, " +
+            (opts.region.coversAll(spec.cols) ? "grid" : "region") +
+            " has " + std::to_string(cu_coords.size()));
 
     // ---- Step 3: placement. ----
     // Column target proportional to topological level; row target follows
@@ -159,16 +172,21 @@ compile(const dfg::Graph &graph, const Options &opts)
     const Coord ingress = spec.ingress();
     const Coord egress = spec.egress();
 
+    // Topological levels map onto the region's columns (the full grid's
+    // when no region is set, which reproduces the region-less formula).
+    const int band_begin = opts.region.col_begin;
+    const int band_end = opts.region.endFor(spec.cols);
     auto targetFor = [&](int lvl, double row_hint) {
         Coord t;
         t.col = max_level <= 1
-                    ? 0
-                    : static_cast<int>((spec.cols - 1) *
-                                       (static_cast<double>(lvl) /
-                                        max_level));
+                    ? band_begin
+                    : band_begin +
+                          static_cast<int>((band_end - band_begin - 1) *
+                                           (static_cast<double>(lvl) /
+                                            max_level));
         t.row = static_cast<int>(row_hint);
         t.row = std::clamp(t.row, 0, spec.rows - 1);
-        t.col = std::clamp(t.col, 0, spec.cols - 1);
+        t.col = std::clamp(t.col, band_begin, band_end - 1);
         return t;
     };
 

@@ -35,6 +35,15 @@ struct Options
     int max_contexts_per_cu = 8;
     /** Max dot-op reader CUs streaming from one weight MU. */
     int readers_per_weight_mu = 8;
+
+    /**
+     * Column band of the grid the program may occupy (spatial
+     * multi-tenancy: placeApps carves one disjoint band per tenant).
+     * The default spans the whole grid and reproduces the region-less
+     * compiler exactly — topological levels then map to the band's
+     * columns instead of the full grid's.
+     */
+    hw::Region region;
 };
 
 /** Compile a graph to a placed program; throws on infeasible graphs. */

@@ -1,0 +1,420 @@
+#include "compiler/place.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace taurus::compiler {
+
+using hw::Coord;
+using hw::GridSpec;
+using hw::Region;
+using hw::UnitKind;
+
+namespace {
+
+struct CoordLess
+{
+    bool
+    operator()(const Coord &a, const Coord &b) const
+    {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    }
+};
+
+/** Units a program actually occupies (CU ops, lookup MUs, weight MUs). */
+std::set<Coord, CoordLess>
+unitsUsed(const hw::GridProgram &prog)
+{
+    std::set<Coord, CoordLess> used;
+    for (const auto &n : prog.graph.nodes())
+        if (dfg::Graph::isCuOp(n) || dfg::Graph::isMuOp(n))
+            used.insert(prog.place[static_cast<size_t>(n.id)]);
+    for (const auto &c : prog.weight_mus)
+        used.insert(c);
+    return used;
+}
+
+/** A placement candidate: tenant visit order + per-tenant band width
+ *  (indexed in visit order). Bands are laid left to right. */
+struct Candidate
+{
+    std::vector<int> order;
+    std::vector<int> widths;
+};
+
+/** Worst-case objective, compared lexicographically: first the slowest
+ *  tenant's II (line-rate survival), then the worst latency, then the
+ *  total latency as a tie-breaker so the search keeps improving the
+ *  average once the worst case is settled. */
+struct Objective
+{
+    int worst_ii = 0;
+    double worst_latency_ns = 0.0;
+    double total_latency_ns = 0.0;
+
+    bool
+    betterThan(const Objective &o) const
+    {
+        if (worst_ii != o.worst_ii)
+            return worst_ii < o.worst_ii;
+        if (worst_latency_ns != o.worst_latency_ns)
+            return worst_latency_ns < o.worst_latency_ns;
+        return total_latency_ns < o.total_latency_ns;
+    }
+};
+
+/** One evaluated candidate: the placed programs (input order) plus the
+ *  schedules and the objective. */
+struct Evaluated
+{
+    bool feasible = false;
+    std::vector<hw::GridProgram> programs;  ///< input order
+    std::vector<hw::Schedule> schedules;    ///< input order
+    Objective objective;
+    std::string why;
+};
+
+Evaluated
+evaluate(const std::vector<const dfg::Graph *> &graphs,
+         const Candidate &cand, const Options &base)
+{
+    Evaluated ev;
+    ev.programs.resize(graphs.size());
+    ev.schedules.resize(graphs.size());
+    int col = 0;
+    for (size_t i = 0; i < cand.order.size(); ++i) {
+        const int tenant = cand.order[i];
+        Options opts = base;
+        opts.region.col_begin = col;
+        opts.region.col_end = col + cand.widths[i];
+        col += cand.widths[i];
+        try {
+            ev.programs[static_cast<size_t>(tenant)] =
+                compile(*graphs[static_cast<size_t>(tenant)], opts);
+        } catch (const std::invalid_argument &e) {
+            ev.why = "tenant " + std::to_string(tenant) + " ('" +
+                     graphs[static_cast<size_t>(tenant)]->name +
+                     "') does not fit columns [" +
+                     std::to_string(opts.region.col_begin) + "," +
+                     std::to_string(opts.region.col_end) +
+                     "): " + e.what();
+            return ev;
+        }
+        ev.schedules[static_cast<size_t>(tenant)] =
+            hw::CycleSim::compileSchedule(
+                ev.programs[static_cast<size_t>(tenant)]);
+    }
+    for (const auto &s : ev.schedules) {
+        ev.objective.worst_ii = std::max(ev.objective.worst_ii,
+                                         s.ii_cycles);
+        ev.objective.worst_latency_ns =
+            std::max(ev.objective.worst_latency_ns, s.latency_ns);
+        ev.objective.total_latency_ns += s.latency_ns;
+    }
+    ev.feasible = true;
+    return ev;
+}
+
+/** Minimal band widths, laid left to right in candidate order: each
+ *  band grows until it holds the tenant's private CU and MU demand.
+ *  Returns false (with `why`) when the grid runs out of columns. */
+bool
+minimalWidths(const GridSpec &spec, const std::vector<int> &order,
+              const std::vector<int> &cu_demand,
+              const std::vector<int> &mu_demand, std::vector<int> &widths,
+              std::string &why)
+{
+    widths.assign(order.size(), 0);
+    int col = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        const int tenant = order[i];
+        int cus = 0, mus = 0, w = 0;
+        while (col + w < spec.cols &&
+               (cus < cu_demand[static_cast<size_t>(tenant)] ||
+                mus < mu_demand[static_cast<size_t>(tenant)] || w == 0)) {
+            cus += spec.countInColumn(UnitKind::Cu, col + w);
+            mus += spec.countInColumn(UnitKind::Mu, col + w);
+            ++w;
+        }
+        if (cus < cu_demand[static_cast<size_t>(tenant)] ||
+            mus < mu_demand[static_cast<size_t>(tenant)]) {
+            why = "tenant " + std::to_string(tenant) + " needs " +
+                  std::to_string(cu_demand[static_cast<size_t>(tenant)]) +
+                  " CUs / " +
+                  std::to_string(mu_demand[static_cast<size_t>(tenant)]) +
+                  " MUs but only " + std::to_string(spec.cols - col) +
+                  " columns remain";
+            return false;
+        }
+        widths[i] = w;
+        col += w;
+    }
+    return true;
+}
+
+/** Distribute leftover columns proportionally to CU demand (largest
+ *  remainder, deterministic tie-break by visit order). */
+void
+distributeLeftover(const GridSpec &spec, const std::vector<int> &order,
+                   const std::vector<int> &cu_demand,
+                   std::vector<int> &widths)
+{
+    int used = std::accumulate(widths.begin(), widths.end(), 0);
+    int leftover = spec.cols - used;
+    if (leftover <= 0)
+        return;
+    double total_demand = 0;
+    for (int t : order)
+        total_demand += cu_demand[static_cast<size_t>(t)];
+    if (total_demand <= 0) {
+        widths[0] += leftover;
+        return;
+    }
+    // Whole shares first, then largest fractional remainder.
+    std::vector<double> share(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        share[i] = leftover *
+                   (cu_demand[static_cast<size_t>(order[i])] /
+                    total_demand);
+    int given = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        const int whole = static_cast<int>(share[i]);
+        widths[i] += whole;
+        share[i] -= whole;
+        given += whole;
+    }
+    std::vector<size_t> by_rem(order.size());
+    std::iota(by_rem.begin(), by_rem.end(), size_t{0});
+    std::stable_sort(by_rem.begin(), by_rem.end(),
+                     [&](size_t a, size_t b) {
+                         return share[a] > share[b];
+                     });
+    for (size_t k = 0; given < leftover; ++k, ++given)
+        ++widths[by_rem[k % by_rem.size()]];
+}
+
+} // namespace
+
+std::string
+validateDisjoint(const std::vector<const hw::GridProgram *> &programs)
+{
+    if (programs.empty())
+        return "no programs";
+    std::map<Coord, size_t, CoordLess> owner;
+    for (size_t i = 0; i < programs.size(); ++i) {
+        const hw::GridProgram *p = programs[i];
+        if (!p)
+            return "null program";
+        if (p->spec != programs.front()->spec)
+            return "program " + std::to_string(i) +
+                   " compiled against a different GridSpec";
+        const std::string err = p->validate();
+        if (!err.empty())
+            return "program " + std::to_string(i) + " invalid: " + err;
+        for (const Coord &c : unitsUsed(*p)) {
+            const auto [it, fresh] = owner.emplace(c, i);
+            if (!fresh)
+                return "unit (" + std::to_string(c.row) + "," +
+                       std::to_string(c.col) + ") used by programs " +
+                       std::to_string(it->second) + " and " +
+                       std::to_string(i);
+        }
+    }
+    return "";
+}
+
+std::string
+PlacementReport::summary() const
+{
+    std::ostringstream os;
+    os << (spatial ? "spatial" : "private (time-multiplexed)")
+       << " placement on one " << spec.rows << "x" << spec.cols
+       << " grid (" << spec.cuCount() << " CUs / " << spec.muCount()
+       << " MUs), " << tenants.size() << " tenant"
+       << (tenants.size() == 1 ? "" : "s");
+    if (spatial)
+        os << ", worst latency " << worst_latency_ns << " ns, worst II "
+           << worst_ii_cycles << ", search " << search_rounds
+           << " rounds / " << search_moves << " moves";
+    else if (!why.empty())
+        os << " (" << why << ")";
+    os << "\n";
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        const TenantRegion &t = tenants[i];
+        os << "  [" << i << "] " << t.name;
+        if (spatial)
+            os << "  cols " << t.region.col_begin << ".."
+               << t.region.endFor(spec.cols) - 1;
+        os << "  cus " << t.cus << "  mus " << t.mus << "  latency "
+           << t.latency_ns << " ns (solo " << t.solo_latency_ns
+           << ")  II " << t.ii_cycles << " (solo " << t.solo_ii_cycles
+           << ")" << (t.folded ? "  [folded]" : "") << "\n";
+    }
+    return os.str();
+}
+
+MultiAppPlacement
+placeApps(const std::vector<const dfg::Graph *> &graphs,
+          const PlaceOptions &opts)
+{
+    if (graphs.empty())
+        throw std::invalid_argument("placeApps: no graphs");
+    for (const dfg::Graph *g : graphs)
+        if (!g)
+            throw std::invalid_argument("placeApps: null graph");
+
+    const GridSpec &spec = opts.compile.spec;
+    MultiAppPlacement out;
+    out.report.spec = spec;
+    out.report.tenants.resize(graphs.size());
+
+    // Private (whole-grid) references: the contention baseline, and the
+    // demand estimate the greedy column packing is sized from. A tenant
+    // that cannot compile even privately cannot fit any band either.
+    Options solo_opts = opts.compile;
+    solo_opts.region = Region{};
+    std::vector<int> cu_demand(graphs.size(), 0);
+    std::vector<int> mu_demand(graphs.size(), 0);
+    for (size_t i = 0; i < graphs.size(); ++i) {
+        TenantRegion &t = out.report.tenants[i];
+        t.name = graphs[i]->name;
+        try {
+            const hw::GridProgram solo = compile(*graphs[i], solo_opts);
+            const hw::Schedule sched =
+                hw::CycleSim::compileSchedule(solo);
+            cu_demand[i] = solo.cusUsed();
+            mu_demand[i] = solo.musUsed();
+            t.solo_latency_ns = sched.latency_ns;
+            t.solo_ii_cycles = sched.ii_cycles;
+        } catch (const std::invalid_argument &e) {
+            out.report.why = "tenant " + std::to_string(i) + " ('" +
+                             graphs[i]->name +
+                             "') does not fit the grid even privately: " +
+                             e.what();
+            return out;
+        }
+    }
+
+    // ---- Greedy column packing. ----
+    // Visit order: descending CU demand (largest tenant gets first pick
+    // of contiguous columns), stable on input order for determinism.
+    Candidate cand;
+    cand.order.resize(graphs.size());
+    std::iota(cand.order.begin(), cand.order.end(), 0);
+    std::stable_sort(cand.order.begin(), cand.order.end(),
+                     [&](int a, int b) {
+                         return cu_demand[static_cast<size_t>(a)] >
+                                cu_demand[static_cast<size_t>(b)];
+                     });
+    if (!minimalWidths(spec, cand.order, cu_demand, mu_demand,
+                       cand.widths, out.report.why))
+        return out;
+    distributeLeftover(spec, cand.order, cu_demand, cand.widths);
+
+    Evaluated best = evaluate(graphs, cand, opts.compile);
+    if (!best.feasible) {
+        // The greedy estimate can undershoot (folding or weight-MU
+        // demand differs inside a narrow band); widening pass: give the
+        // failing layout one more sweep with minimal widths only.
+        Candidate minimal = cand;
+        std::string dummy;
+        minimalWidths(spec, minimal.order, cu_demand, mu_demand,
+                      minimal.widths, dummy);
+        best = evaluate(graphs, minimal, opts.compile);
+        if (!best.feasible) {
+            out.report.why = best.why;
+            return out;
+        }
+        cand = minimal;
+    }
+
+    // ---- Homunculus-style local search. ----
+    // Deterministic hill climbing: every sweep evaluates all adjacent
+    // order swaps and all one-column boundary shifts, takes the best
+    // improving move, and stops when no move improves the worst-case
+    // (II, latency) objective.
+    int rounds = 0, moves = 0;
+    for (; rounds < opts.search_rounds; ++rounds) {
+        Candidate best_move;
+        Evaluated best_move_ev;
+        bool improved = false;
+
+        auto consider = [&](const Candidate &c) {
+            Evaluated ev = evaluate(graphs, c, opts.compile);
+            if (!ev.feasible)
+                return;
+            if (ev.objective.betterThan(best.objective) &&
+                (!improved ||
+                 ev.objective.betterThan(best_move_ev.objective))) {
+                best_move = c;
+                best_move_ev = std::move(ev);
+                improved = true;
+            }
+        };
+
+        for (size_t i = 0; i + 1 < cand.order.size(); ++i) {
+            // Swap two adjacent tenants (widths travel with the band
+            // slot, not the tenant, so the column split is re-used).
+            Candidate c = cand;
+            std::swap(c.order[i], c.order[i + 1]);
+            std::swap(c.widths[i], c.widths[i + 1]);
+            consider(c);
+            // Shift one boundary column each way.
+            if (cand.widths[i] > 1) {
+                Candidate shift = cand;
+                --shift.widths[i];
+                ++shift.widths[i + 1];
+                consider(shift);
+            }
+            if (cand.widths[i + 1] > 1) {
+                Candidate shift = cand;
+                ++shift.widths[i];
+                --shift.widths[i + 1];
+                consider(shift);
+            }
+        }
+        if (!improved)
+            break;
+        cand = best_move;
+        best = std::move(best_move_ev);
+        ++moves;
+    }
+
+    // ---- Commit: programs in input (AppId) order + the report. ----
+    out.fits = true;
+    out.programs = std::move(best.programs);
+    out.report.spatial = true;
+    out.report.search_rounds = rounds;
+    out.report.search_moves = moves;
+    out.report.min_gpktps = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < graphs.size(); ++i) {
+        TenantRegion &t = out.report.tenants[i];
+        const hw::GridProgram &p = out.programs[i];
+        const hw::Schedule &s = best.schedules[i];
+        t.region = p.region;
+        t.cus = p.cusUsed();
+        t.mus = p.musUsed();
+        t.folded = p.serialize_sharing;
+        t.latency_cycles = s.latency_cycles;
+        t.latency_ns = s.latency_ns;
+        t.ii_cycles = s.ii_cycles;
+        t.gpktps = s.gpktps;
+        out.report.total_cus += t.cus;
+        out.report.total_mus += t.mus;
+        out.report.worst_latency_ns =
+            std::max(out.report.worst_latency_ns, t.latency_ns);
+        out.report.worst_ii_cycles =
+            std::max(out.report.worst_ii_cycles, t.ii_cycles);
+        out.report.min_gpktps = std::min(out.report.min_gpktps, t.gpktps);
+        out.report.worst_contention_ns =
+            std::max(out.report.worst_contention_ns, t.contentionNs());
+    }
+    return out;
+}
+
+} // namespace taurus::compiler

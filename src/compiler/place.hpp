@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Spatial multi-tenancy: place N lowered graphs onto ONE shared grid.
+ *
+ * The paper's headline concurrency claim — "With such small networks,
+ * Taurus can run multiple models simultaneously" — needs more than N
+ * private, time-multiplexed GridPrograms: it needs a placement of all
+ * tenants onto disjoint units of a single MapReduce block. placeApps
+ * produces exactly that:
+ *
+ *  1. greedy column packing: each tenant gets a contiguous column band
+ *     sized from its private-placement CU/MU demand, and leftover
+ *     columns are distributed proportionally to compute demand;
+ *  2. a Homunculus-style local search (arXiv 2206.05592): deterministic
+ *     hill climbing over tenant orderings and band boundaries that
+ *     minimizes the worst-case (II, latency) across tenants;
+ *  3. per-tenant schedules: every tenant keeps its own region-placed
+ *     GridProgram with *global* coordinates, so one CycleSim schedule
+ *     per tenant prices the real routes on the shared fabric.
+ *
+ * The result carries contention accounting against each tenant's
+ * private (whole-grid) placement, which is what the admission
+ * controller (TaurusSwitch::installApp) and table9_multitenant consume.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "hw/cycle_sim.hpp"
+#include "hw/program.hpp"
+
+namespace taurus::compiler {
+
+/** One tenant's slice of a shared-grid spatial placement. */
+struct TenantRegion
+{
+    std::string name;
+    hw::Region region;
+    int cus = 0; ///< CUs the region-placed program occupies
+    int mus = 0;
+    bool folded = false; ///< time-multiplexed inside its own region
+    int latency_cycles = 0;
+    double latency_ns = 0.0;
+    int ii_cycles = 1;
+    double gpktps = 0.0;
+
+    /** Private (whole-grid) placement reference: the PR-5 baseline the
+     *  spatial placement is measured against. */
+    double solo_latency_ns = 0.0;
+    int solo_ii_cycles = 1;
+
+    /** Latency this tenant pays for sharing the grid spatially. */
+    double contentionNs() const { return latency_ns - solo_latency_ns; }
+};
+
+/**
+ * Everything placeApps decided, without the placed programs themselves
+ * (the switch keeps those inside its InstalledApp slots). Kept by
+ * TaurusSwitch for observability and printed by table9_multitenant.
+ */
+struct PlacementReport
+{
+    /** True when every tenant landed in a disjoint region of one grid;
+     *  false = the set only serves with private time-multiplexed
+     *  programs (the pre-spatial fallback). */
+    bool spatial = false;
+    hw::GridSpec spec;
+    std::vector<TenantRegion> tenants; ///< in AppId (input) order
+    int total_cus = 0;
+    int total_mus = 0;
+    double worst_latency_ns = 0.0;
+    int worst_ii_cycles = 1;
+    double min_gpktps = 0.0;
+    double worst_contention_ns = 0.0;
+    int search_rounds = 0; ///< hill-climbing sweeps actually run
+    int search_moves = 0;  ///< accepted improving moves
+    std::string why;       ///< when !spatial: the first infeasibility
+
+    /** Human-readable placement report (CI archives this). */
+    std::string summary() const;
+};
+
+/** Knobs of one placeApps run. */
+struct PlaceOptions
+{
+    /** Per-tenant compile knobs; `compile.region` is overwritten per
+     *  tenant by the placer. */
+    Options compile;
+    /** Hill-climbing sweep budget (each sweep evaluates every adjacent
+     *  order swap and every one-column boundary shift). */
+    int search_rounds = 8;
+};
+
+/** A multi-program spatial placement on one shared grid. */
+struct MultiAppPlacement
+{
+    /** True when the spatial placement exists; `programs` is empty
+     *  otherwise and `report.why` says what failed. */
+    bool fits = false;
+    /** Region-placed programs in input order, coordinates global to the
+     *  shared grid, pairwise disjoint (validateDisjoint == ""). */
+    std::vector<hw::GridProgram> programs;
+    PlacementReport report;
+};
+
+/**
+ * Place N lowered graphs onto disjoint regions of one shared GridSpec.
+ * Throws std::invalid_argument on an empty or null input; placement
+ * infeasibility (a tenant set that genuinely does not fit) is reported
+ * through `fits == false`, not an exception, because the admission
+ * controller treats it as a policy decision rather than an error.
+ */
+MultiAppPlacement placeApps(const std::vector<const dfg::Graph *> &graphs,
+                            const PlaceOptions &opts = {});
+
+/**
+ * The spatial invariant: every program valid, all on the same spec,
+ * and no grid unit (CU, lookup MU, or weight MU) used by two programs.
+ * Returns an error string or "" — placeApps output always passes, and
+ * a regression test holds it to that.
+ */
+std::string validateDisjoint(
+    const std::vector<const hw::GridProgram *> &programs);
+
+} // namespace taurus::compiler

@@ -42,7 +42,26 @@ analyzeApps(const std::vector<const hw::GridProgram *> &programs,
             const area::ChipModel &chip)
 {
     if (programs.empty())
-        throw std::invalid_argument("analyzeApps: no programs");
+        throw std::invalid_argument(
+            "analyzeApps: no programs (install at least one app before "
+            "asking for a placement report)");
+    for (size_t i = 0; i < programs.size(); ++i) {
+        if (!programs[i])
+            throw std::invalid_argument(
+                "analyzeApps: program " + std::to_string(i) +
+                " is null");
+        // All tenants of one switch compile against one grid; capacity
+        // below is read from the first program, which is only sound
+        // when every spec agrees.
+        if (programs[i]->spec != programs.front()->spec)
+            throw std::invalid_argument(
+                "analyzeApps: program " + std::to_string(i) + " ('" +
+                programs[i]->graph.name +
+                "') was compiled against a different GridSpec than "
+                "program 0 ('" +
+                programs.front()->graph.name +
+                "') — co-resident tenants must share one grid");
+    }
 
     MultiAppReport m;
     m.grid_cus = programs.front()->spec.cuCount();

@@ -65,9 +65,10 @@ struct MultiAppReport
 
 /**
  * Analyze every tenant of a multi-tenant switch (the vector
- * TaurusSwitch::programs() returns, in AppId order). `programs` must be
- * non-empty; the grid capacity is read from the first program's spec
- * (all tenants of one switch compile against the same spec).
+ * TaurusSwitch::programs() returns, in AppId order). Throws
+ * std::invalid_argument when `programs` is empty, contains a null
+ * entry, or mixes GridSpecs — co-resident tenants must all compile
+ * against the one shared grid whose capacity the roll-up reports.
  */
 MultiAppReport analyzeApps(
     const std::vector<const hw::GridProgram *> &programs,

@@ -51,4 +51,26 @@ GridSpec::unitsOfKind(UnitKind kind) const
     return out;
 }
 
+std::vector<Coord>
+GridSpec::unitsOfKind(UnitKind kind, const Region &region) const
+{
+    std::vector<Coord> out;
+    const int end = region.endFor(cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = region.col_begin; c < end; ++c)
+            if (kindAt({r, c}) == kind)
+                out.push_back({r, c});
+    return out;
+}
+
+int
+GridSpec::countInColumn(UnitKind kind, int col) const
+{
+    int n = 0;
+    for (int r = 0; r < rows; ++r)
+        if (kindAt({r, col}) == kind)
+            ++n;
+    return n;
+}
+
 } // namespace taurus::hw

@@ -39,6 +39,39 @@ struct Coord
 /** Manhattan distance between two coordinates. */
 int manhattan(const Coord &a, const Coord &b);
 
+/**
+ * A contiguous column band of the grid: the unit a spatial multi-tenant
+ * placement allocates. `[col_begin, col_end)`; `col_end == -1` means
+ * "through the last column" (the default region is the whole grid, so a
+ * region-less program is exactly the pre-spatial compiler's output).
+ */
+struct Region
+{
+    int col_begin = 0;
+    int col_end = -1; ///< exclusive; -1 = spec.cols
+
+    /** Exclusive end resolved against a concrete grid width. */
+    int endFor(int cols) const { return col_end < 0 ? cols : col_end; }
+
+    /** True when the region covers every column of `cols`. */
+    bool coversAll(int cols) const
+    {
+        return col_begin == 0 && endFor(cols) >= cols;
+    }
+
+    bool contains(int col, int cols) const
+    {
+        return col >= col_begin && col < endFor(cols);
+    }
+
+    int width(int cols) const { return endFor(cols) - col_begin; }
+
+    bool operator==(const Region &o) const
+    {
+        return col_begin == o.col_begin && col_end == o.col_end;
+    }
+};
+
 /** Static parameters of the MapReduce block. */
 struct GridSpec
 {
@@ -66,6 +99,23 @@ struct GridSpec
 
     /** All coordinates of the given kind, in row-major order. */
     std::vector<Coord> unitsOfKind(UnitKind kind) const;
+
+    /** Coordinates of the given kind inside a column band. */
+    std::vector<Coord> unitsOfKind(UnitKind kind, const Region &r) const;
+
+    /** Units of the given kind in one column (region sizing). */
+    int countInColumn(UnitKind kind, int col) const;
+
+    bool operator==(const GridSpec &o) const
+    {
+        return rows == o.rows && cols == o.cols &&
+               cu_per_mu == o.cu_per_mu && lanes == o.lanes &&
+               stages == o.stages && mu_banks == o.mu_banks &&
+               mu_entries == o.mu_entries &&
+               mu_width_bits == o.mu_width_bits &&
+               clock_ghz == o.clock_ghz;
+    }
+    bool operator!=(const GridSpec &o) const { return !(*this == o); }
 
     /** PHV ingress port position (left edge, middle row). */
     Coord ingress() const { return {rows / 2, -1}; }

@@ -65,6 +65,12 @@ GridProgram::validate() const
             err << "node " << n.id << " placed off-grid";
             return err.str();
         }
+        if (!region.contains(c.col, spec.cols)) {
+            err << "node " << n.id << " placed in column " << c.col
+                << " outside region [" << region.col_begin << ","
+                << region.endFor(spec.cols) << ")";
+            return err.str();
+        }
         if (dfg::Graph::isCuOp(n)) {
             if (spec.kindAt(c) != UnitKind::Cu) {
                 err << "node " << n.id << " (CU op) placed on a non-CU";
@@ -105,6 +111,12 @@ GridProgram::validate() const
     for (const auto &c : weight_mus) {
         if (spec.kindAt(c) != UnitKind::Mu)
             return "weight MU allocated on a non-MU unit";
+        if (!region.contains(c.col, spec.cols)) {
+            err << "weight MU in column " << c.col << " outside region ["
+                << region.col_begin << "," << region.endFor(spec.cols)
+                << ")";
+            return err.str();
+        }
     }
     return "";
 }

@@ -35,6 +35,17 @@ class GridProgram
     std::vector<Coord> weight_mus;
 
     /**
+     * The column band this program is allowed to occupy. The default
+     * region spans the whole grid (a private, single-tenant program);
+     * a spatial multi-tenant placement (compiler::placeApps) assigns
+     * each co-resident program a disjoint band of one shared grid, and
+     * validate() enforces that every CU/MU sits inside it. Coordinates
+     * stay global, so one CycleSim schedule per tenant prices the real
+     * routes on the shared fabric.
+     */
+    Region region;
+
+    /**
      * When true, nodes sharing a unit execute serially (folded / time
      * multiplexed); when false, sharing is lane-packing and concurrent.
      */

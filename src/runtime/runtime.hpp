@@ -180,6 +180,19 @@ class OnlineRuntime
     /** Tenants under management. */
     size_t appCount() const { return apps_.size(); }
 
+    /** Hosting mode of the managed farm's tenant set (the runtime's
+     *  weight updates never change it: updateWeights never re-places). */
+    core::PlacementMode placementMode() const
+    {
+        return farm_.placementMode();
+    }
+
+    /** The managed farm's latest re-placement decision. */
+    const compiler::PlacementReport &placementReport() const
+    {
+        return farm_.placementReport();
+    }
+
     /** Latest published model version for one tenant (0 = still the
      *  installed model). */
     uint64_t modelVersion(core::AppId id) const

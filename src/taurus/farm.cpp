@@ -155,6 +155,18 @@ SwitchFarm::appCount() const
     return replicas_.front()->appCount();
 }
 
+PlacementMode
+SwitchFarm::placementMode() const
+{
+    return replicas_.front()->placementMode();
+}
+
+const compiler::PlacementReport &
+SwitchFarm::placementReport() const
+{
+    return replicas_.front()->placementReport();
+}
+
 void
 SwitchFarm::reset()
 {

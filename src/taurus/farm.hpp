@@ -101,6 +101,16 @@ class SwitchFarm
     /** Tenants resident on every replica. */
     size_t appCount() const;
 
+    /**
+     * Hosting mode the admission controller settled on. Placement is
+     * deterministic and every replica installs the same artifacts in
+     * the same order, so all replicas agree; this reads replica 0.
+     */
+    PlacementMode placementMode() const;
+
+    /** The latest re-placement decision (replica 0; all agree). */
+    const compiler::PlacementReport &placementReport() const;
+
     size_t workers() const { return replicas_.size(); }
     TaurusSwitch &replica(size_t i) { return *replicas_[i]; }
 

@@ -1,6 +1,7 @@
 #include "taurus/switch.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "pisa/packet.hpp"
@@ -16,6 +17,7 @@ SwitchStats::merge(const SwitchStats &o)
     flagged += o.flagged;
     dropped += o.dropped;
     safety_overrides += o.safety_overrides;
+    dispatch_misses += o.dispatch_misses;
     ml_latency_ns.merge(o.ml_latency_ns);
     bypass_latency_ns.merge(o.bypass_latency_ns);
 }
@@ -130,9 +132,15 @@ TaurusSwitch::installApp(const AppArtifact &app)
     if (!err.empty())
         throw std::logic_error("preprocessing program invalid: " + err);
 
+    // Admission: decide the hosting mode for the residents plus the new
+    // tenant and compile every program for it. Throws AdmissionError
+    // before any installed state changes.
+    Admission adm = admit(app.graph, app.name);
+
     auto inst = std::make_unique<InstalledApp>();
     inst->program = std::make_unique<hw::GridProgram>(
-        compiler::compile(app.graph, cfg_.compiler));
+        std::move(adm.programs.back()));
+    adm.programs.pop_back();
     inst->sim = std::make_unique<hw::CycleSim>(*inst->program);
 
     // The compiled schedule fixes this tenant's (static) MapReduce
@@ -172,10 +180,139 @@ TaurusSwitch::installApp(const AppArtifact &app)
     inst->safety = compileSafety(cfg_.safety, inst->features.registers);
     inst->features.registers.clearAll();
 
+    // Commit: swap the residents' re-placed programs in, then append
+    // the new tenant. Nothing below throws on valid input, so residents
+    // are never left half-swapped.
+    adoptPrograms(std::move(adm.programs));
     const AppId id = static_cast<AppId>(apps_.size());
     apps_.push_back(std::move(inst));
+    mode_ = adm.mode;
+    placement_report_ = std::move(adm.report);
     rebuildDispatch();
     return id;
+}
+
+TaurusSwitch::Admission
+TaurusSwitch::admit(const dfg::Graph &fresh,
+                    const std::string &fresh_name) const
+{
+    // Residents contribute their *installed* graphs (which carry the
+    // current, possibly hot-swapped weights), so re-placement moves
+    // units but never rolls weights back.
+    std::vector<const dfg::Graph *> graphs;
+    graphs.reserve(apps_.size() + 1);
+    for (const auto &app : apps_)
+        graphs.push_back(&app->program->graph);
+    graphs.push_back(&fresh);
+
+    const double slo = cfg_.latency_slo_ns;
+    Admission adm;
+
+    if (cfg_.placement != PlacementPolicy::PrivateOnly) {
+        compiler::PlaceOptions popts;
+        popts.compile = cfg_.compiler;
+        popts.search_rounds = cfg_.placement_search_rounds;
+        compiler::MultiAppPlacement placed =
+            compiler::placeApps(graphs, popts);
+        if (placed.fits &&
+            (slo <= 0.0 || placed.report.worst_latency_ns <= slo)) {
+            adm.mode = PlacementMode::Spatial;
+            adm.programs = std::move(placed.programs);
+            adm.report = std::move(placed.report);
+            return adm;
+        }
+        const std::string reason =
+            placed.fits
+                ? "spatial placement violates the latency SLO (worst "
+                      "tenant " +
+                      std::to_string(placed.report.worst_latency_ns) +
+                      " ns > " + std::to_string(slo) + " ns)"
+                : placed.report.why;
+        if (cfg_.placement == PlacementPolicy::SpatialOnly)
+            throw AdmissionError(
+                "installApp: app '" + fresh_name + "' not admitted: " +
+                reason +
+                " (policy SpatialOnly forbids the time-multiplexed "
+                "fallback)");
+        adm.report.why = reason;
+    } else {
+        adm.report.why = "placement policy is PrivateOnly";
+    }
+
+    // Private fallback: one whole-grid, time-multiplexed program per
+    // tenant (the pre-spatial behavior), still subject to the SLO.
+    adm.mode = PlacementMode::Private;
+    adm.report.spatial = false;
+    adm.report.spec = cfg_.compiler.spec;
+    adm.report.min_gpktps = std::numeric_limits<double>::infinity();
+    compiler::Options copts = cfg_.compiler;
+    copts.region = hw::Region{};
+    for (const dfg::Graph *g : graphs) {
+        hw::GridProgram prog;
+        try {
+            prog = compiler::compile(*g, copts);
+        } catch (const std::invalid_argument &e) {
+            throw AdmissionError(
+                "installApp: app '" + fresh_name + "' not admitted: "
+                "tenant '" + g->name +
+                "' does not fit the grid even time-multiplexed: " +
+                e.what());
+        }
+        const hw::Schedule sched = hw::CycleSim::compileSchedule(prog);
+        if (slo > 0.0 && sched.latency_ns > slo)
+            throw AdmissionError(
+                "installApp: app '" + fresh_name + "' not admitted: "
+                "tenant '" + g->name +
+                "' violates the latency SLO even privately (" +
+                std::to_string(sched.latency_ns) + " ns > " +
+                std::to_string(slo) + " ns)");
+
+        compiler::TenantRegion t;
+        t.name = g->name;
+        t.region = prog.region;
+        t.cus = prog.cusUsed();
+        t.mus = prog.musUsed();
+        t.folded = prog.serialize_sharing;
+        t.latency_cycles = sched.latency_cycles;
+        t.latency_ns = sched.latency_ns;
+        t.ii_cycles = sched.ii_cycles;
+        t.gpktps = sched.gpktps;
+        t.solo_latency_ns = sched.latency_ns;
+        t.solo_ii_cycles = sched.ii_cycles;
+
+        adm.report.total_cus += t.cus;
+        adm.report.total_mus += t.mus;
+        adm.report.worst_latency_ns =
+            std::max(adm.report.worst_latency_ns, t.latency_ns);
+        adm.report.worst_ii_cycles =
+            std::max(adm.report.worst_ii_cycles, t.ii_cycles);
+        adm.report.min_gpktps =
+            std::min(adm.report.min_gpktps, t.gpktps);
+        adm.report.tenants.push_back(std::move(t));
+        adm.programs.push_back(std::move(prog));
+    }
+    return adm;
+}
+
+void
+TaurusSwitch::adoptPrograms(std::vector<hw::GridProgram> &&programs)
+{
+    // One re-placed program per resident, in AppId order (admit()
+    // produced them from exactly this tenant list).
+    for (size_t i = 0; i < programs.size() && i < apps_.size(); ++i) {
+        InstalledApp &app = *apps_[i];
+        app.program =
+            std::make_unique<hw::GridProgram>(std::move(programs[i]));
+        // CycleSim holds a reference to the program it simulates, so a
+        // swapped program needs a fresh simulator and schedule.
+        app.sim = std::make_unique<hw::CycleSim>(*app.program);
+        app.mr_latency_ns = app.sim->schedule().latency_ns;
+        app.ml_input.clear();
+        for (int id : app.program->graph.inputIds())
+            app.ml_input.emplace_back(
+                static_cast<size_t>(app.program->graph.node(id).width));
+        app.eval.bind(app.program->graph);
+    }
 }
 
 AppId
@@ -238,14 +375,22 @@ TaurusSwitch::process(const net::TracePacket &tp)
     // co-resident tenants the dispatch MAT is a real pipeline stage and
     // is billed as one.
     AppId app_id = default_app_;
+    bool dispatch_miss = false;
     if (dispatchActive()) {
-        dispatch_.apply(phv, dispatch_regs_);
+        // The dispatch pipeline is exactly one ternary stage; applying
+        // the stage directly exposes whether the packet hit a tenant's
+        // rule or fell through to the default action.
+        dispatch_miss = !dispatch_.stage(0).apply(phv, dispatch_regs_);
         app_id = static_cast<AppId>(phv.get(pisa::Field::AppId));
         if (app_id >= apps_.size())
             app_id = default_app_; // stale rule after a re-point
         latency += dispatch_.latencyNs(cfg_.mat_timing);
     }
     InstalledApp &app = *apps_[app_id];
+    if (dispatch_miss) {
+        ++stats_.dispatch_misses;
+        ++app.stats.dispatch_misses;
+    }
 
     app.features.preprocess.apply(phv, app.features.registers);
     latency += app.features.preprocess.latencyNs(cfg_.mat_timing);

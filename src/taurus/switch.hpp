@@ -29,9 +29,11 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "compiler/compile.hpp"
+#include "compiler/place.hpp"
 #include "hw/cycle_sim.hpp"
 #include "models/zoo.hpp"
 #include "pisa/mat.hpp"
@@ -52,6 +54,47 @@ struct Route
     uint16_t port = 0;
 };
 
+/**
+ * How installApp hosts tenants on the one MapReduce block.
+ *
+ * Spatial: disjoint regions of one shared grid (compiler::placeApps),
+ * the paper's "multiple models simultaneously" made literal. Private:
+ * one whole-grid program per tenant, time-multiplexed — the PR-5
+ * behavior and the fallback when a tenant set has no spatial placement.
+ */
+enum class PlacementPolicy
+{
+    /** Spatial when the tenant set fits (and meets the SLO), private
+     *  time-multiplexed fallback otherwise. The default. */
+    Auto,
+    /** Never re-place: always private per-tenant programs. */
+    PrivateOnly,
+    /** Spatial or AdmissionError: never time-multiplex. */
+    SpatialOnly,
+};
+
+/** The mode the admission controller actually settled on. */
+enum class PlacementMode
+{
+    Private,
+    Spatial,
+};
+
+/**
+ * Typed admission failure: the requested tenant set fits neither
+ * spatially nor privately under the configured latency SLO. Thrown by
+ * installApp *before* any installed state changes, so resident tenants
+ * keep serving exactly as before.
+ */
+class AdmissionError : public std::runtime_error
+{
+  public:
+    explicit AdmissionError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
 /** Static configuration of one Taurus switch. */
 struct SwitchConfig
 {
@@ -69,6 +112,18 @@ struct SwitchConfig
     SafetyPolicy safety;
     /** LPM forwarding table; empty = forward everything to port 0. */
     std::vector<Route> routes;
+
+    /** Tenant hosting policy for the shared MapReduce block. */
+    PlacementPolicy placement = PlacementPolicy::Auto;
+    /**
+     * Admission latency SLO on the MapReduce path, ns (0 disables it).
+     * A placement — spatial or private — whose worst per-tenant block
+     * latency exceeds this is not admitted; when no admissible hosting
+     * exists, installApp throws AdmissionError.
+     */
+    double latency_slo_ns = 0.0;
+    /** Local-search budget of the spatial placer (placeApps). */
+    int placement_search_rounds = 8;
 };
 
 /** Identity of one installed application on a switch (install order). */
@@ -145,6 +200,14 @@ struct SwitchStats
     uint64_t flagged = 0;
     uint64_t dropped = 0;
     uint64_t safety_overrides = 0; ///< verdicts cleared by safety MATs
+    /**
+     * Packets that matched no tenant's dispatch rule and fell to the
+     * default app. Counted on the tenant that absorbed the packet (the
+     * dispatch default), so a growing miss count names the tenant whose
+     * traffic mix the installed rules no longer describe. Zero on a
+     * single-tenant switch (the dispatch stage is elided).
+     */
+    uint64_t dispatch_misses = 0;
     util::RunningStat ml_latency_ns;
     util::RunningStat bypass_latency_ns;
 
@@ -177,17 +240,43 @@ class TaurusSwitch
 
     /**
      * Install a self-describing data-plane application *alongside* any
-     * already-installed tenants: compiles its lowered graph onto the
-     * MapReduce grid, builds its preprocessing feature program and
-     * verdict table, installs its dispatch rules, and returns the new
-     * tenant's AppId (install order, starting at 0). The first
-     * installed app becomes the dispatch default. Throws
-     * std::invalid_argument when the app's feature count exceeds
+     * already-installed tenants: builds its preprocessing feature
+     * program and verdict table, installs its dispatch rules, and
+     * returns the new tenant's AppId (install order, starting at 0).
+     * The first installed app becomes the dispatch default.
+     *
+     * Hosting is decided by an admission controller that re-places the
+     * whole tenant set on each install. Under the default Auto policy
+     * it first asks compiler::placeApps for a *spatial* placement —
+     * every tenant in a disjoint region of the one shared grid — and
+     * adopts it when it exists and meets cfg.latency_slo_ns; otherwise
+     * every tenant falls back to a private, time-multiplexed whole-grid
+     * program (the pre-spatial behavior). When neither hosting is
+     * admissible — the new tenant does not compile even privately, or
+     * the SLO rejects both — installApp throws AdmissionError and the
+     * resident tenants keep serving exactly as before (all-or-nothing
+     * commit). Re-placement moves units, never weights or state:
+     * resident tenants' decisions are bit-identical across an install,
+     * only their modeled MapReduce latencies may change.
+     *
+     * Throws std::invalid_argument when the app's feature count exceeds
      * kDecisionFeatureSlots (the decision/telemetry export would
      * otherwise silently truncate). Resets the new app's stateful
-     * registers; resident tenants are untouched.
+     * registers; resident tenants' registers and statistics are
+     * untouched.
      */
     AppId installApp(const AppArtifact &app);
+
+    /** Hosting mode the admission controller settled on (Private until
+     *  the first install decides otherwise). */
+    PlacementMode placementMode() const { return mode_; }
+
+    /** The latest re-placement decision: per-tenant regions, latencies,
+     *  IIs, and contention vs each tenant's private placement. */
+    const compiler::PlacementReport &placementReport() const
+    {
+        return placement_report_;
+    }
 
     /**
      * Install a trained anomaly model. Thin wrapper: builds the
@@ -324,12 +413,34 @@ class TaurusSwitch
     /** Rebuild the dispatch MAT from every tenant's rules. */
     void rebuildDispatch();
 
+    /**
+     * Admission controller: decide the hosting mode for the resident
+     * graphs plus `fresh`, compile every program for that mode, and
+     * return them (fresh last) together with the report. Throws
+     * AdmissionError when nothing admissible exists; does not touch
+     * installed state.
+     */
+    struct Admission
+    {
+        PlacementMode mode = PlacementMode::Private;
+        std::vector<hw::GridProgram> programs; ///< residents + fresh
+        compiler::PlacementReport report;
+    };
+    Admission admit(const dfg::Graph &fresh,
+                    const std::string &fresh_name) const;
+
+    /** Swap re-placed programs into every tenant slot (schedules,
+     *  latencies, and eval scratch rebound; registers/stats kept). */
+    void adoptPrograms(std::vector<hw::GridProgram> &&programs);
+
     /** True when the dispatch MAT stage is materialized (>1 tenant). */
     bool dispatchActive() const { return apps_.size() > 1; }
 
     SwitchConfig cfg_;
     pisa::Parser parser_;
     std::vector<std::unique_ptr<InstalledApp>> apps_;
+    PlacementMode mode_ = PlacementMode::Private;
+    compiler::PlacementReport placement_report_;
     AppId default_app_ = 0;
     pisa::MatPipeline dispatch_;
     pisa::RegisterFile dispatch_regs_; ///< dispatch actions are stateless

@@ -1,0 +1,540 @@
+/**
+ * Spatial multi-tenancy regression tests (ISSUE 6): the shared-grid
+ * multi-program placer (compiler::placeApps) and the admission
+ * controller behind TaurusSwitch::installApp.
+ *
+ * The contracts under test:
+ *  - bit-exactness: two tenants co-resident *spatially* produce
+ *    decisions bit-identical to the private time-multiplexed baseline
+ *    (placement moves units, never values);
+ *  - disjointness: placeApps output programs never share a grid unit;
+ *  - admission: an oversized tenant is rejected with AdmissionError, a
+ *    spatially-infeasible set is demoted to private under Auto and
+ *    rejected under SpatialOnly, a latency SLO gates both modes, and a
+ *    failed install leaves residents serving exactly as before;
+ *  - observability: per-tenant dispatch-miss counters (merged across
+ *    replicas) and placement reports propagated through SwitchFarm and
+ *    OnlineRuntime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/lower.hpp"
+#include "compiler/place.hpp"
+#include "compiler/report.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized.hpp"
+#include "runtime/runtime.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+
+using namespace taurus;
+
+namespace {
+
+/** An untrained 6-input MLP lowered to a graph — sized to stress the
+ *  grid (training would add nothing: admission only sees structure). */
+dfg::Graph
+bigMlpGraph(size_t hidden, const std::string &name)
+{
+    util::Rng rng(7);
+    nn::Dataset data;
+    for (int i = 0; i < 64; ++i) {
+        nn::Vector x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(0, 1));
+        data.add(std::move(x), i % 2);
+    }
+    nn::Mlp mlp({6, hidden, hidden, 1}, nn::Activation::Relu,
+                nn::Loss::BinaryCrossEntropy, rng);
+    const auto qm = nn::QuantizedMlp::fromFloat(mlp, data.x);
+    return compiler::lowerMlp(qm, name);
+}
+
+/** Trained models + traces, built once per process. */
+struct Fixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(5, 1500);
+    models::IotFlowMlp iot = models::trainIotFlowMlp(1, 1200);
+    std::vector<net::TracePacket> kdd_trace; ///< 10.x sources
+    std::vector<net::TracePacket> merged;    ///< interleaved by time
+    /** Fits privately (~79 CUs) but not spatially beside dnn + iot. */
+    dfg::Graph mid = bigMlpGraph(24, "mid_mlp");
+    /** Does not fit the grid at all (~156 CUs > 90). */
+    dfg::Graph huge = bigMlpGraph(128, "huge_mlp");
+
+    Fixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 1200;
+        net::KddGenerator gen(cfg, 42);
+        kdd_trace = gen.expandToPackets(gen.sampleConnections());
+        merged = core::mergeTracesByTime(kdd_trace, iot.eval_trace);
+    }
+
+    /** The anomaly artifact with its graph swapped for `g` — the
+     *  cheapest well-formed artifact around an arbitrary 6-input
+     *  graph (admission only looks at the graph). */
+    core::AppArtifact artifactFor(const dfg::Graph &g) const
+    {
+        core::AppArtifact app = core::makeAnomalyDnnApp(dnn);
+        app.graph = g;
+        app.name = g.name;
+        return app;
+    }
+};
+
+const Fixture &
+fixture()
+{
+    static const Fixture fx;
+    return fx;
+}
+
+/** Install anomaly (default tenant, id 0) + IoT (192.168/16, id 1). */
+template <typename Target>
+std::pair<core::AppId, core::AppId>
+installBoth(Target &t)
+{
+    const core::AppId a =
+        t.installApp(core::makeAnomalyDnnApp(fixture().dnn));
+    const core::AppId b =
+        t.installApp(core::makeIotFlowApp(fixture().iot));
+    return {a, b};
+}
+
+/** Field-by-field equality minus latency (spatial and private hosting
+ *  price the shared fabric differently; values must never differ). */
+void
+expectSameValues(const core::SwitchDecision &a,
+                 const core::SwitchDecision &b, size_t i)
+{
+    EXPECT_EQ(a.flagged, b.flagged) << "packet " << i;
+    EXPECT_EQ(a.dropped, b.dropped) << "packet " << i;
+    EXPECT_EQ(a.bypassed, b.bypassed) << "packet " << i;
+    EXPECT_EQ(a.score, b.score) << "packet " << i;
+    EXPECT_EQ(a.class_id, b.class_id) << "packet " << i;
+    EXPECT_EQ(a.app_id, b.app_id) << "packet " << i;
+    EXPECT_EQ(a.egress_port, b.egress_port) << "packet " << i;
+    EXPECT_EQ(a.feature_count, b.feature_count) << "packet " << i;
+    EXPECT_EQ(a.features, b.features) << "packet " << i;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// placeApps: the shared-grid multi-program placer.
+// ---------------------------------------------------------------------
+
+TEST(PlaceApps, TwoTenantsLandInDisjointRegions)
+{
+    const auto &fx = fixture();
+    const std::vector<const dfg::Graph *> graphs{&fx.dnn.graph,
+                                                 &fx.iot.graph};
+    const auto placed = compiler::placeApps(graphs);
+    ASSERT_TRUE(placed.fits) << placed.report.why;
+    ASSERT_EQ(placed.programs.size(), 2u);
+    ASSERT_EQ(placed.report.tenants.size(), 2u);
+    EXPECT_TRUE(placed.report.spatial);
+
+    // Contiguous, non-overlapping column bands covering real units.
+    const auto &t0 = placed.report.tenants[0];
+    const auto &t1 = placed.report.tenants[1];
+    const int cols = placed.report.spec.cols;
+    EXPECT_TRUE(t0.region.endFor(cols) <= t1.region.col_begin ||
+                t1.region.endFor(cols) <= t0.region.col_begin);
+    EXPECT_GT(t0.cus, 0);
+    EXPECT_GT(t1.cus, 0);
+    EXPECT_GT(t0.latency_ns, 0.0);
+    EXPECT_GE(t0.ii_cycles, 1);
+    EXPECT_FALSE(placed.report.summary().empty());
+
+    // The spatial invariant, checked unit by unit.
+    std::vector<const hw::GridProgram *> ptrs;
+    for (const auto &p : placed.programs) {
+        EXPECT_EQ(p.validate(), "");
+        ptrs.push_back(&p);
+    }
+    EXPECT_EQ(compiler::validateDisjoint(ptrs), "");
+}
+
+TEST(PlaceApps, OverlappingProgramsFailDisjointValidation)
+{
+    const auto &fx = fixture();
+    // Two whole-grid compiles of the same graph use the same units.
+    const auto a = compiler::compile(fx.dnn.graph);
+    const auto b = compiler::compile(fx.dnn.graph);
+    EXPECT_NE(compiler::validateDisjoint({&a, &b}), "");
+}
+
+TEST(PlaceApps, EmptyAndNullInputsThrow)
+{
+    EXPECT_THROW(compiler::placeApps({}), std::invalid_argument);
+    const std::vector<const dfg::Graph *> with_null{nullptr};
+    EXPECT_THROW(compiler::placeApps(with_null), std::invalid_argument);
+}
+
+TEST(PlaceApps, InfeasibleSetReportsWhyInsteadOfThrowing)
+{
+    const auto &fx = fixture();
+    const std::vector<const dfg::Graph *> graphs{
+        &fx.dnn.graph, &fx.iot.graph, &fx.huge};
+    const auto placed = compiler::placeApps(graphs);
+    EXPECT_FALSE(placed.fits);
+    EXPECT_TRUE(placed.programs.empty());
+    EXPECT_FALSE(placed.report.why.empty());
+}
+
+TEST(PlaceApps, PlacementIsDeterministic)
+{
+    // Every farm replica re-places independently; they must agree.
+    const auto &fx = fixture();
+    const std::vector<const dfg::Graph *> graphs{&fx.dnn.graph,
+                                                 &fx.iot.graph};
+    const auto a = compiler::placeApps(graphs);
+    const auto b = compiler::placeApps(graphs);
+    ASSERT_TRUE(a.fits);
+    ASSERT_TRUE(b.fits);
+    ASSERT_EQ(a.report.tenants.size(), b.report.tenants.size());
+    for (size_t i = 0; i < a.report.tenants.size(); ++i) {
+        EXPECT_EQ(a.report.tenants[i].region,
+                  b.report.tenants[i].region);
+        EXPECT_DOUBLE_EQ(a.report.tenants[i].latency_ns,
+                         b.report.tenants[i].latency_ns);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-exactness: spatial hosting never changes a decision.
+// ---------------------------------------------------------------------
+
+TEST(SpatialExactness, CoResidentDecisionsMatchPrivateBaseline)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch spatial; // default policy: Auto -> spatial
+    installBoth(spatial);
+    ASSERT_EQ(spatial.placementMode(), core::PlacementMode::Spatial);
+
+    core::SwitchConfig priv_cfg;
+    priv_cfg.placement = core::PlacementPolicy::PrivateOnly;
+    core::TaurusSwitch priv(priv_cfg); // the PR-5 baseline
+    installBoth(priv);
+    ASSERT_EQ(priv.placementMode(), core::PlacementMode::Private);
+
+    const size_t n = std::min<size_t>(fx.merged.size(), 6000);
+    for (size_t i = 0; i < n; ++i) {
+        const auto a = spatial.process(fx.merged[i]);
+        const auto b = priv.process(fx.merged[i]);
+        expectSameValues(a, b, i);
+    }
+    // Both tenants actually served packets in this comparison.
+    EXPECT_GT(spatial.stats(0).packets, 0u);
+    EXPECT_GT(spatial.stats(1).packets, 0u);
+    EXPECT_EQ(spatial.stats(0).packets, priv.stats(0).packets);
+    EXPECT_EQ(spatial.stats(1).packets, priv.stats(1).packets);
+    EXPECT_EQ(spatial.stats(0).flagged, priv.stats(0).flagged);
+    EXPECT_EQ(spatial.stats(1).flagged, priv.stats(1).flagged);
+}
+
+TEST(SpatialExactness, SingleTenantAutoMatchesPrivateExactly)
+{
+    // One tenant gets the whole grid as its region, so Auto placement
+    // must reproduce the private pipeline bit-for-bit, latency included.
+    const auto &fx = fixture();
+    core::TaurusSwitch autosw;
+    autosw.installAnomalyModel(fx.dnn);
+
+    core::SwitchConfig priv_cfg;
+    priv_cfg.placement = core::PlacementPolicy::PrivateOnly;
+    core::TaurusSwitch priv(priv_cfg);
+    priv.installAnomalyModel(fx.dnn);
+
+    EXPECT_DOUBLE_EQ(autosw.mapReduceLatencyNs(),
+                     priv.mapReduceLatencyNs());
+    const size_t n = std::min<size_t>(fx.kdd_trace.size(), 3000);
+    for (size_t i = 0; i < n; ++i) {
+        const auto a = autosw.process(fx.kdd_trace[i]);
+        const auto b = priv.process(fx.kdd_trace[i]);
+        expectSameValues(a, b, i);
+        EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------
+
+TEST(Admission, TwoSmallTenantsAreHostedSpatially)
+{
+    core::TaurusSwitch sw;
+    installBoth(sw);
+    EXPECT_EQ(sw.placementMode(), core::PlacementMode::Spatial);
+    const auto &rep = sw.placementReport();
+    EXPECT_TRUE(rep.spatial);
+    ASSERT_EQ(rep.tenants.size(), 2u);
+    EXPECT_EQ(rep.tenants[0].name, "anomaly_dnn");
+    EXPECT_EQ(rep.tenants[1].name, "iot_flow_mlp");
+    EXPECT_GT(rep.worst_latency_ns, 0.0);
+    // Programs carry the regions the report says they got.
+    EXPECT_EQ(sw.program(0).region, rep.tenants[0].region);
+    EXPECT_EQ(sw.program(1).region, rep.tenants[1].region);
+    EXPECT_EQ(compiler::validateDisjoint(sw.programs()), "");
+}
+
+TEST(Admission, OversizedTenantThrowsTypedError)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    installBoth(sw);
+    // ~156 CUs on a 90-CU grid: no hosting mode fits it.
+    EXPECT_THROW(sw.installApp(fx.artifactFor(fx.huge)),
+                 core::AdmissionError);
+    // AdmissionError is a runtime_error, distinct from the artifact
+    // validation failures (std::invalid_argument).
+    try {
+        sw.installApp(fx.artifactFor(fx.huge));
+        FAIL() << "expected AdmissionError";
+    } catch (const core::AdmissionError &e) {
+        EXPECT_NE(std::string(e.what()).find("huge_mlp"),
+                  std::string::npos);
+    }
+}
+
+TEST(Admission, RejectedInstallLeavesResidentsServing)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw, ref;
+    installBoth(sw);
+    installBoth(ref);
+    EXPECT_THROW(sw.installApp(fx.artifactFor(fx.huge)),
+                 core::AdmissionError);
+
+    // All-or-nothing: same tenant count, mode, regions, and decisions.
+    EXPECT_EQ(sw.appCount(), 2u);
+    EXPECT_EQ(sw.placementMode(), ref.placementMode());
+    const size_t n = std::min<size_t>(fx.merged.size(), 3000);
+    for (size_t i = 0; i < n; ++i) {
+        const auto a = sw.process(fx.merged[i]);
+        const auto b = ref.process(fx.merged[i]);
+        expectSameValues(a, b, i);
+        EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+    }
+}
+
+TEST(Admission, SpatiallyInfeasibleTenantDemotesToPrivateUnderAuto)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    installBoth(sw);
+    ASSERT_EQ(sw.placementMode(), core::PlacementMode::Spatial);
+
+    // mid_mlp fits a private whole-grid program (~79 CUs) but no
+    // spatial three-way split exists; Auto falls back, nobody is
+    // evicted, and the report says why spatial hosting was abandoned.
+    const core::AppId id = sw.installApp(fx.artifactFor(fx.mid));
+    EXPECT_EQ(id, 2u);
+    EXPECT_EQ(sw.appCount(), 3u);
+    EXPECT_EQ(sw.placementMode(), core::PlacementMode::Private);
+    EXPECT_FALSE(sw.placementReport().spatial);
+    EXPECT_FALSE(sw.placementReport().why.empty());
+    ASSERT_EQ(sw.placementReport().tenants.size(), 3u);
+
+    // Demotion moves units, never values: resident decisions still
+    // match a private-from-birth reference switch.
+    core::SwitchConfig priv_cfg;
+    priv_cfg.placement = core::PlacementPolicy::PrivateOnly;
+    core::TaurusSwitch ref(priv_cfg);
+    installBoth(ref);
+    ref.installApp(fx.artifactFor(fx.mid));
+    const size_t n = std::min<size_t>(fx.merged.size(), 2000);
+    for (size_t i = 0; i < n; ++i) {
+        const auto a = sw.process(fx.merged[i]);
+        const auto b = ref.process(fx.merged[i]);
+        expectSameValues(a, b, i);
+        EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+    }
+}
+
+TEST(Admission, SpatialOnlyPolicyRefusesToTimeMultiplex)
+{
+    const auto &fx = fixture();
+    core::SwitchConfig cfg;
+    cfg.placement = core::PlacementPolicy::SpatialOnly;
+    core::TaurusSwitch sw(cfg);
+    installBoth(sw); // two small tenants place spatially
+    EXPECT_EQ(sw.placementMode(), core::PlacementMode::Spatial);
+    EXPECT_THROW(sw.installApp(fx.artifactFor(fx.mid)),
+                 core::AdmissionError);
+    EXPECT_EQ(sw.appCount(), 2u);
+    EXPECT_EQ(sw.placementMode(), core::PlacementMode::Spatial);
+}
+
+TEST(Admission, PrivateOnlyPolicyNeverPlacesSpatially)
+{
+    core::SwitchConfig cfg;
+    cfg.placement = core::PlacementPolicy::PrivateOnly;
+    core::TaurusSwitch sw(cfg);
+    installBoth(sw);
+    EXPECT_EQ(sw.placementMode(), core::PlacementMode::Private);
+    const auto &rep = sw.placementReport();
+    EXPECT_FALSE(rep.spatial);
+    ASSERT_EQ(rep.tenants.size(), 2u);
+    // Private tenants occupy the whole grid (and may overlap).
+    EXPECT_TRUE(rep.tenants[0].region.coversAll(rep.spec.cols));
+    EXPECT_TRUE(rep.tenants[1].region.coversAll(rep.spec.cols));
+}
+
+TEST(Admission, LatencySloRejectsEveryHosting)
+{
+    // 1 ns is under any model's MapReduce latency: neither spatial nor
+    // private hosting is admissible, even for the first tenant.
+    const auto &fx = fixture();
+    core::SwitchConfig cfg;
+    cfg.latency_slo_ns = 1.0;
+    core::TaurusSwitch sw(cfg);
+    EXPECT_THROW(sw.installApp(core::makeAnomalyDnnApp(fx.dnn)),
+                 core::AdmissionError);
+    EXPECT_EQ(sw.appCount(), 0u);
+}
+
+TEST(Admission, GenerousSloAdmitsSpatially)
+{
+    core::SwitchConfig cfg;
+    cfg.latency_slo_ns = 1e6;
+    core::TaurusSwitch sw(cfg);
+    installBoth(sw);
+    EXPECT_EQ(sw.placementMode(), core::PlacementMode::Spatial);
+    EXPECT_LE(sw.placementReport().worst_latency_ns, 1e6);
+}
+
+// ---------------------------------------------------------------------
+// analyzeApps input validation (satellite).
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeApps, EmptyInputThrowsWithClearMessage)
+{
+    try {
+        compiler::analyzeApps({});
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("no programs"),
+                  std::string::npos);
+    }
+}
+
+TEST(AnalyzeApps, MixedGridSpecsThrow)
+{
+    const auto &fx = fixture();
+    const auto a = compiler::compile(fx.dnn.graph);
+    compiler::Options narrow;
+    narrow.spec.cols = 8;
+    const auto b = compiler::compile(fx.iot.graph, narrow);
+    EXPECT_THROW(compiler::analyzeApps({&a, &b}),
+                 std::invalid_argument);
+    EXPECT_THROW(compiler::analyzeApps({&a, nullptr}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch-miss counters (satellite).
+// ---------------------------------------------------------------------
+
+TEST(DispatchMiss, CountedOnSwitchAndDefaultTenant)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    installBoth(sw);
+
+    // KDD packets (10.x sources) match no rule: dispatch miss, routed
+    // to the default tenant. IoT packets hit the 192.168/16 rule.
+    sw.process(fx.kdd_trace.front());
+    sw.process(fx.kdd_trace[1]);
+    EXPECT_EQ(sw.stats().dispatch_misses, 2u);
+    EXPECT_EQ(sw.stats(0).dispatch_misses, 2u);
+    EXPECT_EQ(sw.stats(1).dispatch_misses, 0u);
+
+    sw.process(fx.iot.eval_trace.front());
+    EXPECT_EQ(sw.stats().dispatch_misses, 2u);
+    EXPECT_EQ(sw.stats(1).dispatch_misses, 0u);
+}
+
+TEST(DispatchMiss, ZeroOnSingleTenantSwitch)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(fx.dnn);
+    for (size_t i = 0; i < 100 && i < fx.kdd_trace.size(); ++i)
+        sw.process(fx.kdd_trace[i]);
+    EXPECT_EQ(sw.stats().dispatch_misses, 0u);
+}
+
+TEST(DispatchMiss, MergeSumsAcrossReplicas)
+{
+    core::SwitchStats a, b;
+    a.dispatch_misses = 3;
+    b.dispatch_misses = 4;
+    a.merge(b);
+    EXPECT_EQ(a.dispatch_misses, 7u);
+
+    // And end to end: farm-merged misses equal the default-routed
+    // packet count of a mixed trace.
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 2);
+    installBoth(farm);
+    const size_t n = std::min<size_t>(fx.merged.size(), 2000);
+    const std::vector<net::TracePacket> head(fx.merged.begin(),
+                                             fx.merged.begin() + n);
+    const auto decisions = farm.processTrace(head);
+    size_t default_routed = 0;
+    for (const auto &d : decisions)
+        default_routed += d.app_id == 0;
+    EXPECT_EQ(farm.mergedStats().dispatch_misses, default_routed);
+    EXPECT_EQ(farm.mergedStats(0).dispatch_misses, default_routed);
+    EXPECT_EQ(farm.mergedStats(1).dispatch_misses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Placement propagation: farm replicas and the online runtime.
+// ---------------------------------------------------------------------
+
+TEST(Propagation, FarmReplicasAgreeOnPlacement)
+{
+    core::SwitchFarm farm({}, 3);
+    installBoth(farm);
+    EXPECT_EQ(farm.placementMode(), core::PlacementMode::Spatial);
+    EXPECT_EQ(farm.placementReport().tenants.size(), 2u);
+    for (size_t w = 0; w < farm.workers(); ++w) {
+        EXPECT_EQ(farm.replica(w).placementMode(),
+                  farm.placementMode());
+        for (size_t t = 0; t < 2; ++t)
+            EXPECT_EQ(
+                farm.replica(w).placementReport().tenants[t].region,
+                farm.placementReport().tenants[t].region);
+    }
+}
+
+TEST(Propagation, RuntimeSeesTheFarmsPlacement)
+{
+    const auto &fx = fixture();
+    const core::AppArtifact anomaly = core::makeAnomalyDnnApp(fx.dnn);
+    const core::AppArtifact iot = core::makeIotFlowApp(fx.iot);
+    core::SwitchFarm farm({}, 1);
+    farm.installApp(anomaly);
+    farm.installApp(iot);
+    runtime::RuntimeConfig rc;
+    rc.synchronous = true;
+    runtime::OnlineRuntime rt(farm, {&anomaly, &iot}, rc);
+    EXPECT_EQ(rt.placementMode(), core::PlacementMode::Spatial);
+    EXPECT_EQ(rt.placementReport().tenants.size(), 2u);
+
+    // A weight hot-swap must not re-place anything.
+    const auto fresh = models::trainAnomalyDnn(99, 400);
+    farm.updateWeights(0, fresh.graph);
+    EXPECT_EQ(rt.placementMode(), core::PlacementMode::Spatial);
+    EXPECT_EQ(rt.placementReport().tenants[0].region,
+              farm.replica(0).program(0).region);
+}
