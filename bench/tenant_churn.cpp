@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tenant-churn fault bench (zero-downtime lifecycle, ISSUE 7): a
+ * SwitchFarm under sustained traffic while a churn tenant is
+ * installed, replaced, and removed over and over — with admission
+ * faults injected mid-churn — proving three things:
+ *
+ *  1. **Survivor isolation**: the decisions of the surviving tenants
+ *     are BIT-IDENTICAL to a churn-free run. A sink default tenant
+ *     absorbs the churn tenant's traffic during its absence windows,
+ *     so the survivors see exactly their own packets in both runs by
+ *     construction; any divergence is a lifecycle bug.
+ *  2. **Zero downtime**: every packet of every pass gets decided
+ *     (latency > 0) and sustained throughput under churn stays within
+ *     5% of the churn-free baseline (full mode).
+ *  3. **Fault consistency**: injected admission failures (an artifact
+ *     whose graph exceeds the grid) leave the resident set of every
+ *     replica exactly as it was, mid-churn; and the dead tenants'
+ *     telemetry accounting stays queryable (appStats of removed ids,
+ *     stale-drop counters) after >= 100 lifecycle operations.
+ */
+
+#include "harness.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "compiler/lower.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized.hpp"
+#include "runtime/runtime.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace taurus;
+
+/** An untrained MLP too large for the grid: guaranteed AdmissionError. */
+dfg::Graph
+oversizedGraph()
+{
+    util::Rng rng(7);
+    nn::Dataset data;
+    for (int i = 0; i < 64; ++i) {
+        nn::Vector x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(0, 1));
+        data.add(std::move(x), i % 2);
+    }
+    nn::Mlp mlp({6, 128, 128, 1}, nn::Activation::Relu,
+                nn::Loss::BinaryCrossEntropy, rng);
+    const auto qm = nn::QuantizedMlp::fromFloat(mlp, data.x);
+    return compiler::lowerMlp(qm, "oversized_mlp");
+}
+
+/** Remap KDD sources into 172.16/12, injectively (10.x hosts to
+ *  172.16/16, 12.x spoofed floods to 172.24/13). */
+std::vector<net::TracePacket>
+remapTo172(std::vector<net::TracePacket> trace)
+{
+    for (auto &tp : trace) {
+        const uint32_t src = tp.flow.src_ip;
+        tp.flow.src_ip = (src >> 24) == 0x0Au
+                             ? 0xAC100000u | (src & 0x0000FFFFu)
+                             : 0xAC180000u | (src & 0x000FFFFFu);
+    }
+    return trace;
+}
+
+/** The decision fields that must be bit-identical across runs
+ *  (latency excluded: churn re-places survivors, which legitimately
+ *  moves the modeled latency). */
+struct DecisionSig
+{
+    core::AppId app_id;
+    int8_t score;
+    int32_t class_id;
+    bool flagged, dropped, bypassed;
+    uint16_t egress_port;
+    std::array<int8_t, core::kDecisionFeatureSlots> features;
+
+    explicit DecisionSig(const core::SwitchDecision &d)
+        : app_id(d.app_id), score(d.score), class_id(d.class_id),
+          flagged(d.flagged), dropped(d.dropped), bypassed(d.bypassed),
+          egress_port(d.egress_port), features(d.features)
+    {
+    }
+    bool operator==(const DecisionSig &o) const
+    {
+        return app_id == o.app_id && score == o.score &&
+               class_id == o.class_id && flagged == o.flagged &&
+               dropped == o.dropped && bypassed == o.bypassed &&
+               egress_port == o.egress_port && features == o.features;
+    }
+};
+
+void
+require(bool ok, const char *what)
+{
+    if (!ok)
+        throw std::runtime_error(std::string("tenant_churn: ") + what);
+}
+
+} // namespace
+
+TAURUS_BENCH(tenant_churn, "Tenant churn",
+             "install/replace/remove under load: survivor bit-identity, "
+             "throughput, fault injection")
+{
+    using namespace taurus;
+    using util::TablePrinter;
+    auto &os = ctx.out();
+
+    os << "Tenant lifecycle churn under sustained traffic\n\n";
+
+    // ---- Fixtures ---------------------------------------------------
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(1500, 600));
+    const auto iot = models::trainIotFlowMlp(1, ctx.size(1200, 500));
+
+    net::KddConfig cfg;
+    cfg.connections = ctx.size(3000, 600);
+    net::KddGenerator gen_a(cfg, 42);
+    const auto kdd = gen_a.expandToPackets(gen_a.sampleConnections());
+    net::KddGenerator gen_c(cfg, 77);
+    const auto churn_traffic =
+        remapTo172(gen_c.expandToPackets(gen_c.sampleConnections()));
+    const auto merged = core::mergeTracesByTime(
+        core::mergeTracesByTime(kdd, iot.eval_trace), churn_traffic);
+    ctx.metric("trace_pkts", merged.size());
+
+    // Survivors: a sink default (no rules — absorbs the churn tenant's
+    // traffic during absence windows) plus two rule-claiming tenants.
+    // Trainers are stripped so weights stay frozen: decisions then
+    // depend only on each tenant's own packet stream and registers,
+    // making bit-identity a sharp oracle even in the async runtime.
+    core::AppArtifact sink = core::makeAnomalyDnnApp(dnn);
+    sink.name = "sink_default";
+    sink.dispatch.clear();
+    sink.make_trainer = nullptr;
+    core::AppArtifact tenant_a = core::makeAnomalyDnnApp(dnn);
+    tenant_a.name = "tenant_a";
+    core::DispatchRule ten_slash_eight;
+    ten_slash_eight.src_ip = 0x0A000000u;
+    ten_slash_eight.src_ip_mask = 0xFF000000u;
+    ten_slash_eight.priority = 1;
+    tenant_a.dispatch = {ten_slash_eight};
+    tenant_a.make_trainer = nullptr;
+    core::AppArtifact tenant_b = core::makeIotFlowApp(iot);
+    tenant_b.make_trainer = nullptr;
+
+    // The churn tenant claims 172.16/12; its replacement artifact is
+    // the same model under a successor name.
+    core::AppArtifact churner = core::makeAnomalyDnnApp(dnn);
+    churner.name = "churner";
+    core::DispatchRule claim172;
+    claim172.src_ip = 0xAC100000u;
+    claim172.src_ip_mask = 0xFFF00000u;
+    claim172.priority = 1;
+    churner.dispatch = {claim172};
+    churner.make_trainer = nullptr;
+    core::AppArtifact churner_v2 = churner;
+    churner_v2.name = "churner_v2";
+
+    // The fault artifact: valid shape, graph too large for the grid.
+    core::AppArtifact oversized = churner;
+    oversized.name = "oversized";
+    oversized.graph = oversizedGraph();
+
+    const size_t workers = 2;
+    // Full mode carries enough traffic that the fixed per-op cost
+    // (admission dry-run + per-replica install at a batch boundary,
+    // ~2 ms each) amortizes under the 5% throughput bound.
+    const size_t passes = ctx.size(144, 3);
+    const size_t cycles = ctx.size(36, 4); // 3 ops each: >= 100 (full)
+    const size_t fault_every = 3;          // inject fault each 3rd cycle
+
+    // ---- One measured run: traffic thread + optional churn ----------
+    struct RunResult
+    {
+        std::vector<DecisionSig> survivors; ///< A/B decisions, in order
+        double pps = 0.0;
+        uint64_t undecided = 0;
+        uint64_t ops = 0, faults = 0;
+        runtime::RuntimeStats stats;
+        std::vector<runtime::RuntimeStats> dead;
+    };
+
+    auto run = [&](bool churn) {
+        RunResult r;
+        core::SwitchFarm farm({}, workers);
+        const core::AppId d_id = farm.installApp(sink);
+        const core::AppId a_id = farm.installApp(tenant_a);
+        const core::AppId b_id = farm.installApp(tenant_b);
+        runtime::RuntimeConfig rc;
+        rc.sampling_rate = 0.1;
+        rc.batch_pkts = 1024;
+        rc.train.seed = 7;
+        runtime::OnlineRuntime rt(
+            farm, {&sink, &tenant_a, &tenant_b}, rc);
+        rt.start();
+
+        std::vector<core::SwitchDecision> decisions(merged.size());
+        r.survivors.reserve(passes *
+                            (kdd.size() + iot.eval_trace.size()));
+        const bench::Timer timer;
+        std::thread traffic([&]() {
+            for (size_t p = 0; p < passes; ++p) {
+                rt.processTrace(
+                    util::Span<const net::TracePacket>(merged.data(),
+                                                       merged.size()),
+                    util::Span<core::SwitchDecision>(decisions.data(),
+                                                     decisions.size()));
+                for (const auto &d : decisions) {
+                    if (!(d.latency_ns > 0.0))
+                        ++r.undecided;
+                    if (d.app_id == a_id || d.app_id == b_id)
+                        r.survivors.emplace_back(d);
+                }
+            }
+        });
+
+        if (churn) {
+            // The churn loop: install -> replace -> remove, an
+            // admission fault injected mid-cycle every `fault_every`
+            // cycles, the replica resident sets checked after each op.
+            const std::vector<core::AppId> base_set = {d_id, a_id, b_id};
+            auto checkResidents = [&](std::vector<core::AppId> want) {
+                require(rt.appCount() == want.size(),
+                        "resident count diverged from expected set");
+                for (size_t w = 0; w < workers; ++w)
+                    require(farm.replica(w).appIds() == want,
+                            "replica resident sets diverged");
+            };
+            for (size_t cyc = 0; cyc < cycles; ++cyc) {
+                const core::AppId c = rt.installApp(churner);
+                ++r.ops;
+                auto with_c = base_set;
+                with_c.push_back(c);
+                checkResidents(with_c);
+                if (cyc % fault_every == 1) {
+                    try {
+                        rt.replaceApp(c, oversized);
+                        require(false, "oversized replace was admitted");
+                    } catch (const core::AdmissionError &) {
+                        ++r.faults;
+                    }
+                    checkResidents(with_c); // fault changed nothing
+                }
+                rt.replaceApp(c, churner_v2);
+                ++r.ops;
+                checkResidents(with_c);
+                rt.removeApp(c);
+                ++r.ops;
+                checkResidents(base_set);
+                r.dead.push_back(rt.appStats(c));
+                require(r.dead.back().removed,
+                        "appStats lost a removed tenant");
+                if (cyc % fault_every == 2) {
+                    try {
+                        rt.installApp(oversized);
+                        require(false, "oversized install was admitted");
+                    } catch (const core::AdmissionError &) {
+                        ++r.faults;
+                    }
+                    checkResidents(base_set);
+                }
+            }
+        }
+        traffic.join();
+        const double sec = timer.elapsedSec();
+        r.pps = static_cast<double>(passes * merged.size()) / sec;
+        r.stats = rt.stats();
+        rt.stop();
+        r.stats = rt.stats(); // final: all retirements reclaimed
+        return r;
+    };
+
+    os << "churn-free baseline (" << passes << " passes)...\n";
+    const RunResult quiet = run(false);
+    os << "churn run (" << cycles << " cycles of install/replace/remove"
+       << ", faults every " << fault_every << " cycles)...\n\n";
+    const RunResult churned = run(true);
+
+    // ---- 1. Survivor bit-identity -----------------------------------
+    require(quiet.survivors.size() == churned.survivors.size(),
+            "survivor decision counts diverged");
+    size_t divergent = 0;
+    for (size_t i = 0; i < quiet.survivors.size(); ++i)
+        if (!(quiet.survivors[i] == churned.survivors[i]))
+            ++divergent;
+    require(divergent == 0, "survivor decisions diverged under churn");
+    require(quiet.undecided == 0 && churned.undecided == 0,
+            "a packet went undecided");
+    ctx.metric("survivor_decisions", quiet.survivors.size());
+    ctx.metric("divergent_decisions", divergent);
+
+    // ---- 2. Throughput under churn ----------------------------------
+    const double ratio =
+        quiet.pps > 0.0 ? churned.pps / quiet.pps : 0.0;
+    ctx.metric("baseline_pkts_per_sec", quiet.pps);
+    ctx.metric("churn_pkts_per_sec", churned.pps);
+    ctx.metric("churn_throughput_ratio", ratio);
+    if (!ctx.smoke()) // smoke runs are too short to time honestly
+        require(ratio >= 0.95, "churn cost exceeded 5% of throughput");
+
+    // ---- 3. Lifecycle + fault accounting ----------------------------
+    require(churned.ops >= (ctx.smoke() ? 12u : 100u),
+            "not enough lifecycle operations exercised");
+    size_t expected_faults = 0;
+    for (size_t cyc = 0; cyc < cycles; ++cyc)
+        expected_faults += (cyc % fault_every == 1 ? 1u : 0u) +
+                           (cyc % fault_every == 2 ? 1u : 0u);
+    require(churned.faults == expected_faults && expected_faults > 0,
+            "admission-fault injection count is off");
+    require(churned.stats.lifecycle_ops == churned.ops,
+            "runtime lifecycle_ops counter disagrees with the driver");
+    require(churned.stats.rcu_retired == churned.stats.rcu_reclaimed,
+            "retired tenant state was never reclaimed");
+    require(churned.stats.rcu_retired > 0,
+            "churn retired no tenant state");
+    for (const auto &dead : churned.dead)
+        require(dead.removed, "a dead tenant lost its stats");
+    ctx.metric("lifecycle_ops", churned.ops);
+    ctx.metric("admission_faults", churned.faults);
+    ctx.metric("rcu_retired", churned.stats.rcu_retired);
+    ctx.metric("rcu_reclaimed", churned.stats.rcu_reclaimed);
+    ctx.metric("stale_dropped_async", churned.stats.stale_dropped);
+
+    // ---- 4. Deterministic stale-telemetry coda ----------------------
+    // The per-tenant drop counters proven exactly: mirror 100 samples
+    // for a tenant in the synchronous runtime, remove it before the
+    // control plane drains them, and the drops land on the dead
+    // tenant's slot (queryable via appStats after removal).
+    {
+        core::SwitchFarm farm({}, 1);
+        farm.installApp(sink);
+        runtime::RuntimeConfig rc;
+        rc.synchronous = true;
+        rc.sampling_rate = 1.0;
+        rc.batch_pkts = 1 << 20; // no control step before the removal
+        runtime::OnlineRuntime rt(farm, {&sink}, rc);
+        rt.start();
+        const core::AppId c = rt.installApp(churner);
+        const std::vector<net::TracePacket> slice(
+            churn_traffic.begin(), churn_traffic.begin() + 100);
+        rt.processTrace(slice);
+        rt.removeApp(c);
+        rt.stop(); // final drain meets the tombstone
+        const auto dead = rt.appStats(c);
+        require(dead.removed && dead.stale_dropped == 100,
+                "stale telemetry was not charged to the dead tenant");
+        ctx.metric("stale_dropped_deterministic", dead.stale_dropped);
+    }
+
+    // ---- Report -----------------------------------------------------
+    TablePrinter t({"Metric", "Churn-free", "Under churn"});
+    t.addRow({"packets/s", TablePrinter::num(quiet.pps, 0),
+              TablePrinter::num(churned.pps, 0)});
+    t.addRow({"lifecycle ops", "0", TablePrinter::num(churned.ops, 0)});
+    t.addRow({"admission faults", "0",
+              TablePrinter::num(churned.faults, 0)});
+    t.addRow({"survivor divergence", "-",
+              TablePrinter::num(divergent, 0)});
+    t.addRow({"throughput ratio", "-", TablePrinter::num(ratio, 3)});
+    t.print(os);
+    os << "\nsurvivor decisions bit-identical across " << churned.ops
+       << " lifecycle ops and " << churned.faults
+       << " injected admission faults\n";
+}

@@ -68,6 +68,15 @@ struct TracePacket
      */
     int32_t class_label = 0;
     int32_t conn_id = -1;   ///< originating connection record
+    /**
+     * Receive-side metadata for dispatch: the switch port the packet
+     * arrived on and its 802.1Q VLAN id (0 = untagged — a nonzero id
+     * makes the serializer insert a real 0x8100 tag on the wire).
+     * Neither participates in flow-feature extraction, so traces that
+     * leave them at their defaults are bit-identical to pre-VLAN ones.
+     */
+    uint16_t ingress_port = 0;
+    uint16_t vlan_id = 0;
 };
 
 /** Per-flow register state (mirrors the switch's stateful registers). */

@@ -63,16 +63,17 @@ readU32(const std::vector<uint8_t> &b, size_t off)
 
 Packet
 makePacket(const net::FlowKey &flow, uint16_t total_len, uint8_t tcp_flags,
-           double arrival_s)
+           double arrival_s, uint16_t vlan_id)
 {
     Packet p;
-    makePacketInto(flow, total_len, tcp_flags, arrival_s, p);
+    makePacketInto(flow, total_len, tcp_flags, arrival_s, p, vlan_id);
     return p;
 }
 
 void
 makePacketInto(const net::FlowKey &flow, uint16_t total_len,
-               uint8_t tcp_flags, double arrival_s, Packet &p)
+               uint8_t tcp_flags, double arrival_s, Packet &p,
+               uint16_t vlan_id)
 {
     p.arrival_s = arrival_s;
     p.ingress_port = 0;
@@ -82,7 +83,9 @@ makePacketInto(const net::FlowKey &flow, uint16_t total_len,
     // Size the wire buffer up front (body bytes are zero); clear+resize
     // zero-fills while keeping the buffer's capacity across packets.
     const bool tcp = flow.proto == net::kProtoTcp;
-    const size_t header_len = 14u + 20u + (tcp ? 20u : 8u);
+    const bool tagged = vlan_id != 0;
+    const size_t header_len =
+        14u + (tagged ? 4u : 0u) + 20u + (tcp ? 20u : 8u);
     auto &b = p.bytes;
     b.clear();
     b.resize(std::max<size_t>(total_len, header_len), 0);
@@ -94,12 +97,18 @@ makePacketInto(const net::FlowKey &flow, uint16_t total_len,
     c.u32(flow.dst_ip);
     c.u16(0x0200);
     c.u32(flow.src_ip);
+    if (tagged) {
+        c.u16(kEtherTypeVlan);
+        c.u16(static_cast<uint16_t>(vlan_id & 0x0fff)); // PCP/DEI zero
+    }
     c.u16(kEtherTypeIpv4);
 
     // IPv4 (no options).
+    const size_t l2_len = 14u + (tagged ? 4u : 0u);
     c.u8(0x45); // version 4, ihl 5
     c.u8(0);    // tos
-    c.u16(static_cast<uint16_t>(total_len > 14 ? total_len - 14 : 20));
+    c.u16(static_cast<uint16_t>(total_len > l2_len ? total_len - l2_len
+                                                   : 20));
     c.u16(0);      // id
     c.u16(0x4000); // don't-fragment
     c.u8(64);      // ttl
@@ -121,8 +130,9 @@ makePacketInto(const net::FlowKey &flow, uint16_t total_len,
     } else {
         c.u16(flow.src_port);
         c.u16(flow.dst_port);
-        c.u16(static_cast<uint16_t>(total_len > 34 ? total_len - 34
-                                                   : 8));
+        c.u16(static_cast<uint16_t>(total_len > l2_len + 20u
+                                        ? total_len - l2_len - 20u
+                                        : 8));
         c.u16(0); // checksum
     }
 }
@@ -146,8 +156,12 @@ fromTracePacketInto(const net::TracePacket &tp, Packet &p)
     if (tp.urg)
         flags = static_cast<uint8_t>(flags | kTcpUrg);
 
-    makePacketInto(tp.flow, std::max<uint16_t>(tp.size_bytes, 54), flags,
-                   tp.time_s, p);
+    // A tagged packet's minimum wire size grows by the 4-byte 802.1Q
+    // header; untagged traces keep the exact pre-VLAN byte layout.
+    const uint16_t min_len = tp.vlan_id != 0 ? 58 : 54;
+    makePacketInto(tp.flow, std::max<uint16_t>(tp.size_bytes, min_len),
+                   flags, tp.time_s, p, tp.vlan_id);
+    p.ingress_port = tp.ingress_port;
     p.truth_anomalous = tp.anomalous;
     p.truth_conn_id = tp.conn_id;
 }

@@ -34,6 +34,7 @@ struct Packet
 
 /** EtherType values the parser understands. */
 constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr uint16_t kEtherTypeVlan = 0x8100; ///< 802.1Q tag (TPID)
 
 /** TCP flag bits. */
 constexpr uint8_t kTcpFin = 0x01;
@@ -41,16 +42,22 @@ constexpr uint8_t kTcpSyn = 0x02;
 constexpr uint8_t kTcpAck = 0x10;
 constexpr uint8_t kTcpUrg = 0x20;
 
-/** Serialize a TCP or UDP packet for the given 5-tuple. */
+/**
+ * Serialize a TCP or UDP packet for the given 5-tuple. A nonzero
+ * `vlan_id` inserts a real 802.1Q tag (TPID 0x8100, PCP/DEI zero) after
+ * the source MAC, shifting the IP header by 4 bytes on the wire.
+ */
 Packet makePacket(const net::FlowKey &flow, uint16_t total_len,
-                  uint8_t tcp_flags, double arrival_s);
+                  uint8_t tcp_flags, double arrival_s,
+                  uint16_t vlan_id = 0);
 
 /**
  * Serialize into an existing packet, reusing its byte buffer — the
  * per-packet fast path (no wire-buffer allocation once warm).
  */
 void makePacketInto(const net::FlowKey &flow, uint16_t total_len,
-                    uint8_t tcp_flags, double arrival_s, Packet &out);
+                    uint8_t tcp_flags, double arrival_s, Packet &out,
+                    uint16_t vlan_id = 0);
 
 /** Build a wire packet from a generated trace element. */
 Packet fromTracePacket(const net::TracePacket &tp);

@@ -88,8 +88,20 @@ Parser::standard()
     eth.advance = 14;
     eth.select = Field::EthType;
     eth.transitions[kEtherTypeIpv4] = "ipv4";
+    eth.transitions[kEtherTypeVlan] = "vlan";
     eth.def_next = ""; // non-IP accepted unparsed
     p.addState(std::move(eth));
+
+    // 802.1Q: TCI (we serialize PCP/DEI as zero, so the extracted word
+    // is the VLAN id) followed by the inner EtherType.
+    ParseState vlan;
+    vlan.name = "vlan";
+    vlan.extracts = {{Field::VlanId, 0, 2}, {Field::EthType, 2, 2}};
+    vlan.advance = 4;
+    vlan.select = Field::EthType;
+    vlan.transitions[kEtherTypeIpv4] = "ipv4";
+    vlan.def_next = "";
+    p.addState(std::move(vlan));
 
     ParseState ip;
     ip.name = "ipv4";

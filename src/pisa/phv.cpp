@@ -34,6 +34,8 @@ toString(Field f)
         return "l4.dport";
       case Field::TcpFlags:
         return "tcp.flags";
+      case Field::VlanId:
+        return "vlan.id";
       case Field::PktLen:
         return "meta.pkt_len";
       case Field::IngressPort:

@@ -34,6 +34,8 @@ enum class Field : uint8_t
     L4Sport,
     L4Dport,
     TcpFlags,
+    // 802.1Q (0 when the packet is untagged)
+    VlanId,
     // Standard metadata
     PktLen,
     IngressPort,

@@ -1,0 +1,76 @@
+#include "runtime/rcu.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace taurus::runtime {
+
+QsbrReclaimer::QsbrReclaimer(size_t readers) : slots_(readers) {}
+
+void
+QsbrReclaimer::online(size_t r)
+{
+    quiesce(r);
+}
+
+void
+QsbrReclaimer::quiesce(size_t r)
+{
+    // Acquire the epoch then release-publish it: everything the reader
+    // did before this quiescent state happens-before a writer that
+    // observes the announcement.
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    slots_[r].announced.store(e, std::memory_order_release);
+}
+
+void
+QsbrReclaimer::offline(size_t r)
+{
+    slots_[r].announced.store(0, std::memory_order_release);
+}
+
+void
+QsbrReclaimer::retire(std::function<void()> reclaim)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    // Tag with the *pre-bump* epoch: a reader announcing an epoch
+    // strictly greater than the tag provably quiesced after the retire.
+    const uint64_t tag =
+        epoch_.fetch_add(1, std::memory_order_acq_rel);
+    retired_.emplace_back(tag, std::move(reclaim));
+    retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+QsbrReclaimer::minOnlineEpoch() const
+{
+    uint64_t min_e = std::numeric_limits<uint64_t>::max();
+    for (const Slot &s : slots_) {
+        const uint64_t e = s.announced.load(std::memory_order_acquire);
+        if (e != 0 && e < min_e)
+            min_e = e; // online reader possibly still inside epoch e
+    }
+    return min_e;
+}
+
+size_t
+QsbrReclaimer::tryReclaim()
+{
+    // Pop reclaimable entries under the lock, run the callbacks outside
+    // it (a callback may free arbitrary tenant state).
+    std::vector<std::function<void()>> run;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        const uint64_t bound = minOnlineEpoch();
+        while (!retired_.empty() && retired_.front().first < bound) {
+            run.push_back(std::move(retired_.front().second));
+            retired_.pop_front();
+        }
+    }
+    for (auto &fn : run)
+        fn();
+    reclaimed_count_.fetch_add(run.size(), std::memory_order_relaxed);
+    return run.size();
+}
+
+} // namespace taurus::runtime

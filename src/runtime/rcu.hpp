@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Quiescent-state-based reclamation (QSBR) for control-plane mutations
+ * under live traffic — the RCU flavor ndn-dpdk's forwarding plane uses
+ * for FIB updates: the fast path never takes a lock or touches an
+ * atomic per packet; instead each data-plane worker *announces* the
+ * global epoch at its batch/burst boundaries (its quiescent states),
+ * and retired control state is freed only once every online worker has
+ * announced an epoch later than the retirement.
+ *
+ * Reader protocol (one slot per worker):
+ *
+ *   online(w)   -> worker may hold references between quiescent states
+ *   quiesce(w)  -> worker holds NO references from before this call
+ *   offline(w)  -> worker holds no references and announces nothing
+ *                  (an offline worker never delays reclamation)
+ *
+ * Writer protocol:
+ *
+ *   retire(fn)  -> defer `fn` (which frees the retired state) until
+ *                  every online reader quiesces past the current epoch
+ *   tryReclaim()-> run every deferred fn whose epoch has been passed
+ *
+ * The writer side is mutex-guarded (control-plane cadence); the reader
+ * side is one release store per quiescent state.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace taurus::runtime {
+
+/** Deferred-free domain over a fixed set of reader slots. */
+class QsbrReclaimer
+{
+  public:
+    explicit QsbrReclaimer(size_t readers);
+
+    /** Reader `r` starts holding references (announces the epoch). */
+    void online(size_t r);
+
+    /**
+     * Reader `r` passes a quiescent state: it holds no references
+     * obtained before this call. One release store.
+     */
+    void quiesce(size_t r);
+
+    /** Reader `r` stops reading entirely (holds nothing). */
+    void offline(size_t r);
+
+    /**
+     * Defer `reclaim` until every online reader has quiesced past the
+     * current epoch. The callback runs from tryReclaim() — on whichever
+     * thread calls it — exactly once.
+     */
+    void retire(std::function<void()> reclaim);
+
+    /** Free everything whose epoch has been passed; returns the count
+     *  reclaimed by this call. */
+    size_t tryReclaim();
+
+    /** Blocks reclaimable? (diagnostics; racy by nature.) */
+    uint64_t retired() const
+    {
+        return retired_count_.load(std::memory_order_relaxed);
+    }
+    uint64_t reclaimed() const
+    {
+        return reclaimed_count_.load(std::memory_order_relaxed);
+    }
+    uint64_t epoch() const
+    {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Slot
+    {
+        /** Epoch last announced; 0 = offline (delays nothing). */
+        std::atomic<uint64_t> announced{0};
+        /** Pad to a cache line so workers never false-share slots. */
+        char pad[64 - sizeof(std::atomic<uint64_t>)];
+    };
+
+    /** Smallest epoch any online reader might still be inside. */
+    uint64_t minOnlineEpoch() const;
+
+    std::atomic<uint64_t> epoch_{1};
+    std::vector<Slot> slots_;
+
+    std::mutex m_; ///< guards the retired list (writer cadence)
+    std::deque<std::pair<uint64_t, std::function<void()>>> retired_;
+    std::atomic<uint64_t> retired_count_{0};
+    std::atomic<uint64_t> reclaimed_count_{0};
+};
+
+} // namespace taurus::runtime

@@ -9,7 +9,7 @@ namespace taurus::runtime {
 OnlineRuntime::OnlineRuntime(
     core::SwitchFarm &farm,
     const std::vector<const core::AppArtifact *> &apps, RuntimeConfig cfg)
-    : farm_(farm), cfg_(cfg)
+    : farm_(farm), cfg_(cfg), rcu_(farm.workers())
 {
     if (cfg_.batch_pkts == 0)
         cfg_.batch_pkts = 1;
@@ -20,24 +20,21 @@ OnlineRuntime::OnlineRuntime(
             "OnlineRuntime: " + std::to_string(apps.size()) +
             " artifacts for a farm with " +
             std::to_string(farm_.appCount()) + " installed apps");
+    if (farm_.replica(0).slotCount() != apps.size())
+        throw std::invalid_argument(
+            "OnlineRuntime: the farm has tombstoned slots; adopt a "
+            "pre-churned farm through the runtime's own lifecycle API");
 
     apps_.reserve(apps.size());
     for (const core::AppArtifact *app : apps) {
         if (!app)
             throw std::invalid_argument("OnlineRuntime: null artifact");
-        auto ctl = std::make_unique<AppControl>();
-        ctl->name = app->name;
-        // Multi-class apps are scored per class: windowed F1 of a
-        // binary flag is meaningless there, so drift tracks accuracy.
-        DriftConfig dc = cfg_.drift;
-        if (app->verdict.kind == core::VerdictKind::ArgmaxClass)
-            dc.metric = DriftMetric::Accuracy;
-        ctl->drift = DriftMonitor(dc);
-        if (app->make_trainer)
-            ctl->trainer = app->make_trainer(
-                cfg_.train, cfg_.reservoir_cap, cfg_.calibration_cap);
-        apps_.push_back(std::move(ctl));
+        apps_.push_back(makeControl(*app));
+        shadow_.push_back(std::make_shared<const dfg::Graph>(app->graph));
     }
+    stale_drops_.assign(apps_.size(), 0);
+    archived_.resize(apps_.size());
+    default_slot_ = farm_.replica(0).defaultApp();
 
     util::Rng seeder(cfg_.train.seed);
     workers_.reserve(farm_.workers());
@@ -45,6 +42,24 @@ OnlineRuntime::OnlineRuntime(
         workers_.push_back(std::make_unique<Worker>(
             cfg_.ring_capacity, seeder.split(), apps_.size()));
     parts_.resize(farm_.workers());
+    publishDirectoryLocked(0); // nothing else can hold ctl_m_ yet
+}
+
+std::unique_ptr<OnlineRuntime::AppControl>
+OnlineRuntime::makeControl(const core::AppArtifact &app) const
+{
+    auto ctl = std::make_unique<AppControl>();
+    ctl->name = app.name;
+    // Multi-class apps are scored per class: windowed F1 of a
+    // binary flag is meaningless there, so drift tracks accuracy.
+    DriftConfig dc = cfg_.drift;
+    if (app.verdict.kind == core::VerdictKind::ArgmaxClass)
+        dc.metric = DriftMetric::Accuracy;
+    ctl->drift = DriftMonitor(dc);
+    if (app.make_trainer)
+        ctl->trainer = app.make_trainer(cfg_.train, cfg_.reservoir_cap,
+                                        cfg_.calibration_cap);
+    return ctl;
 }
 
 OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
@@ -70,11 +85,19 @@ OnlineRuntime::~OnlineRuntime()
 OnlineRuntime::AppControl &
 OnlineRuntime::appCtl(core::AppId id)
 {
+    // Briefly under ctl_m_: lifecycle ops mutate the slot vector (and
+    // installs can reallocate it). The returned block itself is
+    // pointer-stable — heap-owned, freed only through the QSBR domain.
+    std::lock_guard<std::mutex> lk(ctl_m_);
     if (id >= apps_.size())
         throw std::out_of_range(
             "OnlineRuntime: app id " + std::to_string(id) +
             " out of range (" + std::to_string(apps_.size()) +
-            " managed)");
+            " slots)");
+    if (!apps_[id])
+        throw core::LifecycleError("OnlineRuntime: app id " +
+                                   std::to_string(id) +
+                                   " has been removed");
     return *apps_[id];
 }
 
@@ -82,6 +105,314 @@ const OnlineRuntime::AppControl &
 OnlineRuntime::appCtl(core::AppId id) const
 {
     return const_cast<OnlineRuntime *>(this)->appCtl(id);
+}
+
+void
+OnlineRuntime::publishDirectoryLocked(uint64_t seq)
+{
+    auto dir = std::make_shared<Directory>();
+    dir->seq = seq;
+    dir->slots.reserve(apps_.size());
+    for (const auto &ctl : apps_)
+        dir->slots.push_back(ctl.get());
+    std::atomic_store(&dir_,
+                      std::shared_ptr<const Directory>(std::move(dir)));
+}
+
+void
+OnlineRuntime::publishOp(LifecycleOp op)
+{
+    std::lock_guard<std::mutex> lk(ops_m_);
+    // Every lifecycle call drives its op to completion before
+    // returning, so by the time the next op is published the whole log
+    // is usually prunable — the log is O(1) across unbounded churn.
+    uint64_t min_seq = op.seq;
+    for (const auto &worker : workers_)
+        min_seq = std::min(
+            min_seq,
+            worker->lifecycle_seq.load(std::memory_order_relaxed));
+    ops_.erase(std::remove_if(ops_.begin(), ops_.end(),
+                              [&](const LifecycleOp &o) {
+                                  return o.seq <= min_seq;
+                              }),
+               ops_.end());
+    const uint64_t seq = op.seq;
+    ops_.push_back(std::move(op));
+    ops_seq_.store(seq, std::memory_order_release);
+}
+
+void
+OnlineRuntime::applyOpTo(core::TaurusSwitch &sw, const LifecycleOp &op)
+{
+    switch (op.kind) {
+    case LifecycleOp::Kind::Install:
+        sw.installApp(*op.artifact);
+        break;
+    case LifecycleOp::Kind::Remove: {
+        core::RetiredTenant block = sw.removeApp(op.id);
+        // The replica's displaced state block is freed only once every
+        // worker has quiesced past this epoch (the block holds the
+        // schedule/registers a reader could still be inside).
+        rcu_.retire([block]() {});
+        break;
+    }
+    case LifecycleOp::Kind::Replace: {
+        core::RetiredTenant block = sw.replaceApp(op.id, *op.artifact);
+        rcu_.retire([block]() {});
+        break;
+    }
+    case LifecycleOp::Kind::SetDefault:
+        sw.setDefaultApp(op.id);
+        break;
+    }
+}
+
+void
+OnlineRuntime::applyPendingOps(Worker &worker, core::TaurusSwitch &sw)
+{
+    const uint64_t published = ops_seq_.load(std::memory_order_acquire);
+    const uint64_t mine =
+        worker.lifecycle_seq.load(std::memory_order_relaxed);
+    if (mine >= published)
+        return;
+    std::vector<LifecycleOp> todo;
+    {
+        std::lock_guard<std::mutex> lk(ops_m_);
+        for (const auto &op : ops_)
+            if (op.seq > mine && op.seq <= published)
+                todo.push_back(op);
+    }
+    // Replay outside ops_m_: installs compile and place, which is far
+    // too slow for a lock the publisher also takes. Safe because only
+    // this worker (or the driver, holding trace_gate_ while this worker
+    // is provably idle) ever touches this replica.
+    for (const auto &op : todo) {
+        applyOpTo(sw, op);
+        worker.lifecycle_seq.store(op.seq, std::memory_order_release);
+    }
+    lifecycle_cv_.notify_all();
+}
+
+bool
+OnlineRuntime::workersAt(uint64_t seq) const
+{
+    for (const auto &worker : workers_)
+        if (worker->lifecycle_seq.load(std::memory_order_acquire) < seq)
+            return false;
+    return true;
+}
+
+void
+OnlineRuntime::driveOp(uint64_t seq)
+{
+    for (;;) {
+        if (workersAt(seq))
+            break;
+        if (trace_gate_.try_lock()) {
+            // No trace in flight: every worker is parked on its
+            // mailbox, so their replicas are safe to mutate from here.
+            std::lock_guard<std::mutex> gate(trace_gate_,
+                                             std::adopt_lock);
+            for (size_t w = 0; w < workers_.size(); ++w)
+                applyPendingOps(*workers_[w], farm_.replica(w));
+            break;
+        }
+        // A trace is in flight: its workers replay the op at their next
+        // batch boundary. The timeout only bounds a lost wakeup — the
+        // predicate is rechecked either way.
+        std::unique_lock<std::mutex> lk(lifecycle_cv_m_);
+        lifecycle_cv_.wait_for(lk, std::chrono::milliseconds(1),
+                               [&]() { return workersAt(seq); });
+    }
+    // Opportunistic: with every worker past the op (and idle workers
+    // offline), retired blocks are often already reclaimable.
+    rcu_.tryReclaim();
+}
+
+core::AppId
+OnlineRuntime::installApp(const core::AppArtifact &app)
+{
+    std::lock_guard<std::mutex> lc(lifecycle_caller_m_);
+    core::TaurusSwitch &probe = farm_.replica(0);
+    // Dry-run against immutable config + the structural shadows: a
+    // rejected install throws here, before anything anywhere changes.
+    probe.validateArtifact(app);
+    std::vector<const dfg::Graph *> graphs;
+    for (const auto &g : shadow_)
+        if (g)
+            graphs.push_back(g.get());
+    graphs.push_back(&app.graph);
+    probe.checkAdmission(graphs, app.name);
+
+    const uint64_t seq = ops_seq_.load(std::memory_order_relaxed) + 1;
+    const core::AppId id = static_cast<core::AppId>(apps_.size());
+    auto ctl = makeControl(app);
+    ctl->born_seq = seq;
+    {
+        std::lock_guard<std::mutex> lk(ctl_m_);
+        apps_.push_back(std::move(ctl));
+        shadow_.push_back(std::make_shared<const dfg::Graph>(app.graph));
+        stale_drops_.push_back(0);
+        archived_.emplace_back();
+        if (apps_.size() == 1)
+            default_slot_ = id; // first tenant becomes the default
+        publishDirectoryLocked(seq);
+    }
+    publishOp({LifecycleOp::Kind::Install, seq, id,
+               std::make_shared<const core::AppArtifact>(app)});
+    driveOp(seq);
+    return id;
+}
+
+void
+OnlineRuntime::removeApp(core::AppId id)
+{
+    std::lock_guard<std::mutex> lc(lifecycle_caller_m_);
+    if (id >= apps_.size())
+        throw std::out_of_range("OnlineRuntime::removeApp: app id " +
+                                std::to_string(id) + " out of range (" +
+                                std::to_string(apps_.size()) + " slots)");
+    if (!apps_[id])
+        throw core::LifecycleError("OnlineRuntime::removeApp: app id " +
+                                   std::to_string(id) +
+                                   " has already been removed");
+    size_t live = 0;
+    for (const auto &ctl : apps_)
+        live += ctl != nullptr;
+    if (live > 1 && id == default_slot_)
+        throw core::LifecycleError(
+            "OnlineRuntime::removeApp: app id " + std::to_string(id) +
+            " is the dispatch default; setDefaultApp to another tenant "
+            "first");
+    // Survivor re-placement dry-run (mirrors what every replica will
+    // commit — placement is deterministic and structure-only).
+    std::vector<const dfg::Graph *> graphs;
+    for (core::AppId s = 0; s < apps_.size(); ++s)
+        if (apps_[s] && s != id)
+            graphs.push_back(shadow_[s].get());
+    farm_.replica(0).checkAdmission(graphs, apps_[id]->name);
+
+    const uint64_t seq = ops_seq_.load(std::memory_order_relaxed) + 1;
+    {
+        std::lock_guard<std::mutex> lk(ctl_m_);
+        // Final counters survive the tenant: appStats keeps answering
+        // for the dead, and stats() totals stay monotonic. Folded (not
+        // assigned) — the slot may already archive replaced-out
+        // incarnations.
+        const RuntimeStats final = snapshotCtlLocked(*apps_[id]);
+        RuntimeStats &arch = archived_[id];
+        arch.consumed += final.consumed;
+        arch.sgd_steps += final.sgd_steps;
+        arch.updates_published += final.updates_published;
+        arch.updates_applied += final.updates_applied;
+        arch.drift_triggers += final.drift_triggers;
+        arch.drift_recoveries += final.drift_recoveries;
+        arch.windows_closed += final.windows_closed;
+        arch.last_window_f1 = final.last_window_f1;
+        arch.smoothed_f1 = final.smoothed_f1;
+        arch.reference_f1 = final.reference_f1;
+        arch.drifted = final.drifted;
+        arch.removed = true;
+        std::shared_ptr<AppControl> dead(std::move(apps_[id]));
+        shadow_[id] = nullptr;
+        publishDirectoryLocked(seq);
+        // Workers holding an older directory snapshot may still read
+        // the block (store polls) until they quiesce — free it then.
+        rcu_.retire([dead]() {});
+        if (live == 1)
+            default_slot_ = 0; // farm resets to its empty state
+    }
+    publishOp({LifecycleOp::Kind::Remove, seq, id, nullptr});
+    driveOp(seq);
+}
+
+void
+OnlineRuntime::replaceApp(core::AppId id, const core::AppArtifact &app)
+{
+    std::lock_guard<std::mutex> lc(lifecycle_caller_m_);
+    if (id >= apps_.size())
+        throw std::out_of_range("OnlineRuntime::replaceApp: app id " +
+                                std::to_string(id) + " out of range (" +
+                                std::to_string(apps_.size()) + " slots)");
+    if (!apps_[id])
+        throw core::LifecycleError("OnlineRuntime::replaceApp: app id " +
+                                   std::to_string(id) +
+                                   " has been removed");
+    core::TaurusSwitch &probe = farm_.replica(0);
+    probe.validateArtifact(app);
+    std::vector<const dfg::Graph *> graphs;
+    for (core::AppId s = 0; s < apps_.size(); ++s)
+        if (apps_[s])
+            graphs.push_back(s == id ? &app.graph : shadow_[s].get());
+    probe.checkAdmission(graphs, app.name);
+
+    const uint64_t seq = ops_seq_.load(std::memory_order_relaxed) + 1;
+    auto ctl = makeControl(app);
+    ctl->born_seq = seq;
+    {
+        std::lock_guard<std::mutex> lk(ctl_m_);
+        // Fold the outgoing incarnation's counters into the archive;
+        // the slot's live appStats restarts with the fresh block.
+        RuntimeStats final = snapshotCtlLocked(*apps_[id]);
+        RuntimeStats &arch = archived_[id];
+        arch.consumed += final.consumed;
+        arch.sgd_steps += final.sgd_steps;
+        arch.updates_published += final.updates_published;
+        arch.updates_applied += final.updates_applied;
+        arch.drift_triggers += final.drift_triggers;
+        arch.drift_recoveries += final.drift_recoveries;
+        arch.windows_closed += final.windows_closed;
+        std::shared_ptr<AppControl> dead(std::move(apps_[id]));
+        apps_[id] = std::move(ctl);
+        shadow_[id] = std::make_shared<const dfg::Graph>(app.graph);
+        publishDirectoryLocked(seq);
+        rcu_.retire([dead]() {});
+    }
+    publishOp({LifecycleOp::Kind::Replace, seq, id,
+               std::make_shared<const core::AppArtifact>(app)});
+    driveOp(seq);
+}
+
+void
+OnlineRuntime::setDefaultApp(core::AppId id)
+{
+    std::lock_guard<std::mutex> lc(lifecycle_caller_m_);
+    if (id >= apps_.size() || !apps_[id])
+        throw core::LifecycleError(
+            "OnlineRuntime::setDefaultApp: app id " + std::to_string(id) +
+            " is not a live tenant");
+    const uint64_t seq = ops_seq_.load(std::memory_order_relaxed) + 1;
+    {
+        std::lock_guard<std::mutex> lk(ctl_m_);
+        default_slot_ = id;
+        publishDirectoryLocked(seq);
+    }
+    publishOp({LifecycleOp::Kind::SetDefault, seq, id, nullptr});
+    driveOp(seq);
+}
+
+bool
+OnlineRuntime::installed(core::AppId id) const
+{
+    std::lock_guard<std::mutex> lk(ctl_m_);
+    return id < apps_.size() && apps_[id] != nullptr;
+}
+
+size_t
+OnlineRuntime::appCount() const
+{
+    std::lock_guard<std::mutex> lk(ctl_m_);
+    size_t live = 0;
+    for (const auto &ctl : apps_)
+        live += ctl != nullptr;
+    return live;
+}
+
+size_t
+OnlineRuntime::slotCount() const
+{
+    std::lock_guard<std::mutex> lk(ctl_m_);
+    return apps_.size();
 }
 
 void
@@ -131,6 +462,9 @@ OnlineRuntime::stop()
         controlStepLocked(/*drain_all_minibatches=*/true, nullptr);
         applyLatestToAllLocked();
     }
+    // Every worker is parked (offline), so everything retired by churn
+    // is reclaimable right now — a stopped runtime holds no dead state.
+    rcu_.tryReclaim();
     running_ = false;
 }
 
@@ -146,31 +480,55 @@ OnlineRuntime::processOne(size_t w, const net::TracePacket &pkt,
 }
 
 void
-OnlineRuntime::maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw)
+OnlineRuntime::maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw,
+                                const Directory &dir)
 {
-    for (core::AppId id = 0; id < apps_.size(); ++id) {
-        AppControl &ctl = *apps_[id];
-        if (ctl.store.version() == worker.applied_version[id])
+    const uint64_t mine =
+        worker.lifecycle_seq.load(std::memory_order_relaxed);
+    if (worker.applied.size() < dir.slots.size())
+        worker.applied.resize(dir.slots.size(), {0, 0});
+    for (core::AppId id = 0; id < dir.slots.size(); ++id) {
+        AppControl *ctl = dir.slots[id];
+        // Tombstone, or an incarnation this replica has not installed
+        // yet (its weights would not fit the resident structure).
+        if (!ctl || ctl->born_seq > mine)
             continue;
-        const auto snap = ctl.store.current();
-        if (!snap || snap->version == worker.applied_version[id])
+        auto &applied = worker.applied[id];
+        if (applied.first != ctl->born_seq)
+            applied = {ctl->born_seq, 0}; // fresh incarnation, v0 live
+        if (ctl->store.version() == applied.second)
+            continue;
+        const auto snap = ctl->store.current();
+        if (!snap || snap->version == applied.second)
             continue;
         // Hot swap of exactly this tenant's program; the co-resident
         // tenants' weights are untouched.
         sw.updateWeights(id, snap->graph);
-        worker.applied_version[id] = snap->version;
-        ctl.updates_applied.fetch_add(1, std::memory_order_relaxed);
+        applied.second = snap->version;
+        ctl->updates_applied.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
 void
-OnlineRuntime::runAssignment(Worker &worker, core::TaurusSwitch &sw)
+OnlineRuntime::runAssignment(size_t w, Worker &worker,
+                             core::TaurusSwitch &sw)
 {
-    for (size_t at = 0; at < worker.n; at += cfg_.batch_pkts) {
-        // Hot swap happens here: between batches, against frozen
-        // snapshots, on the worker's own replica. The per-packet loop
-        // below never touches shared mutable state.
-        maybeApplyUpdate(worker, sw);
+    // Online for the assignment, quiescing at every batch boundary,
+    // offline when parked — an idle worker never delays reclamation.
+    rcu_.online(w);
+    size_t at = 0;
+    do {
+        // The batch boundary is where everything control-plane lands on
+        // this replica: pending lifecycle ops replay first (so the
+        // directory's new tenants exist here), then published weight
+        // snapshots hot-swap. The per-packet loop below never touches
+        // shared mutable state. do-while so an empty partition still
+        // replays ops — lifecycle completes promptly under skewed
+        // traffic too.
+        applyPendingOps(worker, sw);
+        const std::shared_ptr<const Directory> dir =
+            std::atomic_load(&dir_);
+        maybeApplyUpdate(worker, sw, *dir);
         const size_t end = std::min(at + cfg_.batch_pkts, worker.n);
         for (size_t j = at; j < end; ++j) {
             const size_t i = worker.idx[j];
@@ -181,7 +539,10 @@ OnlineRuntime::runAssignment(Worker &worker, core::TaurusSwitch &sw)
                     makeSample(d, worker.pkts[i].class_label));
             worker.out[i] = d;
         }
-    }
+        at = end;
+        rcu_.quiesce(w);
+    } while (at < worker.n);
+    rcu_.offline(w);
 }
 
 void
@@ -199,8 +560,9 @@ OnlineRuntime::workerLoop(size_t w)
                 return;
         }
         try {
-            runAssignment(worker, sw);
+            runAssignment(w, worker, sw);
         } catch (...) {
+            rcu_.offline(w); // never park while announced online
             worker.error = std::current_exception();
         }
         {
@@ -225,6 +587,11 @@ OnlineRuntime::processTrace(util::Span<const net::TracePacket> packets,
     if (!running_)
         throw std::logic_error(
             "OnlineRuntime::processTrace: call start() first");
+
+    // Held for the whole call: a lifecycle driver that manages to
+    // try_lock this gate knows no worker is mid-assignment and may
+    // apply pending ops to idle replicas itself.
+    std::lock_guard<std::mutex> gate(trace_gate_);
 
     if (cfg_.synchronous) {
         for (size_t i = 0; i < packets.size(); ++i) {
@@ -302,11 +669,18 @@ OnlineRuntime::controlStepLocked(
         while (worker->ring.tryPop(s)) {
             ++drained;
             // Route the sample to the tenant that decided the packet.
-            // A tenant installed on the farm after this runtime was
-            // built has no control block here; drop its samples rather
-            // than train another tenant's model on foreign features.
-            if (s.app_id >= apps_.size())
+            // A sample can outlive its tenant: mirrored before a
+            // removeApp, drained after. Drop it and charge the dead
+            // tenant's slot — never train another tenant's model on
+            // foreign features, never lose count of the drop.
+            if (s.app_id >= apps_.size()) {
+                ++stale_unmanaged_;
                 continue;
+            }
+            if (!apps_[s.app_id]) {
+                ++stale_drops_[s.app_id];
+                continue;
+            }
             AppControl &ctl = *apps_[s.app_id];
             ++ctl.consumed;
             ctl.drift.record(s.score, s.predicted, s.label);
@@ -316,6 +690,8 @@ OnlineRuntime::controlStepLocked(
     }
 
     for (core::AppId id = 0; id < apps_.size(); ++id) {
+        if (!apps_[id])
+            continue; // tombstoned slot
         AppControl &ctl = *apps_[id];
         while (ctl.trainer && ctl.trainer->minibatchReady()) {
             if (cfg_.train_always || ctl.drift.drifted()) {
@@ -343,6 +719,10 @@ OnlineRuntime::controlStepLocked(
 void
 OnlineRuntime::publishLocked(core::AppId id, dfg::Graph g)
 {
+    // The tenant can be removed between training its graph (off the
+    // lock) and publishing it; a publish for the dead is simply void.
+    if (id >= apps_.size() || !apps_[id])
+        return;
     AppControl &ctl = *apps_[id];
     ctl.store.publish(std::move(g));
     ++ctl.updates_published;
@@ -352,18 +732,25 @@ void
 OnlineRuntime::applyLatestToAllLocked()
 {
     for (core::AppId id = 0; id < apps_.size(); ++id) {
+        if (!apps_[id])
+            continue; // tombstoned slot
         AppControl &ctl = *apps_[id];
         const auto snap = ctl.store.current();
         if (!snap)
             continue;
+        const std::pair<uint64_t, uint64_t> want{ctl.born_seq,
+                                                 snap->version};
         size_t behind = 0;
-        for (const auto &worker : workers_)
-            behind += worker->applied_version[id] != snap->version;
+        for (auto &worker : workers_) {
+            if (worker->applied.size() < apps_.size())
+                worker->applied.resize(apps_.size(), {0, 0});
+            behind += worker->applied[id] != want;
+        }
         if (behind == 0)
             continue;
         farm_.updateWeights(id, snap->graph);
         for (auto &worker : workers_)
-            worker->applied_version[id] = snap->version;
+            worker->applied[id] = want;
         ctl.updates_applied.fetch_add(behind,
                                       std::memory_order_relaxed);
     }
@@ -396,7 +783,29 @@ OnlineRuntime::trainerLoop()
         } else if (drained == 0) {
             std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
+        // Free retired tenant state whose epoch every worker has passed
+        // (cheap: one mutex + a scan of the per-worker slots).
+        rcu_.tryReclaim();
     }
+}
+
+RuntimeStats
+OnlineRuntime::snapshotCtlLocked(const AppControl &ctl) const
+{
+    RuntimeStats st;
+    st.updates_applied =
+        ctl.updates_applied.load(std::memory_order_relaxed);
+    st.consumed = ctl.consumed;
+    st.sgd_steps = ctl.trainer ? ctl.trainer->steps() : 0;
+    st.updates_published = ctl.updates_published;
+    st.drift_triggers = ctl.drift.triggers();
+    st.drift_recoveries = ctl.drift.recoveries();
+    st.windows_closed = ctl.drift.windowsClosed();
+    st.last_window_f1 = ctl.drift.lastWindowF1();
+    st.smoothed_f1 = ctl.drift.smoothedF1();
+    st.reference_f1 = ctl.drift.referenceF1();
+    st.drifted = ctl.drift.drifted();
+    return st;
 }
 
 RuntimeStats
@@ -408,46 +817,69 @@ OnlineRuntime::stats() const
         st.mirrored += worker->ring.pushed();
         st.ring_dropped += worker->ring.dropped();
     }
-    for (const auto &ctl : apps_)
-        st.updates_applied +=
-            ctl->updates_applied.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(ctl_m_);
+    const AppControl *first = nullptr;
     for (const auto &ctl : apps_) {
-        st.consumed += ctl->consumed;
-        st.sgd_steps += ctl->trainer ? ctl->trainer->steps() : 0;
-        st.updates_published += ctl->updates_published;
-        st.drift_triggers += ctl->drift.triggers();
-        st.drift_recoveries += ctl->drift.recoveries();
-        st.windows_closed += ctl->drift.windowsClosed();
-        st.drifted = st.drifted || ctl->drift.drifted();
+        if (!ctl)
+            continue; // tombstone; its totals live in archived_
+        if (!first)
+            first = ctl.get();
+        const RuntimeStats one = snapshotCtlLocked(*ctl);
+        st.consumed += one.consumed;
+        st.sgd_steps += one.sgd_steps;
+        st.updates_published += one.updates_published;
+        st.updates_applied += one.updates_applied;
+        st.drift_triggers += one.drift_triggers;
+        st.drift_recoveries += one.drift_recoveries;
+        st.windows_closed += one.windows_closed;
+        st.drifted = st.drifted || one.drifted;
     }
-    // The quality gauges are the default tenant's view (the only
+    // Dead incarnations' final counters keep every total monotonic
+    // across arbitrary churn.
+    for (const RuntimeStats &arch : archived_) {
+        st.consumed += arch.consumed;
+        st.sgd_steps += arch.sgd_steps;
+        st.updates_published += arch.updates_published;
+        st.updates_applied += arch.updates_applied;
+        st.drift_triggers += arch.drift_triggers;
+        st.drift_recoveries += arch.drift_recoveries;
+        st.windows_closed += arch.windows_closed;
+    }
+    st.stale_dropped = stale_unmanaged_;
+    for (uint64_t d : stale_drops_)
+        st.stale_dropped += d;
+    st.lifecycle_ops = ops_seq_.load(std::memory_order_relaxed);
+    st.rcu_retired = rcu_.retired();
+    st.rcu_reclaimed = rcu_.reclaimed();
+    // The quality gauges are the first live tenant's view (the only
     // tenant in single-app deployments).
-    const AppControl &first = *apps_.front();
-    st.last_window_f1 = first.drift.lastWindowF1();
-    st.smoothed_f1 = first.drift.smoothedF1();
-    st.reference_f1 = first.drift.referenceF1();
+    if (first) {
+        st.last_window_f1 = first->drift.lastWindowF1();
+        st.smoothed_f1 = first->drift.smoothedF1();
+        st.reference_f1 = first->drift.referenceF1();
+    }
     return st;
 }
 
 RuntimeStats
 OnlineRuntime::appStats(core::AppId id) const
 {
-    const AppControl &ctl = appCtl(id);
-    RuntimeStats st;
-    st.updates_applied =
-        ctl.updates_applied.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(ctl_m_);
-    st.consumed = ctl.consumed;
-    st.sgd_steps = ctl.trainer ? ctl.trainer->steps() : 0;
-    st.updates_published = ctl.updates_published;
-    st.drift_triggers = ctl.drift.triggers();
-    st.drift_recoveries = ctl.drift.recoveries();
-    st.windows_closed = ctl.drift.windowsClosed();
-    st.last_window_f1 = ctl.drift.lastWindowF1();
-    st.smoothed_f1 = ctl.drift.smoothedF1();
-    st.reference_f1 = ctl.drift.referenceF1();
-    st.drifted = ctl.drift.drifted();
+    if (id >= apps_.size())
+        throw std::out_of_range(
+            "OnlineRuntime::appStats: app id " + std::to_string(id) +
+            " out of range (" + std::to_string(apps_.size()) +
+            " slots)");
+    if (!apps_[id]) {
+        // The tenant is gone but its history is not: final counters at
+        // removal plus the still-growing count of its stale telemetry.
+        RuntimeStats st = archived_[id];
+        st.stale_dropped = stale_drops_[id];
+        st.removed = true;
+        return st;
+    }
+    RuntimeStats st = snapshotCtlLocked(*apps_[id]);
+    st.stale_dropped = stale_drops_[id];
     return st;
 }
 

@@ -54,6 +54,7 @@
 #include "models/zoo.hpp"
 #include "runtime/drift.hpp"
 #include "runtime/model_store.hpp"
+#include "runtime/rcu.hpp"
 #include "runtime/telemetry.hpp"
 #include "taurus/app.hpp"
 #include "taurus/farm.hpp"
@@ -97,10 +98,21 @@ struct RuntimeStats
     uint64_t drift_triggers = 0;    ///< retrainings triggered
     uint64_t drift_recoveries = 0;
     uint64_t windows_closed = 0;
+    /**
+     * Telemetry samples that arrived for a tenant no longer installed
+     * (in flight across a removeApp) — dropped and counted instead of
+     * crashing or polluting another tenant's trainer. Per tenant in
+     * appStats (attributed to the dead tenant's slot), totalled here.
+     */
+    uint64_t stale_dropped = 0;
+    uint64_t lifecycle_ops = 0;     ///< install/remove/replace/set-default
+    uint64_t rcu_retired = 0;       ///< state blocks awaiting quiescence
+    uint64_t rcu_reclaimed = 0;     ///< state blocks actually freed
     double last_window_f1 = 0.0;    ///< gauge
     double smoothed_f1 = 0.0;       ///< gauge (EMA the monitor acts on)
     double reference_f1 = 0.0;      ///< gauge (pre-shift operating point)
     bool drifted = false;           ///< gauge
+    bool removed = false;           ///< gauge: appStats of a dead tenant
 };
 
 /** The asynchronous control-plane runtime over a SwitchFarm. */
@@ -163,10 +175,57 @@ class OnlineRuntime
         const std::vector<net::TracePacket> &packets);
 
     /**
+     * Install a new tenant on every replica and give it a control
+     * block, safe to call while packets are being processed. Returns
+     * the new AppId (identical on every replica). The operation is
+     * admission-checked up front against replica state — on
+     * AdmissionError nothing anywhere changes — then published to the
+     * workers, each of which installs into its *own* replica at its
+     * next batch boundary; the call returns once every replica hosts
+     * the tenant. One lifecycle operation at a time (callers are
+     * serialized); in synchronous mode the caller must not race
+     * processTrace (the same single-caller contract processTrace has).
+     */
+    core::AppId installApp(const core::AppArtifact &app);
+
+    /**
+     * Remove a tenant under live traffic. Dispatch re-points and the
+     * survivors re-place on each replica at that replica's worker's
+     * next batch boundary; the dead tenant's state blocks (switch
+     * registers/schedules/verdicts and the runtime control block) are
+     * retired into the quiescent-state reclaimer and freed only after
+     * every worker passes the retirement epoch. In-flight telemetry
+     * for the dead tenant is dropped and counted (appStats keeps
+     * serving the tenant's final counters plus its growing
+     * stale-drop count). Removing the dispatch default while other
+     * tenants remain throws core::LifecycleError — setDefaultApp
+     * first.
+     */
+    void removeApp(core::AppId id);
+
+    /**
+     * Replace a tenant in place under live traffic: same protocol as
+     * removeApp, but the slot stays live under the SAME AppId with the
+     * new artifact's program, rules, verdict, and a fresh control block
+     * (trainer, drift monitor, versioned store starting at version 0).
+     * On AdmissionError or artifact-validation failure nothing anywhere
+     * changes (the fault-injection half of the churn bench pins this).
+     */
+    void replaceApp(core::AppId id, const core::AppArtifact &app);
+
+    /** Re-point unmatched traffic on every replica (lifecycle op, same
+     *  batch-boundary publication as the others). */
+    void setDefaultApp(core::AppId id);
+
+    /** True when `id` names a live (not removed) tenant. */
+    bool installed(core::AppId id) const;
+
+    /**
      * Consistent snapshot of all counters and gauges, every tenant
-     * folded in (counters summed; the f1/reference gauges are the
-     * default tenant's — app 0 — and `drifted` is true when *any*
-     * tenant is latched).
+     * folded in (counters summed — removed tenants' final counters
+     * included, so totals stay monotonic across churn; the
+     * f1/reference gauges are the first live tenant's and `drifted` is
+     * true when *any* tenant is latched).
      */
     RuntimeStats stats() const;
 
@@ -177,8 +236,12 @@ class OnlineRuntime
      */
     RuntimeStats appStats(core::AppId id) const;
 
-    /** Tenants under management. */
-    size_t appCount() const { return apps_.size(); }
+    /** Live (installed, not removed) tenants under management. */
+    size_t appCount() const;
+
+    /** Slots ever allocated (live + tombstoned); AppIds < slotCount().
+     *  Matches the farm's slot space — ids are never reused. */
+    size_t slotCount() const;
 
     /** Hosting mode of the managed farm's tenant set (the runtime's
      *  weight updates never change it: updateWeights never re-places). */
@@ -213,6 +276,14 @@ class OnlineRuntime
     struct AppControl
     {
         std::string name;
+        /**
+         * Lifecycle op that installed this incarnation (0 = present
+         * since construction). A worker skips this tenant's store
+         * snapshots until its own replica has applied that op: pushing
+         * the new incarnation's weights into a replica still hosting
+         * the old structure would be rejected.
+         */
+        uint64_t born_seq = 0;
         std::unique_ptr<core::AppTrainer> trainer; ///< null = no retrain
         DriftMonitor drift;
         ModelStore store;
@@ -221,18 +292,60 @@ class OnlineRuntime
         std::atomic<uint64_t> updates_applied{0};
     };
 
+    /**
+     * Worker-visible tenant directory: an immutable snapshot of the
+     * control-block slots (null = tombstone), republished via atomic
+     * shared_ptr exchange on every lifecycle operation. The shared_ptr
+     * keeps the vector itself alive for late readers; the QSBR domain
+     * keeps the *pointed-to* AppControls alive until every worker has
+     * quiesced past their retirement.
+     */
+    struct Directory
+    {
+        uint64_t seq = 0; ///< lifecycle op this snapshot reflects
+        std::vector<AppControl *> slots;
+    };
+
+    /**
+     * One published lifecycle operation. Workers replay unseen ops on
+     * their OWN replica at batch boundaries (the same boundary where
+     * they hot-swap weights), so a mutation needs no stop-the-world:
+     * each replica transitions exactly once, between two batches of its
+     * own traffic. The driver applies ops on behalf of idle workers.
+     */
+    struct LifecycleOp
+    {
+        enum class Kind
+        {
+            Install,
+            Remove,
+            Replace,
+            SetDefault
+        };
+        Kind kind = Kind::Install;
+        uint64_t seq = 0;
+        core::AppId id = 0;
+        /** Install/Replace payload (shared: every worker reads it). */
+        std::shared_ptr<const core::AppArtifact> artifact;
+    };
+
     /** Per-replica worker state: ring, sampler, and the async mailbox. */
     struct Worker
     {
         Worker(size_t ring_capacity, util::Rng sampler, size_t apps)
-            : ring(ring_capacity), rng(sampler), applied_version(apps, 0)
+            : ring(ring_capacity), rng(sampler), applied(apps, {0, 0})
         {
         }
 
         TelemetryRing ring;
         util::Rng rng;                 ///< mirror-sampling stream
-        /** Last snapshot version applied, per tenant. */
-        std::vector<uint64_t> applied_version;
+        /** Last (incarnation, version) applied per tenant slot. The
+         *  incarnation half matters because a replaced tenant's fresh
+         *  store restarts at version 0 — the version alone cannot tell
+         *  "behind" from "new incarnation". */
+        std::vector<std::pair<uint64_t, uint64_t>> applied;
+        /** Last lifecycle op applied to this worker's replica. */
+        std::atomic<uint64_t> lifecycle_seq{0};
 
         // Async mailbox (one assignment per processTrace call).
         std::mutex m;
@@ -250,9 +363,50 @@ class OnlineRuntime
     AppControl &appCtl(core::AppId id);
     const AppControl &appCtl(core::AppId id) const;
 
+    /** Build one tenant's control block from its artifact. */
+    std::unique_ptr<AppControl> makeControl(
+        const core::AppArtifact &app) const;
+
+    /** One tenant's counters/gauges (caller holds ctl_m_). */
+    RuntimeStats snapshotCtlLocked(const AppControl &ctl) const;
+
+    /** Rebuild + atomically publish the worker-visible directory from
+     *  the current slots (caller holds ctl_m_). Publish the directory
+     *  BEFORE the op log: a worker that observes op `seq` then
+     *  acquire-loads the directory is guaranteed a snapshot >= seq. */
+    void publishDirectoryLocked(uint64_t seq);
+
+    /** Append one op to the log and make it visible to the workers
+     *  (also prunes ops every worker has already applied). */
+    void publishOp(LifecycleOp op);
+
+    /** Replay every published-but-unseen op on `worker`'s replica and
+     *  advance its lifecycle_seq. Called by the worker itself at batch
+     *  boundaries, and by the driver (under trace_gate_) for workers
+     *  that are idle. */
+    void applyPendingOps(Worker &worker, core::TaurusSwitch &sw);
+
+    /** Apply one op to one replica, retiring displaced switch state
+     *  into the QSBR domain. */
+    void applyOpTo(core::TaurusSwitch &sw, const LifecycleOp &op);
+
+    /** True when every worker's replica has applied op `seq`. */
+    bool workersAt(uint64_t seq) const;
+
+    /**
+     * Drive op `seq` to completion on every replica: workers that are
+     * processing apply it at their next batch boundary; whenever no
+     * trace is in flight (trace_gate_ acquired) the driver applies it
+     * on behalf of the laggards directly. Returns only when every
+     * replica has transitioned — lifecycle calls are linearizable from
+     * the caller's point of view.
+     */
+    void driveOp(uint64_t seq);
+
     void workerLoop(size_t w);
-    void runAssignment(Worker &worker, core::TaurusSwitch &sw);
-    void maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw);
+    void runAssignment(size_t w, Worker &worker, core::TaurusSwitch &sw);
+    void maybeApplyUpdate(Worker &worker, core::TaurusSwitch &sw,
+                          const Directory &dir);
     /** Process one packet on replica `w` and mirror it. Sync + async. */
     void processOne(size_t w, const net::TracePacket &pkt,
                     core::SwitchDecision &out);
@@ -284,6 +438,8 @@ class OnlineRuntime
 
     core::SwitchFarm &farm_;
     RuntimeConfig cfg_;
+    /** Tenant slots in install order; removed tenants leave null
+     *  tombstones (ids are never reused), mirroring the farm. */
     std::vector<std::unique_ptr<AppControl>> apps_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
@@ -291,6 +447,49 @@ class OnlineRuntime
     // caller (sync); ctl_m_ guards every AppControl's mutable state
     // (except the lock-free store reads and the applied counters).
     mutable std::mutex ctl_m_;
+
+    // ---- Tenant lifecycle (install/remove/replace under traffic) ----
+
+    /** Deferred-free domain; one reader slot per worker. */
+    QsbrReclaimer rcu_;
+    /** Worker-visible slot snapshot; std::atomic_load/atomic_store. */
+    std::shared_ptr<const Directory> dir_;
+    /** Serializes the public lifecycle calls end to end. */
+    mutable std::mutex lifecycle_caller_m_;
+    /** Guards the op log (brief; workers copy unseen ops out). */
+    std::mutex ops_m_;
+    std::vector<LifecycleOp> ops_;
+    /** Seq of the latest published op (== lifetime lifecycle-op count;
+     *  release-stored after the op is in the log). */
+    std::atomic<uint64_t> ops_seq_{0};
+    /** Held for the full duration of every processTrace call; the
+     *  lifecycle driver try_locks it — success proves no worker is
+     *  mid-assignment, so it may mutate laggards' replicas directly. */
+    std::mutex trace_gate_;
+    /** Workers ping this after replaying ops; the driver waits on it
+     *  (with a timeout — the predicate is authoritative). */
+    std::mutex lifecycle_cv_m_;
+    std::condition_variable lifecycle_cv_;
+    /**
+     * Per-slot structural copies of each live tenant's graph (null =
+     * tombstone), maintained only by lifecycle ops: admission dry-runs
+     * read these instead of the replicas' graphs, whose weights the
+     * workers are concurrently rewriting. Weight updates never change
+     * structure, so the shadows stay placement-equivalent forever.
+     */
+    std::vector<std::shared_ptr<const dfg::Graph>> shadow_;
+    /** Runtime's view of the dispatch default (lifecycle_caller_m_). */
+    core::AppId default_slot_ = 0;
+    /** Telemetry dropped per slot because the tenant was gone when the
+     *  sample was drained (ctl_m_; slots of removed tenants keep
+     *  counting — appStats stays truthful for the dead). */
+    std::vector<uint64_t> stale_drops_;
+    /** Stale samples naming a slot this runtime never managed. */
+    uint64_t stale_unmanaged_ = 0; ///< ctl_m_
+    /** Final counters of dead incarnations, folded per slot (ctl_m_):
+     *  appStats of a removed tenant serves from here, and stats()
+     *  sums these in so totals stay monotonic across churn. */
+    std::vector<RuntimeStats> archived_;
 
     std::atomic<uint64_t> packets_{0};
 

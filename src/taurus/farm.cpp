@@ -52,6 +52,49 @@ SwitchFarm::installAnomalyModel(const models::AnomalyDnn &model)
     return installApp(makeAnomalyDnnApp(model));
 }
 
+std::vector<RetiredTenant>
+SwitchFarm::removeApp(AppId id)
+{
+    // Each replica's removeApp validates before mutating, placement is
+    // deterministic, and all replicas host the same set — so a
+    // rejection fires on replica 0 before anything anywhere mutates
+    // (all-or-nothing across replicas, not just within one).
+    std::vector<RetiredTenant> retired;
+    retired.reserve(replicas_.size());
+    for (auto &sw : replicas_)
+        retired.push_back(sw->removeApp(id));
+    return retired;
+}
+
+std::vector<RetiredTenant>
+SwitchFarm::replaceApp(AppId id, const AppArtifact &app)
+{
+    std::vector<RetiredTenant> retired;
+    retired.reserve(replicas_.size());
+    for (auto &sw : replicas_)
+        retired.push_back(sw->replaceApp(id, app));
+    return retired;
+}
+
+void
+SwitchFarm::setDefaultApp(AppId id)
+{
+    for (auto &sw : replicas_)
+        sw->setDefaultApp(id);
+}
+
+bool
+SwitchFarm::installed(AppId id) const
+{
+    return replicas_.front()->installed(id);
+}
+
+std::vector<AppId>
+SwitchFarm::appIds() const
+{
+    return replicas_.front()->appIds();
+}
+
 void
 SwitchFarm::updateWeights(AppId id, const dfg::Graph &fresh)
 {

@@ -56,6 +56,31 @@ class SwitchFarm
     AppId installAnomalyModel(const models::AnomalyDnn &model);
 
     /**
+     * Remove one tenant from every replica (same contract and typed
+     * errors as TaurusSwitch::removeApp; placement is deterministic so
+     * either every replica admits the survivor re-placement or none
+     * does — all-or-nothing farm-wide). Returns every replica's retired
+     * state block. Batch-boundary contract: not concurrently with
+     * processTrace() — the online runtime instead applies lifecycle
+     * operations per replica from that replica's own worker.
+     */
+    std::vector<RetiredTenant> removeApp(AppId id);
+
+    /** Replace one tenant in place on every replica (same contract as
+     *  TaurusSwitch::replaceApp; batch-boundary contract as above). */
+    std::vector<RetiredTenant> replaceApp(AppId id,
+                                          const AppArtifact &app);
+
+    /** Re-point unmatched traffic on every replica. */
+    void setDefaultApp(AppId id);
+
+    /** True when `id` names a live tenant (replica 0; all agree). */
+    bool installed(AppId id) const;
+
+    /** Live tenant ids in install order (replica 0; all agree). */
+    std::vector<AppId> appIds() const;
+
+    /**
      * Push fresh weights into one tenant's program on every replica
      * without re-placing it (the farm-wide out-of-band weight-update
      * path); the other tenants keep serving their installed weights.

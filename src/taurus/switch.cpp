@@ -49,8 +49,23 @@ TaurusSwitch::checked(AppId id)
         throw std::out_of_range(
             "TaurusSwitch: app id " + std::to_string(id) +
             " out of range (" + std::to_string(apps_.size()) +
-            " installed)");
+            " slots)");
+    if (!apps_[id])
+        throw LifecycleError("TaurusSwitch: app id " +
+                             std::to_string(id) +
+                             " has been removed");
     return *apps_[id];
+}
+
+std::vector<AppId>
+TaurusSwitch::appIds() const
+{
+    std::vector<AppId> ids;
+    ids.reserve(live_);
+    for (AppId id = 0; id < apps_.size(); ++id)
+        if (apps_[id])
+            ids.push_back(id);
+    return ids;
 }
 
 const TaurusSwitch::InstalledApp &
@@ -62,14 +77,19 @@ TaurusSwitch::checked(AppId id) const
 void
 TaurusSwitch::rebuildDispatch()
 {
-    // One ternary stage over the 5-tuple. Each tenant's rules write its
-    // AppId into the PHV; the default action routes unmatched traffic
-    // to the default app. Rebuilt whole on every install — dispatch
-    // rewrites happen at control-plane cadence, never per packet.
+    // One ternary stage over the 5-tuple plus receive-side metadata
+    // (ingress port, VLAN id — wildcarded by classic 5-tuple rules, so
+    // those match exactly as before). Each live tenant's rules write
+    // its AppId into the PHV; the default action routes unmatched
+    // traffic to the default app. Rebuilt whole on every lifecycle
+    // operation — a removed tenant's rules vanish with it, so no entry
+    // can name a tombstoned AppId — at control-plane cadence, never per
+    // packet.
     pisa::MatStage st("dispatch", pisa::MatchKind::Ternary,
                       {pisa::Field::Ipv4Src, pisa::Field::Ipv4Dst,
                        pisa::Field::L4Sport, pisa::Field::L4Dport,
-                       pisa::Field::Ipv4Proto});
+                       pisa::Field::Ipv4Proto, pisa::Field::IngressPort,
+                       pisa::Field::VlanId});
     pisa::Action set_app;
     set_app.name = "set_app";
     set_app.instrs = {{pisa::ActionOp::Set, pisa::Field::AppId,
@@ -77,12 +97,15 @@ TaurusSwitch::rebuildDispatch()
                        pisa::Field::Tmp0}};
     const int a_set = st.addAction(std::move(set_app));
     for (AppId id = 0; id < apps_.size(); ++id) {
+        if (!apps_[id])
+            continue;
         for (const DispatchRule &r : apps_[id]->dispatch) {
             pisa::TableEntry e;
             e.value = {r.src_ip, r.dst_ip, r.src_port, r.dst_port,
-                       r.proto};
+                       r.proto, r.in_port, r.vlan};
             e.mask = {r.src_ip_mask, r.dst_ip_mask, r.src_port_mask,
-                      r.dst_port_mask, r.proto_mask};
+                      r.dst_port_mask, r.proto_mask, r.in_port_mask,
+                      r.vlan_mask};
             e.priority = r.priority;
             e.action_id = a_set;
             e.args = {id};
@@ -96,8 +119,8 @@ TaurusSwitch::rebuildDispatch()
     dispatch_ = std::move(fresh);
 }
 
-AppId
-TaurusSwitch::installApp(const AppArtifact &app)
+FeatureProgram
+TaurusSwitch::buildValidatedFeatures(const AppArtifact &app) const
 {
     // Validate the whole artifact before touching any installed state,
     // so a bad artifact cannot leave the switch half-installed (or
@@ -131,16 +154,22 @@ TaurusSwitch::installApp(const AppArtifact &app)
     const std::string err = fp.preprocess.validate();
     if (!err.empty())
         throw std::logic_error("preprocessing program invalid: " + err);
+    return fp;
+}
 
-    // Admission: decide the hosting mode for the residents plus the new
-    // tenant and compile every program for it. Throws AdmissionError
-    // before any installed state changes.
-    Admission adm = admit(app.graph, app.name);
+void
+TaurusSwitch::validateArtifact(const AppArtifact &app) const
+{
+    (void)buildValidatedFeatures(app);
+}
 
+std::unique_ptr<TaurusSwitch::InstalledApp>
+TaurusSwitch::buildInstalled(const AppArtifact &app, FeatureProgram fp,
+                             hw::GridProgram program) const
+{
     auto inst = std::make_unique<InstalledApp>();
-    inst->program = std::make_unique<hw::GridProgram>(
-        std::move(adm.programs.back()));
-    adm.programs.pop_back();
+    inst->program =
+        std::make_unique<hw::GridProgram>(std::move(program));
     inst->sim = std::make_unique<hw::CycleSim>(*inst->program);
 
     // The compiled schedule fixes this tenant's (static) MapReduce
@@ -179,34 +208,158 @@ TaurusSwitch::installApp(const AppArtifact &app)
 
     inst->safety = compileSafety(cfg_.safety, inst->features.registers);
     inst->features.registers.clearAll();
+    return inst;
+}
+
+std::vector<const dfg::Graph *>
+TaurusSwitch::liveGraphs() const
+{
+    // Live tenants contribute their *installed* graphs (which carry the
+    // current, possibly hot-swapped weights), so re-placement moves
+    // units but never rolls weights back.
+    std::vector<const dfg::Graph *> graphs;
+    graphs.reserve(live_);
+    for (const auto &app : apps_)
+        if (app)
+            graphs.push_back(&app->program->graph);
+    return graphs;
+}
+
+AppId
+TaurusSwitch::installApp(const AppArtifact &app)
+{
+    FeatureProgram fp = buildValidatedFeatures(app);
+
+    // Admission: decide the hosting mode for the residents plus the new
+    // tenant and compile every program for it. Throws AdmissionError
+    // before any installed state changes.
+    std::vector<const dfg::Graph *> graphs = liveGraphs();
+    graphs.push_back(&app.graph);
+    Admission adm = admitSet(graphs, app.name);
+
+    hw::GridProgram fresh_prog = std::move(adm.programs.back());
+    adm.programs.pop_back();
+    auto inst = buildInstalled(app, std::move(fp),
+                               std::move(fresh_prog));
 
     // Commit: swap the residents' re-placed programs in, then append
-    // the new tenant. Nothing below throws on valid input, so residents
-    // are never left half-swapped.
-    adoptPrograms(std::move(adm.programs));
+    // the new tenant (ids are install order over *slots*, so removed
+    // tenants' ids are never handed out again). Nothing below throws on
+    // valid input, so residents are never left half-swapped.
+    adoptPrograms(std::move(adm.programs), appIds());
     const AppId id = static_cast<AppId>(apps_.size());
     apps_.push_back(std::move(inst));
+    ++live_;
+    if (live_ == 1)
+        default_app_ = id; // first (or first-after-empty) tenant
     mode_ = adm.mode;
     placement_report_ = std::move(adm.report);
     rebuildDispatch();
     return id;
 }
 
-TaurusSwitch::Admission
-TaurusSwitch::admit(const dfg::Graph &fresh,
-                    const std::string &fresh_name) const
+RetiredTenant
+TaurusSwitch::removeApp(AppId id)
 {
-    // Residents contribute their *installed* graphs (which carry the
-    // current, possibly hot-swapped weights), so re-placement moves
-    // units but never rolls weights back.
-    std::vector<const dfg::Graph *> graphs;
-    graphs.reserve(apps_.size() + 1);
-    for (const auto &app : apps_)
-        graphs.push_back(&app->program->graph);
-    graphs.push_back(&fresh);
+    const std::string name = checked(id).name; // bounds + tombstone
+    if (live_ > 1 && id == default_app_)
+        throw LifecycleError(
+            "removeApp: app " + std::to_string(id) + " ('" + name +
+            "') is the dispatch default — re-point unmatched traffic "
+            "with setDefaultApp() before removing it");
 
+    if (live_ == 1) {
+        // Removing the last tenant returns the switch to its empty
+        // state (no dispatch stage, no placement).
+        RetiredTenant retired(std::move(apps_[id]));
+        live_ = 0;
+        default_app_ = 0;
+        mode_ = PlacementMode::Private;
+        placement_report_ = compiler::PlacementReport{};
+        dispatch_ = pisa::MatPipeline{};
+        return retired;
+    }
+
+    // Deterministic re-placement of the survivors — the same admission
+    // controller as install, so survivors may upgrade from private to
+    // spatial hosting once the departing tenant's demand is gone
+    // (modeled latencies change; decisions never do).
+    std::vector<AppId> survivors;
+    std::vector<const dfg::Graph *> graphs;
+    survivors.reserve(live_ - 1);
+    graphs.reserve(live_ - 1);
+    for (AppId s = 0; s < apps_.size(); ++s) {
+        if (!apps_[s] || s == id)
+            continue;
+        survivors.push_back(s);
+        graphs.push_back(&apps_[s]->program->graph);
+    }
+    Admission adm = admitSet(graphs, name);
+
+    // Commit.
+    RetiredTenant retired(std::move(apps_[id]));
+    --live_;
+    adoptPrograms(std::move(adm.programs), survivors);
+    mode_ = adm.mode;
+    placement_report_ = std::move(adm.report);
+    rebuildDispatch();
+    return retired;
+}
+
+RetiredTenant
+TaurusSwitch::replaceApp(AppId id, const AppArtifact &app)
+{
+    checked(id); // bounds + tombstone
+    FeatureProgram fp = buildValidatedFeatures(app);
+
+    // Admit the full set with the replacement graph standing in the
+    // departing tenant's position; a rejection leaves the old tenant
+    // serving untouched (all-or-nothing).
+    const std::vector<AppId> ids = appIds();
+    std::vector<const dfg::Graph *> graphs;
+    graphs.reserve(ids.size());
+    size_t pos = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == id) {
+            pos = i;
+            graphs.push_back(&app.graph);
+        } else {
+            graphs.push_back(&apps_[ids[i]]->program->graph);
+        }
+    }
+    Admission adm = admitSet(graphs, app.name);
+
+    auto inst = buildInstalled(app, std::move(fp),
+                               std::move(adm.programs[pos]));
+
+    // Commit: the replacement takes over the SAME AppId with fresh
+    // registers and statistics; dispatch re-points atomically with the
+    // slot swap (the MAT is rebuilt from the new tenant's rules below).
+    RetiredTenant retired(std::move(apps_[id]));
+    apps_[id] = std::move(inst);
+    adoptPrograms(std::move(adm.programs), ids, pos);
+    mode_ = adm.mode;
+    placement_report_ = std::move(adm.report);
+    rebuildDispatch();
+    return retired;
+}
+
+void
+TaurusSwitch::checkAdmission(
+    const std::vector<const dfg::Graph *> &graphs,
+    const std::string &subject) const
+{
+    (void)admitSet(graphs, subject);
+}
+
+TaurusSwitch::Admission
+TaurusSwitch::admitSet(const std::vector<const dfg::Graph *> &graphs,
+                       const std::string &subject) const
+{
     const double slo = cfg_.latency_slo_ns;
     Admission adm;
+    if (graphs.empty())
+        return adm; // empty tenant set: trivially admitted, private
 
     if (cfg_.placement != PlacementPolicy::PrivateOnly) {
         compiler::PlaceOptions popts;
@@ -230,7 +383,7 @@ TaurusSwitch::admit(const dfg::Graph &fresh,
                 : placed.report.why;
         if (cfg_.placement == PlacementPolicy::SpatialOnly)
             throw AdmissionError(
-                "installApp: app '" + fresh_name + "' not admitted: " +
+                "admission: app '" + subject + "' not admitted: " +
                 reason +
                 " (policy SpatialOnly forbids the time-multiplexed "
                 "fallback)");
@@ -253,7 +406,7 @@ TaurusSwitch::admit(const dfg::Graph &fresh,
             prog = compiler::compile(*g, copts);
         } catch (const std::invalid_argument &e) {
             throw AdmissionError(
-                "installApp: app '" + fresh_name + "' not admitted: "
+                "admission: app '" + subject + "' not admitted: "
                 "tenant '" + g->name +
                 "' does not fit the grid even time-multiplexed: " +
                 e.what());
@@ -261,7 +414,7 @@ TaurusSwitch::admit(const dfg::Graph &fresh,
         const hw::Schedule sched = hw::CycleSim::compileSchedule(prog);
         if (slo > 0.0 && sched.latency_ns > slo)
             throw AdmissionError(
-                "installApp: app '" + fresh_name + "' not admitted: "
+                "admission: app '" + subject + "' not admitted: "
                 "tenant '" + g->name +
                 "' violates the latency SLO even privately (" +
                 std::to_string(sched.latency_ns) + " ns > " +
@@ -295,12 +448,15 @@ TaurusSwitch::admit(const dfg::Graph &fresh,
 }
 
 void
-TaurusSwitch::adoptPrograms(std::vector<hw::GridProgram> &&programs)
+TaurusSwitch::adoptPrograms(std::vector<hw::GridProgram> &&programs,
+                            const std::vector<AppId> &ids, size_t skip)
 {
-    // One re-placed program per resident, in AppId order (admit()
-    // produced them from exactly this tenant list).
-    for (size_t i = 0; i < programs.size() && i < apps_.size(); ++i) {
-        InstalledApp &app = *apps_[i];
+    // One re-placed program per named slot, in the order admitSet()
+    // produced them (`ids` is exactly the tenant list it was given).
+    for (size_t i = 0; i < programs.size() && i < ids.size(); ++i) {
+        if (i == skip)
+            continue; // that slot was committed separately
+        InstalledApp &app = *apps_[ids[i]];
         app.program =
             std::make_unique<hw::GridProgram>(std::move(programs[i]));
         // CycleSim holds a reference to the program it simulates, so a
@@ -332,7 +488,7 @@ TaurusSwitch::setDefaultApp(AppId id)
 void
 TaurusSwitch::updateWeights(AppId id, const dfg::Graph &fresh)
 {
-    if (apps_.empty())
+    if (live_ == 0)
         throw std::logic_error(
             "updateWeights: no application installed");
     // GridProgram::updateWeights rejects structurally mismatched graphs
@@ -343,21 +499,21 @@ TaurusSwitch::updateWeights(AppId id, const dfg::Graph &fresh)
 void
 TaurusSwitch::updateWeights(const dfg::Graph &fresh)
 {
-    if (apps_.empty())
+    if (live_ == 0)
         throw std::logic_error(
             "updateWeights: no application installed");
-    if (apps_.size() > 1)
+    if (live_ > 1)
         throw std::invalid_argument(
-            "updateWeights: " + std::to_string(apps_.size()) +
+            "updateWeights: " + std::to_string(live_) +
             " applications installed — name the tenant with "
             "updateWeights(app_id, graph)");
-    updateWeights(AppId{0}, fresh);
+    updateWeights(appIds().front(), fresh);
 }
 
 SwitchDecision
 TaurusSwitch::process(const net::TracePacket &tp)
 {
-    if (apps_.empty())
+    if (live_ == 0)
         throw std::logic_error("process: no application installed");
 
     // Every per-packet buffer (wire bytes, PHV, feature vector, eval
@@ -382,8 +538,8 @@ TaurusSwitch::process(const net::TracePacket &tp)
         // rule or fell through to the default action.
         dispatch_miss = !dispatch_.stage(0).apply(phv, dispatch_regs_);
         app_id = static_cast<AppId>(phv.get(pisa::Field::AppId));
-        if (app_id >= apps_.size())
-            app_id = default_app_; // stale rule after a re-point
+        if (app_id >= apps_.size() || !apps_[app_id])
+            app_id = default_app_; // stale rule after a re-point/remove
         latency += dispatch_.latencyNs(cfg_.mat_timing);
     }
     InstalledApp &app = *apps_[app_id];
@@ -542,9 +698,10 @@ std::vector<const hw::GridProgram *>
 TaurusSwitch::programs() const
 {
     std::vector<const hw::GridProgram *> out;
-    out.reserve(apps_.size());
+    out.reserve(live_);
     for (const auto &app : apps_)
-        out.push_back(app->program.get());
+        if (app)
+            out.push_back(app->program.get());
     return out;
 }
 
@@ -552,6 +709,8 @@ void
 TaurusSwitch::reset()
 {
     for (auto &app : apps_) {
+        if (!app)
+            continue;
         app->features.registers.clearAll();
         app->stats = SwitchStats{};
     }

@@ -22,11 +22,22 @@
  * block's latency; bypass packets do not. The control plane pushes
  * per-tenant weight-only updates through updateWeights(app_id, graph)
  * without touching placement or the other tenants (Figure 1).
+ *
+ * Tenancy is a full lifecycle, not a boot-time configuration:
+ * removeApp(id) retires a tenant (tombstoning its slot — AppIds are
+ * never reused — and re-placing the survivors), replaceApp(id, app)
+ * swaps a new artifact into an existing slot, and both hand the old
+ * tenant's entire state block back as a RetiredTenant so a concurrent
+ * control plane can defer freeing it until its data-plane workers
+ * quiesce. All three mutations share one admission controller with
+ * all-or-nothing commit: a rejected operation leaves residents serving
+ * exactly as before.
  */
 
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -95,6 +106,21 @@ class AdmissionError : public std::runtime_error
     }
 };
 
+/**
+ * Typed lifecycle-contract violation: the operation names a tenant that
+ * is not (or no longer) installed, or would leave the dispatch MAT's
+ * default pointing at a removed tenant. Thrown before any installed
+ * state changes — a failed lifecycle call never perturbs residents.
+ */
+class LifecycleError : public std::logic_error
+{
+  public:
+    explicit LifecycleError(const std::string &what)
+        : std::logic_error(what)
+    {
+    }
+};
+
 /** Static configuration of one Taurus switch. */
 struct SwitchConfig
 {
@@ -131,10 +157,13 @@ using AppId = uint32_t;
 
 /**
  * One per-flow dispatch predicate: a ternary match over the 5-tuple
+ * plus the receive-side metadata — ingress port and 802.1Q VLAN id
  * (value/mask per field; an all-zero mask is a wildcard). An artifact
  * supplies zero or more rules claiming its traffic; packets matching no
  * installed rule run the switch's default app. Higher `priority` wins
- * ties between overlapping tenants' rules.
+ * ties between overlapping tenants' rules. Rules that leave the port
+ * and VLAN masks zero match exactly as the 5-tuple-only rules always
+ * did (a regression test pins the parity).
  */
 struct DispatchRule
 {
@@ -143,6 +172,8 @@ struct DispatchRule
     uint32_t src_port = 0, src_port_mask = 0;
     uint32_t dst_port = 0, dst_port_mask = 0;
     uint32_t proto = 0, proto_mask = 0;
+    uint32_t in_port = 0, in_port_mask = 0;
+    uint32_t vlan = 0, vlan_mask = 0;
     int priority = 0;
 };
 
@@ -232,6 +263,16 @@ struct PacketScratch
 
 struct AppArtifact;
 
+/**
+ * A removed (or replaced-out) tenant's entire state block — feature
+ * registers, compiled schedule, verdict table, safety MATs, statistics
+ * — type-erased and returned to the caller. Single-threaded callers
+ * simply drop it; the online runtime hands it to its quiescent-state
+ * reclaimer so the block is freed only after every data-plane worker
+ * has passed the retirement epoch (no worker can still be inside it).
+ */
+using RetiredTenant = std::shared_ptr<void>;
+
 /** A Taurus-enabled switch instance. */
 class TaurusSwitch
 {
@@ -288,6 +329,57 @@ class TaurusSwitch
     AppId installAnomalyModel(const models::AnomalyDnn &model);
 
     /**
+     * Remove an installed tenant: delete its dispatch rules, re-place
+     * the survivors spatially (same admission controller and
+     * all-or-nothing commit as installApp — survivors may upgrade from
+     * private to spatial hosting once the departing tenant's demand is
+     * gone, which changes modeled latencies but never decisions), and
+     * return the tenant's entire state block for deferred reclamation.
+     * The slot is tombstoned: AppIds are install-order identities and
+     * are never reused, so telemetry in flight for the dead tenant
+     * stays attributable.
+     *
+     * Removing the dispatch default while other tenants remain throws
+     * LifecycleError — re-point with setDefaultApp first, so no
+     * dangling AppId is ever reachable from the dispatch MAT. Removing
+     * the last tenant returns the switch to its empty state. Unknown or
+     * already-removed ids throw std::out_of_range / LifecycleError.
+     */
+    RetiredTenant removeApp(AppId id);
+
+    /**
+     * Replace an installed tenant in place: admit the new artifact in
+     * the departing tenant's slot (all-or-nothing — on AdmissionError
+     * or artifact validation failure the old tenant keeps serving
+     * untouched), swap the freshly compiled program in under the SAME
+     * AppId, and return the old state block for deferred reclamation.
+     * The replacement starts cold: fresh registers, fresh statistics,
+     * its own dispatch rules and verdict table. Dispatch re-points
+     * atomically with the swap (the MAT is rebuilt after the slot is
+     * committed), and the default app stays valid by construction.
+     */
+    RetiredTenant replaceApp(AppId id, const AppArtifact &app);
+
+    /**
+     * Dry-run the admission controller over an explicit tenant set
+     * without touching installed state: throws AdmissionError exactly
+     * when installing that set would, returns normally otherwise.
+     * Reads only the immutable switch configuration, so it is safe to
+     * call concurrently with packet processing — the online runtime
+     * uses it to veto a lifecycle operation *before* publishing it to
+     * the workers.
+     */
+    void checkAdmission(const std::vector<const dfg::Graph *> &graphs,
+                        const std::string &subject) const;
+
+    /**
+     * Validate an artifact's feature program and verdict declaration
+     * (the same checks installApp front-loads), without installing.
+     * Thread-safe for the same reason as checkAdmission.
+     */
+    void validateArtifact(const AppArtifact &app) const;
+
+    /**
      * Push fresh weights into one tenant's installed program without
      * re-placing it (the out-of-band weight-update path) and without
      * touching any other tenant. The graph must be structurally
@@ -317,8 +409,21 @@ class TaurusSwitch
     void processBatch(util::Span<const net::TracePacket> packets,
                       util::Span<SwitchDecision> decisions);
 
-    /** Installed applications (0 before any install). */
-    size_t appCount() const { return apps_.size(); }
+    /** Live (installed, not removed) applications. */
+    size_t appCount() const { return live_; }
+
+    /** Slots ever allocated (live + tombstoned); AppIds < slotCount().
+     *  New installs always append — ids are never reused. */
+    size_t slotCount() const { return apps_.size(); }
+
+    /** True when `id` names a live tenant. */
+    bool installed(AppId id) const
+    {
+        return id < apps_.size() && apps_[id] != nullptr;
+    }
+
+    /** Live tenant ids in ascending (install) order. */
+    std::vector<AppId> appIds() const;
 
     /** The dispatch default (unmatched traffic); install 0 initially. */
     AppId defaultApp() const { return default_app_; }
@@ -370,7 +475,7 @@ class TaurusSwitch
     const std::string &appName() const
     {
         static const std::string empty;
-        return apps_.empty() ? empty : appName(default_app_);
+        return live_ == 0 ? empty : appName(default_app_);
     }
     /** Verdict semantics of an installed application. */
     VerdictKind verdictKind(AppId id) const
@@ -379,7 +484,7 @@ class TaurusSwitch
     }
     VerdictKind verdictKind() const { return verdictKind(default_app_); }
 
-    /** Every tenant's compiled program, in AppId order (placement
+    /** Every live tenant's compiled program, in AppId order (placement
      *  reporting: compiler::analyzeApps consumes exactly this). */
     std::vector<const hw::GridProgram *> programs() const;
 
@@ -410,35 +515,56 @@ class TaurusSwitch
     InstalledApp &checked(AppId id);
     const InstalledApp &checked(AppId id) const;
 
-    /** Rebuild the dispatch MAT from every tenant's rules. */
+    /** Rebuild the dispatch MAT from every live tenant's rules. */
     void rebuildDispatch();
 
     /**
-     * Admission controller: decide the hosting mode for the resident
-     * graphs plus `fresh`, compile every program for that mode, and
-     * return them (fresh last) together with the report. Throws
+     * Admission controller: decide the hosting mode for an explicit
+     * tenant set, compile every program for that mode (same order as
+     * `graphs`), and return them together with the report. Throws
      * AdmissionError when nothing admissible exists; does not touch
      * installed state.
      */
     struct Admission
     {
         PlacementMode mode = PlacementMode::Private;
-        std::vector<hw::GridProgram> programs; ///< residents + fresh
+        std::vector<hw::GridProgram> programs; ///< one per graph
         compiler::PlacementReport report;
     };
-    Admission admit(const dfg::Graph &fresh,
-                    const std::string &fresh_name) const;
+    Admission admitSet(const std::vector<const dfg::Graph *> &graphs,
+                       const std::string &subject) const;
 
-    /** Swap re-placed programs into every tenant slot (schedules,
-     *  latencies, and eval scratch rebound; registers/stats kept). */
-    void adoptPrograms(std::vector<hw::GridProgram> &&programs);
+    /** Live tenants' graphs in AppId order (admission inputs). */
+    std::vector<const dfg::Graph *> liveGraphs() const;
+
+    /** Validate `app` and build its feature program (throws before any
+     *  installed state changes). */
+    FeatureProgram buildValidatedFeatures(const AppArtifact &app) const;
+
+    /** Assemble one tenant's state block around a compiled program. */
+    std::unique_ptr<InstalledApp> buildInstalled(
+        const AppArtifact &app, FeatureProgram fp,
+        hw::GridProgram program) const;
+
+    /**
+     * Swap re-placed programs into the tenant slots named by `ids`
+     * (programs[i] -> apps_[ids[i]]; schedules, latencies, and eval
+     * scratch rebound; registers/stats kept). `skip` elides one index
+     * — replaceApp commits that slot separately.
+     */
+    void adoptPrograms(std::vector<hw::GridProgram> &&programs,
+                       const std::vector<AppId> &ids,
+                       size_t skip = SIZE_MAX);
 
     /** True when the dispatch MAT stage is materialized (>1 tenant). */
-    bool dispatchActive() const { return apps_.size() > 1; }
+    bool dispatchActive() const { return live_ > 1; }
 
     SwitchConfig cfg_;
     pisa::Parser parser_;
+    /** Tenant slots in install order; a removed tenant leaves a null
+     *  tombstone so ids stay stable and are never reused. */
     std::vector<std::unique_ptr<InstalledApp>> apps_;
+    size_t live_ = 0;
     PlacementMode mode_ = PlacementMode::Private;
     compiler::PlacementReport placement_report_;
     AppId default_app_ = 0;

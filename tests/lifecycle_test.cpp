@@ -1,0 +1,881 @@
+/**
+ * Tenant-lifecycle regression tests (ISSUE 7): remove/replace on the
+ * switch, the farm, and the online runtime — under live traffic —
+ * with RCU-style quiescent-state reclamation, all-or-nothing admission
+ * on every mutation, typed error contracts, extended dispatch keys
+ * (ingress port + 802.1Q VLAN id), and per-tenant stale-telemetry
+ * accounting that survives the tenant itself.
+ *
+ * CI builds this suite a second time under -DTAURUS_SANITIZE=thread:
+ * the concurrent-churn test is the racing ground for the directory /
+ * op-log / QSBR machinery, and TSan is the authority on whether a
+ * lifecycle mutation races the packet path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized.hpp"
+#include "compiler/lower.hpp"
+#include "runtime/rcu.hpp"
+#include "runtime/runtime.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+
+using namespace taurus;
+
+namespace {
+
+/** An untrained MLP graph sized past the grid (admission fault). */
+dfg::Graph
+hugeGraph()
+{
+    util::Rng rng(7);
+    nn::Dataset data;
+    for (int i = 0; i < 64; ++i) {
+        nn::Vector x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian(0, 1));
+        data.add(std::move(x), i % 2);
+    }
+    nn::Mlp mlp({6, 128, 128, 1}, nn::Activation::Relu,
+                nn::Loss::BinaryCrossEntropy, rng);
+    const auto qm = nn::QuantizedMlp::fromFloat(mlp, data.x);
+    return compiler::lowerMlp(qm, "huge_mlp");
+}
+
+/**
+ * Remap a KDD trace's sources into 172.16/12, injectively: 10.0.x.x
+ * hosts land in 172.16/16, the 12.0.0.0+2^20 spoofed-flood range lands
+ * in 172.24/13 — distinct sources stay distinct, so flow structure is
+ * preserved exactly.
+ */
+std::vector<net::TracePacket>
+remapTo172(std::vector<net::TracePacket> trace)
+{
+    for (auto &tp : trace) {
+        const uint32_t src = tp.flow.src_ip;
+        tp.flow.src_ip = (src >> 24) == 0x0Au
+                             ? 0xAC100000u | (src & 0x0000FFFFu)
+                             : 0xAC180000u | (src & 0x000FFFFFu);
+    }
+    return trace;
+}
+
+/** Trained models + traces, built once per process. */
+struct Fixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(5, 1500);
+    models::IotFlowMlp iot = models::trainIotFlowMlp(1, 1200);
+    std::vector<net::TracePacket> kdd_trace; ///< 10.x sources
+    std::vector<net::TracePacket> merged;    ///< kdd + iot by time
+    dfg::Graph huge = hugeGraph();
+
+    Fixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 1200;
+        net::KddGenerator gen(cfg, 42);
+        kdd_trace = gen.expandToPackets(gen.sampleConnections());
+        merged = core::mergeTracesByTime(kdd_trace, iot.eval_trace);
+    }
+};
+
+const Fixture &
+fixture()
+{
+    static const Fixture fx;
+    return fx;
+}
+
+/** KDD packets sourced inside 10/8 (the rest are 12.x spoofed floods
+ *  that fall to the dispatch default, not to a 10/8 claimer). */
+size_t
+kddTenSlashEight()
+{
+    size_t n = 0;
+    for (const auto &tp : fixture().kdd_trace)
+        if ((tp.flow.src_ip >> 24) == 0x0Au)
+            ++n;
+    return n;
+}
+
+/** Anomaly artifact that *claims* 10/8 sources (instead of relying on
+ *  being the dispatch default). */
+core::AppArtifact
+anomalyClaiming10(const std::string &name = "anomaly_10_8")
+{
+    core::AppArtifact app = core::makeAnomalyDnnApp(fixture().dnn);
+    app.name = name;
+    core::DispatchRule r;
+    r.src_ip = 0x0A000000u;
+    r.src_ip_mask = 0xFF000000u;
+    r.priority = 1;
+    app.dispatch = {r};
+    return app;
+}
+
+/** Anomaly artifact with no rules: the sink/default tenant. */
+core::AppArtifact
+sinkApp(const std::string &name = "sink")
+{
+    core::AppArtifact app = core::makeAnomalyDnnApp(fixture().dnn);
+    app.name = name;
+    return app;
+}
+
+void
+expectSameValues(const core::SwitchDecision &a,
+                 const core::SwitchDecision &b, size_t i)
+{
+    EXPECT_EQ(a.flagged, b.flagged) << "packet " << i;
+    EXPECT_EQ(a.dropped, b.dropped) << "packet " << i;
+    EXPECT_EQ(a.bypassed, b.bypassed) << "packet " << i;
+    EXPECT_EQ(a.score, b.score) << "packet " << i;
+    EXPECT_EQ(a.class_id, b.class_id) << "packet " << i;
+    EXPECT_EQ(a.egress_port, b.egress_port) << "packet " << i;
+    EXPECT_EQ(a.feature_count, b.feature_count) << "packet " << i;
+    EXPECT_EQ(a.features, b.features) << "packet " << i;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// QSBR domain
+// ---------------------------------------------------------------------
+
+TEST(Qsbr, ReclaimsOnlyAfterEveryOnlineReaderQuiesces)
+{
+    runtime::QsbrReclaimer rcu(2);
+    int freed = 0;
+
+    // Reader 0 online inside the current epoch; reader 1 offline.
+    rcu.online(0);
+    rcu.retire([&]() { ++freed; });
+    EXPECT_EQ(rcu.retired(), 1u);
+    EXPECT_EQ(rcu.tryReclaim(), 0u); // reader 0 may still hold refs
+    EXPECT_EQ(freed, 0);
+
+    // Reader 1 coming online *after* the retire does not delay it
+    // (it can only have seen the new state).
+    rcu.online(1);
+    EXPECT_EQ(rcu.tryReclaim(), 0u); // reader 0 still pre-retire
+
+    rcu.quiesce(0); // now announces a post-retire epoch
+    EXPECT_EQ(rcu.tryReclaim(), 1u);
+    EXPECT_EQ(freed, 1);
+    EXPECT_EQ(rcu.reclaimed(), 1u);
+
+    // Offline readers never delay anything.
+    rcu.offline(0);
+    rcu.offline(1);
+    rcu.retire([&]() { ++freed; });
+    rcu.retire([&]() { ++freed; });
+    EXPECT_EQ(rcu.tryReclaim(), 2u);
+    EXPECT_EQ(freed, 3);
+    EXPECT_EQ(rcu.retired(), rcu.reclaimed());
+}
+
+TEST(Qsbr, RetirementsDrainInOrderAcrossEpochs)
+{
+    runtime::QsbrReclaimer rcu(1);
+    std::vector<int> order;
+    rcu.online(0);
+    rcu.retire([&]() { order.push_back(1); });
+    rcu.quiesce(0);
+    rcu.retire([&]() { order.push_back(2); });
+    // Only the first retirement is past reader 0's announcement.
+    EXPECT_EQ(rcu.tryReclaim(), 1u);
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 1);
+    rcu.quiesce(0);
+    EXPECT_EQ(rcu.tryReclaim(), 1u);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[1], 2);
+}
+
+// ---------------------------------------------------------------------
+// Switch-level lifecycle
+// ---------------------------------------------------------------------
+
+TEST(Lifecycle, SwitchRemoveTombstonesSlotAndNeverReusesIds)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    const core::AppId a = sw.installApp(sinkApp());
+    const core::AppId b = sw.installApp(core::makeIotFlowApp(fx.iot));
+    EXPECT_EQ(sw.appCount(), 2u);
+
+    const core::RetiredTenant retired = sw.removeApp(b);
+    EXPECT_NE(retired, nullptr); // the caller owns the old state block
+    EXPECT_EQ(sw.appCount(), 1u);
+    EXPECT_EQ(sw.slotCount(), 2u); // tombstone keeps the slot
+    EXPECT_FALSE(sw.installed(b));
+    EXPECT_TRUE(sw.installed(a));
+    EXPECT_EQ(sw.appIds(), std::vector<core::AppId>{a});
+
+    // Tombstoned ids answer with the typed lifecycle error; ids past
+    // the slot space stay out_of_range.
+    EXPECT_THROW(sw.stats(b), core::LifecycleError);
+    EXPECT_THROW((void)sw.appName(b), core::LifecycleError);
+    EXPECT_THROW(sw.removeApp(b), core::LifecycleError);
+    EXPECT_THROW(sw.stats(9), std::out_of_range);
+    EXPECT_THROW(sw.removeApp(9), std::out_of_range);
+
+    // The removed tenant's traffic falls to the default; no packet can
+    // reach a tombstone.
+    EXPECT_EQ(sw.process(fx.iot.eval_trace.front()).app_id, a);
+
+    // Reinstall allocates a NEW id — install-order identity.
+    const core::AppId again =
+        sw.installApp(core::makeIotFlowApp(fx.iot));
+    EXPECT_EQ(again, 2u);
+    EXPECT_EQ(sw.slotCount(), 3u);
+    EXPECT_EQ(sw.process(fx.iot.eval_trace.front()).app_id, again);
+}
+
+TEST(Lifecycle, RemovingDefaultThrowsUntilRepointed)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    const core::AppId a = sw.installApp(sinkApp());
+    const core::AppId b = sw.installApp(core::makeIotFlowApp(fx.iot));
+    ASSERT_EQ(sw.defaultApp(), a);
+
+    // Removing the dispatch default while another tenant remains would
+    // dangle the MAT's default pointer — typed error, nothing changes.
+    EXPECT_THROW(sw.removeApp(a), core::LifecycleError);
+    EXPECT_TRUE(sw.installed(a));
+    EXPECT_EQ(sw.appCount(), 2u);
+
+    sw.setDefaultApp(b);
+    EXPECT_NO_THROW(sw.removeApp(a));
+    EXPECT_EQ(sw.defaultApp(), b);
+    EXPECT_EQ(sw.process(fx.kdd_trace.front()).app_id, b);
+
+    // Removing the LAST tenant is always allowed and resets the switch
+    // to its empty state.
+    sw.removeApp(b);
+    EXPECT_EQ(sw.appCount(), 0u);
+    EXPECT_THROW(sw.process(fx.kdd_trace.front()), std::logic_error);
+    // ...from which installs work again, still never reusing ids.
+    EXPECT_EQ(sw.installApp(sinkApp()), 2u);
+}
+
+TEST(Lifecycle, RemoveLeavesSurvivorDecisionsBitIdentical)
+{
+    // The tentpole decision-isolation claim: removing tenant B mid
+    // trace leaves tenant A's decisions bit-identical to a run where B
+    // was never installed. A sink default absorbs B's orphaned traffic
+    // so A's packet stream is the same in both runs by construction.
+    const auto &fx = fixture();
+    const size_t half = fx.merged.size() / 2;
+
+    auto run = [&](bool churn) {
+        core::TaurusSwitch sw;
+        sw.installApp(sinkApp());                        // id 0, default
+        const core::AppId a = sw.installApp(anomalyClaiming10()); // id 1
+        core::AppId b = 2;
+        if (churn)
+            b = sw.installApp(core::makeIotFlowApp(fx.iot));
+        std::vector<core::SwitchDecision> a_decisions;
+        for (size_t i = 0; i < fx.merged.size(); ++i) {
+            if (churn && i == half)
+                sw.removeApp(b);
+            const auto d = sw.process(fx.merged[i]);
+            if (d.app_id == a)
+                a_decisions.push_back(d);
+        }
+        return a_decisions;
+    };
+
+    const auto with_churn = run(true);
+    const auto without = run(false);
+    ASSERT_EQ(with_churn.size(), without.size());
+    ASSERT_EQ(with_churn.size(), kddTenSlashEight());
+    for (size_t i = 0; i < with_churn.size(); ++i)
+        expectSameValues(without[i], with_churn[i], i);
+}
+
+TEST(Lifecycle, ReplaceSwapsInPlaceUnderTheSameId)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    sw.installApp(sinkApp());
+    const core::AppId a = sw.installApp(anomalyClaiming10());
+    const core::AppId b = sw.installApp(core::makeIotFlowApp(fx.iot));
+
+    // Half the trace on the old incarnation...
+    const size_t half = fx.merged.size() / 2;
+    std::vector<core::SwitchDecision> a_before;
+    for (size_t i = 0; i < half; ++i) {
+        const auto d = sw.process(fx.merged[i]);
+        if (d.app_id == a)
+            a_before.push_back(d);
+    }
+    // ...then swap B for a structurally different artifact in place.
+    core::AppArtifact swap = sinkApp("iot_successor");
+    const core::RetiredTenant old = sw.replaceApp(b, swap);
+    EXPECT_NE(old, nullptr);
+    EXPECT_EQ(sw.appCount(), 3u);
+    EXPECT_TRUE(sw.installed(b));
+    EXPECT_EQ(sw.appName(b), "iot_successor");
+    EXPECT_EQ(sw.verdictKind(b), core::VerdictKind::BinaryThreshold);
+    // The replacement starts cold.
+    EXPECT_EQ(sw.stats(b).packets, 0u);
+
+    // The successor has no dispatch rules, so B's old traffic falls to
+    // the default — and tenant A keeps deciding bit-identically (same
+    // packets, untouched registers) through the swap.
+    std::vector<core::SwitchDecision> a_after;
+    for (size_t i = half; i < fx.merged.size(); ++i) {
+        const auto d = sw.process(fx.merged[i]);
+        if (d.app_id == a)
+            a_after.push_back(d);
+    }
+    EXPECT_EQ(a_before.size() + a_after.size(), kddTenSlashEight());
+
+    core::TaurusSwitch quiet;
+    quiet.installApp(sinkApp());
+    const core::AppId qa = quiet.installApp(anomalyClaiming10());
+    quiet.installApp(core::makeIotFlowApp(fx.iot));
+    size_t k = 0;
+    for (const auto &tp : fx.merged) {
+        const auto d = quiet.process(tp);
+        if (d.app_id != qa)
+            continue;
+        const auto &got = k < a_before.size()
+                              ? a_before[k]
+                              : a_after[k - a_before.size()];
+        expectSameValues(d, got, k);
+        ++k;
+    }
+    EXPECT_EQ(k, kddTenSlashEight());
+}
+
+TEST(Lifecycle, FailedAdmissionLeavesResidentsExactlyAsBefore)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    sw.installApp(sinkApp());
+    const core::AppId b = sw.installApp(core::makeIotFlowApp(fx.iot));
+
+    core::AppArtifact bad = sinkApp("huge");
+    bad.graph = fx.huge;
+
+    const auto before = sw.process(fx.iot.eval_trace.front());
+    EXPECT_THROW(sw.replaceApp(b, bad), core::AdmissionError);
+    EXPECT_THROW(sw.installApp(bad), core::AdmissionError);
+    // All-or-nothing: the resident set and its behavior are untouched.
+    EXPECT_EQ(sw.appCount(), 2u);
+    EXPECT_EQ(sw.appName(b), "iot_flow_mlp");
+    sw.reset(); // back to install-time register state
+    const auto after = sw.process(fx.iot.eval_trace.front());
+    expectSameValues(before, after, 0);
+}
+
+TEST(Lifecycle, FarmLifecycleKeepsReplicasInLockstep)
+{
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 3);
+    farm.installApp(sinkApp());
+    const core::AppId b = farm.installApp(core::makeIotFlowApp(fx.iot));
+    EXPECT_TRUE(farm.installed(b));
+
+    // Replace then remove, farm-wide: one retired block per replica.
+    const auto replaced = farm.replaceApp(b, sinkApp("successor"));
+    EXPECT_EQ(replaced.size(), 3u);
+    for (const auto &r : replaced)
+        EXPECT_NE(r, nullptr);
+    const auto removed = farm.removeApp(b);
+    EXPECT_EQ(removed.size(), 3u);
+    EXPECT_FALSE(farm.installed(b));
+    EXPECT_EQ(farm.appCount(), 1u);
+    EXPECT_EQ(farm.appIds(), std::vector<core::AppId>{0});
+
+    // Typed errors surface before any replica mutates.
+    EXPECT_THROW(farm.removeApp(b), core::LifecycleError);
+    EXPECT_THROW(farm.removeApp(9), std::out_of_range);
+    farm.installApp(core::makeIotFlowApp(fx.iot));
+    EXPECT_THROW(farm.removeApp(0), core::LifecycleError); // default
+    farm.setDefaultApp(2);
+    EXPECT_NO_THROW(farm.removeApp(0));
+
+    // The surviving tenant still serves on every replica.
+    const auto decisions = farm.processTrace(fx.iot.eval_trace);
+    for (const auto &d : decisions)
+        EXPECT_EQ(d.app_id, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch keys: ingress port + 802.1Q VLAN id
+// ---------------------------------------------------------------------
+
+TEST(Lifecycle, DispatchMatchesIngressPortAndVlanId)
+{
+    const auto &fx = fixture();
+    core::TaurusSwitch sw;
+    const core::AppId def = sw.installApp(sinkApp());
+
+    // Tenant claiming VLAN 7 and (separately) ingress port 3.
+    core::AppArtifact claimer = sinkApp("edge_tenant");
+    core::DispatchRule by_vlan;
+    by_vlan.vlan = 7;
+    by_vlan.vlan_mask = 0x0FFF;
+    by_vlan.priority = 2;
+    core::DispatchRule by_port;
+    by_port.in_port = 3;
+    by_port.in_port_mask = 0xFFFF;
+    by_port.priority = 1;
+    claimer.dispatch = {by_vlan, by_port};
+    const core::AppId edge = sw.installApp(claimer);
+
+    net::TracePacket tp = fx.kdd_trace.front();
+    EXPECT_EQ(sw.process(tp).app_id, def); // untagged, port 0
+
+    tp.vlan_id = 7;
+    EXPECT_EQ(sw.process(tp).app_id, edge);
+    tp.vlan_id = 8;
+    EXPECT_EQ(sw.process(tp).app_id, def); // wrong VLAN
+
+    tp.vlan_id = 0;
+    tp.ingress_port = 3;
+    EXPECT_EQ(sw.process(tp).app_id, edge);
+    tp.ingress_port = 4;
+    EXPECT_EQ(sw.process(tp).app_id, def); // wrong port
+}
+
+TEST(Lifecycle, FiveTupleOnlyRulesIgnoreReceiveMetadata)
+{
+    // Parity contract: rules that leave the port/VLAN masks at zero
+    // must match exactly as the 5-tuple-only dispatch always did —
+    // receive-side metadata cannot perturb them.
+    const auto &fx = fixture();
+
+    auto buildSwitch = [&]() {
+        auto sw = std::make_unique<core::TaurusSwitch>();
+        sw->installApp(sinkApp());
+        sw->installApp(core::makeIotFlowApp(fx.iot)); // 192.168/16 rule
+        sw->installApp(anomalyClaiming10());          // 10/8 rule
+        return sw;
+    };
+
+    // Metadata-bearing copy of the merged trace. Sizes are clamped so
+    // the 4-byte 802.1Q tag never changes the wire length (PktLen) —
+    // this test isolates *dispatch* behavior.
+    std::vector<net::TracePacket> plain = fx.merged;
+    for (auto &tp : plain)
+        tp.size_bytes = std::max<uint16_t>(tp.size_bytes, 64);
+    std::vector<net::TracePacket> tagged = plain;
+    for (size_t i = 0; i < tagged.size(); ++i) {
+        tagged[i].ingress_port = static_cast<uint16_t>(1 + i % 7);
+        tagged[i].vlan_id = static_cast<uint16_t>(1 + i % 9);
+    }
+
+    auto a = buildSwitch();
+    auto b = buildSwitch();
+    for (size_t i = 0; i < plain.size(); ++i) {
+        const auto want = a->process(plain[i]);
+        const auto got = b->process(tagged[i]);
+        ASSERT_EQ(want.app_id, got.app_id) << i;
+        expectSameValues(want, got, i);
+        EXPECT_DOUBLE_EQ(want.latency_ns, got.latency_ns) << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime lifecycle under live traffic
+// ---------------------------------------------------------------------
+
+namespace {
+
+runtime::RuntimeConfig
+churnConfig(bool synchronous)
+{
+    runtime::RuntimeConfig rc;
+    rc.synchronous = synchronous;
+    rc.sampling_rate = 1.0;
+    rc.batch_pkts = 512;
+    rc.train.seed = 11;
+    return rc;
+}
+
+} // namespace
+
+TEST(Lifecycle, RuntimeChurnKeepsSurvivorBitIdenticalAndCountsStale)
+{
+    // Synchronous (deterministic) churn through the runtime: tenant A's
+    // decisions are bit-identical across install/replace/remove of a
+    // churn tenant, in-flight telemetry for the dead tenant is dropped
+    // and counted on its slot, and appStats keeps answering for the
+    // removed tenant.
+    const auto &fx = fixture();
+    const size_t third = fx.merged.size() / 3;
+
+    auto run = [&](bool churn) {
+        core::SwitchFarm farm({}, 2);
+        core::AppArtifact sink = sinkApp();
+        core::AppArtifact anom = anomalyClaiming10();
+        sink.make_trainer = nullptr; // freeze weights: isolate churn
+        anom.make_trainer = nullptr;
+        farm.installApp(sink);
+        farm.installApp(anom);
+        runtime::OnlineRuntime rt(farm, {&sink, &anom},
+                                  churnConfig(/*synchronous=*/true));
+        rt.start();
+
+        std::vector<core::SwitchDecision> decisions(fx.merged.size());
+        util::Span<const net::TracePacket> pkts(fx.merged.data(),
+                                                fx.merged.size());
+        util::Span<core::SwitchDecision> out(decisions.data(),
+                                             decisions.size());
+        core::AppId c = 0;
+        rt.processTrace(pkts.subspan(0, third), out.subspan(0, third));
+        if (churn) {
+            c = rt.installApp(core::makeIotFlowApp(fx.iot));
+            EXPECT_EQ(c, 2u);
+            EXPECT_TRUE(rt.installed(c));
+        }
+        rt.processTrace(pkts.subspan(third, third),
+                        out.subspan(third, third));
+        if (churn) {
+            rt.replaceApp(c, core::makeIotFlowApp(fx.iot));
+            rt.removeApp(c);
+            EXPECT_FALSE(rt.installed(c));
+            EXPECT_EQ(rt.appCount(), 2u);
+            EXPECT_EQ(rt.slotCount(), 3u);
+        }
+        rt.processTrace(pkts.subspan(2 * third, fx.merged.size() -
+                                                    2 * third),
+                        out.subspan(2 * third,
+                                    fx.merged.size() - 2 * third));
+        const auto st = rt.stats();
+        const auto dead =
+            churn ? rt.appStats(c) : runtime::RuntimeStats{};
+        rt.stop();
+        const auto end = rt.stats();
+        return std::make_tuple(std::move(decisions), st, dead, end);
+    };
+
+    const auto [churned, st, dead, end] = run(true);
+    const auto [quiet, qst, qdead, qend] = run(false);
+    (void)qdead;
+
+    // Survivor bit-identity: tenant 1 (10/8 claimer) saw exactly the
+    // KDD packets in both runs.
+    size_t a_count = 0;
+    size_t j = 0;
+    for (size_t i = 0; i < churned.size(); ++i) {
+        if (quiet[i].app_id != 1)
+            continue;
+        // Find the churned run's next tenant-1 decision.
+        while (j < churned.size() && churned[j].app_id != 1)
+            ++j;
+        ASSERT_LT(j, churned.size());
+        expectSameValues(quiet[i], churned[j], i);
+        ++j;
+        ++a_count;
+    }
+    EXPECT_EQ(a_count, kddTenSlashEight());
+
+    // Lifecycle accounting: 3 ops, dead tenant archived with its final
+    // counters and a growing stale-drop count (its in-flight telemetry
+    // was drained after the removal).
+    EXPECT_EQ(st.lifecycle_ops, 3u);
+    EXPECT_EQ(qst.lifecycle_ops, 0u);
+    EXPECT_TRUE(dead.removed);
+    EXPECT_GT(dead.consumed, 0u);
+    // Retired state blocks: every op retires, and by stop() every
+    // retirement has been reclaimed — a stopped runtime holds no dead
+    // tenant state.
+    EXPECT_GT(end.rcu_retired, 0u);
+    EXPECT_EQ(end.rcu_retired, end.rcu_reclaimed);
+    EXPECT_EQ(qend.rcu_retired, 0u);
+}
+
+TEST(Lifecycle, RuntimeStaleTelemetryIsDroppedAndChargedToTheDead)
+{
+    // Mirror samples for a tenant, remove it BEFORE the control plane
+    // drains them: the samples must be dropped (never trained into
+    // another tenant) and charged to the dead tenant's slot.
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 1);
+    core::AppArtifact sink = sinkApp();
+    farm.installApp(sink);
+    runtime::RuntimeConfig rc = churnConfig(/*synchronous=*/true);
+    rc.batch_pkts = 1 << 20; // no control step before we remove
+    runtime::OnlineRuntime rt(farm, {&sink}, rc);
+    rt.start();
+    const core::AppId c = rt.installApp(core::makeIotFlowApp(fx.iot));
+
+    // 100 IoT packets decided by tenant c, all mirrored, none drained.
+    std::vector<net::TracePacket> slice(fx.iot.eval_trace.begin(),
+                                        fx.iot.eval_trace.begin() + 100);
+    rt.processTrace(slice);
+    EXPECT_EQ(rt.appStats(c).consumed, 0u);
+
+    rt.removeApp(c);
+    rt.stop(); // final drain meets the tombstone
+
+    const auto dead = rt.appStats(c);
+    EXPECT_TRUE(dead.removed);
+    EXPECT_EQ(dead.consumed, 0u);
+    EXPECT_EQ(dead.stale_dropped, 100u);
+    EXPECT_EQ(rt.stats().stale_dropped, 100u);
+    // The surviving tenant consumed nothing foreign.
+    EXPECT_EQ(rt.appStats(0).consumed, 0u);
+}
+
+TEST(Lifecycle, RuntimeTypedErrorsAndDefaultGuard)
+{
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 2);
+    core::AppArtifact sink = sinkApp();
+    farm.installApp(sink);
+    runtime::OnlineRuntime rt(farm, {&sink},
+                              churnConfig(/*synchronous=*/true));
+    rt.start();
+    const core::AppId c = rt.installApp(core::makeIotFlowApp(fx.iot));
+
+    // Default guard: typed error, nothing changes anywhere.
+    EXPECT_THROW(rt.removeApp(0), core::LifecycleError);
+    EXPECT_TRUE(rt.installed(0));
+    EXPECT_TRUE(farm.installed(0));
+
+    // Admission fault: typed error from the dry-run, before any worker
+    // or replica saw the op.
+    core::AppArtifact bad = sinkApp("huge");
+    bad.graph = fx.huge;
+    EXPECT_THROW(rt.installApp(bad), core::AdmissionError);
+    EXPECT_THROW(rt.replaceApp(c, bad), core::AdmissionError);
+    EXPECT_EQ(rt.appCount(), 2u);
+    EXPECT_EQ(farm.appCount(), 2u);
+    EXPECT_EQ(rt.stats().lifecycle_ops, 1u); // only the install landed
+
+    // Unknown / tombstoned ids.
+    EXPECT_THROW(rt.removeApp(9), std::out_of_range);
+    EXPECT_THROW(rt.replaceApp(9, sink), std::out_of_range);
+    EXPECT_THROW(rt.setDefaultApp(9), core::LifecycleError);
+    rt.removeApp(c);
+    EXPECT_THROW(rt.removeApp(c), core::LifecycleError);
+    EXPECT_THROW(rt.replaceApp(c, sink), core::LifecycleError);
+    EXPECT_THROW(rt.store(c), core::LifecycleError);
+    EXPECT_NO_THROW(rt.appStats(c)); // stats outlive the tenant
+    rt.stop();
+}
+
+// ---------------------------------------------------------------------
+// Staggered two-tenant drift: independent per-tenant recovery
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The drift-validated model + trace generator (runtime_test's
+ *  recovery scenario), built only if the staggered-drift test runs. */
+struct DriftFixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(1, 3000);
+    net::KddConfig base;
+
+    DriftFixture()
+    {
+        base.connections = 12000;
+        base.trace_duration_s = 1.0;
+    }
+
+    /**
+     * A FRESH trace per call (distinct seed): replaying one trace
+     * accumulates per-flow register state and artificially degrades
+     * F1, so every phase/round of the staggered scenario gets new
+     * traffic of the wanted mix, like a live link would carry.
+     */
+    std::vector<net::TracePacket> trace(uint64_t seed,
+                                        bool shifted) const
+    {
+        const net::KddConfig cfg =
+            shifted ? net::shiftedAttackMix(base) : base;
+        net::KddGenerator gen(cfg, seed);
+        return net::trimTrace(
+            gen.expandToPackets(gen.sampleConnections()),
+            cfg.trace_duration_s);
+    }
+};
+
+const DriftFixture &
+driftFixture()
+{
+    static const DriftFixture fx;
+    return fx;
+}
+
+} // namespace
+
+TEST(Lifecycle, StaggeredDriftRecoversEachTenantIndependently)
+{
+    // Two co-resident anomaly tenants whose traffic drifts at
+    // DIFFERENT times: tenant A (default, 10.x sources) shifts first
+    // and recovers through its own AppControl while tenant B
+    // (172.16/12 sources) stays healthy and untouched; then B shifts
+    // and recovers while A stays at its post-recovery operating point.
+    const auto &dfx = driftFixture();
+
+    core::AppArtifact tenant_a = core::makeAnomalyDnnApp(dfx.dnn);
+    tenant_a.name = "tenant_a";
+    core::AppArtifact tenant_b = core::makeAnomalyDnnApp(dfx.dnn);
+    tenant_b.name = "tenant_b";
+    core::DispatchRule claim172;
+    claim172.src_ip = 0xAC100000u;
+    claim172.src_ip_mask = 0xFFF00000u;
+    claim172.priority = 1;
+    tenant_b.dispatch = {claim172};
+
+    core::SwitchFarm farm({}, 2);
+    farm.installApp(tenant_a); // id 0, dispatch default
+    farm.installApp(tenant_b); // id 1
+    runtime::RuntimeConfig rc;
+    rc.synchronous = true;
+    rc.sampling_rate = 1.0;
+    rc.batch_pkts = 512;
+    rc.train.batch = 256;
+    rc.train.epochs = 2;
+    rc.train.learning_rate = 0.05f;
+    rc.train.seed = 5;
+    rc.drift.window = 2048;
+    rc.drift.warmup_windows = 2;
+    rc.drift.trigger_ratio = 0.85;
+    rc.drift.recover_ratio = 0.95;
+    runtime::OnlineRuntime rt(farm, {&tenant_a, &tenant_b}, rc);
+    rt.start();
+
+    // Phase 1: both steady — references armed, nobody triggers.
+    rt.processTrace(core::mergeTracesByTime(
+        dfx.trace(42, false), remapTo172(dfx.trace(142, false))));
+    EXPECT_GT(rt.appStats(0).reference_f1, 0.5);
+    EXPECT_GT(rt.appStats(1).reference_f1, 0.5);
+    EXPECT_EQ(rt.appStats(0).drift_triggers, 0u);
+    EXPECT_EQ(rt.appStats(1).drift_triggers, 0u);
+    EXPECT_EQ(rt.stats().sgd_steps, 0u);
+    const double a_pre = rt.appStats(0).reference_f1;
+
+    // Phase 2: A shifts, B stays steady. Only A may trigger/retrain.
+    for (uint64_t round = 0; round < 8; ++round) {
+        rt.processTrace(core::mergeTracesByTime(
+            dfx.trace(43 + round, true),
+            remapTo172(dfx.trace(143 + round, false))));
+        if (rt.appStats(0).drift_recoveries > 0)
+            break;
+    }
+    EXPECT_EQ(rt.appStats(0).drift_triggers, 1u);
+    EXPECT_GE(rt.appStats(0).drift_recoveries, 1u);
+    EXPECT_GT(rt.appStats(0).sgd_steps, 0u);
+    EXPECT_GE(rt.appStats(0).smoothed_f1, 0.95 * a_pre);
+    EXPECT_EQ(rt.appStats(1).drift_triggers, 0u);
+    EXPECT_EQ(rt.appStats(1).sgd_steps, 0u);
+    EXPECT_EQ(rt.appStats(1).updates_published, 0u);
+
+    // Phase 3: B shifts, A back to steady. Only B triggers; A's
+    // counters stay where phase 2 left them.
+    const auto a2_triggers = rt.appStats(0).drift_triggers;
+    for (uint64_t round = 0; round < 8; ++round) {
+        rt.processTrace(core::mergeTracesByTime(
+            dfx.trace(60 + round, false),
+            remapTo172(dfx.trace(160 + round, true))));
+        if (rt.appStats(1).drift_recoveries > 0)
+            break;
+    }
+    const auto a_end = rt.appStats(0);
+    const auto b_end = rt.appStats(1);
+    rt.stop();
+
+    EXPECT_EQ(b_end.drift_triggers, 1u);
+    EXPECT_GE(b_end.drift_recoveries, 1u);
+    EXPECT_GT(b_end.sgd_steps, 0u);
+    // B's remapped trace is statistically (not bit-) equivalent to the
+    // validated scenario. The recovery latch itself enforced the
+    // >= 0.95 * reference gate at latch time; the end-of-run smoothed
+    // value keeps moving with the tail of the round, so only a sanity
+    // floor is asserted here (B's reference > 0.5 was checked above).
+    EXPECT_GT(b_end.smoothed_f1, 0.5);
+    EXPECT_EQ(a_end.drift_triggers, a2_triggers);
+    EXPECT_FALSE(a_end.drifted);
+    EXPECT_FALSE(b_end.drifted);
+}
+
+TEST(Lifecycle, RuntimeConcurrentChurnUnderLiveTraffic)
+{
+    // The zero-downtime claim, raced for real: one thread pushes
+    // traffic through the async runtime while this thread installs,
+    // replaces, and removes a churn tenant. TSan (CI job) is the
+    // oracle for races; functionally every packet gets decided, every
+    // op completes, and every retired block is reclaimed by stop().
+    const auto &fx = fixture();
+    core::SwitchFarm farm({}, 2);
+    core::AppArtifact sink = sinkApp();
+    core::AppArtifact anom = anomalyClaiming10();
+    farm.installApp(sink);
+    farm.installApp(anom);
+    runtime::RuntimeConfig rc = churnConfig(/*synchronous=*/false);
+    rc.batch_pkts = 256;
+    rc.train_always = true;
+    rc.train.batch = 64;
+    rc.train.epochs = 1;
+    rc.train.install_delay_ms = 0.0;
+    runtime::OnlineRuntime rt(farm, {&sink, &anom}, rc);
+    rt.start();
+
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> processed{0};
+    std::atomic<uint64_t> undecided{0};
+    std::thread traffic([&]() {
+        std::vector<core::SwitchDecision> decisions(fx.merged.size());
+        while (!done.load(std::memory_order_relaxed)) {
+            rt.processTrace(
+                util::Span<const net::TracePacket>(fx.merged.data(),
+                                                   fx.merged.size()),
+                util::Span<core::SwitchDecision>(decisions.data(),
+                                                 decisions.size()));
+            processed.fetch_add(decisions.size(),
+                                std::memory_order_relaxed);
+            for (const auto &d : decisions)
+                if (!(d.latency_ns > 0.0))
+                    undecided.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    const core::AppArtifact churner = core::makeIotFlowApp(fx.iot);
+    std::vector<core::AppId> ids;
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        const core::AppId c = rt.installApp(churner);
+        ids.push_back(c);
+        rt.replaceApp(c, churner);
+        rt.removeApp(c);
+        EXPECT_FALSE(rt.installed(c));
+        EXPECT_EQ(rt.appCount(), 2u);
+    }
+    done.store(true, std::memory_order_relaxed);
+    traffic.join();
+    rt.stop();
+
+    EXPECT_EQ(undecided.load(), 0u); // every packet got decided
+    // Ids strictly increase — never reused across churn.
+    for (size_t i = 1; i < ids.size(); ++i)
+        EXPECT_GT(ids[i], ids[i - 1]);
+    const auto st = rt.stats();
+    EXPECT_EQ(st.lifecycle_ops, 12u);
+    EXPECT_GT(st.packets, 0u);
+    EXPECT_EQ(st.packets, processed.load());
+    EXPECT_GT(st.rcu_retired, 0u);
+    EXPECT_EQ(st.rcu_retired, st.rcu_reclaimed);
+    // Every dead incarnation still answers appStats.
+    for (const core::AppId c : ids)
+        EXPECT_TRUE(rt.appStats(c).removed);
+}
