@@ -53,6 +53,21 @@ Context::latency(const std::string &name, std::vector<double> samples,
 }
 
 void
+Context::histogram(const std::string &name, const obs::Histogram &h,
+                   const std::string &unit)
+{
+    if (h.count() == 0)
+        return;
+    metric(name + "_mean_" + unit, h.mean());
+    metric(name + "_p50_" + unit, h.p50());
+    metric(name + "_p90_" + unit, h.p90());
+    metric(name + "_p99_" + unit, h.p99());
+    metric(name + "_p999_" + unit, h.p999());
+    metric(name + "_max_" + unit, h.max());
+    metric(name + "_count", static_cast<int64_t>(h.count()));
+}
+
+void
 Context::throughput(const std::string &name, double items, double seconds)
 {
     if (seconds > 0.0)

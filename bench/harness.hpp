@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 
@@ -84,6 +85,15 @@ class Context
     /** Record items/s under `<name>_per_sec` given a count + duration. */
     void throughput(const std::string &name, double items,
                     double seconds);
+
+    /**
+     * Record a pre-aggregated obs::Histogram — the constant-memory way
+     * to report latency over millions of samples (latency() holds raw
+     * vectors). Emits `<name>_{mean,p50,p90,p99,p999,max}_<unit>` plus
+     * `<name>_count`; no-op when the histogram is empty.
+     */
+    void histogram(const std::string &name, const obs::Histogram &h,
+                   const std::string &unit = "ns");
 
     const util::json::Value &metrics() const { return metrics_; }
 

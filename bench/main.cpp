@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness.hpp"
+#include "obs/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -47,7 +48,8 @@ usage(std::ostream &os)
           "[0.001, 100]\n"
           "  --repeats N    run each bench N times in [1, 100]; JSON\n"
           "                 metrics report the median across repeats\n"
-          "                 plus <key>_min, and wall_ms_min/median\n"
+          "                 plus <key>_min/_p50/_p99, and\n"
+          "                 wall_ms_min/_p50/_p99/median\n"
           "  --json FILE    write machine-readable results to FILE\n"
           "  --quiet        suppress per-bench table output\n"
           "  --help         this message\n"
@@ -221,25 +223,38 @@ main(int argc, char **argv)
             entry.set("metrics", std::move(runs.front()));
         } else {
             // Per-metric aggregation: the median across repeats under
-            // the original key plus the minimum under <key>_min.
+            // the original key, the minimum under <key>_min, and the
+            // obs::Histogram-backed tails under <key>_p50/_p99 (at a
+            // handful of repeats p99 is effectively the max — the key
+            // exists so dashboards keep one schema as N grows).
+            obs::Histogram wall_hist;
+            for (const double w : walls)
+                wall_hist.add(w);
             entry.set("wall_ms", util::percentile(walls, 50.0));
             entry.set("wall_ms_min",
                       *std::min_element(walls.begin(), walls.end()));
+            entry.set("wall_ms_p50", wall_hist.p50());
+            entry.set("wall_ms_p99", wall_hist.p99());
             auto metrics = util::json::Value::object();
             for (const auto &[key, first_val] : runs.front().entries()) {
                 if (!first_val.isNumber()) {
                     metrics.set(key, first_val);
                     continue;
                 }
+                obs::Histogram hist;
                 std::vector<double> samples;
                 for (const auto &run : runs)
                     if (const auto *v = run.find(key);
-                        v && v->isNumber())
+                        v && v->isNumber()) {
                         samples.push_back(v->asDouble());
+                        hist.add(v->asDouble());
+                    }
                 metrics.set(key, util::percentile(samples, 50.0));
                 metrics.set(key + "_min",
                             *std::min_element(samples.begin(),
                                               samples.end()));
+                metrics.set(key + "_p50", hist.p50());
+                metrics.set(key + "_p99", hist.p99());
             }
             entry.set("metrics", std::move(metrics));
         }

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The observability layer's own cost and correctness bench.
+ *
+ * Three questions, answered on the real switch fast path:
+ *
+ *   1. What do metrics cost? The same packet loop runs with
+ *      observability disabled, with metrics on, and with metrics plus
+ *      1-in-1024 trace sampling. Full runs assert the fully
+ *      instrumented configuration keeps >= 0.97 of the bare
+ *      throughput (the ISSUE's acceptance bar); smoke runs only
+ *      report the ratio — sub-second loops are too noisy to gate on.
+ *
+ *   2. Is the farm scrape exact? A multi-worker SwitchFarm processes
+ *      a trace; the merged Snapshot's counters must equal
+ *      mergedStats() field for field, and the merged latency
+ *      histogram must hold exactly one sample per packet.
+ *
+ *   3. Do the exporters round-trip? The farm snapshot is rendered to
+ *      Prometheus text and bench JSON and written as
+ *      OBS_snapshot.prom / OBS_snapshot.json artifacts (CI archives
+ *      and format-checks them); the text must carry the # TYPE
+ *      preamble and the mandatory +Inf bucket.
+ *
+ * Throughput is best-of-K with the configurations interleaved, so a
+ * transient frequency dip hits every configuration equally instead of
+ * biasing one side of the ratio.
+ */
+
+#include "harness.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "obs/export.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void
+require(bool ok, const char *what)
+{
+    if (!ok)
+        throw std::runtime_error(std::string("observability_bench: ") +
+                                 what);
+}
+
+} // namespace
+
+TAURUS_BENCH(observability_bench, "Observability",
+             "metrics/tracing overhead ratio, farm-scrape exactness, "
+             "exporter artifacts")
+{
+    using namespace taurus;
+    using util::TablePrinter;
+    auto &os = ctx.out();
+
+    os << "Observability overhead and scrape exactness\n\n";
+
+    const auto dnn = models::trainAnomalyDnn(1, ctx.size(2000, 600));
+    net::KddConfig kcfg;
+    kcfg.connections = ctx.size(4000, 500);
+    net::KddGenerator gen(kcfg, 9);
+    const auto trace = gen.expandToPackets(gen.sampleConnections());
+
+    // 1. Overhead: identical packet loops under three configurations.
+    //    Each switch is built once (construction and placement are
+    //    control-plane costs, not per-packet ones) and the loop runs K
+    //    rounds interleaved across configurations; best-of-K per
+    //    configuration is the noise-robust estimator of the true rate.
+    struct Config
+    {
+        const char *key;
+        core::ObsConfig obs;
+        double best_per_sec = 0.0;
+        std::vector<double> per_round; ///< pkts/s, one entry per round
+        std::unique_ptr<core::TaurusSwitch> sw;
+    };
+    Config configs[3] = {
+        {"obs_off", {false, 0, 256}, 0.0, {}, nullptr},
+        {"obs_metrics", {true, 0, 256}, 0.0, {}, nullptr},
+        {"obs_full", {true, 1024, 256}, 0.0, {}, nullptr},
+    };
+    const size_t iters = ctx.size(60000, 1000);
+    const int rounds = ctx.smoke() ? 2 : 7;
+    for (auto &c : configs) {
+        core::SwitchConfig scfg;
+        scfg.obs = c.obs;
+        c.sw = std::make_unique<core::TaurusSwitch>(scfg);
+        c.sw->installAnomalyModel(dnn);
+        for (size_t i = 0; i < std::min<size_t>(iters, 1000); ++i)
+            c.sw->process(trace[i % trace.size()]); // warm
+    }
+    for (int r = 0; r < rounds; ++r) {
+        for (auto &c : configs) {
+            uint64_t sink = 0;
+            const bench::Timer timer;
+            for (size_t i = 0; i < iters; ++i)
+                sink += c.sw->process(trace[i % trace.size()]).flagged;
+            const double sec = timer.elapsedSec();
+            c.per_round.push_back(sec > 0.0 ? double(iters) / sec : 0.0);
+            c.best_per_sec = std::max(c.best_per_sec, c.per_round.back());
+            ctx.metric(std::string(c.key) + "_flagged_sink",
+                       static_cast<int64_t>(sink));
+        }
+    }
+
+    TablePrinter t({"Config", "Best pkts/s", "Ratio vs off"});
+    const double off = configs[0].best_per_sec;
+    for (const auto &c : configs) {
+        const double ratio = off > 0.0 ? c.best_per_sec / off : 0.0;
+        ctx.metric(std::string(c.key) + "_pkts_per_sec", c.best_per_sec);
+        ctx.metric(std::string(c.key) + "_ratio", ratio);
+        t.addRow({c.key, TablePrinter::num(c.best_per_sec, 0),
+                  TablePrinter::num(ratio, 4)});
+    }
+    t.print(os);
+
+    // The gate: comparing rates measured in *different* time windows
+    // folds host noise (frequency scaling, a neighbor VM) into the
+    // ratio, so the assert works on per-round pairs instead — within a
+    // round the off and full loops run back to back, canceling slow
+    // drift — and takes the best round: a real >3% instrumentation
+    // cost would depress every round, while a transient dip only hurts
+    // some.
+    double full_ratio = 0.0;
+    for (int r = 0; r < rounds; ++r)
+        if (configs[0].per_round[r] > 0.0)
+            full_ratio = std::max(full_ratio, configs[2].per_round[r] /
+                                                  configs[0].per_round[r]);
+    ctx.metric("obs_full_paired_ratio", full_ratio);
+    os << "\nbest paired enabled/disabled ratio: "
+       << TablePrinter::num(full_ratio, 4) << "\n";
+    if (!ctx.smoke())
+        require(full_ratio >= 0.97,
+                "metrics + 1/1024 tracing cost more than 3% throughput");
+
+    // Per-packet tracer sampling cost, amortized: the full config ran
+    // `rounds * iters + warmup` packets through a 1-in-1024 sampler.
+    {
+        const auto &tr = configs[2].sw->tracer();
+        require(tr.enabled() && tr.every() == 1024,
+                "trace_every=1024 did not round to itself");
+        require(tr.seen() > 0, "tracer saw no packets");
+        const uint64_t expect = tr.seen() / 1024;
+        require(tr.sampled() >= expect && tr.sampled() <= expect + 1,
+                "1-in-1024 sampler cadence drifted");
+        ctx.metric("tracer_seen", static_cast<int64_t>(tr.seen()));
+        ctx.metric("tracer_sampled", static_cast<int64_t>(tr.sampled()));
+        const auto traces = configs[2].sw->tracer().snapshot();
+        require(!traces.empty(), "trace ring snapshot came back empty");
+        require(traces.back().span_count > 0,
+                "sampled trace carried no spans");
+        os << "\ntracer: " << tr.sampled() << " of " << tr.seen()
+           << " packets sampled, " << traces.size() << " retained\n";
+    }
+
+    // 2. Farm-scrape exactness: counters from the merged snapshot must
+    //    equal the mergedStats() facade field for field, and the
+    //    end-to-end latency histograms must account for every packet.
+    {
+        const unsigned hc = std::thread::hardware_concurrency();
+        const size_t workers =
+            std::max<size_t>(2, std::min<size_t>(hc ? hc : 2, 8));
+        core::SwitchFarm farm({}, workers);
+        farm.installAnomalyModel(dnn);
+        std::vector<core::SwitchDecision> decisions(trace.size());
+        const size_t target = ctx.size(120000, 2000);
+        size_t done = 0;
+        while (done < target) {
+            const size_t n = std::min(trace.size(), target - done);
+            farm.processTrace(
+                util::Span<const net::TracePacket>(trace.data(), n),
+                util::Span<core::SwitchDecision>(decisions.data(), n));
+            done += n;
+        }
+
+        const auto merged = farm.mergedStats();
+        const obs::Snapshot snap = farm.scrape();
+        auto exact = [&](const char *name, uint64_t facade) {
+            require(snap.value(name) == double(facade),
+                    "farm scrape diverged from mergedStats()");
+        };
+        exact("taurus_switch_packets_total", merged.packets);
+        exact("taurus_switch_ml_packets_total", merged.ml_packets);
+        exact("taurus_switch_flagged_total", merged.flagged);
+        exact("taurus_switch_dropped_total", merged.dropped);
+        exact("taurus_switch_safety_overrides_total",
+              merged.safety_overrides);
+        exact("taurus_switch_dispatch_misses_total",
+              merged.dispatch_misses);
+
+        const auto *ml =
+            snap.findHist("taurus_switch_latency_ns", "path=\"ml\"");
+        const auto *by =
+            snap.findHist("taurus_switch_latency_ns", "path=\"bypass\"");
+        const uint64_t hist_packets = (ml ? ml->hist.count() : 0) +
+                                      (by ? by->hist.count() : 0);
+        require(hist_packets == merged.packets,
+                "latency histograms lost packets across the shard merge");
+        ctx.metric("farm_workers", workers);
+        ctx.metric("farm_packets", static_cast<int64_t>(merged.packets));
+        if (ml)
+            ctx.histogram("farm_ml_latency", ml->hist);
+
+        // 3. Exporter artifacts, written where CI can archive them.
+        const std::string prom = obs::renderPrometheus(snap);
+        require(prom.find("# TYPE taurus_switch_packets_total counter") !=
+                    std::string::npos,
+                "Prometheus render lost the # TYPE preamble");
+        require(prom.find("le=\"+Inf\"") != std::string::npos,
+                "Prometheus histogram render lost the +Inf bucket");
+        auto json = obs::toJson(snap);
+        json.set("traces",
+                 obs::tracesToJson(configs[2].sw->tracer().snapshot()));
+        {
+            std::ofstream f("OBS_snapshot.prom");
+            f << prom;
+            require(bool(f), "failed writing OBS_snapshot.prom");
+        }
+        {
+            std::ofstream f("OBS_snapshot.json");
+            f << json.dump(2) << "\n";
+            require(bool(f), "failed writing OBS_snapshot.json");
+        }
+        ctx.metric("prom_bytes", static_cast<int64_t>(prom.size()));
+        os << "\nwrote OBS_snapshot.prom (" << prom.size()
+           << " bytes) and OBS_snapshot.json\n";
+    }
+
+    os << "\nFull runs assert obs_full_paired_ratio >= 0.97; smoke "
+          "runs only report it.\n";
+}

@@ -192,6 +192,7 @@ TAURUS_BENCH(tenant_churn, "Tenant churn",
         uint64_t ops = 0, faults = 0;
         runtime::RuntimeStats stats;
         std::vector<runtime::RuntimeStats> dead;
+        obs::Snapshot snap; ///< farm+runtime scrape at run end
     };
 
     auto run = [&](bool churn) {
@@ -281,6 +282,7 @@ TAURUS_BENCH(tenant_churn, "Tenant churn",
         r.stats = rt.stats();
         rt.stop();
         r.stats = rt.stats(); // final: all retirements reclaimed
+        r.snap = rt.scrape(); // workers joined: batch boundary holds
         return r;
     };
 
@@ -334,6 +336,24 @@ TAURUS_BENCH(tenant_churn, "Tenant churn",
     ctx.metric("rcu_retired", churned.stats.rcu_retired);
     ctx.metric("rcu_reclaimed", churned.stats.rcu_reclaimed);
     ctx.metric("stale_dropped_async", churned.stats.stale_dropped);
+
+    // The exporter must tell the same story as the facade, even after
+    // a whole churn campaign (the unified-accounting invariant).
+    require(churned.snap.value("taurus_runtime_lifecycle_ops_total") ==
+                static_cast<double>(churned.stats.lifecycle_ops),
+            "scrape lifecycle counter diverged from RuntimeStats");
+    require(churned.snap.value("taurus_runtime_stale_dropped_total") ==
+                static_cast<double>(churned.stats.stale_dropped),
+            "scrape stale-drop counter diverged from RuntimeStats");
+
+    // Modeled end-to-end latency under churn, from the merged farm
+    // scrape (per-replica shards folded exactly).
+    if (const auto *ml = churned.snap.findHist("taurus_switch_latency_ns",
+                                               "path=\"ml\""))
+        ctx.histogram("churn_ml_latency", ml->hist);
+    if (const auto *step =
+            churned.snap.findHist("taurus_runtime_trainer_step_us"))
+        ctx.histogram("trainer_step", step->hist, "us");
 
     // ---- 4. Deterministic stale-telemetry coda ----------------------
     // The per-tenant drop counters proven exactly: mirror 100 samples

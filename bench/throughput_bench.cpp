@@ -102,6 +102,22 @@ TAURUS_BENCH(throughput_bench, "Simulator throughput",
         }
         report("switch_process", iters, timer.elapsedSec());
         ctx.latency("switch_modeled_latency", std::move(modeled_ns));
+
+        // Per-stage modeled latency from the switch's own registry:
+        // the histograms the pipeline filled while the loop ran.
+        const obs::Snapshot snap = sw.scrape();
+        for (const auto &h : snap.hists) {
+            if (h.name != "taurus_switch_stage_latency_ns")
+                continue;
+            // labels look like stage="parser": report the bare name.
+            const size_t a = h.labels.find('"');
+            const size_t b = h.labels.rfind('"');
+            const std::string stage =
+                a != std::string::npos && b > a
+                    ? h.labels.substr(a + 1, b - a - 1)
+                    : h.labels;
+            ctx.histogram("switch_stage_" + stage, h.hist);
+        }
     }
 
     // 3. The batched entry point over the same pipeline.
@@ -144,6 +160,16 @@ TAURUS_BENCH(throughput_bench, "Simulator throughput",
         ctx.metric("switch_farm_workers", workers);
         ctx.metric("switch_farm_packets",
                    farm.mergedStats().packets);
+
+        // The farm scrape folds every replica's shard exactly; the
+        // merged end-to-end latency distribution comes out for free.
+        const obs::Snapshot snap = farm.scrape();
+        if (const auto *ml =
+                snap.findHist("taurus_switch_latency_ns", "path=\"ml\""))
+            ctx.histogram("switch_farm_ml_latency", ml->hist);
+        if (const auto *by = snap.findHist("taurus_switch_latency_ns",
+                                           "path=\"bypass\""))
+            ctx.histogram("switch_farm_bypass_latency", by->hist);
     }
 
     // 5. Header parsing alone (reset-in-place PHV).

@@ -1,0 +1,160 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace taurus::obs {
+
+namespace {
+
+/** Compact double rendering: integers print without a trailing ".0"
+ *  so counter samples look like counts, not floats. */
+std::string
+num(double v)
+{
+    char buf[64];
+    if (v == static_cast<int64_t>(v) && v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<int64_t>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+std::string
+sampleName(const std::string &name, const std::string &labels)
+{
+    return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+/** `labels` with one more `key="value"` pair appended. */
+std::string
+withLabel(const std::string &labels, const std::string &extra)
+{
+    return labels.empty() ? extra : labels + "," + extra;
+}
+
+const char *
+typeName(MetricKind k)
+{
+    switch (k) {
+    case MetricKind::Counter:
+        return "counter";
+    case MetricKind::Gauge:
+        return "gauge";
+    case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "untyped";
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const Snapshot &snap)
+{
+    std::string out;
+    // A family's # TYPE line must precede all its samples and appear
+    // once, so group series by metric name first (std::map keeps the
+    // output stable across scrapes — diffable artifacts).
+    std::map<std::string, std::vector<const Snapshot::Num *>> nums;
+    for (const auto &n : snap.nums)
+        nums[n.name].push_back(&n);
+    for (const auto &[name, series] : nums) {
+        out += "# TYPE " + name + " " + typeName(series.front()->kind) +
+               "\n";
+        for (const Snapshot::Num *n : series)
+            out += sampleName(name, n->labels) + " " + num(n->value) +
+                   "\n";
+    }
+
+    std::map<std::string, std::vector<const Snapshot::Hist *>> hists;
+    for (const auto &h : snap.hists)
+        hists[h.name].push_back(&h);
+    for (const auto &[name, series] : hists) {
+        out += "# TYPE " + name + " histogram\n";
+        for (const Snapshot::Hist *h : series) {
+            uint64_t cum = 0;
+            const auto &buckets = h->hist.buckets();
+            for (size_t b = 0; b < kBucketCount; ++b) {
+                if (buckets[b] == 0)
+                    continue;
+                cum += buckets[b];
+                // The upper edge of bucket b is bucket b+1's lower
+                // edge; the saturation bucket folds into +Inf below.
+                if (b + 1 >= kBucketCount)
+                    continue;
+                out += sampleName(
+                           name + "_bucket",
+                           withLabel(h->labels,
+                                     "le=\"" +
+                                         num(bucketLowerEdge(b + 1)) +
+                                         "\"")) +
+                       " " + num(static_cast<double>(cum)) + "\n";
+            }
+            out += sampleName(name + "_bucket",
+                              withLabel(h->labels, "le=\"+Inf\"")) +
+                   " " + num(static_cast<double>(h->hist.count())) +
+                   "\n";
+            out += sampleName(name + "_sum", h->labels) + " " +
+                   num(h->hist.sum()) + "\n";
+            out += sampleName(name + "_count", h->labels) + " " +
+                   num(static_cast<double>(h->hist.count())) + "\n";
+        }
+    }
+    return out;
+}
+
+util::json::Value
+toJson(const Snapshot &snap)
+{
+    using util::json::Value;
+    Value root = Value::object();
+    Value counters = Value::object();
+    Value gauges = Value::object();
+    for (const auto &n : snap.nums) {
+        (n.kind == MetricKind::Gauge ? gauges : counters)
+            .set(sampleName(n.name, n.labels), Value(n.value));
+    }
+    Value hists = Value::object();
+    for (const auto &h : snap.hists) {
+        Value v = Value::object();
+        v.set("count", Value(h.hist.count()));
+        v.set("sum", Value(h.hist.sum()));
+        v.set("min", Value(h.hist.min()));
+        v.set("max", Value(h.hist.max()));
+        v.set("p50", Value(h.hist.p50()));
+        v.set("p90", Value(h.hist.p90()));
+        v.set("p99", Value(h.hist.p99()));
+        v.set("p999", Value(h.hist.p999()));
+        hists.set(sampleName(h.name, h.labels), std::move(v));
+    }
+    root.set("counters", std::move(counters));
+    root.set("gauges", std::move(gauges));
+    root.set("histograms", std::move(hists));
+    return root;
+}
+
+util::json::Value
+tracesToJson(const std::vector<PacketTrace> &traces)
+{
+    using util::json::Value;
+    Value arr = Value::array();
+    for (const PacketTrace &t : traces) {
+        Value v = Value::object();
+        v.set("seq", Value(t.seq));
+        v.set("app", Value(static_cast<uint64_t>(t.app_id)));
+        v.set("total_ns", Value(t.total_ns));
+        Value spans = Value::object();
+        for (size_t i = 0; i < t.span_count; ++i)
+            spans.set(stageName(t.spans[i].stage),
+                      Value(static_cast<double>(t.spans[i].ns)));
+        v.set("spans", std::move(spans));
+        arr.push(std::move(v));
+    }
+    return arr;
+}
+
+} // namespace taurus::obs

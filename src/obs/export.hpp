@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Exporter: render a registry Snapshot (plus optional sampled traces)
+ * in the two formats the outside world speaks — Prometheus text
+ * exposition for scrapers, and the repo's bench-style JSON for the CI
+ * artifact pipeline. Pure functions over the snapshot: no registry
+ * state, no locking, callable from any thread that holds a Snapshot.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace taurus::obs {
+
+/**
+ * Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+ * family, `name{labels} value` samples, histograms as cumulative
+ * `_bucket{le="..."}` series over the occupied buckets plus the
+ * mandatory `le="+Inf"`, `_sum`, and `_count`.
+ */
+std::string renderPrometheus(const Snapshot &snap);
+
+/**
+ * Bench-style JSON: counters/gauges as numbers keyed by
+ * `name{labels}`, histograms as objects with count/sum/min/max and
+ * the p50/p90/p99/p999 quantiles.
+ */
+util::json::Value toJson(const Snapshot &snap);
+
+/** Sampled traces as a JSON array (seq, app, total_ns, spans). */
+util::json::Value tracesToJson(const std::vector<PacketTrace> &traces);
+
+} // namespace taurus::obs

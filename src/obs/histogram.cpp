@@ -1,0 +1,146 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace taurus::obs {
+
+size_t
+bucketOf(double v)
+{
+    // Everything below 1.0 — zero, negatives, NaN (the comparison is
+    // false for NaN) — lands in bucket 0.
+    if (!(v >= 1.0))
+        return 0;
+    // Octave and sub-bucket come straight from the IEEE-754 fields: for
+    // a finite v >= 1, the unbiased exponent is floor(log2 v) — the
+    // octave — and the top kSubBits of the mantissa are the linear
+    // sub-bucket. Equivalent to the frexp() formulation bit for bit,
+    // without the libc call on the per-packet path. +Inf carries an
+    // exponent field past kOctaves and saturates like any overflow.
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof(bits));
+    const int octave = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+    if (octave >= kOctaves)
+        return kBucketCount - 1; // overflow saturates into the end
+    const size_t sub = (bits >> (52 - kSubBits)) &
+                       ((size_t{1} << kSubBits) - 1);
+    return (static_cast<size_t>(octave) << kSubBits) | sub;
+}
+
+double
+bucketLowerEdge(size_t b)
+{
+    if (b == 0)
+        return 0.0; // bucket 0 is the [0, 1 + 1/16) underflow band
+    const size_t octave = b >> kSubBits;
+    const size_t sub = b & ((1u << kSubBits) - 1);
+    const double base = std::ldexp(1.0, static_cast<int>(octave));
+    const double width =
+        base / static_cast<double>(1 << kSubBits); // octave / 16
+    return base + static_cast<double>(sub) * width;
+}
+
+double
+bucketMid(size_t b)
+{
+    const double lo = bucketLowerEdge(b);
+    const size_t octave = b >> kSubBits;
+    const double width = std::ldexp(1.0, static_cast<int>(octave)) /
+                         static_cast<double>(1 << kSubBits);
+    if (b + 1 >= kBucketCount)
+        return lo; // the saturation bucket reports its edge
+    return lo + 0.5 * (b == 0 ? 1.0 : width);
+}
+
+void
+Histogram::add(double v, uint64_t n)
+{
+    if (n == 0)
+        return;
+    buckets_[bucketOf(v)] += n;
+    const double clean = std::isnan(v) ? 0.0 : v;
+    sum_ += clean * static_cast<double>(n);
+    if (count_ == 0) {
+        min_ = max_ = clean;
+    } else {
+        min_ = std::min(min_, clean);
+        max_ = std::max(max_, clean);
+    }
+    count_ += n;
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.count_ == 0)
+        return;
+    for (size_t b = 0; b < kBucketCount; ++b)
+        buckets_[b] += o.buckets_[b];
+    sum_ += o.sum_;
+    if (count_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    // The ends of the envelope are tracked exactly: p=0 is the
+    // smallest sample and p=100 the largest, not a bucket estimate.
+    if (p <= 0.0)
+        return min();
+    if (p >= 100.0)
+        return max();
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the target sample, 1-based; p=0 asks for the first.
+    const double exact = p / 100.0 * static_cast<double>(count_);
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(exact));
+    rank = std::clamp<uint64_t>(rank, 1, count_);
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBucketCount; ++b) {
+        seen += buckets_[b];
+        if (seen >= rank)
+            return std::clamp(bucketMid(b), min_, max_);
+    }
+    return max_; // unreachable: counts always sum to count_
+}
+
+Histogram
+AtomicHistogram::snapshot() const
+{
+    Histogram h;
+    for (size_t b = 0; b < kBucketCount; ++b) {
+        const uint64_t n =
+            buckets_[b].load(std::memory_order_relaxed);
+        if (n)
+            h.add(bucketMid(b), n);
+    }
+    // The per-bucket replay above already produced bucket-exact counts
+    // (add() of a bucket's mid maps back to the same bucket) and
+    // edge-resolution extrema; only the sum is replaced with the
+    // writer's exact running sum.
+    h.overrideSum(sum_.load(std::memory_order_relaxed));
+    return h;
+}
+
+void
+AtomicHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace taurus::obs

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HDR-style): a fixed array of
+ * power-of-two octaves, each split into linear sub-buckets, so add()
+ * is a handful of integer ops, memory is constant (no per-sample
+ * storage), and the relative quantile error is bounded by the
+ * sub-bucket width (1/16 per octave, <= 6.25%).
+ *
+ * Two flavors share one bucket layout:
+ *
+ *  - Histogram: plain value-semantic counters. Mergeable like
+ *    util::RunningStat (exact, associative, commutative — the farm
+ *    scrape folds per-replica shards into one distribution with zero
+ *    loss), with percentile extraction (p50/p90/p99/p999) and exact
+ *    min/max/sum/count side-channels.
+ *
+ *  - AtomicHistogram: the registry's per-worker shard cell. One writer
+ *    thread calls add() (relaxed single-writer load+store — never a
+ *    lock, never a locked RMW); any thread may snapshot() concurrently. Snapshots are
+ *    per-bucket-atomic, not globally atomic: a scrape racing the
+ *    writer may be off by the in-flight sample, which is the standard
+ *    monitoring contract.
+ *
+ * Value mapping: buckets hold non-negative quantities (latencies in
+ * ns, durations in ms, occupancies). Everything below 1.0 — zero,
+ * negatives, NaN — saturates into bucket 0; everything at or above
+ * 2^kOctaves saturates into the last bucket. Percentiles of an empty
+ * histogram are 0.0 by contract.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace taurus::obs {
+
+/** Sub-bucket resolution: 2^kSubBits linear slices per octave. */
+constexpr int kSubBits = 4;
+/** Octaves covered: values in [1, 2^kOctaves); beyond saturates. */
+constexpr int kOctaves = 64;
+/** Total bucket count (1024 at 4 sub-bits). */
+constexpr size_t kBucketCount = static_cast<size_t>(kOctaves)
+                                << kSubBits;
+
+/** Bucket index for a value (end buckets absorb under/overflow). */
+size_t bucketOf(double v);
+
+/** Inclusive lower edge of bucket `b` (0.0 for bucket 0). */
+double bucketLowerEdge(size_t b);
+
+/** Representative (midpoint) value reported for bucket `b`. */
+double bucketMid(size_t b);
+
+/** Plain, mergeable log-bucketed histogram. */
+class Histogram
+{
+  public:
+    /** Record one sample. */
+    void add(double v) { add(v, 1); }
+
+    /** Record `n` identical samples (bulk fill / shard merge). */
+    void add(double v, uint64_t n);
+
+    /** Fold another histogram in. Exact on the bucket counts, so
+     *  merge is associative and commutative (the shard-merge and
+     *  farm-scrape tests pin both). */
+    void merge(const Histogram &o);
+
+    void reset() { *this = Histogram{}; }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    /** Exact extrema of the added samples (0.0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Quantile estimate for p in [0, 100]: the representative value of
+     * the bucket holding the ceil(p/100 * count)-th sample, clamped to
+     * the exact [min, max] envelope so p=0 is min and p=100 is max.
+     * 0.0 when empty (the empty-percentile contract).
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p90() const { return percentile(90.0); }
+    double p99() const { return percentile(99.0); }
+    double p999() const { return percentile(99.9); }
+
+    /** Raw bucket counts (exporters render these directly). */
+    const std::array<uint64_t, kBucketCount> &buckets() const
+    {
+        return buckets_;
+    }
+
+    bool operator==(const Histogram &o) const
+    {
+        return buckets_ == o.buckets_ && count_ == o.count_;
+    }
+
+    /** Replace the running sum with an exact externally-tracked one
+     *  (AtomicHistogram::snapshot replays buckets at their mids, then
+     *  restores the writer's exact sum through this). */
+    void overrideSum(double s) { sum_ = s; }
+
+  private:
+    std::array<uint64_t, kBucketCount> buckets_{};
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Per-worker shard cell: single writer, lock-free, concurrently
+ * snapshottable. The writer's add() is three relaxed atomic updates on
+ * cache lines only this shard touches; there is no sum/min/max
+ * side-channel beyond the running sum (a snapshot derives extrema from
+ * the occupied bucket edges instead — exact atomically-maintained
+ * extrema would cost a CAS loop on the fast path).
+ */
+class AtomicHistogram
+{
+  public:
+    /** Writer side: record one sample (relaxed; wait-free). All three
+     *  updates are plain load+store pairs, not locked RMWs: the shard
+     *  contract guarantees exactly one writer per cell, and a relaxed
+     *  mov pair costs ~1 cycle where a lock xadd costs ~20 — the
+     *  difference is the whole observability overhead budget at 8
+     *  cells per packet (the 0.97-ratio bench pins it). */
+    void add(double v)
+    {
+        auto &b = buckets_[bucketOf(v)];
+        b.store(b.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        sum_.store(sum_.load(std::memory_order_relaxed) + v,
+                   std::memory_order_relaxed);
+        count_.store(count_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    }
+
+    /** Any-thread read: materialize a plain mergeable Histogram. The
+     *  min/max of the snapshot are the occupied bucket edges (bounded
+     *  by the bucket resolution), not the exact sample extrema. */
+    Histogram snapshot() const;
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Writer-side (or quiescent) reset; not safe against a
+     *  concurrent add(). */
+    void reset();
+
+  private:
+    std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+    std::atomic<double> sum_{0.0};
+    std::atomic<uint64_t> count_{0};
+};
+
+} // namespace taurus::obs

@@ -1,0 +1,205 @@
+#include "obs/registry.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace taurus::obs {
+
+namespace {
+
+/** Gauges store doubles in the uint64 slot via bit_cast (C++17:
+ *  memcpy, which compilers lower to a plain register move). */
+uint64_t
+packDouble(double d)
+{
+    uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+double
+unpackDouble(uint64_t u)
+{
+    double d = 0.0;
+    std::memcpy(&d, &u, sizeof(d));
+    return d;
+}
+
+} // namespace
+
+void
+Gauge::set(double v)
+{
+    if (v_)
+        v_->store(packDouble(v), std::memory_order_relaxed);
+}
+
+double
+Gauge::value() const
+{
+    return v_ ? unpackDouble(v_->load(std::memory_order_relaxed)) : 0.0;
+}
+
+const Snapshot::Num *
+Snapshot::find(const std::string &name, const std::string &labels) const
+{
+    for (const Num &n : nums)
+        if (n.name == name && n.labels == labels)
+            return &n;
+    return nullptr;
+}
+
+const Snapshot::Hist *
+Snapshot::findHist(const std::string &name,
+                   const std::string &labels) const
+{
+    for (const Hist &h : hists)
+        if (h.name == name && h.labels == labels)
+            return &h;
+    return nullptr;
+}
+
+double
+Snapshot::value(const std::string &name, const std::string &labels) const
+{
+    const Num *n = find(name, labels);
+    return n ? n->value : 0.0;
+}
+
+void
+Snapshot::addNum(const std::string &name, const std::string &labels,
+                 MetricKind kind, double value)
+{
+    for (Num &n : nums) {
+        if (n.name == name && n.labels == labels) {
+            n.value += value; // replicas' series aggregate exactly
+            return;
+        }
+    }
+    nums.push_back({name, labels, kind, value});
+}
+
+void
+Snapshot::addHist(const std::string &name, const std::string &labels,
+                  const Histogram &h)
+{
+    for (Hist &existing : hists) {
+        if (existing.name == name && existing.labels == labels) {
+            existing.hist.merge(h);
+            return;
+        }
+    }
+    hists.push_back({name, labels, h});
+}
+
+MetricsRegistry::MetricsRegistry(size_t shards)
+    : shards_(shards ? shards : 1)
+{
+}
+
+MetricsRegistry::Family &
+MetricsRegistry::family(const std::string &name,
+                        const std::string &labels, MetricKind kind,
+                        size_t shard)
+{
+    if (shard >= shards_)
+        throw std::invalid_argument(
+            "MetricsRegistry: shard " + std::to_string(shard) +
+            " out of range (" + std::to_string(shards_) + " shards)");
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto &f : families_) {
+        if (f->name == name && f->labels == labels) {
+            if (f->kind != kind)
+                throw std::invalid_argument(
+                    "MetricsRegistry: metric '" + name +
+                    "' re-registered with a different kind");
+            return *f;
+        }
+    }
+    auto f = std::make_unique<Family>();
+    f->name = name;
+    f->labels = labels;
+    f->kind = kind;
+    if (kind == MetricKind::Histogram)
+        f->cells = std::make_unique<AtomicHistogram[]>(shards_);
+    else
+        f->slots = std::make_unique<PaddedSlot[]>(shards_);
+    families_.push_back(std::move(f));
+    return *families_.back();
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &labels, size_t shard)
+{
+    return Counter(
+        &family(name, labels, MetricKind::Counter, shard).slots[shard].v);
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name, const std::string &labels,
+                       size_t shard)
+{
+    return Gauge(
+        &family(name, labels, MetricKind::Gauge, shard).slots[shard].v);
+}
+
+HistogramCell
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &labels, size_t shard)
+{
+    return HistogramCell(
+        &family(name, labels, MetricKind::Histogram, shard).cells[shard]);
+}
+
+uint64_t
+MetricsRegistry::addCollector(Collector fn)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    const uint64_t token = next_collector_++;
+    collectors_.emplace_back(token, std::move(fn));
+    return token;
+}
+
+void
+MetricsRegistry::removeCollector(uint64_t token)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+        if (it->first == token) {
+            collectors_.erase(it);
+            return;
+        }
+    }
+}
+
+Snapshot
+MetricsRegistry::scrape(bool run_collectors) const
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lk(m_);
+    for (const auto &f : families_) {
+        if (f->kind == MetricKind::Histogram) {
+            Histogram merged;
+            for (size_t s = 0; s < shards_; ++s)
+                merged.merge(f->cells[s].snapshot());
+            snap.addHist(f->name, f->labels, merged);
+            continue;
+        }
+        double total = 0.0;
+        for (size_t s = 0; s < shards_; ++s) {
+            const uint64_t raw =
+                f->slots[s].v.load(std::memory_order_relaxed);
+            total += f->kind == MetricKind::Gauge
+                         ? unpackDouble(raw)
+                         : static_cast<double>(raw);
+        }
+        snap.addNum(f->name, f->labels, f->kind, total);
+    }
+    if (run_collectors)
+        for (const auto &[token, fn] : collectors_)
+            fn(snap);
+    return snap;
+}
+
+} // namespace taurus::obs

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * MetricsRegistry: the one place every layer's telemetry registers,
+ * designed so the per-packet path never takes a lock.
+ *
+ * Layout: a metric *family* is identified by (name, labels, kind).
+ * Each family owns one slot per shard — a cache-line-padded relaxed
+ * atomic for counters/gauges, an AtomicHistogram for histograms — and
+ * each shard is owned by exactly one writer thread (farm replica w
+ * writes shard w; the control plane writes its own families). The
+ * fast path is a relaxed fetch_add on a cache line no other thread
+ * writes; scrape() merges the shards of every family into one exact
+ * Snapshot (counters sum, gauges sum, histograms bucket-merge) without
+ * ever stopping a writer.
+ *
+ * Registration (counter()/gauge()/histogram()) takes a mutex and may
+ * allocate — it happens at install/bind time, control-plane cadence.
+ * Handles returned to callers stay valid for the registry's lifetime
+ * (families are never removed; slots are heap blocks that never move).
+ * A default-constructed handle is a no-op sink, so callers can keep
+ * one unconditional `counter_.inc()` on the fast path and decide at
+ * bind time whether it goes anywhere.
+ *
+ * Facade adoption — collectors: subsystems that already maintain
+ * counters (SwitchStats, the telemetry rings, the QSBR domain) do NOT
+ * duplicate them into shard slots; they register a *collector*, a
+ * callback that contributes values straight out of the one
+ * authoritative source at scrape time. The facade struct and the
+ * exporter therefore read the same underlying count and can never
+ * diverge. Collectors may read non-atomic state, so scrape(true) (the
+ * default) carries the same batch-boundary contract as
+ * SwitchFarm::mergedStats(); scrape(false) reads only the lock-free
+ * shard slots and is safe at any time, concurrent with all writers —
+ * the TSan suite pins exactly that.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace taurus::obs {
+
+/** What a metric family measures (Prometheus-compatible taxonomy). */
+enum class MetricKind
+{
+    Counter,  ///< monotonic count; name ends in _total by convention
+    Gauge,    ///< point-in-time value (occupancy, version, flag)
+    Histogram ///< log-bucketed distribution (latency, duration)
+};
+
+/** No-op-able handle to one shard slot of a counter family. */
+class Counter
+{
+  public:
+    Counter() = default;
+    void inc(uint64_t n = 1)
+    {
+        if (v_)
+            v_->fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t value() const
+    {
+        return v_ ? v_->load(std::memory_order_relaxed) : 0;
+    }
+    explicit operator bool() const { return v_ != nullptr; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(std::atomic<uint64_t> *v) : v_(v) {}
+    std::atomic<uint64_t> *v_ = nullptr;
+};
+
+/** No-op-able handle to one shard slot of a gauge family. Gauges are
+ *  doubles bit-cast into the same padded slots as counters. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    void set(double v);
+    double value() const;
+    explicit operator bool() const { return v_ != nullptr; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<uint64_t> *v) : v_(v) {}
+    std::atomic<uint64_t> *v_ = nullptr;
+};
+
+/** No-op-able handle to one shard's AtomicHistogram. */
+class HistogramCell
+{
+  public:
+    HistogramCell() = default;
+    void observe(double v)
+    {
+        if (h_)
+            h_->add(v);
+    }
+    explicit operator bool() const { return h_ != nullptr; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit HistogramCell(AtomicHistogram *h) : h_(h) {}
+    AtomicHistogram *h_ = nullptr;
+};
+
+/**
+ * One merged scrape of a registry: every family's shards folded
+ * together, plus every collector's contributions, aggregated by
+ * (name, labels) — numbers are exact sums / exact bucket merges.
+ */
+struct Snapshot
+{
+    struct Num
+    {
+        std::string name;
+        std::string labels; ///< rendered body, e.g. `app="0",stage="x"`
+        MetricKind kind = MetricKind::Counter;
+        double value = 0.0;
+    };
+    struct Hist
+    {
+        std::string name;
+        std::string labels;
+        Histogram hist;
+    };
+
+    std::vector<Num> nums;
+    std::vector<Hist> hists;
+
+    /** Lookup helpers (nullptr / empty-histogram when absent). */
+    const Num *find(const std::string &name,
+                    const std::string &labels = "") const;
+    const Hist *findHist(const std::string &name,
+                         const std::string &labels = "") const;
+    /** Numeric value, 0.0 when the series is absent. */
+    double value(const std::string &name,
+                 const std::string &labels = "") const;
+
+    /** Fold a (name, labels, kind) contribution in: counters and
+     *  gauges sum with an existing series, histograms bucket-merge. */
+    void addNum(const std::string &name, const std::string &labels,
+                MetricKind kind, double value);
+    void addHist(const std::string &name, const std::string &labels,
+                 const Histogram &h);
+};
+
+/** Sharded lock-free metrics registry. */
+class MetricsRegistry
+{
+  public:
+    /** One shard per fast-path writer (farm replica); shard indices
+     *  passed to the handle factories must be < `shards`. */
+    explicit MetricsRegistry(size_t shards = 1);
+
+    size_t shards() const { return shards_; }
+
+    /**
+     * Register (or re-attach to) a counter family and return the
+     * handle for `shard`. Families are keyed by (name, labels): every
+     * replica calling with the same key shares one family, each on its
+     * own slot. Throws std::invalid_argument when the key exists with
+     * a different kind, or `shard` is out of range.
+     */
+    Counter counter(const std::string &name, const std::string &labels,
+                    size_t shard);
+
+    /** Gauge analog of counter(). */
+    Gauge gauge(const std::string &name, const std::string &labels,
+                size_t shard);
+
+    /** Histogram analog of counter(). */
+    HistogramCell histogram(const std::string &name,
+                            const std::string &labels, size_t shard);
+
+    /**
+     * Register a scrape-time contributor (facade adoption; see file
+     * header). Returns a token for removeCollector — a subsystem whose
+     * lifetime is shorter than the registry's (a switch replica, the
+     * online runtime) must deregister before dying.
+     */
+    using Collector = std::function<void(Snapshot &)>;
+    uint64_t addCollector(Collector fn);
+    void removeCollector(uint64_t token);
+
+    /**
+     * Merge every family's shards (and, by default, run the
+     * collectors) into one Snapshot. `run_collectors = false` reads
+     * only the lock-free shard slots and is safe concurrently with
+     * every writer; `true` additionally invokes the collectors, whose
+     * sources may require the caller to be at a batch boundary (the
+     * same contract as SwitchFarm::mergedStats()).
+     */
+    Snapshot scrape(bool run_collectors = true) const;
+
+  private:
+    /** A counter/gauge slot on its own cache line: shard s's writer is
+     *  the only thread that ever writes slot s. */
+    struct alignas(64) PaddedSlot
+    {
+        std::atomic<uint64_t> v{0};
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string labels;
+        MetricKind kind = MetricKind::Counter;
+        std::unique_ptr<PaddedSlot[]> slots;      ///< counters/gauges
+        std::unique_ptr<AtomicHistogram[]> cells; ///< histograms
+    };
+
+    Family &family(const std::string &name, const std::string &labels,
+                   MetricKind kind, size_t shard);
+
+    size_t shards_;
+    /** Guards registration and the collector list — never the slot
+     *  writes themselves. Families are pointer-stable once created. */
+    mutable std::mutex m_;
+    std::vector<std::unique_ptr<Family>> families_;
+    std::vector<std::pair<uint64_t, Collector>> collectors_;
+    uint64_t next_collector_ = 1;
+};
+
+} // namespace taurus::obs

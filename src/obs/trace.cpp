@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+namespace taurus::obs {
+
+namespace {
+
+/** Smallest power of two >= n (n >= 1). */
+uint64_t
+roundUpPow2(uint64_t n)
+{
+    uint64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::Parser:
+        return "parser";
+    case Stage::Dispatch:
+        return "dispatch";
+    case Stage::Preprocess:
+        return "preprocess";
+    case Stage::MapReduce:
+        return "mapreduce";
+    case Stage::Verdict:
+        return "verdict";
+    case Stage::Forward:
+        return "forward";
+    case Stage::Scheduler:
+        return "scheduler";
+    }
+    return "unknown";
+}
+
+PathTracer::PathTracer(size_t every, size_t ring_capacity)
+{
+    if (every == 0)
+        return; // disabled: keep the default no-op state
+    const uint64_t period = roundUpPow2(every);
+    every_one_ = period == 1;
+    mask_ = period - 1;
+    ring_.resize(ring_capacity ? ring_capacity : 1);
+}
+
+void
+PathTracer::record(const PacketTrace &t)
+{
+    if (!enabled())
+        return;
+    sampled_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(m_);
+    ring_[head_] = t;
+    head_ = (head_ + 1) % ring_.size();
+    count_ = std::min(count_ + 1, ring_.size());
+}
+
+std::vector<PacketTrace>
+PathTracer::snapshot() const
+{
+    std::vector<PacketTrace> out;
+    std::lock_guard<std::mutex> lk(m_);
+    out.reserve(count_);
+    // head_ points at the next write slot == the oldest record once
+    // the ring has wrapped; before wrapping the oldest is slot 0.
+    const size_t start =
+        count_ == ring_.size() ? head_ : 0;
+    for (size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+} // namespace taurus::obs

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * PathTracer: sampled per-packet stage tracing, in the style of
+ * ndn-dpdk's per-packet token logging — 1-in-N packets carry a trace
+ * through every pipeline stage, and the spans land in a bounded
+ * per-worker ring the control plane can snapshot.
+ *
+ * The fast-path contract mirrors the telemetry rings': the unsampled
+ * path pays one relaxed fetch_add and a mask compare; a sampled packet
+ * (1/N of traffic) additionally takes a tiny mutex to publish its
+ * spans into the ring, which overwrites the oldest record when full —
+ * tracing never blocks and never grows. Each TaurusSwitch replica owns
+ * one tracer, so rings are per-worker by construction.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace taurus::obs {
+
+/** The per-packet pipeline stages a trace can span (Figure 6 order). */
+enum class Stage : uint8_t
+{
+    Parser = 0,
+    Dispatch,   ///< tenant-selection MAT (absent on single-tenant)
+    Preprocess, ///< the tenant's stateful feature MATs
+    MapReduce,  ///< the grid (absent on the bypass path)
+    Verdict,    ///< postprocess + safety MATs
+    Forward,    ///< LPM forwarding
+    Scheduler,  ///< PIFO
+};
+constexpr size_t kStageCount = 7;
+
+/** Stable lowercase stage name ("parser", "mapreduce", ...). */
+const char *stageName(Stage s);
+
+/** One sampled packet's journey: stage spans in pipeline order. */
+struct PacketTrace
+{
+    static constexpr size_t kMaxSpans = 8;
+
+    struct Span
+    {
+        Stage stage = Stage::Parser;
+        float ns = 0.0f; ///< modeled time spent in the stage
+    };
+
+    uint64_t seq = 0;      ///< packet ordinal at the owning tracer
+    uint32_t app_id = 0;   ///< tenant the dispatch MAT selected
+    double total_ns = 0.0; ///< modeled end-to-end pipeline latency
+    uint8_t span_count = 0;
+    std::array<Span, kMaxSpans> spans{};
+
+    /** Append one stage span (ignored beyond kMaxSpans). */
+    void add(Stage s, double ns)
+    {
+        if (span_count < kMaxSpans)
+            spans[span_count++] = {s, static_cast<float>(ns)};
+    }
+};
+
+/** Per-worker sampled-trace ring. */
+class PathTracer
+{
+  public:
+    /** Disabled tracer: sampleNext() is always false, record() drops. */
+    PathTracer() = default;
+
+    /**
+     * Sample every `every`-th packet (rounded up to a power of two so
+     * the cadence test is one mask; 0 disables) into a ring holding
+     * the most recent `ring_capacity` traces.
+     */
+    PathTracer(size_t every, size_t ring_capacity);
+
+    bool enabled() const { return mask_ != 0 || every_one_; }
+
+    /** The effective (power-of-two) sampling period; 0 when disabled. */
+    uint64_t every() const
+    {
+        return enabled() ? (every_one_ ? 1 : mask_ + 1) : 0;
+    }
+
+    /**
+     * Fast path: count one packet, return true when this one is the
+     * 1-in-N to trace. Call exactly once per packet from the owning
+     * worker.
+     */
+    bool sampleNext()
+    {
+        if (!enabled())
+            return false;
+        const uint64_t n =
+            seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+        return every_one_ || (n & mask_) == 0;
+    }
+
+    /** Publish a sampled packet's spans (overwrites the oldest trace
+     *  when the ring is full; no-op when disabled). */
+    void record(const PacketTrace &t);
+
+    /** Packets the tracer has seen (sampled or not). */
+    uint64_t seen() const
+    {
+        return seen_.load(std::memory_order_relaxed);
+    }
+
+    /** Traces recorded over the tracer's lifetime. */
+    uint64_t sampled() const
+    {
+        return sampled_.load(std::memory_order_relaxed);
+    }
+
+    /** The retained traces, oldest first. Safe from any thread. */
+    std::vector<PacketTrace> snapshot() const;
+
+    size_t capacity() const { return ring_.size(); }
+
+  private:
+    bool every_one_ = false; ///< every == 1: trace all packets
+    uint64_t mask_ = 0;      ///< every - 1 (power of two), 0 = disabled
+    std::atomic<uint64_t> seen_{0};
+    std::atomic<uint64_t> sampled_{0};
+    /** Guards the ring only; touched 1-in-N packets and on snapshot. */
+    mutable std::mutex m_;
+    std::vector<PacketTrace> ring_;
+    size_t head_ = 0;  ///< next write position
+    size_t count_ = 0; ///< valid records (<= capacity)
+};
+
+} // namespace taurus::obs

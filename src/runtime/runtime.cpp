@@ -43,6 +43,17 @@ OnlineRuntime::OnlineRuntime(
             cfg_.ring_capacity, seeder.split(), apps_.size()));
     parts_.resize(farm_.workers());
     publishDirectoryLocked(0); // nothing else can hold ctl_m_ yet
+
+    // Join the farm's registry: control-plane families live on shard 0
+    // (the trainer is their only writer), and everything stats() serves
+    // is contributed at scrape time through one collector so the facade
+    // and the exporter read the same counters.
+    if (farm_.registry()) {
+        trainer_step_cell_ = farm_.registry()->histogram(
+            "taurus_runtime_trainer_step_us", "", 0);
+        obs_token_ = farm_.registry()->addCollector(
+            [this](obs::Snapshot &snap) { collectMetrics(snap); });
+    }
 }
 
 std::unique_ptr<OnlineRuntime::AppControl>
@@ -79,6 +90,10 @@ OnlineRuntime::OnlineRuntime(core::SwitchFarm &farm,
 
 OnlineRuntime::~OnlineRuntime()
 {
+    // The farm (and its registry) outlive this runtime; a collector
+    // capturing `this` must not.
+    if (obs_token_ && farm_.registry())
+        farm_.registry()->removeCollector(obs_token_);
     stop();
 }
 
@@ -663,6 +678,10 @@ OnlineRuntime::controlStepLocked(
     bool drain_all_minibatches,
     std::vector<std::pair<core::AppId, dfg::Graph>> *pending)
 {
+    // Time the whole control step (drain + drift + train) into the
+    // trainer-step histogram — the control plane's analog of the
+    // switch's per-stage latency cells.
+    const auto step_t0 = std::chrono::steady_clock::now();
     size_t drained = 0;
     TelemetrySample s;
     for (auto &worker : workers_) {
@@ -713,6 +732,10 @@ OnlineRuntime::controlStepLocked(
             }
         }
     }
+    trainer_step_cell_.observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - step_t0)
+            .count());
     return drained;
 }
 
@@ -859,6 +882,77 @@ OnlineRuntime::stats() const
         st.reference_f1 = first->drift.referenceF1();
     }
     return st;
+}
+
+void
+OnlineRuntime::collectMetrics(obs::Snapshot &snap) const
+{
+    using obs::MetricKind;
+    // Everything below is derived from stats()/appStats() — the one
+    // authoritative source — so the exporter cannot disagree with the
+    // facade (the unified-drop-accounting test pins this).
+    const RuntimeStats st = stats();
+    const auto counter = [&snap](const char *name, uint64_t v) {
+        snap.addNum(name, "", MetricKind::Counter,
+                    static_cast<double>(v));
+    };
+    counter("taurus_runtime_packets_total", st.packets);
+    counter("taurus_runtime_mirrored_total", st.mirrored);
+    counter("taurus_runtime_ring_dropped_total", st.ring_dropped);
+    counter("taurus_runtime_consumed_total", st.consumed);
+    counter("taurus_runtime_sgd_steps_total", st.sgd_steps);
+    counter("taurus_runtime_updates_published_total",
+            st.updates_published);
+    counter("taurus_runtime_updates_applied_total", st.updates_applied);
+    counter("taurus_runtime_drift_triggers_total", st.drift_triggers);
+    counter("taurus_runtime_drift_recoveries_total",
+            st.drift_recoveries);
+    counter("taurus_runtime_windows_closed_total", st.windows_closed);
+    counter("taurus_runtime_stale_dropped_total", st.stale_dropped);
+    counter("taurus_runtime_lifecycle_ops_total", st.lifecycle_ops);
+    counter("taurus_runtime_rcu_retired_total", st.rcu_retired);
+    counter("taurus_runtime_rcu_reclaimed_total", st.rcu_reclaimed);
+    snap.addNum("taurus_runtime_rcu_lag", "", MetricKind::Gauge,
+                static_cast<double>(st.rcu_retired - st.rcu_reclaimed));
+    snap.addNum("taurus_runtime_smoothed_f1", "", MetricKind::Gauge,
+                st.smoothed_f1);
+    snap.addNum("taurus_runtime_drifted", "", MetricKind::Gauge,
+                st.drifted ? 1.0 : 0.0);
+
+    // Per-worker ring occupancy: the consumer-behind pressure gauge.
+    for (size_t w = 0; w < workers_.size(); ++w)
+        snap.addNum("taurus_runtime_ring_occupancy",
+                    "worker=\"" + std::to_string(w) + "\"",
+                    MetricKind::Gauge,
+                    static_cast<double>(workers_[w]->ring.size()));
+
+    // Per-tenant control-plane series. Dead tenants keep reporting
+    // their final counters and still-growing stale-drop counts,
+    // exactly as appStats() does.
+    for (core::AppId id = 0; id < slotCount(); ++id) {
+        const RuntimeStats one = appStats(id);
+        const std::string lbl = "app=\"" + std::to_string(id) + "\"";
+        snap.addNum("taurus_runtime_consumed_total", lbl,
+                    MetricKind::Counter,
+                    static_cast<double>(one.consumed));
+        snap.addNum("taurus_runtime_sgd_steps_total", lbl,
+                    MetricKind::Counter,
+                    static_cast<double>(one.sgd_steps));
+        snap.addNum("taurus_runtime_updates_published_total", lbl,
+                    MetricKind::Counter,
+                    static_cast<double>(one.updates_published));
+        snap.addNum("taurus_runtime_updates_applied_total", lbl,
+                    MetricKind::Counter,
+                    static_cast<double>(one.updates_applied));
+        snap.addNum("taurus_runtime_drift_triggers_total", lbl,
+                    MetricKind::Counter,
+                    static_cast<double>(one.drift_triggers));
+        snap.addNum("taurus_runtime_stale_dropped_total", lbl,
+                    MetricKind::Counter,
+                    static_cast<double>(one.stale_dropped));
+        snap.addNum("taurus_runtime_smoothed_f1", lbl,
+                    MetricKind::Gauge, one.smoothed_f1);
+    }
 }
 
 RuntimeStats

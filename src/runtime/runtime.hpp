@@ -52,6 +52,7 @@
 
 #include "cp/trainer.hpp"
 #include "models/zoo.hpp"
+#include "obs/registry.hpp"
 #include "runtime/drift.hpp"
 #include "runtime/model_store.hpp"
 #include "runtime/rcu.hpp"
@@ -270,6 +271,17 @@ class OnlineRuntime
     }
     const ModelStore &store() const { return store(0); }
 
+    /**
+     * Merged scrape of the managed farm's registry — switch counters,
+     * stage histograms, AND this runtime's control-plane metrics
+     * (`taurus_runtime_*`: ring mirror/drop/occupancy, trainer-step
+     * timing, model-swap and lifecycle counters, QSBR retire/reclaim
+     * lag), all contributed through one collector that reads the SAME
+     * state stats()/appStats() serve, so the facade and the exporter
+     * can never diverge. Batch-boundary contract (collectors run).
+     */
+    obs::Snapshot scrape() const { return farm_.scrape(); }
+
   private:
     /** Per-tenant control-plane state (trainer-thread / caller owned,
      *  except the lock-free store and the applied counter). */
@@ -411,6 +423,10 @@ class OnlineRuntime
     void processOne(size_t w, const net::TracePacket &pkt,
                     core::SwitchDecision &out);
 
+    /** Contribute `taurus_runtime_*` series to a farm scrape (reads
+     *  through stats()/appStats(), the single source of truth). */
+    void collectMetrics(obs::Snapshot &snap) const;
+
     void trainerLoop();
     /**
      * Drain every ring — routing each sample to its tenant's drift
@@ -508,6 +524,12 @@ class OnlineRuntime
 
     // Reused partition buffers (processTrace is single-caller).
     std::vector<std::vector<size_t>> parts_;
+
+    /** Observability: collector token on the farm's registry (removed
+     *  in the destructor — the farm outlives the runtime) and the
+     *  trainer-thread-owned control-step timing cell. */
+    uint64_t obs_token_ = 0;
+    obs::HistogramCell trainer_step_cell_;
 };
 
 } // namespace taurus::runtime

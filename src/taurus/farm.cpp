@@ -31,6 +31,21 @@ SwitchFarm::SwitchFarm(SwitchConfig cfg, size_t workers)
     replicas_.reserve(workers);
     for (size_t i = 0; i < workers; ++i)
         replicas_.push_back(std::make_unique<TaurusSwitch>(cfg));
+
+    // One shared registry, one shard per replica: replica w's
+    // per-packet counters land on shard w's cache lines only, and a
+    // farm scrape merges all shards exactly.
+    if (cfg.obs.metrics) {
+        registry_ = std::make_shared<obs::MetricsRegistry>(workers);
+        for (size_t i = 0; i < workers; ++i)
+            replicas_[i]->bindObservability(registry_, i);
+    }
+}
+
+obs::Snapshot
+SwitchFarm::scrape() const
+{
+    return registry_ ? registry_->scrape() : obs::Snapshot{};
 }
 
 AppId

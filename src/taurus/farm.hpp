@@ -139,10 +139,32 @@ class SwitchFarm
     size_t workers() const { return replicas_.size(); }
     TaurusSwitch &replica(size_t i) { return *replicas_[i]; }
 
+    /**
+     * The farm's shared metrics registry: one shard per replica, every
+     * replica re-homed onto it at construction, so the per-packet paths
+     * write disjoint cache lines and scrape() folds them exactly.
+     * nullptr when cfg.obs.metrics is false.
+     */
+    const std::shared_ptr<obs::MetricsRegistry> &registry() const
+    {
+        return registry_;
+    }
+
+    /**
+     * Merged scrape of every replica's shard (exact: counter sums and
+     * histogram bucket merges, the same numbers a per-replica scrape
+     * would add to — a test pins equality with mergedStats()). Runs the
+     * replicas' stats collectors, so it carries mergedStats()'s
+     * batch-boundary contract; scrape on the farm's registry() with
+     * run_collectors = false for the anytime lock-free view.
+     */
+    obs::Snapshot scrape() const;
+
     /** Clear every replica's registers and statistics. */
     void reset();
 
   private:
+    std::shared_ptr<obs::MetricsRegistry> registry_;
     std::vector<std::unique_ptr<TaurusSwitch>> replicas_;
 };
 

@@ -24,8 +24,14 @@ SwitchStats::merge(const SwitchStats &o)
 
 TaurusSwitch::TaurusSwitch(SwitchConfig cfg)
     : cfg_(std::move(cfg)), parser_(pisa::Parser::standard()),
-      scheduler_(cfg_.queue_capacity)
+      scheduler_(cfg_.queue_capacity),
+      tracer_(cfg_.obs.trace_every, cfg_.obs.trace_ring)
 {
+    // Until a farm re-homes it, the switch carries its own single-shard
+    // registry so a standalone instance is scrapeable out of the box.
+    if (cfg_.obs.metrics)
+        bindObservability(std::make_shared<obs::MetricsRegistry>(1), 0);
+
     // The forwarding table proper: an LPM stage mapping the destination
     // address to an egress port (default route: port 0).
     pisa::MatStage fwd("forward", pisa::MatchKind::Lpm,
@@ -40,6 +46,84 @@ TaurusSwitch::TaurusSwitch(SwitchConfig cfg)
         fwd.addEntry({{r.prefix}, {}, r.length, 0, a_set, {r.port}});
     fwd.setDefault(a_set, {0});
     forwarding_.addStage(std::move(fwd));
+}
+
+TaurusSwitch::~TaurusSwitch()
+{
+    // The registry can outlive this switch (SwitchFarm's shared one
+    // does); a collector capturing `this` must not.
+    if (registry_ && collector_token_)
+        registry_->removeCollector(collector_token_);
+}
+
+void
+TaurusSwitch::bindObservability(
+    std::shared_ptr<obs::MetricsRegistry> registry, size_t shard)
+{
+    if (!cfg_.obs.metrics || !registry)
+        return;
+    if (registry_ && collector_token_)
+        registry_->removeCollector(collector_token_);
+    registry_ = std::move(registry);
+    shard_ = shard;
+    for (size_t s = 0; s < obs::kStageCount; ++s)
+        stage_cells_[s] = registry_->histogram(
+            "taurus_switch_stage_latency_ns",
+            std::string("stage=\"") +
+                obs::stageName(static_cast<obs::Stage>(s)) + "\"",
+            shard_);
+    ml_latency_cell_ = registry_->histogram("taurus_switch_latency_ns",
+                                            "path=\"ml\"", shard_);
+    bypass_latency_cell_ = registry_->histogram(
+        "taurus_switch_latency_ns", "path=\"bypass\"", shard_);
+    collector_token_ = registry_->addCollector(
+        [this](obs::Snapshot &snap) { collectStats(snap); });
+}
+
+obs::Snapshot
+TaurusSwitch::scrape() const
+{
+    return registry_ ? registry_->scrape() : obs::Snapshot{};
+}
+
+void
+TaurusSwitch::collectStats(obs::Snapshot &snap) const
+{
+    using obs::MetricKind;
+    const auto emit = [&snap](const SwitchStats &s,
+                              const std::string &labels) {
+        snap.addNum("taurus_switch_packets_total", labels,
+                    MetricKind::Counter,
+                    static_cast<double>(s.packets));
+        snap.addNum("taurus_switch_ml_packets_total", labels,
+                    MetricKind::Counter,
+                    static_cast<double>(s.ml_packets));
+        snap.addNum("taurus_switch_flagged_total", labels,
+                    MetricKind::Counter,
+                    static_cast<double>(s.flagged));
+        snap.addNum("taurus_switch_dropped_total", labels,
+                    MetricKind::Counter,
+                    static_cast<double>(s.dropped));
+        snap.addNum("taurus_switch_safety_overrides_total", labels,
+                    MetricKind::Counter,
+                    static_cast<double>(s.safety_overrides));
+        snap.addNum("taurus_switch_dispatch_misses_total", labels,
+                    MetricKind::Counter,
+                    static_cast<double>(s.dispatch_misses));
+    };
+    emit(stats_, "");
+    for (AppId id = 0; id < apps_.size(); ++id)
+        if (apps_[id])
+            emit(apps_[id]->stats,
+                 "app=\"" + std::to_string(id) + "\"");
+    if (tracer_.enabled()) {
+        snap.addNum("taurus_switch_trace_seen_total", "",
+                    MetricKind::Counter,
+                    static_cast<double>(tracer_.seen()));
+        snap.addNum("taurus_switch_trace_sampled_total", "",
+                    MetricKind::Counter,
+                    static_cast<double>(tracer_.sampled()));
+    }
 }
 
 TaurusSwitch::InstalledApp &
@@ -519,11 +603,16 @@ TaurusSwitch::process(const net::TracePacket &tp)
     // Every per-packet buffer (wire bytes, PHV, feature vector, eval
     // lanes) lives in scratch_ or the owning tenant and is reset in
     // place, so the steady state allocates nothing.
+    // Trace gate first: sampleNext() counts every packet (a relaxed
+    // fetch_add) and picks the 1-in-N whose stage spans get recorded.
+    const bool traced = tracer_.sampleNext();
+
     pisa::fromTracePacketInto(tp, scratch_.pkt);
     pisa::Phv &phv = scratch_.phv;
     parser_.parseInto(scratch_.pkt, phv);
 
-    double latency = cfg_.mat_timing.parser_ns;
+    const double parser_ns = cfg_.mat_timing.parser_ns;
+    double latency = parser_ns;
 
     // Tenant selection. A single-tenant switch needs no dispatch stage
     // (everything is the default app), which keeps it latency- and
@@ -532,6 +621,7 @@ TaurusSwitch::process(const net::TracePacket &tp)
     // is billed as one.
     AppId app_id = default_app_;
     bool dispatch_miss = false;
+    double dispatch_ns = 0.0;
     if (dispatchActive()) {
         // The dispatch pipeline is exactly one ternary stage; applying
         // the stage directly exposes whether the packet hit a tenant's
@@ -540,7 +630,8 @@ TaurusSwitch::process(const net::TracePacket &tp)
         app_id = static_cast<AppId>(phv.get(pisa::Field::AppId));
         if (app_id >= apps_.size() || !apps_[app_id])
             app_id = default_app_; // stale rule after a re-point/remove
-        latency += dispatch_.latencyNs(cfg_.mat_timing);
+        dispatch_ns = dispatch_.latencyNs(cfg_.mat_timing);
+        latency += dispatch_ns;
     }
     InstalledApp &app = *apps_[app_id];
     if (dispatch_miss) {
@@ -549,7 +640,9 @@ TaurusSwitch::process(const net::TracePacket &tp)
     }
 
     app.features.preprocess.apply(phv, app.features.registers);
-    latency += app.features.preprocess.latencyNs(cfg_.mat_timing);
+    const double preprocess_ns =
+        app.features.preprocess.latencyNs(cfg_.mat_timing);
+    latency += preprocess_ns;
 
     SwitchDecision d;
     d.app_id = app_id;
@@ -561,6 +654,7 @@ TaurusSwitch::process(const net::TracePacket &tp)
     const bool take_ml =
         !cfg_.enable_bypass || phv.get(pisa::Field::MlBypass) == 0;
 
+    double mapreduce_ns = 0.0;
     if (take_ml) {
         // The decision's telemetry export above already pulled the
         // feature codes out of the PHV; reuse them instead of reading
@@ -577,7 +671,8 @@ TaurusSwitch::process(const net::TracePacket &tp)
         phv.set(pisa::Field::MlScore,
                 static_cast<uint32_t>(static_cast<int32_t>(d.score)));
         phv.set(pisa::Field::MlBypass, 0);
-        latency += res.latency_ns;
+        mapreduce_ns = res.latency_ns;
+        latency += mapreduce_ns;
         ++stats_.ml_packets;
         ++app.stats.ml_packets;
     } else {
@@ -588,12 +683,17 @@ TaurusSwitch::process(const net::TracePacket &tp)
     app.postprocess.apply(phv, app.features.registers);
     const bool pre_safety_flag = phv.get(pisa::Field::Decision) != 0;
     app.safety.stages.apply(phv, app.features.registers);
-    latency += app.postprocess.latencyNs(cfg_.mat_timing) +
-               app.safety.stages.latencyNs(cfg_.mat_timing) +
-               cfg_.mat_timing.scheduler_ns;
+    // verdict = postprocess + safety MATs; summed in the same order as
+    // always so the total stays bit-identical with obs disabled.
+    const double verdict_ns =
+        app.postprocess.latencyNs(cfg_.mat_timing) +
+        app.safety.stages.latencyNs(cfg_.mat_timing);
+    const double scheduler_ns = cfg_.mat_timing.scheduler_ns;
+    latency += verdict_ns + scheduler_ns;
 
     forwarding_.apply(phv, app.features.registers);
-    latency += forwarding_.latencyNs(cfg_.mat_timing);
+    const double forward_ns = forwarding_.latencyNs(cfg_.mat_timing);
+    latency += forward_ns;
     d.egress_port = static_cast<uint16_t>(phv.get(pisa::Field::QueueId));
 
     d.flagged = phv.get(pisa::Field::Decision) != 0;
@@ -652,6 +752,44 @@ TaurusSwitch::process(const net::TracePacket &tp)
     } else {
         stats_.ml_latency_ns.add(latency);
         app.stats.ml_latency_ns.add(latency);
+    }
+
+    // Observability: the cells are no-op handles when metrics are off,
+    // so this block costs a handful of null checks in the disabled
+    // configuration (the overhead bench pins the enabled cost too).
+    stage_cells_[static_cast<size_t>(obs::Stage::Parser)].observe(
+        parser_ns);
+    if (dispatchActive())
+        stage_cells_[static_cast<size_t>(obs::Stage::Dispatch)].observe(
+            dispatch_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Preprocess)].observe(
+        preprocess_ns);
+    if (take_ml)
+        stage_cells_[static_cast<size_t>(obs::Stage::MapReduce)]
+            .observe(mapreduce_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Verdict)].observe(
+        verdict_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Forward)].observe(
+        forward_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Scheduler)].observe(
+        scheduler_ns);
+    (d.bypassed ? bypass_latency_cell_ : ml_latency_cell_)
+        .observe(latency);
+    if (traced) {
+        obs::PacketTrace tr;
+        tr.seq = tracer_.seen();
+        tr.app_id = app_id;
+        tr.total_ns = latency;
+        tr.add(obs::Stage::Parser, parser_ns);
+        if (dispatchActive())
+            tr.add(obs::Stage::Dispatch, dispatch_ns);
+        tr.add(obs::Stage::Preprocess, preprocess_ns);
+        if (take_ml)
+            tr.add(obs::Stage::MapReduce, mapreduce_ns);
+        tr.add(obs::Stage::Verdict, verdict_ns);
+        tr.add(obs::Stage::Forward, forward_ns);
+        tr.add(obs::Stage::Scheduler, scheduler_ns);
+        tracer_.record(tr);
     }
     return d;
 }

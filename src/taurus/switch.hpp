@@ -47,6 +47,8 @@
 #include "compiler/place.hpp"
 #include "hw/cycle_sim.hpp"
 #include "models/zoo.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pisa/mat.hpp"
 #include "pisa/parser.hpp"
 #include "pisa/pifo.hpp"
@@ -121,6 +123,23 @@ class LifecycleError : public std::logic_error
     }
 };
 
+/**
+ * Observability knobs. Metrics cost a handful of relaxed atomics per
+ * packet (the overhead bench pins the enabled/disabled throughput
+ * ratio at >= 0.97); tracing additionally samples 1-in-`trace_every`
+ * packets into a bounded per-replica ring.
+ */
+struct ObsConfig
+{
+    /** Per-stage latency histograms + counter export. */
+    bool metrics = true;
+    /** Sample every Nth packet's stage spans (0 = tracing off; rounded
+     *  up to a power of two). */
+    size_t trace_every = 0;
+    /** Retained traces per replica (overwrite-oldest). */
+    size_t trace_ring = 256;
+};
+
 /** Static configuration of one Taurus switch. */
 struct SwitchConfig
 {
@@ -150,6 +169,9 @@ struct SwitchConfig
     double latency_slo_ns = 0.0;
     /** Local-search budget of the spatial placer (placeApps). */
     int placement_search_rounds = 8;
+
+    /** Metrics + sampled-trace configuration. */
+    ObsConfig obs;
 };
 
 /** Identity of one installed application on a switch (install order). */
@@ -278,6 +300,13 @@ class TaurusSwitch
 {
   public:
     explicit TaurusSwitch(SwitchConfig cfg = {});
+
+    /** Deregisters this switch's stats collector from the bound
+     *  registry (which may outlive the switch — SwitchFarm's does). */
+    ~TaurusSwitch();
+
+    TaurusSwitch(const TaurusSwitch &) = delete;
+    TaurusSwitch &operator=(const TaurusSwitch &) = delete;
 
     /**
      * Install a self-describing data-plane application *alongside* any
@@ -488,8 +517,37 @@ class TaurusSwitch
      *  reporting: compiler::analyzeApps consumes exactly this). */
     std::vector<const hw::GridProgram *> programs() const;
 
-    /** Clear every tenant's registers and all statistics (new trace). */
+    /** Clear every tenant's registers and all statistics (new trace).
+     *  Registry metrics are monotonic and are NOT cleared (the
+     *  Prometheus contract: counters only ever go up). */
     void reset();
+
+    /**
+     * Re-home this switch's metrics onto `registry` as shard `shard`
+     * (SwitchFarm binds replica w to shard w of one shared registry so
+     * a farm scrape merges replicas exactly). Re-registers the stage
+     * histogram cells and the SwitchStats collector; the previous
+     * binding — by default the switch's own single-shard registry — is
+     * released. No-op when cfg.obs.metrics is false. Control-plane
+     * cadence only: not concurrently with process().
+     */
+    void bindObservability(std::shared_ptr<obs::MetricsRegistry> registry,
+                           size_t shard);
+
+    /** The bound registry (the switch's own unless a farm re-homed it);
+     *  nullptr when cfg.obs.metrics is false. */
+    const std::shared_ptr<obs::MetricsRegistry> &registry() const
+    {
+        return registry_;
+    }
+
+    /** Merged scrape of the bound registry (empty Snapshot when metrics
+     *  are disabled). Runs collectors: batch-boundary contract. */
+    obs::Snapshot scrape() const;
+
+    /** This switch's sampled-trace ring (disabled unless
+     *  cfg.obs.trace_every > 0). */
+    const obs::PathTracer &tracer() const { return tracer_; }
 
   private:
     /** Everything one resident tenant owns. */
@@ -559,6 +617,12 @@ class TaurusSwitch
     /** True when the dispatch MAT stage is materialized (>1 tenant). */
     bool dispatchActive() const { return live_ > 1; }
 
+    /** Contribute SwitchStats + tracer counters to a scrape (the
+     *  collector registered by bindObservability — satellite of the
+     *  facade-adoption design: the exporter reads the same counters the
+     *  stats() facade returns, so the two can never diverge). */
+    void collectStats(obs::Snapshot &snap) const;
+
     SwitchConfig cfg_;
     pisa::Parser parser_;
     /** Tenant slots in install order; a removed tenant leaves a null
@@ -574,6 +638,18 @@ class TaurusSwitch
     pisa::Pifo scheduler_;
     SwitchStats stats_;
     PacketScratch scratch_;
+
+    /** Observability: the bound registry (the switch's own single-shard
+     *  one until a farm re-homes it), the per-stage latency cells for
+     *  this shard, and the sampled-trace ring. Cells are no-op handles
+     *  when metrics are disabled, so process() stays branch-free. */
+    std::shared_ptr<obs::MetricsRegistry> registry_;
+    size_t shard_ = 0;
+    uint64_t collector_token_ = 0;
+    std::array<obs::HistogramCell, obs::kStageCount> stage_cells_{};
+    obs::HistogramCell ml_latency_cell_;
+    obs::HistogramCell bypass_latency_cell_;
+    obs::PathTracer tracer_;
 };
 
 } // namespace taurus::core

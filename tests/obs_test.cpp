@@ -1,0 +1,642 @@
+/**
+ * Observability-layer tests: log-bucket histogram edge cases
+ * (saturation, merge algebra, empty percentiles), AtomicHistogram
+ * snapshot parity, registry shard-merge exactness and collector
+ * lifecycle, PathTracer cadence and ring semantics, exporter line
+ * format, and the facade contracts (switch/farm/runtime scrape ==
+ * stats structs).
+ *
+ * CI builds this suite a second time with -DTAURUS_SANITIZE=thread:
+ * ConcurrentShardWritesDuringScrape pins the registry's central
+ * claim — scrape(false) is safe at any time, concurrent with every
+ * fast-path writer — under the race detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "runtime/runtime.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+
+using namespace taurus;
+
+// ---------------------------------------------------------------------------
+// Bucket mapping
+
+TEST(ObsBuckets, UnderflowBandIsBucketZero)
+{
+    EXPECT_EQ(obs::bucketOf(0.0), 0u);
+    EXPECT_EQ(obs::bucketOf(-5.0), 0u);
+    EXPECT_EQ(obs::bucketOf(0.999), 0u);
+    EXPECT_EQ(obs::bucketOf(std::numeric_limits<double>::quiet_NaN()), 0u);
+    EXPECT_EQ(obs::bucketOf(-std::numeric_limits<double>::infinity()), 0u);
+    // 1.0 opens the first octave's first sub-bucket, which is bucket 0
+    // too: bucket 0 is the [0, 1 + 1/16) band.
+    EXPECT_EQ(obs::bucketOf(1.0), 0u);
+}
+
+TEST(ObsBuckets, OverflowSaturatesIntoLastBucket)
+{
+    EXPECT_EQ(obs::bucketOf(1e300), obs::kBucketCount - 1);
+    EXPECT_EQ(obs::bucketOf(std::numeric_limits<double>::infinity()),
+              obs::kBucketCount - 1);
+    EXPECT_EQ(obs::bucketOf(std::ldexp(1.0, obs::kOctaves)),
+              obs::kBucketCount - 1);
+}
+
+TEST(ObsBuckets, MonotoneAndEdgeConsistent)
+{
+    size_t prev = 0;
+    for (double v = 1.0; v < 1e9; v *= 1.37) {
+        const size_t b = obs::bucketOf(v);
+        EXPECT_GE(b, prev);
+        prev = b;
+        // A bucket's lower edge maps back into the same bucket, and
+        // the sample sits at or above that edge.
+        EXPECT_EQ(obs::bucketOf(obs::bucketLowerEdge(b)), b);
+        EXPECT_GE(v, obs::bucketLowerEdge(b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(ObsHistogram, EmptyPercentileContract)
+{
+    const obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(ObsHistogram, PercentileClampsToExactExtrema)
+{
+    obs::Histogram h;
+    h.add(100.0);
+    // One sample: every quantile is that sample, exactly — the bucket
+    // mid is clamped to the [min, max] envelope.
+    EXPECT_DOUBLE_EQ(h.p50(), 100.0);
+    EXPECT_DOUBLE_EQ(h.p999(), 100.0);
+    h.add(50.0);
+    h.add(200.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 200.0);
+    EXPECT_GE(h.p50(), 50.0);
+    EXPECT_LE(h.p50(), 200.0);
+}
+
+TEST(ObsHistogram, SaturationKeepsExactSideChannels)
+{
+    obs::Histogram h;
+    h.add(1e300);
+    h.add(0.0);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    EXPECT_EQ(h.buckets().front(), 1u);
+    EXPECT_DOUBLE_EQ(h.max(), 1e300);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    // NaN is recorded in bucket 0 but sanitized out of the sum.
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_FALSE(std::isnan(h.sum()));
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative)
+{
+    auto fill = [](std::initializer_list<double> vs) {
+        obs::Histogram h;
+        for (const double v : vs)
+            h.add(v);
+        return h;
+    };
+    const obs::Histogram a = fill({1.5, 3.0, 1e12, 7.0});
+    const obs::Histogram b = fill({0.0, 42.0, 42.5});
+    const obs::Histogram c = fill({9.9, 1e300});
+
+    obs::Histogram ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_TRUE(ab == ba);
+    EXPECT_DOUBLE_EQ(ab.sum(), ba.sum());
+    EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+    EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+
+    obs::Histogram ab_c = ab, bc = b;
+    ab_c.merge(c);
+    bc.merge(c);
+    obs::Histogram a_bc = a;
+    a_bc.merge(bc);
+    EXPECT_TRUE(ab_c == a_bc);
+    EXPECT_EQ(ab_c.count(), a.count() + b.count() + c.count());
+
+    // Merging an empty histogram is the identity.
+    obs::Histogram id = a;
+    id.merge(obs::Histogram{});
+    EXPECT_TRUE(id == a);
+    EXPECT_DOUBLE_EQ(id.min(), a.min());
+}
+
+TEST(ObsHistogram, AtomicSnapshotParity)
+{
+    obs::Histogram plain;
+    obs::AtomicHistogram atomic;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = 1.0 + (i % 977) * 3.25;
+        plain.add(v);
+        atomic.add(v);
+    }
+    const obs::Histogram snap = atomic.snapshot();
+    // Bucket-exact counts, and the exact running sum comes through the
+    // side channel.
+    EXPECT_TRUE(snap == plain);
+    EXPECT_DOUBLE_EQ(snap.sum(), plain.sum());
+    EXPECT_EQ(atomic.count(), plain.count());
+
+    atomic.reset();
+    EXPECT_EQ(atomic.count(), 0u);
+    EXPECT_EQ(atomic.snapshot().count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(ObsRegistry, ShardMergeIsExact)
+{
+    obs::MetricsRegistry reg(3);
+    obs::Counter c0 = reg.counter("x_total", "", 0);
+    obs::Counter c1 = reg.counter("x_total", "", 1);
+    obs::Counter c2 = reg.counter("x_total", "", 2);
+    c0.inc(5);
+    c1.inc(7);
+    c2.inc(11);
+    EXPECT_DOUBLE_EQ(reg.scrape().value("x_total"), 23.0);
+
+    obs::Gauge g0 = reg.gauge("occ", "", 0);
+    obs::Gauge g1 = reg.gauge("occ", "", 1);
+    g0.set(1.5);
+    g1.set(2.25);
+    EXPECT_DOUBLE_EQ(g0.value(), 1.5);
+    EXPECT_DOUBLE_EQ(reg.scrape().value("occ"), 3.75);
+
+    obs::HistogramCell h0 = reg.histogram("lat", "", 0);
+    obs::HistogramCell h2 = reg.histogram("lat", "", 2);
+    for (int i = 0; i < 10; ++i)
+        h0.observe(100.0);
+    h2.observe(1000.0);
+    const auto *hist = reg.scrape().findHist("lat");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->hist.count(), 11u);
+}
+
+TEST(ObsRegistry, LabelsSeparateSeriesAndKindsCollide)
+{
+    obs::MetricsRegistry reg(1);
+    reg.counter("y_total", "app=\"0\"", 0).inc(3);
+    reg.counter("y_total", "app=\"1\"", 0).inc(4);
+    const obs::Snapshot snap = reg.scrape();
+    EXPECT_DOUBLE_EQ(snap.value("y_total", "app=\"0\""), 3.0);
+    EXPECT_DOUBLE_EQ(snap.value("y_total", "app=\"1\""), 4.0);
+    EXPECT_EQ(snap.find("y_total", "app=\"2\""), nullptr);
+    EXPECT_DOUBLE_EQ(snap.value("y_total", "app=\"2\""), 0.0);
+
+    // Same (name, labels) with a different kind is a registration bug.
+    EXPECT_THROW(reg.gauge("y_total", "app=\"0\"", 0),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.histogram("y_total", "app=\"0\"", 0),
+                 std::invalid_argument);
+    // Shard out of range is one too.
+    EXPECT_THROW(reg.counter("z_total", "", 1), std::invalid_argument);
+}
+
+TEST(ObsRegistry, CollectorsRunOnDemandAndDeregister)
+{
+    obs::MetricsRegistry reg(1);
+    int calls = 0;
+    const uint64_t tok = reg.addCollector([&](obs::Snapshot &snap) {
+        ++calls;
+        snap.addNum("facade_total", "", obs::MetricKind::Counter, 42.0);
+    });
+    EXPECT_DOUBLE_EQ(reg.scrape().value("facade_total"), 42.0);
+    EXPECT_EQ(calls, 1);
+    // scrape(false) reads only the lock-free slots.
+    EXPECT_DOUBLE_EQ(reg.scrape(false).value("facade_total"), 0.0);
+    EXPECT_EQ(calls, 1);
+    reg.removeCollector(tok);
+    EXPECT_DOUBLE_EQ(reg.scrape().value("facade_total"), 0.0);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ObsRegistry, DefaultHandlesAreNoOpSinks)
+{
+    obs::Counter c;
+    obs::Gauge g;
+    obs::HistogramCell h;
+    c.inc(100);
+    g.set(5.0);
+    h.observe(1.0);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_FALSE(bool(c));
+    EXPECT_FALSE(bool(g));
+    EXPECT_FALSE(bool(h));
+}
+
+TEST(ObsRegistry, SnapshotAddNumAggregatesSameSeries)
+{
+    obs::Snapshot snap;
+    snap.addNum("a_total", "", obs::MetricKind::Counter, 2.0);
+    snap.addNum("a_total", "", obs::MetricKind::Counter, 3.0);
+    EXPECT_DOUBLE_EQ(snap.value("a_total"), 5.0);
+    obs::Histogram h;
+    h.add(10.0);
+    snap.addHist("h", "", h);
+    snap.addHist("h", "", h);
+    ASSERT_NE(snap.findHist("h"), nullptr);
+    EXPECT_EQ(snap.findHist("h")->hist.count(), 2u);
+}
+
+/**
+ * The TSan target: four fast-path writers hammer their own shard's
+ * counter and histogram cells while another thread scrapes the
+ * lock-free view concurrently. The sanitizer job is the oracle for
+ * races; functionally the final quiescent scrape must be exact.
+ */
+TEST(ObsRegistry, ConcurrentShardWritesDuringScrape)
+{
+    constexpr size_t kWriters = 4;
+    constexpr uint64_t kPerWriter = 20000;
+    obs::MetricsRegistry reg(kWriters);
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> writers;
+    for (size_t w = 0; w < kWriters; ++w)
+        writers.emplace_back([&reg, w]() {
+            obs::Counter c = reg.counter("race_total", "", w);
+            obs::HistogramCell h = reg.histogram("race_lat", "", w);
+            for (uint64_t i = 0; i < kPerWriter; ++i) {
+                c.inc();
+                h.observe(1.0 + double(i % 100));
+            }
+        });
+    std::thread scraper([&reg, &stop]() {
+        uint64_t last = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const obs::Snapshot snap = reg.scrape(false);
+            const auto v =
+                static_cast<uint64_t>(snap.value("race_total"));
+            EXPECT_GE(v, last); // counters are monotone
+            last = v;
+        }
+    });
+    for (auto &t : writers)
+        t.join();
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+
+    const obs::Snapshot fin = reg.scrape(false);
+    EXPECT_DOUBLE_EQ(fin.value("race_total"),
+                     double(kWriters * kPerWriter));
+    ASSERT_NE(fin.findHist("race_lat"), nullptr);
+    EXPECT_EQ(fin.findHist("race_lat")->hist.count(),
+              kWriters * kPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// PathTracer
+
+TEST(ObsTracer, CadenceRoundsToPowerOfTwo)
+{
+    EXPECT_EQ(obs::PathTracer(1000, 4).every(), 1024u);
+    EXPECT_EQ(obs::PathTracer(1024, 4).every(), 1024u);
+    EXPECT_EQ(obs::PathTracer(3, 4).every(), 4u);
+    EXPECT_EQ(obs::PathTracer(1, 4).every(), 1u);
+    EXPECT_FALSE(obs::PathTracer(0, 4).enabled());
+    EXPECT_FALSE(obs::PathTracer().enabled());
+    EXPECT_EQ(obs::PathTracer().every(), 0u);
+}
+
+TEST(ObsTracer, SamplesExactlyOneInN)
+{
+    obs::PathTracer tr(4, 8);
+    int sampled = 0;
+    for (int i = 0; i < 32; ++i)
+        sampled += tr.sampleNext() ? 1 : 0;
+    EXPECT_EQ(sampled, 8);
+    EXPECT_EQ(tr.seen(), 32u);
+
+    obs::PathTracer all(1, 8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(all.sampleNext());
+
+    obs::PathTracer off;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(off.sampleNext());
+    EXPECT_EQ(off.seen(), 0u); // disabled tracers do not even count
+}
+
+TEST(ObsTracer, RingOverwritesOldestAndSnapshotsInOrder)
+{
+    obs::PathTracer tr(1, 2);
+    auto mk = [](uint64_t seq) {
+        obs::PacketTrace t;
+        t.seq = seq;
+        t.add(obs::Stage::Parser, 10.0);
+        return t;
+    };
+    tr.record(mk(1));
+    EXPECT_EQ(tr.snapshot().size(), 1u);
+    tr.record(mk(2));
+    tr.record(mk(3)); // evicts seq 1
+    const auto got = tr.snapshot();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].seq, 2u); // oldest first
+    EXPECT_EQ(got[1].seq, 3u);
+    EXPECT_EQ(tr.sampled(), 3u);
+    EXPECT_EQ(tr.capacity(), 2u);
+    EXPECT_EQ(got[1].span_count, 1u);
+    EXPECT_EQ(got[1].spans[0].stage, obs::Stage::Parser);
+}
+
+TEST(ObsTracer, SpanOverflowIsIgnoredNotCorrupted)
+{
+    obs::PacketTrace t;
+    for (int i = 0; i < 12; ++i)
+        t.add(obs::Stage::Forward, double(i));
+    EXPECT_EQ(t.span_count, obs::PacketTrace::kMaxSpans);
+}
+
+TEST(ObsTracer, StageNamesAreStable)
+{
+    EXPECT_STREQ(obs::stageName(obs::Stage::Parser), "parser");
+    EXPECT_STREQ(obs::stageName(obs::Stage::MapReduce), "mapreduce");
+    EXPECT_STREQ(obs::stageName(obs::Stage::Scheduler), "scheduler");
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+
+TEST(ObsExport, PrometheusLineFormat)
+{
+    obs::MetricsRegistry reg(1);
+    reg.counter("taurus_demo_packets_total", "", 0).inc(7);
+    reg.gauge("taurus_demo_occupancy", "worker=\"0\"", 0).set(0.5);
+    obs::HistogramCell h = reg.histogram("taurus_demo_latency_ns", "", 0);
+    h.observe(100.0);
+    h.observe(1e6);
+    const std::string text = obs::renderPrometheus(reg.scrape());
+
+    EXPECT_NE(text.find("# TYPE taurus_demo_packets_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("taurus_demo_packets_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE taurus_demo_occupancy gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("taurus_demo_occupancy{worker=\"0\"} 0.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE taurus_demo_latency_ns histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("taurus_demo_latency_ns_bucket{le=\"+Inf\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("taurus_demo_latency_ns_count 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("taurus_demo_latency_ns_sum"),
+              std::string::npos);
+
+    // Bucket counts must be cumulative: extract every _bucket sample
+    // and require a non-decreasing sequence.
+    uint64_t prev = 0;
+    size_t pos = 0, buckets = 0;
+    while ((pos = text.find("_bucket{le=", pos)) != std::string::npos) {
+        const size_t sp = text.find(' ', pos);
+        const size_t nl = text.find('\n', sp);
+        const uint64_t n = std::stoull(text.substr(sp + 1, nl - sp - 1));
+        EXPECT_GE(n, prev);
+        prev = n;
+        pos = nl;
+        ++buckets;
+    }
+    EXPECT_GE(buckets, 3u); // two occupied buckets + the +Inf line
+}
+
+TEST(ObsExport, JsonCarriesAllThreeKinds)
+{
+    obs::MetricsRegistry reg(1);
+    reg.counter("c_total", "", 0).inc(3);
+    reg.gauge("g", "", 0).set(1.25);
+    reg.histogram("h_ns", "", 0).observe(50.0);
+    const auto json = obs::toJson(reg.scrape());
+    const auto *counters = json.find("counters");
+    const auto *gauges = json.find("gauges");
+    const auto *hists = json.find("histograms");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(hists, nullptr);
+    ASSERT_NE(counters->find("c_total"), nullptr);
+    EXPECT_DOUBLE_EQ(counters->find("c_total")->asDouble(), 3.0);
+    ASSERT_NE(hists->find("h_ns"), nullptr);
+    ASSERT_NE(hists->find("h_ns")->find("p99"), nullptr);
+
+    obs::PacketTrace t;
+    t.seq = 9;
+    t.add(obs::Stage::Parser, 12.0);
+    const auto arr = obs::tracesToJson({t});
+    ASSERT_EQ(arr.size(), 1u);
+    const std::string text = arr.dump(0);
+    EXPECT_NE(text.find("\"seq\""), std::string::npos);
+    EXPECT_NE(text.find("\"parser\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Facade contracts on the real pipeline
+
+namespace {
+
+/** Small trained model + trace shared across the pipeline tests. */
+struct PipeFixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(1, 600);
+    std::vector<net::TracePacket> trace;
+
+    PipeFixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 400;
+        net::KddGenerator gen(cfg, 9);
+        trace = gen.expandToPackets(gen.sampleConnections());
+    }
+};
+
+const PipeFixture &
+pipe()
+{
+    static const PipeFixture fx;
+    return fx;
+}
+
+} // namespace
+
+TEST(ObsSwitch, MetricsOffIsBitCompatible)
+{
+    const auto &fx = pipe();
+    core::SwitchConfig on_cfg;
+    core::SwitchConfig off_cfg;
+    off_cfg.obs.metrics = false;
+    core::TaurusSwitch on(on_cfg), off(off_cfg);
+    on.installAnomalyModel(fx.dnn);
+    off.installAnomalyModel(fx.dnn);
+    for (const auto &p : fx.trace) {
+        const auto a = on.process(p);
+        const auto b = off.process(p);
+        ASSERT_EQ(a.flagged, b.flagged);
+        ASSERT_EQ(a.score, b.score);
+        ASSERT_EQ(a.bypassed, b.bypassed);
+        ASSERT_DOUBLE_EQ(a.latency_ns, b.latency_ns);
+    }
+    EXPECT_EQ(off.registry(), nullptr);
+    EXPECT_EQ(off.scrape().nums.size(), 0u);
+    EXPECT_EQ(on.stats().packets, off.stats().packets);
+}
+
+TEST(ObsSwitch, ScrapeEqualsStatsFacade)
+{
+    const auto &fx = pipe();
+    core::TaurusSwitch sw;
+    sw.installAnomalyModel(fx.dnn);
+    for (const auto &p : fx.trace)
+        sw.process(p);
+    const auto &st = sw.stats();
+    const obs::Snapshot snap = sw.scrape();
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_packets_total"),
+                     double(st.packets));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_ml_packets_total"),
+                     double(st.ml_packets));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_flagged_total"),
+                     double(st.flagged));
+    EXPECT_DOUBLE_EQ(
+        snap.value("taurus_switch_packets_total", "app=\"0\""),
+        double(sw.stats(0).packets));
+
+    // Per-stage histograms cover every packet; parser runs for all.
+    const auto *parser = snap.findHist("taurus_switch_stage_latency_ns",
+                                       "stage=\"parser\"");
+    ASSERT_NE(parser, nullptr);
+    EXPECT_EQ(parser->hist.count(), st.packets);
+    const auto *ml =
+        snap.findHist("taurus_switch_latency_ns", "path=\"ml\"");
+    const auto *by =
+        snap.findHist("taurus_switch_latency_ns", "path=\"bypass\"");
+    EXPECT_EQ((ml ? ml->hist.count() : 0) + (by ? by->hist.count() : 0),
+              st.packets);
+}
+
+TEST(ObsSwitch, TracerSamplesCarryPipelineSpans)
+{
+    const auto &fx = pipe();
+    core::SwitchConfig cfg;
+    cfg.obs.trace_every = 1; // trace everything: deterministic coverage
+    cfg.obs.trace_ring = 32;
+    core::TaurusSwitch sw(cfg);
+    sw.installAnomalyModel(fx.dnn);
+    for (size_t i = 0; i < 64; ++i)
+        sw.process(fx.trace[i % fx.trace.size()]);
+    const auto traces = sw.tracer().snapshot();
+    ASSERT_EQ(traces.size(), 32u);
+    for (const auto &t : traces) {
+        ASSERT_GT(t.span_count, 0u);
+        EXPECT_EQ(t.spans[0].stage, obs::Stage::Parser);
+        // Span sum reproduces the end-to-end modeled latency.
+        double total = 0.0;
+        for (uint8_t s = 0; s < t.span_count; ++s)
+            total += t.spans[s].ns;
+        EXPECT_NEAR(total, t.total_ns, t.total_ns * 1e-4 + 1e-3);
+    }
+    // The scrape exposes the sampling counters.
+    const obs::Snapshot snap = sw.scrape();
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_trace_seen_total"),
+                     double(sw.tracer().seen()));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_trace_sampled_total"),
+                     double(sw.tracer().sampled()));
+}
+
+TEST(ObsFarm, ScrapeMergesReplicasExactly)
+{
+    const auto &fx = pipe();
+    core::SwitchFarm farm({}, 3);
+    farm.installAnomalyModel(fx.dnn);
+    std::vector<core::SwitchDecision> decisions(fx.trace.size());
+    farm.processTrace(
+        util::Span<const net::TracePacket>(fx.trace.data(),
+                                           fx.trace.size()),
+        util::Span<core::SwitchDecision>(decisions.data(),
+                                         decisions.size()));
+    const auto merged = farm.mergedStats();
+    const obs::Snapshot snap = farm.scrape();
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_packets_total"),
+                     double(merged.packets));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_ml_packets_total"),
+                     double(merged.ml_packets));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_flagged_total"),
+                     double(merged.flagged));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_dropped_total"),
+                     double(merged.dropped));
+    const auto *ml =
+        snap.findHist("taurus_switch_latency_ns", "path=\"ml\"");
+    const auto *by =
+        snap.findHist("taurus_switch_latency_ns", "path=\"bypass\"");
+    EXPECT_EQ((ml ? ml->hist.count() : 0) + (by ? by->hist.count() : 0),
+              merged.packets);
+    ASSERT_NE(farm.registry(), nullptr);
+    EXPECT_EQ(farm.registry()->shards(), 3u);
+}
+
+TEST(ObsRuntime, ScrapeEqualsRuntimeStats)
+{
+    const auto &fx = pipe();
+    core::SwitchFarm farm({}, 2);
+    farm.installAnomalyModel(fx.dnn);
+    runtime::RuntimeConfig rc;
+    rc.synchronous = true;
+    rc.sampling_rate = 1.0;
+    rc.batch_pkts = 256;
+    rc.train.batch = 128;
+    rc.train.epochs = 1;
+    runtime::OnlineRuntime rt(farm, fx.dnn, rc);
+    rt.start();
+    const size_t n = std::min<size_t>(fx.trace.size(), 4000);
+    rt.processTrace(std::vector<net::TracePacket>(
+        fx.trace.begin(), fx.trace.begin() + n));
+    const auto st = rt.stats();
+    const obs::Snapshot snap = rt.scrape();
+    rt.stop();
+
+    EXPECT_DOUBLE_EQ(snap.value("taurus_runtime_packets_total"),
+                     double(st.packets));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_runtime_mirrored_total"),
+                     double(st.mirrored));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_runtime_consumed_total"),
+                     double(st.consumed));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_runtime_sgd_steps_total"),
+                     double(st.sgd_steps));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_runtime_rcu_retired_total"),
+                     double(st.rcu_retired));
+    EXPECT_DOUBLE_EQ(snap.value("taurus_runtime_smoothed_f1"),
+                     st.smoothed_f1);
+    // The switch-layer series ride along in the same snapshot (one
+    // registry spans the farm and the control plane).
+    EXPECT_DOUBLE_EQ(snap.value("taurus_switch_packets_total"),
+                     double(farm.mergedStats().packets));
+}
