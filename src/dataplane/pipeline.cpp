@@ -1,0 +1,793 @@
+#include "dataplane/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "taurus/app.hpp"
+#include "util/threading.hpp"
+
+namespace taurus::dataplane {
+
+namespace {
+
+/**
+ * Which dispatcher owns a packet when the RX stage is itself sharded.
+ * A *different* splitmix64 stream than core::flowOwner's (distinct
+ * increment constant): with the same hash, dispatchers == workers
+ * would degenerate to dispatcher d feeding only worker d.
+ */
+uint64_t
+dispatchMix(uint64_t x)
+{
+    x += 0x632be59bd9b4e019ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+size_t
+dispatcherOwner(const net::TracePacket &tp, size_t dispatchers)
+{
+    return static_cast<size_t>(dispatchMix(tp.flow.src_ip)) % dispatchers;
+}
+
+/**
+ * Graduated idle/contention backoff: spin (cheap, keeps the cache
+ * warm), then yield, then sleep — idle pipeline threads cost
+ * microseconds of wakeup latency, not a core.
+ */
+struct Backoff
+{
+    unsigned spins = 0;
+
+    void
+    pause()
+    {
+        ++spins;
+        if (spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+            __builtin_ia32_pause();
+#else
+            std::this_thread::yield();
+#endif
+        } else if (spins < 256) {
+            std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    }
+
+    void
+    reset()
+    {
+        spins = 0;
+    }
+};
+
+std::string
+workerLabel(size_t w)
+{
+    return "worker=\"" + std::to_string(w) + "\"";
+}
+
+} // namespace
+
+PipelineFarm::PipelineFarm(core::SwitchConfig cfg, PipelineConfig pipeline)
+    : switch_cfg_(std::move(cfg)), cfg_(pipeline)
+{
+    // The one shared fallback: 0 means hardware concurrency, exactly
+    // like SwitchFarm(cfg, 0) — both call util::resolveWorkerCount.
+    cfg_.workers = util::resolveWorkerCount(cfg_.workers);
+    cfg_.dispatchers = std::max<size_t>(1, cfg_.dispatchers);
+    cfg_.ring_capacity = std::max<size_t>(2, cfg_.ring_capacity);
+    cfg_.rx_burst = std::max<size_t>(1, cfg_.rx_burst);
+    cfg_.drain_burst = std::max<size_t>(1, cfg_.drain_burst);
+    cfg_.feed_capacity = std::max<size_t>(2, cfg_.feed_capacity);
+
+    const size_t W = cfg_.workers;
+    const size_t D = cfg_.dispatchers;
+
+    replicas_.reserve(W);
+    for (size_t w = 0; w < W; ++w)
+        replicas_.push_back(
+            std::make_unique<core::TaurusSwitch>(switch_cfg_));
+
+    // One registry, one shard per fast-path writer: replica w writes
+    // shard w (its switch metrics), dispatcher d writes shard W + d
+    // (the RX-stage metrics) — no two threads share a slot cache line.
+    if (switch_cfg_.obs.metrics) {
+        registry_ = std::make_shared<obs::MetricsRegistry>(W + D);
+        for (size_t w = 0; w < W; ++w)
+            replicas_[w]->bindObservability(registry_, w);
+    }
+
+    workers_.reserve(W);
+    for (size_t w = 0; w < W; ++w) {
+        auto ws = std::make_unique<WorkerState>();
+        if (registry_)
+            ws->burst_cell = registry_->histogram(
+                "taurus_pipeline_worker_burst_pkts", "", w);
+        workers_.push_back(std::move(ws));
+    }
+
+    dispatchers_.reserve(D);
+    rings_.resize(D);
+    feeds_.reserve(D);
+    for (size_t d = 0; d < D; ++d) {
+        auto ds = std::make_unique<DispatcherState>();
+        ds->drop_cells.resize(W);
+        ds->occ_cells.resize(W);
+        if (registry_) {
+            const size_t shard = W + d;
+            ds->dispatched_cell = registry_->counter(
+                "taurus_pipeline_dispatched_total", "", shard);
+            ds->rx_burst_cell = registry_->histogram(
+                "taurus_pipeline_rx_burst_pkts", "", shard);
+            for (size_t w = 0; w < W; ++w) {
+                ds->drop_cells[w] = registry_->counter(
+                    "taurus_pipeline_dispatch_drops_total",
+                    workerLabel(w), shard);
+                ds->occ_cells[w] = registry_->gauge(
+                    "taurus_pipeline_ring_occupancy", workerLabel(w),
+                    shard);
+            }
+        }
+        dispatchers_.push_back(std::move(ds));
+        rings_[d].reserve(W);
+        for (size_t w = 0; w < W; ++w)
+            rings_[d].push_back(
+                std::make_unique<PacketRing>(cfg_.ring_capacity));
+        feeds_.push_back(std::make_unique<FeedRing>(cfg_.feed_capacity));
+    }
+
+    // Pipeline-level totals ride the same facade-adoption path as
+    // SwitchStats: a collector contributes the authoritative atomics at
+    // scrape time, so pipelineStats() and the exporter cannot diverge.
+    if (registry_)
+        collector_token_ = registry_->addCollector(
+            [this](obs::Snapshot &snap) {
+                const PipelineStats s = pipelineStats();
+                snap.addNum("taurus_pipeline_fed_total", "",
+                            obs::MetricKind::Counter,
+                            static_cast<double>(s.fed));
+                snap.addNum("taurus_pipeline_completed_total", "",
+                            obs::MetricKind::Counter,
+                            static_cast<double>(s.completed));
+                snap.addNum("taurus_pipeline_maintenance_ops_total", "",
+                            obs::MetricKind::Counter,
+                            static_cast<double>(s.maintenance_ops));
+            });
+
+    for (size_t w = 0; w < W; ++w) {
+        workers_[w]->thread = std::thread([this, w] { workerLoop(w); });
+        if (cfg_.pin_threads)
+            util::pinThreadToCpu(workers_[w]->thread, w);
+    }
+    for (size_t d = 0; d < D; ++d) {
+        dispatchers_[d]->thread =
+            std::thread([this, d] { dispatcherLoop(d); });
+        if (cfg_.pin_threads)
+            util::pinThreadToCpu(dispatchers_[d]->thread, W + d);
+    }
+}
+
+PipelineFarm::~PipelineFarm()
+{
+    // Let in-flight traffic finish so no thread is parked on a ring
+    // mid-segment; swallow worker errors the caller never drained.
+    try {
+        drain();
+    } catch (...) {
+    }
+    stop_.store(true, std::memory_order_release);
+    for (auto &ds : dispatchers_)
+        if (ds->thread.joinable())
+            ds->thread.join();
+    for (auto &ws : workers_)
+        if (ws->thread.joinable())
+            ws->thread.join();
+    if (registry_ && collector_token_ != 0)
+        registry_->removeCollector(collector_token_);
+}
+
+// ---------------------------------------------------------------------
+// RX/dispatch stage
+// ---------------------------------------------------------------------
+
+void
+PipelineFarm::dispatcherLoop(size_t d)
+{
+    const size_t W = workers_.size();
+    const size_t D = dispatchers_.size();
+
+    // Per-worker accumulation buffers: hash each packet once, push into
+    // rings a burst at a time (one cursor update per burst, not per
+    // packet — the same reason NIC drivers receive in bursts).
+    std::vector<std::vector<Item>> burst(W);
+    for (auto &b : burst)
+        b.reserve(cfg_.rx_burst);
+
+    Backoff backoff;
+    Segment seg;
+    for (;;) {
+        if (!feeds_[d]->tryPop(seg)) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            backoff.pause();
+            continue;
+        }
+        backoff.reset();
+        for (size_t i = 0; i < seg.n; ++i) {
+            const net::TracePacket &pkt = seg.pkts[i];
+            if (D > 1 && dispatcherOwner(pkt, D) != d)
+                continue; // another dispatcher's flow shard
+            const size_t w = core::flowOwner(pkt, W);
+            auto &b = burst[w];
+            b.push_back(Item{&pkt, &seg.out[i]});
+            if (b.size() >= cfg_.rx_burst)
+                flushBurst(d, w, b);
+        }
+        // Segment boundary: flush every partial burst so a small feed
+        // never waits on later traffic to reach its workers.
+        for (size_t w = 0; w < W; ++w)
+            if (!burst[w].empty())
+                flushBurst(d, w, burst[w]);
+    }
+}
+
+void
+PipelineFarm::flushBurst(size_t d, size_t w, std::vector<Item> &burst)
+{
+    DispatcherState &ds = *dispatchers_[d];
+    PacketRing &ring = *rings_[d][w];
+    const size_t total = burst.size();
+
+    size_t accepted = 0;
+    Backoff backoff;
+    for (;;) {
+        accepted += ring.pushBurst(burst.data() + accepted,
+                                   total - accepted);
+        if (accepted == total)
+            break;
+        if (cfg_.overflow != OverflowPolicy::Backpressure)
+            break; // DropNewest: whatever did not fit is dropped
+        backoff.pause();
+    }
+
+    const size_t dropped = total - accepted;
+    if (dropped > 0) {
+        // Drop-and-count, never block: the dispatcher itself writes the
+        // dropped decisions (marker: default decision + dropped flag),
+        // so drain() still sees every fed packet accounted for and the
+        // caller can tell exactly which packets saturation cost.
+        for (size_t i = accepted; i < total; ++i) {
+            core::SwitchDecision dec{};
+            dec.dropped = true;
+            *burst[i].out = dec;
+        }
+        ds.drop_cells[w].inc(dropped);
+        workers_[w]->drops.fetch_add(dropped, std::memory_order_release);
+    }
+
+    // Single-writer counters: plain load/store, no RMW on the hot path.
+    ds.dispatched.store(ds.dispatched.load(std::memory_order_relaxed) +
+                            accepted,
+                        std::memory_order_relaxed);
+    ds.bursts.store(ds.bursts.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+    ds.dispatched_cell.inc(accepted);
+    ds.rx_burst_cell.observe(static_cast<double>(total));
+    ds.occ_cells[w].set(static_cast<double>(ring.size()));
+    burst.clear();
+}
+
+// ---------------------------------------------------------------------
+// Worker stage
+// ---------------------------------------------------------------------
+
+void
+PipelineFarm::workerLoop(size_t w)
+{
+    WorkerState &ws = *workers_[w];
+    core::TaurusSwitch &sw = *replicas_[w];
+    std::vector<Item> buf(cfg_.drain_burst);
+    uint64_t maint_seen = 0;
+    Backoff backoff;
+
+    for (;;) {
+        size_t got = 0;
+        for (size_t d = 0; d < rings_.size(); ++d) {
+            const size_t n = rings_[d][w]->popBurst(buf.data(),
+                                                    buf.size());
+            if (n == 0)
+                continue;
+            got += n;
+            for (size_t i = 0; i < n; ++i) {
+                try {
+                    *buf[i].out = sw.process(*buf[i].pkt);
+                } catch (...) {
+                    *buf[i].out = core::SwitchDecision{};
+                    noteError(std::current_exception());
+                }
+            }
+            ws.bursts.store(ws.bursts.load(std::memory_order_relaxed) +
+                                1,
+                            std::memory_order_relaxed);
+            ws.burst_cell.observe(static_cast<double>(n));
+            // Release: a drain() that observes this count also observes
+            // every decision written above.
+            ws.done.store(ws.done.load(std::memory_order_relaxed) + n,
+                          std::memory_order_release);
+            // End-of-burst maintenance hook: lifecycle ops, weight
+            // updates, and stat snapshots land here — between bursts,
+            // never inside one. One relaxed load when nothing pends.
+            runMaintenance(w, maint_seen);
+        }
+        if (got > 0) {
+            backoff.reset();
+            continue;
+        }
+        runMaintenance(w, maint_seen); // idle workers still converge
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        backoff.pause();
+    }
+}
+
+void
+PipelineFarm::noteError(std::exception_ptr e)
+{
+    std::lock_guard<std::mutex> lk(error_m_);
+    if (!first_error_)
+        first_error_ = e;
+}
+
+// ---------------------------------------------------------------------
+// Traffic surface
+// ---------------------------------------------------------------------
+
+void
+PipelineFarm::feed(util::Span<const net::TracePacket> packets,
+                   util::Span<core::SwitchDecision> decisions)
+{
+    if (packets.size() != decisions.size())
+        throw std::invalid_argument(
+            "PipelineFarm::feed: packets/decisions size mismatch");
+    if (packets.empty())
+        return;
+
+    Segment seg{packets.data(), decisions.data(), packets.size()};
+    for (size_t d = 0; d < feeds_.size(); ++d) {
+        // pushBurst, not tryPush: a full feed queue is backpressure on
+        // the caller, not a drop (and must not pollute drop counters).
+        Backoff backoff;
+        while (feeds_[d]->pushBurst(&seg, 1) == 0)
+            backoff.pause();
+    }
+    fed_.fetch_add(packets.size(), std::memory_order_relaxed);
+}
+
+void
+PipelineFarm::drain()
+{
+    const uint64_t target = fed_.load(std::memory_order_relaxed);
+    Backoff backoff;
+    for (;;) {
+        uint64_t settled = 0;
+        for (const auto &ws : workers_)
+            settled += ws->done.load(std::memory_order_acquire) +
+                       ws->drops.load(std::memory_order_acquire);
+        if (settled >= target)
+            break;
+        backoff.pause();
+    }
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lk(error_m_);
+        err = first_error_;
+        first_error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+PipelineFarm::processTrace(util::Span<const net::TracePacket> packets,
+                           util::Span<core::SwitchDecision> decisions)
+{
+    feed(packets, decisions);
+    drain();
+}
+
+std::vector<core::SwitchDecision>
+PipelineFarm::processTrace(const std::vector<net::TracePacket> &packets)
+{
+    std::vector<core::SwitchDecision> decisions(packets.size());
+    processTrace(util::Span<const net::TracePacket>(packets.data(),
+                                                    packets.size()),
+                 util::Span<core::SwitchDecision>(decisions.data(),
+                                                  decisions.size()));
+    return decisions;
+}
+
+size_t
+PipelineFarm::workerFor(const net::TracePacket &tp) const
+{
+    return core::flowOwner(tp, replicas_.size());
+}
+
+// ---------------------------------------------------------------------
+// End-of-burst maintenance
+// ---------------------------------------------------------------------
+
+std::shared_ptr<PipelineFarm::MaintOp>
+PipelineFarm::makeOp(MaintOp::Kind kind) const
+{
+    auto op = std::make_shared<MaintOp>();
+    op->kind = kind;
+    const size_t W = replicas_.size();
+    op->retired.resize(W);
+    op->stats.resize(W);
+    op->result_id.assign(W, 0);
+    op->error.resize(W);
+    return op;
+}
+
+void
+PipelineFarm::driveOpLocked(const std::shared_ptr<MaintOp> &op)
+{
+    {
+        std::lock_guard<std::mutex> lk(maint_m_);
+        op->seq = ++next_seq_;
+        // Prune ops every worker has already applied; the log stays
+        // O(in-flight), not O(lifetime).
+        uint64_t min_applied = UINT64_MAX;
+        for (const auto &ws : workers_)
+            min_applied = std::min(
+                min_applied,
+                ws->maint_applied.load(std::memory_order_acquire));
+        ops_.erase(std::remove_if(ops_.begin(), ops_.end(),
+                                  [&](const std::shared_ptr<MaintOp> &o) {
+                                      return o->seq <= min_applied;
+                                  }),
+                   ops_.end());
+        ops_.push_back(op);
+    }
+    maint_seq_.store(op->seq, std::memory_order_release);
+
+    {
+        std::unique_lock<std::mutex> lk(maint_m_);
+        maint_cv_.wait(lk, [&] {
+            return op->applied.load(std::memory_order_acquire) ==
+                   workers_.size();
+        });
+    }
+    maint_ops_.fetch_add(1, std::memory_order_relaxed);
+    for (const auto &e : op->error)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+void
+PipelineFarm::runMaintenance(size_t w, uint64_t &seen)
+{
+    if (maint_seq_.load(std::memory_order_acquire) == seen)
+        return;
+    std::vector<std::shared_ptr<MaintOp>> todo;
+    {
+        std::lock_guard<std::mutex> lk(maint_m_);
+        for (const auto &op : ops_)
+            if (op->seq > seen)
+                todo.push_back(op);
+    }
+    for (const auto &op : todo) {
+        applyOp(w, *op);
+        seen = op->seq;
+        workers_[w]->maint_applied.store(seen,
+                                         std::memory_order_release);
+        if (op->applied.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            workers_.size()) {
+            // Lock-then-notify so the driver can't miss the wakeup
+            // between its predicate check and its wait.
+            std::lock_guard<std::mutex> lk(maint_m_);
+            maint_cv_.notify_all();
+        }
+    }
+}
+
+void
+PipelineFarm::applyOp(size_t w, MaintOp &op)
+{
+    core::TaurusSwitch &sw = *replicas_[w];
+    try {
+        switch (op.kind) {
+        case MaintOp::Kind::Install:
+            op.result_id[w] = sw.installApp(*op.artifact);
+            break;
+        case MaintOp::Kind::Remove:
+            op.retired[w] = sw.removeApp(op.id);
+            break;
+        case MaintOp::Kind::Replace:
+            op.retired[w] = sw.replaceApp(op.id, *op.artifact);
+            break;
+        case MaintOp::Kind::SetDefault:
+            sw.setDefaultApp(op.id);
+            break;
+        case MaintOp::Kind::UpdateWeights:
+            sw.updateWeights(op.id, *op.weights);
+            break;
+        case MaintOp::Kind::Snapshot:
+            op.stats[w] = op.per_app ? sw.stats(op.id) : sw.stats();
+            break;
+        case MaintOp::Kind::Reset:
+            sw.reset();
+            break;
+        }
+    } catch (...) {
+        // Prechecks make this unreachable on lifecycle ops; kept so a
+        // precheck bug surfaces as the driver's rethrow, not a hang.
+        op.error[w] = std::current_exception();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------
+
+void
+PipelineFarm::requireLive(core::AppId id) const
+{
+    const core::TaurusSwitch &r0 = *replicas_.front();
+    if (id >= r0.slotCount())
+        throw std::out_of_range("PipelineFarm: unknown app id " +
+                                std::to_string(id) + " (" +
+                                std::to_string(r0.slotCount()) +
+                                " slots)");
+    if (!r0.installed(id))
+        throw core::LifecycleError("PipelineFarm: app id " +
+                                   std::to_string(id) +
+                                   " has been removed");
+}
+
+std::vector<const dfg::Graph *>
+PipelineFarm::liveGraphs() const
+{
+    std::vector<const dfg::Graph *> graphs;
+    for (size_t s = 0; s < shadow_.size(); ++s)
+        if (shadow_[s])
+            graphs.push_back(shadow_[s].get());
+    return graphs;
+}
+
+core::AppId
+PipelineFarm::installApp(const core::AppArtifact &app)
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    core::TaurusSwitch &probe = *replicas_.front();
+    // Dry-run against immutable config + structural shadows: a rejected
+    // install throws here, before anything on any replica changes.
+    probe.validateArtifact(app);
+    auto graphs = liveGraphs();
+    graphs.push_back(&app.graph);
+    probe.checkAdmission(graphs, app.name);
+
+    auto op = makeOp(MaintOp::Kind::Install);
+    op->artifact = std::make_shared<core::AppArtifact>(app);
+    driveOpLocked(op);
+    shadow_.push_back(std::make_shared<const dfg::Graph>(app.graph));
+    return op->result_id.front();
+}
+
+core::AppId
+PipelineFarm::installAnomalyModel(const models::AnomalyDnn &model)
+{
+    return installApp(core::makeAnomalyDnnApp(model));
+}
+
+std::vector<core::RetiredTenant>
+PipelineFarm::removeApp(core::AppId id)
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    core::TaurusSwitch &r0 = *replicas_.front();
+    requireLive(id);
+    if (r0.appCount() > 1 && id == r0.defaultApp())
+        throw core::LifecycleError(
+            "PipelineFarm: app id " + std::to_string(id) +
+            " is the dispatch default; setDefaultApp first");
+    if (r0.appCount() > 1) {
+        // Survivor re-placement dry-run (deterministic, structure-only:
+        // what replica 0 admits, every replica admits).
+        std::vector<const dfg::Graph *> graphs;
+        for (size_t s = 0; s < shadow_.size(); ++s)
+            if (shadow_[s] && s != id)
+                graphs.push_back(shadow_[s].get());
+        r0.checkAdmission(graphs, r0.appName(id));
+    }
+
+    auto op = makeOp(MaintOp::Kind::Remove);
+    op->id = id;
+    driveOpLocked(op);
+    shadow_[id] = nullptr;
+    return std::move(op->retired);
+}
+
+std::vector<core::RetiredTenant>
+PipelineFarm::replaceApp(core::AppId id, const core::AppArtifact &app)
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    core::TaurusSwitch &r0 = *replicas_.front();
+    requireLive(id);
+    r0.validateArtifact(app);
+    std::vector<const dfg::Graph *> graphs;
+    for (size_t s = 0; s < shadow_.size(); ++s)
+        if (shadow_[s])
+            graphs.push_back(s == id ? &app.graph : shadow_[s].get());
+    r0.checkAdmission(graphs, app.name);
+
+    auto op = makeOp(MaintOp::Kind::Replace);
+    op->id = id;
+    op->artifact = std::make_shared<core::AppArtifact>(app);
+    driveOpLocked(op);
+    shadow_[id] = std::make_shared<const dfg::Graph>(app.graph);
+    return std::move(op->retired);
+}
+
+void
+PipelineFarm::setDefaultApp(core::AppId id)
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    requireLive(id);
+    auto op = makeOp(MaintOp::Kind::SetDefault);
+    op->id = id;
+    driveOpLocked(op);
+}
+
+void
+PipelineFarm::updateWeightsLocked(core::AppId id,
+                                  const dfg::Graph &fresh)
+{
+    requireLive(id);
+    const std::string err =
+        replicas_.front()->program(id).checkWeightUpdate(fresh);
+    if (!err.empty())
+        throw std::invalid_argument(err);
+    auto op = makeOp(MaintOp::Kind::UpdateWeights);
+    op->id = id;
+    op->weights = std::make_shared<const dfg::Graph>(fresh);
+    driveOpLocked(op);
+}
+
+void
+PipelineFarm::updateWeights(core::AppId id, const dfg::Graph &fresh)
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    if (id >= replicas_.front()->slotCount())
+        throw std::out_of_range("PipelineFarm: unknown app id " +
+                                std::to_string(id));
+    updateWeightsLocked(id, fresh);
+}
+
+void
+PipelineFarm::updateWeights(const dfg::Graph &fresh)
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    const core::TaurusSwitch &r0 = *replicas_.front();
+    if (r0.appCount() == 0)
+        throw std::logic_error(
+            "PipelineFarm::updateWeights: no application installed");
+    if (r0.appCount() > 1)
+        throw std::invalid_argument(
+            "PipelineFarm::updateWeights: multiple tenants resident; "
+            "name the target with the AppId overload");
+    updateWeightsLocked(r0.appIds().front(), fresh);
+}
+
+void
+PipelineFarm::reset()
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    driveOpLocked(makeOp(MaintOp::Kind::Reset));
+}
+
+bool
+PipelineFarm::installed(core::AppId id) const
+{
+    return replicas_.front()->installed(id);
+}
+
+std::vector<core::AppId>
+PipelineFarm::appIds() const
+{
+    return replicas_.front()->appIds();
+}
+
+size_t
+PipelineFarm::appCount() const
+{
+    return replicas_.front()->appCount();
+}
+
+core::AppId
+PipelineFarm::defaultApp() const
+{
+    return replicas_.front()->defaultApp();
+}
+
+core::PlacementMode
+PipelineFarm::placementMode() const
+{
+    return replicas_.front()->placementMode();
+}
+
+const compiler::PlacementReport &
+PipelineFarm::placementReport() const
+{
+    return replicas_.front()->placementReport();
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+PipelineStats
+PipelineFarm::pipelineStats() const
+{
+    PipelineStats s;
+    s.fed = fed_.load(std::memory_order_relaxed);
+    s.maintenance_ops = maint_ops_.load(std::memory_order_relaxed);
+    for (const auto &ds : dispatchers_) {
+        s.dispatched += ds->dispatched.load(std::memory_order_relaxed);
+        s.rx_bursts += ds->bursts.load(std::memory_order_relaxed);
+    }
+    s.drops_per_worker.reserve(workers_.size());
+    for (const auto &ws : workers_) {
+        const uint64_t drops = ws->drops.load(std::memory_order_acquire);
+        s.dispatch_drops += drops;
+        s.drops_per_worker.push_back(drops);
+        s.completed += ws->done.load(std::memory_order_acquire);
+        s.worker_bursts += ws->bursts.load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+core::SwitchStats
+PipelineFarm::snapshotStats(bool per_app, core::AppId id)
+{
+    std::lock_guard<std::mutex> lc(maint_caller_m_);
+    if (per_app)
+        requireLive(id);
+    auto op = makeOp(MaintOp::Kind::Snapshot);
+    op->per_app = per_app;
+    op->id = id;
+    driveOpLocked(op);
+    core::SwitchStats total;
+    for (const auto &st : op->stats)
+        total.merge(st);
+    return total;
+}
+
+core::SwitchStats
+PipelineFarm::mergedStats() const
+{
+    // Logically const (observes, mutates nothing a caller can see);
+    // physically it drives a Snapshot maintenance op through the
+    // workers so each replica is read by its own thread at a burst
+    // boundary — which is what makes this safe under live traffic.
+    return const_cast<PipelineFarm *>(this)->snapshotStats(false, 0);
+}
+
+core::SwitchStats
+PipelineFarm::mergedStats(core::AppId id) const
+{
+    return const_cast<PipelineFarm *>(this)->snapshotStats(true, id);
+}
+
+obs::Snapshot
+PipelineFarm::scrape() const
+{
+    return registry_ ? registry_->scrape() : obs::Snapshot{};
+}
+
+} // namespace taurus::dataplane

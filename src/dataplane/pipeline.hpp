@@ -1,0 +1,389 @@
+/**
+ * @file
+ * PipelineFarm: the pipelined, shared-nothing serving dataplane.
+ *
+ * The synchronous SwitchFarm is a flat pool of replicas fed by the
+ * caller: every batch pays a partition pass, a thread spawn/join
+ * barrier, and a scatter — the feed itself becomes the bottleneck at
+ * realistic arrival-burst sizes, and saturation is invisible because
+ * the caller always blocks until everything completes. This subsystem
+ * restructures serving along forwarding-dataplane lines (ndn-dpdk's
+ * fwdp: RX loops feeding per-forwarder rings):
+ *
+ *   caller ──feed()──▶ [RX/dispatch stage]        (1..D threads)
+ *                        parse key, hash src,
+ *                        burst into rings ──▶ [per-worker SPSC rings]
+ *                        full ring: drop+count      (bounded, lock-free)
+ *                        (or backpressure)     ──▶ [workers]  (W threads)
+ *                                                   own TaurusSwitch
+ *                                                   replica + flow-state
+ *                                                   partition; drain in
+ *                                                   bursts; end-of-burst
+ *                                                   maintenance hook
+ *
+ * Shared-nothing: worker w owns replica w and — because dispatch
+ * partitions by the same source hash as SwitchFarm (core::flowOwner) —
+ * every piece of stateful processing its packets can touch. No locks,
+ * no shared mutable state on the per-packet path; the only cross-
+ * thread structures are the bounded SPSC rings (util/spsc_ring.hpp)
+ * and a handful of single-writer counters.
+ *
+ * Determinism: with rings sized to suffer zero drops (or the
+ * Backpressure policy), decisions and per-replica statistics are
+ * bit-identical to SwitchFarm on the same trace and worker count —
+ * same hash, same per-worker subsequence, same order. Dropped packets
+ * get a default-constructed decision with `dropped = true` and are
+ * counted per worker at the dispatch stage, so saturation is exact and
+ * observable rather than silent.
+ *
+ * End-of-burst maintenance: control-plane mutations (install/remove/
+ * replace/setDefaultApp/updateWeights/reset) and consistent stat
+ * snapshots never interrupt a burst. Each operation is validated
+ * up front against replica 0 (all-or-nothing: a rejected operation
+ * leaves every replica serving exactly as before), published to a
+ * sequence-numbered maintenance log, and applied by each worker to its
+ * OWN replica between two bursts of its own traffic; the caller blocks
+ * until every replica has transitioned. The hot loop's only overhead
+ * is one relaxed load per burst.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "taurus/farm.hpp"
+#include "taurus/switch.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace taurus::dataplane {
+
+/** What the dispatch stage does when a worker's ring is full. */
+enum class OverflowPolicy
+{
+    /** Drop the packet, write a `dropped` decision, count it against
+     *  the worker's ring — the dispatch path never blocks (default;
+     *  the hardware-faithful behavior). */
+    DropNewest,
+    /** Spin until the ring has space: lossless, but a saturated worker
+     *  stalls the RX stage (and, transitively, feed() callers once the
+     *  feed queue fills). */
+    Backpressure,
+};
+
+/** Static configuration of one PipelineFarm. */
+struct PipelineConfig
+{
+    /** Worker (replica) threads; 0 = util::resolveWorkerCount. */
+    size_t workers = 0;
+    /** RX/dispatch threads (>= 1). With more than one, flows are
+     *  sharded across dispatchers by a second source hash so each
+     *  (dispatcher, worker) ring keeps a single producer and per-flow
+     *  order is preserved; cross-flow interleave at a worker then
+     *  depends on drain timing, so bit-identity with the synchronous
+     *  farm is only guaranteed at dispatchers == 1. */
+    size_t dispatchers = 1;
+    /** Capacity of each (dispatcher, worker) packet ring (rounded up
+     *  to a power of two). Size for zero drops to keep bit-identity. */
+    size_t ring_capacity = 1 << 12;
+    /** Packets the dispatch stage accumulates per worker before one
+     *  burst push (flushed early at segment boundaries). */
+    size_t rx_burst = 64;
+    /** Max packets a worker pops per ring visit. */
+    size_t drain_burst = 64;
+    /** Ring-full policy at the dispatch stage. */
+    OverflowPolicy overflow = OverflowPolicy::DropNewest;
+    /** Pending feed() segments per dispatcher before feed() spins. */
+    size_t feed_capacity = 1 << 10;
+    /** Best-effort CPU pinning: workers to cpus [0, W), dispatchers to
+     *  [W, W+D). Throughput knob only; never affects results. */
+    bool pin_threads = false;
+};
+
+/** Aggregate pipeline counters (all monotonic; exact at drain). */
+struct PipelineStats
+{
+    uint64_t fed = 0;            ///< packets handed to feed()
+    uint64_t dispatched = 0;     ///< packets enqueued into worker rings
+    uint64_t dispatch_drops = 0; ///< dropped at RX (ring full)
+    uint64_t completed = 0;      ///< decisions written by workers
+    uint64_t rx_bursts = 0;      ///< ring burst pushes
+    uint64_t worker_bursts = 0;  ///< non-empty ring drains
+    uint64_t maintenance_ops = 0; ///< control ops applied farm-wide
+    /** Dispatch-stage drops per worker ring (saturation names the
+     *  overloaded partition, not just a total). */
+    std::vector<uint64_t> drops_per_worker;
+};
+
+/**
+ * The pipelined serving facade. Same control surface as SwitchFarm
+ * (installApp/removeApp/replaceApp/setDefaultApp/updateWeights/
+ * mergedStats/scrape), different traffic surface: feed() is
+ * asynchronous — it hands a segment to the RX stage and returns —
+ * and drain() blocks until every fed packet's decision is written.
+ * processTrace() is feed + drain, for drop-in SwitchFarm comparisons.
+ *
+ * Threading contract: one feeder thread at a time (feed/drain/
+ * processTrace); control-plane calls may come from any one other
+ * thread concurrently with traffic (they are serialized internally and
+ * applied at end-of-burst). The packet and decision spans passed to
+ * feed() must stay alive until the next drain() returns.
+ */
+class PipelineFarm
+{
+  public:
+    explicit PipelineFarm(core::SwitchConfig cfg = {},
+                          PipelineConfig pipeline = {});
+    ~PipelineFarm();
+
+    PipelineFarm(const PipelineFarm &) = delete;
+    PipelineFarm &operator=(const PipelineFarm &) = delete;
+
+    // ---- Control plane (end-of-burst maintenance; blocking) ----
+
+    /** Install an artifact on every replica (validated + admission-
+     *  checked against replica 0 first — all-or-nothing). Returns the
+     *  new tenant's AppId (identical on every replica). */
+    core::AppId installApp(const core::AppArtifact &app);
+
+    /** Anomaly convenience, via the one shared artifact builder. */
+    core::AppId installAnomalyModel(const models::AnomalyDnn &model);
+
+    /** Remove one tenant from every replica (same contract and typed
+     *  errors as TaurusSwitch::removeApp). Returns every replica's
+     *  retired state block. Packets already queued for the tenant are
+     *  re-dispatched by the rebuilt MAT (they fall to the default). */
+    std::vector<core::RetiredTenant> removeApp(core::AppId id);
+
+    /** Replace one tenant in place on every replica. */
+    std::vector<core::RetiredTenant> replaceApp(
+        core::AppId id, const core::AppArtifact &app);
+
+    /** Re-point unmatched traffic on every replica. */
+    void setDefaultApp(core::AppId id);
+
+    /** Push fresh weights into one tenant's program on every replica,
+     *  applied at each worker's next burst boundary. Structure is
+     *  checked against replica 0 before publication
+     *  (std::invalid_argument on mismatch; nothing anywhere changes). */
+    void updateWeights(core::AppId id, const dfg::Graph &fresh);
+
+    /** Single-tenant convenience; same contract as the switch's. */
+    void updateWeights(const dfg::Graph &fresh);
+
+    /** Clear every replica's registers and statistics (maintenance
+     *  op). Registry metrics stay monotonic, like the switch's. */
+    void reset();
+
+    // ---- Tenant introspection (replica 0; all replicas agree) ----
+
+    bool installed(core::AppId id) const;
+    std::vector<core::AppId> appIds() const;
+    size_t appCount() const;
+    core::AppId defaultApp() const;
+    core::PlacementMode placementMode() const;
+    const compiler::PlacementReport &placementReport() const;
+
+    // ---- Traffic ----
+
+    /**
+     * Hand one segment of packets to the RX/dispatch stage and return.
+     * `decisions.size()` must equal `packets.size()`; both spans must
+     * outlive the next drain(). Spins only when the feed queue is full
+     * (the RX stage itself never blocks the caller under DropNewest).
+     */
+    void feed(util::Span<const net::TracePacket> packets,
+              util::Span<core::SwitchDecision> decisions);
+
+    /** Block until every fed packet's decision (processed or dropped)
+     *  has been written, then rethrow the first worker error if any. */
+    void drain();
+
+    /** feed() + drain(): the drop-in SwitchFarm::processTrace shape. */
+    void processTrace(util::Span<const net::TracePacket> packets,
+                      util::Span<core::SwitchDecision> decisions);
+
+    /** Convenience overload that owns the decision storage. */
+    std::vector<core::SwitchDecision> processTrace(
+        const std::vector<net::TracePacket> &packets);
+
+    /** Deterministic owner of a packet: core::flowOwner — the same
+     *  source hash the synchronous farm partitions by. */
+    size_t workerFor(const net::TracePacket &tp) const;
+
+    // ---- Statistics ----
+
+    /** Pipeline-stage counters (fed/dispatched/drops/completed and the
+     *  per-worker drop breakdown). Safe any time; exact at drain. */
+    PipelineStats pipelineStats() const;
+
+    /**
+     * Sum of all replicas' switch counters, collected through the
+     * end-of-burst maintenance hook: each worker snapshots its OWN
+     * replica between bursts, so — unlike SwitchFarm::mergedStats —
+     * this is safe under live traffic and never reads a replica a
+     * worker is mid-packet in.
+     */
+    core::SwitchStats mergedStats() const;
+
+    /** Per-tenant analog (the id must name a live tenant). */
+    core::SwitchStats mergedStats(core::AppId id) const;
+
+    /** The pipeline's shared registry: one shard per worker (replica
+     *  metrics) plus one per dispatcher (RX-stage metrics); nullptr
+     *  when cfg.obs.metrics is false. */
+    const std::shared_ptr<obs::MetricsRegistry> &registry() const
+    {
+        return registry_;
+    }
+
+    /** Merged scrape (collectors run: replica SwitchStats collectors
+     *  read non-atomic state, so call at a drained boundary — or
+     *  registry()->scrape(false) for the anytime lock-free view). */
+    obs::Snapshot scrape() const;
+
+    size_t workers() const { return workers_.size(); }
+    size_t dispatchers() const { return dispatchers_.size(); }
+    core::TaurusSwitch &replica(size_t i) { return *replicas_[i]; }
+
+  private:
+    /** One queued unit of work: a packet and its decision slot. */
+    struct Item
+    {
+        const net::TracePacket *pkt = nullptr;
+        core::SwitchDecision *out = nullptr;
+    };
+    using PacketRing = util::SpscRing<Item>;
+
+    /** One feed() call's span, handed to the RX stage. */
+    struct Segment
+    {
+        const net::TracePacket *pkts = nullptr;
+        core::SwitchDecision *out = nullptr;
+        size_t n = 0;
+    };
+    using FeedRing = util::SpscRing<Segment>;
+
+    /** One published maintenance operation; every worker applies it to
+     *  its own replica at a burst boundary and fills its result slot
+     *  (slot w is written by worker w only). */
+    struct MaintOp
+    {
+        enum class Kind
+        {
+            Install,
+            Remove,
+            Replace,
+            SetDefault,
+            UpdateWeights,
+            Snapshot,
+            Reset,
+        };
+        Kind kind = Kind::Snapshot;
+        uint64_t seq = 0;
+        core::AppId id = 0;
+        /** Whole-switch (false) vs one-tenant (true) snapshot. */
+        bool per_app = false;
+        std::shared_ptr<const core::AppArtifact> artifact;
+        std::shared_ptr<const dfg::Graph> weights;
+        std::vector<core::RetiredTenant> retired;  ///< slot per worker
+        std::vector<core::SwitchStats> stats;      ///< slot per worker
+        std::vector<core::AppId> result_id;        ///< slot per worker
+        std::vector<std::exception_ptr> error;     ///< slot per worker
+        std::atomic<size_t> applied{0};
+    };
+
+    /** Per-worker shared state, one cache line apart. */
+    struct alignas(64) WorkerState
+    {
+        std::atomic<uint64_t> done{0};   ///< decisions written
+        std::atomic<uint64_t> bursts{0}; ///< non-empty drains
+        std::atomic<uint64_t> drops{0};  ///< RX drops against this ring
+        std::atomic<uint64_t> maint_applied{0};
+        obs::HistogramCell burst_cell;
+        std::thread thread;
+    };
+
+    /** Per-dispatcher shared state. */
+    struct alignas(64) DispatcherState
+    {
+        std::atomic<uint64_t> dispatched{0};
+        std::atomic<uint64_t> bursts{0};
+        obs::Counter dispatched_cell;
+        obs::HistogramCell rx_burst_cell;
+        std::vector<obs::Counter> drop_cells; ///< one per worker
+        std::vector<obs::Gauge> occ_cells;    ///< one per worker
+        std::thread thread;
+    };
+
+    void dispatcherLoop(size_t d);
+    void workerLoop(size_t w);
+
+    /** Flush one per-worker burst buffer into its ring, applying the
+     *  overflow policy to whatever does not fit. */
+    void flushBurst(size_t d, size_t w, std::vector<Item> &burst);
+
+    /** Apply every published-but-unseen maintenance op to worker w's
+     *  replica; called between bursts and while idle. `seen` is the
+     *  worker-thread-private cursor. */
+    void runMaintenance(size_t w, uint64_t &seen);
+    void applyOp(size_t w, MaintOp &op);
+
+    /** Publish `op` and block until every worker applied it; rethrows
+     *  the first per-worker error. Caller holds maint_caller_m_. */
+    void driveOpLocked(const std::shared_ptr<MaintOp> &op);
+    std::shared_ptr<MaintOp> makeOp(MaintOp::Kind kind) const;
+
+    /** Validation helpers: reproduce the switch's typed errors against
+     *  replica 0 *before* anything is published (all-or-nothing). */
+    void requireLive(core::AppId id) const;
+    /** Live tenants' structural shadow graphs in AppId order (the
+     *  admission dry-run inputs; same idiom as OnlineRuntime). */
+    std::vector<const dfg::Graph *> liveGraphs() const;
+    void updateWeightsLocked(core::AppId id, const dfg::Graph &fresh);
+
+    /** Record a worker-side processing error (first one wins). */
+    void noteError(std::exception_ptr e);
+
+    /** Run a stat-snapshot maintenance op and merge the results. */
+    core::SwitchStats snapshotStats(bool per_app, core::AppId id);
+
+    core::SwitchConfig switch_cfg_;
+    PipelineConfig cfg_;
+    std::shared_ptr<obs::MetricsRegistry> registry_;
+    uint64_t collector_token_ = 0;
+
+    std::vector<std::unique_ptr<core::TaurusSwitch>> replicas_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+    std::vector<std::unique_ptr<DispatcherState>> dispatchers_;
+    /** rings_[d][w]: dispatcher d's SPSC ring into worker w. */
+    std::vector<std::vector<std::unique_ptr<PacketRing>>> rings_;
+    std::vector<std::unique_ptr<FeedRing>> feeds_;
+
+    std::atomic<uint64_t> fed_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<uint64_t> maint_ops_{0};
+
+    // Maintenance log: published seq + pending ops; workers copy
+    // unseen ops out under the brief maint_m_ lock.
+    mutable std::mutex maint_caller_m_; ///< serializes control callers
+    std::mutex maint_m_;
+    std::condition_variable maint_cv_;
+    std::vector<std::shared_ptr<MaintOp>> ops_;
+    uint64_t next_seq_ = 0;
+    std::atomic<uint64_t> maint_seq_{0};
+    /** Structural shadow of each slot's artifact graph (null =
+     *  tombstone), the admission dry-run inputs; control thread only. */
+    std::vector<std::shared_ptr<const dfg::Graph>> shadow_;
+
+    std::mutex error_m_;
+    std::exception_ptr first_error_;
+};
+
+} // namespace taurus::dataplane

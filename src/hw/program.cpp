@@ -121,23 +121,35 @@ GridProgram::validate() const
     return "";
 }
 
-void
-GridProgram::updateWeights(const dfg::Graph &fresh)
+std::string
+GridProgram::checkWeightUpdate(const dfg::Graph &fresh) const
 {
     if (fresh.nodes().size() != graph.nodes().size())
-        throw std::invalid_argument("weight update: node count differs");
+        return "weight update: node count differs";
     for (size_t i = 0; i < fresh.nodes().size(); ++i) {
         const auto &src = fresh.nodes()[i];
-        auto &dst = graph.node(static_cast<int>(i));
+        const auto &dst = graph.nodes()[i];
         if (src.kind != dst.kind || src.width != dst.width ||
             src.inputs != dst.inputs ||
             src.weights.size() != dst.weights.size() ||
             src.lut.size() != dst.lut.size() ||
             src.fns.size() != dst.fns.size()) {
-            throw std::invalid_argument(
-                "weight update: structure mismatch at node " +
-                std::to_string(i));
+            return "weight update: structure mismatch at node " +
+                   std::to_string(i);
         }
+    }
+    return "";
+}
+
+void
+GridProgram::updateWeights(const dfg::Graph &fresh)
+{
+    const std::string err = checkWeightUpdate(fresh);
+    if (!err.empty())
+        throw std::invalid_argument(err);
+    for (size_t i = 0; i < fresh.nodes().size(); ++i) {
+        const auto &src = fresh.nodes()[i];
+        auto &dst = graph.node(static_cast<int>(i));
         dst.weights = src.weights;
         dst.bias = src.bias;
         dst.requant = src.requant;

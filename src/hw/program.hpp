@@ -67,6 +67,15 @@ class GridProgram
     std::string validate() const;
 
     /**
+     * Would updateWeights(fresh) be accepted? Returns an error string
+     * (empty = compatible) without touching any weights. Facades that
+     * must commit all-or-nothing across replicas (PipelineFarm's
+     * end-of-burst maintenance) dry-run this on one replica before
+     * publishing the update to the rest.
+     */
+    std::string checkWeightUpdate(const dfg::Graph &fresh) const;
+
+    /**
      * Install new constants (weights/biases/requant/LUTs) from a graph
      * with identical structure — the data plane's weight-update path
      * (paper Figure 1: the control plane pushes weight updates without

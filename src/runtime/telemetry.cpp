@@ -17,36 +17,4 @@ makeSample(const core::SwitchDecision &d, int32_t label)
     return s;
 }
 
-TelemetryRing::TelemetryRing(size_t capacity)
-    : slots_(util::nextPow2(capacity < 2 ? 2 : capacity)),
-      mask_(slots_.size() - 1)
-{
-}
-
-bool
-TelemetryRing::tryPush(const TelemetrySample &s)
-{
-    const uint64_t t = tail_.load(std::memory_order_relaxed);
-    const uint64_t h = head_.load(std::memory_order_acquire);
-    if (t - h >= slots_.size()) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-        return false;
-    }
-    slots_[t & mask_] = s;
-    tail_.store(t + 1, std::memory_order_release);
-    return true;
-}
-
-bool
-TelemetryRing::tryPop(TelemetrySample &out)
-{
-    const uint64_t h = head_.load(std::memory_order_relaxed);
-    const uint64_t t = tail_.load(std::memory_order_acquire);
-    if (h == t)
-        return false;
-    out = slots_[h & mask_];
-    head_.store(h + 1, std::memory_order_release);
-    return true;
-}
-
 } // namespace taurus::runtime

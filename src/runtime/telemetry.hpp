@@ -16,14 +16,11 @@
 
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
-#include <vector>
 
 #include "taurus/app.hpp"
 #include "taurus/switch.hpp"
-#include "util/stats.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace taurus::runtime {
 
@@ -37,56 +34,13 @@ using TelemetrySample = core::TelemetrySample;
 TelemetrySample makeSample(const core::SwitchDecision &d, int32_t label);
 
 /**
- * Bounded lock-free SPSC ring. Exactly one producer thread may call
- * tryPush() and exactly one consumer thread may call tryPop(); any
- * thread may read the counters. Capacity is rounded up to a power of
- * two so index masking stays branch-free.
+ * The mirror ring is the shared SPSC ring template specialized to
+ * telemetry samples — the same implementation the pipelined dataplane
+ * queues packets through (util/spsc_ring.hpp), so there is exactly one
+ * ring to reason about: tryPush counts a drop and moves on when the
+ * consumer falls behind, capacity rounds up to a power of two, and the
+ * producer/consumer cursors are cache-line padded.
  */
-class TelemetryRing
-{
-  public:
-    explicit TelemetryRing(size_t capacity);
-
-    /**
-     * Producer side: enqueue one sample. Returns false — and counts the
-     * drop — when the ring is full. Never blocks, never allocates.
-     */
-    bool tryPush(const TelemetrySample &s);
-
-    /** Consumer side: dequeue into `out`; false when empty. */
-    bool tryPop(TelemetrySample &out);
-
-    /** Samples discarded because the consumer fell behind. */
-    uint64_t dropped() const
-    {
-        return dropped_.load(std::memory_order_relaxed);
-    }
-
-    /** Samples successfully enqueued. */
-    uint64_t pushed() const
-    {
-        return tail_.load(std::memory_order_relaxed);
-    }
-
-    size_t capacity() const { return slots_.size(); }
-
-    /** Approximate occupancy (exact only from producer or consumer). */
-    size_t
-    size() const
-    {
-        const uint64_t t = tail_.load(std::memory_order_acquire);
-        const uint64_t h = head_.load(std::memory_order_acquire);
-        return static_cast<size_t>(t - h);
-    }
-
-  private:
-    std::vector<TelemetrySample> slots_;
-    size_t mask_ = 0;
-    // Producer and consumer indices live on their own cache lines so the
-    // two sides don't false-share under concurrent traffic.
-    alignas(64) std::atomic<uint64_t> tail_{0}; ///< next write (producer)
-    alignas(64) std::atomic<uint64_t> head_{0}; ///< next read (consumer)
-    alignas(64) std::atomic<uint64_t> dropped_{0};
-};
+using TelemetryRing = util::SpscRing<TelemetrySample>;
 
 } // namespace taurus::runtime

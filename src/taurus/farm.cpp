@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "taurus/app.hpp"
+#include "util/threading.hpp"
 
 namespace taurus::core {
 
@@ -22,12 +23,15 @@ mix64(uint64_t x)
 
 } // namespace
 
+size_t
+flowOwner(const net::TracePacket &tp, size_t workers)
+{
+    return static_cast<size_t>(mix64(tp.flow.src_ip)) % workers;
+}
+
 SwitchFarm::SwitchFarm(SwitchConfig cfg, size_t workers)
 {
-    if (workers == 0) {
-        const unsigned hc = std::thread::hardware_concurrency();
-        workers = hc ? hc : 1;
-    }
+    workers = util::resolveWorkerCount(workers);
     replicas_.reserve(workers);
     for (size_t i = 0; i < workers; ++i)
         replicas_.push_back(std::make_unique<TaurusSwitch>(cfg));
@@ -127,7 +131,7 @@ SwitchFarm::updateWeights(const dfg::Graph &fresh)
 size_t
 SwitchFarm::workerFor(const net::TracePacket &tp) const
 {
-    return static_cast<size_t>(mix64(tp.flow.src_ip)) % replicas_.size();
+    return flowOwner(tp, replicas_.size());
 }
 
 void

@@ -34,6 +34,17 @@
 
 namespace taurus::core {
 
+/**
+ * Deterministic owner of a packet under src-hash partitioning: a mixed
+ * hash (splitmix64 finalizer) of the source address modulo the worker
+ * count. All packets of a flow — and all flows of a source — map to
+ * the same worker. Shared by SwitchFarm and the pipelined
+ * dataplane::PipelineFarm, which is what makes the two bit-identical
+ * whenever no packet is dropped: both partition by the same hash, so
+ * each replica sees the same subsequence in the same order.
+ */
+size_t flowOwner(const net::TracePacket &tp, size_t workers);
+
 /** N switch replicas fed by flow-hash partitioning. */
 class SwitchFarm
 {

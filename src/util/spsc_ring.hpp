@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring, the one ring
+ * implementation every subsystem shares: the online runtime's
+ * telemetry mirroring (one ring per farm worker, trainer consumes) and
+ * the pipelined dataplane's per-worker packet queues (dispatch stage
+ * produces, shared-nothing workers consume).
+ *
+ * Exactly one thread may call the producer side (tryPush/pushBurst)
+ * and exactly one thread the consumer side (tryPop/popBurst); any
+ * thread may read the counters. Capacity is rounded up to a power of
+ * two so index masking stays branch-free, and the producer and
+ * consumer cursors live on their own cache lines so the two sides
+ * never false-share under concurrent traffic.
+ *
+ * The producer side is wait-free: a full ring fails the push (tryPush
+ * additionally counts the drop — mirroring must never block or slow
+ * the per-packet path, the same way a hardware mirror port tail-drops
+ * under pressure). The burst entry points move several slots per
+ * cursor update, which is what keeps the dispatch stage's per-packet
+ * cost to a hash and a store.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace taurus::util {
+
+/** Bounded lock-free SPSC ring of trivially copyable-ish values. */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(size_t capacity)
+        : slots_(nextPow2(capacity < 2 ? 2 : capacity)),
+          mask_(slots_.size() - 1)
+    {
+    }
+
+    /**
+     * Producer side: enqueue one value. Returns false — and counts the
+     * drop — when the ring is full. Never blocks, never allocates.
+     */
+    bool tryPush(const T &v)
+    {
+        const uint64_t t = tail_.load(std::memory_order_relaxed);
+        const uint64_t h = head_.load(std::memory_order_acquire);
+        if (t - h >= slots_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[t & mask_] = v;
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Producer side: enqueue up to `n` values with one cursor update.
+     * Returns how many fit; the remainder is NOT counted as dropped —
+     * the caller owns the overflow policy (the dispatch stage either
+     * counts its own per-worker drops or spins under backpressure).
+     */
+    size_t pushBurst(const T *items, size_t n)
+    {
+        const uint64_t t = tail_.load(std::memory_order_relaxed);
+        const uint64_t h = head_.load(std::memory_order_acquire);
+        const size_t free = slots_.size() - static_cast<size_t>(t - h);
+        const size_t take = n < free ? n : free;
+        for (size_t i = 0; i < take; ++i)
+            slots_[(t + i) & mask_] = items[i];
+        if (take)
+            tail_.store(t + take, std::memory_order_release);
+        return take;
+    }
+
+    /** Consumer side: dequeue into `out`; false when empty. */
+    bool tryPop(T &out)
+    {
+        const uint64_t h = head_.load(std::memory_order_relaxed);
+        const uint64_t t = tail_.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        out = slots_[h & mask_];
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: dequeue up to `max` values with one cursor
+     *  update; returns how many were popped (0 when empty). */
+    size_t popBurst(T *out, size_t max)
+    {
+        const uint64_t h = head_.load(std::memory_order_relaxed);
+        const uint64_t t = tail_.load(std::memory_order_acquire);
+        const size_t avail = static_cast<size_t>(t - h);
+        const size_t take = max < avail ? max : avail;
+        for (size_t i = 0; i < take; ++i)
+            out[i] = slots_[(h + i) & mask_];
+        if (take)
+            head_.store(h + take, std::memory_order_release);
+        return take;
+    }
+
+    /** Values discarded by tryPush because the consumer fell behind. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Values successfully enqueued (lifetime total). */
+    uint64_t pushed() const
+    {
+        return tail_.load(std::memory_order_relaxed);
+    }
+
+    /** Values successfully dequeued (lifetime total). */
+    uint64_t popped() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    size_t capacity() const { return slots_.size(); }
+
+    /** Approximate occupancy (exact only from producer or consumer). */
+    size_t size() const
+    {
+        const uint64_t t = tail_.load(std::memory_order_acquire);
+        const uint64_t h = head_.load(std::memory_order_acquire);
+        return static_cast<size_t>(t - h);
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> slots_;
+    size_t mask_ = 0;
+    // Producer and consumer indices live on their own cache lines so
+    // the two sides don't false-share under concurrent traffic.
+    alignas(64) std::atomic<uint64_t> tail_{0}; ///< next write (producer)
+    alignas(64) std::atomic<uint64_t> head_{0}; ///< next read (consumer)
+    alignas(64) std::atomic<uint64_t> dropped_{0};
+};
+
+} // namespace taurus::util

@@ -1,0 +1,42 @@
+#include "util/threading.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace taurus::util {
+
+size_t
+resolveWorkerCount(size_t requested, size_t cap)
+{
+    size_t n = requested;
+    if (n == 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        n = hc ? hc : 1;
+    }
+    if (cap && n > cap)
+        n = cap;
+    return n < 1 ? 1 : n;
+}
+
+bool
+pinThreadToCpu(std::thread &t, size_t cpu)
+{
+#if defined(__linux__)
+    const unsigned hc = std::thread::hardware_concurrency();
+    if (hc == 0)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(cpu % hc), &set);
+    return pthread_setaffinity_np(t.native_handle(), sizeof(set),
+                                  &set) == 0;
+#else
+    (void)t;
+    (void)cpu;
+    return false;
+#endif
+}
+
+} // namespace taurus::util

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared threading helpers: the one hardware-concurrency fallback every
+ * multi-worker facade uses (SwitchFarm, PipelineFarm, benches), and
+ * best-effort CPU pinning for the pipelined dataplane's shared-nothing
+ * stages.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace taurus::util {
+
+/**
+ * Resolve a requested worker count: 0 means "use the host's hardware
+ * concurrency", clamped to at least one (hardware_concurrency() may
+ * report 0). A nonzero request is honored as-is — callers that want a
+ * ceiling pass `cap` (0 = uncapped), which bounds the resolved value
+ * either way.
+ */
+size_t resolveWorkerCount(size_t requested, size_t cap = 0);
+
+/**
+ * Best-effort pinning of `t` to logical CPU `cpu % hardware cpus`.
+ * Returns true when the affinity call succeeded; false (and pins
+ * nothing) on platforms without thread affinity or when the call
+ * fails. Purely a throughput knob — correctness never depends on it.
+ */
+bool pinThreadToCpu(std::thread &t, size_t cpu);
+
+} // namespace taurus::util

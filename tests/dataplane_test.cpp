@@ -1,0 +1,794 @@
+/**
+ * Pipelined dataplane regression tests: the shared SPSC ring template,
+ * the one hardware-concurrency fallback, and the PipelineFarm itself.
+ *
+ * The two contracts under test (ISSUE 9 acceptance criteria):
+ *  - zero-drop determinism: with rings sized to suffer no drops (or
+ *    the Backpressure policy), pipeline decisions and merged stats are
+ *    bit-identical to the synchronous SwitchFarm on the same trace and
+ *    worker count — both partition by core::flowOwner;
+ *  - drop exactness: under forced saturation every fed packet is
+ *    accounted for — completed + dispatch_drops == fed, the per-worker
+ *    drop breakdown sums to the total, and dropped packets carry the
+ *    marker decision — saturation is exact and observable, not silent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dataplane/pipeline.hpp"
+#include "models/zoo.hpp"
+#include "net/iot.hpp"
+#include "net/kdd.hpp"
+#include "obs/export.hpp"
+#include "runtime/telemetry.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/farm.hpp"
+#include "util/spsc_ring.hpp"
+#include "util/threading.hpp"
+
+using namespace taurus;
+using dataplane::OverflowPolicy;
+using dataplane::PipelineConfig;
+using dataplane::PipelineFarm;
+using dataplane::PipelineStats;
+
+namespace {
+
+/** Trained models + traces, built once per process. */
+struct Fixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(5, 1500);
+    models::IotFlowMlp iot = models::trainIotFlowMlp(1, 1200);
+    std::vector<net::TracePacket> kdd_trace; ///< 10.x sources
+    std::vector<net::TracePacket> merged;    ///< interleaved by time
+
+    Fixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 1200;
+        net::KddGenerator gen(cfg, 42);
+        kdd_trace = gen.expandToPackets(gen.sampleConnections());
+        merged = core::mergeTracesByTime(kdd_trace, iot.eval_trace);
+    }
+};
+
+const Fixture &
+fixture()
+{
+    static const Fixture fx;
+    return fx;
+}
+
+/** Field-by-field decision equality, latency included: the pipeline
+ *  must reproduce the synchronous farm bit-for-bit. */
+void
+expectSameDecision(const core::SwitchDecision &a,
+                   const core::SwitchDecision &b, size_t i)
+{
+    ASSERT_EQ(a.flagged, b.flagged) << "packet " << i;
+    ASSERT_EQ(a.dropped, b.dropped) << "packet " << i;
+    ASSERT_EQ(a.bypassed, b.bypassed) << "packet " << i;
+    ASSERT_EQ(a.score, b.score) << "packet " << i;
+    ASSERT_EQ(a.class_id, b.class_id) << "packet " << i;
+    ASSERT_EQ(a.app_id, b.app_id) << "packet " << i;
+    ASSERT_EQ(a.egress_port, b.egress_port) << "packet " << i;
+    ASSERT_EQ(a.feature_count, b.feature_count) << "packet " << i;
+    ASSERT_EQ(a.features, b.features) << "packet " << i;
+    ASSERT_DOUBLE_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+}
+
+void
+expectSameStats(const core::SwitchStats &a, const core::SwitchStats &b)
+{
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.ml_packets, b.ml_packets);
+    EXPECT_EQ(a.flagged, b.flagged);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.safety_overrides, b.safety_overrides);
+    EXPECT_EQ(a.dispatch_misses, b.dispatch_misses);
+    EXPECT_EQ(a.ml_latency_ns.count(), b.ml_latency_ns.count());
+    EXPECT_DOUBLE_EQ(a.ml_latency_ns.mean(), b.ml_latency_ns.mean());
+    EXPECT_DOUBLE_EQ(a.ml_latency_ns.max(), b.ml_latency_ns.max());
+    EXPECT_EQ(a.bypass_latency_ns.count(), b.bypass_latency_ns.count());
+    EXPECT_DOUBLE_EQ(a.bypass_latency_ns.mean(),
+                     b.bypass_latency_ns.mean());
+}
+
+/** The dropped-at-dispatch marker: a default decision + dropped flag.
+ *  Every processed packet pays parse latency, so latency 0 with no
+ *  features can only come from the RX stage. */
+bool
+isDropMarker(const core::SwitchDecision &d)
+{
+    return d.dropped && d.latency_ns == 0.0 && d.feature_count == 0 &&
+           !d.flagged && !d.bypassed;
+}
+
+util::Span<const net::TracePacket>
+packetSpan(const std::vector<net::TracePacket> &v)
+{
+    return util::Span<const net::TracePacket>(v.data(), v.size());
+}
+
+util::Span<core::SwitchDecision>
+decisionSpan(std::vector<core::SwitchDecision> &v)
+{
+    return util::Span<core::SwitchDecision>(v.data(), v.size());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SPSC ring template (satellite: the one shared ring implementation)
+// ---------------------------------------------------------------------
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(util::SpscRing<int>(0).capacity(), 2u);
+    EXPECT_EQ(util::SpscRing<int>(1).capacity(), 2u);
+    EXPECT_EQ(util::SpscRing<int>(2).capacity(), 2u);
+    EXPECT_EQ(util::SpscRing<int>(3).capacity(), 4u);
+    EXPECT_EQ(util::SpscRing<int>(64).capacity(), 64u);
+    EXPECT_EQ(util::SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, FifoOrderPreservedAcrossWrap)
+{
+    util::SpscRing<int> ring(8);
+    // Many times the capacity, in a lockstep window: every index pair
+    // crosses the wrap boundary several times.
+    int next_out = 0;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(ring.tryPush(i));
+        if (i % 2 == 1) { // drain two every other push
+            int v = -1;
+            ASSERT_TRUE(ring.tryPop(v));
+            EXPECT_EQ(v, next_out++);
+            ASSERT_TRUE(ring.tryPop(v));
+            EXPECT_EQ(v, next_out++);
+        }
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpscRing, FullRingRejectsAndCountsDrops)
+{
+    util::SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_FALSE(ring.tryPush(99));
+    EXPECT_FALSE(ring.tryPush(99));
+    EXPECT_EQ(ring.dropped(), 2u);
+    // The rejected values never displaced queued ones.
+    int v = -1;
+    ASSERT_TRUE(ring.tryPop(v));
+    EXPECT_EQ(v, 0);
+    // One slot freed: push succeeds again, drop count unchanged.
+    EXPECT_TRUE(ring.tryPush(4));
+    EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(SpscRing, PushBurstAcceptsOnlyFreeSpaceWithoutCountingDrops)
+{
+    util::SpscRing<int> ring(4);
+    const int items[6] = {0, 1, 2, 3, 4, 5};
+    // Burst overflow is the caller's policy, not the ring's: the
+    // remainder is reported, not counted as dropped.
+    EXPECT_EQ(ring.pushBurst(items, 6), 4u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.pushBurst(items, 6), 0u);
+    int v = -1;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ring.tryPop(v));
+}
+
+TEST(SpscRing, PopBurstDrainsInOrder)
+{
+    util::SpscRing<int> ring(8);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    int out[8] = {};
+    EXPECT_EQ(ring.popBurst(out, 3), 3u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[2], 2);
+    EXPECT_EQ(ring.popBurst(out, 8), 2u); // partial: only 2 left
+    EXPECT_EQ(out[0], 3);
+    EXPECT_EQ(out[1], 4);
+    EXPECT_EQ(ring.popBurst(out, 8), 0u); // empty
+}
+
+TEST(SpscRing, CountersTrackLifetimeTotals)
+{
+    util::SpscRing<int> ring(4);
+    const int items[3] = {7, 8, 9};
+    EXPECT_EQ(ring.pushBurst(items, 3), 3u);
+    EXPECT_EQ(ring.pushed(), 3u);
+    EXPECT_EQ(ring.popped(), 0u);
+    EXPECT_EQ(ring.size(), 3u);
+    int out[4];
+    EXPECT_EQ(ring.popBurst(out, 4), 3u);
+    EXPECT_EQ(ring.popped(), 3u);
+    EXPECT_TRUE(ring.empty());
+    ASSERT_TRUE(ring.tryPush(1));
+    EXPECT_EQ(ring.pushed(), 4u);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerPreservesSequence)
+{
+    // The single-writer invariant under real concurrency: one producer,
+    // one consumer, every accepted value arrives exactly once in order.
+    // TSan referees the memory ordering.
+    util::SpscRing<uint64_t> ring(64);
+    constexpr uint64_t kN = 200000;
+    std::atomic<bool> done{false};
+
+    std::thread consumer([&] {
+        uint64_t expect = 0;
+        uint64_t buf[32];
+        while (expect < kN) {
+            const size_t n = ring.popBurst(buf, 32);
+            for (size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(buf[i], expect);
+                ++expect;
+            }
+            if (n == 0)
+                std::this_thread::yield();
+        }
+        done.store(true, std::memory_order_release);
+    });
+
+    for (uint64_t v = 0; v < kN;) {
+        if (ring.tryPush(v))
+            ++v; // lossless here: retry instead of dropping
+        else
+            std::this_thread::yield();
+    }
+    consumer.join();
+    EXPECT_TRUE(done.load());
+    EXPECT_EQ(ring.pushed(), kN);
+    EXPECT_EQ(ring.popped(), kN);
+    // tryPush failures above were retried, yet still counted — the
+    // counter is "values the producer could not place on first try".
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TelemetryRingIsTheSharedTemplate)
+{
+    // Satellite: the runtime's telemetry ring is the util template, not
+    // a second implementation — same type, same drop-on-full contract.
+    static_assert(
+        std::is_same_v<runtime::TelemetryRing,
+                       util::SpscRing<runtime::TelemetrySample>>,
+        "runtime must be re-homed onto util::SpscRing");
+    runtime::TelemetryRing ring(2);
+    runtime::TelemetrySample s{};
+    s.app_id = 7;
+    EXPECT_TRUE(ring.tryPush(s));
+    EXPECT_TRUE(ring.tryPush(s));
+    EXPECT_FALSE(ring.tryPush(s)); // full: dropped and counted
+    EXPECT_EQ(ring.dropped(), 1u);
+    runtime::TelemetrySample out{};
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out.app_id, 7u);
+}
+
+// ---------------------------------------------------------------------
+// Shared worker-count fallback (satellite)
+// ---------------------------------------------------------------------
+
+TEST(Threading, ResolveWorkerCountContract)
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    const size_t expect_auto = hc ? hc : 1;
+    EXPECT_EQ(util::resolveWorkerCount(0), expect_auto);
+    EXPECT_GE(util::resolveWorkerCount(0), 1u);
+    EXPECT_EQ(util::resolveWorkerCount(5), 5u);
+    EXPECT_EQ(util::resolveWorkerCount(1), 1u);
+    // The cap bounds both the explicit and the auto path.
+    EXPECT_EQ(util::resolveWorkerCount(8, 4), 4u);
+    EXPECT_EQ(util::resolveWorkerCount(3, 4), 3u);
+    EXPECT_LE(util::resolveWorkerCount(0, 2), 2u);
+}
+
+TEST(Threading, FarmAndPipelineShareTheFallback)
+{
+    // SwitchFarm(cfg, 0) and PipelineFarm{workers = 0} must agree on
+    // the resolved count — one helper, not two copies of the clamp.
+    const size_t expect = util::resolveWorkerCount(0);
+    core::SwitchFarm farm({}, 0);
+    EXPECT_EQ(farm.workers(), expect);
+    PipelineConfig pc;
+    pc.workers = 0;
+    PipelineFarm pipe({}, pc);
+    EXPECT_EQ(pipe.workers(), expect);
+    EXPECT_EQ(pipe.dispatchers(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Zero-drop bit-identity with the synchronous farm (tentpole)
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, SingleTenantBitIdenticalToSyncFarm)
+{
+    const auto &fx = fixture();
+    constexpr size_t kWorkers = 4;
+
+    core::SwitchFarm farm({}, kWorkers);
+    farm.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto want = farm.processTrace(fx.kdd_trace);
+
+    PipelineConfig pc;
+    pc.workers = kWorkers;
+    pc.ring_capacity = fx.kdd_trace.size(); // sized for zero drops
+    PipelineFarm pipe({}, pc);
+    pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto got = pipe.processTrace(fx.kdd_trace);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameDecision(got[i], want[i], i);
+
+    const PipelineStats ps = pipe.pipelineStats();
+    EXPECT_EQ(ps.fed, fx.kdd_trace.size());
+    EXPECT_EQ(ps.dispatched, fx.kdd_trace.size());
+    EXPECT_EQ(ps.completed, fx.kdd_trace.size());
+    EXPECT_EQ(ps.dispatch_drops, 0u);
+
+    expectSameStats(pipe.mergedStats(), farm.mergedStats());
+}
+
+TEST(Pipeline, TwoTenantBitIdenticalToSyncFarm)
+{
+    const auto &fx = fixture();
+    constexpr size_t kWorkers = 3;
+
+    core::SwitchFarm farm({}, kWorkers);
+    const auto fa = farm.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto fb = farm.installApp(core::makeIotFlowApp(fx.iot));
+    const auto want = farm.processTrace(fx.merged);
+
+    PipelineConfig pc;
+    pc.workers = kWorkers;
+    pc.ring_capacity = fx.merged.size();
+    PipelineFarm pipe({}, pc);
+    EXPECT_EQ(pipe.installApp(core::makeAnomalyDnnApp(fx.dnn)), fa);
+    EXPECT_EQ(pipe.installApp(core::makeIotFlowApp(fx.iot)), fb);
+    const auto got = pipe.processTrace(fx.merged);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameDecision(got[i], want[i], i);
+
+    // Per-tenant stat merging matches too.
+    expectSameStats(pipe.mergedStats(fa), farm.mergedStats(fa));
+    expectSameStats(pipe.mergedStats(fb), farm.mergedStats(fb));
+}
+
+TEST(Pipeline, ChunkedFeedMatchesOneShotTrace)
+{
+    // feed() is segment-granular; decisions must not depend on how the
+    // caller slices the trace (odd sizes cross every burst boundary).
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 4;
+    pc.ring_capacity = fx.kdd_trace.size();
+    pc.rx_burst = 7; // deliberately mismatched with the chunk size
+
+    PipelineFarm one({}, pc);
+    one.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto want = one.processTrace(fx.kdd_trace);
+
+    PipelineFarm chunked({}, pc);
+    chunked.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    std::vector<core::SwitchDecision> got(fx.kdd_trace.size());
+    const size_t kChunk = 13;
+    for (size_t off = 0; off < fx.kdd_trace.size(); off += kChunk) {
+        const size_t n =
+            std::min(kChunk, fx.kdd_trace.size() - off);
+        chunked.feed(util::Span<const net::TracePacket>(
+                         fx.kdd_trace.data() + off, n),
+                     util::Span<core::SwitchDecision>(got.data() + off,
+                                                      n));
+    }
+    chunked.drain();
+
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameDecision(got[i], want[i], i);
+}
+
+TEST(Pipeline, BackpressureWithTinyRingsIsLosslessAndBitIdentical)
+{
+    // Rings far smaller than the trace: DropNewest would shed load,
+    // Backpressure must instead stall the RX stage and lose nothing.
+    const auto &fx = fixture();
+    constexpr size_t kWorkers = 4;
+
+    core::SwitchFarm farm({}, kWorkers);
+    farm.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto want = farm.processTrace(fx.kdd_trace);
+
+    PipelineConfig pc;
+    pc.workers = kWorkers;
+    pc.ring_capacity = 8;
+    pc.rx_burst = 16; // bursts larger than the ring: partial pushes
+    pc.overflow = OverflowPolicy::Backpressure;
+    PipelineFarm pipe({}, pc);
+    pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto got = pipe.processTrace(fx.kdd_trace);
+
+    const PipelineStats ps = pipe.pipelineStats();
+    EXPECT_EQ(ps.dispatch_drops, 0u);
+    EXPECT_EQ(ps.completed, fx.kdd_trace.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameDecision(got[i], want[i], i);
+}
+
+TEST(Pipeline, MultiDispatcherAccountsForEveryPacket)
+{
+    // Two RX threads flow-shard the trace. Cross-ring drain order is
+    // timing-dependent, so bit-identity is out of contract — but every
+    // packet must still be processed exactly once, by its flow owner.
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 3;
+    pc.dispatchers = 2;
+    pc.ring_capacity = fx.kdd_trace.size();
+    PipelineFarm pipe({}, pc);
+    pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto got = pipe.processTrace(fx.kdd_trace);
+
+    const PipelineStats ps = pipe.pipelineStats();
+    EXPECT_EQ(ps.fed, fx.kdd_trace.size());
+    EXPECT_EQ(ps.dispatched, fx.kdd_trace.size());
+    EXPECT_EQ(ps.completed, fx.kdd_trace.size());
+    EXPECT_EQ(ps.dispatch_drops, 0u);
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_FALSE(isDropMarker(got[i])) << "packet " << i;
+        EXPECT_GT(got[i].latency_ns, 0.0) << "packet " << i;
+    }
+    EXPECT_EQ(pipe.mergedStats().packets, fx.kdd_trace.size());
+}
+
+// ---------------------------------------------------------------------
+// Forced-drop accounting exactness (tentpole)
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, ForcedDropAccountingIsExact)
+{
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 2;
+    pc.ring_capacity = 2; // tiny rings + big bursts: drops guaranteed
+    pc.rx_burst = 64;
+    pc.overflow = OverflowPolicy::DropNewest;
+    PipelineFarm pipe({}, pc);
+    pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto got = pipe.processTrace(fx.kdd_trace);
+
+    const PipelineStats ps = pipe.pipelineStats();
+    EXPECT_GT(ps.dispatch_drops, 0u) << "saturation not reached — the "
+                                        "forced-drop setup is broken";
+    // Every fed packet is accounted for, exactly once.
+    EXPECT_EQ(ps.fed, fx.kdd_trace.size());
+    EXPECT_EQ(ps.dispatched + ps.dispatch_drops, ps.fed);
+    EXPECT_EQ(ps.completed, ps.dispatched);
+
+    // The per-worker breakdown sums to the total.
+    ASSERT_EQ(ps.drops_per_worker.size(), pipe.workers());
+    uint64_t sum = 0;
+    for (uint64_t d : ps.drops_per_worker)
+        sum += d;
+    EXPECT_EQ(sum, ps.dispatch_drops);
+
+    // Marker decisions identify exactly the dropped packets.
+    uint64_t markers = 0;
+    for (const auto &d : got)
+        if (isDropMarker(d))
+            ++markers;
+    EXPECT_EQ(markers, ps.dispatch_drops);
+
+    // Replicas saw exactly the non-dropped packets.
+    EXPECT_EQ(pipe.mergedStats().packets, ps.completed);
+}
+
+// ---------------------------------------------------------------------
+// Traffic-surface contract errors
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, FeedSizeMismatchThrows)
+{
+    PipelineConfig pc;
+    pc.workers = 1;
+    PipelineFarm pipe({}, pc);
+    std::vector<net::TracePacket> pkts(4);
+    std::vector<core::SwitchDecision> dec(3);
+    EXPECT_THROW(pipe.feed(packetSpan(pkts), decisionSpan(dec)),
+                 std::invalid_argument);
+}
+
+TEST(Pipeline, ProcessingWithNoAppInstalledRethrowsAtDrain)
+{
+    // The switch's "no application installed" logic_error crosses the
+    // pipeline: workers catch it, drain() rethrows the first one.
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 2;
+    PipelineFarm pipe({}, pc);
+    std::vector<core::SwitchDecision> dec(fx.kdd_trace.size());
+    EXPECT_THROW(
+        pipe.processTrace(packetSpan(fx.kdd_trace), decisionSpan(dec)),
+        std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle through the end-of-burst maintenance hook
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, LifecycleInstallRemoveReplaceMatchesSwitchContract)
+{
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 3;
+    PipelineFarm pipe({}, pc);
+
+    const auto anom = pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto iot = pipe.installApp(core::makeIotFlowApp(fx.iot));
+    EXPECT_EQ(anom, 0u);
+    EXPECT_EQ(iot, 1u);
+    EXPECT_EQ(pipe.appCount(), 2u);
+    EXPECT_EQ(pipe.defaultApp(), anom);
+    EXPECT_TRUE(pipe.installed(iot));
+
+    // Remove the non-default tenant: every replica hands back its
+    // retired state block (one per worker).
+    const auto retired = pipe.removeApp(iot);
+    EXPECT_EQ(retired.size(), pipe.workers());
+    for (const auto &r : retired)
+        EXPECT_TRUE(r);
+    EXPECT_FALSE(pipe.installed(iot));
+    EXPECT_EQ(pipe.appCount(), 1u);
+
+    // Ids are never reused: a fresh install gets slot 2, not 1.
+    const auto again = pipe.installApp(core::makeIotFlowApp(fx.iot));
+    EXPECT_EQ(again, 2u);
+    EXPECT_EQ(pipe.appIds(), (std::vector<core::AppId>{0, 2}));
+
+    // Replace keeps the id, returns the replaced-out blocks.
+    const auto swapped =
+        pipe.replaceApp(again, core::makeIotFlowApp(fx.iot));
+    EXPECT_EQ(swapped.size(), pipe.workers());
+    EXPECT_TRUE(pipe.installed(again));
+    EXPECT_EQ(pipe.appCount(), 2u);
+}
+
+TEST(Pipeline, LifecycleTypedErrorsLeaveStateUntouched)
+{
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 2;
+    pc.ring_capacity = fx.merged.size(); // zero drops: parity below
+    PipelineFarm pipe({}, pc);
+
+    // Nothing installed: the single-tenant update has no target.
+    EXPECT_THROW(pipe.updateWeights(fx.dnn.graph), std::logic_error);
+
+    const auto anom = pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto iot = pipe.installApp(core::makeIotFlowApp(fx.iot));
+
+    // Removing the dispatch default while others live is refused.
+    EXPECT_THROW(pipe.removeApp(anom), core::LifecycleError);
+    // Unknown ids and removed ids keep the switch's typed errors.
+    EXPECT_THROW(pipe.removeApp(17), std::out_of_range);
+    EXPECT_THROW(pipe.updateWeights(17, fx.dnn.graph),
+                 std::out_of_range);
+    EXPECT_THROW(pipe.setDefaultApp(17), std::out_of_range);
+    // Structurally wrong weights are rejected before publication.
+    EXPECT_THROW(pipe.updateWeights(anom, fx.iot.graph),
+                 std::invalid_argument);
+    // Ambiguous single-tenant form with two residents.
+    EXPECT_THROW(pipe.updateWeights(fx.dnn.graph),
+                 std::invalid_argument);
+
+    // All of the above were all-or-nothing: tenants intact and the
+    // data plane still bit-identical to a clean two-tenant farm.
+    EXPECT_EQ(pipe.appCount(), 2u);
+    EXPECT_TRUE(pipe.installed(anom));
+    EXPECT_TRUE(pipe.installed(iot));
+    core::SwitchFarm farm({}, 2);
+    farm.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    farm.installApp(core::makeIotFlowApp(fx.iot));
+    const auto want = farm.processTrace(fx.merged);
+    const auto got = pipe.processTrace(fx.merged);
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameDecision(got[i], want[i], i);
+
+    // Removed ids throw LifecycleError, not out_of_range.
+    pipe.removeApp(iot);
+    EXPECT_THROW(pipe.removeApp(iot), core::LifecycleError);
+    EXPECT_THROW(pipe.updateWeights(iot, fx.iot.graph),
+                 core::LifecycleError);
+}
+
+TEST(Pipeline, UpdateWeightsAppliesOnEveryReplicaLikeSyncFarm)
+{
+    // Freshly trained weights land through the maintenance hook; the
+    // post-update pipeline must match a sync farm updated the same way.
+    const auto &fx = fixture();
+    const auto fresh = models::trainAnomalyDnn(8, 1500); // same shape
+
+    constexpr size_t kWorkers = 3;
+    core::SwitchFarm farm({}, kWorkers);
+    const auto fid = farm.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    farm.updateWeights(fid, fresh.graph);
+    const auto want = farm.processTrace(fx.kdd_trace);
+
+    PipelineConfig pc;
+    pc.workers = kWorkers;
+    pc.ring_capacity = fx.kdd_trace.size();
+    PipelineFarm pipe({}, pc);
+    const auto pid = pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    pipe.updateWeights(pid, fresh.graph);
+    const auto got = pipe.processTrace(fx.kdd_trace);
+
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameDecision(got[i], want[i], i);
+}
+
+// ---------------------------------------------------------------------
+// Observability export (satellite)
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, ScrapeExportsPipelineFamiliesInPrometheusFormat)
+{
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 2;
+    pc.ring_capacity = 2; // force some drops so the counter is nonzero
+    pc.rx_burst = 64;
+    PipelineFarm pipe({}, pc);
+    pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    pipe.processTrace(fx.kdd_trace);
+
+    const PipelineStats ps = pipe.pipelineStats();
+    ASSERT_GT(ps.dispatch_drops, 0u);
+
+    const obs::Snapshot snap = pipe.scrape();
+    // The exporter and the facade read the same sources.
+    EXPECT_EQ(snap.value("taurus_pipeline_fed_total"),
+              static_cast<double>(ps.fed));
+    EXPECT_EQ(snap.value("taurus_pipeline_completed_total"),
+              static_cast<double>(ps.completed));
+    double drops = 0;
+    for (size_t w = 0; w < pipe.workers(); ++w)
+        drops += snap.value("taurus_pipeline_dispatch_drops_total",
+                            "worker=\"" + std::to_string(w) + "\"");
+    EXPECT_EQ(drops, static_cast<double>(ps.dispatch_drops));
+    EXPECT_NE(snap.find("taurus_pipeline_ring_occupancy",
+                        "worker=\"0\""),
+              nullptr);
+    EXPECT_NE(snap.findHist("taurus_pipeline_rx_burst_pkts"), nullptr);
+    // One family, shard-merged across workers at scrape.
+    EXPECT_NE(snap.findHist("taurus_pipeline_worker_burst_pkts"),
+              nullptr);
+    // Replica metrics ride the same registry (farm re-homing).
+    EXPECT_EQ(snap.value("taurus_switch_packets_total"),
+              static_cast<double>(ps.completed));
+
+    const std::string prom = obs::renderPrometheus(snap);
+    EXPECT_NE(prom.find("# TYPE taurus_pipeline_dispatch_drops_total "
+                        "counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE taurus_pipeline_ring_occupancy gauge"),
+              std::string::npos);
+    EXPECT_NE(prom.find("taurus_pipeline_rx_burst_pkts_bucket"),
+              std::string::npos);
+    EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Pipeline, ObservabilityOffMeansNoRegistryAndSameDecisions)
+{
+    const auto &fx = fixture();
+    core::SwitchConfig cfg;
+    cfg.obs.metrics = false;
+    PipelineConfig pc;
+    pc.workers = 2;
+    pc.ring_capacity = fx.kdd_trace.size();
+
+    PipelineFarm dark(cfg, pc);
+    dark.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    EXPECT_EQ(dark.registry(), nullptr);
+    const auto got = dark.processTrace(fx.kdd_trace);
+    EXPECT_TRUE(dark.scrape().nums.empty());
+
+    PipelineFarm lit({}, pc);
+    lit.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    const auto want = lit.processTrace(fx.kdd_trace);
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameDecision(got[i], want[i], i);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency (TSan is the referee for these)
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, MergedStatsSafeUnderLiveTraffic)
+{
+    // mergedStats() runs as a maintenance op — each replica is read by
+    // its own worker at a burst boundary — so calling it mid-traffic is
+    // legal, unlike SwitchFarm's.
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 2;
+    pc.ring_capacity = fx.kdd_trace.size();
+    PipelineFarm pipe({}, pc);
+    pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+
+    constexpr int kRounds = 5;
+    std::thread feeder([&] {
+        for (int r = 0; r < kRounds; ++r)
+            pipe.processTrace(fx.kdd_trace);
+    });
+    uint64_t last = 0;
+    for (int i = 0; i < 50; ++i) {
+        const core::SwitchStats s = pipe.mergedStats();
+        EXPECT_GE(s.packets, last); // monotonic across snapshots
+        last = s.packets;
+        pipe.pipelineStats();
+    }
+    feeder.join();
+    EXPECT_EQ(pipe.mergedStats().packets,
+              static_cast<uint64_t>(kRounds) * fx.kdd_trace.size());
+}
+
+TEST(Pipeline, LifecycleChurnUnderLiveTrafficStaysConsistent)
+{
+    // One feeder thread streams segments while the control thread
+    // installs/updates/replaces/removes tenants through the
+    // end-of-burst hook. TSan referees; the asserts pin accounting.
+    const auto &fx = fixture();
+    PipelineConfig pc;
+    pc.workers = 2;
+    pc.ring_capacity = fx.kdd_trace.size();
+    PipelineFarm pipe({}, pc);
+    const auto anom = pipe.installApp(core::makeAnomalyDnnApp(fx.dnn));
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> fed{0};
+    std::thread feeder([&] {
+        std::vector<core::SwitchDecision> dec(fx.kdd_trace.size());
+        while (!stop.load(std::memory_order_acquire)) {
+            pipe.processTrace(packetSpan(fx.kdd_trace),
+                              decisionSpan(dec));
+            fed.fetch_add(fx.kdd_trace.size(),
+                          std::memory_order_relaxed);
+        }
+    });
+
+    for (int round = 0; round < 4; ++round) {
+        const auto id = pipe.installApp(core::makeIotFlowApp(fx.iot));
+        pipe.updateWeights(anom, fx.dnn.graph);
+        pipe.replaceApp(id, core::makeIotFlowApp(fx.iot));
+        pipe.mergedStats();
+        const auto retired = pipe.removeApp(id);
+        EXPECT_EQ(retired.size(), pipe.workers());
+        EXPECT_EQ(pipe.appCount(), 1u);
+    }
+    stop.store(true, std::memory_order_release);
+    feeder.join();
+
+    const PipelineStats ps = pipe.pipelineStats();
+    EXPECT_EQ(ps.fed, fed.load());
+    EXPECT_EQ(ps.completed + ps.dispatch_drops, ps.fed);
+    EXPECT_TRUE(pipe.installed(anom));
+    EXPECT_EQ(pipe.appCount(), 1u);
+    EXPECT_EQ(pipe.mergedStats().packets, ps.completed);
+}
