@@ -1,0 +1,257 @@
+/**
+ * @file
+ * SIMD kernel layer: parity and speedup.
+ *
+ * Three paired rounds, each run once with the kernels forced to the
+ * scalar reference and once at the host's best level:
+ *
+ *   dense_matvec       the quantized dense kernel on one layer
+ *   graph_inference    per-packet evaluateInto (scalar) vs packet-major
+ *                      evaluateBatchInto (SIMD) on a real lowered graph
+ *   switch_end_to_end  the full Figure-6 pipeline, batch_window=1 +
+ *                      scalar vs batch_window=32 + auto
+ *
+ * Every round hard-asserts ZERO divergence between the paired runs —
+ * the kernels are pure integer math, so a single differing byte is a
+ * bug, not noise. In full (non --smoke) mode on an AVX2 host the
+ * graph-inference round additionally asserts that the batched SIMD
+ * path sustains >= 1.5x the scalar single-packet throughput.
+ */
+
+#include "harness.hpp"
+
+#include <cstring>
+#include <random>
+#include <stdexcept>
+
+#include "dfg/batch_eval.hpp"
+#include "dfg/eval.hpp"
+#include "kernels/kernels.hpp"
+#include "models/zoo.hpp"
+#include "net/kdd.hpp"
+#include "taurus/switch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/** Restore the dispatched kernel level on scope exit. */
+struct LevelGuard
+{
+    taurus::kernels::Level prev = taurus::kernels::activeLevel();
+    ~LevelGuard() { taurus::kernels::setActive(prev); }
+};
+
+} // namespace
+
+TAURUS_BENCH(kernel_bench, "SIMD kernels",
+             "scalar vs SIMD parity and batched-inference speedup")
+{
+    using namespace taurus;
+    using util::TablePrinter;
+    auto &os = ctx.out();
+
+    const kernels::Level best = kernels::detectBest();
+    os << "SIMD kernels: host features = " << kernels::cpuFeatures()
+       << ", best level = " << kernels::levelName(best)
+       << ", dispatched = " << kernels::levelName(kernels::activeLevel())
+       << "\n\n";
+    ctx.metric("kernel_best_level", static_cast<int>(best));
+
+    LevelGuard guard;
+    TablePrinter t({"Round", "Scalar items/s", "SIMD items/s", "Ratio"});
+    size_t divergence = 0;
+
+    // ---- Round 1: the dense matvec kernel on one quantized layer ----
+    {
+        const size_t out_n = 48, in_n = 64;
+        std::mt19937 rng(7);
+        std::uniform_int_distribution<int> d8(-128, 127);
+        std::vector<int8_t> w(out_n * in_n), x(in_n);
+        std::vector<int32_t> b(out_n);
+        for (auto &v : w)
+            v = static_cast<int8_t>(d8(rng));
+        for (auto &v : x)
+            v = static_cast<int8_t>(d8(rng));
+        for (auto &v : b)
+            v = d8(rng) * 1000;
+
+        kernels::DenseView view;
+        view.w = w.data();
+        view.b = b.data();
+        view.rq = fixed::Requantizer::fromRealMultiplier(0.004);
+        view.act = kernels::DenseAct::Relu;
+        view.out = out_n;
+        view.in = in_n;
+
+        std::vector<int8_t> y_scalar(out_n), y_simd(out_n);
+        const size_t iters = ctx.size(400000, 500);
+
+        kernels::setActive(kernels::Level::Scalar);
+        const bench::Timer ts;
+        for (size_t i = 0; i < iters; ++i)
+            kernels::active().dense(view, x.data(), y_scalar.data());
+        const double scalar_sec = ts.elapsedSec();
+
+        kernels::setActive(best);
+        const bench::Timer tv;
+        for (size_t i = 0; i < iters; ++i)
+            kernels::active().dense(view, x.data(), y_simd.data());
+        const double simd_sec = tv.elapsedSec();
+
+        if (std::memcmp(y_scalar.data(), y_simd.data(), out_n) != 0)
+            ++divergence;
+
+        const double s_rate = double(iters) / scalar_sec;
+        const double v_rate = double(iters) / simd_sec;
+        ctx.throughput("dense_scalar", double(iters), scalar_sec);
+        ctx.throughput("dense_simd", double(iters), simd_sec);
+        t.addRow({"dense_matvec", TablePrinter::num(s_rate, 0),
+                  TablePrinter::num(v_rate, 0),
+                  TablePrinter::num(v_rate / s_rate, 2)});
+    }
+
+    // ---- Round 2: per-packet scalar vs packet-major SIMD on the real
+    // lowered anomaly-DNN graph (the tentpole speedup assertion) ----
+    double graph_ratio = 0.0;
+    {
+        const auto dnn = models::trainAnomalyDnn(1, ctx.size(2000, 400));
+        const dfg::Graph &g = dnn.graph;
+        const size_t in_w = static_cast<size_t>(
+            g.node(g.inputIds().front()).width);
+
+        constexpr size_t kBw = 32;
+        const size_t bursts = ctx.size(20000, 40);
+        std::mt19937 rng(11);
+        std::uniform_int_distribution<int> d8(-128, 127);
+        std::vector<int8_t> pool(kBw * in_w);
+        for (auto &v : pool)
+            v = static_cast<int8_t>(d8(rng));
+
+        // Scalar single-packet round.
+        kernels::setActive(kernels::Level::Scalar);
+        dfg::EvalScratch es;
+        std::vector<std::vector<int8_t>> one(
+            1, std::vector<int8_t>(in_w));
+        std::vector<int32_t> ref(kBw);
+        const bench::Timer ts;
+        for (size_t it = 0; it < bursts; ++it)
+            for (size_t c = 0; c < kBw; ++c) {
+                std::memcpy(one[0].data(), pool.data() + c * in_w,
+                            in_w);
+                const auto &outs = dfg::evaluateInto(g, one, es);
+                ref[c] = outs.at(0).lanes.at(0);
+            }
+        const double scalar_sec = ts.elapsedSec();
+
+        // Batched SIMD round on identical inputs.
+        kernels::setActive(best);
+        dfg::BatchEvalScratch bs;
+        std::vector<const int8_t *> ptrs(kBw);
+        for (size_t c = 0; c < kBw; ++c)
+            ptrs[c] = pool.data() + c * in_w;
+        std::vector<int32_t> got(kBw);
+        const bench::Timer tv;
+        for (size_t it = 0; it < bursts; ++it) {
+            const auto &outs =
+                dfg::evaluateBatchInto(g, ptrs.data(), kBw, bs);
+            for (size_t c = 0; c < kBw; ++c)
+                got[c] = outs.at(0).lanes[c];
+        }
+        const double simd_sec = tv.elapsedSec();
+
+        for (size_t c = 0; c < kBw; ++c)
+            if (got[c] != ref[c])
+                ++divergence;
+
+        const double pkts = double(bursts) * double(kBw);
+        const double s_rate = pkts / scalar_sec;
+        const double v_rate = pkts / simd_sec;
+        graph_ratio = v_rate / s_rate;
+        ctx.throughput("graph_scalar_pkt", pkts, scalar_sec);
+        ctx.throughput("graph_batched_simd", pkts, simd_sec);
+        ctx.metric("graph_batched_speedup", graph_ratio);
+        t.addRow({"graph_inference", TablePrinter::num(s_rate, 0),
+                  TablePrinter::num(v_rate, 0),
+                  TablePrinter::num(graph_ratio, 2)});
+    }
+
+    // ---- Round 3: the full switch, window=1+scalar vs window=32+auto,
+    // decisions compared field by field ----
+    {
+        const auto dnn = models::trainAnomalyDnn(1, ctx.size(2000, 400));
+        net::KddConfig kcfg;
+        kcfg.connections = ctx.size(3000, 300);
+        net::KddGenerator gen(kcfg, 9);
+        const auto trace = gen.expandToPackets(gen.sampleConnections());
+
+        core::SwitchConfig cfg_single;
+        cfg_single.batch_window = 1;
+        core::TaurusSwitch sw_single(cfg_single);
+        sw_single.installAnomalyModel(dnn);
+
+        core::SwitchConfig cfg_batched;
+        cfg_batched.batch_window = 32;
+        core::TaurusSwitch sw_batched(cfg_batched);
+        sw_batched.installAnomalyModel(dnn);
+
+        std::vector<core::SwitchDecision> da(trace.size()),
+            db(trace.size());
+        const util::Span<const net::TracePacket> pkts(trace.data(),
+                                                      trace.size());
+
+        kernels::setActive(kernels::Level::Scalar);
+        const bench::Timer ts;
+        sw_single.processBatch(
+            pkts, util::Span<core::SwitchDecision>(da.data(),
+                                                   da.size()));
+        const double scalar_sec = ts.elapsedSec();
+
+        kernels::setActive(best);
+        const bench::Timer tv;
+        sw_batched.processBatch(
+            pkts, util::Span<core::SwitchDecision>(db.data(),
+                                                   db.size()));
+        const double simd_sec = tv.elapsedSec();
+
+        for (size_t i = 0; i < trace.size(); ++i) {
+            const auto &a = da[i];
+            const auto &b = db[i];
+            if (a.flagged != b.flagged || a.dropped != b.dropped ||
+                a.bypassed != b.bypassed || a.score != b.score ||
+                a.class_id != b.class_id || a.app_id != b.app_id ||
+                a.egress_port != b.egress_port ||
+                a.latency_ns != b.latency_ns)
+                ++divergence;
+        }
+
+        const double n = double(trace.size());
+        const double s_rate = n / scalar_sec;
+        const double v_rate = n / simd_sec;
+        ctx.throughput("switch_scalar_single", n, scalar_sec);
+        ctx.throughput("switch_batched_simd", n, simd_sec);
+        t.addRow({"switch_end_to_end", TablePrinter::num(s_rate, 0),
+                  TablePrinter::num(v_rate, 0),
+                  TablePrinter::num(v_rate / s_rate, 2)});
+    }
+
+    t.print(os);
+    ctx.metric("decision_divergence", divergence);
+    ctx.metric("kernel_speedup_required",
+               best == kernels::Level::Avx2 && !ctx.smoke() ? 1 : 0);
+
+    // Hard gates: bit-identity always; the 1.5x floor only where the
+    // hardware and problem sizes make it meaningful.
+    if (divergence != 0)
+        throw std::runtime_error(
+            "kernel_bench: " + std::to_string(divergence) +
+            " scalar/SIMD divergences (kernels must be bit-identical)");
+    if (best == kernels::Level::Avx2 && !ctx.smoke() &&
+        graph_ratio < 1.5)
+        throw std::runtime_error(
+            "kernel_bench: batched SIMD inference only " +
+            std::to_string(graph_ratio) +
+            "x scalar single-packet (>= 1.5x required on AVX2)");
+
+    os << "\nAll paired rounds bit-identical; speedups are wall-clock "
+          "on this host.\n";
+}

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/histogram.hpp"
 #include "util/stats.hpp"
 
@@ -171,6 +172,12 @@ main(int argc, char **argv)
     report.set("smoke", smoke);
     report.set("scale", scale);
     report.set("repeats", repeats);
+    // Kernel provenance: which SIMD tier produced these numbers (and
+    // what the host would have supported), so stored BENCH_*.json files
+    // are comparable across machines and TAURUS_FORCE_KERNEL runs.
+    report.set("cpu_features", taurus::kernels::cpuFeatures());
+    report.set("kernel_level",
+               taurus::kernels::levelName(taurus::kernels::activeLevel()));
     auto benches = util::json::Value::array();
 
     int failures = 0;

@@ -293,6 +293,8 @@ PipelineFarm::workerLoop(size_t w)
     WorkerState &ws = *workers_[w];
     core::TaurusSwitch &sw = *replicas_[w];
     std::vector<Item> buf(cfg_.drain_burst);
+    std::vector<const net::TracePacket *> pkt_ptrs(cfg_.drain_burst);
+    std::vector<core::SwitchDecision *> out_ptrs(cfg_.drain_burst);
     uint64_t maint_seen = 0;
     Backoff backoff;
 
@@ -304,12 +306,26 @@ PipelineFarm::workerLoop(size_t w)
             if (n == 0)
                 continue;
             got += n;
+            // Drain the whole burst through the batched entry point so
+            // same-tenant runs share one packet-major MapReduce pass.
             for (size_t i = 0; i < n; ++i) {
-                try {
-                    *buf[i].out = sw.process(*buf[i].pkt);
-                } catch (...) {
-                    *buf[i].out = core::SwitchDecision{};
-                    noteError(std::current_exception());
+                pkt_ptrs[i] = buf[i].pkt;
+                out_ptrs[i] = buf[i].out;
+            }
+            try {
+                sw.processBatch(pkt_ptrs.data(), out_ptrs.data(), n);
+            } catch (...) {
+                // Batch failed somewhere inside the window: replay the
+                // burst packet by packet so every packet gets the
+                // single-packet error handling (a decision is written
+                // for each, failures are noted individually).
+                for (size_t i = 0; i < n; ++i) {
+                    try {
+                        *buf[i].out = sw.process(*buf[i].pkt);
+                    } catch (...) {
+                        *buf[i].out = core::SwitchDecision{};
+                        noteError(std::current_exception());
+                    }
                 }
             }
             ws.bursts.store(ws.bursts.load(std::memory_order_relaxed) +

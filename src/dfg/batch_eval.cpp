@@ -1,0 +1,244 @@
+#include "dfg/batch_eval.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "fixed/saturate.hpp"
+#include "kernels/kernels.hpp"
+
+namespace taurus::dfg {
+
+namespace {
+
+using fixed::saturate;
+
+/** Narrow-flag transfer of one map function (see BatchVec::narrow). */
+bool
+mapFnNarrow(MapFn fn, bool in_narrow, int32_t imm)
+{
+    switch (fn) {
+      case MapFn::Identity:
+      case MapFn::Relu:
+      case MapFn::LeakyRelu:
+      case MapFn::Abs: // non-negative lanes pass through unclamped
+        return in_narrow;
+      case MapFn::Square:
+      case MapFn::Neg:
+      case MapFn::AddConst:
+      case MapFn::MulConst:
+        return true; // clamp8 / requant output is always int8
+      case MapFn::MinConst:
+        return in_narrow && imm >= -128;
+      case MapFn::MaxConst:
+        return in_narrow && imm <= 127;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+BatchEvalScratch::bind(const Graph &g)
+{
+    const std::string err = g.validate();
+    if (!err.empty())
+        throw std::invalid_argument("invalid graph: " + err);
+    graph_ = &g;
+    topo_ = g.topoOrder();
+    out_ids_ = g.outputIds();
+    n_inputs_ = 0;
+    for (const Node &n : g.nodes())
+        if (n.kind == NodeKind::Input)
+            ++n_inputs_;
+    values_.resize(g.nodes().size());
+    outputs_.resize(out_ids_.size());
+}
+
+std::vector<BatchVec> &
+evaluateBatchInto(const Graph &g, const int8_t *const *inputs, size_t bw,
+                  BatchEvalScratch &scratch)
+{
+    if (scratch.graph_ != &g ||
+        scratch.values_.size() != g.nodes().size())
+        scratch.bind(g);
+    if (bw == 0)
+        throw std::invalid_argument("batch width must be >= 1");
+
+    const kernels::Ops &ops = kernels::active();
+    std::vector<BatchVec> &values = scratch.values_;
+    size_t next_input = 0;
+
+    for (int id : scratch.topo_) {
+        const Node &n = g.node(id);
+        BatchVec &out = values[static_cast<size_t>(id)];
+        out.type = Graph::outputType(n);
+
+        auto in = [&](size_t i) -> const BatchVec & {
+            return values[static_cast<size_t>(n.inputs[i])];
+        };
+        auto setWidth = [&](size_t w) {
+            out.width = w;
+            out.lanes.resize(w * bw);
+        };
+
+        switch (n.kind) {
+          case NodeKind::Input: {
+            const size_t w = static_cast<size_t>(n.width);
+            setWidth(w);
+            const int8_t *const *pkts = inputs + next_input * bw;
+            ++next_input;
+            // Transpose the per-packet feature vectors into SoA.
+            for (size_t c = 0; c < bw; ++c) {
+                const int8_t *src = pkts[c];
+                for (size_t i = 0; i < w; ++i)
+                    out.lanes[i * bw + c] = src[i];
+            }
+            out.narrow = true;
+            break;
+          }
+          case NodeKind::DotRow: {
+            setWidth(1);
+            ops.dot_row_batch(n.weights.data(), n.weights.size(),
+                              n.bias, n.requant, /*requant=*/true,
+                              in(0).narrow, in(0).lanes.data(),
+                              out.lanes.data(), bw);
+            out.narrow = true;
+            break;
+          }
+          case NodeKind::PartialDot: {
+            setWidth(1);
+            ops.dot_row_batch(n.weights.data(), n.weights.size(),
+                              /*bias=*/0, n.requant, /*requant=*/false,
+                              in(0).narrow, in(0).lanes.data(),
+                              out.lanes.data(), bw);
+            out.narrow = false;
+            break;
+          }
+          case NodeKind::CombineAdd: {
+            setWidth(1);
+            for (size_t c = 0; c < bw; ++c) {
+                int64_t acc = n.bias;
+                for (size_t i = 0; i < n.inputs.size(); ++i) {
+                    assert(in(i).width == 1);
+                    acc += in(i).lanes[c];
+                }
+                out.lanes[c] =
+                    n.requant.apply(saturate<int32_t>(acc));
+            }
+            out.narrow = true;
+            break;
+          }
+          case NodeKind::MapChain: {
+            const BatchVec &x = in(0);
+            setWidth(x.width);
+            out.lanes.assign(x.lanes.begin(), x.lanes.end());
+            bool narrow = x.narrow;
+            for (size_t s = 0; s < n.fns.size(); ++s) {
+                const int32_t imm =
+                    s < n.imms.size() ? n.imms[s] : 0;
+                applyMapFnLanes(ops, n.fns[s], out.lanes.data(),
+                                out.lanes.size(), imm, n.requant);
+                narrow = mapFnNarrow(n.fns[s], narrow, imm);
+            }
+            out.narrow = narrow;
+            break;
+          }
+          case NodeKind::EltwiseMul: {
+            const BatchVec &a = in(0);
+            const BatchVec &b = in(1);
+            assert(a.lanes.size() == b.lanes.size());
+            setWidth(a.width);
+            ops.mul_requant(a.lanes.data(), b.lanes.data(),
+                            out.lanes.data(), a.lanes.size(),
+                            n.requant);
+            out.narrow = true;
+            break;
+          }
+          case NodeKind::EltwiseAdd: {
+            const BatchVec &a = in(0);
+            const BatchVec &b = in(1);
+            assert(a.lanes.size() == b.lanes.size());
+            setWidth(a.width);
+            ops.add_clamp8(a.lanes.data(), b.lanes.data(),
+                           out.lanes.data(), a.lanes.size());
+            out.narrow = true;
+            break;
+          }
+          case NodeKind::SquaredDist: {
+            setWidth(1);
+            ops.sqdist_batch(n.weights.data(), n.weights.size(),
+                             n.requant, n.requantized(), in(0).narrow,
+                             in(0).lanes.data(), out.lanes.data(), bw);
+            out.narrow = n.requantized();
+            break;
+          }
+          case NodeKind::ArgMin: {
+            const BatchVec &x = in(0);
+            setWidth(1);
+            ops.argmin_batch(x.lanes.data(), x.width,
+                             out.lanes.data(), bw);
+            out.narrow = x.width <= 128; // max index fits int8
+            break;
+          }
+          case NodeKind::Lookup: {
+            const BatchVec &x = in(0);
+            setWidth(x.width);
+            for (size_t i = 0; i < x.lanes.size(); ++i) {
+                const int32_t idx = saturate<int8_t>(x.lanes[i]) + 128;
+                out.lanes[i] = n.lut[static_cast<size_t>(idx)];
+            }
+            out.narrow = true;
+            break;
+          }
+          case NodeKind::Concat: {
+            size_t total = 0;
+            for (size_t i = 0; i < n.inputs.size(); ++i)
+                total += in(i).width;
+            setWidth(total);
+            // SoA rows are lane-major, so concatenating lanes is just
+            // appending whole blocks.
+            size_t off = 0;
+            bool narrow = true;
+            for (size_t i = 0; i < n.inputs.size(); ++i) {
+                const BatchVec &src = in(i);
+                std::copy(src.lanes.begin(), src.lanes.end(),
+                          out.lanes.begin() +
+                              static_cast<ptrdiff_t>(off));
+                off += src.lanes.size();
+                narrow = narrow && src.narrow;
+            }
+            out.narrow = narrow;
+            break;
+          }
+          case NodeKind::Output: {
+            const BatchVec &src = in(0);
+            setWidth(src.width);
+            out.lanes.assign(src.lanes.begin(), src.lanes.end());
+            out.type = src.type;
+            out.narrow = src.narrow;
+            break;
+          }
+        }
+
+        if (n.kind != NodeKind::Output &&
+            out.width != static_cast<size_t>(n.width))
+            throw std::logic_error("node " + std::to_string(n.id) +
+                                   " produced wrong width");
+    }
+
+    if (next_input != scratch.n_inputs_)
+        throw std::logic_error("batch eval input count mismatch");
+
+    size_t oi = 0;
+    for (int id : scratch.out_ids_) {
+        const BatchVec &src = values[static_cast<size_t>(id)];
+        BatchVec &dst = scratch.outputs_[oi++];
+        dst.lanes.assign(src.lanes.begin(), src.lanes.end());
+        dst.width = src.width;
+        dst.type = src.type;
+        dst.narrow = src.narrow;
+    }
+    return scratch.outputs_;
+}
+
+} // namespace taurus::dfg

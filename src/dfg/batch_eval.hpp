@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Packet-major batched DFG evaluation.
+ *
+ * Evaluates a lowered graph on a burst of `bw` same-tenant packets at
+ * once: every node's value block is a SoA matrix (lane i's per-packet
+ * values contiguous at [i*bw, (i+1)*bw)), so the lane loops that
+ * evaluateInto runs once per packet become one SIMD pass over the whole
+ * burst. All arithmetic routes through the kernels::Ops table and is
+ * bit-identical to running dfg::evaluateInto on each packet alone —
+ * batching is a throughput optimization, never a semantics change
+ * (asserted by tests/kernels_test and bench/kernel_bench).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/eval.hpp"
+#include "dfg/graph.hpp"
+
+namespace taurus::dfg {
+
+/** One node's batched value block (SoA: lane-major, bw packets wide). */
+struct BatchVec
+{
+    std::vector<int32_t> lanes; ///< width x bw, lane i at [i*bw, (i+1)*bw)
+    size_t width = 0;           ///< lanes per packet
+    ValueType type = ValueType::Int8Vec;
+    /** Every element is a sign-extended int8 (enables the narrow SIMD
+     *  accumulation paths; false is always sound, just slower). */
+    bool narrow = false;
+};
+
+/**
+ * Reusable state for evaluateBatchInto: cached topo order plus per-node
+ * SoA blocks whose capacity is retained across bursts. Binding mirrors
+ * EvalScratch (self-binds on graph identity / node-count change).
+ */
+class BatchEvalScratch
+{
+  public:
+    /** Validate `g`, cache its topo order, and size the buffers. */
+    void bind(const Graph &g);
+
+    bool bound() const { return graph_ != nullptr; }
+
+    /** Number of Input nodes in the bound graph. */
+    size_t inputCount() const { return n_inputs_; }
+
+  private:
+    friend std::vector<BatchVec> &evaluateBatchInto(
+        const Graph &g, const int8_t *const *inputs, size_t bw,
+        BatchEvalScratch &scratch);
+
+    const Graph *graph_ = nullptr;
+    std::vector<int> topo_;
+    std::vector<int> out_ids_;
+    size_t n_inputs_ = 0;
+    std::vector<BatchVec> values_;  ///< one per node
+    std::vector<BatchVec> outputs_; ///< one per Output node
+};
+
+/**
+ * Evaluate `g` on a burst of packets. `inputs` holds one int8 feature
+ * pointer per (Input node, packet): Input node k (in topo encounter
+ * order, matching evaluateInto's input matching) reads packet c's
+ * vector from inputs[k*bw + c]; each pointer must address `width`
+ * int8 features. Returns one BatchVec per Output node, valid until the
+ * next call. Results are bit-identical to bw independent evaluateInto
+ * calls.
+ */
+std::vector<BatchVec> &evaluateBatchInto(const Graph &g,
+                                         const int8_t *const *inputs,
+                                         size_t bw,
+                                         BatchEvalScratch &scratch);
+
+} // namespace taurus::dfg

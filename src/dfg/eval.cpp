@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fixed/saturate.hpp"
+#include "kernels/kernels.hpp"
 
 namespace taurus::dfg {
 
@@ -16,6 +17,31 @@ int8_t
 clamp8(int32_t v)
 {
     return saturate<int8_t>(v);
+}
+
+// Wrapping int32 arithmetic (two's complement, no UB on overflow).
+// applyMapFn is the definitional oracle the SIMD kernels are tested
+// bit-exact against, so its behavior must be defined on every int32
+// lane value — including the partial-sum extremes an Int32Vec edge can
+// carry into a MapChain.
+int32_t
+wrapAdd(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) +
+                                static_cast<uint32_t>(b));
+}
+
+int32_t
+wrapMul(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) *
+                                static_cast<uint32_t>(b));
+}
+
+int32_t
+wrapNeg(int32_t a)
+{
+    return static_cast<int32_t>(0u - static_cast<uint32_t>(a));
 }
 
 /**
@@ -30,6 +56,7 @@ evalNodes(const Graph &g, const std::vector<int> &topo,
           std::vector<LaneVec> &values)
 {
     size_t next_input = 0;
+    const kernels::Ops &ops = kernels::active();
 
     for (int id : topo) {
         const Node &n = g.node(id);
@@ -53,19 +80,17 @@ evalNodes(const Graph &g, const std::vector<int> &topo,
             break;
           }
           case NodeKind::DotRow: {
-            int64_t acc = n.bias;
-            const auto &x = in(0);
-            for (size_t i = 0; i < n.weights.size(); ++i)
-                acc += static_cast<int32_t>(n.weights[i]) * x.lanes[i];
+            const int64_t acc =
+                n.bias + ops.dot_s8_s32(n.weights.data(),
+                                        in(0).lanes.data(),
+                                        n.weights.size());
             out.lanes.push_back(
                 n.requant.apply(saturate<int32_t>(acc)));
             break;
           }
           case NodeKind::PartialDot: {
-            int64_t acc = 0;
-            const auto &x = in(0);
-            for (size_t i = 0; i < n.weights.size(); ++i)
-                acc += static_cast<int32_t>(n.weights[i]) * x.lanes[i];
+            const int64_t acc = ops.dot_s8_s32(
+                n.weights.data(), in(0).lanes.data(), n.weights.size());
             out.lanes.push_back(saturate<int32_t>(acc));
             break;
           }
@@ -84,8 +109,8 @@ evalNodes(const Graph &g, const std::vector<int> &topo,
             for (size_t s = 0; s < n.fns.size(); ++s) {
                 const int32_t imm =
                     s < n.imms.size() ? n.imms[s] : 0;
-                for (auto &lane : out.lanes)
-                    lane = applyMapFn(n.fns[s], lane, imm, n.requant);
+                applyMapFnLanes(ops, n.fns[s], out.lanes.data(),
+                                out.lanes.size(), imm, n.requant);
             }
             break;
           }
@@ -93,17 +118,18 @@ evalNodes(const Graph &g, const std::vector<int> &topo,
             const auto &a = in(0);
             const auto &b = in(1);
             assert(a.lanes.size() == b.lanes.size());
-            for (size_t i = 0; i < a.lanes.size(); ++i)
-                out.lanes.push_back(
-                    n.requant.apply(a.lanes[i] * b.lanes[i]));
+            out.lanes.resize(a.lanes.size());
+            ops.mul_requant(a.lanes.data(), b.lanes.data(),
+                            out.lanes.data(), a.lanes.size(), n.requant);
             break;
           }
           case NodeKind::EltwiseAdd: {
             const auto &a = in(0);
             const auto &b = in(1);
             assert(a.lanes.size() == b.lanes.size());
-            for (size_t i = 0; i < a.lanes.size(); ++i)
-                out.lanes.push_back(clamp8(a.lanes[i] + b.lanes[i]));
+            out.lanes.resize(a.lanes.size());
+            ops.add_clamp8(a.lanes.data(), b.lanes.data(),
+                           out.lanes.data(), a.lanes.size());
             break;
           }
           case NodeKind::SquaredDist: {
@@ -162,6 +188,43 @@ evalNodes(const Graph &g, const std::vector<int> &topo,
 
 } // namespace
 
+void
+applyMapFnLanes(const kernels::Ops &ops, MapFn fn, int32_t *x, size_t n,
+                int32_t imm, const fixed::Requantizer &rq)
+{
+    switch (fn) {
+      case MapFn::Identity:
+        break;
+      case MapFn::Relu:
+        ops.relu(x, n);
+        break;
+      case MapFn::LeakyRelu:
+        ops.leaky_relu(x, n);
+        break;
+      case MapFn::Square:
+        ops.square_clamp8(x, n);
+        break;
+      case MapFn::Abs:
+        ops.abs_clamp8(x, n);
+        break;
+      case MapFn::Neg:
+        ops.neg_clamp8(x, n);
+        break;
+      case MapFn::AddConst:
+        ops.add_const_clamp8(x, n, imm);
+        break;
+      case MapFn::MulConst:
+        ops.mul_const_requant(x, n, imm, rq);
+        break;
+      case MapFn::MinConst:
+        ops.min_const(x, n, imm);
+        break;
+      case MapFn::MaxConst:
+        ops.max_const(x, n, imm);
+        break;
+    }
+}
+
 int32_t
 applyMapFn(MapFn fn, int32_t x, int32_t imm, const fixed::Requantizer &rq)
 {
@@ -173,15 +236,15 @@ applyMapFn(MapFn fn, int32_t x, int32_t imm, const fixed::Requantizer &rq)
       case MapFn::LeakyRelu:
         return x >= 0 ? x : x / 8;
       case MapFn::Square:
-        return clamp8(x * x);
+        return clamp8(wrapMul(x, x));
       case MapFn::Abs:
-        return x < 0 ? clamp8(-x) : x;
+        return x < 0 ? clamp8(wrapNeg(x)) : x;
       case MapFn::Neg:
-        return clamp8(-x);
+        return clamp8(wrapNeg(x));
       case MapFn::AddConst:
-        return clamp8(x + imm);
+        return clamp8(wrapAdd(x, imm));
       case MapFn::MulConst:
-        return rq.apply(x * imm);
+        return rq.apply(wrapMul(x, imm));
       case MapFn::MinConst:
         return x < imm ? x : imm;
       case MapFn::MaxConst:

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dfg/graph.hpp"
+#include "kernels/kernels.hpp"
 
 namespace taurus::dfg {
 
@@ -77,5 +78,12 @@ std::vector<int8_t> evaluateSimple(const Graph &g,
 /** Semantics of a single map function on one int8 lane. */
 int32_t applyMapFn(MapFn fn, int32_t x, int32_t imm,
                    const fixed::Requantizer &rq);
+
+/**
+ * Apply one map function in place over `n` contiguous lanes through the
+ * kernel table's vector primitives; bit-identical to applyMapFn per lane.
+ */
+void applyMapFnLanes(const kernels::Ops &ops, MapFn fn, int32_t *x,
+                     size_t n, int32_t imm, const fixed::Requantizer &rq);
 
 } // namespace taurus::dfg

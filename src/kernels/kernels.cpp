@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Kernel dispatch: CPUID feature detection, the TAURUS_FORCE_KERNEL
+ * environment override, and the per-level Ops tables. All tables are
+ * built once (each SIMD level starts from the scalar reference and is
+ * patched by its own TU), so dispatch on the fast path is one pointer
+ * load.
+ */
+
+#include "kernels/kernels_impl.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace taurus::kernels {
+
+namespace {
+
+struct Tables
+{
+    Ops scalar;
+    Ops sse;
+    Ops avx2;
+    bool have_sse = false;
+    bool have_avx2 = false;
+
+    Tables()
+    {
+        scalar = detail::makeScalarOps();
+        sse = scalar;
+        have_sse = detail::patchSse(sse);
+        avx2 = sse; // AVX2 inherits the SSE entries it doesn't override
+        have_avx2 = detail::patchAvx2(avx2);
+        if (have_avx2)
+            avx2.level = Level::Avx2;
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+/** CPU support for a compiled-in level (compile-time on non-x86). */
+bool
+cpuHas(Level level)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    switch (level) {
+      case Level::Scalar:
+        return true;
+      case Level::Sse:
+        return __builtin_cpu_supports("sse4.1") != 0;
+      case Level::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    }
+    return false;
+#else
+    return level == Level::Scalar;
+#endif
+}
+
+/** The startup selection: env override clamped to support, else best. */
+Level
+initialLevel()
+{
+    const char *env = std::getenv("TAURUS_FORCE_KERNEL");
+    if (env != nullptr && *env != '\0') {
+        Level forced;
+        if (!parseLevel(env, forced)) {
+            std::fprintf(stderr,
+                         "taurus: TAURUS_FORCE_KERNEL=%s not in "
+                         "{scalar, sse, avx2}; using auto detection\n",
+                         env);
+            return detectBest();
+        }
+        if (!supported(forced)) {
+            const Level best = detectBest();
+            std::fprintf(stderr,
+                         "taurus: TAURUS_FORCE_KERNEL=%s unsupported "
+                         "on this host; clamping to %s\n",
+                         env, levelName(best));
+            return best;
+        }
+        return forced;
+    }
+    return detectBest();
+}
+
+/** The active table pointer (written only by setActive / first use). */
+const Ops *&
+activeSlot()
+{
+    static const Ops *slot = &opsFor(initialLevel());
+    return slot;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return "scalar";
+      case Level::Sse:
+        return "sse";
+      case Level::Avx2:
+        return "avx2";
+    }
+    return "scalar";
+}
+
+bool
+parseLevel(const std::string &name, Level &out)
+{
+    if (name == "scalar") {
+        out = Level::Scalar;
+        return true;
+    }
+    if (name == "sse" || name == "sse4.1" || name == "sse41") {
+        out = Level::Sse;
+        return true;
+    }
+    if (name == "avx2") {
+        out = Level::Avx2;
+        return true;
+    }
+    return false;
+}
+
+bool
+supported(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return true;
+      case Level::Sse:
+        return tables().have_sse && cpuHas(Level::Sse);
+      case Level::Avx2:
+        return tables().have_avx2 && cpuHas(Level::Avx2);
+    }
+    return false;
+}
+
+Level
+detectBest()
+{
+    if (supported(Level::Avx2))
+        return Level::Avx2;
+    if (supported(Level::Sse))
+        return Level::Sse;
+    return Level::Scalar;
+}
+
+const Ops &
+opsFor(Level level)
+{
+    // Highest supported level <= the request (a forced avx2 on an
+    // SSE-only host degrades gracefully instead of faulting).
+    if (level == Level::Avx2 && supported(Level::Avx2))
+        return tables().avx2;
+    if (level >= Level::Sse && supported(Level::Sse))
+        return tables().sse;
+    return tables().scalar;
+}
+
+const Ops &
+scalarOps()
+{
+    return tables().scalar;
+}
+
+const Ops &
+active()
+{
+    return *activeSlot();
+}
+
+Level
+activeLevel()
+{
+    return active().level;
+}
+
+Level
+setActive(Level level)
+{
+    const Ops *&slot = activeSlot();
+    const Level prev = slot->level;
+    slot = &opsFor(level);
+    return prev;
+}
+
+std::string
+cpuFeatures()
+{
+    std::string out;
+    const auto append = [&out](const char *name) {
+        if (!out.empty())
+            out += ',';
+        out += name;
+    };
+    if (cpuHas(Level::Avx2))
+        append("avx2");
+    if (cpuHas(Level::Sse))
+        append("sse4.1");
+    if (out.empty())
+        out = "none";
+    return out;
+}
+
+} // namespace taurus::kernels

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the integer fast path.
+ *
+ * The three hot inner loops of the software data plane — the quantized
+ * dense matvec (nn::QuantizedMlp::forwardInt), the DFG lane-wise
+ * MapReduce ops (dfg::evaluateInto), and the packet-major batched graph
+ * evaluation (dfg::evaluateBatchInto) — all route through one Ops table
+ * of function pointers. The table is selected once at startup by CPUID
+ * (AVX2 -> SSE4.1 -> scalar reference) and can be forced with
+ * TAURUS_FORCE_KERNEL=scalar|sse|avx2 for parity testing.
+ *
+ * Every kernel is pure integer math with the exact semantics of the
+ * scalar reference (int32 products wrap; accumulation is int64;
+ * requantization is Q31 mantissa + round-half-away-from-zero shift;
+ * saturation bounds are int8/int32), so results are bit-identical
+ * across levels and across batched/unbatched evaluation. The SIMD
+ * implementations fall back to the scalar path per call whenever a
+ * shape or requantizer parameter falls outside the range their
+ * exactness argument covers (e.g. requant shifts < 31, reductions too
+ * long for an int32 accumulator), never approximating.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fixed/quant.hpp"
+
+namespace taurus::kernels {
+
+/** Instruction-set tiers, in dispatch preference order. */
+enum class Level
+{
+    Scalar = 0,
+    Sse = 1,  ///< SSE4.1
+    Avx2 = 2,
+};
+
+/** Activation selector for the dense-layer kernel. */
+enum class DenseAct
+{
+    None = 0,
+    Relu,
+    LeakyRelu, ///< x >= 0 ? x : x/8 (truncating)
+    Lut,       ///< 256-entry int8 table indexed by pre-activation + 128
+};
+
+/** Borrowed view of one quantized dense layer's parameters. */
+struct DenseView
+{
+    const int8_t *w = nullptr;  ///< row-major out x in
+    const int32_t *b = nullptr; ///< int32 biases, one per output row
+    const int8_t *lut = nullptr; ///< 256 entries when act == Lut
+    fixed::Requantizer rq;
+    DenseAct act = DenseAct::None;
+    size_t out = 0;
+    size_t in = 0;
+};
+
+/**
+ * The kernel table. Batched entry points take packet-major SoA blocks:
+ * `bw` packets wide, lane/feature `i`'s values contiguous at
+ * [i*bw, (i+1)*bw). int32 lane arrays carry dfg LaneVec semantics
+ * (int8 payloads stored sign-extended; partial sums full int32).
+ */
+struct Ops
+{
+    Level level = Level::Scalar;
+
+    /** One dense layer: y[r] = act(rq(sat32(b[r] + sum w[r][c]*x[c]))). */
+    void (*dense)(const DenseView &L, const int8_t *x, int8_t *y);
+    /** Packet-major batch: x is in*bw SoA, y is out*bw SoA. */
+    void (*dense_batch)(const DenseView &L, const int8_t *x, int8_t *y,
+                        size_t bw);
+
+    /** Sum of int32-wrapped products w[i]*x[i], accumulated in int64. */
+    int64_t (*dot_s8_s32)(const int8_t *w, const int32_t *x, size_t n);
+    /**
+     * Batched DotRow/PartialDot over an int32 SoA block (row stride
+     * `bw`): per column, acc = bias + sum of wrapped products; out is
+     * rq(sat32(acc)) when `requant`, else sat32(acc). `narrow` asserts
+     * every x lane is a sign-extended int8 (enables exact int32
+     * accumulation); passing false is always sound.
+     */
+    void (*dot_row_batch)(const int8_t *w, size_t n, int32_t bias,
+                          const fixed::Requantizer &rq, bool requant,
+                          bool narrow, const int32_t *x, int32_t *out,
+                          size_t bw);
+    /** Batched SquaredDist: acc = sum (x-w)^2 with wrapped int32
+     *  squares; out = requant ? rq(sat32(acc)) : sat32(acc). */
+    void (*sqdist_batch)(const int8_t *w, size_t n,
+                         const fixed::Requantizer &rq, bool requant,
+                         bool narrow, const int32_t *x, int32_t *out,
+                         size_t bw);
+    /** Batched ArgMin over `lanes` rows (first minimum wins). */
+    void (*argmin_batch)(const int32_t *x, size_t lanes, int32_t *out,
+                         size_t bw);
+
+    /** Sign-extend int8 -> int32. */
+    void (*widen_s8)(const int8_t *src, int32_t *dst, size_t n);
+
+    /** o = clamp8(a + b) (wrapping add, then int8 saturation). */
+    void (*add_clamp8)(const int32_t *a, const int32_t *b, int32_t *o,
+                       size_t n);
+    /** o = rq(a * b) (wrapping product). */
+    void (*mul_requant)(const int32_t *a, const int32_t *b, int32_t *o,
+                        size_t n, const fixed::Requantizer &rq);
+    /** o = rq(x). */
+    void (*requant_s32)(const int32_t *x, int32_t *o, size_t n,
+                        const fixed::Requantizer &rq);
+
+    // In-place map primitives (dfg::applyMapFn semantics per lane).
+    void (*relu)(int32_t *x, size_t n);
+    void (*leaky_relu)(int32_t *x, size_t n);
+    void (*square_clamp8)(int32_t *x, size_t n);
+    void (*abs_clamp8)(int32_t *x, size_t n);
+    void (*neg_clamp8)(int32_t *x, size_t n);
+    void (*add_const_clamp8)(int32_t *x, size_t n, int32_t imm);
+    void (*mul_const_requant)(int32_t *x, size_t n, int32_t imm,
+                              const fixed::Requantizer &rq);
+    void (*min_const)(int32_t *x, size_t n, int32_t imm);
+    void (*max_const)(int32_t *x, size_t n, int32_t imm);
+};
+
+/** "scalar", "sse", "avx2" (the TAURUS_FORCE_KERNEL vocabulary). */
+const char *levelName(Level level);
+
+/** Parse a TAURUS_FORCE_KERNEL value; false on unknown names. */
+bool parseLevel(const std::string &name, Level &out);
+
+/** True when `level` is compiled in AND supported by this CPU. */
+bool supported(Level level);
+
+/** Highest supported level on this host (CPUID, cached). */
+Level detectBest();
+
+/** The table for the highest supported level <= `level`. */
+const Ops &opsFor(Level level);
+
+/** The scalar reference table (always available; parity baseline). */
+const Ops &scalarOps();
+
+/**
+ * The dispatched table: selected once on first use from
+ * TAURUS_FORCE_KERNEL (clamped to what the host supports, with a
+ * one-time stderr note when clamping) or CPUID detection.
+ */
+const Ops &active();
+Level activeLevel();
+
+/**
+ * Force the active level (clamped to supported); returns the previous
+ * level. Control-plane / test cadence only — not thread-safe against
+ * concurrent fast-path use.
+ */
+Level setActive(Level level);
+
+/** Comma-separated detected CPU features ("avx2,sse4.1" or "none"),
+ *  for bench metadata. */
+std::string cpuFeatures();
+
+} // namespace taurus::kernels

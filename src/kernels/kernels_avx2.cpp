@@ -1,0 +1,678 @@
+/**
+ * @file
+ * AVX2 kernels (compiled with -mavx2 on x86 only; a stub elsewhere).
+ *
+ * Exactness strategy, per kernel:
+ *  - int8 x int8 products fit int16 (|p| <= 16384), so the dense batch
+ *    uses mullo_epi16 after sign-extension and accumulates in int32 —
+ *    exact while n * 16384 < 2^31, i.e. n < 2^17 (guarded at 2^16).
+ *  - int8 x int32-lane products use mullo_epi32, whose wrap-around is
+ *    exactly the scalar reference's wrapped int32 product.
+ *  - Requantization (x * Q31-mantissa >> shift, round half away from
+ *    zero) runs on |x| in unsigned 64-bit lanes, then restores sign —
+ *    valid when the shift is in [31, 62] (multiplier <= 1, the normal
+ *    case); anything else falls back to the scalar Requantizer per call.
+ *  - Saturating bias addition detects int32 overflow via sign algebra
+ *    ((a^s)&(b^s) < 0) and substitutes the bias-signed extreme.
+ * Every kernel keeps a scalar tail for widths not divisible by the
+ * vector width, and whole-call scalar fallbacks for shapes outside the
+ * exactness envelope above. Bit-identity with the scalar table is
+ * enforced by tests/kernels_test.cpp and bench/kernel_bench.
+ */
+
+#include "kernels/kernels_impl.hpp"
+
+#if defined(TAURUS_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "fixed/saturate.hpp"
+
+namespace taurus::kernels::detail {
+
+namespace {
+
+using fixed::saturate;
+
+// ------------------------------------------------------------------
+// Shared helpers
+// ------------------------------------------------------------------
+
+/** True when the requantizer's parameters fit the SIMD fast path. */
+bool
+fastRequant(const fixed::Requantizer &rq)
+{
+    const int shift = 31 + rq.exponent();
+    return rq.mantissa() > 0 && shift >= 31 && shift <= 62;
+}
+
+/** Clamp 8 int32 lanes to the int8 range. */
+inline __m256i
+clamp8v(__m256i v)
+{
+    return _mm256_max_epi32(_mm256_min_epi32(v, _mm256_set1_epi32(127)),
+                            _mm256_set1_epi32(-128));
+}
+
+/**
+ * Requantize 8 int32 lanes: round-half-away-from-zero
+ * (v * mantissa) >> shift, saturated to int8. Caller guarantees
+ * fastRequant() held (mantissa > 0, 31 <= shift <= 62).
+ */
+inline __m256i
+requant8(__m256i v, int32_t mantissa, int shift)
+{
+    const __m256i vm =
+        _mm256_set1_epi64x(static_cast<int64_t>(
+            static_cast<uint32_t>(mantissa)));
+    const __m256i sign = _mm256_srai_epi32(v, 31);
+    // |v| as unsigned 32-bit (INT32_MIN maps to 2^31, still exact).
+    const __m256i mag =
+        _mm256_sub_epi32(_mm256_xor_si256(v, sign), sign);
+    const __m256i off = _mm256_set1_epi64x(int64_t{1} << (shift - 1));
+    __m256i ev = _mm256_mul_epu32(mag, vm);
+    __m256i od = _mm256_mul_epu32(_mm256_srli_epi64(mag, 32), vm);
+    ev = _mm256_srli_epi64(_mm256_add_epi64(ev, off), shift);
+    od = _mm256_srli_epi64(_mm256_add_epi64(od, off), shift);
+    __m256i res =
+        _mm256_blend_epi32(ev, _mm256_slli_epi64(od, 32), 0xAA);
+    res = _mm256_sub_epi32(_mm256_xor_si256(res, sign), sign);
+    return clamp8v(res);
+}
+
+/** Saturating (a + bias) on 8 int32 lanes; bias sign known scalar. */
+inline __m256i
+satAddBias(__m256i a, int32_t bias)
+{
+    if (bias == 0)
+        return a;
+    const __m256i vb = _mm256_set1_epi32(bias);
+    const __m256i sat = _mm256_set1_epi32(
+        bias > 0 ? std::numeric_limits<int32_t>::max()
+                 : std::numeric_limits<int32_t>::min());
+    const __m256i s = _mm256_add_epi32(a, vb);
+    const __m256i ovf = _mm256_and_si256(_mm256_xor_si256(a, s),
+                                         _mm256_xor_si256(vb, s));
+    return _mm256_blendv_epi8(s, sat, _mm256_srai_epi32(ovf, 31));
+}
+
+/** LeakyRelu on 8 int32 lanes: x >= 0 ? x : x/8 (truncating). */
+inline __m256i
+leaky8(__m256i v)
+{
+    const __m256i sign = _mm256_srai_epi32(v, 31);
+    const __m256i neg = _mm256_srai_epi32(
+        _mm256_add_epi32(v, _mm256_set1_epi32(7)), 3);
+    return _mm256_blendv_epi8(v, neg, sign);
+}
+
+int32_t
+hsum32(__m256i v)
+{
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+    return _mm_cvtsi128_si32(s);
+}
+
+int64_t
+hsum64(__m256i v)
+{
+    __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    s = _mm_add_epi64(s, _mm_srli_si128(s, 8));
+    return _mm_cvtsi128_si64(s);
+}
+
+/** Scalar epilogue of one dense row: bias+sum -> requant -> act. */
+inline int8_t
+denseFinish(const DenseView &L, size_t r, int64_t acc)
+{
+    const int8_t pre = L.rq.apply(saturate<int32_t>(acc));
+    switch (L.act) {
+      case DenseAct::Relu:
+        return pre > 0 ? pre : static_cast<int8_t>(0);
+      case DenseAct::LeakyRelu:
+        return pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
+      case DenseAct::Lut:
+        return L.lut[static_cast<size_t>(static_cast<int>(pre) + 128)];
+      case DenseAct::None:
+        break;
+    }
+    (void)r;
+    return pre;
+}
+
+/** Scalar dense over columns [p0, p1) of an SoA block (tail path). */
+void
+denseCols(const DenseView &L, const int8_t *x, int8_t *y, size_t bw,
+          size_t p0, size_t p1)
+{
+    for (size_t r = 0; r < L.out; ++r) {
+        const int8_t *row = L.w + r * L.in;
+        for (size_t p = p0; p < p1; ++p) {
+            int64_t acc = L.b[r];
+            for (size_t c = 0; c < L.in; ++c)
+                acc += static_cast<int32_t>(row[c]) *
+                       static_cast<int32_t>(x[c * bw + p]);
+            y[r * bw + p] = denseFinish(L, r, acc);
+        }
+    }
+}
+
+/** Scalar dot_row_batch over columns [p0, p1) (tail path). */
+void
+dotRowCols(const int8_t *w, size_t n, int32_t bias,
+           const fixed::Requantizer &rq, bool requant, const int32_t *x,
+           int32_t *out, size_t bw, size_t p0, size_t p1)
+{
+    for (size_t p = p0; p < p1; ++p) {
+        int64_t acc = bias;
+        for (size_t i = 0; i < n; ++i)
+            acc += wrapMul(static_cast<int32_t>(w[i]), x[i * bw + p]);
+        const int32_t sat = saturate<int32_t>(acc);
+        out[p] = requant ? requant1(sat, rq) : sat;
+    }
+}
+
+// ------------------------------------------------------------------
+// Kernels
+// ------------------------------------------------------------------
+
+void
+denseAvx2(const DenseView &L, const int8_t *x, int8_t *y)
+{
+    if (L.in >= (size_t{1} << 16)) {
+        scalarOps().dense(L, x, y);
+        return;
+    }
+    for (size_t r = 0; r < L.out; ++r) {
+        const int8_t *row = L.w + r * L.in;
+        __m256i acc = _mm256_setzero_si256();
+        size_t c = 0;
+        for (; c + 16 <= L.in; c += 16) {
+            const __m256i vw = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + c)));
+            const __m256i vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(x + c)));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(vw, vx));
+        }
+        int32_t sum = hsum32(acc);
+        for (; c < L.in; ++c)
+            sum += static_cast<int32_t>(row[c]) *
+                   static_cast<int32_t>(x[c]);
+        y[r] = denseFinish(L, r, static_cast<int64_t>(L.b[r]) + sum);
+    }
+}
+
+void
+denseBatchAvx2(const DenseView &L, const int8_t *x, int8_t *y,
+               size_t bw)
+{
+    if (L.in >= (size_t{1} << 16)) {
+        scalarOps().dense_batch(L, x, y, bw);
+        return;
+    }
+    const bool fast_rq = fastRequant(L.rq);
+    const int32_t mant = L.rq.mantissa();
+    const int shift = 31 + L.rq.exponent();
+    alignas(32) int32_t tmp[16];
+    size_t p = 0;
+    for (; p + 16 <= bw; p += 16) {
+        for (size_t r = 0; r < L.out; ++r) {
+            const int8_t *row = L.w + r * L.in;
+            __m256i acc_lo = _mm256_setzero_si256();
+            __m256i acc_hi = _mm256_setzero_si256();
+            for (size_t c = 0; c < L.in; ++c) {
+                const __m256i xv =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(
+                            x + c * bw + p)));
+                const __m256i prod = _mm256_mullo_epi16(
+                    xv, _mm256_set1_epi16(
+                            static_cast<int16_t>(row[c])));
+                acc_lo = _mm256_add_epi32(
+                    acc_lo, _mm256_cvtepi16_epi32(
+                                _mm256_castsi256_si128(prod)));
+                acc_hi = _mm256_add_epi32(
+                    acc_hi, _mm256_cvtepi16_epi32(
+                                _mm256_extracti128_si256(prod, 1)));
+            }
+            __m256i halves[2] = {satAddBias(acc_lo, L.b[r]),
+                                 satAddBias(acc_hi, L.b[r])};
+            if (fast_rq) {
+                for (auto &h : halves) {
+                    h = requant8(h, mant, shift);
+                    if (L.act == DenseAct::Relu)
+                        h = _mm256_max_epi32(h,
+                                             _mm256_setzero_si256());
+                    else if (L.act == DenseAct::LeakyRelu)
+                        h = leaky8(h);
+                }
+                _mm256_store_si256(
+                    reinterpret_cast<__m256i *>(tmp), halves[0]);
+                _mm256_store_si256(
+                    reinterpret_cast<__m256i *>(tmp + 8), halves[1]);
+                int8_t *dst = y + r * bw + p;
+                if (L.act == DenseAct::Lut) {
+                    for (int k = 0; k < 16; ++k)
+                        dst[k] = L.lut[static_cast<size_t>(tmp[k] +
+                                                           128)];
+                } else {
+                    for (int k = 0; k < 16; ++k)
+                        dst[k] = static_cast<int8_t>(tmp[k]);
+                }
+            } else {
+                // Requantizer outside the SIMD envelope: scalar
+                // epilogue on the exact SIMD-computed accumulators.
+                _mm256_store_si256(
+                    reinterpret_cast<__m256i *>(tmp), halves[0]);
+                _mm256_store_si256(
+                    reinterpret_cast<__m256i *>(tmp + 8), halves[1]);
+                int8_t *dst = y + r * bw + p;
+                for (int k = 0; k < 16; ++k)
+                    dst[k] = denseFinish(L, r, tmp[k]);
+            }
+        }
+    }
+    if (p < bw)
+        denseCols(L, x, y, bw, p, bw);
+}
+
+int64_t
+dotAvx2(const int8_t *w, const int32_t *x, size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i wv = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(w + i)));
+        const __m256i xv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x + i));
+        const __m256i prod = _mm256_mullo_epi32(wv, xv);
+        acc = _mm256_add_epi64(
+            acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod)));
+        acc = _mm256_add_epi64(
+            acc,
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1)));
+    }
+    int64_t sum = hsum64(acc);
+    for (; i < n; ++i)
+        sum += wrapMul(static_cast<int32_t>(w[i]), x[i]);
+    return sum;
+}
+
+void
+dotRowBatchAvx2(const int8_t *w, size_t n, int32_t bias,
+                const fixed::Requantizer &rq, bool requant, bool narrow,
+                const int32_t *x, int32_t *out, size_t bw)
+{
+    // The int32-accumulator fast path needs every lane to be a
+    // sign-extended int8 (|product| <= 16384) and n small enough that
+    // the sum cannot overflow; otherwise the scalar reference runs.
+    const bool fast32 = narrow && n < (size_t{1} << 16);
+    const bool fast_rq = !requant || fastRequant(rq);
+    if (!fast32 || !fast_rq) {
+        scalarOps().dot_row_batch(w, n, bias, rq, requant, narrow, x,
+                                  out, bw);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t p = 0;
+    for (; p + 8 <= bw; p += 8) {
+        __m256i acc = _mm256_setzero_si256();
+        for (size_t i = 0; i < n; ++i) {
+            const __m256i xv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x + i * bw + p));
+            acc = _mm256_add_epi32(
+                acc, _mm256_mullo_epi32(
+                         xv, _mm256_set1_epi32(
+                                 static_cast<int32_t>(w[i]))));
+        }
+        __m256i v = satAddBias(acc, bias);
+        if (requant)
+            v = requant8(v, mant, shift);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + p), v);
+    }
+    if (p < bw)
+        dotRowCols(w, n, bias, rq, requant, x, out, bw, p, bw);
+}
+
+void
+sqdistBatchAvx2(const int8_t *w, size_t n, const fixed::Requantizer &rq,
+                bool requant, bool narrow, const int32_t *x,
+                int32_t *out, size_t bw)
+{
+    // Narrow lanes give |x - w| <= 255, so squares fit int16 headroom
+    // and an int32 sum is exact while n * 65025 < 2^31 (n < 2^15).
+    const bool fast32 = narrow && n < (size_t{1} << 15);
+    const bool fast_rq = !requant || fastRequant(rq);
+    if (!fast32 || !fast_rq) {
+        scalarOps().sqdist_batch(w, n, rq, requant, narrow, x, out, bw);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t p = 0;
+    for (; p + 8 <= bw; p += 8) {
+        __m256i acc = _mm256_setzero_si256();
+        for (size_t i = 0; i < n; ++i) {
+            const __m256i xv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x + i * bw + p));
+            const __m256i d = _mm256_sub_epi32(
+                xv,
+                _mm256_set1_epi32(static_cast<int32_t>(w[i])));
+            acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(d, d));
+        }
+        __m256i v = acc; // sum >= 0 and < 2^31: sat32 is the identity
+        if (requant)
+            v = requant8(v, mant, shift);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + p), v);
+    }
+    for (; p < bw; ++p) {
+        int64_t acc = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const int32_t d =
+                wrapAdd(x[i * bw + p], -static_cast<int32_t>(w[i]));
+            acc += wrapMul(d, d);
+        }
+        const int32_t sat = saturate<int32_t>(acc);
+        out[p] = requant ? requant1(sat, rq) : sat;
+    }
+}
+
+void
+argminBatchAvx2(const int32_t *x, size_t lanes, int32_t *out, size_t bw)
+{
+    if (lanes == 0) {
+        for (size_t p = 0; p < bw; ++p)
+            out[p] = 0;
+        return;
+    }
+    size_t p = 0;
+    for (; p + 8 <= bw; p += 8) {
+        __m256i best = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x + p));
+        __m256i idx = _mm256_setzero_si256();
+        for (size_t i = 1; i < lanes; ++i) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x + i * bw + p));
+            // Strict less-than keeps the FIRST minimum, matching the
+            // scalar reference's tie-breaking.
+            const __m256i lt = _mm256_cmpgt_epi32(best, v);
+            best = _mm256_blendv_epi8(best, v, lt);
+            idx = _mm256_blendv_epi8(
+                idx, _mm256_set1_epi32(static_cast<int32_t>(i)), lt);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + p), idx);
+    }
+    for (; p < bw; ++p) {
+        int32_t best = std::numeric_limits<int32_t>::max();
+        int32_t best_idx = 0;
+        for (size_t i = 0; i < lanes; ++i)
+            if (x[i * bw + p] < best) {
+                best = x[i * bw + p];
+                best_idx = static_cast<int32_t>(i);
+            }
+        out[p] = best_idx;
+    }
+}
+
+void
+widenAvx2(const int8_t *src, int32_t *dst, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + i),
+            _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(src + i))));
+    for (; i < n; ++i)
+        dst[i] = src[i];
+}
+
+void
+addClamp8Avx2(const int32_t *a, const int32_t *b, int32_t *o, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(o + i),
+                            clamp8v(_mm256_add_epi32(va, vb)));
+    }
+    for (; i < n; ++i)
+        o[i] = saturate<int8_t>(wrapAdd(a[i], b[i]));
+}
+
+void
+mulRequantAvx2(const int32_t *a, const int32_t *b, int32_t *o, size_t n,
+               const fixed::Requantizer &rq)
+{
+    if (!fastRequant(rq)) {
+        scalarOps().mul_requant(a, b, o, n, rq);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(o + i),
+            requant8(_mm256_mullo_epi32(va, vb), mant, shift));
+    }
+    for (; i < n; ++i)
+        o[i] = requant1(wrapMul(a[i], b[i]), rq);
+}
+
+void
+requantAvx2(const int32_t *x, int32_t *o, size_t n,
+            const fixed::Requantizer &rq)
+{
+    if (!fastRequant(rq)) {
+        scalarOps().requant_s32(x, o, n, rq);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(o + i),
+            requant8(_mm256_loadu_si256(
+                         reinterpret_cast<const __m256i *>(x + i)),
+                     mant, shift));
+    for (; i < n; ++i)
+        o[i] = requant1(x[i], rq);
+}
+
+void
+reluAvx2(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        _mm256_storeu_si256(
+            p, _mm256_max_epi32(_mm256_loadu_si256(p),
+                                _mm256_setzero_si256()));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] > 0 ? x[i] : 0;
+}
+
+void
+leakyReluAvx2(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        _mm256_storeu_si256(p, leaky8(_mm256_loadu_si256(p)));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] >= 0 ? x[i] : x[i] / 8;
+}
+
+void
+squareClamp8Avx2(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        const __m256i v = _mm256_loadu_si256(p);
+        _mm256_storeu_si256(p, clamp8v(_mm256_mullo_epi32(v, v)));
+    }
+    for (; i < n; ++i)
+        x[i] = saturate<int8_t>(wrapMul(x[i], x[i]));
+}
+
+void
+absClamp8Avx2(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        const __m256i v = _mm256_loadu_si256(p);
+        const __m256i neg =
+            clamp8v(_mm256_sub_epi32(_mm256_setzero_si256(), v));
+        _mm256_storeu_si256(
+            p, _mm256_blendv_epi8(v, neg, _mm256_srai_epi32(v, 31)));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] < 0 ? saturate<int8_t>(static_cast<int32_t>(
+                              -static_cast<int64_t>(x[i])))
+                        : x[i];
+}
+
+void
+negClamp8Avx2(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        _mm256_storeu_si256(
+            p, clamp8v(_mm256_sub_epi32(_mm256_setzero_si256(),
+                                        _mm256_loadu_si256(p))));
+    }
+    for (; i < n; ++i)
+        x[i] = saturate<int8_t>(
+            static_cast<int32_t>(-static_cast<int64_t>(x[i])));
+}
+
+void
+addConstClamp8Avx2(int32_t *x, size_t n, int32_t imm)
+{
+    const __m256i vi = _mm256_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        _mm256_storeu_si256(
+            p, clamp8v(_mm256_add_epi32(_mm256_loadu_si256(p), vi)));
+    }
+    for (; i < n; ++i)
+        x[i] = saturate<int8_t>(wrapAdd(x[i], imm));
+}
+
+void
+mulConstRequantAvx2(int32_t *x, size_t n, int32_t imm,
+                    const fixed::Requantizer &rq)
+{
+    if (!fastRequant(rq)) {
+        scalarOps().mul_const_requant(x, n, imm, rq);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    const __m256i vi = _mm256_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        _mm256_storeu_si256(
+            p, requant8(_mm256_mullo_epi32(_mm256_loadu_si256(p), vi),
+                        mant, shift));
+    }
+    for (; i < n; ++i)
+        x[i] = requant1(wrapMul(x[i], imm), rq);
+}
+
+void
+minConstAvx2(int32_t *x, size_t n, int32_t imm)
+{
+    const __m256i vi = _mm256_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        _mm256_storeu_si256(p,
+                            _mm256_min_epi32(_mm256_loadu_si256(p), vi));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] < imm ? x[i] : imm;
+}
+
+void
+maxConstAvx2(int32_t *x, size_t n, int32_t imm)
+{
+    const __m256i vi = _mm256_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i *p = reinterpret_cast<__m256i *>(x + i);
+        _mm256_storeu_si256(p,
+                            _mm256_max_epi32(_mm256_loadu_si256(p), vi));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] > imm ? x[i] : imm;
+}
+
+} // namespace
+
+bool
+patchAvx2(Ops &ops)
+{
+    ops.level = Level::Avx2;
+    ops.dense = denseAvx2;
+    ops.dense_batch = denseBatchAvx2;
+    ops.dot_s8_s32 = dotAvx2;
+    ops.dot_row_batch = dotRowBatchAvx2;
+    ops.sqdist_batch = sqdistBatchAvx2;
+    ops.argmin_batch = argminBatchAvx2;
+    ops.widen_s8 = widenAvx2;
+    ops.add_clamp8 = addClamp8Avx2;
+    ops.mul_requant = mulRequantAvx2;
+    ops.requant_s32 = requantAvx2;
+    ops.relu = reluAvx2;
+    ops.leaky_relu = leakyReluAvx2;
+    ops.square_clamp8 = squareClamp8Avx2;
+    ops.abs_clamp8 = absClamp8Avx2;
+    ops.neg_clamp8 = negClamp8Avx2;
+    ops.add_const_clamp8 = addConstClamp8Avx2;
+    ops.mul_const_requant = mulConstRequantAvx2;
+    ops.min_const = minConstAvx2;
+    ops.max_const = maxConstAvx2;
+    return true;
+}
+
+} // namespace taurus::kernels::detail
+
+#else // !TAURUS_KERNELS_AVX2
+
+namespace taurus::kernels::detail {
+
+bool
+patchAvx2(Ops &ops)
+{
+    (void)ops;
+    return false;
+}
+
+} // namespace taurus::kernels::detail
+
+#endif

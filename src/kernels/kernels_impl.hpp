@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Internal seams between the dispatcher and the per-level kernel TUs.
+ *
+ * Each SIMD translation unit is compiled with its own -m flags (set in
+ * src/CMakeLists.txt, x86 only) and exports one patch function that
+ * overwrites the entries it accelerates; everything it leaves alone
+ * stays on the scalar reference. On targets where a level is not
+ * compiled in, the patch function returns false and the dispatcher
+ * never offers that level.
+ */
+
+#pragma once
+
+#include "kernels/kernels.hpp"
+
+namespace taurus::kernels::detail {
+
+/** The scalar reference table (defines the exact semantics). */
+Ops makeScalarOps();
+
+/** Overlay SSE4.1 kernels; false when not compiled for this target. */
+bool patchSse(Ops &ops);
+
+/** Overlay AVX2 kernels; false when not compiled for this target. */
+bool patchAvx2(Ops &ops);
+
+/**
+ * Shared by every level's fallback paths: the scalar requantize of one
+ * int32 accumulator to a sign-extended int8 (Requantizer::apply).
+ */
+inline int32_t
+requant1(int32_t v, const fixed::Requantizer &rq)
+{
+    return static_cast<int32_t>(rq.apply(v));
+}
+
+/** Wrapping int32 product without signed-overflow UB. */
+inline int32_t
+wrapMul(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<int64_t>(a) *
+                                static_cast<int64_t>(b));
+}
+
+/** Wrapping int32 sum without signed-overflow UB. */
+inline int32_t
+wrapAdd(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<int64_t>(a) +
+                                static_cast<int64_t>(b));
+}
+
+} // namespace taurus::kernels::detail

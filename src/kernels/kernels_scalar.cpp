@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Scalar reference kernels: the semantic ground truth every SIMD level
+ * is tested bit-exact against. These mirror the original inner loops of
+ * nn::QuantizedMlp::forwardInt and dfg::evaluateInto (with wrapping
+ * int32 arithmetic made explicit instead of relying on signed-overflow
+ * behavior).
+ */
+
+#include "kernels/kernels_impl.hpp"
+
+#include <limits>
+
+#include "fixed/saturate.hpp"
+
+namespace taurus::kernels::detail {
+
+namespace {
+
+using fixed::saturate;
+
+int32_t
+clamp8(int32_t v)
+{
+    return saturate<int8_t>(v);
+}
+
+void
+denseScalar(const DenseView &L, const int8_t *x, int8_t *y)
+{
+    for (size_t r = 0; r < L.out; ++r) {
+        int64_t acc = L.b[r];
+        const int8_t *row = L.w + r * L.in;
+        for (size_t c = 0; c < L.in; ++c)
+            acc += static_cast<int32_t>(row[c]) *
+                   static_cast<int32_t>(x[c]);
+        const int8_t pre = L.rq.apply(saturate<int32_t>(acc));
+        int8_t out = pre;
+        switch (L.act) {
+          case DenseAct::Relu:
+            out = pre > 0 ? pre : static_cast<int8_t>(0);
+            break;
+          case DenseAct::LeakyRelu:
+            out = pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
+            break;
+          case DenseAct::Lut:
+            out = L.lut[static_cast<size_t>(static_cast<int>(pre) + 128)];
+            break;
+          case DenseAct::None:
+            break;
+        }
+        y[r] = out;
+    }
+}
+
+void
+denseBatchScalar(const DenseView &L, const int8_t *x, int8_t *y,
+                 size_t bw)
+{
+    // Column-at-a-time over the SoA block: each column is exactly one
+    // packet's denseScalar pass, so batched == unbatched by structure.
+    for (size_t r = 0; r < L.out; ++r) {
+        const int8_t *row = L.w + r * L.in;
+        for (size_t p = 0; p < bw; ++p) {
+            int64_t acc = L.b[r];
+            for (size_t c = 0; c < L.in; ++c)
+                acc += static_cast<int32_t>(row[c]) *
+                       static_cast<int32_t>(x[c * bw + p]);
+            const int8_t pre = L.rq.apply(saturate<int32_t>(acc));
+            int8_t out = pre;
+            switch (L.act) {
+              case DenseAct::Relu:
+                out = pre > 0 ? pre : static_cast<int8_t>(0);
+                break;
+              case DenseAct::LeakyRelu:
+                out = pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
+                break;
+              case DenseAct::Lut:
+                out = L.lut[static_cast<size_t>(static_cast<int>(pre) +
+                                                128)];
+                break;
+              case DenseAct::None:
+                break;
+            }
+            y[r * bw + p] = out;
+        }
+    }
+}
+
+int64_t
+dotScalar(const int8_t *w, const int32_t *x, size_t n)
+{
+    int64_t acc = 0;
+    for (size_t i = 0; i < n; ++i)
+        acc += wrapMul(static_cast<int32_t>(w[i]), x[i]);
+    return acc;
+}
+
+void
+dotRowBatchScalar(const int8_t *w, size_t n, int32_t bias,
+                  const fixed::Requantizer &rq, bool requant,
+                  bool narrow, const int32_t *x, int32_t *out, size_t bw)
+{
+    (void)narrow; // exactness hint for SIMD levels; scalar is exact
+    for (size_t p = 0; p < bw; ++p) {
+        int64_t acc = bias;
+        for (size_t i = 0; i < n; ++i)
+            acc += wrapMul(static_cast<int32_t>(w[i]), x[i * bw + p]);
+        const int32_t sat = saturate<int32_t>(acc);
+        out[p] = requant ? requant1(sat, rq) : sat;
+    }
+}
+
+void
+sqdistBatchScalar(const int8_t *w, size_t n,
+                  const fixed::Requantizer &rq, bool requant,
+                  bool narrow, const int32_t *x, int32_t *out, size_t bw)
+{
+    (void)narrow;
+    for (size_t p = 0; p < bw; ++p) {
+        int64_t acc = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const int32_t d =
+                wrapAdd(x[i * bw + p],
+                        -static_cast<int32_t>(w[i]));
+            acc += wrapMul(d, d);
+        }
+        const int32_t sat = saturate<int32_t>(acc);
+        out[p] = requant ? requant1(sat, rq) : sat;
+    }
+}
+
+void
+argminBatchScalar(const int32_t *x, size_t lanes, int32_t *out,
+                  size_t bw)
+{
+    for (size_t p = 0; p < bw; ++p) {
+        int32_t best = std::numeric_limits<int32_t>::max();
+        int32_t best_idx = 0;
+        for (size_t i = 0; i < lanes; ++i)
+            if (x[i * bw + p] < best) {
+                best = x[i * bw + p];
+                best_idx = static_cast<int32_t>(i);
+            }
+        out[p] = best_idx;
+    }
+}
+
+void
+widenScalar(const int8_t *src, int32_t *dst, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = src[i];
+}
+
+void
+addClamp8Scalar(const int32_t *a, const int32_t *b, int32_t *o, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        o[i] = clamp8(wrapAdd(a[i], b[i]));
+}
+
+void
+mulRequantScalar(const int32_t *a, const int32_t *b, int32_t *o,
+                 size_t n, const fixed::Requantizer &rq)
+{
+    for (size_t i = 0; i < n; ++i)
+        o[i] = requant1(wrapMul(a[i], b[i]), rq);
+}
+
+void
+requantScalar(const int32_t *x, int32_t *o, size_t n,
+              const fixed::Requantizer &rq)
+{
+    for (size_t i = 0; i < n; ++i)
+        o[i] = requant1(x[i], rq);
+}
+
+void
+reluScalar(int32_t *x, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = x[i] > 0 ? x[i] : 0;
+}
+
+void
+leakyReluScalar(int32_t *x, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = x[i] >= 0 ? x[i] : x[i] / 8;
+}
+
+void
+squareClamp8Scalar(int32_t *x, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = clamp8(wrapMul(x[i], x[i]));
+}
+
+void
+absClamp8Scalar(int32_t *x, size_t n)
+{
+    // Note the reference asymmetry: non-negative lanes pass through
+    // UNCLAMPED (dfg::applyMapFn Abs).
+    for (size_t i = 0; i < n; ++i)
+        x[i] = x[i] < 0
+                   ? clamp8(static_cast<int32_t>(
+                         -static_cast<int64_t>(x[i])))
+                   : x[i];
+}
+
+void
+negClamp8Scalar(int32_t *x, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = clamp8(
+            static_cast<int32_t>(-static_cast<int64_t>(x[i])));
+}
+
+void
+addConstClamp8Scalar(int32_t *x, size_t n, int32_t imm)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = clamp8(wrapAdd(x[i], imm));
+}
+
+void
+mulConstRequantScalar(int32_t *x, size_t n, int32_t imm,
+                      const fixed::Requantizer &rq)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = requant1(wrapMul(x[i], imm), rq);
+}
+
+void
+minConstScalar(int32_t *x, size_t n, int32_t imm)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = x[i] < imm ? x[i] : imm;
+}
+
+void
+maxConstScalar(int32_t *x, size_t n, int32_t imm)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = x[i] > imm ? x[i] : imm;
+}
+
+} // namespace
+
+Ops
+makeScalarOps()
+{
+    Ops ops;
+    ops.level = Level::Scalar;
+    ops.dense = denseScalar;
+    ops.dense_batch = denseBatchScalar;
+    ops.dot_s8_s32 = dotScalar;
+    ops.dot_row_batch = dotRowBatchScalar;
+    ops.sqdist_batch = sqdistBatchScalar;
+    ops.argmin_batch = argminBatchScalar;
+    ops.widen_s8 = widenScalar;
+    ops.add_clamp8 = addClamp8Scalar;
+    ops.mul_requant = mulRequantScalar;
+    ops.requant_s32 = requantScalar;
+    ops.relu = reluScalar;
+    ops.leaky_relu = leakyReluScalar;
+    ops.square_clamp8 = squareClamp8Scalar;
+    ops.abs_clamp8 = absClamp8Scalar;
+    ops.neg_clamp8 = negClamp8Scalar;
+    ops.add_const_clamp8 = addConstClamp8Scalar;
+    ops.mul_const_requant = mulConstRequantScalar;
+    ops.min_const = minConstScalar;
+    ops.max_const = maxConstScalar;
+    return ops;
+}
+
+} // namespace taurus::kernels::detail

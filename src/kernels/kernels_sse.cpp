@@ -1,0 +1,557 @@
+/**
+ * @file
+ * SSE4.1 kernels (compiled with -msse4.1 on x86 only; a stub
+ * elsewhere). Same exactness envelope and fallback rules as the AVX2
+ * TU, at 4 int32 / 8 int8 lanes per instruction; kernels with no
+ * profitable 128-bit form (dot_s8_s32, argmin_batch) stay on the
+ * scalar reference — the dispatch table composes per entry.
+ */
+
+#include "kernels/kernels_impl.hpp"
+
+#if defined(TAURUS_KERNELS_SSE)
+
+#include <smmintrin.h>
+
+#include <cstring>
+#include <limits>
+
+#include "fixed/saturate.hpp"
+
+namespace taurus::kernels::detail {
+
+namespace {
+
+using fixed::saturate;
+
+bool
+fastRequant(const fixed::Requantizer &rq)
+{
+    const int shift = 31 + rq.exponent();
+    return rq.mantissa() > 0 && shift >= 31 && shift <= 62;
+}
+
+inline __m128i
+clamp8v(__m128i v)
+{
+    return _mm_max_epi32(_mm_min_epi32(v, _mm_set1_epi32(127)),
+                         _mm_set1_epi32(-128));
+}
+
+/** Requantize 4 int32 lanes; caller guarantees fastRequant() held. */
+inline __m128i
+requant4(__m128i v, int32_t mantissa, int shift)
+{
+    const __m128i vm = _mm_set1_epi64x(
+        static_cast<int64_t>(static_cast<uint32_t>(mantissa)));
+    const __m128i sign = _mm_srai_epi32(v, 31);
+    const __m128i mag = _mm_sub_epi32(_mm_xor_si128(v, sign), sign);
+    const __m128i off = _mm_set1_epi64x(int64_t{1} << (shift - 1));
+    __m128i ev = _mm_mul_epu32(mag, vm);
+    __m128i od = _mm_mul_epu32(_mm_srli_epi64(mag, 32), vm);
+    ev = _mm_srli_epi64(_mm_add_epi64(ev, off), shift);
+    od = _mm_srli_epi64(_mm_add_epi64(od, off), shift);
+    // Recombine even (int32 lanes 0,2) and odd (1,3) results: 16-bit
+    // blend mask 0xCC selects 16-bit lanes 2,3 and 6,7 — exactly the
+    // odd int32 lanes.
+    __m128i res = _mm_blend_epi16(ev, _mm_slli_epi64(od, 32), 0xCC);
+    res = _mm_sub_epi32(_mm_xor_si128(res, sign), sign);
+    return clamp8v(res);
+}
+
+inline __m128i
+satAddBias(__m128i a, int32_t bias)
+{
+    if (bias == 0)
+        return a;
+    const __m128i vb = _mm_set1_epi32(bias);
+    const __m128i sat = _mm_set1_epi32(
+        bias > 0 ? std::numeric_limits<int32_t>::max()
+                 : std::numeric_limits<int32_t>::min());
+    const __m128i s = _mm_add_epi32(a, vb);
+    const __m128i ovf =
+        _mm_and_si128(_mm_xor_si128(a, s), _mm_xor_si128(vb, s));
+    return _mm_blendv_epi8(s, sat, _mm_srai_epi32(ovf, 31));
+}
+
+inline __m128i
+leaky4(__m128i v)
+{
+    const __m128i sign = _mm_srai_epi32(v, 31);
+    const __m128i neg =
+        _mm_srai_epi32(_mm_add_epi32(v, _mm_set1_epi32(7)), 3);
+    return _mm_blendv_epi8(v, neg, sign);
+}
+
+int32_t
+hsum32(__m128i v)
+{
+    v = _mm_add_epi32(v, _mm_srli_si128(v, 8));
+    v = _mm_add_epi32(v, _mm_srli_si128(v, 4));
+    return _mm_cvtsi128_si32(v);
+}
+
+inline int8_t
+denseFinish(const DenseView &L, int64_t acc)
+{
+    const int8_t pre = L.rq.apply(saturate<int32_t>(acc));
+    switch (L.act) {
+      case DenseAct::Relu:
+        return pre > 0 ? pre : static_cast<int8_t>(0);
+      case DenseAct::LeakyRelu:
+        return pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
+      case DenseAct::Lut:
+        return L.lut[static_cast<size_t>(static_cast<int>(pre) + 128)];
+      case DenseAct::None:
+        break;
+    }
+    return pre;
+}
+
+void
+denseCols(const DenseView &L, const int8_t *x, int8_t *y, size_t bw,
+          size_t p0, size_t p1)
+{
+    for (size_t r = 0; r < L.out; ++r) {
+        const int8_t *row = L.w + r * L.in;
+        for (size_t p = p0; p < p1; ++p) {
+            int64_t acc = L.b[r];
+            for (size_t c = 0; c < L.in; ++c)
+                acc += static_cast<int32_t>(row[c]) *
+                       static_cast<int32_t>(x[c * bw + p]);
+            y[r * bw + p] = denseFinish(L, acc);
+        }
+    }
+}
+
+void
+dotRowCols(const int8_t *w, size_t n, int32_t bias,
+           const fixed::Requantizer &rq, bool requant, const int32_t *x,
+           int32_t *out, size_t bw, size_t p0, size_t p1)
+{
+    for (size_t p = p0; p < p1; ++p) {
+        int64_t acc = bias;
+        for (size_t i = 0; i < n; ++i)
+            acc += wrapMul(static_cast<int32_t>(w[i]), x[i * bw + p]);
+        const int32_t sat = saturate<int32_t>(acc);
+        out[p] = requant ? requant1(sat, rq) : sat;
+    }
+}
+
+void
+denseSse(const DenseView &L, const int8_t *x, int8_t *y)
+{
+    if (L.in >= (size_t{1} << 16)) {
+        scalarOps().dense(L, x, y);
+        return;
+    }
+    for (size_t r = 0; r < L.out; ++r) {
+        const int8_t *row = L.w + r * L.in;
+        __m128i acc = _mm_setzero_si128();
+        size_t c = 0;
+        for (; c + 8 <= L.in; c += 8) {
+            const __m128i vw = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(row + c)));
+            const __m128i vx = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(x + c)));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(vw, vx));
+        }
+        int32_t sum = hsum32(acc);
+        for (; c < L.in; ++c)
+            sum += static_cast<int32_t>(row[c]) *
+                   static_cast<int32_t>(x[c]);
+        y[r] = denseFinish(L, static_cast<int64_t>(L.b[r]) + sum);
+    }
+}
+
+void
+denseBatchSse(const DenseView &L, const int8_t *x, int8_t *y, size_t bw)
+{
+    if (L.in >= (size_t{1} << 16)) {
+        scalarOps().dense_batch(L, x, y, bw);
+        return;
+    }
+    const bool fast_rq = fastRequant(L.rq);
+    const int32_t mant = L.rq.mantissa();
+    const int shift = 31 + L.rq.exponent();
+    alignas(16) int32_t tmp[8];
+    size_t p = 0;
+    for (; p + 8 <= bw; p += 8) {
+        for (size_t r = 0; r < L.out; ++r) {
+            const int8_t *row = L.w + r * L.in;
+            __m128i acc_lo = _mm_setzero_si128();
+            __m128i acc_hi = _mm_setzero_si128();
+            for (size_t c = 0; c < L.in; ++c) {
+                const __m128i xv = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(x + c * bw + p)));
+                const __m128i prod = _mm_mullo_epi16(
+                    xv,
+                    _mm_set1_epi16(static_cast<int16_t>(row[c])));
+                acc_lo = _mm_add_epi32(acc_lo,
+                                       _mm_cvtepi16_epi32(prod));
+                acc_hi = _mm_add_epi32(
+                    acc_hi,
+                    _mm_cvtepi16_epi32(_mm_srli_si128(prod, 8)));
+            }
+            __m128i halves[2] = {satAddBias(acc_lo, L.b[r]),
+                                 satAddBias(acc_hi, L.b[r])};
+            int8_t *dst = y + r * bw + p;
+            if (fast_rq) {
+                for (auto &h : halves) {
+                    h = requant4(h, mant, shift);
+                    if (L.act == DenseAct::Relu)
+                        h = _mm_max_epi32(h, _mm_setzero_si128());
+                    else if (L.act == DenseAct::LeakyRelu)
+                        h = leaky4(h);
+                }
+                _mm_store_si128(reinterpret_cast<__m128i *>(tmp),
+                                halves[0]);
+                _mm_store_si128(reinterpret_cast<__m128i *>(tmp + 4),
+                                halves[1]);
+                if (L.act == DenseAct::Lut) {
+                    for (int k = 0; k < 8; ++k)
+                        dst[k] = L.lut[static_cast<size_t>(tmp[k] +
+                                                           128)];
+                } else {
+                    for (int k = 0; k < 8; ++k)
+                        dst[k] = static_cast<int8_t>(tmp[k]);
+                }
+            } else {
+                _mm_store_si128(reinterpret_cast<__m128i *>(tmp),
+                                halves[0]);
+                _mm_store_si128(reinterpret_cast<__m128i *>(tmp + 4),
+                                halves[1]);
+                for (int k = 0; k < 8; ++k)
+                    dst[k] = denseFinish(L, tmp[k]);
+            }
+        }
+    }
+    if (p < bw)
+        denseCols(L, x, y, bw, p, bw);
+}
+
+void
+dotRowBatchSse(const int8_t *w, size_t n, int32_t bias,
+               const fixed::Requantizer &rq, bool requant, bool narrow,
+               const int32_t *x, int32_t *out, size_t bw)
+{
+    const bool fast32 = narrow && n < (size_t{1} << 16);
+    const bool fast_rq = !requant || fastRequant(rq);
+    if (!fast32 || !fast_rq) {
+        scalarOps().dot_row_batch(w, n, bias, rq, requant, narrow, x,
+                                  out, bw);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t p = 0;
+    for (; p + 4 <= bw; p += 4) {
+        __m128i acc = _mm_setzero_si128();
+        for (size_t i = 0; i < n; ++i) {
+            const __m128i xv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(x + i * bw + p));
+            acc = _mm_add_epi32(
+                acc,
+                _mm_mullo_epi32(
+                    xv,
+                    _mm_set1_epi32(static_cast<int32_t>(w[i]))));
+        }
+        __m128i v = satAddBias(acc, bias);
+        if (requant)
+            v = requant4(v, mant, shift);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + p), v);
+    }
+    if (p < bw)
+        dotRowCols(w, n, bias, rq, requant, x, out, bw, p, bw);
+}
+
+void
+sqdistBatchSse(const int8_t *w, size_t n, const fixed::Requantizer &rq,
+               bool requant, bool narrow, const int32_t *x,
+               int32_t *out, size_t bw)
+{
+    const bool fast32 = narrow && n < (size_t{1} << 15);
+    const bool fast_rq = !requant || fastRequant(rq);
+    if (!fast32 || !fast_rq) {
+        scalarOps().sqdist_batch(w, n, rq, requant, narrow, x, out, bw);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t p = 0;
+    for (; p + 4 <= bw; p += 4) {
+        __m128i acc = _mm_setzero_si128();
+        for (size_t i = 0; i < n; ++i) {
+            const __m128i xv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(x + i * bw + p));
+            const __m128i d = _mm_sub_epi32(
+                xv, _mm_set1_epi32(static_cast<int32_t>(w[i])));
+            acc = _mm_add_epi32(acc, _mm_mullo_epi32(d, d));
+        }
+        __m128i v = acc;
+        if (requant)
+            v = requant4(v, mant, shift);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + p), v);
+    }
+    for (; p < bw; ++p) {
+        int64_t acc = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const int32_t d =
+                wrapAdd(x[i * bw + p], -static_cast<int32_t>(w[i]));
+            acc += wrapMul(d, d);
+        }
+        const int32_t sat = saturate<int32_t>(acc);
+        out[p] = requant ? requant1(sat, rq) : sat;
+    }
+}
+
+void
+widenSse(const int8_t *src, int32_t *dst, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        int32_t word;
+        std::memcpy(&word, src + i, sizeof(word));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_cvtepi8_epi32(_mm_cvtsi32_si128(word)));
+    }
+    for (; i < n; ++i)
+        dst[i] = src[i];
+}
+
+void
+addClamp8Sse(const int32_t *a, const int32_t *b, int32_t *o, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(o + i),
+                         clamp8v(_mm_add_epi32(va, vb)));
+    }
+    for (; i < n; ++i)
+        o[i] = saturate<int8_t>(wrapAdd(a[i], b[i]));
+}
+
+void
+mulRequantSse(const int32_t *a, const int32_t *b, int32_t *o, size_t n,
+              const fixed::Requantizer &rq)
+{
+    if (!fastRequant(rq)) {
+        scalarOps().mul_requant(a, b, o, n, rq);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(o + i),
+                         requant4(_mm_mullo_epi32(va, vb), mant,
+                                  shift));
+    }
+    for (; i < n; ++i)
+        o[i] = requant1(wrapMul(a[i], b[i]), rq);
+}
+
+void
+requantSse(const int32_t *x, int32_t *o, size_t n,
+           const fixed::Requantizer &rq)
+{
+    if (!fastRequant(rq)) {
+        scalarOps().requant_s32(x, o, n, rq);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(o + i),
+            requant4(_mm_loadu_si128(
+                         reinterpret_cast<const __m128i *>(x + i)),
+                     mant, shift));
+    for (; i < n; ++i)
+        o[i] = requant1(x[i], rq);
+}
+
+void
+reluSse(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        _mm_storeu_si128(
+            p, _mm_max_epi32(_mm_loadu_si128(p), _mm_setzero_si128()));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] > 0 ? x[i] : 0;
+}
+
+void
+leakyReluSse(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        _mm_storeu_si128(p, leaky4(_mm_loadu_si128(p)));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] >= 0 ? x[i] : x[i] / 8;
+}
+
+void
+squareClamp8Sse(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        const __m128i v = _mm_loadu_si128(p);
+        _mm_storeu_si128(p, clamp8v(_mm_mullo_epi32(v, v)));
+    }
+    for (; i < n; ++i)
+        x[i] = saturate<int8_t>(wrapMul(x[i], x[i]));
+}
+
+void
+absClamp8Sse(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        const __m128i v = _mm_loadu_si128(p);
+        const __m128i neg =
+            clamp8v(_mm_sub_epi32(_mm_setzero_si128(), v));
+        _mm_storeu_si128(
+            p, _mm_blendv_epi8(v, neg, _mm_srai_epi32(v, 31)));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] < 0 ? saturate<int8_t>(static_cast<int32_t>(
+                              -static_cast<int64_t>(x[i])))
+                        : x[i];
+}
+
+void
+negClamp8Sse(int32_t *x, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        _mm_storeu_si128(p, clamp8v(_mm_sub_epi32(_mm_setzero_si128(),
+                                                  _mm_loadu_si128(p))));
+    }
+    for (; i < n; ++i)
+        x[i] = saturate<int8_t>(
+            static_cast<int32_t>(-static_cast<int64_t>(x[i])));
+}
+
+void
+addConstClamp8Sse(int32_t *x, size_t n, int32_t imm)
+{
+    const __m128i vi = _mm_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        _mm_storeu_si128(
+            p, clamp8v(_mm_add_epi32(_mm_loadu_si128(p), vi)));
+    }
+    for (; i < n; ++i)
+        x[i] = saturate<int8_t>(wrapAdd(x[i], imm));
+}
+
+void
+mulConstRequantSse(int32_t *x, size_t n, int32_t imm,
+                   const fixed::Requantizer &rq)
+{
+    if (!fastRequant(rq)) {
+        scalarOps().mul_const_requant(x, n, imm, rq);
+        return;
+    }
+    const int32_t mant = rq.mantissa();
+    const int shift = 31 + rq.exponent();
+    const __m128i vi = _mm_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        _mm_storeu_si128(
+            p, requant4(_mm_mullo_epi32(_mm_loadu_si128(p), vi), mant,
+                        shift));
+    }
+    for (; i < n; ++i)
+        x[i] = requant1(wrapMul(x[i], imm), rq);
+}
+
+void
+minConstSse(int32_t *x, size_t n, int32_t imm)
+{
+    const __m128i vi = _mm_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        _mm_storeu_si128(p, _mm_min_epi32(_mm_loadu_si128(p), vi));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] < imm ? x[i] : imm;
+}
+
+void
+maxConstSse(int32_t *x, size_t n, int32_t imm)
+{
+    const __m128i vi = _mm_set1_epi32(imm);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(x + i);
+        _mm_storeu_si128(p, _mm_max_epi32(_mm_loadu_si128(p), vi));
+    }
+    for (; i < n; ++i)
+        x[i] = x[i] > imm ? x[i] : imm;
+}
+
+} // namespace
+
+bool
+patchSse(Ops &ops)
+{
+    ops.level = Level::Sse;
+    ops.dense = denseSse;
+    ops.dense_batch = denseBatchSse;
+    ops.dot_row_batch = dotRowBatchSse;
+    ops.sqdist_batch = sqdistBatchSse;
+    ops.widen_s8 = widenSse;
+    ops.add_clamp8 = addClamp8Sse;
+    ops.mul_requant = mulRequantSse;
+    ops.requant_s32 = requantSse;
+    ops.relu = reluSse;
+    ops.leaky_relu = leakyReluSse;
+    ops.square_clamp8 = squareClamp8Sse;
+    ops.abs_clamp8 = absClamp8Sse;
+    ops.neg_clamp8 = negClamp8Sse;
+    ops.add_const_clamp8 = addConstClamp8Sse;
+    ops.mul_const_requant = mulConstRequantSse;
+    ops.min_const = minConstSse;
+    ops.max_const = maxConstSse;
+    // dot_s8_s32 / argmin_batch stay scalar at this level.
+    return true;
+}
+
+} // namespace taurus::kernels::detail
+
+#else // !TAURUS_KERNELS_SSE
+
+namespace taurus::kernels::detail {
+
+bool
+patchSse(Ops &ops)
+{
+    (void)ops;
+    return false;
+}
+
+} // namespace taurus::kernels::detail
+
+#endif

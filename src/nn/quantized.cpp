@@ -5,8 +5,43 @@
 #include <cmath>
 
 #include "fixed/saturate.hpp"
+#include "kernels/kernels.hpp"
 
 namespace taurus::nn {
+
+namespace {
+
+/** View of one quantized layer in the form the kernel layer consumes. */
+kernels::DenseView
+denseView(const QuantizedDense &layer)
+{
+    kernels::DenseView view;
+    view.w = layer.w.data();
+    view.b = layer.b.data();
+    view.lut = layer.lut.empty() ? nullptr : layer.lut.data();
+    view.rq = layer.requant;
+    view.out = layer.out;
+    view.in = layer.in;
+    switch (layer.act) {
+      case Activation::Relu:
+        view.act = kernels::DenseAct::Relu;
+        break;
+      case Activation::LeakyRelu:
+        view.act = kernels::DenseAct::LeakyRelu;
+        break;
+      case Activation::Sigmoid:
+      case Activation::Tanh:
+        view.act = kernels::DenseAct::Lut;
+        break;
+      case Activation::None:
+      case Activation::Softmax:
+        view.act = kernels::DenseAct::None;
+        break;
+    }
+    return view;
+}
+
+} // namespace
 
 std::vector<int8_t>
 buildActivationLut(Activation act, double in_scale, double out_scale)
@@ -106,11 +141,19 @@ QuantizedMlp::fromFloat(const Mlp &model, const std::vector<Vector> &calib,
 std::vector<int8_t>
 QuantizedMlp::quantizeInput(const Vector &input) const
 {
-    std::vector<int8_t> out(input.size());
+    std::vector<int8_t> out;
+    quantizeInput(input, out);
+    return out;
+}
+
+void
+QuantizedMlp::quantizeInput(const Vector &input,
+                            std::vector<int8_t> &out) const
+{
+    out.resize(input.size());
     for (size_t i = 0; i < input.size(); ++i)
         out[i] = static_cast<int8_t>(
             fixed::quantize(input[i], input_qp_, 8));
-    return out;
 }
 
 std::vector<int8_t>
@@ -131,37 +174,11 @@ QuantizedMlp::forwardInt(const std::vector<int8_t> &input,
     std::vector<int8_t> *next = &scratch.b;
     cur->assign(input.begin(), input.end());
 
+    const kernels::Ops &ops = kernels::active();
     for (const auto &layer : layers_) {
         assert(cur->size() == layer.in);
         next->resize(layer.out);
-        const int8_t *v = cur->data();
-        for (size_t r = 0; r < layer.out; ++r) {
-            int64_t acc = layer.b[r];
-            const int8_t *row = layer.w.data() + r * layer.in;
-            for (size_t c = 0; c < layer.in; ++c)
-                acc += static_cast<int32_t>(row[c]) *
-                       static_cast<int32_t>(v[c]);
-            const int32_t acc32 = fixed::saturate<int32_t>(acc);
-            int8_t pre = layer.requant.apply(acc32);
-            int8_t out = pre;
-            switch (layer.act) {
-              case Activation::Relu:
-                out = std::max<int8_t>(pre, 0);
-                break;
-              case Activation::LeakyRelu:
-                out = pre >= 0 ? pre : static_cast<int8_t>(pre / 8);
-                break;
-              case Activation::Sigmoid:
-              case Activation::Tanh:
-                out = layer.lut[static_cast<size_t>(
-                    static_cast<int>(pre) + 128)];
-                break;
-              case Activation::None:
-              case Activation::Softmax:
-                break;
-            }
-            (*next)[r] = out;
-        }
+        ops.dense(denseView(layer), cur->data(), next->data());
         std::swap(cur, next);
     }
     return *cur;
@@ -170,7 +187,17 @@ QuantizedMlp::forwardInt(const std::vector<int8_t> &input,
 Vector
 QuantizedMlp::forward(const Vector &input) const
 {
-    const std::vector<int8_t> out = forwardInt(quantizeInput(input));
+    ForwardScratch scratch;
+    return forward(input, scratch);
+}
+
+Vector
+QuantizedMlp::forward(const Vector &input, ForwardScratch &scratch) const
+{
+    // forwardInt copies its input into scratch.a before touching the
+    // double buffers, so feeding it scratch.q is safe.
+    quantizeInput(input, scratch.q);
+    const std::vector<int8_t> &out = forwardInt(scratch.q, scratch);
     Vector real(out.size());
     const double s = layers_.back().out_scale;
     for (size_t i = 0; i < out.size(); ++i)
@@ -181,7 +208,14 @@ QuantizedMlp::forward(const Vector &input) const
 int
 QuantizedMlp::predict(const Vector &input) const
 {
-    const Vector out = forward(input);
+    ForwardScratch scratch;
+    return predict(input, scratch);
+}
+
+int
+QuantizedMlp::predict(const Vector &input, ForwardScratch &scratch) const
+{
+    const Vector out = forward(input, scratch);
     if (loss_ == Loss::BinaryCrossEntropy || out.size() == 1)
         return out[0] >= 0.5f ? 1 : 0;
     return static_cast<int>(
@@ -201,8 +235,9 @@ QuantizedMlp::accuracy(const Dataset &data) const
     if (data.size() == 0)
         return 0.0;
     size_t correct = 0;
+    ForwardScratch scratch;
     for (size_t i = 0; i < data.size(); ++i)
-        if (predict(data.x[i]) == data.y[i])
+        if (predict(data.x[i], scratch) == data.y[i])
             ++correct;
     return static_cast<double>(correct) / static_cast<double>(data.size());
 }

@@ -44,6 +44,8 @@ struct ForwardScratch
 {
     std::vector<int8_t> a;
     std::vector<int8_t> b;
+    /** Quantized-input buffer for the forward(input, scratch) path. */
+    std::vector<int8_t> q;
 };
 
 /** A quantized MLP with an integer-only forward pass. */
@@ -72,6 +74,10 @@ class QuantizedMlp
     /** Quantize a real-valued input vector to the input scale. */
     std::vector<int8_t> quantizeInput(const Vector &input) const;
 
+    /** Allocation-free overload: writes into `out` (resized in place,
+     *  capacity retained across calls); bit-identical results. */
+    void quantizeInput(const Vector &input, std::vector<int8_t> &out) const;
+
     /** Integer-only forward pass. */
     std::vector<int8_t> forwardInt(const std::vector<int8_t> &input) const;
 
@@ -87,8 +93,13 @@ class QuantizedMlp
     /** Convenience: real input -> dequantized real output vector. */
     Vector forward(const Vector &input) const;
 
+    /** Scratch-reusing forward: quantization and activations all live
+     *  in `scratch` (only the returned Vector allocates). */
+    Vector forward(const Vector &input, ForwardScratch &scratch) const;
+
     /** Predicted class (argmax / threshold on the dequantized output). */
     int predict(const Vector &input) const;
+    int predict(const Vector &input, ForwardScratch &scratch) const;
 
     /** Real-valued anomaly score for binary models (sigmoid output). */
     double score(const Vector &input) const;

@@ -165,8 +165,18 @@ SwitchFarm::processTrace(util::Span<const net::TracePacket> packets,
                 const auto &part = parts[w];
                 auto &out = local[w];
                 out.resize(part.size());
-                for (size_t j = 0; j < part.size(); ++j)
-                    out[j] = sw.process(packets[part[j]]);
+                // Batched drain: the replica windows consecutive
+                // same-tenant packets through the packet-major
+                // MapReduce path (decisions stay bit-identical).
+                std::vector<const net::TracePacket *> pkt_ptrs(
+                    part.size());
+                std::vector<SwitchDecision *> out_ptrs(part.size());
+                for (size_t j = 0; j < part.size(); ++j) {
+                    pkt_ptrs[j] = &packets[part[j]];
+                    out_ptrs[j] = &out[j];
+                }
+                sw.processBatch(pkt_ptrs.data(), out_ptrs.data(),
+                                part.size());
             } catch (...) {
                 errors[w] = std::current_exception();
             }

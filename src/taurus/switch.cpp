@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "pisa/packet.hpp"
 #include "taurus/app.hpp"
 
@@ -76,6 +77,16 @@ TaurusSwitch::bindObservability(
                                             "path=\"ml\"", shard_);
     bypass_latency_cell_ = registry_->histogram(
         "taurus_switch_latency_ns", "path=\"bypass\"", shard_);
+    batch_width_cell_ = registry_->histogram(
+        "taurus_switch_batch_width_pkts", "", shard_);
+    // Info-style gauge: value 1, the label names the dispatched SIMD
+    // kernel level (scalar/sse/avx2) this process selected at startup.
+    registry_
+        ->gauge("taurus_kernel_level",
+                std::string("level=\"") +
+                    kernels::levelName(kernels::activeLevel()) + "\"",
+                shard_)
+        .set(1.0);
     collector_token_ = registry_->addCollector(
         [this](obs::Snapshot &snap) { collectStats(snap); });
 }
@@ -268,6 +279,7 @@ TaurusSwitch::buildInstalled(const AppArtifact &app, FeatureProgram fp,
         inst->ml_input.emplace_back(
             static_cast<size_t>(inst->program->graph.node(id).width));
     inst->eval.bind(inst->program->graph);
+    inst->batch_eval.bind(inst->program->graph);
 
     inst->features = std::move(fp);
 
@@ -552,6 +564,7 @@ TaurusSwitch::adoptPrograms(std::vector<hw::GridProgram> &&programs,
             app.ml_input.emplace_back(
                 static_cast<size_t>(app.program->graph.node(id).width));
         app.eval.bind(app.program->graph);
+        app.batch_eval.bind(app.program->graph);
     }
 }
 
@@ -801,8 +814,287 @@ TaurusSwitch::processBatch(util::Span<const net::TracePacket> packets,
     if (packets.size() != decisions.size())
         throw std::invalid_argument(
             "processBatch: packets/decisions size mismatch");
-    for (size_t i = 0; i < packets.size(); ++i)
-        decisions[i] = process(packets[i]);
+    const size_t n = packets.size();
+    batch_.pkt_ptrs.resize(n);
+    batch_.out_ptrs.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        batch_.pkt_ptrs[i] = &packets[i];
+        batch_.out_ptrs[i] = &decisions[i];
+    }
+    processBatch(batch_.pkt_ptrs.data(), batch_.out_ptrs.data(), n);
+}
+
+void
+TaurusSwitch::stageFront(const net::TracePacket &tp, BatchSlot &s)
+{
+    // Mirrors the front half of process() exactly: same side effects on
+    // the tracer, dispatch registers, and the selected tenant's feature
+    // registers, in the same order — only the wire buffer and PHV live
+    // in the slot instead of scratch_.
+    s.traced = tracer_.sampleNext();
+    // seen() cannot advance between a packet's sample gate and its
+    // record in the single-packet path, so capturing the sequence here
+    // keeps trace seqs identical even though record happens after the
+    // rest of the window's packets have been sampled.
+    s.trace_seq = tracer_.seen();
+
+    pisa::fromTracePacketInto(tp, s.pkt);
+    parser_.parseInto(s.pkt, s.phv);
+    s.latency = cfg_.mat_timing.parser_ns;
+
+    s.app_id = default_app_;
+    bool dispatch_miss = false;
+    s.dispatch_ns = 0.0;
+    if (dispatchActive()) {
+        dispatch_miss = !dispatch_.stage(0).apply(s.phv, dispatch_regs_);
+        s.app_id = static_cast<AppId>(s.phv.get(pisa::Field::AppId));
+        if (s.app_id >= apps_.size() || !apps_[s.app_id])
+            s.app_id = default_app_;
+        s.dispatch_ns = dispatch_.latencyNs(cfg_.mat_timing);
+        s.latency += s.dispatch_ns;
+    }
+    InstalledApp &app = *apps_[s.app_id];
+    if (dispatch_miss) {
+        ++stats_.dispatch_misses;
+        ++app.stats.dispatch_misses;
+    }
+
+    app.features.preprocess.apply(s.phv, app.features.registers);
+    s.preprocess_ns = app.features.preprocess.latencyNs(cfg_.mat_timing);
+    s.latency += s.preprocess_ns;
+
+    s.d = SwitchDecision{};
+    s.d.app_id = s.app_id;
+    s.d.feature_count = static_cast<uint8_t>(
+        std::min(app.features.feature_count, kDecisionFeatureSlots));
+    for (size_t i = 0; i < s.d.feature_count; ++i)
+        s.d.features[i] = static_cast<int8_t>(
+            static_cast<int32_t>(s.phv.get(pisa::featureField(i))));
+    s.take_ml =
+        !cfg_.enable_bypass || s.phv.get(pisa::Field::MlBypass) == 0;
+    if (s.take_ml) {
+        std::vector<int8_t> &input = s.vals;
+        input.resize(app.ml_input.front().size());
+        for (size_t i = 0; i < input.size(); ++i)
+            input[i] = i < s.d.feature_count
+                           ? s.d.features[i]
+                           : static_cast<int8_t>(static_cast<int32_t>(
+                                 s.phv.get(pisa::featureField(i))));
+        ++stats_.ml_packets;
+        ++app.stats.ml_packets;
+    }
+}
+
+void
+TaurusSwitch::stageTail(BatchSlot &s, InstalledApp &app)
+{
+    // Mirrors the tail half of process(): the latency terms are summed
+    // in the same order so the double-precision totals are bitwise
+    // identical to the per-packet path.
+    pisa::Phv &phv = s.phv;
+    SwitchDecision &d = s.d;
+    double latency = s.latency;
+
+    double mapreduce_ns = 0.0;
+    if (s.take_ml) {
+        phv.set(pisa::Field::MlScore,
+                static_cast<uint32_t>(static_cast<int32_t>(d.score)));
+        phv.set(pisa::Field::MlBypass, 0);
+        // runInto copies its latency from the static schedule, which is
+        // exactly what mr_latency_ns caches.
+        mapreduce_ns = app.mr_latency_ns;
+        latency += mapreduce_ns;
+    } else {
+        d.bypassed = true;
+        phv.set(pisa::Field::MlBypass, 1);
+    }
+
+    app.postprocess.apply(phv, app.features.registers);
+    const bool pre_safety_flag = phv.get(pisa::Field::Decision) != 0;
+    app.safety.stages.apply(phv, app.features.registers);
+    const double verdict_ns =
+        app.postprocess.latencyNs(cfg_.mat_timing) +
+        app.safety.stages.latencyNs(cfg_.mat_timing);
+    const double scheduler_ns = cfg_.mat_timing.scheduler_ns;
+    latency += verdict_ns + scheduler_ns;
+
+    forwarding_.apply(phv, app.features.registers);
+    const double forward_ns = forwarding_.latencyNs(cfg_.mat_timing);
+    latency += forward_ns;
+    d.egress_port = static_cast<uint16_t>(phv.get(pisa::Field::QueueId));
+
+    d.flagged = phv.get(pisa::Field::Decision) != 0;
+    switch (app.verdict_kind) {
+      case VerdictKind::BinaryThreshold:
+        d.class_id = d.flagged ? 1 : 0;
+        break;
+      case VerdictKind::ArgmaxClass:
+        d.class_id = phv.getSigned(pisa::Field::MlClass);
+        break;
+      case VerdictKind::ScalarAction:
+        d.class_id = static_cast<int32_t>(d.score);
+        break;
+    }
+    if (pre_safety_flag && !d.flagged) {
+        ++stats_.safety_overrides;
+        ++app.stats.safety_overrides;
+    }
+    if (d.flagged && cfg_.drop_anomalies) {
+        d.dropped = true;
+    } else {
+        const uint64_t rank = pisa::Pifo::rankOf(
+            cfg_.policy, phv, stats_.packets);
+        if (scheduler_.full()) {
+            scheduler_.push(rank, pisa::Packet{}, pisa::Phv{});
+            d.dropped = true;
+        } else {
+            scheduler_.push(rank, std::move(s.pkt), std::move(phv));
+            pisa::PifoItem item = scheduler_.pop();
+            s.pkt = std::move(item.pkt);
+            s.phv = std::move(item.phv);
+        }
+    }
+
+    d.latency_ns = latency;
+    ++stats_.packets;
+    ++app.stats.packets;
+    if (d.flagged) {
+        ++stats_.flagged;
+        ++app.stats.flagged;
+    }
+    if (d.dropped) {
+        ++stats_.dropped;
+        ++app.stats.dropped;
+    }
+    if (d.bypassed) {
+        stats_.bypass_latency_ns.add(latency);
+        app.stats.bypass_latency_ns.add(latency);
+    } else {
+        stats_.ml_latency_ns.add(latency);
+        app.stats.ml_latency_ns.add(latency);
+    }
+
+    stage_cells_[static_cast<size_t>(obs::Stage::Parser)].observe(
+        cfg_.mat_timing.parser_ns);
+    if (dispatchActive())
+        stage_cells_[static_cast<size_t>(obs::Stage::Dispatch)].observe(
+            s.dispatch_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Preprocess)].observe(
+        s.preprocess_ns);
+    if (s.take_ml)
+        stage_cells_[static_cast<size_t>(obs::Stage::MapReduce)]
+            .observe(mapreduce_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Verdict)].observe(
+        verdict_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Forward)].observe(
+        forward_ns);
+    stage_cells_[static_cast<size_t>(obs::Stage::Scheduler)].observe(
+        scheduler_ns);
+    (d.bypassed ? bypass_latency_cell_ : ml_latency_cell_)
+        .observe(latency);
+    if (s.traced) {
+        obs::PacketTrace tr;
+        tr.seq = s.trace_seq;
+        tr.app_id = s.app_id;
+        tr.total_ns = latency;
+        tr.add(obs::Stage::Parser, cfg_.mat_timing.parser_ns);
+        if (dispatchActive())
+            tr.add(obs::Stage::Dispatch, s.dispatch_ns);
+        tr.add(obs::Stage::Preprocess, s.preprocess_ns);
+        if (s.take_ml)
+            tr.add(obs::Stage::MapReduce, mapreduce_ns);
+        tr.add(obs::Stage::Verdict, verdict_ns);
+        tr.add(obs::Stage::Forward, forward_ns);
+        tr.add(obs::Stage::Scheduler, scheduler_ns);
+        tracer_.record(tr);
+    }
+}
+
+void
+TaurusSwitch::processBatch(const net::TracePacket *const *packets,
+                           SwitchDecision *const *decisions, size_t n)
+{
+    const size_t window = cfg_.batch_window;
+    if (window <= 1 || live_ == 0) {
+        for (size_t i = 0; i < n; ++i)
+            *decisions[i] = process(*packets[i]);
+        return;
+    }
+
+    auto &slots = batch_.slots;
+    if (slots.size() < window)
+        slots.resize(window);
+
+    size_t i = 0;       // next packet to stage
+    size_t base = 0;    // packet index of slots[0]
+    bool primed = false;
+    while (i < n || primed) {
+        // Phase 1: stage consecutive same-tenant packets into slots.
+        // The stateful front stages (tracer, dispatch, preprocess) run
+        // strictly in packet order; a tenant switch closes the window
+        // with the foreign packet already staged (its side effects
+        // touch only its own tenant's registers, which are disjoint
+        // from the current window's tail stages).
+        size_t w = primed ? 1 : 0;
+        primed = false;
+        while (w < window && i < n) {
+            stageFront(*packets[i], slots[w]);
+            ++i;
+            if (w > 0 && slots[w].app_id != slots[0].app_id) {
+                primed = true; // starts the next window
+                break;
+            }
+            ++w;
+        }
+
+        // Phase 2: the window's MapReduce inferences, packet-major.
+        InstalledApp &app = *apps_[slots[0].app_id];
+        auto &ml_idx = batch_.ml_idx;
+        ml_idx.clear();
+        for (size_t k = 0; k < w; ++k)
+            if (slots[k].take_ml)
+                ml_idx.push_back(k);
+        const size_t ml = ml_idx.size();
+        if (ml > 0) {
+            if (ml > 1 && app.ml_input.size() == 1) {
+                auto &ptrs = batch_.in_ptrs;
+                ptrs.resize(ml);
+                for (size_t c = 0; c < ml; ++c)
+                    ptrs[c] = slots[ml_idx[c]].vals.data();
+                const auto &outs = dfg::evaluateBatchInto(
+                    app.program->graph, ptrs.data(), ml,
+                    app.batch_eval);
+                const auto &lanes = outs.at(0).lanes;
+                for (size_t c = 0; c < ml; ++c)
+                    slots[ml_idx[c]].d.score =
+                        static_cast<int8_t>(lanes[c]);
+            } else {
+                // Width-1 windows and multi-input graphs take the
+                // same per-packet evaluator as process().
+                for (size_t c = 0; c < ml; ++c) {
+                    BatchSlot &s = slots[ml_idx[c]];
+                    std::vector<int8_t> &input = app.ml_input.front();
+                    input.assign(s.vals.begin(), s.vals.end());
+                    hw::SimResult &res = scratch_.sim_result;
+                    app.sim->runInto(app.ml_input, app.eval, res);
+                    s.d.score = static_cast<int8_t>(
+                        res.outputs.at(0).lanes.at(0));
+                }
+            }
+            batch_width_cell_.observe(static_cast<double>(ml));
+        }
+
+        // Phase 3: tail stages strictly in packet order (the PIFO rank
+        // and stats_.packets interleave exactly as per-packet).
+        for (size_t k = 0; k < w; ++k) {
+            stageTail(slots[k], app);
+            *decisions[base + k] = slots[k].d;
+        }
+
+        if (primed)
+            std::swap(slots[0], slots[w]);
+        base += w;
+    }
 }
 
 double

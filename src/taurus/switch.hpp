@@ -45,6 +45,7 @@
 
 #include "compiler/compile.hpp"
 #include "compiler/place.hpp"
+#include "dfg/batch_eval.hpp"
 #include "hw/cycle_sim.hpp"
 #include "models/zoo.hpp"
 #include "obs/registry.hpp"
@@ -157,6 +158,16 @@ struct SwitchConfig
     SafetyPolicy safety;
     /** LPM forwarding table; empty = forward everything to port 0. */
     std::vector<Route> routes;
+
+    /**
+     * Packet-major batch window for processBatch: up to this many
+     * consecutive same-tenant packets have their MapReduce inference
+     * evaluated together through the SIMD batched path
+     * (dfg::evaluateBatchInto). Decisions and statistics are
+     * bit-identical for any window (asserted by test and bench);
+     * <= 1 disables windowing (the legacy per-packet loop).
+     */
+    size_t batch_window = 32;
 
     /** Tenant hosting policy for the shared MapReduce block. */
     PlacementPolicy placement = PlacementPolicy::Auto;
@@ -438,6 +449,17 @@ class TaurusSwitch
     void processBatch(util::Span<const net::TracePacket> packets,
                       util::Span<SwitchDecision> decisions);
 
+    /**
+     * Indirect batch entry point: `packets[i]` / `decisions[i]` are
+     * pointers, so callers whose packets are not contiguous (pipeline
+     * worker rings, farm partitions) batch without copying. Windows of
+     * up to cfg.batch_window consecutive same-tenant packets run their
+     * MapReduce inference through the packet-major SIMD path; decisions
+     * and statistics stay bit-identical to per-packet process().
+     */
+    void processBatch(const net::TracePacket *const *packets,
+                      SwitchDecision *const *decisions, size_t n);
+
     /** Live (installed, not removed) applications. */
     size_t appCount() const { return live_; }
 
@@ -568,6 +590,9 @@ class TaurusSwitch
          *  co-resident tenants never resize each other's buffers. */
         std::vector<std::vector<int8_t>> ml_input;
         dfg::EvalScratch eval;
+        /** Batched-evaluation scratch for the packet-major window path
+         *  (bound to the same compiled graph as `eval`). */
+        dfg::BatchEvalScratch batch_eval;
     };
 
     InstalledApp &checked(AppId id);
@@ -617,6 +642,54 @@ class TaurusSwitch
     /** True when the dispatch MAT stage is materialized (>1 tenant). */
     bool dispatchActive() const { return live_ > 1; }
 
+    /**
+     * One packet's in-flight state inside a batch window: its own wire
+     * buffer and PHV (the single-packet path uses scratch_ for these),
+     * the partial decision, and everything the tail stages need that
+     * the front stages computed. Buffers are reused across windows.
+     */
+    struct BatchSlot
+    {
+        pisa::Packet pkt;
+        pisa::Phv phv;
+        SwitchDecision d;
+        AppId app_id = 0;
+        bool take_ml = false;
+        bool traced = false;
+        uint64_t trace_seq = 0;
+        double latency = 0.0; ///< parser + dispatch + preprocess so far
+        double dispatch_ns = 0.0;
+        double preprocess_ns = 0.0;
+        std::vector<int8_t> vals; ///< this packet's ML input vector
+    };
+
+    /** Reusable window state for the batched processBatch path. */
+    struct BatchScratch
+    {
+        std::vector<BatchSlot> slots;
+        std::vector<const int8_t *> in_ptrs; ///< SoA gather pointers
+        std::vector<size_t> ml_idx;          ///< ML slots, window order
+        std::vector<const net::TracePacket *> pkt_ptrs;
+        std::vector<SwitchDecision *> out_ptrs;
+    };
+
+    /**
+     * Front half of process() for one packet into `slot`: trace gate,
+     * parse, dispatch, preprocess, feature/telemetry extraction, and the
+     * ML-vs-bypass decision (including the quantized input vector).
+     * Identical side effects, in identical order, to the first half of
+     * the single-packet path.
+     */
+    void stageFront(const net::TracePacket &tp, BatchSlot &slot);
+
+    /**
+     * Tail half of process() for one window slot: score/bypass PHV
+     * updates (the caller has already written d.score for ML slots),
+     * postprocess + safety + forwarding MATs, the PIFO, stats, and
+     * observability — side effects in the single-packet order.
+     */
+    void stageTail(BatchSlot &slot, InstalledApp &app);
+
     /** Contribute SwitchStats + tracer counters to a scrape (the
      *  collector registered by bindObservability — satellite of the
      *  facade-adoption design: the exporter reads the same counters the
@@ -638,6 +711,7 @@ class TaurusSwitch
     pisa::Pifo scheduler_;
     SwitchStats stats_;
     PacketScratch scratch_;
+    BatchScratch batch_;
 
     /** Observability: the bound registry (the switch's own single-shard
      *  one until a farm re-homes it), the per-stage latency cells for
@@ -649,6 +723,8 @@ class TaurusSwitch
     std::array<obs::HistogramCell, obs::kStageCount> stage_cells_{};
     obs::HistogramCell ml_latency_cell_;
     obs::HistogramCell bypass_latency_cell_;
+    /** ML batch widths actually achieved by the window path. */
+    obs::HistogramCell batch_width_cell_;
     obs::PathTracer tracer_;
 };
 

@@ -1,0 +1,747 @@
+/**
+ * SIMD kernel layer regression tests: every dispatched level must be
+ * bit-identical to the scalar reference over randomized shapes, tail
+ * lanes, saturation edges, and LUT activations; the packet-major
+ * batched evaluator must match per-packet evaluation on hand-built and
+ * real lowered graphs; and the switch's windowed processBatch must be
+ * decision- and latency-identical to process() for any window size,
+ * including multi-tenant traces that break windows mid-burst.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include "dfg/batch_eval.hpp"
+#include "dfg/eval.hpp"
+#include "dfg/graph.hpp"
+#include "kernels/kernels.hpp"
+#include "models/zoo.hpp"
+#include "net/iot.hpp"
+#include "net/kdd.hpp"
+#include "nn/quantized.hpp"
+#include "taurus/app.hpp"
+#include "taurus/experiment.hpp"
+#include "taurus/switch.hpp"
+
+using namespace taurus;
+
+namespace {
+
+/** Every level the host can actually run (scalar always included). */
+std::vector<kernels::Level>
+supportedLevels()
+{
+    std::vector<kernels::Level> out{kernels::Level::Scalar};
+    if (kernels::supported(kernels::Level::Sse))
+        out.push_back(kernels::Level::Sse);
+    if (kernels::supported(kernels::Level::Avx2))
+        out.push_back(kernels::Level::Avx2);
+    return out;
+}
+
+int8_t
+randS8(std::mt19937 &rng)
+{
+    std::uniform_int_distribution<int> d(-128, 127);
+    return static_cast<int8_t>(d(rng));
+}
+
+/** int32 lane values spanning the full range (wide, non-narrow). */
+int32_t
+randS32(std::mt19937 &rng)
+{
+    std::uniform_int_distribution<int64_t> d(
+        std::numeric_limits<int32_t>::min(),
+        std::numeric_limits<int32_t>::max());
+    return static_cast<int32_t>(d(rng));
+}
+
+/** Requantizers covering the fast path (shift >= 31) and the scalar
+ *  fallback (multiplier > 1 => shift < 31), plus degenerate scales. */
+std::vector<fixed::Requantizer>
+requantizers()
+{
+    return {
+        fixed::Requantizer::fromRealMultiplier(0.004),
+        fixed::Requantizer::fromRealMultiplier(0.25),
+        fixed::Requantizer::fromRealMultiplier(0.9999),
+        fixed::Requantizer::fromRealMultiplier(1.0),
+        fixed::Requantizer::fromRealMultiplier(3.7), // multiplier > 1
+        fixed::Requantizer::fromRealMultiplier(1e-6),
+    };
+}
+
+/** Trained models + traces shared across the heavier tests. */
+struct Fixture
+{
+    models::AnomalyDnn dnn = models::trainAnomalyDnn(3, 600);
+    models::IotFlowMlp iot = models::trainIotFlowMlp(1, 500);
+    std::vector<net::TracePacket> kdd_trace;
+    std::vector<net::TracePacket> merged;
+
+    Fixture()
+    {
+        net::KddConfig cfg;
+        cfg.connections = 600;
+        net::KddGenerator gen(cfg, 21);
+        kdd_trace = gen.expandToPackets(gen.sampleConnections());
+        merged = core::mergeTracesByTime(kdd_trace, iot.eval_trace);
+    }
+};
+
+const Fixture &
+fixture()
+{
+    static const Fixture fx;
+    return fx;
+}
+
+void
+expectSameDecision(const core::SwitchDecision &a,
+                   const core::SwitchDecision &b, size_t i)
+{
+    ASSERT_EQ(a.flagged, b.flagged) << "packet " << i;
+    ASSERT_EQ(a.dropped, b.dropped) << "packet " << i;
+    ASSERT_EQ(a.bypassed, b.bypassed) << "packet " << i;
+    ASSERT_EQ(a.score, b.score) << "packet " << i;
+    ASSERT_EQ(a.class_id, b.class_id) << "packet " << i;
+    ASSERT_EQ(a.app_id, b.app_id) << "packet " << i;
+    ASSERT_EQ(a.egress_port, b.egress_port) << "packet " << i;
+    ASSERT_EQ(a.feature_count, b.feature_count) << "packet " << i;
+    ASSERT_EQ(a.features, b.features) << "packet " << i;
+    // Bitwise, not approximate: the batched path must sum the exact
+    // same doubles in the exact same order.
+    ASSERT_EQ(a.latency_ns, b.latency_ns) << "packet " << i;
+}
+
+} // namespace
+
+TEST(KernelDispatch, ParseLevelVocabulary)
+{
+    kernels::Level l;
+    EXPECT_TRUE(kernels::parseLevel("scalar", l));
+    EXPECT_EQ(l, kernels::Level::Scalar);
+    EXPECT_TRUE(kernels::parseLevel("sse", l));
+    EXPECT_EQ(l, kernels::Level::Sse);
+    EXPECT_TRUE(kernels::parseLevel("sse4.1", l));
+    EXPECT_EQ(l, kernels::Level::Sse);
+    EXPECT_TRUE(kernels::parseLevel("avx2", l));
+    EXPECT_EQ(l, kernels::Level::Avx2);
+    EXPECT_FALSE(kernels::parseLevel("avx512", l));
+    EXPECT_FALSE(kernels::parseLevel("", l));
+}
+
+TEST(KernelDispatch, OpsForDegradesGracefully)
+{
+    // Asking for a higher level than supported returns the best
+    // supported table, never a faulting one.
+    const kernels::Ops &ops = kernels::opsFor(kernels::Level::Avx2);
+    EXPECT_LE(static_cast<int>(ops.level),
+              static_cast<int>(kernels::detectBest()));
+    EXPECT_EQ(kernels::scalarOps().level, kernels::Level::Scalar);
+    EXPECT_TRUE(kernels::supported(kernels::Level::Scalar));
+}
+
+TEST(KernelDispatch, SetActiveRoundTrips)
+{
+    const kernels::Level prev = kernels::activeLevel();
+    const kernels::Level got = kernels::setActive(kernels::Level::Scalar);
+    EXPECT_EQ(got, prev);
+    EXPECT_EQ(kernels::activeLevel(), kernels::Level::Scalar);
+    kernels::setActive(prev);
+    EXPECT_EQ(kernels::activeLevel(), prev);
+}
+
+TEST(KernelParity, DenseRandomShapesAllActs)
+{
+    std::mt19937 rng(1);
+    const auto &scalar = kernels::scalarOps();
+    std::vector<int8_t> lut(256);
+    for (int i = 0; i < 256; ++i)
+        lut[i] = static_cast<int8_t>(i - 128);
+
+    const size_t shapes[][2] = {{1, 1},  {3, 7},   {5, 16},  {17, 33},
+                                {8, 64}, {48, 100}, {31, 257}};
+    for (const auto &sh : shapes) {
+        const size_t out_n = sh[0], in_n = sh[1];
+        std::vector<int8_t> w(out_n * in_n), x(in_n);
+        std::vector<int32_t> b(out_n);
+        for (auto &v : w)
+            v = randS8(rng);
+        // Saturation edges: some rows all +/-127 against extreme input.
+        for (size_t c = 0; c < in_n && out_n > 1; ++c) {
+            w[c] = 127;
+            w[in_n + c] = -128;
+        }
+        for (auto &v : x)
+            v = randS8(rng);
+        for (auto &v : b)
+            v = randS32(rng) / 2; // large biases, still int32
+        for (const auto &rq : requantizers()) {
+            for (const auto act :
+                 {kernels::DenseAct::None, kernels::DenseAct::Relu,
+                  kernels::DenseAct::LeakyRelu, kernels::DenseAct::Lut}) {
+                kernels::DenseView view;
+                view.w = w.data();
+                view.b = b.data();
+                view.lut = lut.data();
+                view.rq = rq;
+                view.act = act;
+                view.out = out_n;
+                view.in = in_n;
+
+                std::vector<int8_t> ref(out_n);
+                scalar.dense(view, x.data(), ref.data());
+                for (const auto level : supportedLevels()) {
+                    std::vector<int8_t> got(out_n, 99);
+                    kernels::opsFor(level).dense(view, x.data(),
+                                                 got.data());
+                    ASSERT_EQ(ref, got)
+                        << "dense " << out_n << "x" << in_n << " level "
+                        << kernels::levelName(level);
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelParity, DenseBatchMatchesColumnwiseDense)
+{
+    std::mt19937 rng(2);
+    const auto &scalar = kernels::scalarOps();
+    std::vector<int8_t> lut(256);
+    for (int i = 0; i < 256; ++i)
+        lut[i] = static_cast<int8_t>((i * 3) % 251 - 125);
+
+    const size_t out_n = 9, in_n = 26;
+    std::vector<int8_t> w(out_n * in_n);
+    std::vector<int32_t> b(out_n);
+    for (auto &v : w)
+        v = randS8(rng);
+    for (auto &v : b)
+        v = randS32(rng) / 4;
+
+    for (const size_t bw : {1, 2, 5, 8, 16, 31, 33}) {
+        // SoA input: lane i's bw values contiguous.
+        std::vector<int8_t> soa(in_n * bw);
+        for (auto &v : soa)
+            v = randS8(rng);
+        for (const auto &rq : requantizers()) {
+            for (const auto act :
+                 {kernels::DenseAct::None, kernels::DenseAct::Relu,
+                  kernels::DenseAct::LeakyRelu, kernels::DenseAct::Lut}) {
+                kernels::DenseView view;
+                view.w = w.data();
+                view.b = b.data();
+                view.lut = lut.data();
+                view.rq = rq;
+                view.act = act;
+                view.out = out_n;
+                view.in = in_n;
+
+                // Reference: one scalar dense per column.
+                std::vector<int8_t> ref(out_n * bw), col_x(in_n),
+                    col_y(out_n);
+                for (size_t c = 0; c < bw; ++c) {
+                    for (size_t i = 0; i < in_n; ++i)
+                        col_x[i] = soa[i * bw + c];
+                    scalar.dense(view, col_x.data(), col_y.data());
+                    for (size_t r = 0; r < out_n; ++r)
+                        ref[r * bw + c] = col_y[r];
+                }
+                for (const auto level : supportedLevels()) {
+                    std::vector<int8_t> got(out_n * bw, 99);
+                    kernels::opsFor(level).dense_batch(
+                        view, soa.data(), got.data(), bw);
+                    ASSERT_EQ(ref, got)
+                        << "dense_batch bw=" << bw << " level "
+                        << kernels::levelName(level);
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelParity, DotRowBatchNarrowWideAndTails)
+{
+    std::mt19937 rng(3);
+    const auto &scalar = kernels::scalarOps();
+    for (const size_t n : {1, 4, 7, 16, 33, 100}) {
+        for (const size_t bw : {1, 3, 8, 13}) {
+            std::vector<int8_t> w(n);
+            for (auto &v : w)
+                v = randS8(rng);
+            w[0] = 127;
+            w[n - 1] = -128;
+            for (const bool narrow : {true, false}) {
+                std::vector<int32_t> x(n * bw);
+                for (auto &v : x)
+                    v = narrow ? randS8(rng) : randS32(rng);
+                if (!narrow) {
+                    x[0] = std::numeric_limits<int32_t>::min();
+                    x[x.size() - 1] = std::numeric_limits<int32_t>::max();
+                }
+                for (const auto &rq : requantizers()) {
+                    for (const bool requant : {true, false}) {
+                        const int32_t bias = randS32(rng) / 2;
+                        std::vector<int32_t> ref(bw), got(bw);
+                        scalar.dot_row_batch(w.data(), n, bias, rq,
+                                             requant, narrow, x.data(),
+                                             ref.data(), bw);
+                        for (const auto level : supportedLevels()) {
+                            std::fill(got.begin(), got.end(), 999);
+                            kernels::opsFor(level).dot_row_batch(
+                                w.data(), n, bias, rq, requant, narrow,
+                                x.data(), got.data(), bw);
+                            ASSERT_EQ(ref, got)
+                                << "dot_row n=" << n << " bw=" << bw
+                                << " narrow=" << narrow << " level "
+                                << kernels::levelName(level);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelParity, DotS8S32MatchesWrappedReference)
+{
+    std::mt19937 rng(4);
+    const auto &scalar = kernels::scalarOps();
+    for (const size_t n : {1, 5, 8, 9, 64, 200}) {
+        std::vector<int8_t> w(n);
+        std::vector<int32_t> x(n);
+        for (auto &v : w)
+            v = randS8(rng);
+        for (auto &v : x)
+            v = randS32(rng); // full-range lanes: products must wrap
+        const int64_t ref = scalar.dot_s8_s32(w.data(), x.data(), n);
+        for (const auto level : supportedLevels())
+            ASSERT_EQ(ref, kernels::opsFor(level).dot_s8_s32(
+                               w.data(), x.data(), n))
+                << "dot n=" << n << " level "
+                << kernels::levelName(level);
+    }
+}
+
+TEST(KernelParity, SqdistAndArgminBatch)
+{
+    std::mt19937 rng(5);
+    const auto &scalar = kernels::scalarOps();
+    for (const size_t n : {1, 3, 8, 20, 65}) {
+        for (const size_t bw : {1, 4, 7, 16}) {
+            std::vector<int8_t> w(n);
+            for (auto &v : w)
+                v = randS8(rng);
+            for (const bool narrow : {true, false}) {
+                std::vector<int32_t> x(n * bw);
+                for (auto &v : x)
+                    v = narrow ? randS8(rng) : randS32(rng);
+                for (const auto &rq : requantizers()) {
+                    for (const bool requant : {true, false}) {
+                        std::vector<int32_t> ref(bw), got(bw);
+                        scalar.sqdist_batch(w.data(), n, rq, requant,
+                                            narrow, x.data(),
+                                            ref.data(), bw);
+                        for (const auto level : supportedLevels()) {
+                            std::fill(got.begin(), got.end(), 999);
+                            kernels::opsFor(level).sqdist_batch(
+                                w.data(), n, rq, requant, narrow,
+                                x.data(), got.data(), bw);
+                            ASSERT_EQ(ref, got)
+                                << "sqdist n=" << n << " bw=" << bw
+                                << " level "
+                                << kernels::levelName(level);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ArgMin: first-minimum-wins, with duplicate minima and extremes.
+    for (const size_t lanes : {1, 2, 9, 16, 130}) {
+        for (const size_t bw : {1, 5, 8, 12}) {
+            std::vector<int32_t> x(lanes * bw);
+            for (auto &v : x)
+                v = randS32(rng) / 2;
+            // Force ties in a few columns.
+            for (size_t c = 0; c < bw && lanes > 2; ++c) {
+                x[0 * bw + c] = -7;
+                x[(lanes / 2) * bw + c] = -7;
+            }
+            std::vector<int32_t> ref(bw), got(bw);
+            scalar.argmin_batch(x.data(), lanes, ref.data(), bw);
+            for (const auto level : supportedLevels()) {
+                std::fill(got.begin(), got.end(), 999);
+                kernels::opsFor(level).argmin_batch(x.data(), lanes,
+                                                    got.data(), bw);
+                ASSERT_EQ(ref, got)
+                    << "argmin lanes=" << lanes << " bw=" << bw
+                    << " level " << kernels::levelName(level);
+            }
+        }
+    }
+}
+
+TEST(KernelParity, MapPrimitivesMatchApplyMapFn)
+{
+    std::mt19937 rng(6);
+    const fixed::Requantizer rqs[] = {
+        fixed::Requantizer::fromRealMultiplier(0.05),
+        fixed::Requantizer::fromRealMultiplier(2.5),
+    };
+    const dfg::MapFn fns[] = {
+        dfg::MapFn::Identity, dfg::MapFn::Relu, dfg::MapFn::LeakyRelu,
+        dfg::MapFn::Square,   dfg::MapFn::Abs,  dfg::MapFn::Neg,
+        dfg::MapFn::AddConst, dfg::MapFn::MulConst,
+        dfg::MapFn::MinConst, dfg::MapFn::MaxConst,
+    };
+    for (const size_t n : {1, 3, 8, 17, 64}) {
+        std::vector<int32_t> base(n);
+        for (auto &v : base)
+            v = randS32(rng);
+        base[0] = std::numeric_limits<int32_t>::min();
+        base[n - 1] = std::numeric_limits<int32_t>::max();
+        for (const auto fn : fns) {
+            for (const auto &rq : rqs) {
+                for (const int32_t imm : {-200, -128, -1, 0, 3, 127, 300}) {
+                    // Reference through the public scalar semantics.
+                    std::vector<int32_t> ref = base;
+                    for (auto &v : ref)
+                        v = dfg::applyMapFn(fn, v, imm, rq);
+                    for (const auto level : supportedLevels()) {
+                        std::vector<int32_t> got = base;
+                        dfg::applyMapFnLanes(kernels::opsFor(level), fn,
+                                             got.data(), n, imm, rq);
+                        ASSERT_EQ(ref, got)
+                            << "mapfn " << static_cast<int>(fn)
+                            << " imm=" << imm << " level "
+                            << kernels::levelName(level);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelParity, EltwiseWidenAndRequantEdges)
+{
+    std::mt19937 rng(8);
+    const auto &scalar = kernels::scalarOps();
+    const size_t n = 37; // odd: exercises every tail path
+    std::vector<int32_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = randS32(rng);
+        b[i] = randS32(rng);
+    }
+    a[0] = std::numeric_limits<int32_t>::min();
+    b[0] = std::numeric_limits<int32_t>::min();
+    a[1] = std::numeric_limits<int32_t>::max();
+    b[1] = std::numeric_limits<int32_t>::max();
+
+    for (const auto level : supportedLevels()) {
+        const auto &ops = kernels::opsFor(level);
+        std::vector<int32_t> ref(n), got(n);
+
+        scalar.add_clamp8(a.data(), b.data(), ref.data(), n);
+        ops.add_clamp8(a.data(), b.data(), got.data(), n);
+        ASSERT_EQ(ref, got) << "add_clamp8 "
+                            << kernels::levelName(level);
+
+        for (const auto &rq : requantizers()) {
+            scalar.mul_requant(a.data(), b.data(), ref.data(), n, rq);
+            ops.mul_requant(a.data(), b.data(), got.data(), n, rq);
+            ASSERT_EQ(ref, got) << "mul_requant "
+                                << kernels::levelName(level);
+
+            scalar.requant_s32(a.data(), ref.data(), n, rq);
+            ops.requant_s32(a.data(), got.data(), n, rq);
+            ASSERT_EQ(ref, got) << "requant_s32 "
+                                << kernels::levelName(level);
+        }
+
+        std::vector<int8_t> src(n);
+        for (auto &v : src)
+            v = randS8(rng);
+        src[0] = -128;
+        src[n - 1] = 127;
+        scalar.widen_s8(src.data(), ref.data(), n);
+        ops.widen_s8(src.data(), got.data(), n);
+        ASSERT_EQ(ref, got) << "widen_s8 " << kernels::levelName(level);
+    }
+}
+
+TEST(BatchEval, MatchesPerPacketOnRealLoweredGraph)
+{
+    const auto &fx = fixture();
+    const dfg::Graph &g = fx.dnn.graph;
+    const size_t in_w =
+        static_cast<size_t>(g.node(g.inputIds().front()).width);
+
+    std::mt19937 rng(9);
+    for (const size_t bw : {1, 2, 5, 32}) {
+        std::vector<int8_t> pool(bw * in_w);
+        for (auto &v : pool)
+            v = randS8(rng);
+        std::vector<const int8_t *> ptrs(bw);
+        for (size_t c = 0; c < bw; ++c)
+            ptrs[c] = pool.data() + c * in_w;
+
+        dfg::BatchEvalScratch bs;
+        const auto &bouts = dfg::evaluateBatchInto(g, ptrs.data(), bw, bs);
+
+        dfg::EvalScratch es;
+        std::vector<std::vector<int8_t>> one(
+            1, std::vector<int8_t>(in_w));
+        for (size_t c = 0; c < bw; ++c) {
+            std::memcpy(one[0].data(), pool.data() + c * in_w, in_w);
+            const auto &souts = dfg::evaluateInto(g, one, es);
+            ASSERT_EQ(souts.size(), bouts.size());
+            for (size_t o = 0; o < souts.size(); ++o) {
+                const auto &sl = souts[o].lanes;
+                ASSERT_EQ(bouts[o].width, sl.size());
+                for (size_t i = 0; i < sl.size(); ++i)
+                    ASSERT_EQ(sl[i], bouts[o].lanes[i * bw + c])
+                        << "bw=" << bw << " col=" << c << " out=" << o
+                        << " lane=" << i;
+            }
+        }
+    }
+}
+
+TEST(BatchEval, MatchesPerPacketOnSyntheticKindCoverage)
+{
+    // One graph touching every batched NodeKind: Input -> MapChain ->
+    // EltwiseAdd/EltwiseMul -> SquaredDist + DotRow -> Concat ->
+    // ArgMin, plus a Lookup branch.
+    dfg::Graph g;
+    dfg::Node in;
+    in.kind = dfg::NodeKind::Input;
+    in.width = 6;
+    const int in_id = g.add(std::move(in));
+
+    dfg::Node map;
+    map.kind = dfg::NodeKind::MapChain;
+    map.width = 6;
+    map.inputs = {in_id};
+    map.fns = {dfg::MapFn::AddConst, dfg::MapFn::Abs,
+               dfg::MapFn::MinConst};
+    map.imms = {5, 0, 100};
+    const int map_id = g.add(std::move(map));
+
+    dfg::Node add;
+    add.kind = dfg::NodeKind::EltwiseAdd;
+    add.width = 6;
+    add.inputs = {in_id, map_id};
+    const int add_id = g.add(std::move(add));
+
+    dfg::Node mul;
+    mul.kind = dfg::NodeKind::EltwiseMul;
+    mul.width = 6;
+    mul.inputs = {add_id, map_id};
+    mul.requant = fixed::Requantizer::fromRealMultiplier(0.02);
+    const int mul_id = g.add(std::move(mul));
+
+    dfg::Node dot;
+    dot.kind = dfg::NodeKind::DotRow;
+    dot.width = 1;
+    dot.inputs = {mul_id};
+    dot.weights = {127, -128, 3, -5, 90, 1};
+    dot.bias = 1000;
+    dot.requant = fixed::Requantizer::fromRealMultiplier(0.01);
+    const int dot_id = g.add(std::move(dot));
+
+    dfg::Node sq;
+    sq.kind = dfg::NodeKind::SquaredDist;
+    sq.width = 1;
+    sq.inputs = {mul_id};
+    sq.weights = {1, -2, 3, -4, 5, -6};
+    sq.requant = fixed::Requantizer::fromRealMultiplier(0.001);
+    const int sq_id = g.add(std::move(sq));
+
+    dfg::Node cat;
+    cat.kind = dfg::NodeKind::Concat;
+    cat.width = 2;
+    cat.inputs = {dot_id, sq_id};
+    const int cat_id = g.add(std::move(cat));
+
+    dfg::Node arg;
+    arg.kind = dfg::NodeKind::ArgMin;
+    arg.width = 1;
+    arg.inputs = {cat_id};
+    const int arg_id = g.add(std::move(arg));
+
+    dfg::Node lut;
+    lut.kind = dfg::NodeKind::Lookup;
+    lut.width = 1;
+    lut.inputs = {arg_id};
+    lut.lut.resize(256);
+    for (int i = 0; i < 256; ++i)
+        lut.lut[static_cast<size_t>(i)] =
+            static_cast<int8_t>((i * 7) % 255 - 127);
+    const int lut_id = g.add(std::move(lut));
+
+    dfg::Node out;
+    out.kind = dfg::NodeKind::Output;
+    out.width = 1;
+    out.inputs = {lut_id};
+    g.add(std::move(out));
+    ASSERT_TRUE(g.validate().empty()) << g.validate();
+
+    std::mt19937 rng(10);
+    const size_t bw = 17, in_w = 6;
+    std::vector<int8_t> pool(bw * in_w);
+    for (auto &v : pool)
+        v = randS8(rng);
+    std::vector<const int8_t *> ptrs(bw);
+    for (size_t c = 0; c < bw; ++c)
+        ptrs[c] = pool.data() + c * in_w;
+
+    dfg::BatchEvalScratch bs;
+    const auto &bouts = dfg::evaluateBatchInto(g, ptrs.data(), bw, bs);
+    dfg::EvalScratch es;
+    std::vector<std::vector<int8_t>> one(1, std::vector<int8_t>(in_w));
+    for (size_t c = 0; c < bw; ++c) {
+        std::memcpy(one[0].data(), pool.data() + c * in_w, in_w);
+        const auto &souts = dfg::evaluateInto(g, one, es);
+        for (size_t o = 0; o < souts.size(); ++o)
+            for (size_t i = 0; i < souts[o].lanes.size(); ++i)
+                ASSERT_EQ(souts[o].lanes[i], bouts[o].lanes[i * bw + c])
+                    << "col=" << c;
+    }
+}
+
+TEST(BatchSwitch, WindowsBitIdenticalToPerPacket)
+{
+    const auto &fx = fixture();
+    const auto &trace = fx.kdd_trace;
+
+    // Reference: per-packet process() (window 1 elides the batch path).
+    core::SwitchConfig ref_cfg;
+    ref_cfg.batch_window = 1;
+    core::TaurusSwitch ref_sw(ref_cfg);
+    ref_sw.installAnomalyModel(fx.dnn);
+    std::vector<core::SwitchDecision> ref(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        ref[i] = ref_sw.process(trace[i]);
+
+    for (const size_t window : {32, 5, 2}) {
+        core::SwitchConfig cfg;
+        cfg.batch_window = window;
+        core::TaurusSwitch sw(cfg);
+        sw.installAnomalyModel(fx.dnn);
+        std::vector<core::SwitchDecision> got(trace.size());
+        sw.processBatch(
+            util::Span<const net::TracePacket>(trace.data(),
+                                               trace.size()),
+            util::Span<core::SwitchDecision>(got.data(), got.size()));
+        for (size_t i = 0; i < trace.size(); ++i)
+            expectSameDecision(ref[i], got[i], i);
+
+        // Statistics must match too, RunningStat moments included.
+        const auto &a = ref_sw.stats();
+        const auto &b = sw.stats();
+        EXPECT_EQ(a.packets, b.packets);
+        EXPECT_EQ(a.ml_packets, b.ml_packets);
+        EXPECT_EQ(a.flagged, b.flagged);
+        EXPECT_EQ(a.dropped, b.dropped);
+        EXPECT_EQ(a.safety_overrides, b.safety_overrides);
+        EXPECT_EQ(a.ml_latency_ns.count(), b.ml_latency_ns.count());
+        EXPECT_DOUBLE_EQ(a.ml_latency_ns.mean(),
+                         b.ml_latency_ns.mean());
+    }
+}
+
+TEST(BatchSwitch, MultiTenantWindowBreaksStayBitIdentical)
+{
+    const auto &fx = fixture();
+    const auto &trace = fx.merged; // interleaved tenants break windows
+
+    core::SwitchConfig ref_cfg;
+    ref_cfg.batch_window = 1;
+    core::TaurusSwitch ref_sw(ref_cfg);
+    ref_sw.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    ref_sw.installApp(core::makeIotFlowApp(fx.iot));
+    std::vector<core::SwitchDecision> ref(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        ref[i] = ref_sw.process(trace[i]);
+
+    core::SwitchConfig cfg;
+    cfg.batch_window = 8;
+    core::TaurusSwitch sw(cfg);
+    sw.installApp(core::makeAnomalyDnnApp(fx.dnn));
+    sw.installApp(core::makeIotFlowApp(fx.iot));
+    std::vector<core::SwitchDecision> got(trace.size());
+    sw.processBatch(
+        util::Span<const net::TracePacket>(trace.data(), trace.size()),
+        util::Span<core::SwitchDecision>(got.data(), got.size()));
+
+    size_t tenants_seen[2] = {0, 0};
+    for (size_t i = 0; i < trace.size(); ++i) {
+        expectSameDecision(ref[i], got[i], i);
+        if (got[i].app_id < 2)
+            ++tenants_seen[got[i].app_id];
+    }
+    // The merged trace must actually exercise both tenants (and thus
+    // mid-burst window breaks), or this test proves nothing.
+    EXPECT_GT(tenants_seen[0], 0u);
+    EXPECT_GT(tenants_seen[1], 0u);
+    EXPECT_EQ(ref_sw.stats(0).packets, sw.stats(0).packets);
+    EXPECT_EQ(ref_sw.stats(1).packets, sw.stats(1).packets);
+}
+
+TEST(BatchSwitch, ScrapeCarriesKernelGaugeAndBatchWidths)
+{
+    const auto &fx = fixture();
+    core::SwitchConfig cfg;
+    cfg.batch_window = 32;
+    core::TaurusSwitch sw(cfg);
+    sw.installAnomalyModel(fx.dnn);
+
+    const size_t n = std::min<size_t>(fx.kdd_trace.size(), 256);
+    std::vector<core::SwitchDecision> got(n);
+    sw.processBatch(
+        util::Span<const net::TracePacket>(fx.kdd_trace.data(), n),
+        util::Span<core::SwitchDecision>(got.data(), n));
+
+    const obs::Snapshot snap = sw.scrape();
+    const std::string label =
+        std::string("level=\"") +
+        kernels::levelName(kernels::activeLevel()) + "\"";
+    const auto *gauge = snap.find("taurus_kernel_level", label);
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_EQ(gauge->kind, obs::MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(gauge->value, 1.0);
+
+    const auto *widths = snap.findHist("taurus_switch_batch_width_pkts");
+    ASSERT_NE(widths, nullptr);
+    EXPECT_GT(widths->hist.count(), 0u);
+}
+
+TEST(QuantizedScratch, ForwardAndPredictScratchParity)
+{
+    const auto &fx = fixture();
+    const nn::QuantizedMlp &q = fx.dnn.quantized;
+    nn::ForwardScratch scratch;
+    for (size_t i = 0; i < std::min<size_t>(fx.dnn.test.size(), 64);
+         ++i) {
+        const auto &x = fx.dnn.test.x[i];
+
+        const std::vector<int8_t> qa = q.quantizeInput(x);
+        std::vector<int8_t> qb;
+        q.quantizeInput(x, qb);
+        EXPECT_EQ(qa, qb);
+
+        const nn::Vector fa = q.forward(x);
+        const nn::Vector fb = q.forward(x, scratch);
+        ASSERT_EQ(fa.size(), fb.size());
+        for (size_t j = 0; j < fa.size(); ++j)
+            EXPECT_EQ(fa[j], fb[j]) << "sample " << i;
+        EXPECT_EQ(q.predict(x), q.predict(x, scratch));
+    }
+}
